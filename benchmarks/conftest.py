@@ -1,0 +1,74 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark runs a *single* cold execution (``rounds=1``) — the
+algorithms take seconds, not microseconds, and the paper also reports
+per-run cold numbers.  Scale knobs (defaults chosen so the whole suite
+finishes in a few minutes on a laptop):
+
+* ``REPRO_BENCH_ADULTS_ROWS``   — default 15,000 (paper: 45,222);
+* ``REPRO_BENCH_LANDSEND_ROWS`` — default 60,000 (paper: 4,591,581).
+
+The full paper-scale figure sweeps live in ``repro.bench.run_figures``;
+these pytest benchmarks cover every figure/table at representative sweep
+points so `pytest benchmarks/ --benchmark-only` exercises and times each
+experiment end to end.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets.adults import adults_problem
+from repro.datasets.landsend import landsend_problem
+
+
+def _env(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+ADULTS_ROWS = _env("REPRO_BENCH_ADULTS_ROWS", 15_000)
+LANDSEND_ROWS = _env("REPRO_BENCH_LANDSEND_ROWS", 60_000)
+
+_cache: dict = {}
+
+
+def cached_adults(qi_size: int):
+    key = ("adults", qi_size)
+    if key not in _cache:
+        _cache[key] = adults_problem(ADULTS_ROWS, qi_size=qi_size)
+    return _cache[key]
+
+
+def cached_landsend(qi_size: int):
+    key = ("landsend", qi_size)
+    if key not in _cache:
+        _cache[key] = landsend_problem(LANDSEND_ROWS, qi_size=qi_size)
+    return _cache[key]
+
+
+@pytest.fixture(scope="session")
+def adults6():
+    return cached_adults(6)
+
+
+@pytest.fixture(scope="session")
+def adults8():
+    return cached_adults(8)
+
+
+@pytest.fixture(scope="session")
+def landsend4():
+    return cached_landsend(4)
+
+
+@pytest.fixture(scope="session")
+def landsend6():
+    return cached_landsend(6)
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Benchmark a single cold run (the paper's measurement style)."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

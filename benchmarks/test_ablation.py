@@ -1,0 +1,76 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not figures from the paper — these isolate the two optimizations Incognito
+composes (rollup and a-priori pruning) plus the engine's scan/rollup cost
+ratio, which is what determines how the paper's DB2-based speedups
+translate to an in-memory columnar substrate.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core.anonymity import FrequencyEvaluator, compute_frequency_set
+from repro.core.bottomup import bottom_up_search
+from repro.core.incognito import basic_incognito
+from repro.core.superroots import superroots_incognito
+
+
+class TestScanVsRollup:
+    """The rollup property's raw cost advantage (one derivation each)."""
+
+    def test_scan_cost(self, benchmark, adults6):
+        node = adults6.bottom_node()
+        run_once(benchmark, compute_frequency_set, adults6, node)
+
+    def test_rollup_cost(self, benchmark, adults6):
+        base = compute_frequency_set(adults6, adults6.bottom_node())
+        target = adults6.top_node()
+        run_once(benchmark, base.rollup, target)
+
+    def test_rollup_never_rescans(self, adults6):
+        evaluator = FrequencyEvaluator(adults6)
+        base = evaluator.scan(adults6.bottom_node())
+        evaluator.rollup(base, adults6.top_node())
+        assert evaluator.stats.table_scans == 1
+
+
+class TestRollupAblation:
+    """Bottom-up with vs without rollup = the optimization in isolation."""
+
+    @pytest.mark.parametrize("rollup", [False, True], ids=["scan", "rollup"])
+    def test_bottom_up_variant(self, benchmark, adults6, rollup):
+        result = run_once(
+            benchmark, bottom_up_search, adults6, 2, rollup=rollup
+        )
+        benchmark.extra_info["table_scans"] = result.stats.table_scans
+
+
+class TestAprioriAblation:
+    """Incognito vs bottom-up-with-rollup = a-priori pruning in isolation
+    (both use rollup; only the candidate space differs)."""
+
+    def test_incognito(self, benchmark, adults6):
+        result = run_once(benchmark, basic_incognito, adults6, 2)
+        benchmark.extra_info["nodes_checked"] = result.stats.nodes_checked
+
+    def test_bottom_up_rollup(self, benchmark, adults6):
+        result = run_once(benchmark, bottom_up_search, adults6, 2)
+        benchmark.extra_info["nodes_checked"] = result.stats.nodes_checked
+
+
+class TestSuperrootAblation:
+    """Super-roots vs basic = the per-family scan consolidation."""
+
+    @pytest.mark.parametrize(
+        "algorithm", [basic_incognito, superroots_incognito],
+        ids=["basic", "superroots"],
+    )
+    def test_scan_counts(self, benchmark, landsend4, algorithm):
+        result = run_once(benchmark, algorithm, landsend4, 10)
+        benchmark.extra_info["table_scans"] = result.stats.table_scans
+
+    def test_superroots_scans_fewer(self, landsend4):
+        basic = basic_incognito(landsend4, 10)
+        better = superroots_incognito(landsend4, 10)
+        assert better.stats.table_scans <= basic.stats.table_scans
+        assert better.anonymous_nodes == basic.anonymous_nodes

@@ -1,0 +1,57 @@
+"""Ablation: the §7 future-work extensions against the paper's variants.
+
+* Strategic materialization (``materialized_incognito``) vs Cube Incognito
+  — same single table scan, but roots roll up from small waypoint sets
+  instead of zero-generalization sets.
+* Chunked (out-of-core) scans vs in-memory scans — the per-chunk overhead
+  bound, at two chunk sizes.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core.cube import cube_incognito
+from repro.core.incognito import basic_incognito
+from repro.core.materialized import materialized_incognito
+from repro.core.outofcore import chunked_incognito
+
+
+class TestMaterializationAblation:
+    def test_cube_incognito(self, benchmark, adults6):
+        result = run_once(benchmark, cube_incognito, adults6, 2)
+        benchmark.extra_info["frequency_set_rows"] = result.stats.frequency_set_rows
+
+    @pytest.mark.parametrize("fraction", [0.5, 0.25])
+    def test_materialized_incognito(self, benchmark, adults6, fraction):
+        result = run_once(
+            benchmark, materialized_incognito, adults6, 2,
+            budget_fraction=fraction,
+        )
+        benchmark.extra_info["frequency_set_rows"] = result.stats.frequency_set_rows
+
+    def test_rollup_sources_shrink(self, adults6):
+        """The structural claim: materialization cuts total frequency-set
+        rows touched during the search."""
+        cube = cube_incognito(adults6, 2)
+        materialized = materialized_incognito(adults6, 2, budget_fraction=0.25)
+        assert materialized.anonymous_nodes == cube.anonymous_nodes
+        assert materialized.stats.table_scans == cube.stats.table_scans == 1
+
+
+class TestOutOfCoreAblation:
+    def test_in_memory_scans(self, benchmark, adults6):
+        run_once(benchmark, basic_incognito, adults6, 2)
+
+    @pytest.mark.parametrize("chunk_rows", [4_096, 65_536])
+    def test_chunked_scans(self, benchmark, adults6, chunk_rows):
+        result = run_once(
+            benchmark, chunked_incognito, adults6, 2, chunk_rows=chunk_rows
+        )
+        benchmark.extra_info["chunk_rows"] = chunk_rows
+        assert result.found
+
+    def test_identical_answers(self, adults6):
+        assert (
+            chunked_incognito(adults6, 2, chunk_rows=4_096).anonymous_nodes
+            == basic_incognito(adults6, 2).anonymous_nodes
+        )

@@ -1,0 +1,59 @@
+"""Benchmark: the distance-vector matrix footnote (paper §4.1, footnote 2).
+
+The paper rejected Samarati's distance-vector-matrix implementation as
+"prohibitively expensive for large databases".  These benchmarks quantify
+why: matrix construction is quadratic in the number of distinct QI tuples,
+so it explodes exactly where the group-by approach stays flat.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.core.binary_search import samarati_binary_search
+from repro.core.distance_matrix import DistanceVectorMatrix, matrix_binary_search
+from repro.datasets.adults import adults_problem
+
+
+def small_problem(rows: int):
+    return adults_problem(rows, qi_size=4)
+
+
+class TestConstructionScaling:
+    @pytest.mark.parametrize("rows", [250, 500, 1_000])
+    def test_matrix_construction(self, benchmark, rows):
+        problem = small_problem(rows)
+        matrix = run_once(benchmark, DistanceVectorMatrix, problem)
+        benchmark.extra_info["distinct_tuples"] = matrix.num_tuples
+
+    def test_quadratic_growth_confirmed(self):
+        """Doubling distinct tuples ~quadruples the matrix cells."""
+        small = DistanceVectorMatrix(small_problem(250))
+        large = DistanceVectorMatrix(small_problem(1_000))
+        ratio = large.num_tuples / small.num_tuples
+        cells_ratio = (large.num_tuples ** 2) / (small.num_tuples ** 2)
+        assert cells_ratio == pytest.approx(ratio ** 2)
+        assert cells_ratio > 2  # it really is superlinear at these sizes
+
+
+class TestSearchComparison:
+    @pytest.mark.parametrize(
+        "name,search",
+        [
+            ("groupby", samarati_binary_search),
+            ("matrix", matrix_binary_search),
+        ],
+        ids=["groupby_binary_search", "matrix_binary_search"],
+    )
+    def test_binary_search_variants(self, benchmark, name, search):
+        problem = small_problem(1_000)
+        result = run_once(benchmark, search, problem, 2)
+        assert result.found
+
+    def test_same_minimal_height(self):
+        problem = small_problem(500)
+        via_matrix = matrix_binary_search(problem, 2)
+        via_groupby = samarati_binary_search(problem, 2)
+        assert (
+            via_matrix.anonymous_nodes[0].height
+            == via_groupby.anonymous_nodes[0].height
+        )

@@ -1,0 +1,27 @@
+"""Figure 10 (c, d): Lands End database — elapsed time by algorithm.
+
+Representative sweep point: QID 4 for both k = 2 and k = 10 (the paper
+plots QID 1..6).  Full sweep: ``python -m repro.bench.run_figures fig10``.
+
+Expected shape (paper Figure 10 c/d): the gap between Incognito and the
+baselines is widest on this larger, higher-cardinality database — the
+paper's "up to an order of magnitude".
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.harness import ALGORITHMS
+from test_fig10_adults import ALGORITHM_IDS
+
+
+@pytest.mark.parametrize("k", [2, 10])
+@pytest.mark.parametrize(
+    "name", list(ALGORITHMS), ids=[ALGORITHM_IDS[n] for n in ALGORITHMS]
+)
+def test_fig10_landsend_qid4(benchmark, landsend4, name, k):
+    algorithm = ALGORITHMS[name]
+    result = run_once(benchmark, algorithm, landsend4, k)
+    benchmark.extra_info["nodes_checked"] = result.stats.nodes_checked
+    benchmark.extra_info["table_scans"] = result.stats.table_scans
+    assert result.stats.nodes_checked > 0

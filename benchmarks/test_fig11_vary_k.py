@@ -1,0 +1,57 @@
+"""Figure 11: elapsed time vs k for fixed quasi-identifier size.
+
+Paper setup: Adults at QID 8 (Binary Search, Bottom-Up w/ rollup, Basic
+and Super-roots Incognito); Lands End staggered (Binary Search at QID 6,
+Incognito variants at QID 8).  Benchmarked here at the paper's five k
+values for the Adults lineup and k ∈ {2, 50} for Lands End.
+
+Expected shape: Incognito's cost trends *down* as k grows (more a-priori
+pruning); Binary Search is erratic in k.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.harness import ALGORITHMS
+
+ADULTS_LINEUP = [
+    ("Binary Search", "binary_search"),
+    ("Bottom-Up (w/ rollup)", "bottomup_rollup"),
+    ("Basic Incognito", "basic_incognito"),
+    ("Super-roots Incognito", "superroots_incognito"),
+]
+
+
+@pytest.mark.parametrize("k", [2, 5, 10, 25, 50])
+@pytest.mark.parametrize("name,short", ADULTS_LINEUP, ids=[s for _, s in ADULTS_LINEUP])
+def test_fig11_adults_qid8(benchmark, adults8, name, short, k):
+    result = run_once(benchmark, ALGORITHMS[name], adults8, k)
+    benchmark.extra_info["nodes_checked"] = result.stats.nodes_checked
+    assert result.stats.nodes_checked > 0
+
+
+@pytest.mark.parametrize("k", [2, 50])
+@pytest.mark.parametrize(
+    "name,short,qid",
+    [
+        ("Binary Search", "binary_search", 6),
+        ("Basic Incognito", "basic_incognito", 6),
+        ("Super-roots Incognito", "superroots_incognito", 6),
+    ],
+    ids=["binary_search_qid6", "basic_incognito_qid6", "superroots_qid6"],
+)
+def test_fig11_landsend(benchmark, landsend6, name, short, qid, k):
+    result = run_once(benchmark, ALGORITHMS[name], landsend6, k)
+    benchmark.extra_info["nodes_checked"] = result.stats.nodes_checked
+    assert result.stats.nodes_checked > 0
+
+
+def test_fig11_incognito_prunes_more_as_k_grows(adults8):
+    """The mechanism behind the downward trend: fewer nodes survive the
+    small-subset iterations at larger k, so fewer are ever checked."""
+    from repro.core.incognito import basic_incognito
+
+    checked = [
+        basic_incognito(adults8, k).stats.nodes_checked for k in (2, 10, 50)
+    ]
+    assert checked[-1] <= checked[0]

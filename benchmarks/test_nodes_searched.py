@@ -1,0 +1,61 @@
+"""The Section 4.2.1 in-text table: nodes searched, Bottom-Up vs Incognito.
+
+Paper values (Adults, k=2):
+
+    QID size  Bottom-Up  Incognito
+           3         14         14
+           4         47         35
+           5        206        103
+           6        680        246
+           7       2088        664
+           8       6366       1778
+           9      12818       4307
+
+Absolute counts depend on the data distribution (ours is synthetic), but
+the *shape* must hold: Incognito searches at most as many nodes as
+Bottom-Up from QID >= 5 on, with a ratio that grows with QID size.
+"""
+
+import pytest
+
+from conftest import cached_adults, run_once
+from repro.core.bottomup import bottom_up_search
+from repro.core.incognito import basic_incognito
+
+
+def _counts(qi_size: int) -> tuple[int, int]:
+    problem = cached_adults(qi_size)
+    bottom_up = bottom_up_search(problem, 2).stats.nodes_checked
+    incognito = basic_incognito(problem, 2).stats.nodes_checked
+    return bottom_up, incognito
+
+
+@pytest.mark.parametrize("qi_size", [5, 6, 7])
+def test_incognito_searches_fewer_nodes(qi_size):
+    bottom_up, incognito = _counts(qi_size)
+    assert incognito < bottom_up, (
+        f"QID {qi_size}: incognito={incognito} vs bottom-up={bottom_up}"
+    )
+
+
+def test_pruning_ratio_grows_with_qid():
+    ratios = []
+    for qi_size in (5, 7):
+        bottom_up, incognito = _counts(qi_size)
+        ratios.append(bottom_up / incognito)
+    assert ratios[1] >= ratios[0] * 0.9  # allow small noise, expect growth
+
+
+def test_nodes_searched_table_benchmark(benchmark):
+    """Time the full QID-7 pair and attach the node counts."""
+    problem = cached_adults(7)
+
+    def both():
+        return (
+            bottom_up_search(problem, 2).stats.nodes_checked,
+            basic_incognito(problem, 2).stats.nodes_checked,
+        )
+
+    bottom_up, incognito = run_once(benchmark, both)
+    benchmark.extra_info["bottom_up_nodes"] = bottom_up
+    benchmark.extra_info["incognito_nodes"] = incognito

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""The paper's Section 7 future-work items, implemented and measured.
+
+1. **Strategic materialization** — besides the zero-generalization cube,
+   materialize count aggregates "at various points in the dimension
+   hierarchies" (like Harinarayan et al. [9]) so roots roll up from small
+   waypoint sets.
+2. **Out-of-core operation** — block-oriented table scans bound the
+   engine's working set when the original database would not fit in main
+   memory.
+
+    python examples/future_work.py [rows]
+"""
+
+import sys
+
+from repro import basic_incognito, cube_incognito
+from repro.core.materialized import materialized_incognito, waypoint_inventory
+from repro.core.outofcore import chunked_incognito
+from repro.datasets import adults_problem
+
+
+def main() -> None:
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    problem = adults_problem(rows, qi_size=6)
+    k = 5
+    print(f"Problem: {problem}, k={k}")
+    print()
+
+    # --- strategic materialization ------------------------------------
+    print("Waypoints strategic materialization picks (sample of subsets):")
+    inventory = waypoint_inventory(problem, budget_fraction=0.25)
+    for attributes, waypoints in list(inventory.items())[:5]:
+        print(f"  {attributes}: {waypoints}")
+    print(f"  ... ({len(inventory)} subsets total)")
+    print()
+
+    # Measure each provider's build cost separately so the table can show
+    # the search-phase rollup cost (rollup cost ~ source-set rows).
+    from repro.core.anonymity import FrequencyEvaluator
+    from repro.core.cube import CubeRootProvider
+    from repro.core.materialized import MaterializedCubeProvider
+
+    def build_cost(factory) -> int:
+        evaluator = FrequencyEvaluator(problem)
+        factory(problem, evaluator)
+        return evaluator.stats.rollup_source_rows
+
+    build_rows = {
+        "basic": 0,
+        "cube (zero-gen only)": build_cost(CubeRootProvider),
+        "materialized (waypoints)": build_cost(MaterializedCubeProvider),
+    }
+
+    print(
+        f"{'variant':26s} {'time':>8s} {'scans':>6s} {'rollups':>8s} "
+        f"{'search rollup rows':>19s}"
+    )
+    for label, run in [
+        ("basic", lambda: basic_incognito(problem, k)),
+        ("cube (zero-gen only)", lambda: cube_incognito(problem, k)),
+        ("materialized (waypoints)", lambda: materialized_incognito(problem, k)),
+    ]:
+        result = run()
+        stats = result.stats
+        search_rows = stats.rollup_source_rows - build_rows[label]
+        print(
+            f"{label:26s} {stats.elapsed_seconds:7.2f}s {stats.table_scans:6d} "
+            f"{stats.rollups:8d} {search_rows:19d}"
+        )
+    print(
+        "(search rollup rows ~ per-search rollup cost: waypoints shrink the\n"
+        " sets the search re-aggregates, for a one-off extra build cost)"
+    )
+    print()
+
+    # --- out-of-core scans ---------------------------------------------
+    print("Out-of-core (chunked) scans — identical answers, bounded memory:")
+    reference = basic_incognito(problem, k)
+    for chunk_rows in (2_048, 16_384):
+        result = chunked_incognito(problem, k, chunk_rows=chunk_rows)
+        assert result.anonymous_nodes == reference.anonymous_nodes
+        print(
+            f"  chunk={chunk_rows:6d}: {result.stats.elapsed_seconds:6.2f}s "
+            f"(in-memory reference {reference.stats.elapsed_seconds:.2f}s) "
+            f"- same {len(result.anonymous_nodes)} solutions"
+        )
+
+
+if __name__ == "__main__":
+    main()

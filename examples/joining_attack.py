@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""The Figure 1 joining attack — and how k-anonymization defeats it.
+
+Re-enacts the paper's motivating scenario: a public voter registration
+list is joined with de-identified hospital data on ⟨Birthdate, Sex,
+Zipcode⟩, re-identifying Andre's diagnosis.  Then the hospital data is
+2-anonymized with Incognito and the attack is re-run.
+
+    python examples/joining_attack.py
+"""
+
+from repro import basic_incognito
+from repro.attack import joining_attack
+from repro.datasets import (
+    patients_hierarchies,
+    patients_problem,
+    patients_table,
+    voter_table,
+)
+from repro.relational import hash_join
+
+QI = ("Birthdate", "Sex", "Zipcode")
+
+
+def main() -> None:
+    voters = voter_table()
+    patients = patients_table()
+    print("Public voter registration data:")
+    print(voters.pretty())
+    print()
+    print("De-identified hospital data (published):")
+    print(patients.pretty())
+    print()
+
+    # --- the attack on the raw release -------------------------------
+    joined = hash_join(voters, patients, on=list(QI))
+    print("Voter ⋈ Patients on ⟨Birthdate, Sex, Zipcode⟩:")
+    print(joined.pretty())
+    report = joining_attack(voters, patients, QI)
+    print(f"\nAttack on the raw release: {report.describe()}")
+    print()
+
+    # --- 2-anonymize and retry ----------------------------------------
+    problem = patients_problem()
+    result = basic_incognito(problem, k=2)
+    view = result.apply(problem)
+    print(f"2-anonymized release at {view.node}:")
+    print(view.table.pretty())
+
+    # The adversary's best move: generalize their own copy of the voter
+    # list through the same (public) hierarchies before joining.
+    defended = joining_attack(
+        voters,
+        view.table,
+        QI,
+        hierarchies=patients_hierarchies(),
+        levels=view.node.as_dict(),
+    )
+    print(f"\nAttack on the 2-anonymous release: {defended.describe()}")
+    assert defended.uniquely_linked == 0
+    print(
+        "\nNo individual links to fewer than "
+        f"{defended.min_nonzero_candidates} records — the joining attack "
+        "no longer identifies anyone uniquely."
+    )
+
+
+if __name__ == "__main__":
+    main()

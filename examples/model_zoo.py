@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""The Section 5 taxonomy, executed: all ten k-anonymization models.
+
+Runs every model the paper's taxonomy names on the same census sample and
+compares information loss, illustrating the taxonomy's central trade-off:
+flexibility (local > multi-dimension > single-dimension; partition/subtree
+> full-domain) buys utility at the cost of a harder search problem.
+
+    python examples/model_zoo.py [rows] [k]
+"""
+
+import sys
+
+from repro.datasets import adults_problem
+from repro.metrics import average_class_size, discernibility
+from repro.models import (
+    AnnealingSubtreeModel,
+    AttributeSuppressionModel,
+    CellGeneralizationModel,
+    CellSuppressionModel,
+    FullDomainModel,
+    GeneticSubtreeModel,
+    MondrianModel,
+    MultiDimSubgraphModel,
+    Partition1DModel,
+    SubtreeModel,
+    UnrestrictedModel,
+    UnrestrictedMultiDimModel,
+)
+
+MODELS = [
+    FullDomainModel(),
+    AttributeSuppressionModel(),
+    SubtreeModel(),
+    GeneticSubtreeModel(seed=3),      # §6 ref [11]: locally minimal only
+    AnnealingSubtreeModel(seed=3),    # §6 ref [21]: locally minimal only
+    UnrestrictedModel(),
+    Partition1DModel(),
+    MultiDimSubgraphModel(),
+    UnrestrictedMultiDimModel(),
+    MondrianModel(),
+    CellSuppressionModel(),
+    CellGeneralizationModel(),
+]
+
+
+def main() -> None:
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 2_000
+    k = int(sys.argv[2]) if len(sys.argv) > 2 else 5
+    problem = adults_problem(rows, qi_size=4)
+    qi = problem.quasi_identifier
+    print(f"Problem: {problem}, k={k}")
+    print()
+
+    header = (
+        f"{'model':26s} {'axes (coding/scope/structure/dim)':42s} "
+        f"{'C_DM':>10s} {'C_AVG':>7s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for model in MODELS:
+        result = model.anonymize(problem, k)
+        descriptor = model.descriptor
+        axes = "/".join(descriptor.axes())
+        print(
+            f"{result.model:26s} {axes:42s} "
+            f"{discernibility(result.table, qi):>10d} "
+            f"{average_class_size(result.table, qi, k):>7.2f}"
+        )
+    print()
+    print(
+        "Lower is better on both metrics.  The ordering reproduces the\n"
+        "taxonomy's qualitative claims: multi-dimension recoding beats\n"
+        "single-dimension (reference [12]), and local recoding beats\n"
+        "global (Section 5.2), while full-domain — the model Incognito\n"
+        "searches completely and exactly — trades utility for having a\n"
+        "sound-and-complete, criterion-agnostic search."
+    )
+
+
+if __name__ == "__main__":
+    main()

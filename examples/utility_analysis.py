@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Research utility of an anonymized release.
+
+The paper's introduction motivates publishing microdata "for purposes such
+as public health and demographic research", and Section 2.1 argues users
+need *application-specific* minimality — "it might be more important in
+some applications that the Sex attribute be released intact".
+
+This example makes that concrete for a researcher studying salary by
+education: among the complete set of k-anonymous generalizations that
+Incognito returns, a height-minimal node may generalize education away,
+while a weighted-minimal node preserves it — and the same aggregate query
+(high-salary rate by education group) drifts far less on the latter
+release.
+
+    python examples/utility_analysis.py [rows] [k]
+"""
+
+import sys
+
+from repro import apply_generalization, basic_incognito
+from repro.datasets import adults_problem
+from repro.relational import Column
+from repro.relational.aggregate import aggregate
+
+
+def salary_rate_by_education(table) -> dict[str, float]:
+    """P(salary >50K) per education group, via the relational engine."""
+    with_flag = table.with_column(
+        "high",
+        Column.from_values(
+            1 if value == ">50K" else 0
+            for value in table.column("salary_class")
+        ),
+    )
+    grouped = aggregate(with_flag, ["education"], {"high": "mean"})
+    return dict(grouped.iter_rows())
+
+
+def drift_against(problem, node, original: dict[str, float]) -> tuple[int, float]:
+    """(education groups released, mean |rate drift|) for a chosen node."""
+    view = apply_generalization(problem, node)
+    released = salary_rate_by_education(view.table)
+    hierarchy = problem.hierarchy("education")
+    level = node.level_of("education")
+    drifts = []
+    for education, true_rate in original.items():
+        code = problem.table.column("education").code_of(education)
+        generalized = hierarchy.level_values(level)[
+            hierarchy.level_lookup(level)[code]
+        ]
+        drifts.append(abs(released[generalized] - true_rate))
+    return len(released), sum(drifts) / len(drifts)
+
+
+def main() -> None:
+    rows = int(sys.argv[1]) if len(sys.argv) > 1 else 15_000
+    k = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+    problem = adults_problem(rows, qi_size=6)
+    original = salary_rate_by_education(problem.table)
+    result = basic_incognito(problem, k)
+    print(f"Problem: {problem}, k={k}")
+    print(f"{len(result.anonymous_nodes)} {k}-anonymous generalizations\n")
+
+    choices = [
+        ("height-minimal", result.best_node()),
+        (
+            "education-weighted",
+            result.weighted_minimal({"education": 25.0}),
+        ),
+    ]
+    print(
+        f"{'minimality criterion':22s} {'education level':>16s} "
+        f"{'edu groups':>11s} {'mean |rate drift|':>18s}"
+    )
+    for label, node in choices:
+        groups, drift = drift_against(problem, node, original)
+        print(
+            f"{label:22s} {node.level_of('education'):>16d} "
+            f"{groups:>11d} {drift:>17.3f}"
+        )
+
+    print(
+        "\nBoth releases satisfy the same k-anonymity guarantee; only the\n"
+        "choice among Incognito's complete solution set differs.  A\n"
+        "single-answer algorithm (binary search, Datafly) cannot offer\n"
+        "this choice — the practical payoff of soundness & completeness."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""repro — a reproduction of *Incognito: Efficient Full-Domain K-Anonymity*
+(Kristen LeFevre, David J. DeWitt, Raghu Ramakrishnan, SIGMOD 2005).
+
+Quick start::
+
+    from repro import PreparedTable, basic_incognito
+    from repro.datasets import patients_table, patients_hierarchies
+
+    problem = PreparedTable(patients_table(), patients_hierarchies())
+    result = basic_incognito(problem, k=2)
+    view = result.apply(problem)
+    print(view.table.pretty())
+
+Package map:
+
+* :mod:`repro.relational` — in-memory columnar relational engine (the DB2
+  substitute): tables, group-by, joins, star schema.
+* :mod:`repro.hierarchy`  — domain/value generalization hierarchies.
+* :mod:`repro.lattice`    — generalization lattices and a-priori candidate
+  graph generation.
+* :mod:`repro.core`       — the Incognito variants and every baseline.
+* :mod:`repro.models`     — the Section 5 taxonomy of k-anonymization models.
+* :mod:`repro.metrics`    — information-loss metrics.
+* :mod:`repro.datasets`   — the paper's running example plus synthetic
+  Adults / Lands End generators.
+* :mod:`repro.attack`     — the joining (linkage) attack of Figure 1.
+* :mod:`repro.bench`      — the experiment harness regenerating the paper's
+  figures and tables.
+"""
+
+from repro.core import (
+    AnonymizationResult,
+    PreparedTable,
+    apply_generalization,
+    basic_incognito,
+    bottom_up_search,
+    check_k_anonymity,
+    cube_incognito,
+    datafly,
+    samarati_binary_search,
+    superroots_incognito,
+)
+from repro.lattice import GeneralizationLattice, LatticeNode
+from repro.relational import Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnonymizationResult",
+    "GeneralizationLattice",
+    "LatticeNode",
+    "PreparedTable",
+    "Table",
+    "apply_generalization",
+    "basic_incognito",
+    "bottom_up_search",
+    "check_k_anonymity",
+    "cube_incognito",
+    "datafly",
+    "samarati_binary_search",
+    "superroots_incognito",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Joining (linkage) attacks and their measurement (paper Figure 1)."""
+
+from repro.attack.joining import (
+    JoiningAttackReport,
+    joining_attack,
+    reidentification_rate,
+)
+
+__all__ = [
+    "JoiningAttackReport",
+    "joining_attack",
+    "reidentification_rate",
+]

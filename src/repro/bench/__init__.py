@@ -1,0 +1,41 @@
+"""Experiment harness regenerating the paper's evaluation (Section 4).
+
+* :mod:`~repro.bench.harness` — timed algorithm runs, series tables, and
+  plain-text rendering of figure data.
+* :mod:`~repro.bench.workloads` — the exact parameter sweeps behind each
+  figure and table: Figure 10 (time vs QI size), Figure 11 (time vs k),
+  Figure 12 (cube build/anonymize breakdown), and the Section 4.2.1
+  nodes-searched table.
+
+Run everything from the command line::
+
+    python -m repro.bench.run_figures all
+
+or regenerate one artifact (``fig10``, ``fig11``, ``fig12``, ``nodes``).
+"""
+
+from repro.bench.harness import (
+    ALGORITHMS,
+    MeasuredRun,
+    Series,
+    format_series_table,
+    run_algorithm,
+)
+from repro.bench.workloads import (
+    figure10_sweep,
+    figure11_sweep,
+    figure12_sweep,
+    nodes_searched_table,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "MeasuredRun",
+    "Series",
+    "figure10_sweep",
+    "figure11_sweep",
+    "figure12_sweep",
+    "format_series_table",
+    "nodes_searched_table",
+    "run_algorithm",
+]

@@ -1,0 +1,65 @@
+"""ASCII bar charts for figure series (no plotting dependencies offline).
+
+The paper's figures are line charts of elapsed time; in a terminal, a
+grouped horizontal bar chart per x-value reads better than a table when
+eyeballing who wins.  ``format_series_chart`` renders the same
+:class:`~repro.bench.harness.Series` data the tables use, with optional
+log scaling (the paper's effects span orders of magnitude).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from repro.bench.harness import MeasuredRun, Series
+
+#: glyph used for the bars
+_BAR = "#"
+
+
+def _scaled(value: float, maximum: float, width: int, log: bool) -> int:
+    """Bar length for ``value`` against ``maximum`` columns of ``width``."""
+    if value <= 0 or maximum <= 0:
+        return 0
+    if not log:
+        return max(1, round(width * value / maximum))
+    # log scale anchored two decades below the maximum
+    floor = maximum / 1000.0
+    position = math.log10(max(value, floor) / floor)
+    span = math.log10(maximum / floor)
+    return max(1, round(width * position / span))
+
+
+def format_series_chart(
+    title: str,
+    x_label: str,
+    series: Sequence[Series],
+    *,
+    width: int = 48,
+    log: bool = True,
+    value: Callable[[MeasuredRun], float] = lambda run: run.elapsed_seconds,
+    unit: str = "s",
+) -> str:
+    """Render series as grouped ASCII bars, one block per x value."""
+    if not series:
+        return f"{title}\n(no data)"
+    maximum = max(
+        (value(run) for line in series for run in line.runs), default=0.0
+    )
+    label_width = max(len(line.label) for line in series)
+    lines = [title, f"(bar scale: {'log' if log else 'linear'}, "
+                    f"max {maximum:.3f}{unit})"]
+    x_values = series[0].x_values
+    for position, x in enumerate(x_values):
+        lines.append(f"{x_label} = {x}")
+        for line in series:
+            if position >= len(line.runs):
+                continue
+            measured = value(line.runs[position])
+            bar = _BAR * _scaled(measured, maximum, width, log)
+            lines.append(
+                f"  {line.label.ljust(label_width)}  "
+                f"{measured:>9.3f}{unit}  {bar}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Timed algorithm runs and plain-text figure rendering.
+
+The paper reports "average cold performance numbers" over 2-3 runs on DB2;
+our in-memory engine has no buffer pool to flush, so :func:`run_algorithm`
+takes the best of ``repeats`` runs (less scheduler noise) and records the
+structural counters alongside wall-clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.binary_search import samarati_binary_search
+from repro.core.bottomup import bottom_up_search
+from repro.core.cube import cube_incognito
+from repro.core.datafly import datafly
+from repro.core.incognito import basic_incognito
+from repro.core.problem import PreparedTable
+from repro.core.result import AnonymizationResult
+from repro.core.superroots import superroots_incognito
+
+#: The six algorithm lines of Figure 10, keyed by their legend labels.
+ALGORITHMS: dict[str, Callable[..., AnonymizationResult]] = {
+    "Bottom-Up (w/o rollup)": lambda p, k: bottom_up_search(p, k, rollup=False),
+    "Binary Search": samarati_binary_search,
+    "Bottom-Up (w/ rollup)": lambda p, k: bottom_up_search(p, k, rollup=True),
+    "Basic Incognito": basic_incognito,
+    "Cube Incognito": cube_incognito,
+    "Super-roots Incognito": superroots_incognito,
+}
+
+#: Extra single-answer baseline (not in Figure 10's legend).
+EXTRA_ALGORITHMS: dict[str, Callable[..., AnonymizationResult]] = {
+    "Datafly": datafly,
+}
+
+
+@dataclass
+class MeasuredRun:
+    """One (algorithm, workload point) measurement."""
+
+    algorithm: str
+    elapsed_seconds: float
+    nodes_checked: int
+    table_scans: int
+    rollups: int
+    solutions: int
+    cube_build_seconds: float = 0.0
+
+    @property
+    def anonymization_seconds(self) -> float:
+        """Elapsed minus the Cube pre-computation phase (Figure 12 split)."""
+        return self.elapsed_seconds - self.cube_build_seconds
+
+
+@dataclass
+class Series:
+    """One line of a figure: an algorithm's measurements across x values."""
+
+    label: str
+    x_values: list = field(default_factory=list)
+    runs: list[MeasuredRun] = field(default_factory=list)
+
+    def add(self, x, run: MeasuredRun) -> None:
+        self.x_values.append(x)
+        self.runs.append(run)
+
+    def seconds(self) -> list[float]:
+        return [run.elapsed_seconds for run in self.runs]
+
+
+def run_algorithm(
+    name: str,
+    problem: PreparedTable,
+    k: int,
+    *,
+    repeats: int = 1,
+) -> MeasuredRun:
+    """Run one algorithm, keeping the fastest of ``repeats`` executions."""
+    try:
+        algorithm = ALGORITHMS[name]
+    except KeyError:
+        algorithm = EXTRA_ALGORITHMS[name]
+    best: AnonymizationResult | None = None
+    for _ in range(max(repeats, 1)):
+        result = algorithm(problem, k)
+        if best is None or result.stats.elapsed_seconds < best.stats.elapsed_seconds:
+            best = result
+    assert best is not None
+    return MeasuredRun(
+        algorithm=name,
+        elapsed_seconds=best.stats.elapsed_seconds,
+        nodes_checked=best.stats.nodes_checked,
+        table_scans=best.stats.table_scans,
+        rollups=best.stats.rollups,
+        solutions=len(best.anonymous_nodes),
+        cube_build_seconds=best.stats.cube_build_seconds,
+    )
+
+
+def format_series_table(
+    title: str,
+    x_label: str,
+    series: Sequence[Series],
+    *,
+    value: Callable[[MeasuredRun], float] = lambda run: run.elapsed_seconds,
+    unit: str = "s",
+) -> str:
+    """Render figure data as an aligned text table (one row per x value)."""
+    if not series:
+        return f"{title}\n(no data)"
+    x_values = series[0].x_values
+    header = [x_label] + [line.label for line in series]
+    rows = []
+    for position, x in enumerate(x_values):
+        row = [str(x)]
+        for line in series:
+            if position < len(line.runs):
+                row.append(f"{value(line.runs[position]):.3f}{unit}")
+            else:
+                row.append("-")
+        rows.append(row)
+    widths = [
+        max(len(header[col]), *(len(row[col]) for row in rows))
+        for col in range(len(header))
+    ]
+    out = [title]
+    out.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    out.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        out.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(out)

@@ -1,0 +1,134 @@
+"""Command-line entry point regenerating the paper's figures and tables.
+
+Usage::
+
+    python -m repro.bench.run_figures all            # everything
+    python -m repro.bench.run_figures fig10          # Figure 10 (4 panels)
+    python -m repro.bench.run_figures fig11          # Figure 11 (2 panels)
+    python -m repro.bench.run_figures fig12          # Figure 12 (2 panels)
+    python -m repro.bench.run_figures nodes          # §4.2.1 nodes table
+
+Scale knobs: ``REPRO_ADULTS_ROWS`` (default 45,222) and
+``REPRO_LANDSEND_ROWS`` (default 200,000).  Output goes to stdout and, with
+``--out DIR``, to one text file per artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.bench.harness import format_series_table
+from repro.bench.workloads import (
+    adults_rows,
+    figure10_sweep,
+    figure11_sweep,
+    figure12_sweep,
+    format_nodes_table,
+    landsend_rows,
+    nodes_searched_table,
+)
+
+
+def _progress(message: str) -> None:
+    print(f"  .. {message}", file=sys.stderr)
+
+
+def _emit(name: str, text: str, out_dir: Path | None) -> None:
+    print(text)
+    print()
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+
+
+def run_fig10(out_dir: Path | None) -> None:
+    from repro.bench.ascii_chart import format_series_chart
+
+    for database in ("adults", "landsend"):
+        for k in (2, 10):
+            series = figure10_sweep(database, k, progress=_progress)
+            title = (
+                f"Figure 10 — {database} database (k={k}): elapsed time vs "
+                f"quasi-identifier size"
+            )
+            text = format_series_table(title, "QID", series)
+            chart = format_series_chart(title, "QID", series)
+            _emit(f"fig10_{database}_k{k}", text + "\n\n" + chart, out_dir)
+
+
+def run_fig11(out_dir: Path | None) -> None:
+    from repro.bench.ascii_chart import format_series_chart
+
+    for database in ("adults", "landsend"):
+        series = figure11_sweep(database, progress=_progress)
+        title = f"Figure 11 — {database} database: elapsed time vs k"
+        text = format_series_table(title, "k", series)
+        chart = format_series_chart(title, "k", series)
+        _emit(f"fig11_{database}", text + "\n\n" + chart, out_dir)
+
+
+def run_fig12(out_dir: Path | None) -> None:
+    for database in ("adults", "landsend"):
+        line = figure12_sweep(database, progress=_progress)
+        title = (
+            f"Figure 12 — {database} database (k=2): Cube Incognito cost "
+            f"breakdown vs quasi-identifier size"
+        )
+        build = format_series_table(
+            title + " [cube build]",
+            "QID",
+            [line],
+            value=lambda run: run.cube_build_seconds,
+        )
+        anonymize = format_series_table(
+            title + " [anonymization]",
+            "QID",
+            [line],
+            value=lambda run: run.anonymization_seconds,
+        )
+        _emit(f"fig12_{database}", build + "\n\n" + anonymize, out_dir)
+
+
+def run_nodes(out_dir: Path | None) -> None:
+    rows = nodes_searched_table(progress=_progress)
+    title = (
+        "Section 4.2.1 — nodes searched (Adults, k=2, varied QID size)\n"
+    )
+    _emit("nodes_searched", title + format_nodes_table(rows), out_dir)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "artifact",
+        choices=["all", "fig10", "fig11", "fig12", "nodes"],
+        help="which figure/table to regenerate",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="directory for text outputs"
+    )
+    args = parser.parse_args(argv)
+
+    print(
+        f"(rows: adults={adults_rows()}, landsend={landsend_rows()}; "
+        "set REPRO_ADULTS_ROWS / REPRO_LANDSEND_ROWS to rescale)\n",
+        file=sys.stderr,
+    )
+    runners = {
+        "fig10": run_fig10,
+        "fig11": run_fig11,
+        "fig12": run_fig12,
+        "nodes": run_nodes,
+    }
+    if args.artifact == "all":
+        for runner in runners.values():
+            runner(args.out)
+    else:
+        runners[args.artifact](args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,195 @@
+"""The paper's experimental workloads (Section 4), parameterised.
+
+Row counts honour two environment variables so the sweeps scale from CI
+smoke runs to full-size reproductions:
+
+* ``REPRO_ADULTS_ROWS``   — default 45,222 (the paper's cleaned size);
+* ``REPRO_LANDSEND_ROWS`` — default 200,000 (paper: 4,591,581; see
+  DESIGN.md on why the curve shapes are row-count invariant).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Sequence
+
+from repro.bench.harness import ALGORITHMS, Series, run_algorithm
+from repro.core.problem import PreparedTable
+from repro.datasets.adults import ADULTS_QI, adults_problem
+from repro.datasets.landsend import LANDSEND_QI, landsend_problem
+
+
+def _env_rows(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+def adults_rows() -> int:
+    return _env_rows("REPRO_ADULTS_ROWS", 45_222)
+
+
+def landsend_rows() -> int:
+    return _env_rows("REPRO_LANDSEND_ROWS", 200_000)
+
+
+def make_problem(database: str, qi_size: int, *, rows: int | None = None) -> PreparedTable:
+    """Build the problem for one sweep point of either database."""
+    if database == "adults":
+        return adults_problem(rows if rows is not None else adults_rows(), qi_size=qi_size)
+    if database == "landsend":
+        return landsend_problem(
+            rows if rows is not None else landsend_rows(), qi_size=qi_size
+        )
+    raise ValueError(f"unknown database {database!r}")
+
+
+#: Figure 10's QI-size ranges ("we began with the first three attributes").
+FIGURE10_QI_SIZES = {
+    "adults": tuple(range(3, len(ADULTS_QI) + 1)),      # 3..9
+    "landsend": tuple(range(1, 7)),                      # 1..6 as plotted
+}
+
+#: Figure 11's k values.
+FIGURE11_KS = (2, 5, 10, 25, 50)
+
+
+def figure10_sweep(
+    database: str,
+    k: int,
+    *,
+    qi_sizes: Sequence[int] | None = None,
+    algorithms: Sequence[str] | None = None,
+    rows: int | None = None,
+    repeats: int = 1,
+    progress: Callable[[str], None] | None = None,
+) -> list[Series]:
+    """Elapsed time vs quasi-identifier size, all six algorithms (Fig 10)."""
+    if qi_sizes is None:
+        qi_sizes = FIGURE10_QI_SIZES[database]
+    if algorithms is None:
+        algorithms = list(ALGORITHMS)
+    series = {name: Series(name) for name in algorithms}
+    for qi_size in qi_sizes:
+        problem = make_problem(database, qi_size, rows=rows)
+        for name in algorithms:
+            run = run_algorithm(name, problem, k, repeats=repeats)
+            series[name].add(qi_size, run)
+            if progress is not None:
+                progress(
+                    f"fig10[{database} k={k}] qid={qi_size} {name}: "
+                    f"{run.elapsed_seconds:.3f}s ({run.nodes_checked} nodes)"
+                )
+    return [series[name] for name in algorithms]
+
+
+def figure11_sweep(
+    database: str,
+    *,
+    ks: Sequence[int] = FIGURE11_KS,
+    rows: int | None = None,
+    repeats: int = 1,
+    progress: Callable[[str], None] | None = None,
+) -> list[Series]:
+    """Elapsed time vs k for fixed quasi-identifier size (Fig 11).
+
+    Adults uses QID 8 for every algorithm; Lands End is "staggered" like the
+    paper's plot — Binary Search at QID 6 (its QID-8 lattice is intractable
+    for it), the Incognito variants at QID 8.
+    """
+    if database == "adults":
+        lineup = [
+            ("Binary Search", 8),
+            ("Bottom-Up (w/ rollup)", 8),
+            ("Basic Incognito", 8),
+            ("Super-roots Incognito", 8),
+        ]
+    elif database == "landsend":
+        lineup = [
+            ("Binary Search (QID = 6)", 6),
+            ("Basic Incognito (QID = 8)", 8),
+            ("Super-roots Incognito (QID = 8)", 8),
+        ]
+    else:
+        raise ValueError(f"unknown database {database!r}")
+
+    problems = {
+        qi_size: make_problem(database, qi_size, rows=rows)
+        for qi_size in {qi for _, qi in lineup}
+    }
+    series = []
+    for label, qi_size in lineup:
+        algorithm = label.split(" (QID")[0]
+        line = Series(label)
+        for k in ks:
+            run = run_algorithm(algorithm, problems[qi_size], k, repeats=repeats)
+            line.add(k, run)
+            if progress is not None:
+                progress(
+                    f"fig11[{database}] k={k} {label}: {run.elapsed_seconds:.3f}s"
+                )
+        series.append(line)
+    return series
+
+
+def figure12_sweep(
+    database: str,
+    *,
+    k: int = 2,
+    qi_sizes: Sequence[int] | None = None,
+    rows: int | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> Series:
+    """Cube Incognito's build/anonymize cost breakdown vs QI size (Fig 12)."""
+    if qi_sizes is None:
+        qi_sizes = (
+            tuple(range(3, len(ADULTS_QI) + 1))
+            if database == "adults"
+            else tuple(range(3, len(LANDSEND_QI) + 1))
+        )
+    line = Series("Cube Incognito")
+    for qi_size in qi_sizes:
+        problem = make_problem(database, qi_size, rows=rows)
+        run = run_algorithm("Cube Incognito", problem, k)
+        line.add(qi_size, run)
+        if progress is not None:
+            progress(
+                f"fig12[{database}] qid={qi_size}: build "
+                f"{run.cube_build_seconds:.3f}s + anonymize "
+                f"{run.anonymization_seconds:.3f}s"
+            )
+    return line
+
+
+def nodes_searched_table(
+    *,
+    k: int = 2,
+    qi_sizes: Sequence[int] = tuple(range(3, 10)),
+    rows: int | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> list[tuple[int, int, int]]:
+    """The Section 4.2.1 in-text table: nodes searched, Bottom-Up vs Incognito.
+
+    Returns ``(qi_size, bottom_up_nodes, incognito_nodes)`` rows for the
+    Adults database at the given ``k``.
+    """
+    table = []
+    for qi_size in qi_sizes:
+        problem = make_problem("adults", qi_size, rows=rows)
+        bottom_up = run_algorithm("Bottom-Up (w/ rollup)", problem, k)
+        incognito = run_algorithm("Basic Incognito", problem, k)
+        table.append((qi_size, bottom_up.nodes_checked, incognito.nodes_checked))
+        if progress is not None:
+            progress(
+                f"nodes[k={k}] qid={qi_size}: bottom-up "
+                f"{bottom_up.nodes_checked} vs incognito {incognito.nodes_checked}"
+            )
+    return table
+
+
+def format_nodes_table(rows: list[tuple[int, int, int]]) -> str:
+    """Render the nodes-searched table like the paper's in-text listing."""
+    lines = ["QID size  Bottom-Up  Incognito"]
+    lines.append("-" * len(lines[0]))
+    for qi_size, bottom_up, incognito in rows:
+        lines.append(f"{qi_size:>8}  {bottom_up:>9}  {incognito:>9}")
+    return "\n".join(lines)

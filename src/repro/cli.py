@@ -1,0 +1,301 @@
+"""Command-line interface: anonymize, check, and attack CSV files.
+
+Subcommands
+-----------
+
+``anonymize``
+    K-anonymize a CSV with a JSON hierarchy spec::
+
+        python -m repro anonymize people.csv --hierarchies spec.json \\
+            --k 5 --algorithm basic --output released.csv
+
+    The spec file maps quasi-identifier attribute names to hierarchy
+    specs (see :mod:`repro.hierarchy.spec` for the format).
+
+``check``
+    Verify a CSV satisfies k-anonymity over a quasi-identifier::
+
+        python -m repro check released.csv --qi age,sex,zip --k 5
+
+``attack``
+    Run the Figure 1 joining attack of an external CSV against a
+    released CSV::
+
+        python -m repro attack voters.csv released.csv --qi birth,sex,zip
+
+``model``
+    Anonymize with any Section 5 taxonomy model::
+
+        python -m repro model mondrian people.csv --qi age,sex,zip --k 5 \\
+            --output released.csv
+
+    Hierarchy-based models need ``--hierarchies``; partition-based models
+    (mondrian, partition-1d, k-optimize) order the raw domains and need
+    none (absent spec entries default to one-step suppression).
+
+The figure/table benchmarks have their own entry point:
+``python -m repro.bench.run_figures``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.attack.joining import joining_attack
+from repro.core.anonymity import check_k_anonymity
+from repro.core.binary_search import samarati_binary_search
+from repro.core.bottomup import bottom_up_search
+from repro.core.cube import cube_incognito
+from repro.core.datafly import datafly
+from repro.core.incognito import basic_incognito
+from repro.core.problem import PreparedTable
+from repro.core.superroots import superroots_incognito
+from repro.hierarchy.spec import hierarchies_from_spec
+from repro.relational.csvio import read_csv, write_csv
+from repro.relational.groupby import group_by_count
+
+ALGORITHMS: dict[str, Callable] = {
+    "basic": basic_incognito,
+    "superroots": superroots_incognito,
+    "cube": cube_incognito,
+    "binary": samarati_binary_search,
+    "bottomup": bottom_up_search,
+    "datafly": datafly,
+}
+
+
+def _parse_weights(text: str) -> dict[str, float]:
+    """Parse ``attr=weight,attr=weight`` pairs."""
+    weights = {}
+    for pair in text.split(","):
+        if not pair:
+            continue
+        name, _, value = pair.partition("=")
+        if not value:
+            raise argparse.ArgumentTypeError(
+                f"weights must be attr=number pairs, got {pair!r}"
+            )
+        weights[name] = float(value)
+    return weights
+
+
+def _comma_list(text: str) -> list[str]:
+    return [item for item in text.split(",") if item]
+
+
+def cmd_anonymize(args: argparse.Namespace) -> int:
+    table = read_csv(args.input)
+    spec = json.loads(Path(args.hierarchies).read_text())
+    hierarchies = hierarchies_from_spec(spec)
+    qi = args.qi if args.qi else list(hierarchies)
+    problem = PreparedTable(table, hierarchies, qi)
+
+    algorithm = ALGORITHMS[args.algorithm]
+    result = algorithm(problem, args.k, max_suppression=args.max_suppression)
+    if not result.found:
+        print(
+            f"no {args.k}-anonymous full-domain generalization exists "
+            f"(suppression budget {args.max_suppression})",
+            file=sys.stderr,
+        )
+        return 1
+
+    print(result.describe())
+    if args.show_all:
+        for node in result.anonymous_nodes:
+            print(f"  {node.label()}  (height {node.height})")
+
+    if args.weights:
+        node = result.weighted_minimal(args.weights)
+    else:
+        node = result.best_node()
+    view = result.apply(problem, node)
+    print(f"selected generalization: {node.label()}")
+    if view.suppressed_rows:
+        print(f"suppressed {view.suppressed_rows} outlier row(s)")
+
+    if args.output:
+        write_csv(view.table, args.output)
+        print(f"wrote {view.table.num_rows} rows to {args.output}")
+    else:
+        print(view.table.pretty(limit=args.preview))
+    return 0
+
+
+def _model_registry() -> dict[str, Callable]:
+    from repro.models import (
+        AnnealingSubtreeModel,
+        AttributeSuppressionModel,
+        CellGeneralizationModel,
+        CellSuppressionModel,
+        FullDomainModel,
+        GeneticSubtreeModel,
+        KOptimizeModel,
+        MondrianModel,
+        MultiDimSubgraphModel,
+        Partition1DModel,
+        SubtreeModel,
+        UnrestrictedModel,
+        UnrestrictedMultiDimModel,
+    )
+
+    return {
+        "full-domain": FullDomainModel,
+        "attribute-suppression": AttributeSuppressionModel,
+        "subtree": SubtreeModel,
+        "genetic": GeneticSubtreeModel,
+        "annealing": AnnealingSubtreeModel,
+        "unrestricted": UnrestrictedModel,
+        "partition-1d": Partition1DModel,
+        "k-optimize": KOptimizeModel,
+        "multidim-subgraph": MultiDimSubgraphModel,
+        "multidim-unrestricted": UnrestrictedMultiDimModel,
+        "mondrian": MondrianModel,
+        "cell-suppression": CellSuppressionModel,
+        "cell-generalization": CellGeneralizationModel,
+    }
+
+
+def cmd_model(args: argparse.Namespace) -> int:
+    from repro.hierarchy import SuppressionHierarchy
+    from repro.metrics import average_class_size, discernibility
+
+    table = read_csv(args.input)
+    if args.hierarchies:
+        spec = json.loads(Path(args.hierarchies).read_text())
+        hierarchies = hierarchies_from_spec(spec)
+    else:
+        hierarchies = {}
+    qi = args.qi if args.qi else list(hierarchies)
+    if not qi:
+        print("--qi (or a hierarchy spec) is required", file=sys.stderr)
+        return 2
+    for name in qi:  # partition models don't need real hierarchies
+        hierarchies.setdefault(name, SuppressionHierarchy())
+    problem = PreparedTable(table, hierarchies, qi)
+
+    model = _model_registry()[args.model]()
+    result = model.anonymize(problem, args.k)
+    print(
+        f"{result.model}: C_DM={discernibility(result.table, qi)} "
+        f"C_AVG={average_class_size(result.table, qi, args.k):.2f}"
+        + (
+            f" suppressed_rows={result.suppressed_rows}"
+            if result.suppressed_rows
+            else ""
+        )
+    )
+    if args.output:
+        write_csv(result.table, args.output)
+        print(f"wrote {result.table.num_rows} rows to {args.output}")
+    else:
+        print(result.table.pretty(limit=args.preview))
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    table = read_csv(args.input)
+    result = group_by_count(table, args.qi)
+    anonymous = check_k_anonymity(table, args.qi, args.k)
+    smallest = result.min_count()
+    print(
+        f"{args.input}: {table.num_rows} rows, {result.num_groups} "
+        f"equivalence classes over {args.qi}; smallest class {smallest}"
+    )
+    print(f"{args.k}-anonymous: {'YES' if anonymous else 'NO'}")
+    if not anonymous:
+        exposed = result.counts < args.k
+        print(
+            f"{int(result.counts[exposed].sum())} row(s) live in classes "
+            f"smaller than {args.k}"
+        )
+    return 0 if anonymous else 1
+
+
+def cmd_attack(args: argparse.Namespace) -> int:
+    external = read_csv(args.external)
+    released = read_csv(args.released)
+    report = joining_attack(external, released, args.qi)
+    print(report.describe())
+    return 0 if report.uniquely_linked == 0 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Full-domain k-anonymization (Incognito reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    anonymize = commands.add_parser(
+        "anonymize", help="k-anonymize a CSV file"
+    )
+    anonymize.add_argument("input", help="input CSV (with header row)")
+    anonymize.add_argument(
+        "--hierarchies", required=True,
+        help="JSON file mapping QI attributes to hierarchy specs",
+    )
+    anonymize.add_argument("--k", type=int, required=True)
+    anonymize.add_argument(
+        "--qi", type=_comma_list, default=None,
+        help="comma-separated QI attributes (default: all spec keys)",
+    )
+    anonymize.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default="basic"
+    )
+    anonymize.add_argument("--max-suppression", type=int, default=0)
+    anonymize.add_argument(
+        "--weights", type=_parse_weights, default=None,
+        help="minimality weights, e.g. age=5,sex=0.1",
+    )
+    anonymize.add_argument("--output", default=None, help="output CSV path")
+    anonymize.add_argument("--preview", type=int, default=10)
+    anonymize.add_argument(
+        "--show-all", action="store_true",
+        help="list every k-anonymous generalization found",
+    )
+    anonymize.set_defaults(run=cmd_anonymize)
+
+    check = commands.add_parser("check", help="verify k-anonymity of a CSV")
+    check.add_argument("input")
+    check.add_argument("--qi", type=_comma_list, required=True)
+    check.add_argument("--k", type=int, required=True)
+    check.set_defaults(run=cmd_check)
+
+    attack = commands.add_parser(
+        "attack", help="joining attack: external CSV vs released CSV"
+    )
+    attack.add_argument("external")
+    attack.add_argument("released")
+    attack.add_argument("--qi", type=_comma_list, required=True)
+    attack.set_defaults(run=cmd_attack)
+
+    model = commands.add_parser(
+        "model", help="anonymize with a Section 5 taxonomy model"
+    )
+    model.add_argument("model", choices=sorted(_model_registry()))
+    model.add_argument("input")
+    model.add_argument("--k", type=int, required=True)
+    model.add_argument("--qi", type=_comma_list, default=None)
+    model.add_argument(
+        "--hierarchies", default=None,
+        help="JSON hierarchy spec (needed by hierarchy-based models)",
+    )
+    model.add_argument("--output", default=None)
+    model.add_argument("--preview", type=int, default=10)
+    model.set_defaults(run=cmd_model)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,298 @@
+"""Frequency sets and k-anonymity checks (paper Sections 1.1 and 3).
+
+A :class:`FrequencySet` is the paper's central data structure: the result of
+``SELECT COUNT(*) ... GROUP BY`` over the table generalized to some lattice
+node.  It supports the two properties the algorithms exploit:
+
+* **Rollup property** — :meth:`FrequencySet.rollup` re-aggregates an
+  existing frequency set up the hierarchy of one or more attributes without
+  touching the base table.
+* **Subset property** (data-cube direction) — :meth:`FrequencySet.project`
+  drops attributes and re-aggregates, producing the frequency set of a
+  quasi-identifier subset (used by Cube Incognito's pre-computation).
+
+:class:`FrequencyEvaluator` wraps a :class:`~repro.core.problem.PreparedTable`
+with a :class:`~repro.core.stats.SearchStats`, so every algorithm draws its
+frequency sets through one instrumented chokepoint.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.problem import PreparedTable
+from repro.core.stats import SearchStats
+from repro.lattice.node import LatticeNode
+from repro.relational.groupby import group_by_codes
+from repro.relational.table import Table
+
+
+class FrequencySet:
+    """The frequency set of a table with respect to a lattice node.
+
+    Attributes
+    ----------
+    node:
+        The generalization this frequency set was computed at.
+    key_codes:
+        ``(num_groups, node.size)`` array; column j holds codes into
+        attribute j's level-``node.levels[j]`` dictionary.
+    counts:
+        Group sizes, int64.
+    problem:
+        The owning problem (supplies dictionaries for decoding).
+    """
+
+    __slots__ = ("node", "key_codes", "counts", "problem")
+
+    def __init__(
+        self,
+        node: LatticeNode,
+        key_codes: np.ndarray,
+        counts: np.ndarray,
+        problem: PreparedTable,
+    ) -> None:
+        self.node = node
+        self.key_codes = key_codes
+        self.counts = counts
+        self.problem = problem
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_groups(self) -> int:
+        return int(self.counts.shape[0])
+
+    def min_count(self) -> int:
+        return int(self.counts.min()) if self.counts.size else 0
+
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    def rows_below(self, k: int) -> int:
+        """Total tuples living in groups smaller than ``k`` (outliers)."""
+        if not self.counts.size:
+            return 0
+        small = self.counts < k
+        return int(self.counts[small].sum())
+
+    def is_k_anonymous(self, k: int, max_suppression: int = 0) -> bool:
+        """The k-anonymity property, with the optional suppression threshold.
+
+        Without suppression this is simply ``min count >= k``.  With a
+        threshold, a table counts as k-anonymous if removing all tuples in
+        undersized groups stays within ``max_suppression`` rows (the paper's
+        "up to a certain number of records may be completely excluded").
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if max_suppression == 0:
+            return self.min_count() >= k
+        return self.rows_below(k) <= max_suppression
+
+    def group_values(self, group: int) -> tuple:
+        """Decode group ``group``'s generalized value combination."""
+        values = []
+        for position, (attribute, level) in enumerate(self.node.items()):
+            dictionary = self.problem.hierarchy(attribute).level_values(level)
+            values.append(dictionary[self.key_codes[group, position]])
+        return tuple(values)
+
+    def as_dict(self) -> dict[tuple, int]:
+        return {
+            self.group_values(g): int(self.counts[g])
+            for g in range(self.num_groups)
+        }
+
+    def to_table(self, count_name: str = "count") -> Table:
+        """The relational representation (F1 of the paper's rollup example)."""
+        from repro.relational.column import CODE_DTYPE, Column
+        from repro.relational.schema import Schema
+
+        columns = []
+        for position, (attribute, level) in enumerate(self.node.items()):
+            dictionary = self.problem.hierarchy(attribute).level_values(level)
+            columns.append(
+                Column(self.key_codes[:, position].astype(CODE_DTYPE), dictionary)
+            )
+        columns.append(Column.from_values(int(c) for c in self.counts))
+        schema = Schema.of(*self.node.attributes, count_name)
+        return Table(schema, columns)
+
+    # ------------------------------------------------------------------
+    # derivation (the rollup and cube primitives)
+    # ------------------------------------------------------------------
+    def rollup(self, target: LatticeNode) -> "FrequencySet":
+        """Re-aggregate up the hierarchies to ``target`` (rollup property).
+
+        ``target`` must share this node's attribute set with every level
+        greater than or equal to the current one.  Works for multi-level,
+        multi-attribute jumps (used by super-roots).
+        """
+        self.node.distance_vector(target)  # validates comparability
+        code_arrays = []
+        radices = []
+        for position, attribute in enumerate(self.node.attributes):
+            hierarchy = self.problem.hierarchy(attribute)
+            from_level = self.node.levels[position]
+            to_level = target.levels[position]
+            codes = self.key_codes[:, position]
+            if to_level != from_level:
+                codes = hierarchy.mapping_between(from_level, to_level)[codes]
+            code_arrays.append(codes)
+            radices.append(hierarchy.cardinality(to_level))
+        key_codes, counts = _regroup_weighted(code_arrays, radices, self.counts)
+        return FrequencySet(target, key_codes, counts, self.problem)
+
+    def project(self, attributes: Sequence[str]) -> "FrequencySet":
+        """Drop attributes and re-aggregate (the data-cube/subset direction)."""
+        attributes = tuple(attributes)
+        if not attributes:
+            raise ValueError("cannot project a frequency set to no attributes")
+        positions = [self.node.attributes.index(name) for name in attributes]
+        target = self.node.subset(attributes)
+        code_arrays = [self.key_codes[:, position] for position in positions]
+        radices = [
+            self.problem.hierarchy(name).cardinality(target.levels[i])
+            for i, name in enumerate(attributes)
+        ]
+        key_codes, counts = _regroup_weighted(code_arrays, radices, self.counts)
+        return FrequencySet(target, key_codes, counts, self.problem)
+
+
+def _regroup_weighted(
+    code_arrays: Sequence[np.ndarray],
+    radices: Sequence[int],
+    weights: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Group code rows and SUM ``weights`` per group (SUM(count) GROUP BY).
+
+    Mirrors :func:`repro.relational.groupby.group_by_codes` but aggregates a
+    weight column instead of counting rows — this is the paper's
+    ``SUM(count) ... GROUP BY`` rollup query.
+    """
+    from repro.relational.column import CODE_DTYPE
+
+    if not code_arrays:
+        raise ValueError("regroup requires at least one key column")
+    num_rows = code_arrays[0].shape[0]
+    if num_rows == 0:
+        empty = np.empty((0, len(code_arrays)), dtype=CODE_DTYPE)
+        return empty, np.empty(0, dtype=np.int64)
+
+    # Dense mixed-radix keying (same fast path as group_by_codes): combine
+    # the key columns into one int64 per row, aggregate with bincount over
+    # the inverse index, then decode the unique keys back to code columns.
+    space = 1
+    dense = True
+    for radix in radices:
+        space *= max(radix, 1)
+        if space > 1 << 62:
+            dense = False
+            break
+    if dense:
+        keys = np.zeros(num_rows, dtype=np.int64)
+        for codes, radix in zip(code_arrays, radices):
+            keys *= max(radix, 1)
+            keys += codes
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+        sums = np.bincount(
+            inverse, weights=weights.astype(np.float64),
+            minlength=unique_keys.shape[0],
+        )
+        key_codes = np.empty((unique_keys.shape[0], len(code_arrays)), dtype=CODE_DTYPE)
+        remaining = unique_keys.copy()
+        for position in range(len(code_arrays) - 1, -1, -1):
+            radix = max(radices[position], 1)
+            key_codes[:, position] = remaining % radix
+            remaining //= radix
+        return key_codes, np.round(sums).astype(np.int64)
+
+    stacked = np.column_stack(
+        [np.asarray(codes, dtype=np.int64) for codes in code_arrays]
+    )
+    unique_rows, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    sums = np.bincount(
+        inverse, weights=weights.astype(np.float64), minlength=unique_rows.shape[0]
+    )
+    return unique_rows.astype(CODE_DTYPE), np.round(sums).astype(np.int64)
+
+
+def compute_frequency_set(
+    problem: PreparedTable, node: LatticeNode
+) -> FrequencySet:
+    """Frequency set of the base table at ``node`` — one full table scan."""
+    code_arrays = []
+    radices = []
+    for attribute, level in node.items():
+        hierarchy = problem.hierarchy(attribute)
+        base_codes = problem.table.column(attribute).codes
+        code_arrays.append(hierarchy.generalize_codes(base_codes, level))
+        radices.append(hierarchy.cardinality(level))
+    key_codes, counts = group_by_codes(code_arrays, radices)
+    return FrequencySet(node, key_codes, counts, problem)
+
+
+def check_k_anonymity(
+    table: Table,
+    quasi_identifier: Sequence[str],
+    k: int,
+    *,
+    max_suppression: int = 0,
+) -> bool:
+    """Independent k-anonymity check on a plain table (no hierarchies).
+
+    This is the paper's SQL definition evaluated directly —
+    ``SELECT COUNT(*) GROUP BY quasi_identifier`` with every count >= k —
+    used by tests and examples to validate algorithm outputs without
+    trusting any algorithm machinery.
+    """
+    from repro.relational.groupby import group_by_count
+
+    if table.num_rows == 0:
+        return True
+    result = group_by_count(table, list(quasi_identifier))
+    if max_suppression == 0:
+        return result.min_count() >= k
+    small = result.counts < k
+    return int(result.counts[small].sum()) <= max_suppression
+
+
+class FrequencyEvaluator:
+    """Instrumented frequency-set factory shared by all algorithms."""
+
+    def __init__(self, problem: PreparedTable, stats: SearchStats | None = None) -> None:
+        self.problem = problem
+        self.stats = stats if stats is not None else SearchStats()
+
+    def scan(self, node: LatticeNode) -> FrequencySet:
+        """Compute from the base table (counted as a table scan)."""
+        result = compute_frequency_set(self.problem, node)
+        self.stats.table_scans += 1
+        self.stats.frequency_set_rows += result.num_groups
+        return result
+
+    def rollup(self, source: FrequencySet, target: LatticeNode) -> FrequencySet:
+        """Compute by rollup from ``source`` (counted as a rollup)."""
+        result = source.rollup(target)
+        self.stats.rollups += 1
+        self.stats.frequency_set_rows += result.num_groups
+        self.stats.rollup_source_rows += source.num_groups
+        return result
+
+    def project(self, source: FrequencySet, attributes: Sequence[str]) -> FrequencySet:
+        """Compute by projecting attributes out (counted as a projection)."""
+        result = source.project(attributes)
+        self.stats.projections += 1
+        self.stats.frequency_set_rows += result.num_groups
+        return result
+
+    def decide(
+        self, node: LatticeNode, frequency_set: FrequencySet, k: int, max_suppression: int
+    ) -> bool:
+        """Check anonymity and record the node decision."""
+        self.stats.record_check(node.size)
+        return frequency_set.is_k_anonymous(k, max_suppression)

@@ -1,0 +1,188 @@
+"""The Incognito algorithm (paper Section 3, Figure 8).
+
+Incognito computes the set of *all* k-anonymous full-domain generalizations
+by iterating over quasi-identifier subset sizes.  Iteration i searches a
+candidate graph of i-attribute generalizations with a modified bottom-up
+breadth-first search that exploits:
+
+* the **rollup property** — a non-root node's frequency set is derived from
+  the frequency set of the (failed) parent it was reached from, never by
+  re-scanning the table;
+* the **generalization property** — when a node checks out k-anonymous, all
+  of its direct generalizations are marked and skipped;
+
+and then builds iteration i+1's candidates with the **subset property**
+(a-priori join/prune/edge generation, :mod:`repro.lattice.generation`).
+
+The engine below is shared by the three variants, which differ only in how
+*root* frequency sets are obtained:
+
+* **Basic** — scan the base table once per root;
+* **Super-roots** (Section 3.3.1) — one scan per root *family* at the
+  family's greatest lower bound, roots derived by rollup;
+* **Cube** (Section 3.3.2) — no scans during the search at all: roots roll
+  up from pre-computed zero-generalization frequency sets.
+
+One deliberate deviation from the literal Figure 8 pseudocode: when a
+*marked* node is dequeued we propagate its mark to its direct
+generalizations before skipping it.  Figure 8 as printed just skips, which
+can re-check a node that is provably anonymous when it is reachable both
+from an anonymous node (marked) and a failed one (queued); the propagation
+matches the generalization property's intent and the paper's node counts.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+from typing import Callable, Sequence
+
+from repro.core.anonymity import FrequencyEvaluator, FrequencySet
+from repro.core.problem import PreparedTable
+from repro.core.result import AnonymizationResult, make_result
+from repro.core.stats import SearchStats
+from repro.lattice.generation import graph_generation, initial_graph
+from repro.lattice.graph import CandidateGraph
+from repro.lattice.node import LatticeNode
+
+
+class RootProvider:
+    """Strategy object supplying frequency sets for candidate-graph roots."""
+
+    def prepare(self, evaluator: FrequencyEvaluator, graph: CandidateGraph) -> None:
+        """Hook called once per iteration before the search starts."""
+
+    def frequency_set(
+        self, evaluator: FrequencyEvaluator, node: LatticeNode
+    ) -> FrequencySet:
+        raise NotImplementedError
+
+
+class ScanRootProvider(RootProvider):
+    """Basic Incognito: every root costs one scan of the base table."""
+
+    def frequency_set(
+        self, evaluator: FrequencyEvaluator, node: LatticeNode
+    ) -> FrequencySet:
+        return evaluator.scan(node)
+
+
+def _search_graph(
+    evaluator: FrequencyEvaluator,
+    graph: CandidateGraph,
+    k: int,
+    max_suppression: int,
+    provider: RootProvider,
+) -> list[LatticeNode]:
+    """One iteration's modified BFS; returns the surviving (anonymous) nodes.
+
+    Nodes enter the priority queue (ordered by height) either as roots or as
+    direct generalizations of failed nodes.  Failed nodes cache their
+    frequency sets so children can roll up from them; a cache entry is
+    released once all queue entries referencing it have been consumed.
+    """
+    stats = evaluator.stats
+    survivors = set(graph.nodes)
+    marked: set[LatticeNode] = set()
+    visited: set[LatticeNode] = set()
+    freq_cache: dict[LatticeNode, FrequencySet] = {}
+    pending_children: dict[LatticeNode, int] = {}
+
+    counter = itertools.count()
+    heap: list[tuple[int, int, LatticeNode, LatticeNode | None]] = []
+    for root in graph.roots():
+        heapq.heappush(heap, (root.height, next(counter), root, None))
+
+    def release(parent: LatticeNode | None) -> None:
+        if parent is None:
+            return
+        pending_children[parent] -= 1
+        if pending_children[parent] == 0:
+            del pending_children[parent]
+            del freq_cache[parent]
+
+    while heap:
+        _, _, node, parent = heapq.heappop(heap)
+        if node in visited:
+            release(parent)
+            continue
+        visited.add(node)
+
+        if node in marked:
+            # Anonymous by the generalization property; propagate the mark.
+            stats.nodes_marked += 1
+            marked.update(graph.direct_generalizations(node))
+            release(parent)
+            continue
+
+        if parent is None:
+            frequency_set = provider.frequency_set(evaluator, node)
+        else:
+            frequency_set = evaluator.rollup(freq_cache[parent], node)
+            release(parent)
+
+        if evaluator.decide(node, frequency_set, k, max_suppression):
+            marked.update(graph.direct_generalizations(node))
+        else:
+            survivors.discard(node)
+            children = graph.direct_generalizations(node)
+            if children:
+                freq_cache[node] = frequency_set
+                pending_children[node] = len(children)
+                for child in children:
+                    heapq.heappush(
+                        heap, (child.height, next(counter), child, node)
+                    )
+
+    return sorted(survivors, key=LatticeNode.sort_key)
+
+
+def run_incognito(
+    problem: PreparedTable,
+    k: int,
+    *,
+    max_suppression: int = 0,
+    provider_factory: Callable[[PreparedTable, FrequencyEvaluator], RootProvider]
+    | None = None,
+    algorithm: str = "basic-incognito",
+) -> AnonymizationResult:
+    """Shared driver for the Incognito variants (Figure 8's outer loop)."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    qi = problem.quasi_identifier
+    stats = SearchStats()
+    evaluator = FrequencyEvaluator(problem, stats)
+    started = time.perf_counter()
+    # Provider construction may do real work (Cube Incognito's
+    # pre-computation phase) so it is timed as part of the run.
+    if provider_factory is None:
+        provider = ScanRootProvider()
+    else:
+        provider = provider_factory(problem, evaluator)
+    graph = initial_graph(qi, problem.heights)
+    survivors: Sequence[LatticeNode] = []
+    for size in range(1, len(qi) + 1):
+        stats.nodes_generated += len(graph)
+        provider.prepare(evaluator, graph)
+        survivors = _search_graph(evaluator, graph, k, max_suppression, provider)
+        if size < len(qi):
+            graph = graph_generation(survivors, graph, qi)
+    stats.elapsed_seconds = time.perf_counter() - started
+
+    return make_result(
+        algorithm,
+        k,
+        survivors,
+        stats,
+        max_suppression=max_suppression,
+    )
+
+
+def basic_incognito(
+    problem: PreparedTable, k: int, *, max_suppression: int = 0
+) -> AnonymizationResult:
+    """Basic Incognito (Section 3.1): sound and complete full-domain search."""
+    return run_incognito(
+        problem, k, max_suppression=max_suppression, algorithm="basic-incognito"
+    )

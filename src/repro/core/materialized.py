@@ -1,0 +1,148 @@
+"""Strategic materialization — the paper's first future-work item (§7).
+
+    "We believe that the performance of Incognito can be enhanced even
+    more by strategically materializing portions of the data cube,
+    including count aggregates at various points in the dimension
+    hierarchies, much like what was done in [9]."
+
+Cube Incognito materializes every subset's frequency set at the *zero*
+generalization.  But the search mostly evaluates nodes at *higher* levels
+(after pruning, the candidate roots sit well above zero), so a
+zero-generalization set is often far larger — and costlier to roll up
+from — than necessary.
+
+:class:`MaterializedIncognito` implements the suggested refinement with a
+Harinarayan-Rajaraman-Ullman-style greedy selection under a row budget
+(reference [9] is "Implementing data cubes efficiently"):
+
+1. Build the zero-generalization cube (one scan + projections), as Cube
+   Incognito does.
+2. For each quasi-identifier subset, walk candidate generalization levels
+   from the bottom and additionally materialize "waypoint" frequency sets
+   whose sizes fall under ``budget_fraction`` of the subset's
+   zero-generalization size — these are the high-benefit cube points: any
+   root at or above a waypoint rolls up from the small set instead of the
+   big one.
+3. During the search, each root is served from the *largest-level*
+   materialized set it is comparable with (the cheapest rollup source).
+
+The extra build cost is a handful of rollups per subset; the payoff is
+that every subsequent root derivation touches far fewer rows.  The
+``benchmarks/test_ablation_materialized.py`` bench measures both sides.
+"""
+
+from __future__ import annotations
+
+from repro.core.anonymity import FrequencyEvaluator, FrequencySet
+from repro.core.cube import build_zero_generalization_cube
+from repro.core.incognito import RootProvider, run_incognito
+from repro.core.problem import PreparedTable
+from repro.core.result import AnonymizationResult
+from repro.lattice.node import LatticeNode
+
+
+def _diagonal_levels(problem: PreparedTable, attributes: tuple[str, ...]):
+    """Candidate waypoint level-vectors for a subset: the 'diagonal' of its
+    lattice (all attributes advanced in lock-step), bottom to top.
+
+    The diagonal is comparable with most of the subset's lattice, which
+    maximises how many roots each waypoint can serve.
+    """
+    heights = [problem.height(name) for name in attributes]
+    for step in range(1, max(heights) + 1):
+        yield LatticeNode(
+            attributes,
+            tuple(min(step, height) for height in heights),
+        )
+
+
+class MaterializedCubeProvider(RootProvider):
+    """Serve roots from the best (smallest comparable) materialized set."""
+
+    def __init__(
+        self,
+        problem: PreparedTable,
+        evaluator: FrequencyEvaluator,
+        *,
+        budget_fraction: float = 0.25,
+    ) -> None:
+        if not 0 < budget_fraction <= 1:
+            raise ValueError(
+                f"budget_fraction must be in (0, 1], got {budget_fraction}"
+            )
+        self._problem = problem
+        #: per-subset materialized sets, most general first
+        self._materialized: dict[tuple[str, ...], list[FrequencySet]] = {}
+        zero_cube = build_zero_generalization_cube(problem, evaluator)
+        for attributes, zero_set in zero_cube.items():
+            chosen = [zero_set]
+            threshold = max(1, int(zero_set.num_groups * budget_fraction))
+            for waypoint in _diagonal_levels(problem, attributes):
+                candidate = evaluator.rollup(chosen[-1], waypoint)
+                if candidate.num_groups <= threshold:
+                    chosen.append(candidate)
+                    threshold = max(1, int(candidate.num_groups * budget_fraction))
+            # most general first so lookup finds the cheapest source
+            self._materialized[attributes] = list(reversed(chosen))
+
+    def materialized_counts(self) -> dict[tuple[str, ...], int]:
+        """How many frequency sets are materialized per subset (stats)."""
+        return {
+            attributes: len(sets)
+            for attributes, sets in self._materialized.items()
+        }
+
+    def frequency_set(
+        self, evaluator: FrequencyEvaluator, node: LatticeNode
+    ) -> FrequencySet:
+        for candidate in self._materialized[node.attributes]:
+            if node.generalizes(candidate.node):
+                if candidate.node == node:
+                    return candidate
+                return evaluator.rollup(candidate, node)
+        raise AssertionError(
+            f"no materialized source for {node}; the zero set always applies"
+        )
+
+
+def materialized_incognito(
+    problem: PreparedTable,
+    k: int,
+    *,
+    max_suppression: int = 0,
+    budget_fraction: float = 0.25,
+) -> AnonymizationResult:
+    """Incognito with strategically materialized cube points (§7).
+
+    Identical results to the other variants; the stats differ — rollups
+    draw from much smaller sources.  ``budget_fraction`` controls how
+    aggressively waypoints are added: a waypoint is kept when it shrinks
+    the previous materialized set by at least that factor.
+    """
+    return run_incognito(
+        problem,
+        k,
+        max_suppression=max_suppression,
+        provider_factory=lambda p, e: MaterializedCubeProvider(
+            p, e, budget_fraction=budget_fraction
+        ),
+        algorithm="materialized-incognito",
+    )
+
+
+def waypoint_inventory(
+    problem: PreparedTable, *, budget_fraction: float = 0.25
+) -> dict[tuple[str, ...], list[str]]:
+    """Report which cube points strategic materialization would pick.
+
+    A planning helper (no search): useful for sizing the materialization
+    before committing to it on a big table.
+    """
+    evaluator = FrequencyEvaluator(problem)
+    provider = MaterializedCubeProvider(
+        problem, evaluator, budget_fraction=budget_fraction
+    )
+    return {
+        attributes: [str(fs.node) for fs in sets]
+        for attributes, sets in provider._materialized.items()
+    }

@@ -1,0 +1,96 @@
+"""Minimality criteria over sets of k-anonymous generalizations (Section 2.1).
+
+Incognito is sound and complete: it returns *all* k-anonymous full-domain
+generalizations, "from which the minimal may be chosen according to any
+criteria".  This module supplies the criteria discussed in the paper:
+
+* :func:`minimal_height_nodes` — Samarati's definition: minimum distance-
+  vector height.
+* :func:`pareto_minimal_nodes` — no other solution is component-wise lower
+  (useful because two height-minimal solutions can generalize different
+  attributes).
+* :func:`weighted_minimal_node` — application-specific weights ("it might be
+  more important that Sex be released intact, even at the cost of
+  additional Zipcode generalization").
+* :func:`best_node_by_metric` — pick by an information-loss metric from
+  :mod:`repro.metrics` evaluated on the actual anonymized view.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.lattice.node import LatticeNode
+
+
+def minimal_height_nodes(nodes: Sequence[LatticeNode]) -> list[LatticeNode]:
+    """All nodes of minimum height (Samarati/Sweeney minimality)."""
+    if not nodes:
+        return []
+    best = min(node.height for node in nodes)
+    return sorted(
+        (node for node in nodes if node.height == best),
+        key=LatticeNode.sort_key,
+    )
+
+
+def pareto_minimal_nodes(nodes: Sequence[LatticeNode]) -> list[LatticeNode]:
+    """Nodes not strictly dominated by another node in the set.
+
+    Node a dominates b when a != b and a's level is <= b's in every
+    component (so a generalizes strictly less).  All nodes must share one
+    attribute set.
+    """
+    result = []
+    for candidate in nodes:
+        dominated = any(
+            other != candidate and candidate.generalizes(other)
+            for other in nodes
+        )
+        if not dominated:
+            result.append(candidate)
+    return sorted(result, key=LatticeNode.sort_key)
+
+
+def weighted_minimal_node(
+    nodes: Sequence[LatticeNode], weights: Mapping[str, float]
+) -> LatticeNode:
+    """The node minimising the weighted level sum Σ w_i · level_i.
+
+    Ties break toward lower unweighted height, then lexicographic levels,
+    so the choice is deterministic.
+    """
+    if not nodes:
+        raise ValueError("no nodes to choose from")
+
+    def cost(node: LatticeNode) -> tuple:
+        weighted = sum(
+            weights.get(name, 1.0) * level for name, level in node.items()
+        )
+        return (weighted, node.height, node.levels)
+
+    return min(nodes, key=cost)
+
+
+def best_node_by_metric(
+    nodes: Sequence[LatticeNode],
+    metric: Callable[[LatticeNode], float],
+    *,
+    lower_is_better: bool = True,
+) -> LatticeNode:
+    """The node optimising an arbitrary scalar metric.
+
+    ``metric`` typically wraps an information-loss measure evaluated on the
+    generalized view, e.g.::
+
+        best_node_by_metric(
+            result.anonymous_nodes,
+            lambda n: discernibility(apply_generalization(problem, n).table, qi),
+        )
+    """
+    if not nodes:
+        raise ValueError("no nodes to choose from")
+    ordered = sorted(nodes, key=LatticeNode.sort_key)
+    if lower_is_better:
+        return min(ordered, key=metric)
+    return max(ordered, key=metric)

@@ -1,0 +1,151 @@
+"""The µ-Argus-style limited-combination heuristic (paper §6).
+
+    "The µ-Argus system was also implemented to anonymize microdata [10],
+    but considered attribute combinations of only a limited size, so the
+    results were not always guaranteed to be k-anonymous."
+
+µ-Argus (Hundepool & Willenborg) checks combinations of at most
+``max_combination_size`` quasi-identifier attributes, generalizing and/or
+locally suppressing until every *checked* combination is safe.  Because
+unchecked larger combinations can still isolate individuals, the output is
+not guaranteed k-anonymous over the full quasi-identifier — exactly the
+flaw the paper points out, and which
+``tests/core/test_muargus.py::test_unsoundness_is_real`` demonstrates on a
+concrete instance.
+
+The implementation follows the system's published outline: greedy
+full-domain generalization driven by the worst undersized checked
+combination, then local suppression of cells in the remaining unsafe
+combinations.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from repro.core.anonymity import compute_frequency_set
+from repro.core.generalize import generalize_table
+from repro.core.problem import PreparedTable
+from repro.core.stats import SearchStats
+from repro.lattice.node import LatticeNode
+from repro.relational.column import Column
+from repro.relational.table import Table
+
+#: the suppression token used for locally suppressed cells
+SUPPRESSED = "*"
+
+
+@dataclass
+class MuArgusResult:
+    """Outcome of a µ-Argus run (NOT an AnonymizationResult: no guarantee)."""
+
+    table: Table
+    node: LatticeNode
+    suppressed_cells: int
+    checked_combination_size: int
+    stats: SearchStats = field(default_factory=SearchStats)
+
+
+def _unsafe_combinations(
+    problem: PreparedTable,
+    node: LatticeNode,
+    k: int,
+    max_size: int,
+    stats: SearchStats,
+) -> list[tuple[tuple[str, ...], int]]:
+    """Checked combinations that violate k, with their outlier row counts."""
+    qi = problem.quasi_identifier
+    unsafe = []
+    for size in range(1, min(max_size, len(qi)) + 1):
+        for attributes in itertools.combinations(qi, size):
+            subset_node = node.subset(attributes)
+            frequency_set = compute_frequency_set(problem, subset_node)
+            stats.table_scans += 1
+            stats.record_check(size)
+            outliers = frequency_set.rows_below(k)
+            if outliers:
+                unsafe.append((attributes, outliers))
+    return unsafe
+
+
+def mu_argus(
+    problem: PreparedTable,
+    k: int,
+    *,
+    max_combination_size: int = 2,
+) -> MuArgusResult:
+    """Run the limited-combination heuristic.
+
+    Phase 1 generalizes (full-domain, one level at a time on the attribute
+    appearing in the most unsafe checked combinations) until generalizing
+    no longer helps; phase 2 locally suppresses the cells of rows that
+    still sit in undersized *checked* combinations.  Combinations larger
+    than ``max_combination_size`` are never examined — the documented
+    unsoundness.
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    if max_combination_size < 1:
+        raise ValueError("max_combination_size must be >= 1")
+    stats = SearchStats()
+    started = time.perf_counter()
+    qi = problem.quasi_identifier
+    node = problem.bottom_node()
+
+    while True:
+        unsafe = _unsafe_combinations(
+            problem, node, k, max_combination_size, stats
+        )
+        if not unsafe:
+            break
+        # attribute appearing in the most unsafe combos, with headroom
+        appearances: dict[str, int] = {}
+        for attributes, outliers in unsafe:
+            for name in attributes:
+                if node.level_of(name) < problem.height(name):
+                    appearances[name] = appearances.get(name, 0) + outliers
+        if not appearances:
+            break  # no headroom left: fall through to local suppression
+        chosen = max(sorted(appearances), key=lambda name: appearances[name])
+        node = node.with_level(chosen, node.level_of(chosen) + 1)
+
+    table = generalize_table(problem, node)
+    suppressed_cells = 0
+    unsafe = _unsafe_combinations(problem, node, k, max_combination_size, stats)
+    if unsafe:
+        # Local suppression: blank the offending attributes of rows in
+        # undersized checked combinations.
+        values = {name: table.column(name).to_list() for name in qi}
+        for attributes, _ in unsafe:
+            subset_node = node.subset(attributes)
+            frequency_set = compute_frequency_set(problem, subset_node)
+            stats.table_scans += 1
+            small_groups = {
+                frequency_set.group_values(g)
+                for g in range(frequency_set.num_groups)
+                if frequency_set.counts[g] < k
+            }
+            rows = [
+                row
+                for row in range(table.num_rows)
+                if tuple(values[name][row] for name in attributes)
+                in small_groups
+            ]
+            for row in rows:
+                for name in attributes:
+                    if values[name][row] != SUPPRESSED:
+                        values[name][row] = SUPPRESSED
+                        suppressed_cells += 1
+        for name in qi:
+            table = table.replace_column(name, Column.from_values(values[name]))
+
+    stats.elapsed_seconds = time.perf_counter() - started
+    return MuArgusResult(
+        table=table,
+        node=node,
+        suppressed_cells=suppressed_cells,
+        checked_combination_size=max_combination_size,
+        stats=stats,
+    )

@@ -1,0 +1,126 @@
+"""Algorithm results: the k-anonymous node set plus instrumentation.
+
+Every search algorithm returns an :class:`AnonymizationResult`.  Sound and
+complete algorithms (the Incognito variants, exhaustive bottom-up) populate
+``anonymous_nodes`` with *every* k-anonymous full-domain generalization;
+single-answer algorithms (binary search, Datafly) return a single node and
+set ``complete=False``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.generalize import GeneralizedView, apply_generalization
+from repro.core.minimality import (
+    minimal_height_nodes,
+    pareto_minimal_nodes,
+    weighted_minimal_node,
+)
+from repro.core.problem import PreparedTable
+from repro.core.stats import SearchStats
+from repro.lattice.node import LatticeNode
+
+
+@dataclass
+class AnonymizationResult:
+    """Outcome of one k-anonymization search."""
+
+    algorithm: str
+    k: int
+    anonymous_nodes: list[LatticeNode]
+    stats: SearchStats
+    max_suppression: int = 0
+    #: True when ``anonymous_nodes`` is the complete solution set
+    complete: bool = True
+    #: Datafly-style single answers note actual suppressed rows here
+    suppressed_rows: int = 0
+    #: free-form extras (e.g. binary search's probe trace)
+    details: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.anonymous_nodes = sorted(self.anonymous_nodes, key=LatticeNode.sort_key)
+
+    @property
+    def found(self) -> bool:
+        return bool(self.anonymous_nodes)
+
+    # ------------------------------------------------------------------
+    # minimality helpers
+    # ------------------------------------------------------------------
+    def minimal_height(self) -> list[LatticeNode]:
+        return minimal_height_nodes(self.anonymous_nodes)
+
+    def pareto_minimal(self) -> list[LatticeNode]:
+        return pareto_minimal_nodes(self.anonymous_nodes)
+
+    def weighted_minimal(self, weights: Mapping[str, float]) -> LatticeNode:
+        return weighted_minimal_node(self.anonymous_nodes, weights)
+
+    def best_node(self) -> LatticeNode:
+        """A deterministic minimal-height representative."""
+        minimal = self.minimal_height()
+        if not minimal:
+            raise ValueError(
+                f"{self.algorithm}: no {self.k}-anonymous generalization found"
+            )
+        return minimal[0]
+
+    # ------------------------------------------------------------------
+    # materialisation
+    # ------------------------------------------------------------------
+    def apply(
+        self,
+        problem: PreparedTable,
+        node: LatticeNode | None = None,
+    ) -> GeneralizedView:
+        """Materialise the anonymized view for ``node`` (default: best node).
+
+        Suppression honours the result's threshold: outlier tuples are
+        dropped when the search ran with ``max_suppression > 0``.
+        """
+        chosen = node if node is not None else self.best_node()
+        if node is not None and node not in self.anonymous_nodes:
+            raise ValueError(f"{node} is not in this result's anonymous set")
+        return apply_generalization(
+            problem, chosen, k=self.k, max_suppression=self.max_suppression
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.algorithm}: k={self.k}, "
+            f"{len(self.anonymous_nodes)} anonymous generalization(s)"
+            + ("" if self.complete else " (single-answer algorithm)"),
+            f"  stats: {self.stats.summary()}",
+        ]
+        minimal = self.minimal_height()
+        if minimal:
+            lines.append(
+                f"  minimal height {minimal[0].height}: "
+                + ", ".join(str(node) for node in minimal[:6])
+                + (" ..." if len(minimal) > 6 else "")
+            )
+        return "\n".join(lines)
+
+
+def make_result(
+    algorithm: str,
+    k: int,
+    nodes: Sequence[LatticeNode],
+    stats: SearchStats,
+    *,
+    max_suppression: int = 0,
+    complete: bool = True,
+    **details,
+) -> AnonymizationResult:
+    """Convenience constructor used by the algorithm modules."""
+    return AnonymizationResult(
+        algorithm=algorithm,
+        k=k,
+        anonymous_nodes=list(nodes),
+        stats=stats,
+        max_suppression=max_suppression,
+        complete=complete,
+        details=dict(details),
+    )

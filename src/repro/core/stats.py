@@ -1,0 +1,84 @@
+"""Instrumentation shared by every search algorithm.
+
+The paper's evaluation compares algorithms on elapsed time, but explains the
+differences through two structural counters: how many lattice nodes each
+algorithm evaluates (the Section 4.2.1 in-text table) and how often each
+touches the base data versus rolling up an existing frequency set.  All
+algorithms in this reproduction record both, through one shared
+:class:`SearchStats` object, so the numbers are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SearchStats:
+    """Counters filled in by a single algorithm run."""
+
+    #: frequency sets computed by scanning the base table
+    table_scans: int = 0
+    #: frequency sets computed by rolling up another frequency set
+    rollups: int = 0
+    #: frequency sets computed by projecting attributes out of another set
+    projections: int = 0
+    #: nodes whose k-anonymity was decided by evaluating a frequency set —
+    #: the paper's "number of nodes searched"
+    nodes_checked: int = 0
+    #: nodes skipped because the generalization property marked them
+    nodes_marked: int = 0
+    #: candidate nodes generated across all iterations (graph sizes)
+    nodes_generated: int = 0
+    #: total rows across all computed frequency sets (memory-pressure proxy)
+    frequency_set_rows: int = 0
+    #: total rows of the SOURCE sets fed into rollups (rollup-cost proxy —
+    #: a rollup re-aggregates its source, so cost scales with this)
+    rollup_source_rows: int = 0
+    #: scans attributable to the Cube pre-computation phase
+    cube_build_scans: int = 0
+    #: wall-clock seconds of the Cube pre-computation phase
+    cube_build_seconds: float = 0.0
+    #: wall-clock seconds of the whole run (filled by the caller/harness)
+    elapsed_seconds: float = 0.0
+    #: per-iteration node-check counts, keyed by subset size
+    checks_by_subset_size: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def frequency_evaluations(self) -> int:
+        """Total frequency sets materialised, however computed."""
+        return self.table_scans + self.rollups + self.projections
+
+    def record_check(self, subset_size: int) -> None:
+        """Count one node decision at the given attribute-subset size."""
+        self.nodes_checked += 1
+        self.checks_by_subset_size[subset_size] = (
+            self.checks_by_subset_size.get(subset_size, 0) + 1
+        )
+
+    def merge(self, other: "SearchStats") -> None:
+        """Accumulate ``other`` into this object (used by multi-phase runs)."""
+        self.table_scans += other.table_scans
+        self.rollups += other.rollups
+        self.projections += other.projections
+        self.nodes_checked += other.nodes_checked
+        self.nodes_marked += other.nodes_marked
+        self.nodes_generated += other.nodes_generated
+        self.frequency_set_rows += other.frequency_set_rows
+        self.rollup_source_rows += other.rollup_source_rows
+        self.cube_build_scans += other.cube_build_scans
+        self.cube_build_seconds += other.cube_build_seconds
+        self.elapsed_seconds += other.elapsed_seconds
+        for size, count in other.checks_by_subset_size.items():
+            self.checks_by_subset_size[size] = (
+                self.checks_by_subset_size.get(size, 0) + count
+            )
+
+    def summary(self) -> str:
+        return (
+            f"checked={self.nodes_checked} marked={self.nodes_marked} "
+            f"scans={self.table_scans} rollups={self.rollups} "
+            f"projections={self.projections} "
+            f"generated={self.nodes_generated} "
+            f"elapsed={self.elapsed_seconds:.3f}s"
+        )

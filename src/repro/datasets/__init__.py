@@ -1,0 +1,38 @@
+"""Datasets: the paper's running example and the two evaluation databases.
+
+* :mod:`~repro.datasets.patients` — the Figure 1 Hospital/Voter tables and
+  the Figure 2 hierarchies, used throughout the paper's worked examples.
+* :mod:`~repro.datasets.adults` — a seeded synthetic stand-in for the UCI
+  Adults census database: the Figure 9 schema (9 QI attributes, matching
+  cardinalities and hierarchy heights), 45,222 rows by default.
+* :mod:`~repro.datasets.landsend` — a seeded synthetic stand-in for the
+  proprietary Lands End point-of-sale database: Figure 9's 8-attribute
+  schema with matching cardinalities and hierarchy heights; row count is a
+  parameter (the paper used 4,591,581).
+"""
+
+from repro.datasets.adults import adults_hierarchies, adults_problem, adults_table
+from repro.datasets.landsend import (
+    landsend_hierarchies,
+    landsend_problem,
+    landsend_table,
+)
+from repro.datasets.patients import (
+    patients_hierarchies,
+    patients_problem,
+    patients_table,
+    voter_table,
+)
+
+__all__ = [
+    "adults_hierarchies",
+    "adults_problem",
+    "adults_table",
+    "landsend_hierarchies",
+    "landsend_problem",
+    "landsend_table",
+    "patients_hierarchies",
+    "patients_problem",
+    "patients_table",
+    "voter_table",
+]

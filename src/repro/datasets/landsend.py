@@ -1,0 +1,165 @@
+"""Synthetic stand-in for the Lands End point-of-sale database (Figure 9).
+
+The original is proprietary (4,591,581 order records, 268 MB).  The
+generator below reproduces what the algorithms are sensitive to — the
+schema, the attribute cardinalities, the hierarchy heights, and heavy
+popularity skew over high-cardinality attributes:
+
+====  ==========  ===============  =========================
+ #    Attribute   Distinct values  Generalizations (height)
+====  ==========  ===============  =========================
+ 1    zipcode     31,953           round each digit (5)
+ 2    order_date  320              taxonomy tree (3)
+ 3    gender      2                suppression (1)
+ 4    style       1,509            suppression (1)
+ 5    price       346              round each digit (4)
+ 6    quantity    1                suppression (1)
+ 7    cost        1,412            round each digit (4)
+ 8    shipment    2                suppression (1)
+====  ==========  ===============  =========================
+
+Row count is a parameter so laptops can run the Figure 10-12 sweeps; the
+paper's full size is :data:`FULL_ROWS`.  With fewer rows than a domain
+pool's size, the realised cardinality is naturally smaller — popularity
+skew means the high-frequency head still dominates, which is what drives
+the algorithms' behaviour.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+import numpy as np
+
+from repro.core.problem import PreparedTable
+from repro.hierarchy import (
+    DateHierarchy,
+    Hierarchy,
+    RoundingHierarchy,
+    SuppressionHierarchy,
+)
+from repro.relational.column import CODE_DTYPE, Column
+from repro.relational.schema import ColumnSpec, Schema
+from repro.relational.table import Table
+
+#: Attribute order used by the Figure 10 quasi-identifier-size sweeps.
+LANDSEND_QI = (
+    "zipcode",
+    "order_date",
+    "gender",
+    "style",
+    "price",
+    "quantity",
+    "cost",
+    "shipment",
+)
+
+#: The paper's full row count (pass to ``landsend_table`` to go full scale).
+FULL_ROWS = 4_591_581
+
+#: Default row count for laptop-scale runs of the benchmarks.
+DEFAULT_ROWS = 200_000
+
+ZIPCODE_POOL = 31_953
+ORDER_DATE_POOL = 320
+STYLE_POOL = 1_509
+PRICE_POOL = 346
+COST_POOL = 1_412
+
+
+def _zipf_codes(
+    rng: np.random.Generator, pool: int, num_rows: int, exponent: float
+) -> np.ndarray:
+    """Draw ``num_rows`` category codes from a zipf(exponent) popularity."""
+    ranks = np.arange(1, pool + 1, dtype=np.float64)
+    weights = 1.0 / ranks ** exponent
+    weights /= weights.sum()
+    return rng.choice(pool, size=num_rows, p=weights)
+
+
+def _zipcode_pool(rng: np.random.Generator) -> list[str]:
+    """A deterministic pool of distinct 5-digit zipcode strings."""
+    picks = rng.choice(100_000, size=ZIPCODE_POOL, replace=False)
+    return [f"{z:05d}" for z in np.sort(picks)]
+
+
+def _date_pool() -> list[str]:
+    """320 distinct order dates spanning one retail year."""
+    start = datetime.date(2001, 1, 1)
+    step = 365 / ORDER_DATE_POOL
+    return [
+        (start + datetime.timedelta(days=round(i * step))).isoformat()
+        for i in range(ORDER_DATE_POOL)
+    ]
+
+
+def _money_pool(rng: np.random.Generator, count: int, low: int, high: int) -> list[str]:
+    """``count`` distinct 4-digit money amounts (rendered zero-padded)."""
+    picks = rng.choice(np.arange(low, high), size=count, replace=False)
+    return [f"{p:04d}" for p in np.sort(picks)]
+
+
+def landsend_table(num_rows: int = DEFAULT_ROWS, *, seed: int = 11) -> Table:
+    """Generate the synthetic Lands End relation (deterministic per seed)."""
+    if num_rows <= 0:
+        raise ValueError(f"num_rows must be positive, got {num_rows}")
+    rng = np.random.default_rng(seed)
+
+    pools: dict[str, list[str]] = {
+        "zipcode": _zipcode_pool(rng),
+        "order_date": _date_pool(),
+        "gender": ["Female", "Male"],
+        "style": [f"S{i:04d}" for i in range(STYLE_POOL)],
+        "price": _money_pool(rng, PRICE_POOL, 5, 2_000),
+        "quantity": ["1"],
+        "cost": _money_pool(rng, COST_POOL, 1, 4_000),
+        "shipment": ["Standard", "Express"],
+    }
+    exponents = {
+        "zipcode": 0.9,
+        "order_date": 0.4,
+        "gender": 0.3,
+        "style": 1.0,
+        "price": 0.8,
+        "quantity": 0.0,
+        "cost": 0.8,
+        "shipment": 0.5,
+    }
+    columns = []
+    specs = []
+    for name in LANDSEND_QI:
+        pool = pools[name]
+        codes = _zipf_codes(rng, len(pool), num_rows, exponents[name])
+        column = Column(codes.astype(CODE_DTYPE), pool, validate=False)
+        columns.append(column.compact())  # drop unsampled pool entries
+        specs.append(ColumnSpec(name))
+    return Table(Schema(tuple(specs)), columns)
+
+
+def landsend_hierarchies() -> dict[str, Hierarchy]:
+    """Hierarchies with exactly the Figure 9 heights (5,3,1,1,4,1,4,1)."""
+    return {
+        "zipcode": RoundingHierarchy(5),
+        "order_date": DateHierarchy(),
+        "gender": SuppressionHierarchy(),
+        "style": SuppressionHierarchy(),
+        "price": RoundingHierarchy(4),
+        "quantity": SuppressionHierarchy(),
+        "cost": RoundingHierarchy(4),
+        "shipment": SuppressionHierarchy(),
+    }
+
+
+def landsend_problem(
+    num_rows: int = DEFAULT_ROWS,
+    *,
+    qi_size: int = len(LANDSEND_QI),
+    seed: int = 11,
+) -> PreparedTable:
+    """A Lands End problem over the first ``qi_size`` attributes."""
+    if not 1 <= qi_size <= len(LANDSEND_QI):
+        raise ValueError(
+            f"qi_size must be in [1, {len(LANDSEND_QI)}], got {qi_size}"
+        )
+    table = landsend_table(num_rows, seed=seed)
+    return PreparedTable(table, landsend_hierarchies(), LANDSEND_QI[:qi_size])

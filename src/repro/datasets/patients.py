@@ -1,0 +1,63 @@
+"""The paper's running example (Figures 1 and 2).
+
+``patients_table`` and ``voter_table`` are the two relations of Figure 1 —
+the de-identified hospital data and the public voter registration list whose
+join re-identifies Andre.  ``patients_hierarchies`` builds the Figure 2
+hierarchies: Zipcode rounds a digit at a time (height 2), Birthdate
+suppresses to ``*`` (height 1), Sex generalizes to ``Person`` (height 1).
+"""
+
+from __future__ import annotations
+
+from repro.core.problem import PreparedTable
+from repro.hierarchy import (
+    Hierarchy,
+    RoundingHierarchy,
+    SuppressionHierarchy,
+)
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+#: Quasi-identifier of the running example, in the paper's column order.
+PATIENTS_QI = ("Birthdate", "Sex", "Zipcode")
+
+
+def patients_table() -> Table:
+    """The Hospital Patient Data relation of Figure 1."""
+    rows = [
+        ("1/21/76", "Male", "53715", "Flu"),
+        ("4/13/86", "Female", "53715", "Hepatitis"),
+        ("2/28/76", "Male", "53703", "Brochitis"),
+        ("1/21/76", "Male", "53703", "Broken Arm"),
+        ("4/13/86", "Female", "53706", "Sprained Ankle"),
+        ("2/28/76", "Female", "53706", "Hang Nail"),
+    ]
+    schema = Schema.of("Birthdate", "Sex", "Zipcode", "Disease")
+    return Table.from_rows(schema, rows)
+
+
+def voter_table() -> Table:
+    """The Voter Registration Data relation of Figure 1."""
+    rows = [
+        ("Andre", "1/21/76", "Male", "53715"),
+        ("Beth", "1/10/81", "Female", "55410"),
+        ("Carol", "10/1/44", "Female", "90210"),
+        ("Dan", "2/21/84", "Male", "02174"),
+        ("Ellen", "4/19/72", "Female", "02237"),
+    ]
+    schema = Schema.of("Name", "Birthdate", "Sex", "Zipcode")
+    return Table.from_rows(schema, rows)
+
+
+def patients_hierarchies() -> dict[str, Hierarchy]:
+    """The Figure 2 hierarchies for ⟨Birthdate, Sex, Zipcode⟩."""
+    return {
+        "Birthdate": SuppressionHierarchy(),
+        "Sex": SuppressionHierarchy("Person"),
+        "Zipcode": RoundingHierarchy(5, height=2),
+    }
+
+
+def patients_problem() -> PreparedTable:
+    """The running example as a ready-to-anonymize problem instance."""
+    return PreparedTable(patients_table(), patients_hierarchies(), PATIENTS_QI)

@@ -1,0 +1,50 @@
+"""Domain and value generalization hierarchies (paper Section 2, Figure 2).
+
+A *domain generalization hierarchy* (DGH) for an attribute is a chain of
+domains ``D0 <_D D1 <_D ... <_D Dh`` together with many-to-one value
+generalization functions γ between consecutive domains.  Level 0 is the base
+(most specific) domain; level ``h`` — the hierarchy's *height* — is the most
+general.
+
+This package provides:
+
+* :class:`~repro.hierarchy.base.Hierarchy` — the abstract interface
+  (``height``, ``generalize(value, level)``, ``domain(level)``), plus
+  :meth:`~repro.hierarchy.base.Hierarchy.compile`, which turns a hierarchy
+  into per-level numpy lookup arrays over a concrete base domain
+  (:class:`~repro.hierarchy.base.CompiledHierarchy`) — the fast path used by
+  every algorithm.
+* Concrete hierarchies matching every generalization style in the paper's
+  Figure 9: taxonomy trees, numeric ranges, per-digit rounding, date
+  rollups, and plain suppression.
+* :func:`~repro.hierarchy.dimension.dimension_table` — materialise a
+  hierarchy as the star-schema dimension relation of Figure 4.
+"""
+
+from repro.hierarchy.base import CompiledHierarchy, Hierarchy, HierarchyError
+from repro.hierarchy.date import DateHierarchy
+from repro.hierarchy.dimension import dimension_table
+from repro.hierarchy.interval import RangeHierarchy
+from repro.hierarchy.rounding import RoundingHierarchy
+from repro.hierarchy.spec import (
+    hierarchies_from_spec,
+    hierarchy_from_spec,
+    hierarchy_to_spec,
+)
+from repro.hierarchy.suppression import SuppressionHierarchy
+from repro.hierarchy.taxonomy import TaxonomyHierarchy
+
+__all__ = [
+    "CompiledHierarchy",
+    "DateHierarchy",
+    "Hierarchy",
+    "HierarchyError",
+    "RangeHierarchy",
+    "RoundingHierarchy",
+    "SuppressionHierarchy",
+    "TaxonomyHierarchy",
+    "dimension_table",
+    "hierarchies_from_spec",
+    "hierarchy_from_spec",
+    "hierarchy_to_spec",
+]

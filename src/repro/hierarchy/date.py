@@ -1,0 +1,49 @@
+"""Calendar date hierarchies: day → month → year → ``*``.
+
+The Lands End schema (Figure 9) generalizes Order Date through a height-3
+taxonomy.  :class:`DateHierarchy` implements the natural calendar rollup
+over ISO ``YYYY-MM-DD`` strings or :class:`datetime.date` objects.
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Hashable
+
+from repro.hierarchy.base import Hierarchy, HierarchyError
+
+
+class DateHierarchy(Hierarchy):
+    """Height-3 hierarchy: exact date → ``YYYY-MM`` → ``YYYY`` → ``*``."""
+
+    def __init__(self, suppressed: Hashable = "*") -> None:
+        self._suppressed = suppressed
+
+    @property
+    def height(self) -> int:
+        return 3
+
+    @staticmethod
+    def _parse(value: Hashable) -> datetime.date:
+        if isinstance(value, datetime.date):
+            return value
+        if isinstance(value, str):
+            try:
+                return datetime.date.fromisoformat(value)
+            except ValueError as exc:
+                raise HierarchyError(f"not an ISO date: {value!r}") from exc
+        raise HierarchyError(f"DateHierarchy expects dates, got {value!r}")
+
+    def generalize(self, value: Hashable, level: int) -> Hashable:
+        self._check_level(level)
+        if level == 0:
+            return value
+        if level == 3:
+            return self._suppressed
+        date = self._parse(value)
+        if level == 1:
+            return f"{date.year:04d}-{date.month:02d}"
+        return f"{date.year:04d}"
+
+    def __repr__(self) -> str:
+        return "DateHierarchy(day -> month -> year -> *)"

@@ -1,0 +1,50 @@
+"""Materialise hierarchies as star-schema dimension tables (Figure 4).
+
+The paper implements generalization dimensions as relational tables joined
+with the fact table: the dimension for attribute ``A`` with height h has one
+row per base value and columns ``A_0 ... A_h`` holding the value's image at
+each level.  :func:`dimension_table` produces exactly that relation, which
+:class:`repro.relational.star.StarSchema` then joins to evaluate a
+full-domain generalization the SQL way.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.hierarchy.base import CompiledHierarchy, Hierarchy
+from repro.relational.schema import Schema
+from repro.relational.star import level_column_name
+from repro.relational.table import Table
+
+
+def dimension_table(
+    attribute: str,
+    hierarchy: Hierarchy | CompiledHierarchy,
+    base_values: Sequence[Hashable] | None = None,
+) -> Table:
+    """Build the generalization dimension relation for ``attribute``.
+
+    Pass either an abstract :class:`Hierarchy` plus its concrete
+    ``base_values``, or an already-compiled hierarchy (whose base domain is
+    then used directly).
+    """
+    if isinstance(hierarchy, CompiledHierarchy):
+        compiled = hierarchy
+    else:
+        if base_values is None:
+            raise ValueError(
+                "base_values is required when passing an uncompiled hierarchy"
+            )
+        compiled = hierarchy.compile(base_values)
+
+    names = [level_column_name(attribute, level) for level in range(compiled.num_levels)]
+    rows = []
+    for base_code in range(compiled.base_size):
+        rows.append(
+            tuple(
+                compiled.level_values(level)[compiled.level_lookup(level)[base_code]]
+                for level in range(compiled.num_levels)
+            )
+        )
+    return Table.from_rows(Schema.of(*names), rows)

@@ -1,0 +1,90 @@
+"""Numeric range hierarchies.
+
+Figure 9 (Adults) generalizes Age through "5-, 10-, 20-year ranges(4)":
+level 1 buckets ages into 5-year ranges, level 2 into 10-year, level 3 into
+20-year, and level 4 suppresses to ``*`` (height 4).  A
+:class:`RangeHierarchy` expresses exactly this pattern: a list of widening
+bucket widths, optionally capped by a suppression level.
+
+Bucket widths must be non-decreasing and each must divide the next so that
+coarser buckets exactly merge finer ones (the many-to-one γ requirement —
+otherwise a level-l group would split at level l+1).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+from repro.hierarchy.base import Hierarchy, HierarchyError
+
+
+class RangeHierarchy(Hierarchy):
+    """Bucket a numeric attribute into progressively wider aligned ranges.
+
+    Parameters
+    ----------
+    widths:
+        Bucket width per range level, e.g. ``[5, 10, 20]``.  Level l (for
+        ``1 <= l <= len(widths)``) maps value v to the half-open interval
+        ``[floor((v-origin)/w)*w + origin, ...+w)`` with ``w = widths[l-1]``.
+    origin:
+        Alignment origin of the buckets (default 0).
+    suppress_top:
+        When true (default), one extra top level maps everything to ``*``.
+    """
+
+    def __init__(
+        self,
+        widths: Sequence[int],
+        *,
+        origin: int = 0,
+        suppress_top: bool = True,
+        suppressed: Hashable = "*",
+    ) -> None:
+        if not widths:
+            raise HierarchyError("RangeHierarchy needs at least one width")
+        widths = [int(w) for w in widths]
+        if any(w <= 0 for w in widths):
+            raise HierarchyError(f"widths must be positive, got {widths}")
+        for narrow, wide in zip(widths, widths[1:]):
+            if wide % narrow != 0:
+                raise HierarchyError(
+                    f"width {wide} does not evenly merge width {narrow}; "
+                    "coarser buckets must exactly cover finer ones"
+                )
+        self._widths = widths
+        self._origin = origin
+        self._suppress_top = suppress_top
+        self._suppressed = suppressed
+
+    @property
+    def height(self) -> int:
+        return len(self._widths) + (1 if self._suppress_top else 0)
+
+    @property
+    def widths(self) -> list[int]:
+        return list(self._widths)
+
+    def interval_of(self, value: int | float, width: int) -> str:
+        """The label of ``value``'s width-``width`` bucket, e.g. ``"[20-25)"``."""
+        offset = (int(value) - self._origin) // width
+        low = offset * width + self._origin
+        return f"[{low}-{low + width})"
+
+    def generalize(self, value: Hashable, level: int) -> Hashable:
+        self._check_level(level)
+        if level == 0:
+            return value
+        if self._suppress_top and level == self.height:
+            return self._suppressed
+        if not isinstance(value, (int, float)):
+            raise HierarchyError(
+                f"RangeHierarchy expects numeric values, got {value!r}"
+            )
+        return self.interval_of(value, self._widths[level - 1])
+
+    def __repr__(self) -> str:
+        return (
+            f"RangeHierarchy(widths={self._widths}, origin={self._origin}, "
+            f"suppress_top={self._suppress_top})"
+        )

@@ -1,0 +1,84 @@
+"""Per-digit rounding hierarchies.
+
+Figure 2 (a, b) generalizes Zipcode by "dropping the least significant
+digit": 53715 → 5371* → 537**.  Figure 9 uses "round each digit" for
+Zipcode (height 5), Price (height 4), and Cost (height 4) on Lands End.
+
+A :class:`RoundingHierarchy` renders each value as a fixed-width string and
+replaces its last ``level`` characters with ``*``.  Values may be ints or
+strings; ints are zero-padded to ``digits`` characters so that, e.g., price
+95 and price 1095 land in different buckets at every level below full
+suppression.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.hierarchy.base import Hierarchy, HierarchyError
+
+
+class RoundingHierarchy(Hierarchy):
+    """Suppress trailing digits one at a time.
+
+    Parameters
+    ----------
+    digits:
+        Fixed rendering width; also the default height (all digits starred).
+    height:
+        Optional height cap (``height <= digits``) for hierarchies that stop
+        before suppressing every digit — the paper's Patients Zipcode
+        hierarchy (Figure 2a) has height 2 over 5-digit zipcodes.
+    mask:
+        The masking character (default ``"*"``).
+    """
+
+    def __init__(
+        self, digits: int, *, height: int | None = None, mask: str = "*"
+    ) -> None:
+        if digits <= 0:
+            raise HierarchyError(f"digits must be positive, got {digits}")
+        if height is None:
+            height = digits
+        if not 1 <= height <= digits:
+            raise HierarchyError(
+                f"height must be in [1, {digits}], got {height}"
+            )
+        if len(mask) != 1:
+            raise HierarchyError(f"mask must be one character, got {mask!r}")
+        self._digits = digits
+        self._height = height
+        self._mask = mask
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    @property
+    def digits(self) -> int:
+        return self._digits
+
+    def _render(self, value: Hashable) -> str:
+        if isinstance(value, int):
+            text = str(value).rjust(self._digits, "0")
+        elif isinstance(value, str):
+            text = value
+        else:
+            raise HierarchyError(
+                f"RoundingHierarchy expects int or str values, got {value!r}"
+            )
+        if len(text) != self._digits:
+            raise HierarchyError(
+                f"value {value!r} does not render to {self._digits} characters"
+            )
+        return text
+
+    def generalize(self, value: Hashable, level: int) -> Hashable:
+        self._check_level(level)
+        if level == 0:
+            return value
+        text = self._render(value)
+        return text[: self._digits - level] + self._mask * level
+
+    def __repr__(self) -> str:
+        return f"RoundingHierarchy(digits={self._digits}, height={self._height})"

@@ -1,0 +1,116 @@
+"""Hierarchy (de)serialization: build hierarchies from plain-dict specs.
+
+Enables configuration-driven use (the ``repro`` CLI loads these from a
+JSON file) and round-tripping in tests.  A spec is a dict with a ``type``
+key and type-specific fields:
+
+.. code-block:: json
+
+    {"type": "suppression", "suppressed": "*"}
+    {"type": "rounding",    "digits": 5, "height": 2}
+    {"type": "range",       "widths": [5, 10, 20], "origin": 0,
+                            "suppress_top": true}
+    {"type": "date"}
+    {"type": "taxonomy",    "tree": {"*": {"warm": {"red": {}, "rose": {}},
+                                           "cool": {"navy": {}}}}}
+    {"type": "taxonomy",    "groups": {"warm": ["red", "rose"],
+                                       "cool": ["navy"]}, "root": "*"}
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.hierarchy.base import Hierarchy, HierarchyError
+from repro.hierarchy.date import DateHierarchy
+from repro.hierarchy.interval import RangeHierarchy
+from repro.hierarchy.rounding import RoundingHierarchy
+from repro.hierarchy.suppression import SuppressionHierarchy
+from repro.hierarchy.taxonomy import TaxonomyHierarchy
+
+
+def hierarchy_from_spec(spec: Mapping[str, Any]) -> Hierarchy:
+    """Build a hierarchy from a plain-dict spec (see module docstring)."""
+    if "type" not in spec:
+        raise HierarchyError(f"hierarchy spec needs a 'type' key: {spec!r}")
+    kind = spec["type"]
+    if kind == "suppression":
+        return SuppressionHierarchy(spec.get("suppressed", "*"))
+    if kind == "rounding":
+        if "digits" not in spec:
+            raise HierarchyError("rounding spec needs 'digits'")
+        return RoundingHierarchy(
+            int(spec["digits"]),
+            height=int(spec["height"]) if "height" in spec else None,
+            mask=spec.get("mask", "*"),
+        )
+    if kind == "range":
+        if "widths" not in spec:
+            raise HierarchyError("range spec needs 'widths'")
+        return RangeHierarchy(
+            [int(w) for w in spec["widths"]],
+            origin=int(spec.get("origin", 0)),
+            suppress_top=bool(spec.get("suppress_top", True)),
+            suppressed=spec.get("suppressed", "*"),
+        )
+    if kind == "date":
+        return DateHierarchy(spec.get("suppressed", "*"))
+    if kind == "taxonomy":
+        if "tree" in spec:
+            return TaxonomyHierarchy(
+                spec["tree"],
+                height=int(spec["height"]) if "height" in spec else None,
+            )
+        if "groups" in spec:
+            return TaxonomyHierarchy.grouped(
+                spec["groups"], root=spec.get("root", "*")
+            )
+        raise HierarchyError("taxonomy spec needs 'tree' or 'groups'")
+    raise HierarchyError(f"unknown hierarchy type {kind!r}")
+
+
+def hierarchies_from_spec(
+    spec: Mapping[str, Mapping[str, Any]]
+) -> dict[str, Hierarchy]:
+    """Build {attribute: hierarchy} from {attribute: spec}."""
+    return {name: hierarchy_from_spec(entry) for name, entry in spec.items()}
+
+
+def hierarchy_to_spec(hierarchy: Hierarchy) -> dict[str, Any]:
+    """Serialize a hierarchy back to a spec dict (inverse of from_spec)."""
+    if isinstance(hierarchy, SuppressionHierarchy):
+        return {"type": "suppression", "suppressed": hierarchy.suppressed}
+    if isinstance(hierarchy, RoundingHierarchy):
+        return {
+            "type": "rounding",
+            "digits": hierarchy.digits,
+            "height": hierarchy.height,
+            "mask": hierarchy._mask,
+        }
+    if isinstance(hierarchy, RangeHierarchy):
+        return {
+            "type": "range",
+            "widths": hierarchy.widths,
+            "origin": hierarchy._origin,
+            "suppress_top": hierarchy._suppress_top,
+            "suppressed": hierarchy._suppressed,
+        }
+    if isinstance(hierarchy, DateHierarchy):
+        return {"type": "date", "suppressed": hierarchy._suppressed}
+    if isinstance(hierarchy, TaxonomyHierarchy):
+        # Reconstruct the (padded) tree from the leaf chains.
+        tree: dict = {}
+        for leaf, chain in hierarchy._chains.items():
+            path = [leaf] + [node for node in chain[1:]]
+            # strip padding duplicates at the top
+            deduped = [path[0]]
+            for node in path[1:]:
+                if node != deduped[-1]:
+                    deduped.append(node)
+            cursor = tree.setdefault(deduped[-1], {})
+            for node in reversed(deduped[:-1]):
+                cursor = cursor.setdefault(node, {})
+        return {"type": "taxonomy", "tree": tree, "height": hierarchy.height}
+    raise HierarchyError(
+        f"cannot serialize hierarchy of type {type(hierarchy).__name__}"
+    )

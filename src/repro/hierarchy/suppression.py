@@ -1,0 +1,41 @@
+"""Suppression hierarchies: a single generalization step to ``*``.
+
+Figure 2 (e, f) of the paper: the Sex hierarchy S0 = {Male, Female} →
+S1 = {Person}.  Figure 9 uses one-step suppression for Gender, Race, Salary
+class, Style, Quantity, and Shipment.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+from repro.hierarchy.base import Hierarchy
+
+
+class SuppressionHierarchy(Hierarchy):
+    """Height-1 hierarchy mapping every base value to one suppressed token.
+
+    Parameters
+    ----------
+    suppressed:
+        The value of the single-element top domain (default ``"*"``; the
+        paper's Sex example uses ``"Person"``).
+    """
+
+    def __init__(self, suppressed: Hashable = "*") -> None:
+        self._suppressed = suppressed
+
+    @property
+    def height(self) -> int:
+        return 1
+
+    @property
+    def suppressed(self) -> Hashable:
+        return self._suppressed
+
+    def generalize(self, value: Hashable, level: int) -> Hashable:
+        self._check_level(level)
+        return value if level == 0 else self._suppressed
+
+    def __repr__(self) -> str:
+        return f"SuppressionHierarchy(suppressed={self._suppressed!r})"

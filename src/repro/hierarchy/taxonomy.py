@@ -1,0 +1,143 @@
+"""Taxonomy-tree hierarchies for categorical attributes.
+
+Figure 9 of the paper generalizes Marital Status, Education, Native Country,
+Work Class, Occupation (Adults) and Order Date (Lands End) through
+user-supplied taxonomy trees.  A :class:`TaxonomyHierarchy` is built from a
+nested-dict tree whose leaves form the base domain; level l of a value is its
+ancestor l steps up.
+
+Trees need not be uniform-depth: shallow leaves' chains are padded by
+repeating the highest ancestor (the root), so every value has an image at
+every level — the full-domain model requires all values of an attribute to
+sit in the same domain.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+from repro.hierarchy.base import Hierarchy, HierarchyError
+
+
+def _chains_from_tree(
+    tree: Mapping[Hashable, Mapping],
+    ancestors: tuple[Hashable, ...],
+    chains: dict[Hashable, tuple[Hashable, ...]],
+) -> None:
+    for node, subtree in tree.items():
+        path = (node, *ancestors)
+        if subtree:
+            _chains_from_tree(subtree, path, chains)
+        else:
+            if node in chains:
+                raise HierarchyError(f"duplicate leaf {node!r} in taxonomy")
+            chains[node] = path
+
+
+class TaxonomyHierarchy(Hierarchy):
+    """A hierarchy defined by an explicit taxonomy tree.
+
+    Parameters
+    ----------
+    tree:
+        Nested mapping ``{root: {child: {... {leaf: {}} ...}}}``.  Leaves
+        (nodes with empty sub-mappings) are the base domain.
+    height:
+        Optional explicit height.  Defaults to the depth of the deepest
+        leaf (so the top level is exactly the root).  If larger, chains are
+        padded with the root; it may not be smaller than the deepest leaf's
+        depth (that would drop required generalization steps).
+    """
+
+    def __init__(
+        self, tree: Mapping[Hashable, Mapping], height: int | None = None
+    ) -> None:
+        if len(tree) != 1:
+            raise HierarchyError(
+                f"taxonomy must have exactly one root, got {len(tree)}"
+            )
+        chains: dict[Hashable, tuple[Hashable, ...]] = {}
+        _chains_from_tree(tree, (), chains)
+        if not chains:
+            raise HierarchyError("taxonomy has no leaves")
+        max_depth = max(len(chain) for chain in chains.values()) - 1
+        if height is None:
+            height = max_depth
+        elif height < max_depth:
+            raise HierarchyError(
+                f"height {height} is below the deepest leaf depth {max_depth}"
+            )
+        self._height = height
+        # Pad every chain to num_levels entries by repeating its topmost
+        # ancestor (the root, for chains reaching it).
+        self._chains = {
+            leaf: chain + (chain[-1],) * (height + 1 - len(chain))
+            for leaf, chain in chains.items()
+        }
+
+    @classmethod
+    def from_parent_map(
+        cls,
+        parents: Mapping[Hashable, Hashable],
+        *,
+        height: int | None = None,
+    ) -> "TaxonomyHierarchy":
+        """Build from a child → parent mapping (root omitted or self-mapped)."""
+        children: dict[Hashable, dict] = {}
+        nodes: dict[Hashable, dict] = {}
+
+        def node_of(name: Hashable) -> dict:
+            return nodes.setdefault(name, {})
+
+        roots = []
+        all_children = set()
+        for child, parent in parents.items():
+            if parent == child:
+                continue
+            node_of(parent)[child] = node_of(child)
+            all_children.add(child)
+        for name in nodes:
+            if name not in all_children:
+                roots.append(name)
+        if len(roots) != 1:
+            raise HierarchyError(f"expected one root, found {roots!r}")
+        children[roots[0]] = nodes[roots[0]]
+        return cls({roots[0]: nodes[roots[0]]}, height=height)
+
+    @classmethod
+    def grouped(
+        cls,
+        groups: Mapping[Hashable, Sequence[Hashable]],
+        *,
+        root: Hashable = "*",
+    ) -> "TaxonomyHierarchy":
+        """Two-level taxonomy: leaves → named groups → ``root`` (height 2)."""
+        tree: dict[Hashable, dict] = {
+            root: {
+                group: {leaf: {} for leaf in leaves}
+                for group, leaves in groups.items()
+            }
+        }
+        return cls(tree)
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    @property
+    def leaves(self) -> list[Hashable]:
+        return list(self._chains)
+
+    def generalize(self, value: Hashable, level: int) -> Hashable:
+        self._check_level(level)
+        try:
+            return self._chains[value][level]
+        except KeyError:
+            raise HierarchyError(
+                f"{value!r} is not a leaf of this taxonomy"
+            ) from None
+
+    def __repr__(self) -> str:
+        return (
+            f"TaxonomyHierarchy(leaves={len(self._chains)}, height={self._height})"
+        )

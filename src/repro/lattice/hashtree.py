@@ -1,0 +1,123 @@
+"""Apriori-style hash tree for the prune phase (paper Section 3.1.2).
+
+The prune phase must answer, for every freshly joined (i+1)-attribute
+candidate node, whether all of its i-attribute sub-nodes survived the
+previous iteration.  The paper uses "a hash tree structure similar to that
+described in [2]" (Agrawal & Srikant's Apriori).  We implement the same
+structure over (attribute, level) item sequences: interior nodes hash on the
+next item, leaves hold small buckets that are scanned linearly and split
+once they overflow.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.lattice.node import LatticeNode
+
+#: leaf bucket capacity before splitting into an interior node
+_LEAF_CAPACITY = 8
+
+
+class _TreeNode:
+    __slots__ = ("children", "bucket")
+
+    def __init__(self) -> None:
+        self.children: dict[tuple[str, int], _TreeNode] | None = None
+        self.bucket: list[tuple[tuple[str, int], ...]] = []
+
+
+class SubsetHashTree:
+    """Membership structure over sets of (attribute, level) items.
+
+    Items are stored sorted by attribute name, so membership queries are
+    order-insensitive, matching the paper's treatment of node identity.
+    """
+
+    def __init__(self, nodes: Iterable[LatticeNode] = ()) -> None:
+        self._root = _TreeNode()
+        self._size = 0
+        for node in nodes:
+            self.add(node)
+
+    @staticmethod
+    def _items(node: LatticeNode) -> tuple[tuple[str, int], ...]:
+        return tuple(sorted(zip(node.attributes, node.levels)))
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(self, node: LatticeNode) -> None:
+        items = self._items(node)
+        current = self._root
+        depth = 0
+        while current.children is not None:
+            key = items[depth] if depth < len(items) else None
+            if key is None:
+                break
+            current = current.children.setdefault(key, _TreeNode())
+            depth += 1
+        if items in current.bucket:
+            return
+        current.bucket.append(items)
+        self._size += 1
+        if len(current.bucket) > _LEAF_CAPACITY:
+            self._split(current, depth)
+
+    def _split(self, leaf: _TreeNode, depth: int) -> None:
+        """Turn an overflowing leaf into an interior node."""
+        leaf.children = {}
+        overflow: list[tuple[tuple[str, int], ...]] = []
+        for items in leaf.bucket:
+            if depth < len(items):
+                child = leaf.children.setdefault(items[depth], _TreeNode())
+                child.bucket.append(items)
+            else:
+                overflow.append(items)  # too short to split further
+        leaf.bucket = overflow
+
+    def __contains__(self, node: LatticeNode) -> bool:
+        items = self._items(node)
+        current = self._root
+        depth = 0
+        while current.children is not None and depth < len(items):
+            child = current.children.get(items[depth])
+            if child is None:
+                return items in current.bucket
+            current = child
+            depth += 1
+        return items in current.bucket
+
+    def contains_all_subsets(self, node: LatticeNode, size: int) -> bool:
+        """True iff every ``size``-attribute projection of ``node`` is present.
+
+        This is the Apriori prune test: a candidate of size i+1 may only
+        survive if all of its i-attribute sub-nodes (same levels) did.
+        """
+        if size >= node.size:
+            raise ValueError(
+                f"subset size {size} must be below node size {node.size}"
+            )
+        attributes = node.attributes
+        for drop in range(len(attributes)):
+            kept = attributes[:drop] + attributes[drop + 1:]
+            projection = node.subset(kept)
+            if projection.size != size:
+                raise ValueError(
+                    f"expected size-{size} projections, got {projection.size}"
+                )
+            if projection not in self:
+                return False
+        return True
+
+
+def all_subsets_present(
+    node: LatticeNode, survivors: SubsetHashTree | Sequence[LatticeNode]
+) -> bool:
+    """Convenience wrapper: prune test against a tree or a plain sequence."""
+    tree = (
+        survivors
+        if isinstance(survivors, SubsetHashTree)
+        else SubsetHashTree(survivors)
+    )
+    return tree.contains_all_subsets(node, node.size - 1)

@@ -1,0 +1,35 @@
+"""Information-loss metrics for comparing anonymizations.
+
+The paper (Sections 2.1 and 6) discusses several notions of how "good" an
+anonymization is; Incognito's completeness lets the user pick any of them
+over the full solution set.  This package implements the standard metrics
+from the surrounding literature:
+
+* :func:`~repro.metrics.loss.generalization_height` — Samarati's distance-
+  vector height.
+* :func:`~repro.metrics.loss.precision` — Sweeney's Prec metric (per-cell
+  fraction of the hierarchy climbed).
+* :func:`~repro.metrics.loss.discernibility` — Bayardo & Agrawal's C_DM
+  (sum of squared equivalence-class sizes, suppression penalised).
+* :func:`~repro.metrics.loss.average_class_size` — the C_AVG normalised
+  average equivalence-class size.
+* :func:`~repro.metrics.loss.loss_metric` — Iyengar's LM over hierarchies.
+"""
+
+from repro.metrics.loss import (
+    average_class_size,
+    discernibility,
+    equivalence_class_sizes,
+    generalization_height,
+    loss_metric,
+    precision,
+)
+
+__all__ = [
+    "average_class_size",
+    "discernibility",
+    "equivalence_class_sizes",
+    "generalization_height",
+    "loss_metric",
+    "precision",
+]

@@ -1,0 +1,115 @@
+"""Information-loss metrics.
+
+All metrics are *lower is better* and operate either on a lattice node (for
+full-domain generalizations, where loss is uniform per attribute) or on an
+anonymized table (for arbitrary recodings from :mod:`repro.models`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.problem import PreparedTable
+from repro.lattice.node import LatticeNode
+from repro.relational.groupby import group_by_count
+from repro.relational.table import Table
+
+
+def generalization_height(node: LatticeNode) -> int:
+    """Samarati's minimality measure: the distance-vector sum (Section 2.1)."""
+    return node.height
+
+
+def equivalence_class_sizes(
+    table: Table, quasi_identifier: Sequence[str]
+) -> np.ndarray:
+    """Sizes of the QI equivalence classes of ``table`` (its frequency set)."""
+    if table.num_rows == 0:
+        return np.empty(0, dtype=np.int64)
+    return group_by_count(table, list(quasi_identifier)).counts
+
+
+def discernibility(
+    table: Table,
+    quasi_identifier: Sequence[str],
+    *,
+    total_rows: int | None = None,
+) -> int:
+    """Bayardo & Agrawal's discernibility metric C_DM.
+
+    Each tuple pays the size of its equivalence class (Σ |E|²); each
+    suppressed tuple pays the full table size.  Pass the original
+    ``total_rows`` when ``table`` has had outliers suppressed so the
+    suppression penalty is charged.
+    """
+    sizes = equivalence_class_sizes(table, quasi_identifier)
+    cost = int((sizes.astype(np.int64) ** 2).sum())
+    if total_rows is not None:
+        suppressed = total_rows - int(sizes.sum())
+        if suppressed < 0:
+            raise ValueError(
+                f"total_rows={total_rows} below table rows {int(sizes.sum())}"
+            )
+        cost += suppressed * total_rows
+    return cost
+
+
+def average_class_size(
+    table: Table, quasi_identifier: Sequence[str], k: int
+) -> float:
+    """The normalised average equivalence-class size C_AVG = (N/classes)/k.
+
+    1.0 is ideal (every class exactly size k); larger means the recoding
+    merged more tuples than k-anonymity required.
+    """
+    sizes = equivalence_class_sizes(table, quasi_identifier)
+    if sizes.size == 0:
+        return 0.0
+    return (float(sizes.sum()) / sizes.size) / k
+
+
+def precision(problem: PreparedTable, node: LatticeNode) -> float:
+    """Sweeney's Prec, inverted to a loss: mean fraction of hierarchy climbed.
+
+    For a full-domain generalization every cell of attribute A climbs
+    ``level/height`` of A's hierarchy, so the metric reduces to the mean of
+    ``level_i / height_i`` over quasi-identifier attributes (attributes with
+    height 0 contribute nothing and are skipped).  0.0 = released intact,
+    1.0 = fully suppressed.
+    """
+    fractions = []
+    for attribute, level in node.items():
+        height = problem.height(attribute)
+        if height > 0:
+            fractions.append(level / height)
+    if not fractions:
+        return 0.0
+    return float(sum(fractions) / len(fractions))
+
+
+def loss_metric(problem: PreparedTable, node: LatticeNode) -> float:
+    """Iyengar's LM for full-domain generalizations.
+
+    A cell generalized to a value covering m of the attribute's M base
+    values loses ``(m - 1) / (M - 1)``.  Under full-domain recoding the
+    per-attribute loss is the weighted mean over the table's rows; the
+    total is the mean across quasi-identifier attributes.
+    """
+    losses = []
+    for attribute, level in node.items():
+        hierarchy = problem.hierarchy(attribute)
+        base_size = hierarchy.base_size
+        if base_size <= 1:
+            losses.append(0.0)
+            continue
+        lookup = hierarchy.level_lookup(level)
+        # m per generalized value = how many base values map to it
+        group_sizes = np.bincount(lookup, minlength=hierarchy.cardinality(level))
+        codes = problem.table.column(attribute).codes
+        per_row_m = group_sizes[lookup[codes]]
+        losses.append(float((per_row_m - 1).mean() / (base_size - 1)))
+    if not losses:
+        return 0.0
+    return float(sum(losses) / len(losses))

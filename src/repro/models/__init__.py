@@ -1,0 +1,76 @@
+"""The Section 5 taxonomy of k-anonymization models.
+
+The paper's second contribution is a taxonomy classifying anonymization
+models along three axes — generalization vs. suppression, global vs. local
+recoding, hierarchy-based vs. partition-based — and pointing out new
+combinations.  This package implements a working model for every cell the
+paper names:
+
+==============================================  ==========================================
+Model (paper Section 5 name)                    Implementation
+==============================================  ==========================================
+Full-domain generalization                      :class:`~repro.models.fulldomain.FullDomainModel`
+Attribute suppression                           :class:`~repro.models.fulldomain.AttributeSuppressionModel`
+Single-dim full-subtree recoding                :class:`~repro.models.subtree.SubtreeModel`
+Unrestricted single-dim recoding                :class:`~repro.models.unrestricted.UnrestrictedModel`
+Single-dim ordered-set partitioning             :class:`~repro.models.partition1d.Partition1DModel`
+Multi-dim full-subgraph recoding                :class:`~repro.models.multidim.MultiDimSubgraphModel`
+Unrestricted multi-dim recoding                 :class:`~repro.models.multidim.UnrestrictedMultiDimModel`
+Multi-dim ordered-set partitioning (Mondrian)   :class:`~repro.models.mondrian.MondrianModel`
+Local recoding: cell suppression                :class:`~repro.models.local.CellSuppressionModel`
+Local recoding: cell generalization             :class:`~repro.models.local.CellGeneralizationModel`
+==============================================  ==========================================
+
+Every model produces a :class:`~repro.models.base.RecodingResult` whose
+table passes the independent :func:`repro.core.check_k_anonymity` check.
+Search strategies for the non-full-domain models are greedy heuristics (the
+paper leaves their algorithmics as future work); the point here is that the
+*models* are executable and comparable on information loss.
+"""
+
+from repro.models.base import RecodingModel, RecodingResult
+from repro.models.fulldomain import AttributeSuppressionModel, FullDomainModel
+from repro.models.koptimize import KOptimizeModel
+from repro.models.local import CellGeneralizationModel, CellSuppressionModel
+from repro.models.mondrian import MondrianModel
+from repro.models.multidim import MultiDimSubgraphModel, UnrestrictedMultiDimModel
+from repro.models.partition1d import Partition1DModel, optimal_1d_partition
+from repro.models.stochastic import AnnealingSubtreeModel, GeneticSubtreeModel
+from repro.models.subtree import SubtreeModel
+from repro.models.taxonomy import (
+    Coding,
+    Dimensionality,
+    ModelDescriptor,
+    Scope,
+    Structure,
+    all_model_descriptors,
+)
+from repro.models.unrestricted import UnrestrictedModel
+from repro.models.value_lattice import ValueLattice, ValueNode
+
+__all__ = [
+    "AnnealingSubtreeModel",
+    "AttributeSuppressionModel",
+    "CellGeneralizationModel",
+    "GeneticSubtreeModel",
+    "KOptimizeModel",
+    "CellSuppressionModel",
+    "Coding",
+    "Dimensionality",
+    "FullDomainModel",
+    "ModelDescriptor",
+    "MondrianModel",
+    "MultiDimSubgraphModel",
+    "Partition1DModel",
+    "RecodingModel",
+    "RecodingResult",
+    "Scope",
+    "Structure",
+    "SubtreeModel",
+    "UnrestrictedModel",
+    "UnrestrictedMultiDimModel",
+    "ValueLattice",
+    "ValueNode",
+    "all_model_descriptors",
+    "optimal_1d_partition",
+]

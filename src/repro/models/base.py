@@ -1,0 +1,78 @@
+"""Common protocol for the Section 5 recoding models.
+
+Every model consumes a :class:`~repro.core.problem.PreparedTable` (partition
+models ignore the hierarchies and order the column domains instead) and a
+``k``, and produces a :class:`RecodingResult`: the anonymized view plus
+accounting.  The base class provides the shared verification step — every
+result is checked k-anonymous with the independent checker before being
+returned, so a buggy search can never silently emit an unsafe table.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.core.anonymity import check_k_anonymity
+from repro.core.problem import PreparedTable
+from repro.models.taxonomy import ModelDescriptor, descriptor
+from repro.relational.table import Table
+
+
+@dataclass
+class RecodingResult:
+    """The anonymized view produced by a recoding model."""
+
+    model: str
+    k: int
+    table: Table
+    suppressed_rows: int = 0
+    #: model-specific description of the chosen recoding (cuts, intervals,
+    #: lattice node, suppressed attributes, ...)
+    details: dict = field(default_factory=dict)
+
+    @property
+    def num_rows(self) -> int:
+        return self.table.num_rows
+
+
+class RecodingError(RuntimeError):
+    """Raised when a model cannot reach k-anonymity (e.g. k > table size)."""
+
+
+class RecodingModel(abc.ABC):
+    """A k-anonymization model from the Section 5 taxonomy."""
+
+    #: key into :func:`repro.models.taxonomy.all_model_descriptors`
+    taxonomy_key: str = ""
+
+    @property
+    def descriptor(self) -> ModelDescriptor:
+        return descriptor(self.taxonomy_key)
+
+    @abc.abstractmethod
+    def _anonymize(self, problem: PreparedTable, k: int) -> RecodingResult:
+        """Produce a candidate result (verified by :meth:`anonymize`)."""
+
+    def anonymize(self, problem: PreparedTable, k: int) -> RecodingResult:
+        """Run the model and verify the output is k-anonymous.
+
+        Raises :class:`RecodingError` if the model fails to achieve
+        k-anonymity (after suppression, if the model suppresses).
+        """
+        if k <= 0:
+            raise ValueError(f"k must be positive, got {k}")
+        if problem.num_rows and k > problem.num_rows:
+            raise RecodingError(
+                f"k={k} exceeds the table size {problem.num_rows}"
+            )
+        result = self._anonymize(problem, k)
+        if not check_k_anonymity(result.table, problem.quasi_identifier, k):
+            raise RecodingError(
+                f"{type(self).__name__} produced a non-{k}-anonymous table "
+                "(internal error)"
+            )
+        return result
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

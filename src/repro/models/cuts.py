@@ -1,0 +1,161 @@
+"""Subtree-cut state machinery shared by the cut-based searches.
+
+A *cut* through an attribute's value generalization tree is an antichain of
+(level, code) nodes covering every base value — the state space of the
+single-dimension full-subtree recoding model (Section 5.1.1).  This module
+provides the mutable cut representation used by the greedy
+:class:`~repro.models.subtree.SubtreeModel` and the stochastic searches in
+:mod:`repro.models.stochastic`:
+
+* ``specialize(node)`` — replace a cut node by its children (refine);
+* ``generalize_into(parent)`` — replace a full sibling set by their parent
+  (coarsen);
+* ``random_neighbor`` support via the move-enumeration helpers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import PreparedTable
+
+#: A cut node: (hierarchy level, code within that level's domain).
+CutNode = tuple[int, int]
+
+
+class AttributeCut:
+    """The state of one attribute's cut plus base-code assignment."""
+
+    def __init__(
+        self,
+        problem: PreparedTable,
+        attribute: str,
+        *,
+        start_at_top: bool = True,
+    ) -> None:
+        self.attribute = attribute
+        self.hierarchy = problem.hierarchy(attribute)
+        self.base_codes = problem.table.column(attribute).codes
+        if start_at_top:
+            level = self.hierarchy.height
+        else:
+            level = 0
+        self.nodes: set[CutNode] = {
+            (level, code) for code in range(self.hierarchy.cardinality(level))
+        }
+        self._assign = np.full(self.hierarchy.base_size, -1, dtype=np.int64)
+        self._labels: list[CutNode] = []
+        self._rebuild_assignment()
+
+    def _rebuild_assignment(self) -> None:
+        """Recompute base-code → cut-node-index from the current cut."""
+        self._labels = sorted(self.nodes)
+        index_of = {node: i for i, node in enumerate(self._labels)}
+        for level, code in self._labels:
+            members = self.hierarchy.level_lookup(level) == code
+            self._assign[members] = index_of[(level, code)]
+        if (self._assign < 0).any():
+            raise AssertionError(
+                f"cut for {self.attribute!r} does not cover the base domain"
+            )
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def recoded(self) -> np.ndarray:
+        """Per-row cut-node indices (the attribute's current recoding)."""
+        return self._assign[self.base_codes]
+
+    @property
+    def cardinality(self) -> int:
+        return len(self._labels)
+
+    def rows_covered(self, node: CutNode) -> int:
+        level, code = node
+        members = self.hierarchy.level_lookup(level)[self.base_codes] == code
+        return int(members.sum())
+
+    def label_value(self, cut_index: int):
+        level, code = self._labels[cut_index]
+        return self.hierarchy.level_values(level)[code]
+
+    def cut_description(self) -> list:
+        return [
+            self.hierarchy.level_values(level)[code]
+            for level, code in sorted(self.nodes)
+        ]
+
+    def total_height(self) -> int:
+        """Σ levels over the cut — a cheap coarseness measure."""
+        return sum(level for level, _ in self.nodes)
+
+    # ------------------------------------------------------------------
+    # moves
+    # ------------------------------------------------------------------
+    def children_of(self, node: CutNode) -> list[CutNode]:
+        level, code = node
+        if level == 0:
+            return []
+        mapping = self.hierarchy.mapping_between(level - 1, level)
+        return [
+            (level - 1, child)
+            for child in range(self.hierarchy.cardinality(level - 1))
+            if mapping[child] == code
+        ]
+
+    def parent_of(self, node: CutNode) -> CutNode | None:
+        level, code = node
+        if level >= self.hierarchy.height:
+            return None
+        mapping = self.hierarchy.mapping_between(level, level + 1)
+        return (level + 1, int(mapping[code]))
+
+    def specializable_nodes(self) -> list[CutNode]:
+        return sorted(node for node in self.nodes if node[0] > 0)
+
+    def generalizable_parents(self) -> list[CutNode]:
+        """Parents whose entire child set currently sits in the cut."""
+        candidates: set[CutNode] = set()
+        for node in self.nodes:
+            parent = self.parent_of(node)
+            if parent is None or parent in candidates:
+                continue
+            siblings = self.children_of(parent)
+            if siblings and all(sibling in self.nodes for sibling in siblings):
+                candidates.add(parent)
+        return sorted(candidates)
+
+    def specialize(self, node: CutNode) -> None:
+        children = self.children_of(node)
+        if not children:
+            raise ValueError(f"{node} has no children to specialize into")
+        self.nodes.remove(node)
+        self.nodes.update(children)
+        self._rebuild_assignment()
+
+    def undo(self, node: CutNode) -> None:
+        """Reverse a ``specialize(node)``."""
+        for child in self.children_of(node):
+            self.nodes.remove(child)
+        self.nodes.add(node)
+        self._rebuild_assignment()
+
+    def generalize_into(self, parent: CutNode) -> None:
+        """Replace ``parent``'s full child set with ``parent``."""
+        children = self.children_of(parent)
+        missing = [child for child in children if child not in self.nodes]
+        if missing:
+            raise ValueError(
+                f"cannot generalize into {parent}: children {missing} absent"
+            )
+        for child in children:
+            self.nodes.remove(child)
+        self.nodes.add(parent)
+        self._rebuild_assignment()
+
+    def snapshot(self) -> frozenset[CutNode]:
+        return frozenset(self.nodes)
+
+    def restore(self, snapshot: frozenset[CutNode]) -> None:
+        self.nodes = set(snapshot)
+        self._rebuild_assignment()

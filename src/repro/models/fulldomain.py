@@ -1,0 +1,113 @@
+"""Full-domain generalization and attribute suppression as taxonomy models.
+
+These wrap the core algorithms in the :class:`~repro.models.base.RecodingModel`
+protocol so the model-comparison example can score every taxonomy cell on
+the same footing.
+
+* :class:`FullDomainModel` runs a complete search (Incognito by default) and
+  picks a node by a minimality criterion.
+* :class:`AttributeSuppressionModel` is the paper's special case where every
+  hierarchy is ``value → *``: each attribute is either released intact or
+  suppressed entirely.  It reuses the same machinery over substituted
+  suppression hierarchies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from repro.core.generalize import apply_generalization
+from repro.core.incognito import basic_incognito
+from repro.core.problem import PreparedTable
+from repro.core.result import AnonymizationResult
+from repro.hierarchy import SuppressionHierarchy
+from repro.lattice.node import LatticeNode
+from repro.models.base import RecodingError, RecodingModel, RecodingResult
+
+
+class FullDomainModel(RecodingModel):
+    """Minimal full-domain generalization via a complete search.
+
+    Parameters
+    ----------
+    search:
+        A complete search function ``(problem, k) -> AnonymizationResult``
+        (default: Basic Incognito).
+    weights:
+        Optional per-attribute weights for the minimality choice; default
+        picks a minimum-height node.
+    """
+
+    taxonomy_key = "full-domain"
+
+    def __init__(
+        self,
+        search: Callable[..., AnonymizationResult] | None = None,
+        weights: Mapping[str, float] | None = None,
+    ) -> None:
+        self._search = search if search is not None else basic_incognito
+        self._weights = dict(weights) if weights else None
+
+    def _anonymize(self, problem: PreparedTable, k: int) -> RecodingResult:
+        result = self._search(problem, k)
+        if not result.found:
+            raise RecodingError(
+                f"no {k}-anonymous full-domain generalization exists"
+            )
+        if self._weights is not None:
+            node = result.weighted_minimal(self._weights)
+        else:
+            node = result.best_node()
+        view = apply_generalization(problem, node)
+        return RecodingResult(
+            model=self.taxonomy_key,
+            k=k,
+            table=view.table,
+            details={"node": node, "solutions": len(result.anonymous_nodes)},
+        )
+
+
+class AttributeSuppressionModel(RecodingModel):
+    """Release each QI attribute intact or fully suppressed (Section 5.1.1)."""
+
+    taxonomy_key = "attribute-suppression"
+
+    def __init__(
+        self, search: Callable[..., AnonymizationResult] | None = None
+    ) -> None:
+        self._search = search if search is not None else basic_incognito
+
+    def _anonymize(self, problem: PreparedTable, k: int) -> RecodingResult:
+        # Substitute a height-1 suppression hierarchy for every attribute;
+        # the full-domain lattice then has exactly the 2^n keep/suppress
+        # choices and the complete search enumerates the anonymous ones.
+        suppression_problem = PreparedTable(
+            problem.table,
+            {name: SuppressionHierarchy() for name in problem.quasi_identifier},
+            problem.quasi_identifier,
+        )
+        result = self._search(suppression_problem, k)
+        if not result.found:
+            raise RecodingError(
+                f"no {k}-anonymous attribute suppression exists"
+            )
+        # Minimal height = fewest suppressed attributes.
+        node = result.best_node()
+        view = apply_generalization(suppression_problem, node)
+        suppressed = [
+            name for name, level in node.items() if level == 1
+        ]
+        return RecodingResult(
+            model=self.taxonomy_key,
+            k=k,
+            table=view.table,
+            details={"suppressed_attributes": suppressed, "node": node},
+        )
+
+
+def node_view(problem: PreparedTable, node: LatticeNode) -> RecodingResult:
+    """Wrap an explicit lattice node as a RecodingResult (no search)."""
+    view = apply_generalization(problem, node)
+    return RecodingResult(
+        model="full-domain", k=0, table=view.table, details={"node": node}
+    )

@@ -1,0 +1,215 @@
+"""k-Optimize: optimal single-dimension ordered-set partitioning (§6, [3]).
+
+    "In [3], Bayardo and Agrawal propose a top-down set-enumeration
+    approach for finding an anonymization that is optimal according to a
+    given cost metric, given the single-dimension ordered-set
+    partitioning model."
+
+The model (Section 5.1.2): each attribute's ordered domain is carved into
+disjoint covering intervals; a recoding is a choice of *split points* —
+the boundaries between consecutive distinct values that are kept.  The
+empty split set is the fully generalized table (one interval per
+attribute), the full split set the original table.
+
+The search enumerates split-point subsets top-down from the empty set
+(most general first, like [3]), depth-first over a fixed item order, with
+branch-and-bound pruning.  The cost is the suppression-augmented
+discernibility metric of [3]:
+
+* a tuple in an equivalence class of size >= k pays the class size;
+* a tuple in an undersized class is suppressed and pays |T|.
+
+**Pruning bound.**  Adding split points only ever *splits* equivalence
+classes.  Hence, for any refinement of the current state: a class of size
+s < k remains undersized forever (cost s·|T| is unavoidable), and a class
+of size s >= k costs at least s·k (every retained tuple sits in a class of
+size >= k) — if suppressing is cheaper the bound uses it.  Summing gives
+an admissible lower bound over the whole subtree, so pruning preserves
+optimality.  This is a simplification of [3]'s bound (theirs also reasons
+about which specific splits remain); it prunes less but never wrongly.
+
+Exponential in the number of split points, as the paper says of all these
+algorithms — intended for modest domains; the tests verify optimality
+against brute force.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import PreparedTable
+from repro.models.base import RecodingModel, RecodingResult
+from repro.models.partition1d import interval_label
+from repro.relational.column import CODE_DTYPE, Column
+
+#: a split item: (attribute position, boundary index within its domain)
+SplitItem = tuple[int, int]
+
+
+class _PartitionSpace:
+    """Split-point bookkeeping for a quasi-identifier."""
+
+    def __init__(self, problem: PreparedTable) -> None:
+        self.problem = problem
+        self.qi = problem.quasi_identifier
+        self.domains: list[list] = []
+        self.row_ranks = np.empty(
+            (problem.num_rows, len(self.qi)), dtype=np.int64
+        )
+        self.items: list[SplitItem] = []
+        for position, name in enumerate(self.qi):
+            column = problem.table.column(name)
+            order = sorted(
+                range(column.cardinality), key=lambda c: column.values[c]
+            )
+            self.domains.append([column.values[c] for c in order])
+            rank_of_code = np.empty(column.cardinality, dtype=np.int64)
+            for rank, code in enumerate(order):
+                rank_of_code[code] = rank
+            self.row_ranks[:, position] = rank_of_code[column.codes]
+            # boundary b sits between domain values b and b+1
+            self.items.extend(
+                (position, boundary)
+                for boundary in range(len(self.domains[position]) - 1)
+            )
+
+    def interval_codes(self, splits: frozenset[SplitItem]) -> np.ndarray:
+        """(rows, attrs) interval ids induced by the chosen splits."""
+        codes = np.zeros_like(self.row_ranks)
+        for position in range(len(self.qi)):
+            boundaries = sorted(
+                boundary for (p, boundary) in splits if p == position
+            )
+            if not boundaries:
+                continue
+            edges = np.asarray(boundaries, dtype=np.int64)
+            # Boundary b separates ranks <= b from ranks >= b+1, so the
+            # interval id of rank r is the number of boundaries below r.
+            codes[:, position] = np.searchsorted(
+                edges, self.row_ranks[:, position], side="left"
+            )
+        return codes
+
+    def class_sizes(self, splits: frozenset[SplitItem]) -> np.ndarray:
+        codes = self.interval_codes(splits)
+        if codes.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
+        _, counts = np.unique(codes, axis=0, return_counts=True)
+        return counts
+
+
+def partition_cost(sizes: np.ndarray, k: int, total_rows: int) -> int:
+    """Suppression-augmented discernibility ([3])."""
+    if sizes.size == 0:
+        return 0
+    retained = sizes[sizes >= k]
+    suppressed_rows = int(sizes[sizes < k].sum())
+    return int((retained.astype(np.int64) ** 2).sum()) + suppressed_rows * total_rows
+
+
+def partition_lower_bound(sizes: np.ndarray, k: int, total_rows: int) -> int:
+    """Admissible bound on the cost of ANY refinement of this state."""
+    if sizes.size == 0:
+        return 0
+    bound = 0
+    for s in sizes.tolist():
+        if s < k:
+            bound += s * total_rows  # stuck undersized forever
+        else:
+            # retained tuples pay >= k each; suppression pays total_rows
+            bound += s * min(k, total_rows)
+    return bound
+
+
+class KOptimizeModel(RecodingModel):
+    """Branch-and-bound optimal ordered-set partitioning (Bayardo-Agrawal).
+
+    Parameters
+    ----------
+    max_items:
+        Safety cap on the number of split-point items (the search is
+        exponential); exceeding it raises :class:`ValueError` rather than
+        hanging.  Raise it knowingly for bigger instances.
+    """
+
+    taxonomy_key = "partition-1d"
+
+    def __init__(self, *, max_items: int = 18) -> None:
+        self._max_items = max_items
+
+    def _anonymize(self, problem: PreparedTable, k: int) -> RecodingResult:
+        space = _PartitionSpace(problem)
+        if len(space.items) > self._max_items:
+            raise ValueError(
+                f"{len(space.items)} split points exceed max_items="
+                f"{self._max_items}; k-Optimize is exponential — raise the "
+                "cap explicitly or use Partition1DModel/MondrianModel"
+            )
+        total_rows = problem.num_rows
+        best_splits = frozenset()
+        best_cost = partition_cost(
+            space.class_sizes(best_splits), k, total_rows
+        )
+        explored = 0
+
+        def search(splits: frozenset[SplitItem], next_item: int) -> None:
+            nonlocal best_splits, best_cost, explored
+            explored += 1
+            sizes = space.class_sizes(splits)
+            cost = partition_cost(sizes, k, total_rows)
+            if cost < best_cost:
+                best_cost, best_splits = cost, splits
+            if partition_lower_bound(sizes, k, total_rows) >= best_cost:
+                return  # no refinement can beat the incumbent
+            for item_index in range(next_item, len(space.items)):
+                search(
+                    splits | {space.items[item_index]}, item_index + 1
+                )
+
+        search(frozenset(), 0)
+
+        # Materialise the optimal recoding; undersized classes suppress.
+        codes = space.interval_codes(best_splits)
+        table = problem.table
+        suppressed = 0
+        if total_rows:
+            _, inverse, counts = np.unique(
+                codes, axis=0, return_inverse=True, return_counts=True
+            )
+            keep = counts[inverse] >= k
+            suppressed = int(total_rows - keep.sum())
+        else:
+            keep = np.zeros(0, dtype=bool)
+
+        for position, name in enumerate(space.qi):
+            boundaries = sorted(
+                boundary for (p, boundary) in best_splits if p == position
+            )
+            domain = space.domains[position]
+            edges = [-1, *boundaries, len(domain) - 1]
+            labels = [
+                interval_label(domain[low + 1], domain[high])
+                for low, high in zip(edges, edges[1:])
+            ]
+            unique: dict = {}
+            remap = np.empty(len(labels), dtype=CODE_DTYPE)
+            for index, label in enumerate(labels):
+                remap[index] = unique.setdefault(label, len(unique))
+            table = table.replace_column(
+                name, Column(remap[codes[:, position]], list(unique), validate=False)
+            )
+        if suppressed:
+            table = table.take(keep)
+
+        return RecodingResult(
+            model="k-optimize",
+            k=k,
+            table=table,
+            suppressed_rows=suppressed,
+            details={
+                "cost": best_cost,
+                "splits": sorted(best_splits),
+                "nodes_explored": explored,
+                "total_items": len(space.items),
+            },
+        )

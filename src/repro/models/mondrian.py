@@ -1,0 +1,113 @@
+"""Multi-dimension ordered-set partitioning — Mondrian (paper Section 5.1.4).
+
+The paper's multi-dimension partition cell corresponds to the model later
+published as Mondrian (LeFevre et al., reference [12]'s expansion): the
+joint QI domain is carved into disjoint multi-dimensional boxes, each
+holding >= k tuples, by recursive median splits — a kd-tree construction.
+Each tuple is recoded to its box's per-attribute interval.
+
+Two published variants are provided:
+
+* **strict** (default): at each node, try dimensions in order of widest
+  normalised range; split at the median *value* (all rows sharing the
+  median value stay left); a split is allowable when both sides hold >= k
+  tuples; recurse until no dimension is splittable.
+* **relaxed** (``MondrianModel(relaxed=True)``): rows sharing the median
+  value may be divided between the two halves to balance them, which
+  keeps splitting where strict Mondrian stalls on heavy ties — the
+  variant's published motivation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import PreparedTable
+from repro.models.base import RecodingModel, RecodingResult
+from repro.models.partition1d import interval_label
+from repro.relational.column import Column
+
+
+class MondrianModel(RecodingModel):
+    """Recursive median-split multi-dimensional partitioning."""
+
+    taxonomy_key = "mondrian"
+
+    def __init__(self, *, relaxed: bool = False) -> None:
+        self._relaxed = relaxed
+
+    def _anonymize(self, problem: PreparedTable, k: int) -> RecodingResult:
+        qi = problem.quasi_identifier
+        table = problem.table
+        num_rows = table.num_rows
+
+        # Rank-encode every attribute over its sorted distinct domain so
+        # medians and ranges are well-defined for any orderable values.
+        domains: list[list] = []
+        row_ranks = np.empty((num_rows, len(qi)), dtype=np.int64)
+        for position, name in enumerate(qi):
+            column = table.column(name)
+            order = sorted(
+                range(column.cardinality), key=lambda c: column.values[c]
+            )
+            domains.append([column.values[c] for c in order])
+            rank_of_code = np.empty(column.cardinality, dtype=np.int64)
+            for rank, code in enumerate(order):
+                rank_of_code[code] = rank
+            row_ranks[:, position] = rank_of_code[column.codes]
+
+        domain_sizes = np.asarray(
+            [max(len(d), 1) for d in domains], dtype=np.float64
+        )
+        partitions: list[np.ndarray] = []
+
+        relaxed = self._relaxed
+
+        def split(rows: np.ndarray) -> None:
+            ranks = row_ranks[rows]
+            spans = ranks.max(axis=0) - ranks.min(axis=0)
+            # Widest normalised range first (the Mondrian choice heuristic).
+            for dimension in np.argsort(-(spans / domain_sizes)):
+                if spans[dimension] == 0:
+                    continue
+                values = ranks[:, dimension]
+                median = int(np.median(values))
+                if relaxed:
+                    # Distribute median-valued rows to balance the halves.
+                    order = np.argsort(values, kind="stable")
+                    half = len(rows) // 2
+                    left = rows[order[:half]]
+                    right = rows[order[half:]]
+                else:
+                    left = rows[values <= median]
+                    right = rows[values > median]
+                if len(left) >= k and len(right) >= k:
+                    split(left)
+                    split(right)
+                    return
+            partitions.append(rows)
+
+        if num_rows:
+            split(np.arange(num_rows, dtype=np.int64))
+
+        # Recode each partition to its bounding box's interval labels.
+        new_columns: dict[str, list] = {name: [None] * num_rows for name in qi}
+        for rows in partitions:
+            ranks = row_ranks[rows]
+            for position, name in enumerate(qi):
+                low = domains[position][int(ranks[:, position].min())]
+                high = domains[position][int(ranks[:, position].max())]
+                label = interval_label(low, high)
+                for row in rows:
+                    new_columns[name][row] = label
+
+        for name in qi:
+            table = table.replace_column(
+                name, Column.from_values(new_columns[name])
+            )
+        return RecodingResult(
+            model=self.taxonomy_key,
+            k=k,
+            table=table,
+            details={"partitions": len(partitions)},
+        )

@@ -1,0 +1,277 @@
+"""Hierarchy-based multi-dimension recoding (paper Section 5.1.3).
+
+These models recode the *joint* domain of the quasi-identifier: the
+recoding function maps QI value vectors (not individual attribute domains)
+to generalized vectors along the multi-attribute value generalization
+lattice of Figure 13.
+
+* :class:`UnrestrictedMultiDimModel` — each distinct base vector moves
+  independently to any of its γ⁺ generalizations.
+* :class:`MultiDimSubgraphModel` — adds the full-subgraph constraint: when
+  any vector maps to g, every vector in the sub-graph rooted at g (i.e.
+  every vector generalizing to g) maps to g.
+
+Both searches are greedy bottom-up over the distinct base vectors: while
+undersized classes exist, move each offending vector one step up along the
+dimension with the most remaining headroom (ties to the paper's attribute
+order).  Total generalization strictly increases per round, so the loops
+terminate (worst case: everything at the top vector, one class).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import PreparedTable
+from repro.models.base import RecodingModel, RecodingResult
+from repro.relational.column import CODE_DTYPE, Column
+
+
+class _VectorRecoding:
+    """Per-distinct-base-vector level assignments over the QI."""
+
+    def __init__(self, problem: PreparedTable) -> None:
+        self.problem = problem
+        self.qi = problem.quasi_identifier
+        base_columns = [
+            problem.table.column(name).codes.astype(np.int64) for name in self.qi
+        ]
+        stacked = (
+            np.column_stack(base_columns)
+            if problem.num_rows
+            else np.empty((0, len(self.qi)), dtype=np.int64)
+        )
+        #: distinct base vectors (rows) and each row's vector id
+        self.vectors, self.row_vector = np.unique(
+            stacked, axis=0, return_inverse=True
+        )
+        #: per-vector per-attribute generalization level
+        self.levels = np.zeros(
+            (self.vectors.shape[0], len(self.qi)), dtype=np.int64
+        )
+        self.heights = np.asarray(
+            [problem.height(name) for name in self.qi], dtype=np.int64
+        )
+
+    def generalized_vectors(self) -> np.ndarray:
+        """Each distinct vector's current recoded (level, code) signature.
+
+        Returned as an int matrix of ``(level, code)`` pairs flattened per
+        attribute — equal rows ⇔ identical recoded vectors (a level-l code
+        only collides with another level-l code).
+        """
+        parts = []
+        for position, name in enumerate(self.qi):
+            hierarchy = self.problem.hierarchy(name)
+            levels = self.levels[:, position]
+            codes = np.empty(self.vectors.shape[0], dtype=np.int64)
+            for level in np.unique(levels):
+                members = levels == level
+                codes[members] = hierarchy.level_lookup(int(level))[
+                    self.vectors[members, position]
+                ]
+            parts.append(levels)
+            parts.append(codes)
+        return np.column_stack(parts)
+
+    def undersized_vector_ids(self, k: int) -> np.ndarray:
+        """Vector ids currently living in equivalence classes smaller than k."""
+        signatures = self.generalized_vectors()
+        _, class_of_vector = np.unique(signatures, axis=0, return_inverse=True)
+        class_sizes = np.bincount(
+            class_of_vector, weights=np.bincount(
+                self.row_vector, minlength=self.vectors.shape[0]
+            )
+        )
+        small = class_sizes[class_of_vector] < k
+        return np.nonzero(small)[0]
+
+    def bump(self, vector_id: int) -> bool:
+        """Raise ``vector_id`` one level along its most-headroom dimension."""
+        headroom = self.heights - self.levels[vector_id]
+        if (headroom <= 0).all():
+            return False
+        dimension = int(np.argmax(headroom))
+        self.levels[vector_id, dimension] += 1
+        return True
+
+    def least_common_levels(self, a: int, b: int) -> np.ndarray:
+        """Per-attribute levels of vectors a/b's least common generalization.
+
+        For each attribute, the smallest level at or above both vectors'
+        current levels where the two base values coincide (the top always
+        qualifies, so this terminates).
+        """
+        levels = np.empty(len(self.qi), dtype=np.int64)
+        for position, name in enumerate(self.qi):
+            hierarchy = self.problem.hierarchy(name)
+            level = int(max(self.levels[a, position], self.levels[b, position]))
+            code_a = self.vectors[a, position]
+            code_b = self.vectors[b, position]
+            while (
+                hierarchy.level_lookup(level)[code_a]
+                != hierarchy.level_lookup(level)[code_b]
+            ):
+                level += 1
+            levels[position] = level
+        return levels
+
+    def class_weights(self) -> np.ndarray:
+        """Per-vector weight of the equivalence class it currently lives in."""
+        signatures = self.generalized_vectors()
+        _, class_of_vector = np.unique(signatures, axis=0, return_inverse=True)
+        vector_weights = np.bincount(
+            self.row_vector, minlength=self.vectors.shape[0]
+        )
+        class_sizes = np.bincount(class_of_vector, weights=vector_weights)
+        return class_sizes[class_of_vector]
+
+    def merge_toward(self, vector_id: int, k: int) -> bool:
+        """Lift ``vector_id`` (and partners) to a shared generalization.
+
+        Chooses partner vectors by cheapest least-common-generalization
+        height until the merged class weight reaches k, then raises every
+        participant to the common levels.  Returns False when no partner
+        exists (single distinct vector).
+        """
+        total = self.vectors.shape[0]
+        if total <= 1:
+            return False
+        vector_weights = np.bincount(self.row_vector, minlength=total)
+        candidates = []
+        for other in range(total):
+            if other == vector_id:
+                continue
+            lcg = self.least_common_levels(vector_id, other)
+            # Cheapest lift first; among ties, disturb the fewest rows.
+            candidates.append(
+                (int(lcg.sum()), int(vector_weights[other]), other, lcg)
+            )
+        candidates.sort(key=lambda item: item[:3])
+
+        weight = int(vector_weights[vector_id])
+        group = [vector_id]
+        target = self.levels[vector_id].copy()
+        for _, _, other, lcg in candidates:
+            target = np.maximum(target, lcg)
+            group.append(other)
+            weight += int(vector_weights[other])
+            if weight >= k:
+                break
+        # Everything in the group lifts to the common target; vectors that
+        # coincide with the target signature elsewhere merge for free later.
+        moved = False
+        for member in group:
+            lifted = np.maximum(self.levels[member], target)
+            if (lifted != self.levels[member]).any():
+                self.levels[member] = lifted
+                moved = True
+        return moved
+
+    def apply_subgraph_closure(self) -> None:
+        """Enforce the full-subgraph constraint.
+
+        For every recoded target g, all vectors whose generalization at g's
+        levels equals g must map exactly to g.  We iterate to a fixed point:
+        raising a vector can place it inside another target's subgraph.
+        """
+        changed = True
+        while changed:
+            changed = False
+            signatures = self.generalized_vectors()
+            # Group vectors by target (level-vector + code-vector).
+            targets, target_of = np.unique(
+                signatures, axis=0, return_inverse=True
+            )
+            for target_id in range(targets.shape[0]):
+                target = targets[target_id]
+                target_levels = target[0::2]
+                if not target_levels.any():
+                    continue  # zero generalization owns only itself
+                members = np.nonzero(target_of == target_id)[0]
+                # Find all vectors that would land on this target when
+                # generalized to target_levels.
+                candidate_codes = np.empty(
+                    (self.vectors.shape[0], len(self.qi)), dtype=np.int64
+                )
+                for position, name in enumerate(self.qi):
+                    hierarchy = self.problem.hierarchy(name)
+                    candidate_codes[:, position] = hierarchy.level_lookup(
+                        int(target_levels[position])
+                    )[self.vectors[:, position]]
+                target_codes = target[1::2]
+                in_subgraph = (candidate_codes == target_codes).all(axis=1)
+                # Raise strictly-below members of the subgraph to the target.
+                below = in_subgraph & (
+                    (self.levels < target_levels).any(axis=1)
+                ) & ((self.levels <= target_levels).all(axis=1))
+                below[members] = False
+                if below.any():
+                    self.levels[below] = target_levels
+                    changed = True
+
+    def build_table(self) -> tuple:
+        """Materialise the recoded table columns (codes + dictionaries)."""
+        columns = []
+        for position, name in enumerate(self.qi):
+            hierarchy = self.problem.hierarchy(name)
+            labels: dict = {}
+            per_vector = np.empty(self.vectors.shape[0], dtype=CODE_DTYPE)
+            for vector_id in range(self.vectors.shape[0]):
+                level = int(self.levels[vector_id, position])
+                code = hierarchy.level_lookup(level)[
+                    self.vectors[vector_id, position]
+                ]
+                value = hierarchy.level_values(level)[code]
+                per_vector[vector_id] = labels.setdefault(value, len(labels))
+            columns.append(
+                Column(per_vector[self.row_vector], list(labels), validate=False)
+            )
+        return columns
+
+
+class UnrestrictedMultiDimModel(RecodingModel):
+    """Greedy unrestricted multi-dimension recoding (Section 5.1.3)."""
+
+    taxonomy_key = "multidim-unrestricted"
+    _subgraph_closure = False
+
+    def _anonymize(self, problem: PreparedTable, k: int) -> RecodingResult:
+        state = _VectorRecoding(problem)
+        while True:
+            offenders = state.undersized_vector_ids(k)
+            if offenders.size == 0:
+                break
+            # Merge the first offender toward its cheapest partners; one
+            # merge per round keeps the class bookkeeping exact (total
+            # generalization strictly increases, so this terminates).
+            moved = state.merge_toward(int(offenders[0]), k)
+            if not moved:
+                # Fallback: coarsen every vector one step toward the top.
+                for vector_id in range(state.vectors.shape[0]):
+                    moved = state.bump(vector_id) or moved
+            if self._subgraph_closure:
+                state.apply_subgraph_closure()
+            if not moved:
+                # Everything reads all-top: one class of size |T| >= k
+                # (k > |T| is rejected before the search starts).
+                raise AssertionError(
+                    "undersized classes with no headroom (k > |T|?)"
+                )
+        columns = state.build_table()
+        table = problem.table
+        for name, column in zip(problem.quasi_identifier, columns):
+            table = table.replace_column(name, column)
+        return RecodingResult(
+            model=self.taxonomy_key,
+            k=k,
+            table=table,
+            details={"distinct_vectors": int(state.vectors.shape[0])},
+        )
+
+
+class MultiDimSubgraphModel(UnrestrictedMultiDimModel):
+    """Greedy full-subgraph multi-dimension recoding (Section 5.1.3)."""
+
+    taxonomy_key = "multidim-subgraph"
+    _subgraph_closure = True

@@ -1,0 +1,268 @@
+"""Stochastic searches over subtree cuts (paper §6, references [11], [21]).
+
+    "Given such a cost metric, genetic algorithms [11] and simulated
+    annealing [21] have been considered for finding locally minimal
+    anonymizations, using the single-dimension full-subtree recoding
+    model for categorical attributes ..."
+
+Both searches optimise an information-loss cost over the same state space
+as :class:`~repro.models.subtree.SubtreeModel` — one cut per attribute —
+but make no minimality guarantee (the paper's point when contrasting them
+with Incognito's completeness):
+
+* :class:`GeneticSubtreeModel` — Iyengar-style GA: a population of cut
+  vectors, tournament selection, uniform per-attribute crossover, and
+  specialize/generalize mutations; infeasible (non-k-anonymous)
+  individuals pay a penalty proportional to their outlier rows.
+* :class:`AnnealingSubtreeModel` — Winkler-style simulated annealing over
+  single-cut moves with a geometric cooling schedule.
+
+Fitness = discernibility C_DM of the recoded table, plus
+``penalty_weight · (outlier rows)²`` for infeasible states, so the search
+is pulled into the feasible region before polishing utility.  Both models
+end with a repair pass: if the incumbent is infeasible, coarsen greedily
+until k-anonymity holds (always reachable at all-roots).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+
+from repro.core.problem import PreparedTable
+from repro.models.base import RecodingModel, RecodingResult
+from repro.models.cuts import AttributeCut
+from repro.models.subtree import cuts_are_k_anonymous, cuts_to_table
+from repro.relational.column import CODE_DTYPE
+from repro.relational.groupby import group_by_codes
+
+Cuts = dict[str, AttributeCut]
+Snapshot = dict[str, frozenset]
+
+
+def _evaluate(
+    cuts: Cuts, qi: tuple[str, ...], k: int, penalty_weight: float
+) -> tuple[float, int]:
+    """(cost, outlier rows) of the current cut vector.
+
+    Cost is the discernibility metric Σ|class|² plus a quadratic penalty
+    on rows living in classes smaller than k.
+    """
+    code_arrays = [cuts[name].recoded().astype(CODE_DTYPE) for name in qi]
+    radices = [cuts[name].cardinality for name in qi]
+    _, counts = group_by_codes(code_arrays, radices)
+    if counts.size == 0:
+        return 0.0, 0
+    discernibility = float((counts.astype(np.float64) ** 2).sum())
+    outliers = int(counts[counts < k].sum())
+    return discernibility + penalty_weight * float(outliers) ** 2, outliers
+
+
+def _snapshot(cuts: Cuts) -> Snapshot:
+    return {name: cut.snapshot() for name, cut in cuts.items()}
+
+
+def _restore(cuts: Cuts, snapshot: Snapshot) -> None:
+    for name, cut in cuts.items():
+        cut.restore(snapshot[name])
+
+
+def _random_move(cuts: Cuts, qi: tuple[str, ...], rng: random.Random) -> bool:
+    """Apply one random specialize/generalize move; False if none exists."""
+    moves: list[tuple[str, str, tuple]] = []
+    for name in qi:
+        cut = cuts[name]
+        moves.extend(("spec", name, node) for node in cut.specializable_nodes())
+        moves.extend(
+            ("gen", name, parent) for parent in cut.generalizable_parents()
+        )
+    if not moves:
+        return False
+    kind, name, node = rng.choice(moves)
+    if kind == "spec":
+        cuts[name].specialize(node)
+    else:
+        cuts[name].generalize_into(node)
+    return True
+
+
+def _repair(cuts: Cuts, qi: tuple[str, ...], k: int) -> None:
+    """Coarsen greedily until the cut vector is k-anonymous."""
+    while not cuts_are_k_anonymous(cuts, qi, k):
+        # generalize the attribute with the most cut nodes (most to give)
+        candidates = [
+            (cuts[name].cardinality, name)
+            for name in qi
+            if cuts[name].generalizable_parents()
+        ]
+        if not candidates:
+            raise AssertionError(
+                "no coarsening moves left but cuts are not k-anonymous "
+                "(k > |T| is rejected before the search)"
+            )
+        _, name = max(candidates)
+        parents = cuts[name].generalizable_parents()
+        cuts[name].generalize_into(parents[0])
+
+
+class _StochasticBase(RecodingModel):
+    taxonomy_key = "subtree"
+
+    def __init__(self, *, seed: int = 0, penalty_weight: float = 4.0) -> None:
+        self._seed = seed
+        self._penalty_weight = penalty_weight
+
+    def _finish(
+        self, problem: PreparedTable, k: int, cuts: Cuts, evaluations: int
+    ) -> RecodingResult:
+        qi = problem.quasi_identifier
+        _repair(cuts, qi, k)
+        return RecodingResult(
+            model=self._model_name,
+            k=k,
+            table=cuts_to_table(problem, cuts),
+            details={
+                "cuts": {name: cuts[name].cut_description() for name in qi},
+                "evaluations": evaluations,
+            },
+        )
+
+    _model_name = "stochastic-subtree"
+
+
+class GeneticSubtreeModel(_StochasticBase):
+    """Iyengar-style genetic search over subtree cuts (reference [11])."""
+
+    _model_name = "genetic-subtree"
+
+    def __init__(
+        self,
+        *,
+        population: int = 12,
+        generations: int = 20,
+        mutation_moves: int = 2,
+        seed: int = 0,
+        penalty_weight: float = 4.0,
+    ) -> None:
+        super().__init__(seed=seed, penalty_weight=penalty_weight)
+        if population < 2:
+            raise ValueError("population must be at least 2")
+        self._population = population
+        self._generations = generations
+        self._mutation_moves = mutation_moves
+
+    def _random_individual(
+        self, problem: PreparedTable, rng: random.Random
+    ) -> Snapshot:
+        cuts = {
+            name: AttributeCut(problem, name)
+            for name in problem.quasi_identifier
+        }
+        for _ in range(rng.randint(0, 6)):
+            _random_move(cuts, problem.quasi_identifier, rng)
+        return _snapshot(cuts)
+
+    def _crossover(
+        self, rng: random.Random, left: Snapshot, right: Snapshot
+    ) -> Snapshot:
+        """Uniform per-attribute crossover: cuts are independent, so any
+        attribute-wise mix is a valid individual."""
+        return {
+            name: (left if rng.random() < 0.5 else right)[name]
+            for name in left
+        }
+
+    def _anonymize(self, problem: PreparedTable, k: int) -> RecodingResult:
+        qi = problem.quasi_identifier
+        rng = random.Random(self._seed)
+        workspace = {name: AttributeCut(problem, name) for name in qi}
+        evaluations = 0
+
+        def fitness(individual: Snapshot) -> float:
+            nonlocal evaluations
+            _restore(workspace, individual)
+            cost, _ = _evaluate(workspace, qi, k, self._penalty_weight)
+            evaluations += 1
+            return cost
+
+        population = [
+            self._random_individual(problem, rng)
+            for _ in range(self._population)
+        ]
+        scored = sorted((fitness(ind), i) for i, ind in enumerate(population))
+        best_cost, best_index = scored[0]
+        best = population[best_index]
+
+        for _ in range(self._generations):
+            next_generation = [best]  # elitism
+            while len(next_generation) < self._population:
+                # tournament selection of two parents
+                contenders = rng.sample(population, min(4, len(population)))
+                contenders.sort(key=fitness)
+                child = self._crossover(rng, contenders[0], contenders[1])
+                _restore(workspace, child)
+                for _ in range(self._mutation_moves):
+                    if rng.random() < 0.7:
+                        _random_move(workspace, qi, rng)
+                next_generation.append(_snapshot(workspace))
+            population = next_generation
+            for individual in population:
+                cost = fitness(individual)
+                if cost < best_cost:
+                    best_cost, best = cost, individual
+
+        _restore(workspace, best)
+        return self._finish(problem, k, workspace, evaluations)
+
+
+class AnnealingSubtreeModel(_StochasticBase):
+    """Winkler-style simulated annealing over subtree cuts (reference [21])."""
+
+    _model_name = "annealing-subtree"
+
+    def __init__(
+        self,
+        *,
+        steps: int = 300,
+        start_temperature: float = 0.15,
+        cooling: float = 0.99,
+        seed: int = 0,
+        penalty_weight: float = 4.0,
+    ) -> None:
+        super().__init__(seed=seed, penalty_weight=penalty_weight)
+        if not 0 < cooling < 1:
+            raise ValueError("cooling must be in (0, 1)")
+        self._steps = steps
+        self._start_temperature = start_temperature
+        self._cooling = cooling
+
+    def _anonymize(self, problem: PreparedTable, k: int) -> RecodingResult:
+        qi = problem.quasi_identifier
+        rng = random.Random(self._seed)
+        cuts = {name: AttributeCut(problem, name) for name in qi}
+        current_cost, _ = _evaluate(cuts, qi, k, self._penalty_weight)
+        best, best_cost = _snapshot(cuts), current_cost
+        temperature = self._start_temperature
+        evaluations = 1
+
+        for _ in range(self._steps):
+            before = _snapshot(cuts)
+            if not _random_move(cuts, qi, rng):
+                break
+            cost, _ = _evaluate(cuts, qi, k, self._penalty_weight)
+            evaluations += 1
+            # relative-worsening acceptance: scale-free in table size
+            worsening = (cost - current_cost) / max(current_cost, 1.0)
+            if cost <= current_cost or rng.random() < pow(
+                2.718281828, -worsening / max(temperature, 1e-9)
+            ):
+                current_cost = cost
+                if cost < best_cost:
+                    best, best_cost = _snapshot(cuts), cost
+            else:
+                _restore(cuts, before)
+            temperature *= self._cooling
+
+        _restore(cuts, best)
+        return self._finish(problem, k, cuts, evaluations)

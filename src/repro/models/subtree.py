@@ -1,0 +1,111 @@
+"""Single-dimension full-subtree recoding (paper Section 5.1.1, Iyengar [11]).
+
+Each attribute's recoding is a *cut* through its value generalization tree:
+an antichain of tree nodes covering every leaf.  If any value maps to a
+generalized value g, the whole subtree rooted at g maps to g — more flexible
+than full-domain (different branches may stop at different depths) but still
+a global, hierarchy-based, single-dimension model.
+
+The search is greedy **top-down specialization** (in the spirit of Fung et
+al.'s TDS [7]): start with every attribute fully generalized, repeatedly
+replace a cut node by its children when doing so preserves k-anonymity,
+preferring the cut node covering the most rows.  Monotonicity makes a
+locked-set greedy sound: refining elsewhere only splits equivalence classes
+further, so a specialization that breaks k-anonymity now can never become
+valid later.
+
+Stochastic searches over the same cut space (genetic, simulated annealing —
+the paper's §6 references [11] and [21]) live in
+:mod:`repro.models.stochastic`; the cut state machinery they share is in
+:mod:`repro.models.cuts`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import PreparedTable
+from repro.models.base import RecodingModel, RecodingResult
+from repro.models.cuts import AttributeCut, CutNode
+from repro.relational.column import CODE_DTYPE, Column
+from repro.relational.groupby import group_by_codes
+
+
+def cuts_are_k_anonymous(
+    cuts: dict[str, AttributeCut], qi: tuple[str, ...], k: int
+) -> bool:
+    """Check k-anonymity of the joint recoding defined by per-attr cuts."""
+    code_arrays = [cuts[name].recoded().astype(CODE_DTYPE) for name in qi]
+    radices = [cuts[name].cardinality for name in qi]
+    _, counts = group_by_codes(code_arrays, radices)
+    return bool(counts.size == 0 or counts.min() >= k)
+
+
+def cuts_to_table(
+    problem: PreparedTable, cuts: dict[str, AttributeCut]
+):
+    """Materialise the recoded table for a set of cuts."""
+    table = problem.table
+    for name in problem.quasi_identifier:
+        cut = cuts[name]
+        recoded_indices = cut.recoded()
+        labels = [cut.label_value(i) for i in range(cut.cardinality)]
+        # Distinct cut nodes can carry the same display value (padded
+        # taxonomy chains repeat their top label), so deduplicate the
+        # dictionary and remap codes before building the column.
+        unique: dict = {}
+        remap = np.empty(len(labels), dtype=CODE_DTYPE)
+        for position, label in enumerate(labels):
+            remap[position] = unique.setdefault(label, len(unique))
+        table = table.replace_column(
+            name,
+            Column(remap[recoded_indices], list(unique), validate=False),
+        )
+    return table
+
+
+class SubtreeModel(RecodingModel):
+    """Greedy top-down search over per-attribute subtree cuts."""
+
+    taxonomy_key = "subtree"
+
+    def _anonymize(self, problem: PreparedTable, k: int) -> RecodingResult:
+        qi = problem.quasi_identifier
+        cuts = {name: AttributeCut(problem, name) for name in qi}
+
+        if not cuts_are_k_anonymous(cuts, qi, k):
+            # Even the all-root recoding fails only when k > num_rows, which
+            # the base class pre-check already rejects — except for empty
+            # tables, where any recoding is vacuously anonymous.
+            raise AssertionError("fully generalized recoding must be anonymous")
+
+        locked: set[tuple[str, CutNode]] = set()
+        while True:
+            candidates = [
+                (cuts[name].rows_covered(node), name, node)
+                for name in qi
+                for node in cuts[name].nodes
+                if node[0] > 0 and (name, node) not in locked
+            ]
+            if not candidates:
+                break
+            candidates.sort(key=lambda item: (-item[0], item[1], item[2]))
+            accepted = False
+            for _, name, node in candidates:
+                cuts[name].specialize(node)
+                if cuts_are_k_anonymous(cuts, qi, k):
+                    accepted = True
+                    break
+                cuts[name].undo(node)
+                locked.add((name, node))
+            if not accepted:
+                break
+
+        return RecodingResult(
+            model=self.taxonomy_key,
+            k=k,
+            table=cuts_to_table(problem, cuts),
+            details={
+                "cuts": {name: cuts[name].cut_description() for name in qi}
+            },
+        )

@@ -1,0 +1,133 @@
+"""The classification axes of the Section 5 taxonomy.
+
+Each model is described along four axes; the first three are the paper's
+main criteria, the fourth (dimensionality) is the paper's single- vs.
+multi-dimension recoding distinction within global recoding.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Coding(enum.Enum):
+    """Generalization vs. suppression (what happens to a value)."""
+
+    GENERALIZATION = "generalization"
+    SUPPRESSION = "suppression"
+
+
+class Scope(enum.Enum):
+    """Global vs. local recoding (domain-level vs. instance-level)."""
+
+    GLOBAL = "global"
+    LOCAL = "local"
+
+
+class Structure(enum.Enum):
+    """Hierarchy-based vs. ordered-set partition-based generalization."""
+
+    HIERARCHY = "hierarchy"
+    PARTITION = "partition"
+
+
+class Dimensionality(enum.Enum):
+    """Recode attribute domains independently or the joint QI domain."""
+
+    SINGLE = "single-dimension"
+    MULTI = "multi-dimension"
+
+
+@dataclass(frozen=True)
+class ModelDescriptor:
+    """Where a model sits in the taxonomy, plus its paper-facing name."""
+
+    name: str
+    coding: Coding
+    scope: Scope
+    structure: Structure
+    dimensionality: Dimensionality
+    paper_section: str
+
+    def axes(self) -> tuple[str, str, str, str]:
+        return (
+            self.coding.value,
+            self.scope.value,
+            self.structure.value,
+            self.dimensionality.value,
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name} [{self.coding.value}/{self.scope.value}/"
+            f"{self.structure.value}/{self.dimensionality.value}]"
+        )
+
+
+_DESCRIPTORS = {
+    "full-domain": ModelDescriptor(
+        "Full-domain generalization",
+        Coding.GENERALIZATION, Scope.GLOBAL, Structure.HIERARCHY,
+        Dimensionality.SINGLE, "5.1.1",
+    ),
+    "attribute-suppression": ModelDescriptor(
+        "Attribute suppression",
+        Coding.SUPPRESSION, Scope.GLOBAL, Structure.HIERARCHY,
+        Dimensionality.SINGLE, "5.1.1",
+    ),
+    "subtree": ModelDescriptor(
+        "Single-dimension full-subtree recoding",
+        Coding.GENERALIZATION, Scope.GLOBAL, Structure.HIERARCHY,
+        Dimensionality.SINGLE, "5.1.1",
+    ),
+    "unrestricted": ModelDescriptor(
+        "Unrestricted single-dimension recoding",
+        Coding.GENERALIZATION, Scope.GLOBAL, Structure.HIERARCHY,
+        Dimensionality.SINGLE, "5.1.1",
+    ),
+    "partition-1d": ModelDescriptor(
+        "Single-dimension ordered-set partitioning",
+        Coding.GENERALIZATION, Scope.GLOBAL, Structure.PARTITION,
+        Dimensionality.SINGLE, "5.1.2",
+    ),
+    "multidim-subgraph": ModelDescriptor(
+        "Multi-dimension full-subgraph recoding",
+        Coding.GENERALIZATION, Scope.GLOBAL, Structure.HIERARCHY,
+        Dimensionality.MULTI, "5.1.3",
+    ),
+    "multidim-unrestricted": ModelDescriptor(
+        "Unrestricted multi-dimension recoding",
+        Coding.GENERALIZATION, Scope.GLOBAL, Structure.HIERARCHY,
+        Dimensionality.MULTI, "5.1.3",
+    ),
+    "mondrian": ModelDescriptor(
+        "Multi-dimension ordered-set partitioning",
+        Coding.GENERALIZATION, Scope.GLOBAL, Structure.PARTITION,
+        Dimensionality.MULTI, "5.1.4",
+    ),
+    "cell-suppression": ModelDescriptor(
+        "Local recoding: cell suppression",
+        Coding.SUPPRESSION, Scope.LOCAL, Structure.HIERARCHY,
+        Dimensionality.MULTI, "5.2",
+    ),
+    "cell-generalization": ModelDescriptor(
+        "Local recoding: cell generalization",
+        Coding.GENERALIZATION, Scope.LOCAL, Structure.HIERARCHY,
+        Dimensionality.MULTI, "5.2",
+    ),
+}
+
+
+def all_model_descriptors() -> dict[str, ModelDescriptor]:
+    """Every taxonomy cell the paper names, keyed by short identifier."""
+    return dict(_DESCRIPTORS)
+
+
+def descriptor(key: str) -> ModelDescriptor:
+    try:
+        return _DESCRIPTORS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {key!r}; known: {sorted(_DESCRIPTORS)}"
+        ) from None

@@ -1,0 +1,130 @@
+"""Unrestricted single-dimension recoding (paper Section 5.1.1).
+
+The most flexible global hierarchy-based single-dimension model: each base
+*value* of each attribute is independently mapped to itself or any of its
+γ⁺ ancestors — no full-domain or full-subtree closure.  (The paper notes
+this can enable inference, e.g. generalizing "Male" to "Person" while
+leaving "Female" intact, but includes it as a taxonomy cell; so do we.)
+
+The search is greedy bottom-up: start with every value at level 0; while
+undersized equivalence classes exist, pick the attribute contributing the
+most distinct recoded values and raise — by one hierarchy level — exactly
+the base values that occur in undersized classes.  Total generalization
+strictly increases each round and is bounded, so the loop terminates (in
+the worst case at all-top, which is 1-anonymous trivially and k-anonymous
+whenever k <= |T|).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.problem import PreparedTable
+from repro.models.base import RecodingModel, RecodingResult
+from repro.relational.column import CODE_DTYPE, Column
+
+
+class _ValueLevels:
+    """Per-base-value generalization levels for one attribute."""
+
+    def __init__(self, problem: PreparedTable, attribute: str) -> None:
+        self.attribute = attribute
+        self.hierarchy = problem.hierarchy(attribute)
+        self.base_codes = problem.table.column(attribute).codes
+        self.levels = np.zeros(self.hierarchy.base_size, dtype=np.int64)
+
+    def recoded_labels(self) -> tuple[np.ndarray, list]:
+        """Current per-row codes plus the distinct-value dictionary."""
+        labels: dict = {}
+        value_code = np.empty(self.hierarchy.base_size, dtype=CODE_DTYPE)
+        for base in range(self.hierarchy.base_size):
+            level = int(self.levels[base])
+            value = self.hierarchy.level_values(level)[
+                self.hierarchy.level_lookup(level)[base]
+            ]
+            value_code[base] = labels.setdefault(value, len(labels))
+        return value_code[self.base_codes], list(labels)
+
+    def headroom(self) -> bool:
+        return bool((self.levels < self.hierarchy.height).any())
+
+    def raise_values(self, base_values: np.ndarray) -> int:
+        """Bump the given base codes one level; return how many moved."""
+        movable = base_values[self.levels[base_values] < self.hierarchy.height]
+        movable = np.unique(movable)
+        self.levels[movable] += 1
+        return int(movable.size)
+
+
+class UnrestrictedModel(RecodingModel):
+    """Greedy bottom-up per-value generalization."""
+
+    taxonomy_key = "unrestricted"
+
+    def _anonymize(self, problem: PreparedTable, k: int) -> RecodingResult:
+        qi = problem.quasi_identifier
+        states = {name: _ValueLevels(problem, name) for name in qi}
+        num_rows = problem.num_rows
+
+        while True:
+            row_codes = {}
+            dictionaries = {}
+            for name in qi:
+                row_codes[name], dictionaries[name] = states[name].recoded_labels()
+            stacked = np.column_stack(
+                [row_codes[name].astype(np.int64) for name in qi]
+            ) if num_rows else np.empty((0, len(qi)), dtype=np.int64)
+            if num_rows:
+                _, inverse, counts = np.unique(
+                    stacked, axis=0, return_inverse=True, return_counts=True
+                )
+                undersized_rows = np.nonzero(counts[inverse] < k)[0]
+            else:
+                undersized_rows = np.empty(0, dtype=np.int64)
+            if undersized_rows.size == 0:
+                break
+
+            # Raise the attribute currently contributing the most distinct
+            # values (Datafly's heuristic, applied per-value here), among
+            # those with headroom on the offending rows.
+            moved = 0
+            for name in sorted(
+                qi, key=lambda n: -len(dictionaries[n])
+            ):
+                state = states[name]
+                offending_bases = state.base_codes[undersized_rows]
+                moved = state.raise_values(offending_bases)
+                if moved:
+                    break
+            if not moved:
+                # The offending rows are fully generalized already but their
+                # merged class is still undersized: other rows must coarsen
+                # toward them so the classes can merge.  Raise every value
+                # with headroom on the widest attribute that still has any.
+                for name in sorted(qi, key=lambda n: -len(dictionaries[n])):
+                    state = states[name]
+                    moved = state.raise_values(
+                        np.arange(state.hierarchy.base_size)
+                    )
+                    if moved:
+                        break
+            if not moved:
+                # Nothing anywhere has headroom: every row reads all-top,
+                # one class of size |T| >= k (k > |T| rejected up front).
+                raise AssertionError("no headroom left but classes undersized")
+
+        table = problem.table
+        for name in qi:
+            codes, values = states[name].recoded_labels()
+            table = table.replace_column(
+                name, Column(codes, values, validate=False)
+            )
+        levels_out = {
+            name: states[name].levels.tolist() for name in qi
+        }
+        return RecodingResult(
+            model=self.taxonomy_key,
+            k=k,
+            table=table,
+            details={"value_levels": levels_out},
+        )

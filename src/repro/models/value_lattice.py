@@ -1,0 +1,145 @@
+"""The multi-attribute *value* generalization lattice (paper Figure 13).
+
+Section 5.1.3 lifts value generalization functions to vectors: the
+multi-attribute γ maps a tuple of values to a tuple of (per-attribute)
+direct generalizations, inducing a lattice over value *combinations* —
+distinct from the domain-vector lattice of Figure 3, whose nodes are whole
+domains.  Figure 13 draws this lattice for Sex × Zipcode; its "sub-graph
+rooted at n" (all vectors reached by walking edges backwards from n) is
+the closure the full-subgraph recoding model quantifies over.
+
+:class:`ValueLattice` materialises the structure over compiled
+hierarchies.  A node is a pair of parallel tuples ``(levels, values)``
+(levels disambiguate label collisions across levels); helpers expose the
+paper's operations: direct generalizations (γ), implied generalizations
+(γ⁺), and the rooted sub-graph.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.core.problem import PreparedTable
+
+
+@dataclass(frozen=True)
+class ValueNode:
+    """One value vector in the lattice, tagged with its domain levels."""
+
+    levels: tuple[int, ...]
+    values: tuple
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(value) for value in self.values)
+        return f"<{inner}>"
+
+
+class ValueLattice:
+    """The Figure 13 lattice over a problem's quasi-identifier.
+
+    The node set is every combination of per-attribute (level, value)
+    pairs reachable from the base domains — exponential in attributes and
+    domain sizes, so this is an analysis/model structure for modest
+    domains (the recoding models themselves never materialise it).
+    """
+
+    def __init__(self, problem: PreparedTable) -> None:
+        self.problem = problem
+        self.qi = problem.quasi_identifier
+        self._hierarchies = [problem.hierarchy(name) for name in self.qi]
+
+    # ------------------------------------------------------------------
+    # node construction
+    # ------------------------------------------------------------------
+    def node(self, values: Sequence, levels: Sequence[int] | None = None) -> ValueNode:
+        """Build a node from values (levels inferred when unambiguous)."""
+        if levels is None:
+            levels = []
+            for hierarchy, value in zip(self._hierarchies, values):
+                matches = [
+                    level
+                    for level in range(hierarchy.num_levels)
+                    if value in hierarchy.level_values(level)
+                ]
+                if len(matches) != 1:
+                    raise ValueError(
+                        f"value {value!r} is ambiguous across levels "
+                        f"{matches}; pass levels explicitly"
+                    )
+                levels.append(matches[0])
+        return ValueNode(tuple(levels), tuple(values))
+
+    def base_nodes(self) -> Iterator[ValueNode]:
+        """The bottom of the lattice: every base value combination."""
+        domains = [hierarchy.level_values(0) for hierarchy in self._hierarchies]
+        zeros = (0,) * len(self.qi)
+        for combo in itertools.product(*domains):
+            yield ValueNode(zeros, tuple(combo))
+
+    def _lift(self, node: ValueNode, position: int) -> ValueNode | None:
+        """γ along one attribute: one level up at ``position``."""
+        hierarchy = self._hierarchies[position]
+        level = node.levels[position]
+        if level >= hierarchy.height:
+            return None
+        code = hierarchy.level_values(level).index(node.values[position])
+        lifted_code = hierarchy.mapping_between(level, level + 1)[code]
+        levels = list(node.levels)
+        values = list(node.values)
+        levels[position] = level + 1
+        values[position] = hierarchy.level_values(level + 1)[lifted_code]
+        return ValueNode(tuple(levels), tuple(values))
+
+    # ------------------------------------------------------------------
+    # the paper's operations
+    # ------------------------------------------------------------------
+    def direct_generalizations(self, node: ValueNode) -> list[ValueNode]:
+        """γ: one attribute, one level up."""
+        result = []
+        for position in range(len(self.qi)):
+            lifted = self._lift(node, position)
+            if lifted is not None:
+                result.append(lifted)
+        return result
+
+    def implied_generalizations(self, node: ValueNode) -> set[ValueNode]:
+        """γ⁺: everything reachable by one or more γ steps."""
+        seen: set[ValueNode] = set()
+        frontier = [node]
+        while frontier:
+            current = frontier.pop()
+            for upper in self.direct_generalizations(current):
+                if upper not in seen:
+                    seen.add(upper)
+                    frontier.append(upper)
+        return seen
+
+    def subgraph_rooted_at(self, node: ValueNode) -> set[ValueNode]:
+        """All nodes encountered walking edges *backwards* from ``node``.
+
+        The paper's definition for the full-subgraph recoding constraint:
+        if any vector maps to ``node``, every vector in this set must.
+        (Excludes ``node`` itself, matching the Figure 13 example.)
+        """
+        members: set[ValueNode] = set()
+        for base in self.base_nodes():
+            if base == node:
+                continue
+            if node in self.implied_generalizations(base):
+                members.add(base)
+                for middle in self.implied_generalizations(base):
+                    if middle != node and node in self.implied_generalizations(
+                        middle
+                    ):
+                        members.add(middle)
+        return members
+
+    def size(self) -> int:
+        """Total node count (base combinations and all their liftings)."""
+        all_nodes: set[ValueNode] = set()
+        for base in self.base_nodes():
+            all_nodes.add(base)
+            all_nodes.update(self.implied_generalizations(base))
+        return len(all_nodes)

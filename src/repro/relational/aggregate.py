@@ -1,0 +1,117 @@
+"""General grouped aggregation: SUM / COUNT / MIN / MAX / AVG.
+
+The k-anonymity algorithms only need COUNT(*) (see
+:mod:`repro.relational.groupby`), but a usable relational substrate — and
+the examples that analyse anonymized releases — want the other
+distributive aggregates too.  ``aggregate`` evaluates::
+
+    SELECT g1, ..., gn, AGG(c1), AGG(c2), ...
+    FROM table GROUP BY g1, ..., gn
+
+over the dictionary-encoded columns, with numpy doing the per-group work.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.relational.column import CODE_DTYPE, Column
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+#: supported aggregate function names
+AGGREGATES = ("sum", "count", "min", "max", "mean")
+
+
+def _group_index(table: Table, names: Sequence[str]) -> tuple[np.ndarray, np.ndarray]:
+    """Return (group id per row, representative row per group)."""
+    code_arrays = [table.column(name).codes.astype(np.int64) for name in names]
+    stacked = np.column_stack(code_arrays)
+    _, representatives, inverse = np.unique(
+        stacked, axis=0, return_index=True, return_inverse=True
+    )
+    return inverse, representatives
+
+
+def aggregate(
+    table: Table,
+    group_by: Sequence[str],
+    aggregations: Mapping[str, str],
+) -> Table:
+    """Grouped aggregation.
+
+    Parameters
+    ----------
+    group_by:
+        Grouping attribute names (at least one).
+    aggregations:
+        Mapping from value-column name to one of :data:`AGGREGATES`.
+        Output columns are named ``{func}_{column}``.
+
+    Numeric aggregates (sum/min/max/mean) require numeric column values;
+    ``count`` counts non-distinct rows per group and works on anything.
+    """
+    group_by = list(group_by)
+    if not group_by:
+        raise ValueError("group_by needs at least one attribute")
+    for name, function in aggregations.items():
+        table.schema.position(name)
+        if function not in AGGREGATES:
+            raise ValueError(
+                f"unknown aggregate {function!r}; supported: {AGGREGATES}"
+            )
+    if table.num_rows == 0:
+        names = group_by + [
+            f"{function}_{name}" for name, function in aggregations.items()
+        ]
+        return Table.from_rows(Schema.of(*names), [])
+
+    group_of_row, representatives = _group_index(table, group_by)
+    num_groups = representatives.shape[0]
+
+    columns: list[Column] = []
+    for name in group_by:
+        source = table.column(name)
+        codes = source.codes[representatives].astype(CODE_DTYPE)
+        columns.append(Column(codes, source.values, validate=False))
+
+    output_names = list(group_by)
+    for name, function in aggregations.items():
+        if function == "count":
+            values = np.bincount(group_of_row, minlength=num_groups)
+            columns.append(Column.from_values(int(v) for v in values))
+            output_names.append(f"count_{name}")
+            continue
+        raw = table.column(name).to_list()
+        try:
+            data = np.asarray(raw, dtype=np.float64)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"aggregate {function!r} needs numeric values in {name!r}"
+            ) from None
+        if function == "sum":
+            values = np.bincount(group_of_row, weights=data, minlength=num_groups)
+        elif function == "mean":
+            sums = np.bincount(group_of_row, weights=data, minlength=num_groups)
+            counts = np.bincount(group_of_row, minlength=num_groups)
+            values = sums / counts
+        elif function == "min":
+            values = np.full(num_groups, np.inf)
+            np.minimum.at(values, group_of_row, data)
+        else:  # max
+            values = np.full(num_groups, -np.inf)
+            np.maximum.at(values, group_of_row, data)
+        materialised = [
+            float(v) if function == "mean" else _as_number(v) for v in values
+        ]
+        columns.append(Column.from_values(materialised))
+        output_names.append(f"{function}_{name}")
+
+    return Table(Schema.of(*output_names), columns)
+
+
+def _as_number(value: float) -> int | float:
+    """Collapse float-typed results back to int when exact."""
+    return int(value) if float(value).is_integer() else float(value)

@@ -1,0 +1,75 @@
+"""CSV import/export for :class:`~repro.relational.table.Table`.
+
+Values are parsed according to the schema's logical types when a schema is
+supplied; otherwise everything loads as strings (callers can still group,
+join, and anonymize string data — the engine is type-agnostic).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable
+
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+
+def read_csv(
+    path: str | Path,
+    schema: Schema | None = None,
+    *,
+    delimiter: str = ",",
+) -> Table:
+    """Load a CSV file (with header row) into a Table.
+
+    When ``schema`` is given, its column order must match the header and its
+    logical types drive parsing; otherwise the header defines a STRING schema.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty (no header row)") from None
+        if schema is None:
+            schema = Schema.of(*header)
+        elif list(schema.names) != header:
+            raise ValueError(
+                f"schema names {list(schema.names)} do not match header {header}"
+            )
+        parsers = [spec.type.parse for spec in schema]
+        rows = []
+        for lineno, raw in enumerate(reader, start=2):
+            if len(raw) != len(parsers):
+                raise ValueError(
+                    f"{path}:{lineno}: expected {len(parsers)} fields, got {len(raw)}"
+                )
+            rows.append(tuple(parse(text) for parse, text in zip(parsers, raw)))
+    return Table.from_rows(schema, rows)
+
+
+def write_csv(
+    table: Table,
+    path: str | Path,
+    *,
+    delimiter: str = ",",
+) -> None:
+    """Write a Table to ``path`` with a header row."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(table.schema.names)
+        writer.writerows(table.iter_rows())
+
+
+def rows_to_csv_text(names: Iterable[str], rows: Iterable[tuple]) -> str:
+    """Render rows as CSV text (used by examples for display/export)."""
+    import io
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(names))
+    writer.writerows(rows)
+    return buffer.getvalue()

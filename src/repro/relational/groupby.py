@@ -1,0 +1,162 @@
+"""Vectorised GROUP BY COUNT(*) — the frequency-set primitive.
+
+The paper (Section 1.1) computes frequency sets with::
+
+    SELECT COUNT(*) FROM T GROUP BY q1, ..., qn
+
+Here the same computation runs over dictionary codes: the n key columns are
+combined into a single mixed-radix integer key, then counted with
+``np.unique``.  Group keys come back as a 2-D code matrix plus per-column
+dictionaries, so downstream code (rollup, k-anonymity checks) never touches
+raw values.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.relational.column import CODE_DTYPE, Column
+from repro.relational.table import Table
+
+#: Beyond this product of cardinalities the mixed-radix key would overflow /
+#: waste memory in a dense bincount, so we fall back to np.unique over rows.
+_DENSE_KEY_LIMIT = 1 << 62
+
+
+class GroupByResult:
+    """The result of a GROUP BY COUNT(*) query.
+
+    Attributes
+    ----------
+    names:
+        The grouping attribute names, in query order.
+    key_codes:
+        ``(num_groups, num_keys)`` int array; row g holds the dictionary
+        codes of group g's value combination.
+    dictionaries:
+        One list of distinct values per key column; ``dictionaries[j][code]``
+        decodes column j.
+    counts:
+        ``(num_groups,)`` int64 array of group sizes.
+    """
+
+    __slots__ = ("names", "key_codes", "dictionaries", "counts")
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        key_codes: np.ndarray,
+        dictionaries: Sequence[Sequence[Hashable]],
+        counts: np.ndarray,
+    ) -> None:
+        self.names = tuple(names)
+        self.key_codes = key_codes
+        self.dictionaries = [list(d) for d in dictionaries]
+        self.counts = counts
+
+    @property
+    def num_groups(self) -> int:
+        return int(self.counts.shape[0])
+
+    def min_count(self) -> int:
+        """Smallest group size (0 for an empty input)."""
+        return int(self.counts.min()) if self.counts.size else 0
+
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    def group_values(self, group: int) -> tuple:
+        """Decode group ``group``'s value combination to raw values."""
+        return tuple(
+            self.dictionaries[j][self.key_codes[group, j]]
+            for j in range(len(self.names))
+        )
+
+    def as_dict(self) -> dict[tuple, int]:
+        """Materialise as {value-combination: count} — handy in tests."""
+        return {
+            self.group_values(g): int(self.counts[g])
+            for g in range(self.num_groups)
+        }
+
+    def to_table(self, count_name: str = "count") -> Table:
+        """Render as a relation with the key columns plus a count column.
+
+        This is the relational representation ``F1`` used in the paper's
+        rollup example (Section 3).
+        """
+        columns = [
+            Column(self.key_codes[:, j].astype(CODE_DTYPE), self.dictionaries[j])
+            for j in range(len(self.names))
+        ]
+        columns.append(Column.from_values(int(c) for c in self.counts))
+        from repro.relational.schema import Schema  # local import avoids cycle
+
+        schema = Schema.of(*self.names, count_name)
+        return Table(schema, columns)
+
+
+def _combine_codes(
+    code_arrays: Sequence[np.ndarray], radices: Sequence[int]
+) -> tuple[np.ndarray, bool]:
+    """Combine per-column code arrays into one mixed-radix key per row.
+
+    Returns the key array and whether the dense encoding was used.  If the
+    key space would overflow int64, falls back to structured row hashing via
+    ``np.unique(axis=0)`` handled by the caller (dense=False).
+    """
+    space = 1
+    for radix in radices:
+        space *= max(radix, 1)
+        if space > _DENSE_KEY_LIMIT:
+            return np.empty(0, dtype=np.int64), False
+    keys = np.zeros(code_arrays[0].shape[0], dtype=np.int64)
+    for codes, radix in zip(code_arrays, radices):
+        keys *= max(radix, 1)
+        keys += codes
+    return keys, True
+
+
+def group_by_codes(
+    code_arrays: Sequence[np.ndarray], radices: Sequence[int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Group rows given per-column code arrays.
+
+    Returns ``(key_codes, counts)`` where ``key_codes`` is a
+    ``(num_groups, num_keys)`` matrix of codes and ``counts`` the group sizes.
+    The core of both frequency-set computation and rollup re-aggregation.
+    """
+    if not code_arrays:
+        raise ValueError("group_by_codes requires at least one key column")
+    num_rows = code_arrays[0].shape[0]
+    if num_rows == 0:
+        empty = np.empty((0, len(code_arrays)), dtype=CODE_DTYPE)
+        return empty, np.empty(0, dtype=np.int64)
+
+    keys, dense = _combine_codes(code_arrays, radices)
+    if dense:
+        unique_keys, counts = np.unique(keys, return_counts=True)
+        # Decode the mixed-radix keys back into per-column codes.
+        key_codes = np.empty((unique_keys.shape[0], len(code_arrays)), dtype=CODE_DTYPE)
+        remaining = unique_keys.copy()
+        for j in range(len(code_arrays) - 1, -1, -1):
+            radix = max(radices[j], 1)
+            key_codes[:, j] = remaining % radix
+            remaining //= radix
+        return key_codes, counts
+
+    stacked = np.column_stack([codes.astype(np.int64) for codes in code_arrays])
+    unique_rows, counts = np.unique(stacked, axis=0, return_counts=True)
+    return unique_rows.astype(CODE_DTYPE), counts
+
+
+def group_by_count(table: Table, names: Sequence[str]) -> GroupByResult:
+    """``SELECT COUNT(*) FROM table GROUP BY names`` (one full scan)."""
+    columns = [table.column(name) for name in names]
+    code_arrays = [column.codes for column in columns]
+    radices = [column.cardinality for column in columns]
+    key_codes, counts = group_by_codes(code_arrays, radices)
+    dictionaries = [column.values for column in columns]
+    return GroupByResult(names, key_codes, dictionaries, counts)

@@ -1,0 +1,119 @@
+"""Relation schemas: attribute names and logical types.
+
+A :class:`Schema` is an ordered collection of :class:`ColumnSpec` objects.
+Schemas are immutable value objects; operations such as projection return new
+schemas.  The logical type is advisory — storage is always dictionary-encoded
+(see :mod:`repro.relational.column`) — but it controls CSV parsing and how
+ordered-set partitioning models treat the domain.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+class ColumnType(enum.Enum):
+    """Logical attribute type of a relation column."""
+
+    STRING = "string"
+    INT = "int"
+    FLOAT = "float"
+
+    def parse(self, text: str):
+        """Parse a raw CSV token into a value of this logical type."""
+        if self is ColumnType.INT:
+            return int(text)
+        if self is ColumnType.FLOAT:
+            return float(text)
+        return text
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Name and logical type of one attribute."""
+
+    name: str
+    type: ColumnType = ColumnType.STRING
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("column name must be non-empty")
+
+
+class SchemaError(KeyError):
+    """Raised when an attribute is missing from (or duplicated in) a schema."""
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered, immutable set of column specifications."""
+
+    columns: tuple[ColumnSpec, ...]
+    _index: dict[str, int] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        index: dict[str, int] = {}
+        for position, spec in enumerate(self.columns):
+            if spec.name in index:
+                raise SchemaError(f"duplicate column name: {spec.name!r}")
+            index[spec.name] = position
+        object.__setattr__(self, "_index", index)
+
+    @classmethod
+    def of(cls, *names_or_specs: str | ColumnSpec) -> "Schema":
+        """Build a schema from bare names (typed STRING) and/or specs."""
+        specs = tuple(
+            item if isinstance(item, ColumnSpec) else ColumnSpec(item)
+            for item in names_or_specs
+        )
+        return cls(specs)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(spec.name for spec in self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[ColumnSpec]:
+        return iter(self.columns)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def position(self, name: str) -> int:
+        """Return the ordinal position of ``name``.
+
+        Raises :class:`SchemaError` if the attribute does not exist.
+        """
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"no column {name!r}; schema has {list(self.names)}"
+            ) from None
+
+    def spec(self, name: str) -> ColumnSpec:
+        return self.columns[self.position(name)]
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """Return the sub-schema containing ``names`` in the given order."""
+        return Schema(tuple(self.spec(name) for name in names))
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        """Return a schema with columns renamed via ``mapping``.
+
+        Names absent from ``mapping`` are kept as-is.
+        """
+        return Schema(
+            tuple(
+                ColumnSpec(mapping.get(spec.name, spec.name), spec.type)
+                for spec in self.columns
+            )
+        )
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Return the schema of this relation extended with ``other``'s columns."""
+        return Schema(self.columns + other.columns)

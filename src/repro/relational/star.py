@@ -1,0 +1,107 @@
+"""Star schema: a fact table plus generalization dimension tables.
+
+Paper Figure 4 models the microdata table together with the domain
+generalization hierarchies of its quasi-identifier attributes as a relational
+star schema.  A dimension table for attribute ``A`` with hierarchy height h
+has columns ``A_0, A_1, ..., A_h`` — one row per base-domain value, giving
+that value's generalization at every level.  A full-domain generalization is
+then "join the fact table with the dimensions and project the appropriate
+level columns".
+
+This module is deliberately hierarchy-agnostic: dimension tables are plain
+:class:`~repro.relational.table.Table` objects (built by
+:func:`repro.hierarchy.dimension.dimension_table`), keeping the relational
+layer free of upward dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.relational.join import hash_join
+from repro.relational.table import Table
+
+
+def level_column_name(attribute: str, level: int) -> str:
+    """Name of the level-``level`` column in ``attribute``'s dimension table."""
+    return f"{attribute}_{level}"
+
+
+class StarSchema:
+    """A fact table with one generalization dimension per QI attribute."""
+
+    def __init__(self, fact: Table, dimensions: Mapping[str, Table]) -> None:
+        for attribute, dimension in dimensions.items():
+            fact.schema.position(attribute)  # raises if missing
+            base = level_column_name(attribute, 0)
+            dimension.schema.position(base)
+        self._fact = fact
+        self._dimensions = dict(dimensions)
+
+    @property
+    def fact(self) -> Table:
+        return self._fact
+
+    @property
+    def dimension_attributes(self) -> tuple[str, ...]:
+        return tuple(self._dimensions)
+
+    def dimension(self, attribute: str) -> Table:
+        try:
+            return self._dimensions[attribute]
+        except KeyError:
+            raise KeyError(
+                f"no dimension for {attribute!r}; have {sorted(self._dimensions)}"
+            ) from None
+
+    def height(self, attribute: str) -> int:
+        """Hierarchy height of ``attribute`` (max level in its dimension)."""
+        dimension = self.dimension(attribute)
+        prefix = f"{attribute}_"
+        levels = [
+            int(name[len(prefix):])
+            for name in dimension.schema.names
+            if name.startswith(prefix) and name[len(prefix):].isdigit()
+        ]
+        return max(levels)
+
+    def generalized_view(self, levels: Mapping[str, int]) -> Table:
+        """Produce the full-domain generalization of the fact table.
+
+        For each attribute → level in ``levels``, joins the fact table with
+        the attribute's dimension on the base value and substitutes the
+        level column.  Attributes not in ``levels`` pass through unmodified.
+        This is the literal SQL-star-schema evaluation path; the fast path
+        used by the algorithms lives in :mod:`repro.core.generalize`.
+        """
+        result = self._fact
+        for attribute, level in levels.items():
+            if level == 0:
+                continue
+            dimension = self.dimension(attribute)
+            height = self.height(attribute)
+            if not 0 <= level <= height:
+                raise ValueError(
+                    f"level {level} out of range for {attribute!r} (height {height})"
+                )
+            base = level_column_name(attribute, 0)
+            target = level_column_name(attribute, level)
+            slim = dimension.project([base, target])
+            joined = hash_join(
+                result.rename({attribute: base}), slim, on=[base]
+            )
+            result = (
+                joined.replace_column(base, joined.column(target))
+                .rename({base: attribute})
+                .project(list(result.schema.names))
+            )
+        return result
+
+    def project_quasi_identifier(
+        self, attributes: Sequence[str], levels: Mapping[str, int]
+    ) -> Table:
+        """Generalize then project the given quasi-identifier attributes."""
+        view = self.generalized_view(
+            {name: levels.get(name, 0) for name in attributes}
+        )
+        return view.project(list(attributes))

@@ -1,0 +1,232 @@
+"""Immutable columnar tables.
+
+A :class:`Table` pairs a :class:`~repro.relational.schema.Schema` with one
+:class:`~repro.relational.column.Column` per attribute.  Tables are treated
+as multisets of tuples, exactly as in the paper (Section 1.1): duplicate rows
+are meaningful and preserved by every operation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.relational.column import Column
+from repro.relational.schema import ColumnSpec, ColumnType, Schema
+
+
+class Table:
+    """An immutable relation with named, dictionary-encoded columns."""
+
+    __slots__ = ("_schema", "_columns", "_nrows")
+
+    def __init__(self, schema: Schema, columns: Sequence[Column]) -> None:
+        if len(schema) != len(columns):
+            raise ValueError(
+                f"schema has {len(schema)} columns but {len(columns)} provided"
+            )
+        lengths = {len(column) for column in columns}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
+        self._schema = schema
+        self._columns = tuple(columns)
+        self._nrows = lengths.pop() if lengths else 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        schema: Schema | Sequence[str],
+        rows: Iterable[Sequence[Hashable]],
+    ) -> "Table":
+        """Build a table from an iterable of row tuples."""
+        if not isinstance(schema, Schema):
+            schema = Schema.of(*schema)
+        materialised = [tuple(row) for row in rows]
+        for row in materialised:
+            if len(row) != len(schema):
+                raise ValueError(
+                    f"row {row!r} has {len(row)} fields, schema expects {len(schema)}"
+                )
+        columns = [
+            Column.from_values(row[position] for row in materialised)
+            for position in range(len(schema))
+        ]
+        return cls(schema, columns)
+
+    @classmethod
+    def from_columns(
+        cls, data: Mapping[str, Iterable[Hashable]], schema: Schema | None = None
+    ) -> "Table":
+        """Build a table from a mapping of column name → raw values."""
+        if schema is None:
+            schema = Schema.of(*data.keys())
+        columns = [Column.from_values(data[spec.name]) for spec in schema]
+        return cls(schema, columns)
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Table":
+        return cls(schema, [Column.from_values([]) for _ in schema])
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def num_rows(self) -> int:
+        return self._nrows
+
+    @property
+    def num_columns(self) -> int:
+        return len(self._columns)
+
+    def __len__(self) -> int:
+        return self._nrows
+
+    def column(self, name: str) -> Column:
+        return self._columns[self._schema.position(name)]
+
+    def columns(self) -> tuple[Column, ...]:
+        return self._columns
+
+    def row(self, index: int) -> tuple:
+        if not -self._nrows <= index < self._nrows:
+            raise IndexError(f"row {index} out of range (n={self._nrows})")
+        return tuple(column[index] for column in self._columns)
+
+    def iter_rows(self) -> Iterator[tuple]:
+        iterators = [iter(column) for column in self._columns]
+        return zip(*iterators) if iterators else iter(() for _ in range(self._nrows))
+
+    def to_rows(self) -> list[tuple]:
+        return list(self.iter_rows())
+
+    def __eq__(self, other: object) -> bool:
+        """Multiset equality: same schema names and same bag of rows."""
+        if not isinstance(other, Table):
+            return NotImplemented
+        if self._schema.names != other._schema.names:
+            return False
+        if self._nrows != other._nrows:
+            return False
+        return sorted(map(repr, self.iter_rows())) == sorted(
+            map(repr, other.iter_rows())
+        )
+
+    def __repr__(self) -> str:
+        return f"Table({list(self._schema.names)}, rows={self._nrows})"
+
+    def pretty(self, limit: int = 20) -> str:
+        """Render the first ``limit`` rows as an aligned ASCII table."""
+        names = list(self._schema.names)
+        rows = [tuple(str(v) for v in row) for _, row in zip(range(limit), self.iter_rows())]
+        widths = [len(name) for name in names]
+        for row in rows:
+            widths = [max(w, len(cell)) for w, cell in zip(widths, row)]
+        header = "  ".join(name.ljust(w) for name, w in zip(names, widths))
+        rule = "  ".join("-" * w for w in widths)
+        body = [
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in rows
+        ]
+        footer = [] if self._nrows <= limit else [f"... ({self._nrows} rows total)"]
+        return "\n".join([header, rule, *body, *footer])
+
+    # ------------------------------------------------------------------
+    # relational operations
+    # ------------------------------------------------------------------
+    def project(self, names: Sequence[str]) -> "Table":
+        """Projection (without duplicate elimination — tables are multisets)."""
+        schema = self._schema.project(names)
+        columns = [self.column(name) for name in names]
+        return Table(schema, columns)
+
+    def select(self, predicate: Callable[[tuple], bool]) -> "Table":
+        """Row selection by an arbitrary predicate over row tuples."""
+        mask = np.fromiter(
+            (bool(predicate(row)) for row in self.iter_rows()),
+            dtype=bool,
+            count=self._nrows,
+        )
+        return self.take(mask)
+
+    def take(self, rows: np.ndarray | Sequence[int]) -> "Table":
+        """Restrict to ``rows`` (integer positions or boolean mask)."""
+        rows = np.asarray(rows)
+        return Table(self._schema, [column.take(rows) for column in self._columns])
+
+    def with_column(self, spec: ColumnSpec | str, column: Column) -> "Table":
+        """Return this table extended with one more column."""
+        if isinstance(spec, str):
+            spec = ColumnSpec(spec)
+        if len(column) != self._nrows and self.num_columns:
+            raise ValueError(
+                f"new column has {len(column)} rows, table has {self._nrows}"
+            )
+        schema = Schema(self._schema.columns + (spec,))
+        return Table(schema, [*self._columns, column])
+
+    def replace_column(self, name: str, column: Column) -> "Table":
+        """Return this table with the named column replaced."""
+        if len(column) != self._nrows:
+            raise ValueError(
+                f"replacement column has {len(column)} rows, table has {self._nrows}"
+            )
+        position = self._schema.position(name)
+        columns = list(self._columns)
+        columns[position] = column
+        return Table(self._schema, columns)
+
+    def rename(self, mapping: dict[str, str]) -> "Table":
+        return Table(self._schema.rename(mapping), self._columns)
+
+    def concat(self, other: "Table") -> "Table":
+        """Union-all of two tables with identical column names."""
+        if self._schema.names != other._schema.names:
+            raise ValueError(
+                f"schema mismatch: {self._schema.names} vs {other._schema.names}"
+            )
+        columns = [
+            mine.concat(theirs)
+            for mine, theirs in zip(self._columns, other._columns)
+        ]
+        return Table(self._schema, columns)
+
+    def distinct(self) -> "Table":
+        """Duplicate elimination (SELECT DISTINCT *)."""
+        seen: set[tuple] = set()
+        keep: list[int] = []
+        for position, row in enumerate(self.iter_rows()):
+            if row not in seen:
+                seen.add(row)
+                keep.append(position)
+        return self.take(np.asarray(keep, dtype=np.int64))
+
+    def sort_by(self, names: Sequence[str]) -> "Table":
+        """Stable sort by the named columns (ascending, Python ordering)."""
+        key_columns = [self.column(name) for name in names]
+        order = sorted(
+            range(self._nrows),
+            key=lambda i: tuple(column[i] for column in key_columns),
+        )
+        return self.take(np.asarray(order, dtype=np.int64))
+
+
+def infer_spec(name: str, values: Iterable[Hashable]) -> ColumnSpec:
+    """Infer a :class:`ColumnSpec` from sample values (ints → INT, etc.)."""
+    inferred = ColumnType.STRING
+    for value in values:
+        if isinstance(value, bool):
+            return ColumnSpec(name, ColumnType.STRING)
+        if isinstance(value, int):
+            inferred = ColumnType.INT
+        elif isinstance(value, float):
+            return ColumnSpec(name, ColumnType.FLOAT)
+        else:
+            return ColumnSpec(name, ColumnType.STRING)
+    return ColumnSpec(name, inferred)

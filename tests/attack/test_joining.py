@@ -1,0 +1,100 @@
+"""Tests for the joining-attack simulator (Figure 1)."""
+
+import pytest
+
+from repro.attack.joining import joining_attack, reidentification_rate
+from repro.core.generalize import apply_generalization
+from repro.datasets.patients import (
+    PATIENTS_QI,
+    patients_hierarchies,
+    patients_problem,
+    patients_table,
+    voter_table,
+)
+from repro.lattice.node import LatticeNode
+
+
+class TestRawRelease:
+    def test_andre_is_reidentified(self):
+        """Figure 1: joining the tables pins Andre to the Flu row."""
+        report = joining_attack(voter_table(), patients_table(), PATIENTS_QI)
+        assert report.uniquely_linked == 1
+        assert report.linked == 1
+        assert report.external_rows == 5
+        assert report.reidentification_rate == pytest.approx(0.2)
+
+    def test_min_candidate_set_is_one(self):
+        report = joining_attack(voter_table(), patients_table(), PATIENTS_QI)
+        assert report.min_nonzero_candidates == 1
+
+    def test_describe(self):
+        report = joining_attack(voter_table(), patients_table(), PATIENTS_QI)
+        assert "uniquely re-identified" in report.describe()
+
+
+class TestAnonymizedRelease:
+    def _release(self, levels):
+        problem = patients_problem()
+        node = LatticeNode(PATIENTS_QI, levels)
+        return apply_generalization(problem, node).table
+
+    def test_2_anonymous_release_defeats_unique_linkage(self):
+        released = self._release((1, 1, 0))
+        report = joining_attack(
+            voter_table(),
+            released,
+            PATIENTS_QI,
+            hierarchies=patients_hierarchies(),
+            levels={"Birthdate": 1, "Sex": 1, "Zipcode": 0},
+        )
+        assert report.uniquely_linked == 0
+        assert report.min_nonzero_candidates >= 2
+
+    def test_generalized_adversary_still_links_nonuniquely(self):
+        released = self._release((1, 1, 0))
+        report = joining_attack(
+            voter_table(),
+            released,
+            PATIENTS_QI,
+            hierarchies=patients_hierarchies(),
+            levels={"Birthdate": 1, "Sex": 1, "Zipcode": 0},
+        )
+        # Andre's zipcode 53715 exists in the release: he links to a class
+        assert report.linked >= 1
+
+    def test_levels_without_hierarchies_rejected(self):
+        with pytest.raises(ValueError, match="hierarchies"):
+            joining_attack(
+                voter_table(),
+                patients_table(),
+                PATIENTS_QI,
+                levels={"Sex": 1},
+            )
+
+    def test_rate_helper(self):
+        rate = reidentification_rate(
+            voter_table(), patients_table(), PATIENTS_QI
+        )
+        assert rate == pytest.approx(0.2)
+
+
+class TestKAnonymityGuarantee:
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_candidate_sets_at_least_k_for_any_anonymous_node(self, k):
+        """For every k-anonymous release, no external row links uniquely
+        (candidate sets are >= k) once the adversary matches levels."""
+        from repro.core.incognito import basic_incognito
+
+        problem = patients_problem()
+        result = basic_incognito(problem, k)
+        for node in result.anonymous_nodes:
+            released = apply_generalization(problem, node).table
+            report = joining_attack(
+                voter_table(),
+                released,
+                PATIENTS_QI,
+                hierarchies=patients_hierarchies(),
+                levels=node.as_dict(),
+            )
+            assert report.min_nonzero_candidates >= k or report.linked == 0
+            assert report.uniquely_linked == 0 or k == 1

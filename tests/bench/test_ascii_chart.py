@@ -1,0 +1,58 @@
+"""Tests for the ASCII chart renderer."""
+
+from repro.bench.ascii_chart import _scaled, format_series_chart
+from repro.bench.harness import MeasuredRun, Series
+
+
+def make_series() -> list[Series]:
+    fast = Series("Fast Algo")
+    slow = Series("Slow Algorithm")
+    for x, (f, s) in zip((3, 4), ((0.1, 1.0), (0.2, 10.0))):
+        fast.add(x, MeasuredRun("Fast Algo", f, 1, 1, 0, 1))
+        slow.add(x, MeasuredRun("Slow Algorithm", s, 1, 1, 0, 1))
+    return [fast, slow]
+
+
+class TestScaled:
+    def test_zero_value(self):
+        assert _scaled(0.0, 10.0, 40, log=True) == 0
+
+    def test_maximum_fills_width(self):
+        assert _scaled(10.0, 10.0, 40, log=True) == 40
+        assert _scaled(10.0, 10.0, 40, log=False) == 40
+
+    def test_linear_half(self):
+        assert _scaled(5.0, 10.0, 40, log=False) == 20
+
+    def test_log_boosts_small_values(self):
+        small_log = _scaled(0.1, 10.0, 40, log=True)
+        small_linear = _scaled(0.1, 10.0, 40, log=False)
+        assert small_log > small_linear
+
+    def test_minimum_one_column_for_positive(self):
+        assert _scaled(1e-9, 10.0, 40, log=True) >= 1
+
+
+class TestFormatChart:
+    def test_contains_labels_and_bars(self):
+        chart = format_series_chart("My Fig", "QID", make_series())
+        assert "My Fig" in chart
+        assert "Fast Algo" in chart and "Slow Algorithm" in chart
+        assert "#" in chart
+        assert "QID = 3" in chart and "QID = 4" in chart
+
+    def test_longer_times_get_longer_bars(self):
+        chart = format_series_chart("T", "x", make_series(), log=False)
+        lines = {line.strip().split()[0]: line for line in chart.splitlines() if "#" in line}
+        fast_bar = lines["Fast"].count("#")
+        slow_bar = lines["Slow"].count("#")
+        assert slow_bar > fast_bar
+
+    def test_empty_series(self):
+        assert "(no data)" in format_series_chart("T", "x", [])
+
+    def test_scale_note(self):
+        assert "log" in format_series_chart("T", "x", make_series())
+        assert "linear" in format_series_chart(
+            "T", "x", make_series(), log=False
+        )

@@ -1,0 +1,73 @@
+"""Tests for the benchmark harness."""
+
+from repro.bench.harness import (
+    ALGORITHMS,
+    EXTRA_ALGORITHMS,
+    MeasuredRun,
+    Series,
+    format_series_table,
+    run_algorithm,
+)
+from repro.datasets.patients import patients_problem
+
+
+class TestAlgorithmsRegistry:
+    def test_six_figure10_lines(self):
+        assert set(ALGORITHMS) == {
+            "Bottom-Up (w/o rollup)",
+            "Binary Search",
+            "Bottom-Up (w/ rollup)",
+            "Basic Incognito",
+            "Cube Incognito",
+            "Super-roots Incognito",
+        }
+
+    def test_datafly_available_as_extra(self):
+        assert "Datafly" in EXTRA_ALGORITHMS
+
+
+class TestRunAlgorithm:
+    def test_runs_and_measures(self):
+        run = run_algorithm("Basic Incognito", patients_problem(), 2)
+        assert run.elapsed_seconds > 0
+        assert run.solutions == 5
+        assert run.nodes_checked > 0
+
+    def test_repeats_keep_fastest(self):
+        run = run_algorithm("Binary Search", patients_problem(), 2, repeats=3)
+        assert run.elapsed_seconds > 0
+
+    def test_cube_records_build_split(self):
+        run = run_algorithm("Cube Incognito", patients_problem(), 2)
+        assert run.cube_build_seconds > 0
+        assert run.anonymization_seconds >= 0
+
+    def test_every_registered_algorithm_runs(self):
+        problem = patients_problem()
+        for name in list(ALGORITHMS) + list(EXTRA_ALGORITHMS):
+            run = run_algorithm(name, problem, 2)
+            assert isinstance(run, MeasuredRun)
+            assert run.algorithm == name
+
+
+class TestFormatting:
+    def test_table_layout(self):
+        series = Series("Algo A")
+        series.add(3, MeasuredRun("Algo A", 1.5, 10, 5, 5, 2))
+        series.add(4, MeasuredRun("Algo A", 2.5, 20, 10, 10, 2))
+        text = format_series_table("My Title", "QID", [series])
+        lines = text.splitlines()
+        assert lines[0] == "My Title"
+        assert "QID" in lines[1] and "Algo A" in lines[1]
+        assert "1.500s" in text and "2.500s" in text
+
+    def test_custom_value_extractor(self):
+        series = Series("A")
+        series.add(1, MeasuredRun("A", 5.0, 1, 1, 0, 1, cube_build_seconds=2.0))
+        text = format_series_table(
+            "T", "x", [series], value=lambda run: run.cube_build_seconds
+        )
+        assert "2.000s" in text
+
+    def test_empty_series(self):
+        assert "(no data)" in format_series_table("T", "x", [])

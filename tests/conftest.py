@@ -1,0 +1,103 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.problem import PreparedTable
+from repro.datasets.patients import (
+    patients_hierarchies,
+    patients_problem,
+    patients_table,
+    voter_table,
+)
+from repro.hierarchy import (
+    RangeHierarchy,
+    RoundingHierarchy,
+    SuppressionHierarchy,
+    TaxonomyHierarchy,
+)
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def patients() -> Table:
+    return patients_table()
+
+
+@pytest.fixture
+def voters() -> Table:
+    return voter_table()
+
+
+@pytest.fixture
+def patients_prob() -> PreparedTable:
+    return patients_problem()
+
+
+def make_random_problem(
+    seed: int,
+    *,
+    num_rows: int | None = None,
+    num_attributes: int | None = None,
+) -> PreparedTable:
+    """A small random anonymization problem for cross-checking algorithms.
+
+    Attributes draw from three hierarchy shapes (suppression, rounding,
+    two-level taxonomy) with small domains, so exhaustive search stays
+    cheap while exercising mixed heights.
+    """
+    rng = random.Random(seed)
+    if num_attributes is None:
+        num_attributes = rng.randint(2, 4)
+    if num_rows is None:
+        num_rows = rng.randint(4, 40)
+
+    hierarchies = {}
+    columns: dict[str, list] = {}
+    for position in range(num_attributes):
+        name = f"q{position}"
+        shape = rng.choice(["suppress", "round", "taxonomy"])
+        if shape == "suppress":
+            domain = [f"v{position}_{i}" for i in range(rng.randint(2, 5))]
+            hierarchies[name] = SuppressionHierarchy()
+        elif shape == "round":
+            digits = rng.randint(2, 3)
+            domain = [
+                str(rng.randint(0, 10 ** digits - 1)).rjust(digits, "0")
+                for _ in range(rng.randint(2, 6))
+            ]
+            domain = sorted(set(domain))
+            hierarchies[name] = RoundingHierarchy(digits)
+        else:
+            leaves = [f"l{position}_{i}" for i in range(rng.randint(3, 6))]
+            half = max(1, len(leaves) // 2)
+            hierarchies[name] = TaxonomyHierarchy.grouped(
+                {"g0": leaves[:half], "g1": leaves[half:]}
+            )
+            domain = leaves
+        columns[name] = [rng.choice(domain) for _ in range(num_rows)]
+    table = Table.from_columns(columns)
+    return PreparedTable(table, hierarchies)
+
+
+@pytest.fixture
+def random_problem() -> PreparedTable:
+    return make_random_problem(0)
+
+
+def tiny_numeric_problem() -> PreparedTable:
+    """A fixed numeric problem with a range hierarchy, used in many tests."""
+    table = Table.from_columns(
+        {
+            "age": [21, 22, 23, 24, 31, 32, 33, 34, 41, 42],
+            "sex": ["M", "F", "M", "F", "M", "F", "M", "F", "M", "F"],
+        }
+    )
+    hierarchies = {
+        "age": RangeHierarchy([5, 10], suppress_top=True),
+        "sex": SuppressionHierarchy(),
+    }
+    return PreparedTable(table, hierarchies)

@@ -1,0 +1,73 @@
+"""Tests for Samarati's binary search (Section 2.2)."""
+
+import pytest
+
+from repro.core.binary_search import samarati_binary_search
+from repro.core.incognito import basic_incognito
+from repro.datasets.patients import patients_problem
+from tests.conftest import make_random_problem
+
+
+class TestPatientsExample:
+    def test_finds_height2_solution(self):
+        result = samarati_binary_search(patients_problem(), 2)
+        assert result.found
+        assert result.anonymous_nodes[0].height == 2
+
+    def test_single_answer_flagged_incomplete(self):
+        result = samarati_binary_search(patients_problem(), 2)
+        assert not result.complete
+        assert len(result.anonymous_nodes) == 1
+
+    def test_probe_trace_recorded(self):
+        result = samarati_binary_search(patients_problem(), 2)
+        probes = result.details["probes"]
+        assert probes, "binary search must record its height probes"
+        heights = [height for height, _ in probes]
+        assert all(0 <= h <= 4 for h in heights)
+
+
+class TestAgainstIncognito:
+    @pytest.mark.parametrize("seed", range(10))
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_height_matches_incognito_minimum(self, seed, k):
+        problem = make_random_problem(seed + 600)
+        complete = basic_incognito(problem, k)
+        single = samarati_binary_search(problem, k)
+        if not complete.found:
+            assert not single.found
+        else:
+            expected_height = complete.best_node().height
+            assert single.anonymous_nodes[0].height == expected_height
+            assert single.anonymous_nodes[0] in complete.anonymous_nodes
+
+
+class TestEdgeCases:
+    def test_k1_returns_bottom(self):
+        problem = patients_problem()
+        result = samarati_binary_search(problem, 1)
+        assert result.anonymous_nodes[0] == problem.bottom_node()
+
+    def test_impossible_k(self):
+        result = samarati_binary_search(patients_problem(), 100)
+        assert not result.found
+
+    def test_k_equal_rows_finds_full_merge(self):
+        result = samarati_binary_search(patients_problem(), 6)
+        assert result.found
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            samarati_binary_search(patients_problem(), -1)
+
+    def test_every_check_is_a_scan(self):
+        """Binary search has no rollup pathway (Section 2.2)."""
+        result = samarati_binary_search(patients_problem(), 2)
+        assert result.stats.rollups == 0
+        assert result.stats.table_scans == result.stats.nodes_checked
+
+    def test_suppression_threshold_respected(self):
+        problem = patients_problem()
+        relaxed = samarati_binary_search(problem, 2, max_suppression=2)
+        strict = samarati_binary_search(problem, 2)
+        assert relaxed.anonymous_nodes[0].height <= strict.anonymous_nodes[0].height

@@ -1,0 +1,69 @@
+"""Tests for bottom-up breadth-first search (Section 2.2)."""
+
+import pytest
+
+from repro.core.bottomup import bottom_up_search
+from repro.datasets.patients import patients_problem
+from tests.conftest import make_random_problem
+
+
+class TestVariantsAgree:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_rollup_and_scan_variants_identical_answers(self, seed):
+        problem = make_random_problem(seed + 500)
+        with_rollup = bottom_up_search(problem, 2, rollup=True)
+        without = bottom_up_search(problem, 2, rollup=False)
+        assert with_rollup.anonymous_nodes == without.anonymous_nodes
+
+    def test_variants_check_same_nodes(self):
+        problem = patients_problem()
+        with_rollup = bottom_up_search(problem, 2, rollup=True)
+        without = bottom_up_search(problem, 2, rollup=False)
+        assert with_rollup.stats.nodes_checked == without.stats.nodes_checked
+
+
+class TestCostProfile:
+    def test_rollup_variant_scans_once(self):
+        result = bottom_up_search(patients_problem(), 2, rollup=True)
+        assert result.stats.table_scans == 1
+        assert result.stats.rollups == result.stats.nodes_checked - 1
+
+    def test_scan_variant_scans_per_check(self):
+        result = bottom_up_search(patients_problem(), 2, rollup=False)
+        assert result.stats.table_scans == result.stats.nodes_checked
+        assert result.stats.rollups == 0
+
+    def test_nodes_generated_is_lattice_size(self):
+        problem = patients_problem()
+        result = bottom_up_search(problem, 2)
+        assert result.stats.nodes_generated == problem.lattice().size
+
+    def test_marking_spares_generalizations(self):
+        problem = patients_problem()
+        result = bottom_up_search(problem, 2)
+        assert result.stats.nodes_checked + result.stats.nodes_marked <= (
+            problem.lattice().size
+        )
+        assert result.stats.nodes_marked > 0
+
+
+class TestBehaviour:
+    def test_algorithm_labels(self):
+        assert bottom_up_search(patients_problem(), 2).algorithm == "bottom-up-rollup"
+        assert (
+            bottom_up_search(patients_problem(), 2, rollup=False).algorithm
+            == "bottom-up"
+        )
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            bottom_up_search(patients_problem(), 0)
+
+    def test_suppression_threshold(self):
+        problem = patients_problem()
+        strict = bottom_up_search(problem, 2)
+        relaxed = bottom_up_search(problem, 2, max_suppression=2)
+        assert set(strict.anonymous_nodes) < set(relaxed.anonymous_nodes)
+
+    def test_complete_flag(self):
+        assert bottom_up_search(patients_problem(), 2).complete

@@ -1,0 +1,93 @@
+"""Tests for the CLI model subcommand."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.anonymity import check_k_anonymity
+from repro.datasets.patients import patients_table
+from repro.relational.csvio import read_csv, write_csv
+
+QI = "Birthdate,Sex,Zipcode"
+
+
+@pytest.fixture
+def patients_csv(tmp_path):
+    path = tmp_path / "patients.csv"
+    write_csv(patients_table(), path)
+    return path
+
+
+@pytest.fixture
+def spec_json(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(
+        json.dumps(
+            {
+                "Birthdate": {"type": "suppression"},
+                "Sex": {"type": "suppression", "suppressed": "Person"},
+                "Zipcode": {"type": "rounding", "digits": 5, "height": 2},
+            }
+        )
+    )
+    return path
+
+
+class TestModelSubcommand:
+    @pytest.mark.parametrize(
+        "model", ["mondrian", "partition-1d", "cell-suppression"]
+    )
+    def test_partition_and_local_models_without_spec(
+        self, patients_csv, tmp_path, model
+    ):
+        out = tmp_path / "out.csv"
+        code = main([
+            "model", model, str(patients_csv),
+            "--qi", QI, "--k", "2", "--output", str(out),
+        ])
+        assert code == 0
+        released = read_csv(out)
+        assert check_k_anonymity(released, QI.split(","), 2)
+
+    @pytest.mark.parametrize(
+        "model", ["full-domain", "subtree", "multidim-subgraph", "annealing"]
+    )
+    def test_hierarchy_models_with_spec(
+        self, patients_csv, spec_json, tmp_path, model
+    ):
+        out = tmp_path / "out.csv"
+        code = main([
+            "model", model, str(patients_csv),
+            "--hierarchies", str(spec_json),
+            "--k", "2", "--output", str(out),
+        ])
+        assert code == 0
+        released = read_csv(out)
+        assert check_k_anonymity(released, QI.split(","), 2)
+
+    def test_metrics_printed(self, patients_csv, capsys):
+        code = main([
+            "model", "mondrian", str(patients_csv), "--qi", QI, "--k", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "C_DM=" in out and "C_AVG=" in out
+
+    def test_qi_defaults_to_spec_keys(self, patients_csv, spec_json, capsys):
+        code = main([
+            "model", "full-domain", str(patients_csv),
+            "--hierarchies", str(spec_json), "--k", "2",
+        ])
+        assert code == 0
+
+    def test_missing_qi_and_spec_rejected(self, patients_csv, capsys):
+        code = main([
+            "model", "mondrian", str(patients_csv), "--k", "2",
+        ])
+        assert code == 2
+        assert "--qi" in capsys.readouterr().err
+
+    def test_unknown_model_rejected(self, patients_csv):
+        with pytest.raises(SystemExit):
+            main(["model", "nope", str(patients_csv), "--qi", QI, "--k", "2"])

@@ -1,0 +1,73 @@
+"""Tests for Cube Incognito (Section 3.3.2)."""
+
+import pytest
+
+from repro.core.anonymity import FrequencyEvaluator, compute_frequency_set
+from repro.core.cube import build_zero_generalization_cube, cube_incognito
+from repro.core.incognito import basic_incognito
+from repro.datasets.patients import patients_problem
+from tests.conftest import make_random_problem
+
+
+class TestCubeBuild:
+    def test_covers_every_nonempty_subset(self):
+        problem = patients_problem()
+        evaluator = FrequencyEvaluator(problem)
+        cube = build_zero_generalization_cube(problem, evaluator)
+        assert len(cube) == 2 ** 3 - 1
+
+    def test_single_scan_only(self):
+        problem = patients_problem()
+        evaluator = FrequencyEvaluator(problem)
+        build_zero_generalization_cube(problem, evaluator)
+        assert evaluator.stats.table_scans == 1
+        assert evaluator.stats.cube_build_scans == 1
+        assert evaluator.stats.projections == 2 ** 3 - 2
+
+    def test_subset_sets_match_direct_computation(self):
+        problem = patients_problem()
+        evaluator = FrequencyEvaluator(problem)
+        cube = build_zero_generalization_cube(problem, evaluator)
+        for attributes, frequency_set in cube.items():
+            direct = compute_frequency_set(
+                problem, problem.bottom_node(attributes)
+            )
+            assert frequency_set.as_dict() == direct.as_dict(), attributes
+
+    def test_build_time_recorded(self):
+        problem = patients_problem()
+        evaluator = FrequencyEvaluator(problem)
+        build_zero_generalization_cube(problem, evaluator)
+        assert evaluator.stats.cube_build_seconds > 0
+
+
+class TestCubeIncognito:
+    def test_same_answers_as_basic(self):
+        problem = patients_problem()
+        assert (
+            cube_incognito(problem, 2).anonymous_nodes
+            == basic_incognito(problem, 2).anonymous_nodes
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_random_agreement_with_basic(self, seed, k):
+        problem = make_random_problem(seed + 400)
+        assert (
+            cube_incognito(problem, k).anonymous_nodes
+            == basic_incognito(problem, k).anonymous_nodes
+        )
+
+    def test_search_phase_never_scans(self):
+        """After the build's single scan, every root comes from the cube."""
+        result = cube_incognito(patients_problem(), 2)
+        assert result.stats.table_scans == 1
+
+    def test_build_cost_split_out(self):
+        result = cube_incognito(patients_problem(), 2)
+        stats = result.stats
+        assert stats.cube_build_scans == 1
+        assert 0 < stats.cube_build_seconds <= stats.elapsed_seconds
+
+    def test_algorithm_label(self):
+        assert cube_incognito(patients_problem(), 2).algorithm == "cube-incognito"

@@ -1,0 +1,79 @@
+"""Tests for the Datafly greedy baseline (Section 6)."""
+
+import pytest
+
+from repro.core.anonymity import check_k_anonymity, compute_frequency_set
+from repro.core.datafly import datafly
+from repro.datasets.patients import patients_problem
+from tests.conftest import make_random_problem
+
+
+class TestDatafly:
+    def test_achieves_k_anonymity_within_threshold(self):
+        problem = patients_problem()
+        result = datafly(problem, 2)
+        node = result.anonymous_nodes[0]
+        fs = compute_frequency_set(problem, node)
+        assert fs.is_k_anonymous(2, result.max_suppression or 0)
+
+    def test_applied_view_is_anonymous(self):
+        problem = patients_problem()
+        result = datafly(problem, 2)
+        view = result.apply(problem)
+        assert check_k_anonymity(
+            view.table, problem.quasi_identifier, 2
+        )
+
+    def test_greedy_picks_widest_attribute_first(self):
+        """Patients: Zipcode has 4 distinct values (vs 3 and 2), so the
+        first generalization step must touch Zipcode."""
+        result = datafly(patients_problem(), 2)
+        trace = result.details["trace"]
+        assert len(trace) >= 2
+        first, second = trace[0][0], trace[1][0]
+        assert first == "<B0, S0, Z0>"
+        assert second == "<B0, S0, Z1>"
+
+    def test_single_answer_flag(self):
+        result = datafly(patients_problem(), 2)
+        assert not result.complete
+
+    def test_default_threshold_is_k(self):
+        problem = make_random_problem(7)
+        result = datafly(problem, 3)
+        assert result.details["suppressed"] <= 3
+
+    def test_custom_threshold(self):
+        problem = patients_problem()
+        result = datafly(problem, 2, max_suppression=0)
+        node = result.anonymous_nodes[0]
+        fs = compute_frequency_set(problem, node)
+        assert fs.min_count() >= 2
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            datafly(patients_problem(), 0)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_instances_terminate_anonymous(self, seed):
+        problem = make_random_problem(seed + 700)
+        result = datafly(problem, 2)
+        assert result.found
+        node = result.anonymous_nodes[0]
+        fs = compute_frequency_set(problem, node)
+        assert fs.is_k_anonymous(2, result.max_suppression or 0)
+
+    def test_no_minimality_guarantee_is_documented_behaviour(self):
+        """Datafly may overshoot the minimal height — verify it can."""
+        from repro.core.incognito import basic_incognito
+
+        overshoots = 0
+        for seed in range(12):
+            problem = make_random_problem(seed + 800)
+            greedy = datafly(problem, 2, max_suppression=0)
+            complete = basic_incognito(problem, 2)
+            if not (greedy.found and complete.found):
+                continue
+            if greedy.anonymous_nodes[0].height > complete.best_node().height:
+                overshoots += 1
+        assert overshoots > 0, "expected at least one non-minimal greedy result"

@@ -1,0 +1,98 @@
+"""Tests for Samarati's distance-vector matrix (paper §4.1 footnote 2)."""
+
+import pytest
+
+from repro.core.anonymity import compute_frequency_set
+from repro.core.binary_search import samarati_binary_search
+from repro.core.distance_matrix import DistanceVectorMatrix, matrix_binary_search
+from repro.datasets.patients import patients_problem
+from repro.lattice.node import LatticeNode
+from tests.conftest import make_random_problem
+
+QI = ("Birthdate", "Sex", "Zipcode")
+
+
+class TestMatrix:
+    def test_distinct_tuple_count(self):
+        matrix = DistanceVectorMatrix(patients_problem())
+        assert matrix.num_tuples == 6
+
+    def test_diagonal_is_zero(self):
+        matrix = DistanceVectorMatrix(patients_problem())
+        for i in range(matrix.num_tuples):
+            assert not matrix.matrix[i, i].any()
+
+    def test_matrix_is_symmetric(self):
+        matrix = DistanceVectorMatrix(patients_problem())
+        import numpy as np
+
+        assert np.array_equal(
+            matrix.matrix, matrix.matrix.transpose(1, 0, 2)
+        )
+
+    def test_oracle_matches_groupby_on_every_node(self):
+        """The matrix must answer k-anonymity identically to COUNT group-by."""
+        problem = patients_problem()
+        matrix = DistanceVectorMatrix(problem)
+        for node in problem.lattice().nodes():
+            for k in (1, 2, 3, 6, 7):
+                via_matrix = matrix.is_k_anonymous(node, k)
+                via_groupby = compute_frequency_set(problem, node).is_k_anonymous(k)
+                assert via_matrix == via_groupby, (str(node), k)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_oracle_matches_on_random_instances(self, seed):
+        problem = make_random_problem(seed + 1_200)
+        matrix = DistanceVectorMatrix(problem)
+        for node in problem.lattice().nodes():
+            assert matrix.is_k_anonymous(node, 2) == compute_frequency_set(
+                problem, node
+            ).is_k_anonymous(2)
+
+    def test_class_sizes_sum_to_rows_per_tuple(self):
+        problem = patients_problem()
+        matrix = DistanceVectorMatrix(problem)
+        sizes = matrix.class_sizes_at(problem.top_node())
+        assert set(sizes.tolist()) == {6}
+
+    def test_empty_table(self):
+        problem = patients_problem()
+        from repro.core.problem import PreparedTable
+
+        empty = PreparedTable(
+            problem.table.take([]),
+            {name: problem.hierarchy(name) for name in QI},
+            QI,
+        )
+        matrix = DistanceVectorMatrix(empty)
+        assert matrix.num_tuples == 0
+        assert matrix.is_k_anonymous(empty.bottom_node(), 5)
+
+
+class TestMatrixBinarySearch:
+    def test_patients(self):
+        result = matrix_binary_search(patients_problem(), 2)
+        assert result.found
+        assert result.anonymous_nodes[0].height == 2
+        assert result.details["distinct_tuples"] == 6
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_agrees_with_groupby_binary_search(self, seed, k):
+        problem = make_random_problem(seed + 1_300)
+        via_matrix = matrix_binary_search(problem, k)
+        via_groupby = samarati_binary_search(problem, k)
+        assert via_matrix.found == via_groupby.found
+        if via_matrix.found:
+            assert (
+                via_matrix.anonymous_nodes[0].height
+                == via_groupby.anonymous_nodes[0].height
+            )
+
+    def test_construction_time_reported(self):
+        result = matrix_binary_search(patients_problem(), 2)
+        assert result.stats.cube_build_seconds > 0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            matrix_binary_search(patients_problem(), 0)

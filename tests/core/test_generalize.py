@@ -1,0 +1,101 @@
+"""Tests for producing the anonymized view V."""
+
+import pytest
+
+from repro.core.anonymity import check_k_anonymity
+from repro.core.generalize import (
+    apply_generalization,
+    apply_with_star_schema,
+    generalize_table,
+    suppress_column,
+)
+from repro.datasets.patients import patients_problem
+from repro.lattice.node import LatticeNode
+
+QI = ("Birthdate", "Sex", "Zipcode")
+
+
+def node(b: int, s: int, z: int) -> LatticeNode:
+    return LatticeNode(QI, (b, s, z))
+
+
+class TestGeneralizeTable:
+    def test_zero_node_is_identity(self):
+        problem = patients_problem()
+        assert generalize_table(problem, node(0, 0, 0)) == problem.table
+
+    def test_replaces_qi_values(self):
+        problem = patients_problem()
+        view = generalize_table(problem, node(1, 1, 1))
+        assert set(view.column("Sex").to_list()) == {"Person"}
+        assert set(view.column("Birthdate").to_list()) == {"*"}
+        assert set(view.column("Zipcode").to_list()) == {"5371*", "5370*"}
+
+    def test_non_qi_columns_untouched(self):
+        problem = patients_problem()
+        view = generalize_table(problem, node(1, 1, 2))
+        assert view.column("Disease") == problem.table.column("Disease")
+
+    def test_row_count_preserved(self):
+        problem = patients_problem()
+        assert generalize_table(problem, node(1, 0, 2)).num_rows == 6
+
+    def test_agrees_with_star_schema_on_every_node(self):
+        problem = patients_problem()
+        for lattice_node in problem.lattice().nodes():
+            fast = generalize_table(problem, lattice_node)
+            slow = apply_with_star_schema(problem, lattice_node)
+            assert fast == slow, str(lattice_node)
+
+
+class TestApplyGeneralization:
+    def test_without_k_never_suppresses(self):
+        problem = patients_problem()
+        view = apply_generalization(problem, node(0, 0, 0))
+        assert view.suppressed_rows == 0
+        assert view.num_rows == 6
+
+    def test_anonymous_node_no_suppression(self):
+        problem = patients_problem()
+        view = apply_generalization(problem, node(1, 1, 0), k=2)
+        assert view.suppressed_rows == 0
+        assert check_k_anonymity(view.table, QI, 2)
+
+    def test_non_anonymous_node_rejected_without_budget(self):
+        problem = patients_problem()
+        with pytest.raises(ValueError, match="not 2-anonymous"):
+            apply_generalization(problem, node(0, 0, 0), k=2)
+
+    def test_suppression_drops_outlier_rows(self):
+        problem = patients_problem()
+        # ⟨B0,S1,Z1⟩: groups are (76-era, 5371*) etc.; find a node needing
+        # some suppression but within budget.
+        view = apply_generalization(
+            problem, node(0, 0, 0), k=2, max_suppression=6
+        )
+        assert view.suppressed_rows == 6
+        assert view.num_rows == 0
+
+    def test_partial_suppression(self):
+        problem = patients_problem()
+        # At ⟨B0, S0, Z2⟩ the groups are (birthdate, sex) pairs:
+        # (1/21/76,M):2, (4/13/86,F):2, (2/28/76,M):1, (2/28/76,F):1
+        view = apply_generalization(
+            problem, node(0, 0, 2), k=2, max_suppression=2
+        )
+        assert view.suppressed_rows == 2
+        assert view.num_rows == 4
+        assert check_k_anonymity(view.table, QI, 2)
+
+    def test_view_carries_node(self):
+        problem = patients_problem()
+        view = apply_generalization(problem, node(1, 1, 2))
+        assert view.node == node(1, 1, 2)
+
+
+class TestSuppressColumn:
+    def test_whole_column_masked(self):
+        problem = patients_problem()
+        table = suppress_column(problem.table, "Sex")
+        assert set(table.column("Sex").to_list()) == {"*"}
+        assert table.num_rows == 6

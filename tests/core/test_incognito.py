@@ -1,0 +1,107 @@
+"""Tests for Basic Incognito beyond the paper's worked example."""
+
+import pytest
+
+from repro.core.incognito import basic_incognito, run_incognito
+from repro.datasets.patients import patients_problem
+from repro.lattice.node import LatticeNode
+from tests.conftest import make_random_problem, tiny_numeric_problem
+
+
+class TestEdgeCases:
+    def test_k1_everything_is_anonymous(self):
+        problem = patients_problem()
+        result = basic_incognito(problem, 1)
+        assert len(result.anonymous_nodes) == problem.lattice().size
+
+    def test_k_above_table_size_no_solutions(self):
+        problem = patients_problem()
+        result = basic_incognito(problem, 7)
+        assert result.anonymous_nodes == []
+        assert not result.found
+
+    def test_k_equal_table_size_only_top_region(self):
+        problem = patients_problem()
+        result = basic_incognito(problem, 6)
+        assert problem.top_node() in result.anonymous_nodes
+        for node in result.anonymous_nodes:
+            # every solution merges all six rows into one class
+            assert node.level_of("Birthdate") == 1 or node.level_of("Sex") == 1 \
+                or node.level_of("Zipcode") >= 1
+
+    def test_invalid_k_rejected(self):
+        with pytest.raises(ValueError):
+            basic_incognito(patients_problem(), 0)
+
+    def test_single_attribute_qi(self):
+        problem = patients_problem().with_quasi_identifier(["Zipcode"])
+        result = basic_incognito(problem, 2)
+        expected = {
+            LatticeNode(("Zipcode",), (0,)),
+            LatticeNode(("Zipcode",), (1,)),
+            LatticeNode(("Zipcode",), (2,)),
+        }
+        assert set(result.anonymous_nodes) == expected
+
+    def test_two_attribute_qi(self):
+        problem = patients_problem().with_quasi_identifier(["Sex", "Zipcode"])
+        result = basic_incognito(problem, 2)
+        assert set(result.anonymous_nodes) == {
+            LatticeNode(("Sex", "Zipcode"), levels)
+            for levels in [(1, 0), (1, 1), (1, 2), (0, 2)]
+        }
+
+
+class TestSuppressionThreshold:
+    def test_budget_expands_solution_set(self):
+        problem = patients_problem()
+        strict = basic_incognito(problem, 2)
+        relaxed = basic_incognito(problem, 2, max_suppression=2)
+        assert set(strict.anonymous_nodes) <= set(relaxed.anonymous_nodes)
+        assert len(relaxed.anonymous_nodes) > len(strict.anonymous_nodes)
+
+    def test_result_records_threshold(self):
+        result = basic_incognito(patients_problem(), 2, max_suppression=2)
+        assert result.max_suppression == 2
+
+
+class TestStatsAccounting:
+    def test_rollup_plus_scans_equals_evaluations(self):
+        result = basic_incognito(patients_problem(), 2)
+        stats = result.stats
+        assert stats.frequency_evaluations == stats.table_scans + stats.rollups
+
+    def test_checked_at_most_generated(self):
+        result = basic_incognito(patients_problem(), 2)
+        assert result.stats.nodes_checked <= result.stats.nodes_generated
+
+    def test_elapsed_recorded(self):
+        result = basic_incognito(patients_problem(), 2)
+        assert result.stats.elapsed_seconds > 0
+
+    def test_checks_by_subset_size_covers_all_sizes(self):
+        result = basic_incognito(patients_problem(), 2)
+        assert set(result.stats.checks_by_subset_size) == {1, 2, 3}
+
+    def test_marking_reduces_checks(self):
+        """The generalization property must spare provably-anonymous nodes."""
+        problem = tiny_numeric_problem()
+        result = basic_incognito(problem, 2)
+        assert result.stats.nodes_checked < result.stats.nodes_generated
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_same_input_same_output(self, seed):
+        problem = make_random_problem(seed)
+        first = basic_incognito(problem, 2)
+        second = basic_incognito(problem, 2)
+        assert first.anonymous_nodes == second.anonymous_nodes
+        assert first.stats.nodes_checked == second.stats.nodes_checked
+
+    def test_algorithm_label(self):
+        assert basic_incognito(patients_problem(), 2).algorithm == "basic-incognito"
+
+    def test_run_incognito_custom_label(self):
+        result = run_incognito(patients_problem(), 2, algorithm="custom")
+        assert result.algorithm == "custom"

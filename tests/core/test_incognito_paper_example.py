@@ -1,0 +1,106 @@
+"""Golden tests: Incognito on the paper's running example (Examples 3.1/3.2).
+
+The paper walks the Patients table (Figure 1) with quasi-identifier
+⟨Birthdate, Sex, Zipcode⟩ and k=2 through the whole algorithm; these tests
+pin our implementation to every stated intermediate and final fact.
+"""
+
+import pytest
+
+from repro.core.anonymity import check_k_anonymity, compute_frequency_set
+from repro.core.incognito import basic_incognito
+from repro.datasets.patients import patients_problem
+from repro.lattice.node import LatticeNode
+
+QI = ("Birthdate", "Sex", "Zipcode")
+
+
+def node(b: int, s: int, z: int) -> LatticeNode:
+    return LatticeNode(QI, (b, s, z))
+
+
+@pytest.fixture(scope="module")
+def result():
+    return basic_incognito(patients_problem(), 2)
+
+
+class TestExample31FirstIteration:
+    """Iteration 1 finds T 2-anonymous wrt ⟨B0⟩, ⟨S0⟩, and ⟨Z0⟩."""
+
+    @pytest.mark.parametrize("attribute", ["Birthdate", "Sex", "Zipcode"])
+    def test_single_attributes_anonymous_at_level0(self, attribute):
+        problem = patients_problem()
+        fs = compute_frequency_set(problem, LatticeNode((attribute,), (0,)))
+        assert fs.is_k_anonymous(2)
+
+
+class TestExample31SexZipcodeSearch:
+    """Figure 5(a): the ⟨Sex, Zipcode⟩ breadth-first search."""
+
+    def sz(self, s, z):
+        return LatticeNode(("Sex", "Zipcode"), (s, z))
+
+    def test_s0z0_fails(self):
+        problem = patients_problem()
+        assert not compute_frequency_set(problem, self.sz(0, 0)).is_k_anonymous(2)
+
+    def test_s1z0_passes(self):
+        problem = patients_problem()
+        assert compute_frequency_set(problem, self.sz(1, 0)).is_k_anonymous(2)
+
+    def test_s0z1_fails(self):
+        problem = patients_problem()
+        assert not compute_frequency_set(problem, self.sz(0, 1)).is_k_anonymous(2)
+
+    def test_s0z2_passes(self):
+        problem = patients_problem()
+        assert compute_frequency_set(problem, self.sz(0, 2)).is_k_anonymous(2)
+
+
+class TestFinalResult:
+    """The complete 2-anonymous set equals Figure 7(a)'s candidate nodes.
+
+    (All five Figure 7(a) candidates turn out 2-anonymous for Patients.)
+    """
+
+    def test_anonymous_node_set(self, result):
+        expected = {
+            node(1, 1, 0),
+            node(1, 1, 1),
+            node(1, 1, 2),
+            node(1, 0, 2),
+            node(0, 1, 2),
+        }
+        assert set(result.anonymous_nodes) == expected
+
+    def test_minimal_height_is_b1s1z0(self, result):
+        assert result.minimal_height() == [node(1, 1, 0)]
+        assert result.best_node().height == 2
+
+    def test_pareto_minimal(self, result):
+        # ⟨B1,S1,Z0⟩, ⟨B1,S0,Z2⟩ and ⟨B0,S1,Z2⟩ are mutually incomparable
+        assert set(result.pareto_minimal()) == {
+            node(1, 1, 0), node(1, 0, 2), node(0, 1, 2),
+        }
+
+    def test_weighted_minimality_prefers_intact_sex(self, result):
+        """Section 2.1: 'more important that Sex be released intact'."""
+        chosen = result.weighted_minimal({"Sex": 10.0})
+        assert chosen.level_of("Sex") == 0
+        assert chosen == node(1, 0, 2)
+
+    def test_applied_view_is_2_anonymous(self, result):
+        problem = patients_problem()
+        for anonymous_node in result.anonymous_nodes:
+            view = result.apply(problem, anonymous_node)
+            assert check_k_anonymity(view.table, QI, 2), str(anonymous_node)
+
+    def test_applying_foreign_node_rejected(self, result):
+        problem = patients_problem()
+        with pytest.raises(ValueError, match="not in this result"):
+            result.apply(problem, node(0, 0, 0))
+
+    def test_result_is_complete_flagged(self, result):
+        assert result.complete
+        assert result.found
+        assert result.k == 2

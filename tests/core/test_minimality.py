@@ -1,0 +1,84 @@
+"""Tests for minimality criteria (Section 2.1)."""
+
+import pytest
+
+from repro.core.minimality import (
+    best_node_by_metric,
+    minimal_height_nodes,
+    pareto_minimal_nodes,
+    weighted_minimal_node,
+)
+from repro.lattice.node import LatticeNode
+
+ATTRS = ("a", "b")
+
+
+def n(x: int, y: int) -> LatticeNode:
+    return LatticeNode(ATTRS, (x, y))
+
+
+class TestMinimalHeight:
+    def test_picks_all_minimum_height(self):
+        nodes = [n(2, 0), n(0, 1), n(1, 0), n(1, 1)]
+        assert minimal_height_nodes(nodes) == [n(0, 1), n(1, 0)]
+
+    def test_empty(self):
+        assert minimal_height_nodes([]) == []
+
+    def test_deterministic_order(self):
+        nodes = [n(1, 0), n(0, 1)]
+        assert minimal_height_nodes(nodes) == minimal_height_nodes(nodes[::-1])
+
+
+class TestParetoMinimal:
+    def test_dominated_nodes_removed(self):
+        nodes = [n(0, 1), n(1, 1), n(1, 2)]
+        assert pareto_minimal_nodes(nodes) == [n(0, 1)]
+
+    def test_incomparable_nodes_all_kept(self):
+        nodes = [n(0, 2), n(1, 1), n(2, 0)]
+        assert pareto_minimal_nodes(nodes) == nodes
+
+    def test_single_node(self):
+        assert pareto_minimal_nodes([n(1, 1)]) == [n(1, 1)]
+
+    def test_pareto_subset_of_input(self):
+        nodes = [n(0, 0), n(0, 1), n(1, 0), n(1, 1)]
+        assert pareto_minimal_nodes(nodes) == [n(0, 0)]
+
+
+class TestWeightedMinimal:
+    def test_weights_steer_choice(self):
+        nodes = [n(1, 0), n(0, 1)]
+        assert weighted_minimal_node(nodes, {"a": 10.0}) == n(0, 1)
+        assert weighted_minimal_node(nodes, {"b": 10.0}) == n(1, 0)
+
+    def test_default_weight_is_one(self):
+        nodes = [n(2, 0), n(0, 1)]
+        assert weighted_minimal_node(nodes, {}) == n(0, 1)
+
+    def test_tie_breaks_to_lower_height(self):
+        nodes = [n(2, 0), n(1, 0)]
+        assert weighted_minimal_node(nodes, {"a": 0.0}) == n(1, 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_minimal_node([], {})
+
+
+class TestBestByMetric:
+    def test_minimises_by_default(self):
+        nodes = [n(0, 1), n(1, 0)]
+        best = best_node_by_metric(nodes, lambda node: node.level_of("a"))
+        assert best == n(0, 1)
+
+    def test_maximise_option(self):
+        nodes = [n(0, 1), n(1, 0)]
+        best = best_node_by_metric(
+            nodes, lambda node: node.level_of("a"), lower_is_better=False
+        )
+        assert best == n(1, 0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            best_node_by_metric([], lambda node: 0)

@@ -1,0 +1,93 @@
+"""Tests for out-of-core (chunked) frequency computation (future work §7)."""
+
+import pytest
+
+from repro.core.anonymity import compute_frequency_set
+from repro.core.incognito import basic_incognito
+from repro.core.outofcore import (
+    ChunkedEvaluator,
+    chunked_incognito,
+    compute_frequency_set_chunked,
+)
+from repro.datasets.adults import adults_problem
+from repro.datasets.patients import patients_problem
+from tests.conftest import make_random_problem
+
+
+class TestChunkedScan:
+    @pytest.mark.parametrize("chunk_rows", [1, 2, 3, 7, 100])
+    def test_matches_in_memory_scan_on_patients(self, chunk_rows):
+        problem = patients_problem()
+        for node in problem.lattice().nodes():
+            chunked = compute_frequency_set_chunked(
+                problem, node, chunk_rows=chunk_rows
+            )
+            direct = compute_frequency_set(problem, node)
+            assert chunked.as_dict() == direct.as_dict(), str(node)
+
+    def test_matches_on_larger_data(self):
+        problem = adults_problem(3_000, qi_size=4)
+        node = problem.bottom_node()
+        chunked = compute_frequency_set_chunked(problem, node, chunk_rows=512)
+        direct = compute_frequency_set(problem, node)
+        assert chunked.as_dict() == direct.as_dict()
+
+    def test_empty_table(self):
+        problem = patients_problem()
+        empty = problem.table.take([])
+        from repro.core.problem import PreparedTable
+
+        empty_problem = PreparedTable(
+            empty,
+            {name: problem.hierarchy(name) for name in problem.quasi_identifier},
+            problem.quasi_identifier,
+        )
+        fs = compute_frequency_set_chunked(empty_problem, empty_problem.bottom_node())
+        assert fs.num_groups == 0
+
+    def test_invalid_chunk_rows(self):
+        problem = patients_problem()
+        with pytest.raises(ValueError):
+            compute_frequency_set_chunked(
+                problem, problem.bottom_node(), chunk_rows=0
+            )
+
+
+class TestChunkedEvaluator:
+    def test_scan_counted(self):
+        problem = patients_problem()
+        evaluator = ChunkedEvaluator(problem, chunk_rows=2)
+        evaluator.scan(problem.bottom_node())
+        assert evaluator.stats.table_scans == 1
+
+    def test_rollup_inherited(self):
+        problem = patients_problem()
+        evaluator = ChunkedEvaluator(problem, chunk_rows=2)
+        base = evaluator.scan(problem.bottom_node())
+        rolled = evaluator.rollup(base, problem.top_node())
+        assert rolled.total() == 6
+
+    def test_invalid_chunk_rows(self):
+        with pytest.raises(ValueError):
+            ChunkedEvaluator(patients_problem(), chunk_rows=-1)
+
+
+class TestChunkedIncognito:
+    def test_same_answers_as_basic(self):
+        problem = patients_problem()
+        assert (
+            chunked_incognito(problem, 2, chunk_rows=2).anonymous_nodes
+            == basic_incognito(problem, 2).anonymous_nodes
+        )
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_agreement(self, seed):
+        problem = make_random_problem(seed + 1_100)
+        assert (
+            chunked_incognito(problem, 2, chunk_rows=5).anonymous_nodes
+            == basic_incognito(problem, 2).anonymous_nodes
+        )
+
+    def test_algorithm_label(self):
+        result = chunked_incognito(patients_problem(), 2)
+        assert result.algorithm == "chunked-incognito"

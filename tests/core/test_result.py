@@ -1,0 +1,81 @@
+"""Tests for AnonymizationResult and SearchStats."""
+
+from repro.core.result import AnonymizationResult, make_result
+from repro.core.stats import SearchStats
+from repro.datasets.patients import patients_problem
+from repro.lattice.node import LatticeNode
+
+ATTRS = ("Birthdate", "Sex", "Zipcode")
+
+
+def node(b, s, z):
+    return LatticeNode(ATTRS, (b, s, z))
+
+
+class TestResult:
+    def test_nodes_sorted_on_construction(self):
+        result = make_result(
+            "x", 2, [node(1, 1, 2), node(1, 1, 0)], SearchStats()
+        )
+        assert result.anonymous_nodes[0] == node(1, 1, 0)
+
+    def test_found(self):
+        assert make_result("x", 2, [node(0, 0, 0)], SearchStats()).found
+        assert not make_result("x", 2, [], SearchStats()).found
+
+    def test_best_node_raises_when_empty(self):
+        import pytest
+
+        result = make_result("x", 2, [], SearchStats())
+        with pytest.raises(ValueError, match="no 2-anonymous"):
+            result.best_node()
+
+    def test_describe_mentions_algorithm_and_minimal(self):
+        result = make_result("algo-name", 2, [node(1, 1, 0)], SearchStats())
+        text = result.describe()
+        assert "algo-name" in text
+        assert "minimal height 2" in text
+
+    def test_describe_marks_single_answer(self):
+        result = make_result(
+            "bs", 2, [node(1, 1, 0)], SearchStats(), complete=False
+        )
+        assert "single-answer" in result.describe()
+
+    def test_details_passed_through(self):
+        result = make_result("x", 2, [], SearchStats(), probes=[(1, True)])
+        assert result.details == {"probes": [(1, True)]}
+
+    def test_apply_uses_best_node_by_default(self):
+        problem = patients_problem()
+        result = make_result("x", 2, [node(1, 1, 0), node(1, 1, 2)], SearchStats())
+        view = result.apply(problem)
+        assert view.node == node(1, 1, 0)
+
+
+class TestSearchStats:
+    def test_merge_accumulates(self):
+        first = SearchStats(table_scans=1, rollups=2, nodes_checked=3)
+        first.checks_by_subset_size = {1: 3}
+        second = SearchStats(table_scans=10, nodes_marked=4)
+        second.checks_by_subset_size = {1: 1, 2: 5}
+        first.merge(second)
+        assert first.table_scans == 11
+        assert first.rollups == 2
+        assert first.nodes_marked == 4
+        assert first.checks_by_subset_size == {1: 4, 2: 5}
+
+    def test_record_check(self):
+        stats = SearchStats()
+        stats.record_check(2)
+        stats.record_check(2)
+        stats.record_check(3)
+        assert stats.nodes_checked == 3
+        assert stats.checks_by_subset_size == {2: 2, 3: 1}
+
+    def test_frequency_evaluations(self):
+        stats = SearchStats(table_scans=2, rollups=3, projections=4)
+        assert stats.frequency_evaluations == 9
+
+    def test_summary_is_one_line(self):
+        assert "\n" not in SearchStats().summary()

@@ -1,0 +1,120 @@
+"""Soundness and completeness (paper Section 3.2), cross-checked exhaustively.
+
+On small random instances, every sound-and-complete algorithm must return
+exactly the set of k-anonymous lattice nodes found by brute-force
+enumeration; the single-answer algorithms must return members of that set
+with the properties they claim.
+"""
+
+import pytest
+
+from repro.core.anonymity import compute_frequency_set
+from repro.core.binary_search import samarati_binary_search
+from repro.core.bottomup import bottom_up_search
+from repro.core.cube import cube_incognito
+from repro.core.datafly import datafly
+from repro.core.incognito import basic_incognito
+from repro.core.materialized import materialized_incognito
+from repro.core.outofcore import chunked_incognito
+from repro.core.superroots import superroots_incognito
+from tests.conftest import make_random_problem
+
+COMPLETE_ALGORITHMS = [
+    ("basic-incognito", basic_incognito),
+    ("superroots-incognito", superroots_incognito),
+    ("cube-incognito", cube_incognito),
+    ("materialized-incognito", materialized_incognito),
+    (
+        "chunked-incognito",
+        lambda p, k, **kw: chunked_incognito(p, k, chunk_rows=7, **kw),
+    ),
+    ("bottom-up-rollup", lambda p, k, **kw: bottom_up_search(p, k, rollup=True, **kw)),
+    ("bottom-up-scan", lambda p, k, **kw: bottom_up_search(p, k, rollup=False, **kw)),
+]
+
+
+def brute_force(problem, k, max_suppression=0):
+    return sorted(
+        (
+            node
+            for node in problem.lattice().nodes()
+            if compute_frequency_set(problem, node).is_k_anonymous(
+                k, max_suppression
+            )
+        ),
+        key=lambda node: node.sort_key(),
+    )
+
+
+class TestSoundnessAndCompleteness:
+    @pytest.mark.parametrize("name,algorithm", COMPLETE_ALGORITHMS)
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_matches_brute_force(self, name, algorithm, seed, k):
+        problem = make_random_problem(seed)
+        expected = brute_force(problem, k)
+        result = algorithm(problem, k)
+        assert result.anonymous_nodes == expected, (
+            f"{name} seed={seed} k={k}: "
+            f"{[str(n) for n in result.anonymous_nodes]} != "
+            f"{[str(n) for n in expected]}"
+        )
+
+    @pytest.mark.parametrize("name,algorithm", COMPLETE_ALGORITHMS)
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force_with_suppression(self, name, algorithm, seed):
+        problem = make_random_problem(seed + 100)
+        budget = max(1, problem.num_rows // 10)
+        expected = brute_force(problem, 2, max_suppression=budget)
+        result = algorithm(problem, 2, max_suppression=budget)
+        assert result.anonymous_nodes == expected, f"{name} seed={seed}"
+
+
+class TestBinarySearchAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(12))
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_returns_minimal_height_member(self, seed, k):
+        problem = make_random_problem(seed)
+        expected = brute_force(problem, k)
+        result = samarati_binary_search(problem, k)
+        if not expected:
+            assert not result.found
+            return
+        assert result.found
+        chosen = result.anonymous_nodes[0]
+        assert chosen in expected
+        assert chosen.height == min(node.height for node in expected)
+
+
+class TestDataflyAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_returns_anonymous_node_within_threshold(self, seed):
+        problem = make_random_problem(seed)
+        k = 2
+        result = datafly(problem, k)
+        assert result.found
+        chosen = result.anonymous_nodes[0]
+        fs = compute_frequency_set(problem, chosen)
+        assert fs.is_k_anonymous(k, result.max_suppression or 0)
+
+
+class TestCrossAlgorithmAgreement:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_all_complete_algorithms_agree(self, seed):
+        problem = make_random_problem(seed + 50)
+        results = [algo(problem, 2) for _, algo in COMPLETE_ALGORITHMS]
+        first = results[0].anonymous_nodes
+        for result in results[1:]:
+            assert result.anonymous_nodes == first
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_node_counts_incognito_never_exceeds_bottom_up_by_much(self, seed):
+        """A-priori pruning: Incognito checks fewer or comparable nodes on
+        the *full-QI lattice*; its subset iterations add smaller checks."""
+        problem = make_random_problem(seed, num_attributes=3, num_rows=30)
+        incognito = basic_incognito(problem, 2)
+        bottom_up = bottom_up_search(problem, 2)
+        # the final-iteration checks can never exceed bottom-up's checks
+        final_size = len(problem.quasi_identifier)
+        final_checks = incognito.stats.checks_by_subset_size.get(final_size, 0)
+        assert final_checks <= bottom_up.stats.nodes_checked

@@ -1,0 +1,74 @@
+"""Tests for Super-roots Incognito (Section 3.3.1)."""
+
+import pytest
+
+from repro.core.superroots import family_meet, superroots_incognito
+from repro.core.incognito import basic_incognito
+from repro.datasets.patients import patients_problem
+from repro.lattice.node import LatticeNode
+from tests.conftest import make_random_problem
+
+
+class TestFamilyMeet:
+    def test_paper_example(self):
+        """Section 3.3.1: roots ⟨B1,S1,Z0⟩, ⟨B1,S0,Z2⟩, ⟨B0,S1,Z2⟩ →
+        super-root ⟨B0,S0,Z0⟩."""
+        attrs = ("Birthdate", "Sex", "Zipcode")
+        roots = [
+            LatticeNode(attrs, (1, 1, 0)),
+            LatticeNode(attrs, (1, 0, 2)),
+            LatticeNode(attrs, (0, 1, 2)),
+        ]
+        assert family_meet(roots) == LatticeNode(attrs, (0, 0, 0))
+
+    def test_single_root_is_its_own_meet(self):
+        node = LatticeNode(("a",), (3,))
+        assert family_meet([node]) == node
+
+    def test_empty_family_rejected(self):
+        with pytest.raises(ValueError):
+            family_meet([])
+
+    def test_mixed_families_rejected(self):
+        with pytest.raises(ValueError, match="mixed"):
+            family_meet(
+                [LatticeNode(("a",), (0,)), LatticeNode(("b",), (0,))]
+            )
+
+
+class TestSuperrootsIncognito:
+    def test_same_answers_as_basic(self):
+        problem = patients_problem()
+        assert (
+            superroots_incognito(problem, 2).anonymous_nodes
+            == basic_incognito(problem, 2).anonymous_nodes
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_random_agreement_with_basic(self, seed, k):
+        problem = make_random_problem(seed + 300)
+        assert (
+            superroots_incognito(problem, k).anonymous_nodes
+            == basic_incognito(problem, k).anonymous_nodes
+        )
+
+    def test_fewer_table_scans_than_basic_when_graphs_fragment(self):
+        """With a >2-attribute QI and pruning, families develop multiple
+        roots and the super-root saves scans."""
+        problem = make_random_problem(3, num_attributes=4, num_rows=25)
+        basic = basic_incognito(problem, 3)
+        better = superroots_incognito(problem, 3)
+        assert better.stats.table_scans <= basic.stats.table_scans
+
+    def test_same_nodes_checked(self):
+        """The optimization changes how roots are fed, not what is checked."""
+        problem = patients_problem()
+        assert (
+            superroots_incognito(problem, 2).stats.nodes_checked
+            == basic_incognito(problem, 2).stats.nodes_checked
+        )
+
+    def test_algorithm_label(self):
+        result = superroots_incognito(patients_problem(), 2)
+        assert result.algorithm == "superroots-incognito"

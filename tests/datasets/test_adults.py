@@ -1,0 +1,120 @@
+"""Tests for the synthetic Adults generator (Figure 9, left)."""
+
+import pytest
+
+from repro.datasets.adults import (
+    ADULTS_QI,
+    adults_hierarchies,
+    adults_problem,
+    adults_table,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return adults_table(num_rows=5_000, seed=7)
+
+
+class TestSchema:
+    def test_nine_attributes_in_paper_order(self, table):
+        assert table.schema.names == ADULTS_QI
+        assert len(ADULTS_QI) == 9
+
+    def test_row_count(self, table):
+        assert table.num_rows == 5_000
+
+    def test_default_row_count_is_papers(self):
+        # don't generate it here (slow); just check the constant
+        from repro.datasets.adults import DEFAULT_ROWS
+
+        assert DEFAULT_ROWS == 45_222
+
+
+class TestCardinalities:
+    """Figure 9's distinct-value counts must be reachable (and capped)."""
+
+    @pytest.mark.parametrize(
+        "attribute,expected",
+        [
+            ("age", 74),
+            ("gender", 2),
+            ("race", 5),
+            ("marital_status", 7),
+            ("education", 16),
+            ("native_country", 41),
+            ("work_class", 7),
+            ("occupation", 14),
+            ("salary_class", 2),
+        ],
+    )
+    def test_cardinality_matches_figure9(self, table, attribute, expected):
+        assert table.column(attribute).cardinality == expected
+
+    def test_age_range(self, table):
+        ages = table.column("age").to_list()
+        assert min(ages) == 17
+        assert max(ages) == 90
+
+
+class TestHierarchies:
+    """Figure 9's hierarchy heights: 4,1,1,2,3,2,2,2,1."""
+
+    @pytest.mark.parametrize(
+        "attribute,height",
+        [
+            ("age", 4),
+            ("gender", 1),
+            ("race", 1),
+            ("marital_status", 2),
+            ("education", 3),
+            ("native_country", 2),
+            ("work_class", 2),
+            ("occupation", 2),
+            ("salary_class", 1),
+        ],
+    )
+    def test_heights(self, attribute, height):
+        assert adults_hierarchies()[attribute].height == height
+
+    def test_age_ranges(self):
+        hierarchy = adults_hierarchies()["age"]
+        assert hierarchy.generalize(37, 1) == "[35-40)"
+        assert hierarchy.generalize(37, 2) == "[30-40)"
+        assert hierarchy.generalize(37, 3) == "[20-40)"
+        assert hierarchy.generalize(37, 4) == "*"
+
+    def test_education_taxonomy(self):
+        hierarchy = adults_hierarchies()["education"]
+        assert hierarchy.generalize("Masters", 1) == "Postgraduate"
+        assert hierarchy.generalize("Masters", 3) == "*"
+
+    def test_every_generated_value_is_in_its_hierarchy(self, table):
+        hierarchies = adults_hierarchies()
+        for name in ADULTS_QI:
+            hierarchy = hierarchies[name]
+            compiled = hierarchy.compile(table.column(name).values)
+            assert compiled.cardinality(hierarchy.height) == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_table(self):
+        assert adults_table(500, seed=3) == adults_table(500, seed=3)
+
+    def test_different_seed_differs(self):
+        assert adults_table(500, seed=3) != adults_table(500, seed=4)
+
+    def test_invalid_rows(self):
+        with pytest.raises(ValueError):
+            adults_table(0)
+
+
+class TestProblem:
+    def test_qi_prefix(self):
+        problem = adults_problem(1_000, qi_size=4)
+        assert problem.quasi_identifier == ADULTS_QI[:4]
+
+    def test_qi_size_bounds(self):
+        with pytest.raises(ValueError):
+            adults_problem(100, qi_size=0)
+        with pytest.raises(ValueError):
+            adults_problem(100, qi_size=10)

@@ -1,0 +1,111 @@
+"""Tests for the synthetic Lands End generator (Figure 9, right)."""
+
+import pytest
+
+from repro.datasets.landsend import (
+    LANDSEND_QI,
+    landsend_hierarchies,
+    landsend_problem,
+    landsend_table,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    return landsend_table(num_rows=20_000, seed=11)
+
+
+class TestSchema:
+    def test_eight_attributes_in_paper_order(self, table):
+        assert table.schema.names == LANDSEND_QI
+        assert len(LANDSEND_QI) == 8
+
+    def test_row_count(self, table):
+        assert table.num_rows == 20_000
+
+    def test_paper_full_scale_constant(self):
+        from repro.datasets.landsend import FULL_ROWS
+
+        assert FULL_ROWS == 4_591_581
+
+
+class TestDomains:
+    def test_zipcodes_are_five_digits(self, table):
+        for value in table.column("zipcode").values[:50]:
+            assert len(value) == 5 and value.isdigit()
+
+    def test_quantity_single_value(self, table):
+        assert table.column("quantity").cardinality == 1
+
+    def test_gender_two_values(self, table):
+        assert table.column("gender").cardinality == 2
+
+    def test_cardinalities_bounded_by_figure9_pools(self, table):
+        bounds = {
+            "zipcode": 31_953,
+            "order_date": 320,
+            "style": 1_509,
+            "price": 346,
+            "cost": 1_412,
+            "shipment": 2,
+        }
+        for name, bound in bounds.items():
+            assert 1 < table.column(name).cardinality <= bound
+
+    def test_order_dates_iso(self, table):
+        import datetime
+
+        for value in table.column("order_date").values[:20]:
+            datetime.date.fromisoformat(value)
+
+    def test_skew_produces_popular_head(self, table):
+        """Zipf sampling: the most popular style must dwarf the median."""
+        import collections
+
+        counts = collections.Counter(table.column("style").to_list())
+        frequencies = sorted(counts.values(), reverse=True)
+        assert frequencies[0] > 10 * frequencies[len(frequencies) // 2]
+
+
+class TestHierarchies:
+    """Figure 9's hierarchy heights: 5,3,1,1,4,1,4,1."""
+
+    @pytest.mark.parametrize(
+        "attribute,height",
+        [
+            ("zipcode", 5),
+            ("order_date", 3),
+            ("gender", 1),
+            ("style", 1),
+            ("price", 4),
+            ("quantity", 1),
+            ("cost", 4),
+            ("shipment", 1),
+        ],
+    )
+    def test_heights(self, attribute, height):
+        assert landsend_hierarchies()[attribute].height == height
+
+    def test_every_generated_value_compiles(self, table):
+        hierarchies = landsend_hierarchies()
+        for name in LANDSEND_QI:
+            hierarchy = hierarchies[name]
+            compiled = hierarchy.compile(table.column(name).values)
+            assert compiled.cardinality(hierarchy.height) == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_table(self):
+        assert landsend_table(1_000, seed=2) == landsend_table(1_000, seed=2)
+
+    def test_invalid_rows(self):
+        with pytest.raises(ValueError):
+            landsend_table(-5)
+
+    def test_problem_qi_prefix(self):
+        problem = landsend_problem(1_000, qi_size=3)
+        assert problem.quasi_identifier == LANDSEND_QI[:3]
+
+    def test_problem_qi_bounds(self):
+        with pytest.raises(ValueError):
+            landsend_problem(100, qi_size=9)

@@ -1,0 +1,58 @@
+"""Tests pinning the Figure 1/2 running example data."""
+
+from repro.datasets.patients import (
+    PATIENTS_QI,
+    patients_hierarchies,
+    patients_problem,
+    patients_table,
+    voter_table,
+)
+
+
+class TestPatientsTable:
+    def test_six_rows(self):
+        assert patients_table().num_rows == 6
+
+    def test_schema(self):
+        assert patients_table().schema.names == (
+            "Birthdate", "Sex", "Zipcode", "Disease",
+        )
+
+    def test_first_row_is_andres(self):
+        assert patients_table().row(0) == ("1/21/76", "Male", "53715", "Flu")
+
+    def test_zipcodes_match_figure2_domain(self):
+        zips = set(patients_table().column("Zipcode").to_list())
+        assert zips == {"53715", "53703", "53706"}
+
+
+class TestVoterTable:
+    def test_five_rows(self):
+        assert voter_table().num_rows == 5
+
+    def test_contains_andre(self):
+        names = voter_table().column("Name").to_list()
+        assert "Andre" in names
+
+
+class TestHierarchies:
+    def test_heights_match_figure2(self):
+        hierarchies = patients_hierarchies()
+        assert hierarchies["Birthdate"].height == 1
+        assert hierarchies["Sex"].height == 1
+        assert hierarchies["Zipcode"].height == 2
+
+    def test_sex_generalizes_to_person(self):
+        assert patients_hierarchies()["Sex"].generalize("Male", 1) == "Person"
+
+    def test_zipcode_chain(self):
+        hierarchy = patients_hierarchies()["Zipcode"]
+        assert hierarchy.chain("53715") == ["53715", "5371*", "537**"]
+
+
+class TestProblem:
+    def test_qi_order(self):
+        assert patients_problem().quasi_identifier == PATIENTS_QI
+
+    def test_lattice_size(self):
+        assert patients_problem().lattice().size == 12

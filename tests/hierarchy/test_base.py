@@ -1,0 +1,115 @@
+"""Tests for hierarchy compilation and the CompiledHierarchy invariants."""
+
+import numpy as np
+import pytest
+
+from repro.hierarchy.base import CompiledHierarchy, Hierarchy, HierarchyError
+from repro.hierarchy.rounding import RoundingHierarchy
+from repro.hierarchy.suppression import SuppressionHierarchy
+
+
+class InconsistentHierarchy(Hierarchy):
+    """Deliberately broken: a level-1 group splits again at level 2."""
+
+    @property
+    def height(self) -> int:
+        return 2
+
+    def generalize(self, value, level):
+        if level == 0:
+            return value
+        if level == 1:
+            return "g"  # everything merges ...
+        return value  # ... then splits back apart: invalid
+
+
+class TestCompile:
+    def test_level0_is_identity(self):
+        compiled = SuppressionHierarchy().compile(["a", "b"])
+        assert compiled.level_values(0) == ["a", "b"]
+        assert list(compiled.level_lookup(0)) == [0, 1]
+
+    def test_top_level_merges_all(self):
+        compiled = SuppressionHierarchy().compile(["a", "b", "c"])
+        assert compiled.cardinality(1) == 1
+        assert compiled.level_values(1) == ["*"]
+
+    def test_inconsistent_hierarchy_rejected(self):
+        with pytest.raises(HierarchyError, match="splits"):
+            InconsistentHierarchy().compile(["a", "b"])
+
+    def test_num_levels(self):
+        compiled = RoundingHierarchy(3).compile(["123", "456"])
+        assert compiled.num_levels == 4
+        assert compiled.height == 3
+
+    def test_base_size(self):
+        compiled = SuppressionHierarchy().compile(["a", "b", "c"])
+        assert compiled.base_size == 3
+
+
+class TestGeneralizeCodes:
+    def test_vectorised_matches_scalar(self):
+        hierarchy = RoundingHierarchy(3)
+        base = ["123", "129", "456"]
+        compiled = hierarchy.compile(base)
+        codes = np.array([0, 1, 2, 0])
+        generalized = compiled.generalize_codes(codes, 1)
+        values = [compiled.level_values(1)[c] for c in generalized]
+        assert values == ["12*", "12*", "45*", "12*"]
+
+
+class TestMappingBetween:
+    def test_identity_when_same_level(self):
+        compiled = RoundingHierarchy(3).compile(["123", "456"])
+        mapping = compiled.mapping_between(1, 1)
+        assert list(mapping) == [0, 1]
+
+    def test_multi_level_jump_composes(self):
+        base = ["111", "112", "121", "211"]
+        compiled = RoundingHierarchy(3).compile(base)
+        direct = compiled.mapping_between(0, 2)
+        via_one = compiled.mapping_between(1, 2)[compiled.mapping_between(0, 1)]
+        assert list(direct) == list(via_one)
+
+    def test_downward_rejected(self):
+        compiled = RoundingHierarchy(3).compile(["123"])
+        with pytest.raises(HierarchyError, match="down"):
+            compiled.mapping_between(2, 1)
+
+    def test_cached(self):
+        compiled = RoundingHierarchy(3).compile(["123", "456"])
+        assert compiled.mapping_between(0, 1) is compiled.mapping_between(0, 1)
+
+
+class TestValidate:
+    def test_valid_passes(self):
+        RoundingHierarchy(2).compile(["12", "34"]).validate()
+
+    def test_tampered_level0_detected(self):
+        compiled = RoundingHierarchy(2).compile(["12", "34"])
+        compiled._lookups[0] = np.array([1, 0], dtype=np.int32)
+        with pytest.raises(HierarchyError, match="identity"):
+            compiled.validate()
+
+    def test_code_out_of_range_detected(self):
+        compiled = SuppressionHierarchy().compile(["a", "b"])
+        compiled._lookups[1] = np.array([0, 7], dtype=np.int32)
+        with pytest.raises(HierarchyError, match="out of range"):
+            compiled.validate()
+
+
+class TestChain:
+    def test_chain_returns_all_levels(self):
+        hierarchy = RoundingHierarchy(3)
+        assert hierarchy.chain("537") == ["537", "53*", "5**", "***"]
+
+    def test_check_level_bounds(self):
+        with pytest.raises(HierarchyError, match="out of range"):
+            SuppressionHierarchy().generalize("a", 2)
+        with pytest.raises(HierarchyError):
+            SuppressionHierarchy().generalize("a", -1)
+
+    def test_repr_mentions_cardinalities(self):
+        compiled = SuppressionHierarchy().compile(["a", "b"])
+        assert "cardinalities=[2, 1]" in repr(compiled)

@@ -1,0 +1,58 @@
+"""Tests for calendar date hierarchies."""
+
+import datetime
+
+import pytest
+
+from repro.hierarchy.base import HierarchyError
+from repro.hierarchy.date import DateHierarchy
+
+
+class TestDateHierarchy:
+    def test_height(self):
+        assert DateHierarchy().height == 3
+
+    def test_level0_identity(self):
+        assert DateHierarchy().generalize("2001-03-15", 0) == "2001-03-15"
+
+    def test_month(self):
+        assert DateHierarchy().generalize("2001-03-15", 1) == "2001-03"
+
+    def test_year(self):
+        assert DateHierarchy().generalize("2001-03-15", 2) == "2001"
+
+    def test_suppressed(self):
+        assert DateHierarchy().generalize("2001-03-15", 3) == "*"
+
+    def test_accepts_date_objects(self):
+        assert (
+            DateHierarchy().generalize(datetime.date(2001, 3, 15), 1) == "2001-03"
+        )
+
+    def test_same_month_merges(self):
+        hierarchy = DateHierarchy()
+        assert hierarchy.generalize("2001-03-01", 1) == hierarchy.generalize(
+            "2001-03-31", 1
+        )
+
+    def test_different_years_stay_apart_at_level2(self):
+        hierarchy = DateHierarchy()
+        assert hierarchy.generalize("2001-03-01", 2) != hierarchy.generalize(
+            "2002-03-01", 2
+        )
+
+    def test_bad_string_rejected(self):
+        with pytest.raises(HierarchyError, match="ISO"):
+            DateHierarchy().generalize("03/15/2001", 1)
+
+    def test_non_date_rejected(self):
+        with pytest.raises(HierarchyError):
+            DateHierarchy().generalize(20010315, 1)
+
+    def test_compiles(self):
+        compiled = DateHierarchy().compile(
+            ["2001-01-01", "2001-01-20", "2001-02-01", "2002-01-01"]
+        )
+        assert compiled.cardinality(1) == 3  # 2001-01, 2001-02, 2002-01
+        assert compiled.cardinality(2) == 2  # 2001, 2002
+        assert compiled.cardinality(3) == 1

@@ -1,0 +1,37 @@
+"""Tests for dimension-table materialisation (Figure 4)."""
+
+import pytest
+
+from repro.hierarchy.dimension import dimension_table
+from repro.hierarchy.rounding import RoundingHierarchy
+from repro.hierarchy.suppression import SuppressionHierarchy
+
+
+class TestDimensionTable:
+    def test_column_names(self):
+        table = dimension_table("Sex", SuppressionHierarchy("Person"), ["Male", "Female"])
+        assert table.schema.names == ("Sex_0", "Sex_1")
+
+    def test_one_row_per_base_value(self):
+        table = dimension_table(
+            "Zip", RoundingHierarchy(5, height=2), ["53715", "53703"]
+        )
+        assert table.num_rows == 2
+
+    def test_row_contents_follow_hierarchy(self):
+        table = dimension_table(
+            "Zip", RoundingHierarchy(5, height=2), ["53715", "53703"]
+        )
+        assert table.to_rows() == [
+            ("53715", "5371*", "537**"),
+            ("53703", "5370*", "537**"),
+        ]
+
+    def test_accepts_precompiled(self):
+        compiled = SuppressionHierarchy().compile(["a", "b"])
+        table = dimension_table("A", compiled)
+        assert table.to_rows() == [("a", "*"), ("b", "*")]
+
+    def test_uncompiled_requires_base_values(self):
+        with pytest.raises(ValueError, match="base_values"):
+            dimension_table("A", SuppressionHierarchy())

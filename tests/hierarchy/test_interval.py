@@ -1,0 +1,77 @@
+"""Tests for numeric range hierarchies."""
+
+import pytest
+
+from repro.hierarchy.base import HierarchyError
+from repro.hierarchy.interval import RangeHierarchy
+
+
+def age() -> RangeHierarchy:
+    return RangeHierarchy([5, 10, 20])
+
+
+class TestHeights:
+    def test_height_includes_suppression(self):
+        assert age().height == 4
+
+    def test_height_without_suppression(self):
+        assert RangeHierarchy([5, 10], suppress_top=False).height == 2
+
+
+class TestGeneralize:
+    def test_level0_identity(self):
+        assert age().generalize(23, 0) == 23
+
+    def test_five_year_buckets(self):
+        assert age().generalize(23, 1) == "[20-25)"
+        assert age().generalize(25, 1) == "[25-30)"
+
+    def test_ten_year_buckets(self):
+        assert age().generalize(23, 2) == "[20-30)"
+
+    def test_twenty_year_buckets(self):
+        assert age().generalize(23, 3) == "[20-40)"
+
+    def test_suppression_top(self):
+        assert age().generalize(23, 4) == "*"
+
+    def test_origin_shifts_buckets(self):
+        hierarchy = RangeHierarchy([5], origin=3, suppress_top=False)
+        assert hierarchy.generalize(3, 1) == "[3-8)"
+        assert hierarchy.generalize(2, 1) == "[-2-3)"
+
+    def test_nested_buckets_merge_exactly(self):
+        """Every 10-year bucket is the union of exactly two 5-year buckets."""
+        hierarchy = age()
+        for value in range(0, 60):
+            five = hierarchy.generalize(value, 1)
+            ten = hierarchy.generalize(value, 2)
+            partner = value + 5 if (value // 5) % 2 == 0 else value - 5
+            assert hierarchy.generalize(partner, 2) == ten
+            assert hierarchy.generalize(partner, 1) != five
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(HierarchyError, match="numeric"):
+            age().generalize("abc", 1)
+
+    def test_floats_bucketed_by_floor(self):
+        assert age().generalize(24.9, 1) == "[20-25)"
+
+
+class TestValidation:
+    def test_empty_widths_rejected(self):
+        with pytest.raises(HierarchyError):
+            RangeHierarchy([])
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(HierarchyError, match="positive"):
+            RangeHierarchy([-5])
+
+    def test_non_dividing_widths_rejected(self):
+        with pytest.raises(HierarchyError, match="evenly"):
+            RangeHierarchy([5, 12])
+
+    def test_compiles_consistently(self):
+        compiled = age().compile(list(range(17, 91)))
+        compiled.validate()
+        assert compiled.cardinality(4) == 1

@@ -1,0 +1,73 @@
+"""Tests for per-digit rounding hierarchies (Figure 2a/b)."""
+
+import pytest
+
+from repro.hierarchy.base import HierarchyError
+from repro.hierarchy.rounding import RoundingHierarchy
+
+
+class TestPaperZipcodes:
+    """Figure 2(b): 53715 → 5371* → 537**."""
+
+    def test_level1(self):
+        hierarchy = RoundingHierarchy(5, height=2)
+        assert hierarchy.generalize("53715", 1) == "5371*"
+
+    def test_level2(self):
+        hierarchy = RoundingHierarchy(5, height=2)
+        assert hierarchy.generalize("53715", 2) == "537**"
+
+    def test_siblings_merge(self):
+        hierarchy = RoundingHierarchy(5, height=2)
+        assert hierarchy.generalize("53715", 1) == hierarchy.generalize("53710", 1)
+        assert hierarchy.generalize("53706", 1) == hierarchy.generalize("53703", 1)
+
+    def test_level2_merges_all_madison(self):
+        hierarchy = RoundingHierarchy(5, height=2)
+        values = ["53715", "53710", "53706", "53703"]
+        tops = {hierarchy.generalize(v, 2) for v in values}
+        assert tops == {"537**"}
+
+
+class TestGeneral:
+    def test_height_defaults_to_digits(self):
+        assert RoundingHierarchy(4).height == 4
+
+    def test_full_suppression_at_top(self):
+        assert RoundingHierarchy(3).generalize("123", 3) == "***"
+
+    def test_int_values_zero_padded(self):
+        hierarchy = RoundingHierarchy(4)
+        assert hierarchy.generalize(95, 1) == "009*"
+        assert hierarchy.generalize(1095, 1) == "109*"
+
+    def test_level0_identity_keeps_type(self):
+        assert RoundingHierarchy(4).generalize(95, 0) == 95
+
+    def test_wrong_width_string_rejected(self):
+        with pytest.raises(HierarchyError, match="characters"):
+            RoundingHierarchy(3).generalize("12", 1)
+
+    def test_non_string_non_int_rejected(self):
+        with pytest.raises(HierarchyError):
+            RoundingHierarchy(3).generalize(1.5, 1)
+
+    def test_custom_mask(self):
+        assert RoundingHierarchy(3, mask="#").generalize("123", 2) == "1##"
+
+    def test_bad_mask_rejected(self):
+        with pytest.raises(HierarchyError):
+            RoundingHierarchy(3, mask="##")
+
+    def test_height_bounds(self):
+        with pytest.raises(HierarchyError):
+            RoundingHierarchy(3, height=4)
+        with pytest.raises(HierarchyError):
+            RoundingHierarchy(3, height=0)
+        with pytest.raises(HierarchyError):
+            RoundingHierarchy(0)
+
+    def test_compiles(self):
+        compiled = RoundingHierarchy(5).compile(["53715", "53703", "10001"])
+        assert compiled.cardinality(5) == 1
+        assert compiled.cardinality(2) == 2  # 537**, 100**

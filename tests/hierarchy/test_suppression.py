@@ -1,0 +1,28 @@
+"""Tests for suppression hierarchies (Figure 2e/f)."""
+
+from repro.hierarchy.suppression import SuppressionHierarchy
+
+
+class TestSuppressionHierarchy:
+    def test_height_is_one(self):
+        assert SuppressionHierarchy().height == 1
+
+    def test_paper_sex_example(self):
+        """Figure 2(f): Male/Female generalize to Person."""
+        hierarchy = SuppressionHierarchy("Person")
+        assert hierarchy.generalize("Male", 1) == "Person"
+        assert hierarchy.generalize("Female", 1) == "Person"
+
+    def test_level0_identity(self):
+        assert SuppressionHierarchy().generalize("Male", 0) == "Male"
+
+    def test_default_token(self):
+        assert SuppressionHierarchy().generalize("x", 1) == "*"
+
+    def test_suppressed_property(self):
+        assert SuppressionHierarchy("Person").suppressed == "Person"
+
+    def test_compiles_to_single_top_value(self):
+        compiled = SuppressionHierarchy().compile(["a", "b", "c"])
+        assert compiled.cardinality(0) == 3
+        assert compiled.cardinality(1) == 1

@@ -1,0 +1,114 @@
+"""Tests for taxonomy-tree hierarchies."""
+
+import pytest
+
+from repro.hierarchy.base import HierarchyError
+from repro.hierarchy.taxonomy import TaxonomyHierarchy
+
+
+def marital() -> TaxonomyHierarchy:
+    return TaxonomyHierarchy.grouped(
+        {
+            "Married": ["Married-civ", "Married-AF"],
+            "Alone": ["Divorced", "Widowed", "Never-married"],
+        }
+    )
+
+
+class TestGrouped:
+    def test_height_two(self):
+        assert marital().height == 2
+
+    def test_level1_groups(self):
+        assert marital().generalize("Divorced", 1) == "Alone"
+        assert marital().generalize("Married-AF", 1) == "Married"
+
+    def test_level2_root(self):
+        assert marital().generalize("Divorced", 2) == "*"
+
+    def test_level0_identity(self):
+        assert marital().generalize("Widowed", 0) == "Widowed"
+
+    def test_leaves(self):
+        assert set(marital().leaves) == {
+            "Married-civ", "Married-AF", "Divorced", "Widowed", "Never-married",
+        }
+
+    def test_unknown_leaf_raises(self):
+        with pytest.raises(HierarchyError, match="not a leaf"):
+            marital().generalize("Single", 1)
+
+
+class TestNestedTree:
+    def test_three_level_tree(self):
+        tree = {
+            "*": {
+                "low": {"a": {}, "b": {}},
+                "high": {"c": {}},
+            }
+        }
+        hierarchy = TaxonomyHierarchy(tree)
+        assert hierarchy.height == 2
+        assert hierarchy.generalize("a", 1) == "low"
+        assert hierarchy.generalize("c", 2) == "*"
+
+    def test_uneven_depth_pads_with_top(self):
+        tree = {
+            "*": {
+                "deep": {"mid": {"leaf1": {}}},
+                "leaf2": {},
+            }
+        }
+        hierarchy = TaxonomyHierarchy(tree)
+        assert hierarchy.height == 3
+        assert hierarchy.generalize("leaf1", 1) == "mid"
+        assert hierarchy.generalize("leaf1", 3) == "*"
+        # the shallow leaf reaches the root early and stays there
+        assert hierarchy.generalize("leaf2", 1) == "*"
+        assert hierarchy.generalize("leaf2", 3) == "*"
+
+    def test_explicit_height_extends(self):
+        hierarchy = TaxonomyHierarchy({"*": {"a": {}, "b": {}}}, height=3)
+        assert hierarchy.height == 3
+        assert hierarchy.generalize("a", 3) == "*"
+
+    def test_explicit_height_too_small_rejected(self):
+        tree = {"*": {"g": {"a": {}}}}
+        with pytest.raises(HierarchyError, match="below"):
+            TaxonomyHierarchy(tree, height=1)
+
+    def test_multiple_roots_rejected(self):
+        with pytest.raises(HierarchyError, match="root"):
+            TaxonomyHierarchy({"r1": {"a": {}}, "r2": {"b": {}}})
+
+    def test_duplicate_leaf_rejected(self):
+        tree = {"*": {"g1": {"x": {}}, "g2": {"x": {}}}}
+        with pytest.raises(HierarchyError, match="duplicate"):
+            TaxonomyHierarchy(tree)
+
+    def test_no_leaves_rejected(self):
+        with pytest.raises(HierarchyError):
+            TaxonomyHierarchy({})
+
+
+class TestFromParentMap:
+    def test_builds_equivalent_tree(self):
+        parents = {"a": "g", "b": "g", "g": "*", "c": "*"}
+        hierarchy = TaxonomyHierarchy.from_parent_map(parents)
+        assert hierarchy.generalize("a", 1) == "g"
+        assert hierarchy.generalize("a", 2) == "*"
+
+    def test_two_roots_rejected(self):
+        with pytest.raises(HierarchyError, match="one root"):
+            TaxonomyHierarchy.from_parent_map({"a": "r1", "b": "r2"})
+
+
+class TestCompileIntegration:
+    def test_compiles_over_subset_of_leaves(self):
+        compiled = marital().compile(["Divorced", "Married-civ"])
+        assert compiled.cardinality(1) == 2
+        assert compiled.cardinality(2) == 1
+
+    def test_compile_unknown_value_fails(self):
+        with pytest.raises(HierarchyError):
+            marital().compile(["NotALeaf"])

@@ -1,0 +1,196 @@
+"""Tests for a-priori graph generation (Section 3.1.2, Figures 5-7)."""
+
+import itertools
+import random
+
+from repro.lattice.generation import (
+    edge_generation,
+    graph_generation,
+    initial_graph,
+    join_phase,
+    prune_phase,
+)
+from repro.lattice.hashtree import SubsetHashTree
+from repro.lattice.node import LatticeNode
+
+PATIENTS_QI = ("Birthdate", "Sex", "Zipcode")
+HEIGHTS = {"Birthdate": 1, "Sex": 1, "Zipcode": 2}
+
+
+def bsz(b: int, s: int, z: int) -> LatticeNode:
+    return LatticeNode(PATIENTS_QI, (b, s, z))
+
+
+class TestInitialGraph:
+    def test_c1_node_count(self):
+        graph = initial_graph(PATIENTS_QI, HEIGHTS)
+        # (1+1) + (1+1) + (2+1) single-attribute nodes
+        assert len(graph) == 7
+
+    def test_e1_chain_edges(self):
+        graph = initial_graph(PATIENTS_QI, HEIGHTS)
+        assert graph.num_edges() == 1 + 1 + 2
+
+    def test_roots_are_level_zero(self):
+        graph = initial_graph(PATIENTS_QI, HEIGHTS)
+        assert {str(r) for r in graph.roots()} == {"<B0>", "<S0>", "<Z0>"}
+
+
+class TestJoinPhase:
+    def test_pairs_single_attributes(self):
+        survivors = [
+            LatticeNode(("Sex",), (0,)),
+            LatticeNode(("Sex",), (1,)),
+            LatticeNode(("Zipcode",), (0,)),
+        ]
+        triples = join_phase(survivors, PATIENTS_QI)
+        candidates = {t[0] for t in triples}
+        assert candidates == {
+            LatticeNode(("Sex", "Zipcode"), (0, 0)),
+            LatticeNode(("Sex", "Zipcode"), (1, 0)),
+        }
+
+    def test_respects_dimension_order(self):
+        """Pairs are generated once, with dims ordered by the QI order."""
+        survivors = [
+            LatticeNode(("Zipcode",), (0,)),
+            LatticeNode(("Sex",), (0,)),
+        ]
+        triples = join_phase(survivors, PATIENTS_QI)
+        assert len(triples) == 1
+        candidate, parent1, parent2 = triples[0]
+        assert candidate.attributes == ("Sex", "Zipcode")
+        assert parent1.attributes == ("Sex",)
+        assert parent2.attributes == ("Zipcode",)
+
+    def test_prefix_must_match_levels(self):
+        survivors = [
+            LatticeNode(("Sex", "Zipcode"), (0, 0)),
+            LatticeNode(("Sex", "Birthdate"), (1, 0)),  # different Sex level
+        ]
+        # normalised order: (Birthdate, Sex) vs (Sex, Zipcode): prefixes differ
+        triples = join_phase(survivors, PATIENTS_QI)
+        assert triples == []
+
+
+class TestPrunePhase:
+    def test_drops_candidates_with_missing_subsets(self):
+        survivors = [
+            LatticeNode(("Sex",), (0,)),
+            LatticeNode(("Zipcode",), (0,)),
+        ]
+        triples = join_phase(survivors, PATIENTS_QI)
+        assert len(prune_phase(triples, survivors)) == 1
+        # now remove a needed subset: candidate ⟨S0, Z0⟩ requires both parents
+        pruned = prune_phase(triples, [LatticeNode(("Sex",), (0,))])
+        assert pruned == []
+
+
+class TestPaperExample:
+    """Example 3.2 / Figure 7: the pruned 3-attribute graph for Patients."""
+
+    # Final 2-attribute survivors shown in Figure 5 (a, b, c):
+    S2 = [
+        # ⟨Sex, Zipcode⟩ searches end with: ⟨S1,Z0⟩,⟨S1,Z1⟩,⟨S1,Z2⟩,⟨S0,Z2⟩
+        LatticeNode(("Sex", "Zipcode"), (1, 0)),
+        LatticeNode(("Sex", "Zipcode"), (1, 1)),
+        LatticeNode(("Sex", "Zipcode"), (1, 2)),
+        LatticeNode(("Sex", "Zipcode"), (0, 2)),
+        # ⟨Birthdate, Zipcode⟩: ⟨B1,Z0⟩,⟨B1,Z1⟩,⟨B1,Z2⟩,⟨B0,Z2⟩
+        LatticeNode(("Birthdate", "Zipcode"), (1, 0)),
+        LatticeNode(("Birthdate", "Zipcode"), (1, 1)),
+        LatticeNode(("Birthdate", "Zipcode"), (1, 2)),
+        LatticeNode(("Birthdate", "Zipcode"), (0, 2)),
+        # ⟨Birthdate, Sex⟩: ⟨B1,S0⟩,⟨B0,S1⟩,⟨B1,S1⟩
+        LatticeNode(("Birthdate", "Sex"), (1, 0)),
+        LatticeNode(("Birthdate", "Sex"), (0, 1)),
+        LatticeNode(("Birthdate", "Sex"), (1, 1)),
+    ]
+
+    def _generate(self):
+        # Build a 2-attribute graph holding S2 with its edges, as the
+        # algorithm would have it at the end of iteration 2.
+        from repro.lattice.graph import CandidateGraph
+
+        graph = CandidateGraph()
+        for node in self.S2:
+            graph.add_node(node)
+        for a in self.S2:
+            for b in self.S2:
+                if b.is_direct_generalization_of(a):
+                    graph.add_edge(a, b)
+        return graph_generation(self.S2, graph, PATIENTS_QI)
+
+    def test_figure7a_nodes(self):
+        graph = self._generate()
+        expected = {
+            bsz(1, 1, 0), bsz(1, 1, 1), bsz(1, 0, 2), bsz(0, 1, 2), bsz(1, 1, 2),
+        }
+        assert set(graph.nodes) == expected
+
+    def test_figure7a_edges(self):
+        graph = self._generate()
+        edges = {(str(a), str(b)) for a, b in graph.edges()}
+        assert edges == {
+            ("<B1, S1, Z0>", "<B1, S1, Z1>"),
+            ("<B1, S1, Z1>", "<B1, S1, Z2>"),
+            ("<B1, S0, Z2>", "<B1, S1, Z2>"),
+            ("<B0, S1, Z2>", "<B1, S1, Z2>"),
+        }
+
+    def test_figure7a_roots(self):
+        graph = self._generate()
+        assert set(graph.roots()) == {bsz(1, 1, 0), bsz(1, 0, 2), bsz(0, 1, 2)}
+
+    def test_much_smaller_than_unpruned_lattice(self):
+        """Figure 7(b): the unpruned 3-attribute lattice has 12 nodes."""
+        graph = self._generate()
+        assert len(graph) == 5 < 12
+
+
+class TestRandomizedSemantics:
+    """graph_generation must equal the subset-property semantics exactly."""
+
+    def test_nodes_and_edges_match_bruteforce(self):
+        rng = random.Random(17)
+        qi = ("A", "B", "C", "D")
+        heights = {"A": 2, "B": 1, "C": 2, "D": 1}
+        for _ in range(40):
+            graph = initial_graph(qi, heights)
+            for size in range(1, 4):
+                # Random upward-closed survivor sets per family (mirrors the
+                # generalization property's guarantee).
+                survivors: set[LatticeNode] = set()
+                for family_nodes in graph.families().values():
+                    for node in family_nodes:
+                        if rng.random() < 0.55:
+                            survivors.add(node)
+                changed = True
+                while changed:
+                    changed = False
+                    for node in list(survivors):
+                        for up in graph.direct_generalizations(node):
+                            if up not in survivors:
+                                survivors.add(up)
+                                changed = True
+                ordered = sorted(survivors, key=LatticeNode.sort_key)
+                next_graph = graph_generation(ordered, graph, qi)
+
+                tree = SubsetHashTree(ordered)
+                expected_nodes = set()
+                for attrs in itertools.combinations(qi, size + 1):
+                    ranges = [range(heights[a] + 1) for a in attrs]
+                    for levels in itertools.product(*ranges):
+                        node = LatticeNode(attrs, levels)
+                        if tree.contains_all_subsets(node, size):
+                            expected_nodes.add(node)
+                assert set(next_graph.nodes) == expected_nodes
+
+                expected_edges = {
+                    (a, b)
+                    for a in expected_nodes
+                    for b in expected_nodes
+                    if b.is_direct_generalization_of(a)
+                }
+                assert set(next_graph.edges()) == expected_edges
+                graph = next_graph

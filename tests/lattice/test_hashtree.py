@@ -1,0 +1,85 @@
+"""Tests for the Apriori-style subset hash tree."""
+
+import random
+
+import pytest
+
+from repro.lattice.hashtree import SubsetHashTree, all_subsets_present
+from repro.lattice.node import LatticeNode
+
+
+def node(attrs: str, *levels: int) -> LatticeNode:
+    return LatticeNode(tuple(attrs), levels)
+
+
+class TestMembership:
+    def test_contains_added(self):
+        tree = SubsetHashTree([node("ab", 0, 1)])
+        assert node("ab", 0, 1) in tree
+        assert node("ab", 1, 0) not in tree
+
+    def test_order_insensitive(self):
+        tree = SubsetHashTree([LatticeNode(("b", "a"), (1, 0))])
+        assert LatticeNode(("a", "b"), (0, 1)) in tree
+
+    def test_len_deduplicates(self):
+        tree = SubsetHashTree([node("a", 0), node("a", 0)])
+        assert len(tree) == 1
+
+    def test_split_on_overflow(self):
+        """Many nodes force leaf splits; membership stays exact."""
+        nodes = [node("abc", x, y, z) for x in range(4) for y in range(4) for z in range(4)]
+        tree = SubsetHashTree(nodes)
+        assert len(tree) == 64
+        for n in nodes:
+            assert n in tree
+        assert node("abc", 9, 9, 9) not in tree
+
+    def test_randomized_against_set(self):
+        rng = random.Random(5)
+        universe = [node("wxyz"[i], l) for i in range(4) for l in range(3)]
+        pairs = [
+            a.merge(b)
+            for i, a in enumerate(universe)
+            for b in universe[i + 1:]
+            if a.attributes != b.attributes
+        ]
+        chosen = rng.sample(pairs, 25)
+        tree = SubsetHashTree(chosen)
+        chosen_set = set(chosen)
+        for candidate in pairs:
+            assert (candidate in tree) == (candidate in chosen_set)
+
+
+class TestSubsetPruneCheck:
+    def test_all_subsets_present_true(self):
+        survivors = [node("a", 0), node("b", 1), node("c", 2)]
+        tree = SubsetHashTree(survivors)
+        candidate = LatticeNode(("a", "b"), (0, 1))
+        assert tree.contains_all_subsets(candidate, 1)
+
+    def test_all_subsets_present_false(self):
+        tree = SubsetHashTree([node("a", 0)])
+        candidate = LatticeNode(("a", "b"), (0, 1))
+        assert not tree.contains_all_subsets(candidate, 1)
+
+    def test_three_attribute_candidate(self):
+        survivors = [
+            LatticeNode(("a", "b"), (0, 1)),
+            LatticeNode(("a", "c"), (0, 2)),
+            LatticeNode(("b", "c"), (1, 2)),
+        ]
+        tree = SubsetHashTree(survivors)
+        assert tree.contains_all_subsets(LatticeNode(("a", "b", "c"), (0, 1, 2)), 2)
+        assert not tree.contains_all_subsets(
+            LatticeNode(("a", "b", "c"), (0, 1, 0)), 2
+        )
+
+    def test_size_bounds_rejected(self):
+        tree = SubsetHashTree([node("a", 0)])
+        with pytest.raises(ValueError):
+            tree.contains_all_subsets(node("a", 0), 1)
+
+    def test_wrapper_accepts_sequences(self):
+        survivors = [node("a", 0), node("b", 0)]
+        assert all_subsets_present(LatticeNode(("a", "b"), (0, 0)), survivors)

@@ -1,0 +1,129 @@
+"""Tests for the full generalization lattice (Figure 3)."""
+
+import pytest
+
+from repro.lattice.lattice import GeneralizationLattice
+from repro.lattice.node import LatticeNode
+
+
+def figure3() -> GeneralizationLattice:
+    """The Sex × Zipcode lattice of the paper's Figure 3(a)."""
+    return GeneralizationLattice(("Sex", "Zipcode"), (1, 2))
+
+
+class TestStructure:
+    def test_size_matches_figure3(self):
+        assert figure3().size == 6
+
+    def test_bottom_and_top(self):
+        lattice = figure3()
+        assert lattice.bottom == LatticeNode(("Sex", "Zipcode"), (0, 0))
+        assert lattice.top == LatticeNode(("Sex", "Zipcode"), (1, 2))
+
+    def test_max_height(self):
+        assert figure3().max_height == 3
+
+    def test_nodes_enumerates_all(self):
+        nodes = list(figure3().nodes())
+        assert len(nodes) == 6
+        assert len(set(nodes)) == 6
+
+    def test_contains(self):
+        lattice = figure3()
+        assert LatticeNode(("Sex", "Zipcode"), (1, 1)) in lattice
+        assert LatticeNode(("Sex", "Zipcode"), (2, 0)) not in lattice
+        assert LatticeNode(("Sex",), (0,)) not in lattice
+
+    def test_heights_mapping_constructor(self):
+        lattice = GeneralizationLattice(("a", "b"), {"a": 1, "b": 2})
+        assert lattice.heights == (1, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GeneralizationLattice((), ())
+        with pytest.raises(ValueError):
+            GeneralizationLattice(("a",), (1, 2))
+        with pytest.raises(ValueError):
+            GeneralizationLattice(("a",), (-1,))
+
+
+class TestEdges:
+    def test_successors_of_bottom(self):
+        """Figure 3(a): ⟨S0, Z0⟩ has direct generalizations ⟨S1, Z0⟩, ⟨S0, Z1⟩."""
+        lattice = figure3()
+        successors = set(lattice.successors(lattice.bottom))
+        assert successors == {
+            LatticeNode(("Sex", "Zipcode"), (1, 0)),
+            LatticeNode(("Sex", "Zipcode"), (0, 1)),
+        }
+
+    def test_top_has_no_successors(self):
+        lattice = figure3()
+        assert lattice.successors(lattice.top) == []
+
+    def test_predecessors_inverse_of_successors(self):
+        lattice = figure3()
+        for node in lattice.nodes():
+            for successor in lattice.successors(node):
+                assert node in lattice.predecessors(successor)
+
+    def test_edge_count(self):
+        # Figure 3(a) draws 7 edges.
+        assert sum(1 for _ in figure3().edges()) == 7
+
+    def test_successor_of_foreign_node_rejected(self):
+        with pytest.raises(ValueError):
+            figure3().successors(LatticeNode(("Sex",), (0,)))
+
+
+class TestTraversal:
+    def test_nodes_at_height(self):
+        lattice = figure3()
+        assert {n.levels for n in lattice.nodes_at_height(1)} == {(1, 0), (0, 1)}
+        assert {n.levels for n in lattice.nodes_at_height(2)} == {(1, 1), (0, 2)}
+
+    def test_breadth_first_non_decreasing(self):
+        heights = [node.height for node in figure3().breadth_first()]
+        assert heights == sorted(heights)
+
+    def test_generalizations_of(self):
+        lattice = figure3()
+        node = LatticeNode(("Sex", "Zipcode"), (0, 1))
+        gens = set(lattice.generalizations_of(node))
+        assert gens == {
+            LatticeNode(("Sex", "Zipcode"), (1, 1)),
+            LatticeNode(("Sex", "Zipcode"), (0, 2)),
+            LatticeNode(("Sex", "Zipcode"), (1, 2)),
+        }
+
+    def test_generalizations_of_top_is_empty(self):
+        lattice = figure3()
+        assert list(lattice.generalizations_of(lattice.top)) == []
+
+
+class TestMeetJoin:
+    def test_meet_is_componentwise_min(self):
+        lattice = figure3()
+        a = LatticeNode(("Sex", "Zipcode"), (1, 0))
+        b = LatticeNode(("Sex", "Zipcode"), (0, 2))
+        assert lattice.meet([a, b]) == lattice.bottom
+
+    def test_join_is_componentwise_max(self):
+        lattice = figure3()
+        a = LatticeNode(("Sex", "Zipcode"), (1, 0))
+        b = LatticeNode(("Sex", "Zipcode"), (0, 2))
+        assert lattice.join([a, b]) == lattice.top
+
+    def test_meet_empty_rejected(self):
+        with pytest.raises(ValueError):
+            figure3().meet([])
+
+    def test_paper_superroot_example(self):
+        """Section 3.3.1: the meet of the three Figure 7(a) roots is ⟨B0,S0,Z0⟩."""
+        lattice = GeneralizationLattice(("B", "S", "Z"), (1, 1, 2))
+        roots = [
+            LatticeNode(("B", "S", "Z"), (1, 1, 0)),
+            LatticeNode(("B", "S", "Z"), (1, 0, 2)),
+            LatticeNode(("B", "S", "Z"), (0, 1, 2)),
+        ]
+        assert lattice.meet(roots) == lattice.bottom

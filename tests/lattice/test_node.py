@@ -1,0 +1,118 @@
+"""Tests for lattice nodes (domain vectors)."""
+
+import pytest
+
+from repro.lattice.node import LatticeNode
+
+
+def sz(levels: tuple[int, int]) -> LatticeNode:
+    return LatticeNode(("Sex", "Zipcode"), levels)
+
+
+class TestConstruction:
+    def test_of_mapping(self):
+        node = LatticeNode.of({"Sex": 1, "Zipcode": 0})
+        assert node.attributes == ("Sex", "Zipcode")
+        assert node.levels == (1, 0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            LatticeNode(("a", "b"), (0,))
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            LatticeNode(("a", "a"), (0, 0))
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            LatticeNode(("a",), (-1,))
+
+    def test_hashable_value_object(self):
+        assert sz((1, 0)) == sz((1, 0))
+        assert len({sz((1, 0)), sz((1, 0)), sz((0, 1))}) == 2
+
+
+class TestAccessors:
+    def test_height_is_distance_vector_sum(self):
+        """Figure 3: the height of ⟨S1, Z1⟩ is 2."""
+        assert sz((1, 1)).height == 2
+
+    def test_size(self):
+        assert sz((0, 0)).size == 2
+
+    def test_level_of(self):
+        assert sz((1, 2)).level_of("Zipcode") == 2
+
+    def test_level_of_missing(self):
+        with pytest.raises(KeyError):
+            sz((1, 2)).level_of("Age")
+
+    def test_str_is_paper_notation(self):
+        assert str(sz((1, 2))) == "<S1, Z2>"
+
+    def test_label(self):
+        assert sz((1, 0)).label() == "Sex=1, Zipcode=0"
+
+    def test_as_dict(self):
+        assert sz((1, 2)).as_dict() == {"Sex": 1, "Zipcode": 2}
+
+
+class TestRelations:
+    def test_distance_vector(self):
+        assert sz((0, 0)).distance_vector(sz((1, 2))) == (1, 2)
+
+    def test_distance_vector_not_comparable(self):
+        with pytest.raises(ValueError, match="not a generalization"):
+            sz((1, 0)).distance_vector(sz((0, 2)))
+
+    def test_distance_vector_attribute_mismatch(self):
+        with pytest.raises(ValueError, match="matching attributes"):
+            sz((0, 0)).distance_vector(LatticeNode(("Sex",), (1,)))
+
+    def test_generalizes_reflexive(self):
+        assert sz((1, 1)).generalizes(sz((1, 1)))
+
+    def test_generalizes_implied(self):
+        """⟨S0, Z2⟩ is an implied generalization of ⟨S0, Z0⟩ (Figure 3)."""
+        assert sz((0, 2)).generalizes(sz((0, 0)))
+
+    def test_generalizes_false_when_incomparable(self):
+        assert not sz((1, 0)).generalizes(sz((0, 1)))
+
+    def test_direct_generalization(self):
+        """⟨S0, Z2⟩ is a direct generalization of ⟨S0, Z1⟩."""
+        assert sz((0, 2)).is_direct_generalization_of(sz((0, 1)))
+
+    def test_implied_is_not_direct(self):
+        assert not sz((0, 2)).is_direct_generalization_of(sz((0, 0)))
+
+    def test_direct_requires_same_attributes(self):
+        assert not LatticeNode(("Sex",), (1,)).is_direct_generalization_of(
+            sz((0, 0))
+        )
+
+
+class TestDerivation:
+    def test_with_level(self):
+        assert sz((0, 0)).with_level("Zipcode", 2) == sz((0, 2))
+
+    def test_subset(self):
+        node = LatticeNode(("a", "b", "c"), (1, 2, 3))
+        assert node.subset(["c", "a"]) == LatticeNode(("c", "a"), (3, 1))
+
+    def test_drop(self):
+        node = LatticeNode(("a", "b", "c"), (1, 2, 3))
+        assert node.drop("b") == LatticeNode(("a", "c"), (1, 3))
+
+    def test_merge_disjoint(self):
+        merged = LatticeNode(("a",), (1,)).merge(LatticeNode(("b",), (2,)))
+        assert merged == LatticeNode(("a", "b"), (1, 2))
+
+    def test_merge_overlap_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            LatticeNode(("a",), (1,)).merge(LatticeNode(("a",), (2,)))
+
+    def test_sort_key_orders_by_height_first(self):
+        nodes = [sz((1, 1)), sz((0, 0)), sz((0, 1))]
+        ordered = sorted(nodes, key=LatticeNode.sort_key)
+        assert [n.height for n in ordered] == [0, 1, 2]

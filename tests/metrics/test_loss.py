@@ -1,0 +1,127 @@
+"""Tests for information-loss metrics."""
+
+import pytest
+
+from repro.core.generalize import apply_generalization
+from repro.datasets.patients import patients_problem
+from repro.lattice.node import LatticeNode
+from repro.metrics.loss import (
+    average_class_size,
+    discernibility,
+    equivalence_class_sizes,
+    generalization_height,
+    loss_metric,
+    precision,
+)
+from repro.relational.table import Table
+
+QI = ("Birthdate", "Sex", "Zipcode")
+
+
+def node(b, s, z):
+    return LatticeNode(QI, (b, s, z))
+
+
+class TestHeight:
+    def test_matches_node_height(self):
+        assert generalization_height(node(1, 1, 2)) == 4
+
+
+class TestEquivalenceClassSizes:
+    def test_patients_zero_generalization(self):
+        problem = patients_problem()
+        sizes = equivalence_class_sizes(problem.table, QI)
+        assert sorted(sizes.tolist()) == [1] * 6
+
+    def test_empty_table(self):
+        table = Table.from_rows(["a"], [])
+        assert equivalence_class_sizes(table, ["a"]).size == 0
+
+
+class TestDiscernibility:
+    def test_unique_rows_cost_n(self):
+        problem = patients_problem()
+        assert discernibility(problem.table, QI) == 6  # six classes of 1
+
+    def test_single_class_cost_n_squared(self):
+        problem = patients_problem()
+        view = apply_generalization(problem, node(1, 1, 2))
+        assert discernibility(view.table, QI) == 36
+
+    def test_suppression_penalty(self):
+        problem = patients_problem()
+        view = apply_generalization(problem, node(0, 0, 2), k=2, max_suppression=2)
+        # 4 remaining rows in classes of 2 → 2·4; 2 suppressed × 6 total
+        assert discernibility(view.table, QI, total_rows=6) == 8 + 12
+
+    def test_total_rows_below_actual_rejected(self):
+        problem = patients_problem()
+        with pytest.raises(ValueError):
+            discernibility(problem.table, QI, total_rows=3)
+
+    def test_monotone_in_generalization(self):
+        """Coarser full-domain generalizations never decrease C_DM."""
+        problem = patients_problem()
+        lattice = problem.lattice()
+        for lattice_node in lattice.nodes():
+            for successor in lattice.successors(lattice_node):
+                finer = apply_generalization(problem, lattice_node).table
+                coarser = apply_generalization(problem, successor).table
+                assert discernibility(coarser, QI) >= discernibility(finer, QI)
+
+
+class TestAverageClassSize:
+    def test_perfect_when_every_class_is_k(self):
+        problem = patients_problem()
+        view = apply_generalization(problem, node(1, 1, 0))
+        assert average_class_size(view.table, QI, 2) == 1.0
+
+    def test_single_class(self):
+        problem = patients_problem()
+        view = apply_generalization(problem, node(1, 1, 2))
+        assert average_class_size(view.table, QI, 2) == 3.0
+
+    def test_empty_table(self):
+        table = Table.from_rows(["a"], [])
+        assert average_class_size(table, ["a"], 2) == 0.0
+
+
+class TestPrecision:
+    def test_zero_at_bottom(self):
+        problem = patients_problem()
+        assert precision(problem, node(0, 0, 0)) == 0.0
+
+    def test_one_at_top(self):
+        problem = patients_problem()
+        assert precision(problem, problem.top_node()) == 1.0
+
+    def test_intermediate(self):
+        problem = patients_problem()
+        # B:1/1, S:0/1, Z:1/2 → mean(1, 0, 0.5) = 0.5
+        assert precision(problem, node(1, 0, 1)) == pytest.approx(0.5)
+
+    def test_monotone_in_levels(self):
+        problem = patients_problem()
+        assert precision(problem, node(1, 0, 1)) < precision(problem, node(1, 1, 1))
+
+
+class TestLossMetric:
+    def test_zero_at_bottom(self):
+        problem = patients_problem()
+        assert loss_metric(problem, node(0, 0, 0)) == 0.0
+
+    def test_one_at_top(self):
+        problem = patients_problem()
+        assert loss_metric(problem, problem.top_node()) == pytest.approx(1.0)
+
+    def test_partial_zipcode_generalization(self):
+        problem = patients_problem()
+        # Zipcode level 1: 5371* covers 2 of 4 base values, 5370* covers 2:
+        # per-row m=2 → (2-1)/(4-1) = 1/3; other attributes at 0.
+        assert loss_metric(problem, node(0, 0, 1)) == pytest.approx((1 / 3) / 3)
+
+    def test_bounded_between_zero_and_one(self):
+        problem = patients_problem()
+        for lattice_node in problem.lattice().nodes():
+            value = loss_metric(problem, lattice_node)
+            assert 0.0 <= value <= 1.0

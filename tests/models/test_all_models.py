@@ -1,0 +1,82 @@
+"""Cross-cutting tests: every Section 5 model yields verified k-anonymity."""
+
+import pytest
+
+from repro.core.anonymity import check_k_anonymity
+from repro.models import (
+    AttributeSuppressionModel,
+    CellGeneralizationModel,
+    CellSuppressionModel,
+    FullDomainModel,
+    MondrianModel,
+    MultiDimSubgraphModel,
+    Partition1DModel,
+    SubtreeModel,
+    UnrestrictedModel,
+    UnrestrictedMultiDimModel,
+)
+from repro.models.base import RecodingError
+from tests.conftest import make_random_problem, tiny_numeric_problem
+
+ALL_MODELS = [
+    FullDomainModel,
+    AttributeSuppressionModel,
+    SubtreeModel,
+    UnrestrictedModel,
+    Partition1DModel,
+    MondrianModel,
+    MultiDimSubgraphModel,
+    UnrestrictedMultiDimModel,
+    CellSuppressionModel,
+    CellGeneralizationModel,
+]
+
+
+@pytest.mark.parametrize("model_class", ALL_MODELS)
+class TestEveryModel:
+    def test_output_is_k_anonymous(self, model_class):
+        problem = tiny_numeric_problem()
+        result = model_class().anonymize(problem, 2)
+        assert check_k_anonymity(result.table, problem.quasi_identifier, 2)
+
+    def test_row_count_preserved_for_generalizing_models(self, model_class):
+        problem = tiny_numeric_problem()
+        result = model_class().anonymize(problem, 2)
+        assert result.table.num_rows == problem.num_rows
+
+    def test_k_above_rows_rejected(self, model_class):
+        problem = tiny_numeric_problem()
+        with pytest.raises(RecodingError):
+            model_class().anonymize(problem, problem.num_rows + 1)
+
+    def test_invalid_k_rejected(self, model_class):
+        with pytest.raises(ValueError):
+            model_class().anonymize(tiny_numeric_problem(), 0)
+
+    def test_descriptor_resolves(self, model_class):
+        descriptor = model_class().descriptor
+        assert descriptor.paper_section.startswith("5")
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_random_instances(self, model_class, seed, k):
+        problem = make_random_problem(seed + 900, num_rows=30)
+        result = model_class().anonymize(problem, k)
+        assert check_k_anonymity(result.table, problem.quasi_identifier, k)
+
+    def test_non_qi_columns_untouched(self, model_class):
+        problem = tiny_numeric_problem()
+        # add a sensitive column outside the QI
+        from repro.core.problem import PreparedTable
+        from repro.relational.column import Column
+
+        table = problem.table.with_column(
+            "disease", Column.from_values([f"d{i % 3}" for i in range(10)])
+        )
+        extended = PreparedTable(
+            table,
+            {name: problem.hierarchy(name) for name in problem.quasi_identifier},
+            problem.quasi_identifier,
+        )
+        result = model_class().anonymize(extended, 2)
+        assert result.table.column("disease") == table.column("disease")

@@ -1,0 +1,65 @@
+"""Tests for the full-domain and attribute-suppression model wrappers."""
+
+import pytest
+
+from repro.datasets.patients import patients_problem
+from repro.models.fulldomain import (
+    AttributeSuppressionModel,
+    FullDomainModel,
+    node_view,
+)
+from repro.lattice.node import LatticeNode
+
+
+class TestFullDomainModel:
+    def test_picks_minimal_height_node(self):
+        result = FullDomainModel().anonymize(patients_problem(), 2)
+        assert result.details["node"].height == 2
+        assert result.details["solutions"] == 5
+
+    def test_weighted_choice(self):
+        model = FullDomainModel(weights={"Sex": 10.0})
+        result = model.anonymize(patients_problem(), 2)
+        assert result.details["node"].level_of("Sex") == 0
+
+    def test_custom_search_injection(self):
+        from repro.core.bottomup import bottom_up_search
+
+        model = FullDomainModel(search=bottom_up_search)
+        result = model.anonymize(patients_problem(), 2)
+        assert result.details["node"].height == 2
+
+    def test_infeasible_k(self):
+        from repro.models.base import RecodingError
+
+        with pytest.raises(RecodingError):
+            FullDomainModel().anonymize(patients_problem(), 6 + 1)
+
+
+class TestAttributeSuppressionModel:
+    def test_each_column_intact_or_starred(self):
+        problem = patients_problem()
+        result = AttributeSuppressionModel().anonymize(problem, 2)
+        for name in problem.quasi_identifier:
+            values = set(result.table.column(name).to_list())
+            original = set(problem.table.column(name).to_list())
+            assert values == {"*"} or values <= original
+
+    def test_patients_needs_two_suppressions(self):
+        """No single-attribute release keeps Patients 2-anonymous with the
+        other two intact; the minimal answer suppresses two columns."""
+        result = AttributeSuppressionModel().anonymize(patients_problem(), 2)
+        assert len(result.details["suppressed_attributes"]) == 2
+
+    def test_details_node_in_suppression_lattice(self):
+        result = AttributeSuppressionModel().anonymize(patients_problem(), 2)
+        node = result.details["node"]
+        assert all(level in (0, 1) for level in node.levels)
+
+
+class TestNodeView:
+    def test_wraps_explicit_node(self):
+        problem = patients_problem()
+        node = LatticeNode(("Birthdate", "Sex", "Zipcode"), (1, 1, 0))
+        result = node_view(problem, node)
+        assert set(result.table.column("Sex").to_list()) == {"Person"}

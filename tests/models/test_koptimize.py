@@ -1,0 +1,138 @@
+"""Tests for k-Optimize (Bayardo-Agrawal [3], §6)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.anonymity import check_k_anonymity
+from repro.core.problem import PreparedTable
+from repro.hierarchy import SuppressionHierarchy
+from repro.models.koptimize import (
+    KOptimizeModel,
+    _PartitionSpace,
+    partition_cost,
+    partition_lower_bound,
+)
+from repro.relational.table import Table
+
+
+def numeric_problem(values_by_attr: dict[str, list]) -> PreparedTable:
+    table = Table.from_columns(values_by_attr)
+    return PreparedTable(
+        table, {name: SuppressionHierarchy() for name in values_by_attr}
+    )
+
+
+def brute_force_cost(problem: PreparedTable, k: int) -> int:
+    """Exhaustive minimum over every split-point subset."""
+    space = _PartitionSpace(problem)
+    best = None
+    for r in range(len(space.items) + 1):
+        for subset in itertools.combinations(space.items, r):
+            sizes = space.class_sizes(frozenset(subset))
+            cost = partition_cost(sizes, k, problem.num_rows)
+            if best is None or cost < best:
+                best = cost
+    return best
+
+
+class TestCostAndBound:
+    def test_cost_all_retained(self):
+        sizes = np.asarray([2, 3])
+        assert partition_cost(sizes, 2, 5) == 4 + 9
+
+    def test_cost_with_suppression(self):
+        sizes = np.asarray([1, 4])
+        assert partition_cost(sizes, 2, 5) == 16 + 1 * 5
+
+    def test_bound_is_admissible_under_refinement(self):
+        """The bound must never exceed the cost of any refinement."""
+        problem = numeric_problem(
+            {"a": [1, 1, 2, 3, 4, 4, 5, 6], "b": list("xxyyxxyy")}
+        )
+        space = _PartitionSpace(problem)
+        k = 2
+        for r in range(3):
+            for subset in itertools.combinations(space.items, r):
+                splits = frozenset(subset)
+                bound = partition_lower_bound(
+                    space.class_sizes(splits), k, problem.num_rows
+                )
+                # every superset (refinement) must cost at least the bound
+                remaining = [i for i in space.items if i not in splits]
+                for extra in range(len(remaining) + 1):
+                    for addition in itertools.combinations(remaining, extra):
+                        refined = splits | set(addition)
+                        cost = partition_cost(
+                            space.class_sizes(refined), k, problem.num_rows
+                        )
+                        assert bound <= cost, (splits, refined)
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_matches_brute_force_single_attribute(self, k):
+        problem = numeric_problem({"a": [1, 1, 2, 3, 3, 4, 5, 6, 7, 8]})
+        result = KOptimizeModel().anonymize(problem, k)
+        assert result.details["cost"] == brute_force_cost(problem, k)
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_matches_brute_force_two_attributes(self, k):
+        problem = numeric_problem(
+            {"a": [1, 2, 2, 3, 4, 4], "b": [9, 9, 8, 8, 7, 7]}
+        )
+        result = KOptimizeModel().anonymize(problem, k)
+        assert result.details["cost"] == brute_force_cost(problem, k)
+
+    def test_randomized_against_brute_force(self):
+        import random
+
+        rng = random.Random(4)
+        for _ in range(6):
+            values = {
+                "a": [rng.randint(0, 4) for _ in range(10)],
+                "b": [rng.randint(0, 2) for _ in range(10)],
+            }
+            problem = numeric_problem(values)
+            result = KOptimizeModel().anonymize(problem, 2)
+            assert result.details["cost"] == brute_force_cost(problem, 2)
+
+    def test_pruning_explores_fewer_nodes_than_powerset(self):
+        problem = numeric_problem({"a": [1, 1, 2, 2, 3, 3, 4, 4, 5, 5]})
+        result = KOptimizeModel().anonymize(problem, 2)
+        total_items = result.details["total_items"]
+        assert result.details["nodes_explored"] < 2 ** total_items
+
+
+class TestOutput:
+    def test_output_is_k_anonymous(self):
+        problem = numeric_problem({"a": [1, 1, 2, 3, 3, 4, 5, 6, 7, 8]})
+        result = KOptimizeModel().anonymize(problem, 2)
+        assert check_k_anonymity(result.table, problem.quasi_identifier, 2)
+
+    def test_perfectly_partitionable_data_keeps_intervals_tight(self):
+        problem = numeric_problem({"a": [1, 1, 2, 2, 9, 9]})
+        result = KOptimizeModel().anonymize(problem, 2)
+        assert result.suppressed_rows == 0
+        assert set(result.table.column("a").to_list()) == {"1", "2", "9"}
+
+    def test_suppression_when_cheaper(self):
+        # one extreme outlier: suppressing it beats merging it into a range
+        problem = numeric_problem(
+            {"a": [1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 99]}
+        )
+        result = KOptimizeModel().anonymize(problem, 2)
+        assert result.suppressed_rows == 1
+        assert result.table.num_rows == 12
+
+    def test_item_cap(self):
+        problem = numeric_problem({"a": list(range(30))})
+        with pytest.raises(ValueError, match="exponential"):
+            KOptimizeModel(max_items=10).anonymize(problem, 2)
+
+    def test_interval_labels_well_formed(self):
+        problem = numeric_problem({"a": [1, 1, 2, 3, 3, 4]})
+        result = KOptimizeModel().anonymize(problem, 3)
+        for value in set(result.table.column("a").to_list()):
+            assert value.startswith("[") or value.isdigit()

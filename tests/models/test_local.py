@@ -1,0 +1,95 @@
+"""Tests for local recoding models (Section 5.2)."""
+
+from repro.core.anonymity import check_k_anonymity
+from repro.core.problem import PreparedTable
+from repro.datasets.patients import patients_problem
+from repro.hierarchy import RoundingHierarchy, SuppressionHierarchy
+from repro.models.local import (
+    SUPPRESSED,
+    CellGeneralizationModel,
+    CellSuppressionModel,
+)
+from repro.relational.table import Table
+
+
+class TestCellSuppression:
+    def test_patients(self):
+        problem = patients_problem()
+        result = CellSuppressionModel().anonymize(problem, 2)
+        assert check_k_anonymity(result.table, problem.quasi_identifier, 2)
+
+    def test_cells_are_original_or_star(self):
+        problem = patients_problem()
+        result = CellSuppressionModel().anonymize(problem, 2)
+        for name in problem.quasi_identifier:
+            original = set(problem.table.column(name).to_list())
+            for value in result.table.column(name).to_list():
+                assert value == SUPPRESSED or value in original
+
+    def test_local_recoding_keeps_some_instances_intact(self):
+        """The defining property vs. global recoding: the same base value
+        may stay intact in one row and be suppressed in another."""
+        table = Table.from_columns(
+            {
+                "a": ["x", "x", "x", "x", "y", "z"],
+                "b": ["1", "1", "2", "2", "3", "3"],
+            }
+        )
+        problem = PreparedTable(
+            table, {"a": SuppressionHierarchy(), "b": SuppressionHierarchy()}
+        )
+        result = CellSuppressionModel().anonymize(problem, 2)
+        recoded_a = result.table.column("a").to_list()
+        assert "x" in recoded_a  # some instances intact
+        assert SUPPRESSED in recoded_a + result.table.column("b").to_list()
+
+    def test_suppressed_cell_count_reported(self):
+        problem = patients_problem()
+        result = CellSuppressionModel().anonymize(problem, 2)
+        assert result.details["suppressed_cells"] > 0
+
+    def test_no_suppression_when_already_anonymous(self):
+        table = Table.from_columns({"a": ["x", "x", "y", "y"]})
+        problem = PreparedTable(table, {"a": SuppressionHierarchy()})
+        result = CellSuppressionModel().anonymize(problem, 2)
+        assert result.details["suppressed_cells"] == 0
+        assert result.table.column("a").to_list() == ["x", "x", "y", "y"]
+
+
+class TestCellGeneralization:
+    def test_patients(self):
+        problem = patients_problem()
+        result = CellGeneralizationModel().anonymize(problem, 2)
+        assert check_k_anonymity(result.table, problem.quasi_identifier, 2)
+
+    def test_uses_hierarchy_ancestors_not_stars(self):
+        table = Table.from_columns(
+            {"zip": ["53715", "53710", "53703", "53706"]}
+        )
+        problem = PreparedTable(table, {"zip": RoundingHierarchy(5, height=2)})
+        result = CellGeneralizationModel().anonymize(problem, 2)
+        values = set(result.table.column("zip").to_list())
+        # sorted order pairs 53703/53706 and 53710/53715 → 5370*/5371*
+        assert values == {"5370*", "5371*"}
+
+    def test_lifts_to_lowest_common_level(self):
+        table = Table.from_columns({"zip": ["53715", "53710", "10001", "10002"]})
+        problem = PreparedTable(table, {"zip": RoundingHierarchy(5)})
+        result = CellGeneralizationModel().anonymize(problem, 2)
+        values = sorted(set(result.table.column("zip").to_list()))
+        assert values == ["1000*", "5371*"]
+
+    def test_generalized_cell_count_reported(self):
+        problem = patients_problem()
+        result = CellGeneralizationModel().anonymize(problem, 2)
+        assert result.details["generalized_cells"] > 0
+
+    def test_height_zero_attribute_falls_back_to_suppression(self):
+        """A disagreeing cluster on an attribute whose hierarchy top still
+        disagrees must suppress (only possible with a degenerate
+        hierarchy, simulated here with height-1 suppression — top always
+        agrees, so no star appears)."""
+        table = Table.from_columns({"a": ["p", "q", "r", "s"]})
+        problem = PreparedTable(table, {"a": SuppressionHierarchy()})
+        result = CellGeneralizationModel().anonymize(problem, 4)
+        assert set(result.table.column("a").to_list()) == {"*"}

@@ -1,0 +1,89 @@
+"""Tests for the Mondrian multi-dimensional partitioning model."""
+
+from repro.core.anonymity import check_k_anonymity
+from repro.core.problem import PreparedTable
+from repro.hierarchy import SuppressionHierarchy
+from repro.metrics import average_class_size
+from repro.models.mondrian import MondrianModel
+from repro.relational.table import Table
+from tests.conftest import tiny_numeric_problem
+
+
+class TestMondrian:
+    def test_tiny_numeric(self):
+        problem = tiny_numeric_problem()
+        result = MondrianModel().anonymize(problem, 2)
+        assert check_k_anonymity(result.table, problem.quasi_identifier, 2)
+
+    def test_partition_count_reported(self):
+        problem = tiny_numeric_problem()
+        result = MondrianModel().anonymize(problem, 2)
+        assert 1 <= result.details["partitions"] <= problem.num_rows // 2
+
+    def test_classes_near_k(self):
+        """Median splits keep classes between k and 2k-1 in the ideal case;
+        C_AVG must stay well below the full-domain answer's."""
+        problem = tiny_numeric_problem()
+        result = MondrianModel().anonymize(problem, 2)
+        avg = average_class_size(result.table, problem.quasi_identifier, 2)
+        assert avg < 2.0
+
+    def test_uniform_distinct_grid_splits_fully(self):
+        table = Table.from_columns(
+            {"x": [str(i) for i in range(8)], "y": ["c"] * 8}
+        )
+        problem = PreparedTable(
+            table, {"x": SuppressionHierarchy(), "y": SuppressionHierarchy()}
+        )
+        result = MondrianModel().anonymize(problem, 2)
+        # 8 distinct x values, k=2 → 4 partitions of 2
+        assert result.details["partitions"] == 4
+
+    def test_identical_rows_single_partition(self):
+        table = Table.from_columns({"x": ["a"] * 6})
+        problem = PreparedTable(table, {"x": SuppressionHierarchy()})
+        result = MondrianModel().anonymize(problem, 3)
+        assert result.details["partitions"] == 1
+        assert result.table.column("x").to_list() == ["a"] * 6
+
+    def test_interval_labels_cover_partition_ranges(self):
+        table = Table.from_columns({"x": ["1", "2", "3", "4"]})
+        problem = PreparedTable(table, {"x": SuppressionHierarchy()})
+        result = MondrianModel().anonymize(problem, 2)
+        assert sorted(set(result.table.column("x").to_list())) == [
+            "[1-2]", "[3-4]",
+        ]
+
+    def test_relaxed_variant_splits_heavy_ties(self):
+        """Strict Mondrian stalls when one value holds a majority; relaxed
+        divides the tied rows and keeps partitioning."""
+        table = Table.from_columns({"x": ["5"] * 7 + ["9"]})
+        problem = PreparedTable(table, {"x": SuppressionHierarchy()})
+        strict = MondrianModel().anonymize(problem, 2)
+        relaxed = MondrianModel(relaxed=True).anonymize(problem, 2)
+        assert strict.details["partitions"] == 1
+        assert relaxed.details["partitions"] >= 2
+
+    def test_relaxed_variant_still_k_anonymous(self):
+        problem = tiny_numeric_problem()
+        result = MondrianModel(relaxed=True).anonymize(problem, 3)
+        assert check_k_anonymity(result.table, problem.quasi_identifier, 3)
+
+    def test_relaxed_never_fewer_partitions_than_strict(self):
+        problem = tiny_numeric_problem()
+        strict = MondrianModel().anonymize(problem, 2)
+        relaxed = MondrianModel(relaxed=True).anonymize(problem, 2)
+        assert relaxed.details["partitions"] >= strict.details["partitions"]
+
+    def test_multidim_beats_single_dim_on_utility(self):
+        """The motivation for reference [12]: multi-dimension partitioning
+        yields smaller classes than single-dimension partitioning."""
+        from repro.models.partition1d import Partition1DModel
+
+        problem = tiny_numeric_problem()
+        qi = problem.quasi_identifier
+        multi = MondrianModel().anonymize(problem, 2)
+        single = Partition1DModel().anonymize(problem, 2)
+        assert average_class_size(multi.table, qi, 2) <= average_class_size(
+            single.table, qi, 2
+        )

@@ -1,0 +1,144 @@
+"""Tests for multi-dimension hierarchy-based recoding (Section 5.1.3)."""
+
+from repro.core.anonymity import check_k_anonymity
+from repro.core.problem import PreparedTable
+from repro.datasets.patients import patients_problem
+from repro.hierarchy import RoundingHierarchy, SuppressionHierarchy
+from repro.metrics import discernibility
+from repro.models.multidim import (
+    MultiDimSubgraphModel,
+    UnrestrictedMultiDimModel,
+    _VectorRecoding,
+)
+from repro.relational.table import Table
+
+
+def sex_zip_problem() -> PreparedTable:
+    """The Figure 13 domain: Sex × Zipcode."""
+    table = Table.from_columns(
+        {
+            "Sex": ["Male", "Male", "Female", "Female", "Male", "Female"],
+            "Zipcode": ["53715", "53710", "53715", "53710", "53706", "53703"],
+        }
+    )
+    return PreparedTable(
+        table,
+        {
+            "Sex": SuppressionHierarchy("Person"),
+            "Zipcode": RoundingHierarchy(5, height=2),
+        },
+    )
+
+
+class TestVectorRecoding:
+    def test_distinct_vectors_found(self):
+        state = _VectorRecoding(sex_zip_problem())
+        assert state.vectors.shape[0] == 6
+
+    def test_initial_levels_zero(self):
+        state = _VectorRecoding(sex_zip_problem())
+        assert not state.levels.any()
+
+    def test_bump_targets_most_headroom(self):
+        state = _VectorRecoding(sex_zip_problem())
+        assert state.bump(0)
+        # Zipcode (height 2) has more headroom than Sex (height 1)
+        assert state.levels[0].tolist() == [0, 1]
+
+    def test_bump_exhausts(self):
+        state = _VectorRecoding(sex_zip_problem())
+        for _ in range(3):
+            assert state.bump(0)
+        assert not state.bump(0)
+
+
+class TestUnrestrictedMultiDim:
+    def test_patients(self):
+        problem = patients_problem()
+        result = UnrestrictedMultiDimModel().anonymize(problem, 2)
+        assert check_k_anonymity(result.table, problem.quasi_identifier, 2)
+
+    def test_only_rare_vectors_move(self):
+        """Vectors already in big classes stay at level zero: the two rare
+        zipcodes merge with each other, not with the popular one."""
+        table = Table.from_columns(
+            {
+                "Sex": ["Male"] * 7,
+                "Zipcode": ["53715"] * 5 + ["53710", "53711"],
+            }
+        )
+        problem = PreparedTable(
+            table,
+            {
+                "Sex": SuppressionHierarchy("Person"),
+                "Zipcode": RoundingHierarchy(5, height=2),
+            },
+        )
+        result = UnrestrictedMultiDimModel().anonymize(problem, 2)
+        recoded = result.table.to_rows()
+        assert recoded.count(("Male", "53715")) == 5
+        assert recoded.count(("Male", "5371*")) == 2
+
+    def test_whole_class_moves_when_it_must(self):
+        """With only two distinct vectors, the popular one must coarsen too
+        (recoding maps value vectors, so identical rows move together)."""
+        table = Table.from_columns(
+            {
+                "Sex": ["Male"] * 5 + ["Female"],
+                "Zipcode": ["53715"] * 5 + ["53703"],
+            }
+        )
+        problem = PreparedTable(
+            table,
+            {
+                "Sex": SuppressionHierarchy("Person"),
+                "Zipcode": RoundingHierarchy(5, height=2),
+            },
+        )
+        result = UnrestrictedMultiDimModel().anonymize(problem, 2)
+        assert len(set(result.table.to_rows())) == 1
+
+    def test_distinct_vector_count_reported(self):
+        result = UnrestrictedMultiDimModel().anonymize(sex_zip_problem(), 2)
+        assert result.details["distinct_vectors"] == 6
+
+
+class TestSubgraphModel:
+    def test_patients(self):
+        problem = patients_problem()
+        result = MultiDimSubgraphModel().anonymize(problem, 2)
+        assert check_k_anonymity(result.table, problem.quasi_identifier, 2)
+
+    def test_subgraph_closure_property(self):
+        """Section 5.1.3's example: if ⟨Male, 53715⟩ maps to ⟨Person, 5371*⟩
+        then ⟨Female, 53715⟩, ⟨Male, 53710⟩, ⟨Female, 53710⟩ must too."""
+        problem = sex_zip_problem()
+        result = MultiDimSubgraphModel().anonymize(problem, 3)
+        original = problem.table.to_rows()
+        recoded = result.table.to_rows()
+        mapping = dict(zip(original, recoded))
+        targets = set(mapping.values())
+        for target in targets:
+            sex_t, zip_t = target
+            members = {
+                source for source, dest in mapping.items() if dest == target
+            }
+            # every source vector that generalizes to the target must be a member
+            for source in mapping:
+                sex_s, zip_s = source
+                sex_matches = sex_t in (sex_s, "Person")
+                zip_matches = (
+                    zip_t == zip_s
+                    or (zip_t.endswith("*") and zip_s.startswith(zip_t.rstrip("*")))
+                )
+                if sex_matches and zip_matches:
+                    assert source in members, (source, target)
+
+    def test_subgraph_at_least_as_coarse_as_unrestricted(self):
+        problem = sex_zip_problem()
+        qi = problem.quasi_identifier
+        subgraph = MultiDimSubgraphModel().anonymize(problem, 2)
+        unrestricted = UnrestrictedMultiDimModel().anonymize(problem, 2)
+        assert discernibility(subgraph.table, qi) >= discernibility(
+            unrestricted.table, qi
+        )

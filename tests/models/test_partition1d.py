@@ -1,0 +1,109 @@
+"""Tests for ordered-set partitioning (single-dimension)."""
+
+import pytest
+
+from repro.core.anonymity import check_k_anonymity
+from repro.core.problem import PreparedTable
+from repro.hierarchy import SuppressionHierarchy
+from repro.models.partition1d import (
+    Partition1DModel,
+    interval_label,
+    optimal_1d_partition,
+)
+from repro.relational.table import Table
+from tests.conftest import tiny_numeric_problem
+
+
+class TestIntervalLabel:
+    def test_singleton(self):
+        assert interval_label(5, 5) == "5"
+
+    def test_range(self):
+        assert interval_label(3, 9) == "[3-9]"
+
+
+class TestOptimal1DPartition:
+    def test_every_interval_covers_k(self):
+        values = [1, 1, 2, 3, 3, 4, 5, 6, 7, 8, 9, 10]
+        partition = optimal_1d_partition(values, 3)
+        counts = []
+        for low, high in partition:
+            counts.append(sum(1 for v in values if low <= v <= high))
+        assert all(count >= 3 for count in counts)
+        assert sum(counts) == len(values)
+
+    def test_intervals_are_disjoint_and_ordered(self):
+        partition = optimal_1d_partition(list(range(20)), 4)
+        for (_, a_high), (b_low, _) in zip(partition, partition[1:]):
+            assert a_high < b_low
+
+    def test_optimality_against_bruteforce(self):
+        """DP must match exhaustive search on small inputs."""
+        import itertools
+
+        values = [1, 2, 2, 3, 4, 4, 5, 6]
+        k = 2
+        distinct = sorted(set(values))
+        counts = [values.count(v) for v in distinct]
+
+        def cost_of(boundaries):
+            total = 0
+            start = 0
+            for end in boundaries:
+                size = sum(counts[start:end])
+                if size < k:
+                    return None
+                total += size ** 2
+                start = end
+            return total
+
+        best = None
+        for r in range(1, len(distinct) + 1):
+            for cut in itertools.combinations(range(1, len(distinct) + 1), r):
+                if cut[-1] != len(distinct):
+                    continue
+                cost = cost_of(cut)
+                if cost is not None and (best is None or cost < best):
+                    best = cost
+
+        partition = optimal_1d_partition(values, k)
+        dp_cost = 0
+        for low, high in partition:
+            dp_cost += sum(1 for v in values if low <= v <= high) ** 2
+        assert dp_cost == best
+
+    def test_k_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            optimal_1d_partition([1, 2], 3)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            optimal_1d_partition([1, 2], 0)
+
+    def test_string_domain(self):
+        partition = optimal_1d_partition(list("aabbccdd"), 4)
+        assert partition == [("a", "b"), ("c", "d")]
+
+
+class TestPartition1DModel:
+    def test_tiny_numeric(self):
+        problem = tiny_numeric_problem()
+        result = Partition1DModel().anonymize(problem, 2)
+        assert check_k_anonymity(result.table, problem.quasi_identifier, 2)
+
+    def test_interval_details_exposed(self):
+        problem = tiny_numeric_problem()
+        result = Partition1DModel().anonymize(problem, 2)
+        assert set(result.details["intervals"]) == set(problem.quasi_identifier)
+
+    def test_already_anonymous_data_untouched(self):
+        table = Table.from_columns({"a": ["x", "x", "y", "y"]})
+        problem = PreparedTable(table, {"a": SuppressionHierarchy()})
+        result = Partition1DModel().anonymize(problem, 2)
+        assert result.table.column("a").to_list() == ["x", "x", "y", "y"]
+
+    def test_coarsens_to_single_class_when_needed(self):
+        table = Table.from_columns({"a": ["p", "q", "r", "s"]})
+        problem = PreparedTable(table, {"a": SuppressionHierarchy()})
+        result = Partition1DModel().anonymize(problem, 4)
+        assert len(set(result.table.column("a").to_list())) == 1

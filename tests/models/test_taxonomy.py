@@ -1,0 +1,61 @@
+"""Tests for the model taxonomy registry (Section 5 axes)."""
+
+import pytest
+
+from repro.models.taxonomy import (
+    Coding,
+    Dimensionality,
+    Scope,
+    Structure,
+    all_model_descriptors,
+    descriptor,
+)
+
+
+class TestRegistry:
+    def test_all_ten_cells_present(self):
+        assert len(all_model_descriptors()) == 10
+
+    def test_descriptor_lookup(self):
+        full_domain = descriptor("full-domain")
+        assert full_domain.scope is Scope.GLOBAL
+        assert full_domain.structure is Structure.HIERARCHY
+        assert full_domain.dimensionality is Dimensionality.SINGLE
+
+    def test_unknown_key(self):
+        with pytest.raises(KeyError, match="unknown model"):
+            descriptor("nope")
+
+    def test_registry_copy_is_defensive(self):
+        copy = all_model_descriptors()
+        copy.clear()
+        assert len(all_model_descriptors()) == 10
+
+
+class TestClassification:
+    def test_local_models_are_local(self):
+        assert descriptor("cell-suppression").scope is Scope.LOCAL
+        assert descriptor("cell-generalization").scope is Scope.LOCAL
+
+    def test_partition_models(self):
+        assert descriptor("partition-1d").structure is Structure.PARTITION
+        assert descriptor("mondrian").structure is Structure.PARTITION
+
+    def test_multidim_models(self):
+        for key in ("multidim-subgraph", "multidim-unrestricted", "mondrian"):
+            assert descriptor(key).dimensionality is Dimensionality.MULTI
+
+    def test_suppression_models(self):
+        assert descriptor("attribute-suppression").coding is Coding.SUPPRESSION
+        assert descriptor("cell-suppression").coding is Coding.SUPPRESSION
+
+    def test_paper_sections_recorded(self):
+        assert descriptor("mondrian").paper_section == "5.1.4"
+        assert descriptor("subtree").paper_section == "5.1.1"
+
+    def test_axes_tuple(self):
+        axes = descriptor("full-domain").axes()
+        assert axes == ("generalization", "global", "hierarchy", "single-dimension")
+
+    def test_str_mentions_axes(self):
+        assert "global" in str(descriptor("full-domain"))

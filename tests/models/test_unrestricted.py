@@ -1,0 +1,55 @@
+"""Tests for unrestricted single-dimension recoding."""
+
+from repro.core.anonymity import check_k_anonymity
+from repro.core.problem import PreparedTable
+from repro.datasets.patients import patients_problem
+from repro.hierarchy import RoundingHierarchy, SuppressionHierarchy
+from repro.models.unrestricted import UnrestrictedModel
+from repro.relational.table import Table
+
+
+class TestUnrestrictedModel:
+    def test_patients(self):
+        problem = patients_problem()
+        result = UnrestrictedModel().anonymize(problem, 2)
+        assert check_k_anonymity(result.table, problem.quasi_identifier, 2)
+
+    def test_values_move_independently(self):
+        """The paper's own illustration of this model: one value of a domain
+        can generalize while a sibling stays intact (no subtree closure)."""
+        table = Table.from_columns(
+            {
+                "zip": ["53715"] * 4 + ["53710", "53711"],
+                "pad": ["p"] * 6,
+            }
+        )
+        problem = PreparedTable(
+            table,
+            {"zip": RoundingHierarchy(5), "pad": SuppressionHierarchy()},
+        )
+        result = UnrestrictedModel().anonymize(problem, 2)
+        recoded = result.table.column("zip").to_list()
+        # the four 53715 rows need no generalization; the two rare values do
+        assert recoded[:4] == ["53715"] * 4
+        assert recoded[4] == recoded[5] == "5371*"
+
+    def test_value_levels_reported(self):
+        problem = patients_problem()
+        result = UnrestrictedModel().anonymize(problem, 2)
+        levels = result.details["value_levels"]
+        assert set(levels) == set(problem.quasi_identifier)
+
+    def test_converges_on_hard_instance(self):
+        """All-distinct rows with k = rows: must coarsen everything."""
+        table = Table.from_columns({"a": ["p", "q", "r"], "b": ["1", "2", "3"]})
+        problem = PreparedTable(
+            table, {"a": SuppressionHierarchy(), "b": SuppressionHierarchy()}
+        )
+        result = UnrestrictedModel().anonymize(problem, 3)
+        assert len(set(result.table.to_rows())) == 1
+
+    def test_anonymous_input_untouched(self):
+        table = Table.from_columns({"a": ["x", "x", "y", "y"]})
+        problem = PreparedTable(table, {"a": SuppressionHierarchy()})
+        result = UnrestrictedModel().anonymize(problem, 2)
+        assert result.table.column("a").to_list() == ["x", "x", "y", "y"]

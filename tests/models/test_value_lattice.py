@@ -1,0 +1,94 @@
+"""Tests for the Figure 13 multi-attribute value generalization lattice."""
+
+import pytest
+
+from repro.core.problem import PreparedTable
+from repro.hierarchy import RoundingHierarchy, SuppressionHierarchy
+from repro.models.value_lattice import ValueLattice, ValueNode
+from repro.relational.table import Table
+
+
+def figure13_problem() -> PreparedTable:
+    """Sex × Zipcode over the Figure 2 domains."""
+    table = Table.from_columns(
+        {
+            "Sex": ["Male", "Female", "Male", "Female"],
+            "Zipcode": ["53715", "53710", "53706", "53703"],
+        }
+    )
+    return PreparedTable(
+        table,
+        {
+            "Sex": SuppressionHierarchy("Person"),
+            "Zipcode": RoundingHierarchy(5, height=2),
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def lattice() -> ValueLattice:
+    return ValueLattice(figure13_problem())
+
+
+class TestStructure:
+    def test_base_nodes_are_all_combinations(self, lattice):
+        assert sum(1 for _ in lattice.base_nodes()) == 2 * 4
+
+    def test_figure13_total_node_count(self, lattice):
+        # Figure 13 draws 2·4 + 1·4 + 2·2 + 1·2 + 2·1 + 1·1 = 21 nodes
+        assert lattice.size() == 21
+
+    def test_node_inference(self, lattice):
+        node = lattice.node(("Male", "5371*"))
+        assert node.levels == (0, 1)
+
+    def test_ambiguity_requires_levels(self):
+        # a hierarchy whose suppressed token collides with a base value
+        table = Table.from_columns({"a": ["*", "x"]})
+        problem = PreparedTable(table, {"a": SuppressionHierarchy("*")})
+        lattice = ValueLattice(problem)
+        with pytest.raises(ValueError, match="ambiguous"):
+            lattice.node(("*",))
+        assert lattice.node(("*",), levels=(1,)).levels == (1,)
+
+
+class TestPaperExample:
+    """Section 5.1.3's worked example around ⟨Male, 53715⟩ / ⟨Person, 5371*⟩."""
+
+    def test_direct_generalizations_of_male_53715(self, lattice):
+        node = lattice.node(("Male", "53715"))
+        gens = {str(g) for g in lattice.direct_generalizations(node)}
+        assert gens == {"<Person, 53715>", "<Male, 5371*>"}
+
+    def test_implied_generalizations_reach_top(self, lattice):
+        node = lattice.node(("Male", "53715"))
+        implied = {str(g) for g in lattice.implied_generalizations(node)}
+        assert "<Person, 537**>" in implied
+        assert "<Person, 5371*>" in implied
+        assert "<Male, 53710>" not in implied  # siblings are not reachable
+
+    def test_subgraph_rooted_at_person_5371star(self, lattice):
+        """The paper: "the subgraph rooted at ⟨Person, 5371*⟩ contains nodes
+        ⟨Person, 53715⟩, ⟨Person, 53710⟩, ⟨Male, 5371*⟩, ⟨Female, 5371*⟩,
+        ⟨Male, 53715⟩, ⟨Female, 53715⟩, ⟨Male, 53710⟩, and ⟨Female, 53710⟩."
+        """
+        root = lattice.node(("Person", "5371*"))
+        members = {str(node) for node in lattice.subgraph_rooted_at(root)}
+        assert members == {
+            "<Person, 53715>",
+            "<Person, 53710>",
+            "<Male, 5371*>",
+            "<Female, 5371*>",
+            "<Male, 53715>",
+            "<Female, 53715>",
+            "<Male, 53710>",
+            "<Female, 53710>",
+        }
+
+    def test_subgraph_of_base_node_is_empty(self, lattice):
+        node = lattice.node(("Male", "53715"))
+        assert lattice.subgraph_rooted_at(node) == set()
+
+    def test_top_subgraph_contains_everything_else(self, lattice):
+        top = lattice.node(("Person", "537**"))
+        assert len(lattice.subgraph_rooted_at(top)) == 21 - 1

@@ -1,0 +1,97 @@
+"""Property-based tests over whole algorithm runs."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.anonymity import check_k_anonymity, compute_frequency_set
+from repro.core.bottomup import bottom_up_search
+from repro.core.generalize import apply_generalization
+from repro.core.incognito import basic_incognito
+from repro.core.binary_search import samarati_binary_search
+from tests.conftest import make_random_problem
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), k=st.integers(1, 6))
+def test_incognito_result_set_is_upward_closed(seed, k):
+    """Every generalization of a solution is a solution (soundness shape)."""
+    problem = make_random_problem(seed)
+    result = basic_incognito(problem, k)
+    solutions = set(result.anonymous_nodes)
+    lattice = problem.lattice()
+    for node in solutions:
+        for upper in lattice.generalizations_of(node):
+            assert upper in solutions
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), k=st.integers(1, 6))
+def test_incognito_agrees_with_bottom_up(seed, k):
+    problem = make_random_problem(seed)
+    assert (
+        basic_incognito(problem, k).anonymous_nodes
+        == bottom_up_search(problem, k).anonymous_nodes
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), k=st.integers(1, 6))
+def test_every_solution_yields_anonymous_view(seed, k):
+    problem = make_random_problem(seed)
+    result = basic_incognito(problem, k)
+    for node in result.anonymous_nodes[:5]:
+        view = apply_generalization(problem, node)
+        assert check_k_anonymity(view.table, problem.quasi_identifier, k)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), k=st.integers(1, 6))
+def test_binary_search_member_of_complete_set(seed, k):
+    problem = make_random_problem(seed)
+    complete = set(basic_incognito(problem, k).anonymous_nodes)
+    single = samarati_binary_search(problem, k)
+    if complete:
+        assert single.anonymous_nodes[0] in complete
+    else:
+        assert not single.found
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_solution_count_monotone_in_k(seed):
+    """Raising k can only shrink the solution set."""
+    problem = make_random_problem(seed)
+    previous = None
+    for k in (1, 2, 4, 8):
+        solutions = set(basic_incognito(problem, k).anonymous_nodes)
+        if previous is not None:
+            assert solutions <= previous
+        previous = solutions
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), k=st.integers(2, 5), budget=st.integers(0, 10))
+def test_suppression_budget_monotone(seed, k, budget):
+    """A larger suppression budget can only grow the solution set."""
+    problem = make_random_problem(seed)
+    strict = set(basic_incognito(problem, k).anonymous_nodes)
+    relaxed = set(
+        basic_incognito(problem, k, max_suppression=budget).anonymous_nodes
+    )
+    assert strict <= relaxed
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10_000), k=st.integers(1, 6))
+def test_suppressed_view_is_anonymous_without_budget(seed, k):
+    """After dropping outliers, the view is plainly k-anonymous."""
+    problem = make_random_problem(seed)
+    budget = max(1, problem.num_rows // 5)
+    result = basic_incognito(problem, k, max_suppression=budget)
+    for node in result.anonymous_nodes[:3]:
+        view = apply_generalization(problem, node, k=k, max_suppression=budget)
+        assert check_k_anonymity(view.table, problem.quasi_identifier, k)
+        fs = compute_frequency_set(problem, node)
+        assert view.suppressed_rows == fs.rows_below(k)

@@ -1,0 +1,123 @@
+"""Property-based tests for hierarchy invariants."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.hierarchy import (
+    DateHierarchy,
+    RangeHierarchy,
+    RoundingHierarchy,
+    SuppressionHierarchy,
+    TaxonomyHierarchy,
+)
+
+
+@st.composite
+def hierarchy_and_domain(draw):
+    """A random hierarchy together with a valid base domain sample."""
+    shape = draw(st.sampled_from(["suppress", "round", "range", "date", "taxonomy"]))
+    if shape == "suppress":
+        hierarchy = SuppressionHierarchy(draw(st.sampled_from(["*", "ANY"])))
+        domain = draw(
+            st.lists(st.text("abcde", min_size=1, max_size=3),
+                     min_size=1, max_size=6, unique=True)
+        )
+    elif shape == "round":
+        digits = draw(st.integers(2, 4))
+        pool = draw(
+            st.lists(st.integers(0, 10 ** digits - 1),
+                     min_size=1, max_size=8, unique=True)
+        )
+        hierarchy = RoundingHierarchy(digits)
+        domain = [str(v).rjust(digits, "0") for v in pool]
+    elif shape == "range":
+        widths = draw(st.sampled_from([[2], [5, 10], [2, 4, 8], [3, 6]]))
+        hierarchy = RangeHierarchy(widths, suppress_top=draw(st.booleans()))
+        domain = draw(
+            st.lists(st.integers(-40, 120), min_size=1, max_size=8, unique=True)
+        )
+    elif shape == "date":
+        hierarchy = DateHierarchy()
+        days = draw(
+            st.lists(st.integers(0, 700), min_size=1, max_size=8, unique=True)
+        )
+        import datetime
+
+        start = datetime.date(2000, 1, 1)
+        domain = [
+            (start + datetime.timedelta(days=d)).isoformat() for d in days
+        ]
+    else:
+        num_leaves = draw(st.integers(2, 8))
+        leaves = [f"leaf{i}" for i in range(num_leaves)]
+        split = draw(st.integers(1, num_leaves - 1))
+        hierarchy = TaxonomyHierarchy.grouped(
+            {"left": leaves[:split], "right": leaves[split:]}
+        )
+        size = draw(st.integers(1, num_leaves))
+        domain = leaves[:size]
+    return hierarchy, domain
+
+
+@settings(max_examples=120, deadline=None)
+@given(data=hierarchy_and_domain())
+def test_level_zero_is_identity(data):
+    hierarchy, domain = data
+    for value in domain:
+        assert hierarchy.generalize(value, 0) == value
+
+
+@settings(max_examples=120, deadline=None)
+@given(data=hierarchy_and_domain())
+def test_monotone_coarsening(data):
+    """If two values coincide at level l, they coincide at every l' > l."""
+    hierarchy, domain = data
+    for level in range(hierarchy.height):
+        groups: dict = {}
+        for value in domain:
+            groups.setdefault(hierarchy.generalize(value, level), []).append(value)
+        for members in groups.values():
+            above = {hierarchy.generalize(v, level + 1) for v in members}
+            assert len(above) == 1
+
+
+@settings(max_examples=120, deadline=None)
+@given(data=hierarchy_and_domain())
+def test_compile_is_consistent_with_generalize(data):
+    hierarchy, domain = data
+    compiled = hierarchy.compile(domain)
+    for base_code, value in enumerate(domain):
+        for level in range(hierarchy.num_levels):
+            via_lookup = compiled.level_values(level)[
+                compiled.level_lookup(level)[base_code]
+            ]
+            assert via_lookup == hierarchy.generalize(value, level)
+
+
+@settings(max_examples=120, deadline=None)
+@given(data=hierarchy_and_domain())
+def test_mapping_between_composes(data):
+    hierarchy, domain = data
+    compiled = hierarchy.compile(domain)
+    height = compiled.height
+    for low in range(height + 1):
+        for high in range(low, height + 1):
+            direct = compiled.mapping_between(low, high)
+            # composing through any midpoint must agree
+            mid = (low + high) // 2
+            composed = compiled.mapping_between(mid, high)[
+                compiled.mapping_between(low, mid)
+            ]
+            assert direct.tolist() == composed.tolist()
+
+
+@settings(max_examples=120, deadline=None)
+@given(data=hierarchy_and_domain())
+def test_cardinalities_non_increasing(data):
+    hierarchy, domain = data
+    compiled = hierarchy.compile(domain)
+    cards = [compiled.cardinality(level) for level in range(compiled.num_levels)]
+    assert cards == sorted(cards, reverse=True)
+    assert cards[0] == len(domain)

@@ -1,0 +1,121 @@
+"""Property-based tests across the Section 5 model implementations."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.anonymity import check_k_anonymity
+from repro.core.problem import PreparedTable
+from repro.hierarchy import RangeHierarchy, SuppressionHierarchy
+from repro.models import (
+    CellGeneralizationModel,
+    CellSuppressionModel,
+    KOptimizeModel,
+    MondrianModel,
+    Partition1DModel,
+    SubtreeModel,
+    UnrestrictedMultiDimModel,
+)
+from repro.relational.groupby import group_by_count
+from repro.relational.table import Table
+
+
+@st.composite
+def numeric_problems(draw) -> PreparedTable:
+    """Small 2-attribute numeric tables with range/suppression hierarchies."""
+    num_rows = draw(st.integers(4, 24))
+    xs = draw(
+        st.lists(st.integers(0, 15), min_size=num_rows, max_size=num_rows)
+    )
+    ys = draw(
+        st.lists(st.integers(0, 7), min_size=num_rows, max_size=num_rows)
+    )
+    table = Table.from_columns({"x": xs, "y": ys})
+    return PreparedTable(
+        table,
+        {
+            "x": RangeHierarchy([2, 4, 8], suppress_top=True),
+            "y": SuppressionHierarchy(),
+        },
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(problem=numeric_problems(), k=st.integers(2, 4))
+def test_mondrian_classes_at_least_k(problem, k):
+    if k > problem.num_rows:
+        return
+    result = MondrianModel().anonymize(problem, k)
+    counts = group_by_count(result.table, list(problem.quasi_identifier)).counts
+    assert counts.min() >= k
+
+
+@settings(max_examples=30, deadline=None)
+@given(problem=numeric_problems(), k=st.integers(2, 4))
+def test_mondrian_classes_below_2k_when_splittable(problem, k):
+    """Strict Mondrian leaves no class that could still be median-split
+    into two >= k halves along a dimension with distinct values...
+    weaker check: partition count is maximal possible bound |T|/k."""
+    if k > problem.num_rows:
+        return
+    result = MondrianModel().anonymize(problem, k)
+    assert result.details["partitions"] <= problem.num_rows // k
+
+
+@settings(max_examples=25, deadline=None)
+@given(problem=numeric_problems(), k=st.integers(2, 3))
+def test_koptimize_never_worse_than_greedy_partition(problem, k):
+    """Optimal branch-and-bound cost <= the greedy coarsening's cost
+    (both score with the suppression-augmented discernibility)."""
+    from repro.models.koptimize import partition_cost
+    from repro.metrics import equivalence_class_sizes
+
+    if k > problem.num_rows:
+        return
+    optimal = KOptimizeModel(max_items=24).anonymize(problem, k)
+    greedy = Partition1DModel().anonymize(problem, k)
+    greedy_sizes = equivalence_class_sizes(
+        greedy.table, problem.quasi_identifier
+    )
+    greedy_cost = partition_cost(greedy_sizes, k, problem.num_rows)
+    assert optimal.details["cost"] <= greedy_cost
+
+
+@settings(max_examples=30, deadline=None)
+@given(problem=numeric_problems(), k=st.integers(2, 4))
+def test_local_models_k_anonymous(problem, k):
+    if k > problem.num_rows:
+        return
+    for model in (CellSuppressionModel(), CellGeneralizationModel()):
+        result = model.anonymize(problem, k)
+        assert check_k_anonymity(result.table, problem.quasi_identifier, k)
+
+
+@settings(max_examples=25, deadline=None)
+@given(problem=numeric_problems(), k=st.integers(2, 4))
+def test_subtree_cuts_cover_domains(problem, k):
+    if k > problem.num_rows:
+        return
+    result = SubtreeModel().anonymize(problem, k)
+    for name in problem.quasi_identifier:
+        recoded = result.table.column(name)
+        assert len(recoded) == problem.num_rows
+        # every original value maps somewhere (no NaNs/holes)
+        assert all(value is not None for value in recoded.values)
+
+
+@settings(max_examples=25, deadline=None)
+@given(problem=numeric_problems(), k=st.integers(2, 4))
+def test_multidim_only_coarsens(problem, k):
+    """Every output class is a union of input equivalence classes."""
+    if k > problem.num_rows:
+        return
+    result = UnrestrictedMultiDimModel().anonymize(problem, k)
+    original = problem.table.to_rows()
+    recoded = result.table.to_rows()
+    mapping: dict = {}
+    for source, target in zip(original, recoded):
+        assert mapping.setdefault(source, target) == target, (
+            "one base vector mapped to two different targets"
+        )

@@ -1,0 +1,142 @@
+"""Property-based tests for the paper's three theorems (Section 3).
+
+Hypothesis generates random tables, hierarchies, and lattice nodes, then
+checks:
+
+* **Generalization property** — if T is k-anonymous wrt P, it is
+  k-anonymous wrt any generalization Q of P.
+* **Rollup property** — the frequency set wrt Q equals the rollup of the
+  frequency set wrt P for any P ≤ Q.
+* **Subset property** — if T is k-anonymous wrt Q, it is k-anonymous wrt
+  every subset of Q.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.anonymity import compute_frequency_set
+from repro.core.problem import PreparedTable
+from repro.hierarchy import RoundingHierarchy, SuppressionHierarchy, TaxonomyHierarchy
+from repro.lattice.node import LatticeNode
+from repro.relational.table import Table
+
+
+@st.composite
+def problems(draw) -> PreparedTable:
+    """A random small PreparedTable with 2-3 mixed-shape hierarchies."""
+    num_attributes = draw(st.integers(2, 3))
+    num_rows = draw(st.integers(1, 30))
+    hierarchies = {}
+    columns = {}
+    for position in range(num_attributes):
+        name = f"q{position}"
+        shape = draw(st.sampled_from(["suppress", "round", "taxonomy"]))
+        if shape == "suppress":
+            domain = [f"s{i}" for i in range(draw(st.integers(1, 4)))]
+            hierarchies[name] = SuppressionHierarchy()
+        elif shape == "round":
+            digits = draw(st.integers(2, 3))
+            pool = draw(
+                st.lists(
+                    st.integers(0, 10 ** digits - 1),
+                    min_size=1, max_size=5, unique=True,
+                )
+            )
+            domain = [str(v).rjust(digits, "0") for v in pool]
+            hierarchies[name] = RoundingHierarchy(digits)
+        else:
+            leaves = [f"t{position}_{i}" for i in range(draw(st.integers(2, 5)))]
+            split = draw(st.integers(1, len(leaves) - 1))
+            hierarchies[name] = TaxonomyHierarchy.grouped(
+                {"g0": leaves[:split], "g1": leaves[split:]}
+            )
+            domain = leaves
+        columns[name] = [
+            domain[draw(st.integers(0, len(domain) - 1))] for _ in range(num_rows)
+        ]
+    return PreparedTable(Table.from_columns(columns), hierarchies)
+
+
+@st.composite
+def problem_and_node_pair(draw):
+    """A problem plus two comparable full-QI nodes (lower ≤ upper)."""
+    problem = draw(problems())
+    qi = problem.quasi_identifier
+    lower_levels = []
+    upper_levels = []
+    for name in qi:
+        height = problem.height(name)
+        low = draw(st.integers(0, height))
+        high = draw(st.integers(low, height))
+        lower_levels.append(low)
+        upper_levels.append(high)
+    return (
+        problem,
+        LatticeNode(qi, tuple(lower_levels)),
+        LatticeNode(qi, tuple(upper_levels)),
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=problem_and_node_pair(), k=st.integers(1, 5))
+def test_generalization_property(data, k):
+    problem, lower, upper = data
+    lower_fs = compute_frequency_set(problem, lower)
+    upper_fs = compute_frequency_set(problem, upper)
+    if lower_fs.is_k_anonymous(k):
+        assert upper_fs.is_k_anonymous(k)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=problem_and_node_pair())
+def test_rollup_property(data):
+    problem, lower, upper = data
+    rolled = compute_frequency_set(problem, lower).rollup(upper)
+    direct = compute_frequency_set(problem, upper)
+    assert rolled.as_dict() == direct.as_dict()
+
+
+@settings(max_examples=60, deadline=None)
+@given(problem=problems(), k=st.integers(1, 5), data=st.data())
+def test_subset_property(problem, k, data):
+    qi = problem.quasi_identifier
+    node = problem.bottom_node()
+    full_fs = compute_frequency_set(problem, node)
+    if not full_fs.is_k_anonymous(k):
+        return
+    subset_size = data.draw(st.integers(1, len(qi) - 1))
+    subset = data.draw(
+        st.lists(
+            st.sampled_from(list(qi)),
+            min_size=subset_size, max_size=subset_size, unique=True,
+        )
+    )
+    subset_fs = compute_frequency_set(problem, problem.bottom_node(subset))
+    assert subset_fs.is_k_anonymous(k)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=problem_and_node_pair())
+def test_counts_monotone_under_generalization(data):
+    """Generalizing never splits groups: group count shrinks, min grows."""
+    problem, lower, upper = data
+    lower_fs = compute_frequency_set(problem, lower)
+    upper_fs = compute_frequency_set(problem, upper)
+    assert upper_fs.num_groups <= lower_fs.num_groups
+    assert upper_fs.min_count() >= lower_fs.min_count()
+    assert upper_fs.total() == lower_fs.total()
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=problem_and_node_pair())
+def test_project_matches_direct_groupby(data):
+    """The data-cube direction: projection equals a fresh group-by."""
+    problem, lower, _ = data
+    qi = problem.quasi_identifier
+    full = compute_frequency_set(problem, lower)
+    subset = qi[:-1]
+    projected = full.project(subset)
+    direct = compute_frequency_set(problem, lower.subset(subset))
+    assert projected.as_dict() == direct.as_dict()

@@ -1,0 +1,151 @@
+"""Property-based tests for the relational substrate."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import given, settings
+
+from repro.relational.column import Column
+from repro.relational.groupby import group_by_count
+from repro.relational.join import hash_join
+from repro.relational.table import Table
+
+values = st.one_of(
+    st.integers(-50, 50), st.text(alphabet="abcxyz", max_size=3)
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(raw=st.lists(values, max_size=60))
+def test_column_round_trip(raw):
+    assert Column.from_values(raw).to_list() == raw
+
+
+@settings(max_examples=80, deadline=None)
+@given(raw=st.lists(values, max_size=60))
+def test_column_cardinality_is_distinct_count(raw):
+    assert Column.from_values(raw).cardinality == len(set(raw))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    raw=st.lists(values, min_size=1, max_size=40),
+    data=st.data(),
+)
+def test_take_then_tolist_matches_python(raw, data):
+    positions = data.draw(
+        st.lists(st.integers(0, len(raw) - 1), max_size=30)
+    )
+    column = Column.from_values(raw)
+    taken = column.take(np.asarray(positions, dtype=np.int64))
+    assert taken.to_list() == [raw[p] for p in positions]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=60
+    )
+)
+def test_group_by_count_matches_collections_counter(rows):
+    import collections
+
+    table = Table.from_rows(["a", "b"], rows)
+    if not rows:
+        assert group_by_count(table, ["a", "b"]).num_groups == 0
+        return
+    result = group_by_count(table, ["a", "b"]).as_dict()
+    assert result == dict(collections.Counter(rows))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    left_rows=st.lists(
+        st.tuples(st.integers(0, 4), st.integers(0, 9)), max_size=25
+    ),
+    right_rows=st.lists(
+        st.tuples(st.integers(0, 4), st.text(alphabet="pq", max_size=2)),
+        max_size=25,
+    ),
+)
+def test_hash_join_matches_nested_loops(left_rows, right_rows):
+    left = Table.from_rows(["k", "a"], left_rows)
+    right = Table.from_rows(["k", "b"], right_rows)
+    joined = sorted(
+        map(repr, hash_join(left, right, on=["k"]).iter_rows())
+    )
+    expected = sorted(
+        repr((lk, la, rb))
+        for lk, la in left_rows
+        for rk, rb in right_rows
+        if lk == rk
+    )
+    assert joined == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows=st.lists(st.tuples(values, values), max_size=40))
+def test_concat_preserves_multiset(rows):
+    table = Table.from_rows(["a", "b"], rows)
+    doubled = table.concat(table)
+    assert doubled.num_rows == 2 * len(rows)
+    assert sorted(map(repr, doubled.iter_rows())) == sorted(
+        map(repr, rows + rows)
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows=st.lists(st.tuples(values, values), max_size=40))
+def test_distinct_is_set_semantics(rows):
+    table = Table.from_rows(["a", "b"], rows)
+    assert sorted(map(repr, table.distinct().iter_rows())) == sorted(
+        map(repr, set(rows))
+    )
+
+
+@settings(max_examples=50, deadline=None)
+@given(rows=st.lists(st.tuples(st.integers(0, 9), values), max_size=40))
+def test_sort_by_matches_python_sorted(rows):
+    table = Table.from_rows(["k", "v"], rows)
+    result = [row[0] for row in table.sort_by(["k"]).iter_rows()]
+    assert result == sorted(row[0] for row in rows)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(st.integers(0, 4), st.integers(-20, 20)),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_aggregate_matches_python(rows):
+    """SUM/MIN/MAX/MEAN/COUNT agree with a hand-rolled group-by."""
+    from collections import defaultdict
+
+    from repro.relational.aggregate import aggregate
+
+    table = Table.from_rows(["g", "v"], rows)
+    grouped: dict[int, list[int]] = defaultdict(list)
+    for g, v in rows:
+        grouped[g].append(v)
+
+    result = aggregate(
+        table, ["g"], {"v": "sum"}
+    )
+    assert dict(result.iter_rows()) == {
+        g: sum(vs) for g, vs in grouped.items()
+    }
+    assert dict(aggregate(table, ["g"], {"v": "min"}).iter_rows()) == {
+        g: min(vs) for g, vs in grouped.items()
+    }
+    assert dict(aggregate(table, ["g"], {"v": "max"}).iter_rows()) == {
+        g: max(vs) for g, vs in grouped.items()
+    }
+    assert dict(aggregate(table, ["g"], {"v": "count"}).iter_rows()) == {
+        g: len(vs) for g, vs in grouped.items()
+    }
+    means = dict(aggregate(table, ["g"], {"v": "mean"}).iter_rows())
+    for g, vs in grouped.items():
+        assert abs(means[g] - sum(vs) / len(vs)) < 1e-9

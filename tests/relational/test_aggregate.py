@@ -1,0 +1,97 @@
+"""Tests for general grouped aggregation."""
+
+import pytest
+
+from repro.relational.aggregate import aggregate
+from repro.relational.table import Table
+
+
+def sales() -> Table:
+    return Table.from_rows(
+        ["region", "product", "amount"],
+        [
+            ("east", "a", 10),
+            ("east", "a", 20),
+            ("east", "b", 5),
+            ("west", "a", 7),
+            ("west", "b", 3),
+            ("west", "b", 9),
+        ],
+    )
+
+
+class TestAggregate:
+    def test_sum(self):
+        result = aggregate(sales(), ["region"], {"amount": "sum"})
+        assert dict(result.iter_rows()) == {"east": 35, "west": 19}
+
+    def test_count(self):
+        result = aggregate(sales(), ["region"], {"amount": "count"})
+        assert dict(result.iter_rows()) == {"east": 3, "west": 3}
+
+    def test_min_max(self):
+        result = aggregate(
+            sales(), ["region"], {"amount": "min"}
+        )
+        assert dict(result.iter_rows()) == {"east": 5, "west": 3}
+        result = aggregate(sales(), ["region"], {"amount": "max"})
+        assert dict(result.iter_rows()) == {"east": 20, "west": 9}
+
+    def test_mean(self):
+        result = aggregate(sales(), ["product"], {"amount": "mean"})
+        values = dict(result.iter_rows())
+        assert values["a"] == pytest.approx(37 / 3)
+        assert values["b"] == pytest.approx(17 / 3)
+
+    def test_multi_key_grouping(self):
+        result = aggregate(sales(), ["region", "product"], {"amount": "sum"})
+        assert result.num_rows == 4
+        as_map = {(r, p): s for r, p, s in result.iter_rows()}
+        assert as_map[("east", "a")] == 30
+        assert as_map[("west", "b")] == 12
+
+    def test_output_column_names(self):
+        result = aggregate(sales(), ["region"], {"amount": "sum"})
+        assert result.schema.names == ("region", "sum_amount")
+
+    def test_multiple_aggregates(self):
+        result = aggregate(
+            sales(), ["region"], {"amount": "sum", "product": "count"}
+        )
+        assert set(result.schema.names) == {"region", "sum_amount", "count_product"}
+
+    def test_empty_table(self):
+        empty = Table.from_rows(["a", "b"], [])
+        result = aggregate(empty, ["a"], {"b": "sum"})
+        assert result.num_rows == 0
+        assert result.schema.names == ("a", "sum_b")
+
+    def test_count_on_non_numeric(self):
+        result = aggregate(sales(), ["region"], {"product": "count"})
+        assert dict(result.iter_rows()) == {"east": 3, "west": 3}
+
+    def test_numeric_aggregate_on_strings_rejected(self):
+        with pytest.raises(ValueError, match="numeric"):
+            aggregate(sales(), ["region"], {"product": "sum"})
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            aggregate(sales(), ["region"], {"amount": "median"})
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(KeyError):
+            aggregate(sales(), ["region"], {"nope": "sum"})
+
+    def test_empty_group_by_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            aggregate(sales(), [], {"amount": "sum"})
+
+    def test_counts_match_frequency_set_semantics(self):
+        """COUNT here must agree with the frequency-set group-by engine."""
+        from repro.relational.groupby import group_by_count
+
+        table = sales()
+        counts = aggregate(table, ["region", "product"], {"amount": "count"})
+        frequency = group_by_count(table, ["region", "product"]).as_dict()
+        for region, product, count in counts.iter_rows():
+            assert frequency[(region, product)] == count

@@ -1,0 +1,63 @@
+"""Tests for repro.relational.csvio."""
+
+import pytest
+
+from repro.relational.csvio import read_csv, rows_to_csv_text, write_csv
+from repro.relational.schema import ColumnSpec, ColumnType, Schema
+from repro.relational.table import Table
+
+
+def test_write_read_round_trip(tmp_path):
+    table = Table.from_rows(["a", "b"], [("x", "1"), ("y", "2")])
+    path = tmp_path / "t.csv"
+    write_csv(table, path)
+    assert read_csv(path) == table
+
+
+def test_read_with_typed_schema(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("n,s\n1,x\n2,y\n")
+    schema = Schema.of(ColumnSpec("n", ColumnType.INT), "s")
+    table = read_csv(path, schema)
+    assert table.column("n").to_list() == [1, 2]
+
+
+def test_read_header_mismatch(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("a,b\n1,2\n")
+    with pytest.raises(ValueError, match="header"):
+        read_csv(path, Schema.of("x", "y"))
+
+
+def test_read_wrong_field_count(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("a,b\n1\n")
+    with pytest.raises(ValueError, match="expected 2 fields"):
+        read_csv(path)
+
+
+def test_read_empty_file(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        read_csv(path)
+
+
+def test_read_header_only(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("a,b\n")
+    table = read_csv(path)
+    assert table.num_rows == 0
+    assert table.schema.names == ("a", "b")
+
+
+def test_custom_delimiter(tmp_path):
+    path = tmp_path / "t.tsv"
+    path.write_text("a\tb\nx\ty\n")
+    table = read_csv(path, delimiter="\t")
+    assert table.row(0) == ("x", "y")
+
+
+def test_rows_to_csv_text():
+    text = rows_to_csv_text(["a", "b"], [(1, 2)])
+    assert text.splitlines() == ["a,b", "1,2"]

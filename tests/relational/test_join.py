@@ -1,0 +1,82 @@
+"""Tests for repro.relational.join."""
+
+import pytest
+
+from repro.relational.join import hash_join, semi_join
+from repro.relational.table import Table
+
+
+def left() -> Table:
+    return Table.from_rows(
+        ["k", "a"], [(1, "x"), (2, "y"), (2, "z"), (3, "w")]
+    )
+
+
+def right() -> Table:
+    return Table.from_rows(["k", "b"], [(2, "p"), (2, "q"), (4, "r")])
+
+
+class TestHashJoin:
+    def test_inner_join_matches(self):
+        joined = hash_join(left(), right(), on=["k"])
+        assert joined.schema.names == ("k", "a", "b")
+        assert sorted(joined.to_rows()) == [
+            (2, "y", "p"),
+            (2, "y", "q"),
+            (2, "z", "p"),
+            (2, "z", "q"),
+        ]
+
+    def test_no_matches_gives_empty(self):
+        other = Table.from_rows(["k", "b"], [(99, "p")])
+        assert hash_join(left(), other, on=["k"]).num_rows == 0
+
+    def test_multi_key_join(self):
+        a = Table.from_rows(["x", "y", "v"], [(1, 1, "a"), (1, 2, "b")])
+        b = Table.from_rows(["x", "y", "w"], [(1, 2, "c")])
+        joined = hash_join(a, b, on=["x", "y"])
+        assert joined.to_rows() == [(1, 2, "b", "c")]
+
+    def test_collision_suffix(self):
+        a = Table.from_rows(["k", "v"], [(1, "a")])
+        b = Table.from_rows(["k", "v"], [(1, "b")])
+        joined = hash_join(a, b, on=["k"])
+        assert joined.schema.names == ("k", "v", "v_right")
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            hash_join(left(), right(), on=["nope"])
+
+    def test_figure1_attack_join(self):
+        """The paper's Figure 1: voters ⋈ patients identifies Andre."""
+        voters = Table.from_rows(
+            ["Name", "Birthdate", "Sex", "Zipcode"],
+            [
+                ("Andre", "1/21/76", "Male", "53715"),
+                ("Beth", "1/10/81", "Female", "55410"),
+            ],
+        )
+        patients = Table.from_rows(
+            ["Birthdate", "Sex", "Zipcode", "Disease"],
+            [
+                ("1/21/76", "Male", "53715", "Flu"),
+                ("4/13/86", "Female", "53715", "Hepatitis"),
+            ],
+        )
+        joined = hash_join(voters, patients, on=["Birthdate", "Sex", "Zipcode"])
+        assert joined.to_rows() == [("Andre", "1/21/76", "Male", "53715", "Flu")]
+
+    def test_duplicates_cross_product(self):
+        a = Table.from_rows(["k"], [(1,), (1,)])
+        b = Table.from_rows(["k", "v"], [(1, "x"), (1, "y")])
+        assert hash_join(a, b, on=["k"]).num_rows == 4
+
+
+class TestSemiJoin:
+    def test_keeps_matching_rows_once(self):
+        result = semi_join(left(), right(), on=["k"])
+        assert sorted(result.to_rows()) == [(2, "y"), (2, "z")]
+
+    def test_empty_right(self):
+        empty = Table.from_rows(["k", "b"], [])
+        assert semi_join(left(), empty, on=["k"]).num_rows == 0

@@ -1,0 +1,91 @@
+"""Tests for repro.relational.schema."""
+
+import pytest
+
+from repro.relational.schema import ColumnSpec, ColumnType, Schema, SchemaError
+
+
+class TestColumnType:
+    def test_parse_int(self):
+        assert ColumnType.INT.parse("42") == 42
+
+    def test_parse_float(self):
+        assert ColumnType.FLOAT.parse("2.5") == 2.5
+
+    def test_parse_string_identity(self):
+        assert ColumnType.STRING.parse("abc") == "abc"
+
+    def test_parse_int_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            ColumnType.INT.parse("abc")
+
+
+class TestColumnSpec:
+    def test_default_type_is_string(self):
+        assert ColumnSpec("name").type is ColumnType.STRING
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnSpec("")
+
+    def test_specs_are_value_objects(self):
+        assert ColumnSpec("a") == ColumnSpec("a")
+        assert ColumnSpec("a") != ColumnSpec("b")
+
+
+class TestSchema:
+    def test_of_builds_from_names(self):
+        schema = Schema.of("a", "b")
+        assert schema.names == ("a", "b")
+
+    def test_of_mixes_names_and_specs(self):
+        schema = Schema.of("a", ColumnSpec("n", ColumnType.INT))
+        assert schema.spec("n").type is ColumnType.INT
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a", "a")
+
+    def test_len_and_iter(self):
+        schema = Schema.of("a", "b", "c")
+        assert len(schema) == 3
+        assert [spec.name for spec in schema] == ["a", "b", "c"]
+
+    def test_contains(self):
+        schema = Schema.of("a", "b")
+        assert "a" in schema
+        assert "z" not in schema
+
+    def test_position(self):
+        schema = Schema.of("a", "b", "c")
+        assert schema.position("b") == 1
+
+    def test_position_missing_raises_with_context(self):
+        schema = Schema.of("a")
+        with pytest.raises(SchemaError, match="no column 'zz'"):
+            schema.position("zz")
+
+    def test_project_preserves_order_given(self):
+        schema = Schema.of("a", "b", "c")
+        projected = schema.project(["c", "a"])
+        assert projected.names == ("c", "a")
+
+    def test_project_missing_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a").project(["b"])
+
+    def test_rename_partial(self):
+        schema = Schema.of("a", "b").rename({"a": "x"})
+        assert schema.names == ("x", "b")
+
+    def test_rename_keeps_types(self):
+        schema = Schema.of(ColumnSpec("a", ColumnType.INT)).rename({"a": "x"})
+        assert schema.spec("x").type is ColumnType.INT
+
+    def test_concat(self):
+        schema = Schema.of("a").concat(Schema.of("b"))
+        assert schema.names == ("a", "b")
+
+    def test_concat_duplicate_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a").concat(Schema.of("a"))

@@ -1,0 +1,158 @@
+"""Tests for repro.relational.table."""
+
+import numpy as np
+import pytest
+
+from repro.relational.column import Column
+from repro.relational.schema import ColumnSpec, ColumnType, Schema
+from repro.relational.table import Table, infer_spec
+
+
+def small() -> Table:
+    return Table.from_rows(
+        ["name", "city"],
+        [("ann", "nyc"), ("bob", "sfo"), ("cat", "nyc")],
+    )
+
+
+class TestConstruction:
+    def test_from_rows_round_trip(self):
+        table = small()
+        assert table.to_rows() == [("ann", "nyc"), ("bob", "sfo"), ("cat", "nyc")]
+
+    def test_from_rows_with_schema(self):
+        schema = Schema.of(ColumnSpec("n", ColumnType.INT))
+        table = Table.from_rows(schema, [(1,), (2,)])
+        assert table.column("n").to_list() == [1, 2]
+
+    def test_from_rows_wrong_width_rejected(self):
+        with pytest.raises(ValueError, match="fields"):
+            Table.from_rows(["a", "b"], [(1,)])
+
+    def test_from_columns(self):
+        table = Table.from_columns({"a": [1, 2], "b": ["x", "y"]})
+        assert table.schema.names == ("a", "b")
+        assert table.row(1) == (2, "y")
+
+    def test_empty(self):
+        table = Table.empty(Schema.of("a"))
+        assert table.num_rows == 0
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError, match="ragged"):
+            Table(
+                Schema.of("a", "b"),
+                [Column.from_values([1]), Column.from_values([1, 2])],
+            )
+
+    def test_schema_column_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Table(Schema.of("a", "b"), [Column.from_values([1])])
+
+
+class TestAccess:
+    def test_row_negative_index(self):
+        assert small().row(-1) == ("cat", "nyc")
+
+    def test_row_out_of_range(self):
+        with pytest.raises(IndexError):
+            small().row(3)
+
+    def test_len(self):
+        assert len(small()) == 3
+
+    def test_column_missing(self):
+        with pytest.raises(KeyError):
+            small().column("nope")
+
+    def test_multiset_equality_ignores_row_order(self):
+        left = small()
+        right = Table.from_rows(
+            ["name", "city"],
+            [("cat", "nyc"), ("ann", "nyc"), ("bob", "sfo")],
+        )
+        assert left == right
+
+    def test_multiset_equality_respects_duplicates(self):
+        left = Table.from_rows(["a"], [(1,), (1,)])
+        right = Table.from_rows(["a"], [(1,), (2,)])
+        assert left != right
+
+    def test_pretty_contains_header_and_rows(self):
+        text = small().pretty()
+        assert "name" in text and "ann" in text
+
+    def test_pretty_truncates(self):
+        table = Table.from_rows(["a"], [(i,) for i in range(30)])
+        assert "30 rows total" in table.pretty(limit=5)
+
+
+class TestOperations:
+    def test_project(self):
+        projected = small().project(["city"])
+        assert projected.to_rows() == [("nyc",), ("sfo",), ("nyc",)]
+
+    def test_project_keeps_duplicates(self):
+        assert small().project(["city"]).num_rows == 3
+
+    def test_select(self):
+        selected = small().select(lambda row: row[1] == "nyc")
+        assert selected.num_rows == 2
+
+    def test_take(self):
+        taken = small().take(np.array([2, 0]))
+        assert taken.to_rows() == [("cat", "nyc"), ("ann", "nyc")]
+
+    def test_with_column(self):
+        table = small().with_column("age", Column.from_values([1, 2, 3]))
+        assert table.schema.names == ("name", "city", "age")
+
+    def test_with_column_length_mismatch(self):
+        with pytest.raises(ValueError):
+            small().with_column("age", Column.from_values([1]))
+
+    def test_replace_column(self):
+        table = small().replace_column("city", Column.constant("*", 3))
+        assert table.column("city").to_list() == ["*", "*", "*"]
+
+    def test_replace_column_length_mismatch(self):
+        with pytest.raises(ValueError):
+            small().replace_column("city", Column.from_values(["x"]))
+
+    def test_rename(self):
+        assert small().rename({"name": "who"}).schema.names == ("who", "city")
+
+    def test_concat(self):
+        doubled = small().concat(small())
+        assert doubled.num_rows == 6
+
+    def test_concat_schema_mismatch(self):
+        with pytest.raises(ValueError, match="mismatch"):
+            small().concat(Table.from_rows(["x", "y"], [(1, 2)]))
+
+    def test_distinct(self):
+        table = Table.from_rows(["a"], [(1,), (1,), (2,)])
+        assert table.distinct().to_rows() == [(1,), (2,)]
+
+    def test_sort_by(self):
+        table = small().sort_by(["name"])
+        assert [row[0] for row in table.to_rows()] == ["ann", "bob", "cat"]
+
+    def test_sort_by_is_stable(self):
+        table = Table.from_rows(["k", "v"], [(1, "b"), (0, "x"), (1, "a")])
+        sorted_table = table.sort_by(["k"])
+        assert sorted_table.to_rows() == [(0, "x"), (1, "b"), (1, "a")]
+
+
+class TestInferSpec:
+    def test_int(self):
+        assert infer_spec("a", [1, 2]).type is ColumnType.INT
+
+    def test_float_wins(self):
+        assert infer_spec("a", [1, 2.5]).type is ColumnType.FLOAT
+
+    def test_string_wins(self):
+        assert infer_spec("a", [1, "x"]).type is ColumnType.STRING
+
+    def test_bool_treated_as_string(self):
+        assert infer_spec("a", [True]).type is ColumnType.STRING

@@ -1,0 +1,80 @@
+"""Integration smoke tests: every example script runs end to end.
+
+Each example is executed in-process (``runpy``) with miniature arguments
+so the whole module stays fast; stdout is captured and spot-checked for
+the example's headline output.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(
+    capsys, monkeypatch, name: str, *argv: str
+) -> str:
+    monkeypatch.setattr(sys, "argv", [name, *argv])
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys, monkeypatch):
+        out = run_example(capsys, monkeypatch, "quickstart.py")
+        assert "All 5 two-anonymous generalizations" in out
+        assert "Independent 2-anonymity check: PASS" in out
+
+    def test_joining_attack(self, capsys, monkeypatch):
+        out = run_example(capsys, monkeypatch, "joining_attack.py")
+        assert "Andre" in out
+        assert "no longer identifies anyone uniquely" in out
+
+    def test_census_release(self, capsys, monkeypatch):
+        out = run_example(capsys, monkeypatch, "census_release.py", "1000", "3")
+        assert "basic-incognito" in out
+        assert "independent check: PASS" in out
+
+    def test_retail_pos(self, capsys, monkeypatch):
+        out = run_example(capsys, monkeypatch, "retail_pos.py", "5000", "5")
+        assert "suppression budget" in out
+        assert "Sample of the released transactions" in out
+
+    def test_model_zoo(self, capsys, monkeypatch):
+        out = run_example(capsys, monkeypatch, "model_zoo.py", "400", "3")
+        assert "mondrian" in out
+        assert "cell-generalization" in out
+        assert out.count("generalization/") >= 7
+
+    def test_future_work(self, capsys, monkeypatch):
+        out = run_example(capsys, monkeypatch, "future_work.py", "1500")
+        assert "materialized (waypoints)" in out
+        assert "same" in out  # chunked == in-memory solutions
+
+    def test_utility_analysis(self, capsys, monkeypatch):
+        out = run_example(capsys, monkeypatch, "utility_analysis.py", "1500", "5")
+        assert "height-minimal" in out
+        assert "education-weighted" in out
+
+
+class TestRunFiguresCli:
+    def test_nodes_artifact_miniature(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_ADULTS_ROWS", "400")
+        from repro.bench.run_figures import main
+
+        code = main(["nodes", "--out", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Bottom-Up" in out and "Incognito" in out
+        assert (tmp_path / "nodes_searched.txt").exists()
+
+    def test_unknown_artifact_rejected(self):
+        from repro.bench.run_figures import main
+
+        with pytest.raises(SystemExit):
+            main(["nope"])
