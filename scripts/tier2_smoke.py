@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Tier-2 smoke: run the CI-sized Figure-10 workload end to end and
+validate the emitted ``BENCH_incognito.json``.
+
+Exercises the whole stack — datasets, relational engine, all six search
+algorithms, the bench harness, trace spans, and the JSON export — then
+structurally validates the document and sanity-checks the counters the
+paper's evaluation depends on.
+
+Usage::
+
+    PYTHONPATH=src python scripts/tier2_smoke.py [--keep DIR]
+
+Exit status 0 on success, 1 with a problem listing otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.bench import run_figures
+from repro.bench.export import BENCH_FILENAME, validate_bench_document
+from repro.obs import read_json_lines
+
+
+def smoke(out_dir: Path) -> list[str]:
+    """Run the quick workload into ``out_dir``; return problems found."""
+    json_path = out_dir / BENCH_FILENAME
+    trace_path = out_dir / "trace.jsonl"
+    code = run_figures.main(
+        [
+            "--quick",
+            "--out", str(out_dir),
+            "--json", str(json_path),
+            "--trace", str(trace_path),
+        ]
+    )
+    if code != 0:
+        return [f"run_figures --quick exited {code}"]
+    if not json_path.exists():
+        return [f"{json_path} was not written"]
+
+    document = json.loads(json_path.read_text())
+    problems = [
+        f"schema: {error}" for error in validate_bench_document(document)
+    ]
+
+    runs = document.get("runs", [])
+    expected = len(run_figures.QUICK_QI_SIZES) * 6  # six Figure-10 algorithms
+    if len(runs) != expected:
+        problems.append(f"expected {expected} runs, got {len(runs)}")
+
+    for run in runs:
+        where = f"{run.get('algorithm')}@qid={run.get('x_value')}"
+        counters = run.get("counters", {})
+        if counters.get("nodes_checked", 0) <= 0:
+            problems.append(f"{where}: nodes_checked must be positive")
+        if run.get("solutions", -1) < 0:
+            problems.append(f"{where}: solutions must be non-negative")
+        # Every algorithm evaluates at least one frequency set somehow.
+        evaluations = (
+            counters.get("table_scans", 0)
+            + counters.get("rollups", 0)
+            + counters.get("projections", 0)
+        )
+        if evaluations <= 0:
+            problems.append(f"{where}: no frequency-set evaluations recorded")
+
+    basics = [r for r in runs if r["algorithm"] == "Basic Incognito"]
+    if not basics:
+        problems.append("no Basic Incognito runs in the document")
+    elif all(r["counters"]["rollups"] == 0 for r in basics):
+        problems.append("Basic Incognito never rolled up (rollup path dead?)")
+
+    spans = read_json_lines(trace_path.read_text().splitlines())
+    if not spans:
+        problems.append("--trace produced no spans")
+    else:
+        names = {span["name"] for span in spans}
+        for required in ("scan", "rollup", "groupby", "bench.run"):
+            if required not in names:
+                problems.append(f"trace has no {required!r} spans")
+        if max(span["depth"] for span in spans) < 2:
+            problems.append("trace spans never nested two levels deep")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--keep",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write artifacts to DIR and keep them (default: temp dir)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.keep is not None:
+        args.keep.mkdir(parents=True, exist_ok=True)
+        problems = smoke(args.keep)
+    else:
+        with tempfile.TemporaryDirectory(prefix="tier2_smoke_") as tmp:
+            problems = smoke(Path(tmp))
+
+    if problems:
+        print("tier-2 smoke FAILED:", file=sys.stderr)
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print("tier-2 smoke OK", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,188 @@
+"""Machine-readable benchmark export (``BENCH_incognito.json``).
+
+The text figures under ``results/`` are for humans; this module emits the
+same measurements as one JSON document so perf regressions are detectable
+by diffing trajectories across commits.  The document is self-describing
+(``schema_version``) and validated by :func:`validate_bench_document` — a
+dependency-free structural check used by the tier-2 smoke script
+(``scripts/tier2_smoke.py``) and the tests.
+
+Schema (version 1)::
+
+    {
+      "schema_version": 1,
+      "benchmark": "incognito",
+      "config": {"adults_rows": int, "landsend_rows": int, "quick": bool},
+      "runs": [
+        {
+          "figure":   "fig10" | "fig11" | "fig12" | "nodes",
+          "database": "adults" | "landsend",
+          "k":        int,
+          "x_name":   "qid_size" | "k",
+          "x_value":  number,
+          "algorithm": str,               # legend label
+          "elapsed_seconds":       float,
+          "cube_build_seconds":    float,
+          "anonymization_seconds": float, # elapsed - cube build
+          "solutions": int,
+          "counters": {                   # structural cost accounting —
+            "nodes_checked": int,         # identical to the legacy
+            "nodes_marked": int,          # SearchStats numbers
+            "nodes_generated": int,
+            "table_scans": int,
+            "rollups": int,
+            "projections": int,
+            "cube_build_scans": int,
+            "frequency_set_rows": int,
+            "rollup_source_rows": int,
+            "peak_frequency_set_rows": int
+          },
+          "raw_counters": {dotted-name: number, ...}   # full CounterSet dump
+        }, ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.bench.harness import MeasuredRun
+
+#: Current schema version of the exported document.
+SCHEMA_VERSION = 1
+
+#: Default file name of the exported document.
+BENCH_FILENAME = "BENCH_incognito.json"
+
+#: Required structural counters per run; all must be non-negative ints.
+COUNTER_FIELDS = (
+    "nodes_checked",
+    "nodes_marked",
+    "nodes_generated",
+    "table_scans",
+    "rollups",
+    "projections",
+    "cube_build_scans",
+    "frequency_set_rows",
+    "rollup_source_rows",
+    "peak_frequency_set_rows",
+)
+
+#: Required non-negative float fields per run.
+TIMING_FIELDS = ("elapsed_seconds", "cube_build_seconds")
+
+#: Required per-run fields beyond counters/timings.
+RUN_FIELDS = ("figure", "database", "k", "x_name", "x_value", "algorithm",
+              "solutions", "counters")
+
+
+def run_record(
+    figure: str,
+    database: str,
+    k: int,
+    x_name: str,
+    x_value: float,
+    run: MeasuredRun,
+) -> dict[str, Any]:
+    """One ``runs[]`` entry from a harness measurement."""
+    return {
+        "figure": figure,
+        "database": database,
+        "k": k,
+        "x_name": x_name,
+        "x_value": x_value,
+        "algorithm": run.algorithm,
+        "elapsed_seconds": run.elapsed_seconds,
+        "cube_build_seconds": run.cube_build_seconds,
+        "anonymization_seconds": run.anonymization_seconds,
+        "solutions": run.solutions,
+        "counters": {
+            "nodes_checked": run.nodes_checked,
+            "nodes_marked": run.nodes_marked,
+            "nodes_generated": run.nodes_generated,
+            "table_scans": run.table_scans,
+            "rollups": run.rollups,
+            "projections": run.projections,
+            "cube_build_scans": run.cube_build_scans,
+            "frequency_set_rows": run.frequency_set_rows,
+            "rollup_source_rows": run.rollup_source_rows,
+            "peak_frequency_set_rows": run.peak_frequency_set_rows,
+        },
+        "raw_counters": dict(run.counters),
+    }
+
+
+def bench_document(
+    runs: list[dict[str, Any]], config: dict[str, Any]
+) -> dict[str, Any]:
+    """Assemble the top-level document."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": "incognito",
+        "config": dict(config),
+        "runs": list(runs),
+    }
+
+
+def write_bench_json(path: str | Path, document: dict[str, Any]) -> Path:
+    """Validate and write ``document``; raises ValueError when malformed."""
+    errors = validate_bench_document(document)
+    if errors:
+        raise ValueError(
+            "refusing to write malformed bench document:\n  "
+            + "\n  ".join(errors)
+        )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def validate_bench_document(document: Any) -> list[str]:
+    """Structural validation; returns a list of problems (empty = valid).
+
+    Deliberately dependency-free (no jsonschema in the target environment);
+    checks presence and types of every field the trajectory tooling reads.
+    """
+    errors: list[str] = []
+    if not isinstance(document, dict):
+        return [f"document must be an object, got {type(document).__name__}"]
+    if document.get("schema_version") != SCHEMA_VERSION:
+        errors.append(
+            f"schema_version must be {SCHEMA_VERSION}, "
+            f"got {document.get('schema_version')!r}"
+        )
+    if document.get("benchmark") != "incognito":
+        errors.append(f"benchmark must be 'incognito', got {document.get('benchmark')!r}")
+    if not isinstance(document.get("config"), dict):
+        errors.append("config must be an object")
+    runs = document.get("runs")
+    if not isinstance(runs, list) or not runs:
+        errors.append("runs must be a non-empty array")
+        return errors
+    for index, run in enumerate(runs):
+        where = f"runs[{index}]"
+        if not isinstance(run, dict):
+            errors.append(f"{where} must be an object")
+            continue
+        for field in RUN_FIELDS:
+            if field not in run:
+                errors.append(f"{where} missing field {field!r}")
+        for field in TIMING_FIELDS:
+            value = run.get(field)
+            if not isinstance(value, (int, float)) or isinstance(value, bool) or value < 0:
+                errors.append(f"{where}.{field} must be a non-negative number")
+        counters = run.get("counters")
+        if not isinstance(counters, dict):
+            continue  # already reported missing above
+        for field in COUNTER_FIELDS:
+            value = counters.get(field)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                errors.append(
+                    f"{where}.counters.{field} must be a non-negative integer, "
+                    f"got {value!r}"
+                )
+    return errors

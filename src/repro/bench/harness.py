@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro import obs
 from repro.core.binary_search import samarati_binary_search
 from repro.core.bottomup import bottom_up_search
 from repro.core.cube import cube_incognito
@@ -38,7 +39,12 @@ EXTRA_ALGORITHMS: dict[str, Callable[..., AnonymizationResult]] = {
 
 @dataclass
 class MeasuredRun:
-    """One (algorithm, workload point) measurement."""
+    """One (algorithm, workload point) measurement.
+
+    Every field is taken from the *same* execution — the fastest of the
+    harness's repeats — so wall-clock, structural counters, and the cube
+    build split are mutually consistent (see :func:`run_algorithm`).
+    """
 
     algorithm: str
     elapsed_seconds: float
@@ -47,6 +53,15 @@ class MeasuredRun:
     rollups: int
     solutions: int
     cube_build_seconds: float = 0.0
+    projections: int = 0
+    nodes_marked: int = 0
+    nodes_generated: int = 0
+    cube_build_scans: int = 0
+    frequency_set_rows: int = 0
+    rollup_source_rows: int = 0
+    peak_frequency_set_rows: int = 0
+    #: full dotted-counter snapshot of the measured run (BENCH_*.json payload)
+    counters: dict = field(default_factory=dict)
 
     @property
     def anonymization_seconds(self) -> float:
@@ -70,6 +85,36 @@ class Series:
         return [run.elapsed_seconds for run in self.runs]
 
 
+def measured_run_from_result(
+    name: str, result: AnonymizationResult
+) -> MeasuredRun:
+    """Project one algorithm result onto a :class:`MeasuredRun`.
+
+    This is the single place the harness reads stats out of a result, so
+    every reported field — timings *and* counters — comes from the same
+    execution by construction.  (An earlier bug class here: best-of-repeats
+    wall-clock reported next to counters of a different repeat.)
+    """
+    stats = result.stats
+    return MeasuredRun(
+        algorithm=name,
+        elapsed_seconds=stats.elapsed_seconds,
+        nodes_checked=stats.nodes_checked,
+        table_scans=stats.table_scans,
+        rollups=stats.rollups,
+        solutions=len(result.anonymous_nodes),
+        cube_build_seconds=stats.cube_build_seconds,
+        projections=stats.projections,
+        nodes_marked=stats.nodes_marked,
+        nodes_generated=stats.nodes_generated,
+        cube_build_scans=stats.cube_build_scans,
+        frequency_set_rows=stats.frequency_set_rows,
+        rollup_source_rows=stats.rollup_source_rows,
+        peak_frequency_set_rows=stats.peak_frequency_set_rows,
+        counters=stats.as_dict(),
+    )
+
+
 def run_algorithm(
     name: str,
     problem: PreparedTable,
@@ -77,26 +122,22 @@ def run_algorithm(
     *,
     repeats: int = 1,
 ) -> MeasuredRun:
-    """Run one algorithm, keeping the fastest of ``repeats`` executions."""
+    """Run one algorithm, keeping the fastest of ``repeats`` executions.
+
+    All reported fields come from that single fastest run.
+    """
     try:
         algorithm = ALGORITHMS[name]
     except KeyError:
         algorithm = EXTRA_ALGORITHMS[name]
     best: AnonymizationResult | None = None
-    for _ in range(max(repeats, 1)):
-        result = algorithm(problem, k)
+    for repeat in range(max(repeats, 1)):
+        with obs.span("bench.run", algorithm=name, k=k, repeat=repeat):
+            result = algorithm(problem, k)
         if best is None or result.stats.elapsed_seconds < best.stats.elapsed_seconds:
             best = result
     assert best is not None
-    return MeasuredRun(
-        algorithm=name,
-        elapsed_seconds=best.stats.elapsed_seconds,
-        nodes_checked=best.stats.nodes_checked,
-        table_scans=best.stats.table_scans,
-        rollups=best.stats.rollups,
-        solutions=len(best.anonymous_nodes),
-        cube_build_seconds=best.stats.cube_build_seconds,
-    )
+    return measured_run_from_result(name, best)
 
 
 def format_series_table(

@@ -7,10 +7,22 @@ Usage::
     python -m repro.bench.run_figures fig11          # Figure 11 (2 panels)
     python -m repro.bench.run_figures fig12          # Figure 12 (2 panels)
     python -m repro.bench.run_figures nodes          # §4.2.1 nodes table
+    python -m repro.bench.run_figures --quick        # CI-sized Fig-10 slice
+
+Alongside the text figures, every invocation emits a machine-readable
+``BENCH_incognito.json`` (schema: :mod:`repro.bench.export`) so perf
+trajectories are diffable across commits.
+
+Observability flags:
+
+* ``--trace [FILE]`` — record :mod:`repro.obs` spans as JSON lines to FILE
+  (default stderr): per-iteration phases, scans, rollups, group-bys.
+* ``--profile`` — wrap the run in cProfile and print the top hotspots.
 
 Scale knobs: ``REPRO_ADULTS_ROWS`` (default 45,222) and
-``REPRO_LANDSEND_ROWS`` (default 200,000).  Output goes to stdout and, with
-``--out DIR``, to one text file per artifact.
+``REPRO_LANDSEND_ROWS`` (default 200,000); ``--quick`` overrides both with
+a small fixed workload.  Output goes to stdout and, with ``--out DIR``, to
+one text file per artifact (plus the JSON document).
 """
 
 from __future__ import annotations
@@ -19,7 +31,14 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.bench.harness import format_series_table
+from repro import obs
+from repro.bench.export import (
+    BENCH_FILENAME,
+    bench_document,
+    run_record,
+    write_bench_json,
+)
+from repro.bench.harness import Series, format_series_table
 from repro.bench.workloads import (
     adults_rows,
     figure10_sweep,
@@ -27,8 +46,14 @@ from repro.bench.workloads import (
     figure12_sweep,
     format_nodes_table,
     landsend_rows,
-    nodes_searched_table,
+    nodes_searched_runs,
 )
+
+#: The ``--quick`` workload: a CI-sized Figure 10 slice that still exercises
+#: every algorithm (Basic vs Cube counter parity is asserted downstream).
+QUICK_ROWS = 1_500
+QUICK_QI_SIZES = (3, 4)
+QUICK_K = 2
 
 
 def _progress(message: str) -> None:
@@ -43,12 +68,51 @@ def _emit(name: str, text: str, out_dir: Path | None) -> None:
         (out_dir / f"{name}.txt").write_text(text + "\n")
 
 
-def run_fig10(out_dir: Path | None) -> None:
+def _collect_series(
+    records: list[dict],
+    figure: str,
+    database: str,
+    x_name: str,
+    series: list[Series],
+    *,
+    k: int | None = None,
+) -> None:
+    """Append every measurement of ``series`` to the JSON record list."""
+    for line in series:
+        for x, run in zip(line.x_values, line.runs):
+            records.append(
+                run_record(
+                    figure,
+                    database,
+                    # Figure 11 sweeps k on the x axis; others fix it.
+                    k if k is not None else int(x),
+                    x_name,
+                    x,
+                    run,
+                )
+            )
+
+
+def run_fig10(
+    out_dir: Path | None,
+    records: list[dict],
+    *,
+    quick: bool = False,
+) -> None:
     from repro.bench.ascii_chart import format_series_chart
 
-    for database in ("adults", "landsend"):
-        for k in (2, 10):
-            series = figure10_sweep(database, k, progress=_progress)
+    databases = ("adults",) if quick else ("adults", "landsend")
+    ks = (QUICK_K,) if quick else (2, 10)
+    for database in databases:
+        for k in ks:
+            series = figure10_sweep(
+                database,
+                k,
+                qi_sizes=QUICK_QI_SIZES if quick else None,
+                rows=QUICK_ROWS if quick else None,
+                progress=_progress,
+            )
+            _collect_series(records, "fig10", database, "qid_size", series, k=k)
             title = (
                 f"Figure 10 — {database} database (k={k}): elapsed time vs "
                 f"quasi-identifier size"
@@ -58,20 +122,22 @@ def run_fig10(out_dir: Path | None) -> None:
             _emit(f"fig10_{database}_k{k}", text + "\n\n" + chart, out_dir)
 
 
-def run_fig11(out_dir: Path | None) -> None:
+def run_fig11(out_dir: Path | None, records: list[dict]) -> None:
     from repro.bench.ascii_chart import format_series_chart
 
     for database in ("adults", "landsend"):
         series = figure11_sweep(database, progress=_progress)
+        _collect_series(records, "fig11", database, "k", series)
         title = f"Figure 11 — {database} database: elapsed time vs k"
         text = format_series_table(title, "k", series)
         chart = format_series_chart(title, "k", series)
         _emit(f"fig11_{database}", text + "\n\n" + chart, out_dir)
 
 
-def run_fig12(out_dir: Path | None) -> None:
+def run_fig12(out_dir: Path | None, records: list[dict]) -> None:
     for database in ("adults", "landsend"):
         line = figure12_sweep(database, progress=_progress)
+        _collect_series(records, "fig12", database, "qid_size", [line], k=2)
         title = (
             f"Figure 12 — {database} database (k=2): Cube Incognito cost "
             f"breakdown vs quasi-identifier size"
@@ -91,31 +157,27 @@ def run_fig12(out_dir: Path | None) -> None:
         _emit(f"fig12_{database}", build + "\n\n" + anonymize, out_dir)
 
 
-def run_nodes(out_dir: Path | None) -> None:
-    rows = nodes_searched_table(progress=_progress)
+def run_nodes(out_dir: Path | None, records: list[dict]) -> None:
+    runs = nodes_searched_runs(progress=_progress)
+    for qi_size, bottom_up, incognito in runs:
+        for run in (bottom_up, incognito):
+            records.append(
+                run_record("nodes", "adults", 2, "qid_size", qi_size, run)
+            )
+    rows = [
+        (qi_size, bottom_up.nodes_checked, incognito.nodes_checked)
+        for qi_size, bottom_up, incognito in runs
+    ]
     title = (
         "Section 4.2.1 — nodes searched (Adults, k=2, varied QID size)\n"
     )
     _emit("nodes_searched", title + format_nodes_table(rows), out_dir)
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "artifact",
-        choices=["all", "fig10", "fig11", "fig12", "nodes"],
-        help="which figure/table to regenerate",
-    )
-    parser.add_argument(
-        "--out", type=Path, default=None, help="directory for text outputs"
-    )
-    args = parser.parse_args(argv)
-
-    print(
-        f"(rows: adults={adults_rows()}, landsend={landsend_rows()}; "
-        "set REPRO_ADULTS_ROWS / REPRO_LANDSEND_ROWS to rescale)\n",
-        file=sys.stderr,
-    )
+def _run_artifacts(args: argparse.Namespace, records: list[dict]) -> None:
+    if args.quick:
+        run_fig10(args.out, records, quick=True)
+        return
     runners = {
         "fig10": run_fig10,
         "fig11": run_fig11,
@@ -124,9 +186,101 @@ def main(argv: list[str] | None = None) -> int:
     }
     if args.artifact == "all":
         for runner in runners.values():
-            runner(args.out)
+            runner(args.out, records)
     else:
-        runners[args.artifact](args.out)
+        runners[args.artifact](args.out, records)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "artifact",
+        nargs="?",
+        default="all",
+        choices=["all", "fig10", "fig11", "fig12", "nodes"],
+        help="which figure/table to regenerate (default: all)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="directory for text outputs"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI-sized Figure 10 slice ({QUICK_ROWS} rows, "
+        f"QID {QUICK_QI_SIZES}, k={QUICK_K}) instead of the full sweeps",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=f"where to write the benchmark JSON "
+        f"(default: <--out dir or .>/{BENCH_FILENAME})",
+    )
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="record obs trace spans as JSON lines to FILE (default stderr)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run under cProfile and print the top hotspots to stderr",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        print(
+            f"(quick mode: adults rows={QUICK_ROWS}, "
+            f"qid={QUICK_QI_SIZES}, k={QUICK_K})\n",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            f"(rows: adults={adults_rows()}, landsend={landsend_rows()}; "
+            "set REPRO_ADULTS_ROWS / REPRO_LANDSEND_ROWS to rescale)\n",
+            file=sys.stderr,
+        )
+
+    records: list[dict] = []
+
+    trace_sink = None
+    if args.trace is not None:
+        if args.trace == "-":
+            trace_sink = obs.JsonLinesSink(sys.stderr)
+        else:
+            trace_sink = obs.JsonLinesSink.open(args.trace)
+    tracer = (
+        obs.Tracer(trace_sink) if trace_sink is not None
+        else obs.get_tracer()
+    )
+
+    try:
+        with obs.use_tracer(tracer):
+            if args.profile:
+                with obs.profile():
+                    _run_artifacts(args, records)
+            else:
+                _run_artifacts(args, records)
+    finally:
+        if trace_sink is not None:
+            trace_sink.close()
+
+    if records:
+        json_path = args.json
+        if json_path is None:
+            json_path = (args.out or Path(".")) / BENCH_FILENAME
+        config = {
+            "adults_rows": QUICK_ROWS if args.quick else adults_rows(),
+            "landsend_rows": 0 if args.quick else landsend_rows(),
+            "quick": bool(args.quick),
+            "artifact": "fig10" if args.quick else args.artifact,
+        }
+        written = write_bench_json(json_path, bench_document(records, config))
+        print(f"wrote {written} ({len(records)} runs)", file=sys.stderr)
     return 0
 
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 import os
 from typing import Callable, Sequence
 
-from repro.bench.harness import ALGORITHMS, Series, run_algorithm
+from repro.bench.harness import ALGORITHMS, MeasuredRun, Series, run_algorithm
 from repro.core.problem import PreparedTable
 from repro.datasets.adults import ADULTS_QI, adults_problem
 from repro.datasets.landsend import LANDSEND_QI, landsend_problem
@@ -160,6 +160,33 @@ def figure12_sweep(
     return line
 
 
+def nodes_searched_runs(
+    *,
+    k: int = 2,
+    qi_sizes: Sequence[int] = tuple(range(3, 10)),
+    rows: int | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> list[tuple[int, "MeasuredRun", "MeasuredRun"]]:
+    """Full measurements behind the Section 4.2.1 table.
+
+    Returns ``(qi_size, bottom_up_run, incognito_run)`` rows for the Adults
+    database at the given ``k`` — the JSON export needs the whole
+    measurement, not just the node counts.
+    """
+    table = []
+    for qi_size in qi_sizes:
+        problem = make_problem("adults", qi_size, rows=rows)
+        bottom_up = run_algorithm("Bottom-Up (w/ rollup)", problem, k)
+        incognito = run_algorithm("Basic Incognito", problem, k)
+        table.append((qi_size, bottom_up, incognito))
+        if progress is not None:
+            progress(
+                f"nodes[k={k}] qid={qi_size}: bottom-up "
+                f"{bottom_up.nodes_checked} vs incognito {incognito.nodes_checked}"
+            )
+    return table
+
+
 def nodes_searched_table(
     *,
     k: int = 2,
@@ -172,18 +199,12 @@ def nodes_searched_table(
     Returns ``(qi_size, bottom_up_nodes, incognito_nodes)`` rows for the
     Adults database at the given ``k``.
     """
-    table = []
-    for qi_size in qi_sizes:
-        problem = make_problem("adults", qi_size, rows=rows)
-        bottom_up = run_algorithm("Bottom-Up (w/ rollup)", problem, k)
-        incognito = run_algorithm("Basic Incognito", problem, k)
-        table.append((qi_size, bottom_up.nodes_checked, incognito.nodes_checked))
-        if progress is not None:
-            progress(
-                f"nodes[k={k}] qid={qi_size}: bottom-up "
-                f"{bottom_up.nodes_checked} vs incognito {incognito.nodes_checked}"
-            )
-    return table
+    return [
+        (qi_size, bottom_up.nodes_checked, incognito.nodes_checked)
+        for qi_size, bottom_up, incognito in nodes_searched_runs(
+            k=k, qi_sizes=qi_sizes, rows=rows, progress=progress
+        )
+    ]
 
 
 def format_nodes_table(rows: list[tuple[int, int, int]]) -> str:

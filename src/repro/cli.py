@@ -45,6 +45,7 @@ import sys
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro import obs
 from repro.attack.joining import joining_attack
 from repro.core.anonymity import check_k_anonymity
 from repro.core.binary_search import samarati_binary_search
@@ -229,6 +230,20 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Full-domain k-anonymization (Incognito reproduction)",
     )
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="FILE",
+        help="record obs trace spans (scans, rollups, group-bys, joins) as "
+        "JSON lines to FILE (default stderr)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run the command under cProfile and print the top hotspots",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     anonymize = commands.add_parser(
@@ -294,7 +309,26 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.run(args)
+
+    trace_sink = None
+    if args.trace is not None:
+        trace_sink = (
+            obs.JsonLinesSink(sys.stderr)
+            if args.trace == "-"
+            else obs.JsonLinesSink.open(args.trace)
+        )
+    tracer = (
+        obs.Tracer(trace_sink) if trace_sink is not None else obs.get_tracer()
+    )
+    try:
+        with obs.use_tracer(tracer):
+            if args.profile:
+                with obs.profile():
+                    return args.run(args)
+            return args.run(args)
+    finally:
+        if trace_sink is not None:
+            trace_sink.close()
 
 
 if __name__ == "__main__":

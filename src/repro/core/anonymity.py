@@ -22,6 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.problem import PreparedTable
 from repro.core.stats import SearchStats
 from repro.lattice.node import LatticeNode
@@ -86,9 +87,17 @@ class FrequencySet:
         threshold, a table counts as k-anonymous if removing all tuples in
         undersized groups stays within ``max_suppression`` rows (the paper's
         "up to a certain number of records may be completely excluded").
+
+        An *empty* relation is k-anonymous for every k (vacuous truth: the
+        definition quantifies over the rows, and there are none).  This also
+        covers the suppression case where the remainder after dropping all
+        undersized groups is empty.  Without the explicit check,
+        ``min_count() == 0`` on an empty set would wrongly fail every k.
         """
         if k <= 0:
             raise ValueError(f"k must be positive, got {k}")
+        if self.num_groups == 0:
+            return True
         if max_suppression == 0:
             return self.min_count() >= k
         return self.rows_below(k) <= max_suppression
@@ -182,14 +191,33 @@ def _regroup_weighted(
     if num_rows == 0:
         empty = np.empty((0, len(code_arrays)), dtype=CODE_DTYPE)
         return empty, np.empty(0, dtype=np.int64)
+    with obs.span("groupby", kind="weighted", rows=num_rows) as sp:
+        key_codes, counts = _regroup_weighted_nonempty(
+            code_arrays, radices, weights, sp
+        )
+    return key_codes, counts
+
+
+def _regroup_weighted_nonempty(
+    code_arrays: Sequence[np.ndarray],
+    radices: Sequence[int],
+    weights: np.ndarray,
+    sp,
+) -> tuple[np.ndarray, np.ndarray]:
+    from repro.relational.column import CODE_DTYPE
+
+    num_rows = code_arrays[0].shape[0]
 
     # Dense mixed-radix keying (same fast path as group_by_codes): combine
     # the key columns into one int64 per row, aggregate with bincount over
     # the inverse index, then decode the unique keys back to code columns.
+    # The cardinality product accumulates in a plain Python int — a numpy
+    # integer radix would silently wrap at int64 and could sneak a
+    # too-large key space past the limit check (see groupby._combine_codes).
     space = 1
     dense = True
     for radix in radices:
-        space *= max(radix, 1)
+        space *= max(int(radix), 1)
         if space > 1 << 62:
             dense = False
             break
@@ -209,6 +237,8 @@ def _regroup_weighted(
             radix = max(radices[position], 1)
             key_codes[:, position] = remaining % radix
             remaining //= radix
+        if sp:
+            sp.set(dense=True, groups=int(unique_keys.shape[0]))
         return key_codes, np.round(sums).astype(np.int64)
 
     stacked = np.column_stack(
@@ -218,6 +248,8 @@ def _regroup_weighted(
     sums = np.bincount(
         inverse, weights=weights.astype(np.float64), minlength=unique_rows.shape[0]
     )
+    if sp:
+        sp.set(dense=False, groups=int(unique_rows.shape[0]))
     return unique_rows.astype(CODE_DTYPE), np.round(sums).astype(np.int64)
 
 
@@ -253,6 +285,8 @@ def check_k_anonymity(
     from repro.relational.groupby import group_by_count
 
     if table.num_rows == 0:
+        # Same vacuous-truth semantics as FrequencySet.is_k_anonymous: an
+        # empty relation satisfies k-anonymity for every k.
         return True
     result = group_by_count(table, list(quasi_identifier))
     if max_suppression == 0:
@@ -262,7 +296,17 @@ def check_k_anonymity(
 
 
 class FrequencyEvaluator:
-    """Instrumented frequency-set factory shared by all algorithms."""
+    """Instrumented frequency-set factory shared by all algorithms.
+
+    Every frequency set the engine materialises flows through exactly one
+    of :meth:`scan`, :meth:`rollup`, or :meth:`project`, each of which
+
+    * updates the run's :class:`SearchStats` counters (the legacy view —
+      these remain the ground truth the bench figures report), and
+    * opens a same-named :mod:`repro.obs` trace span, so an enabled tracer
+      sees one ``scan`` / ``rollup`` / ``project`` span per frequency set,
+      with the underlying ``groupby`` work nested inside.
+    """
 
     def __init__(self, problem: PreparedTable, stats: SearchStats | None = None) -> None:
         self.problem = problem
@@ -270,24 +314,47 @@ class FrequencyEvaluator:
 
     def scan(self, node: LatticeNode) -> FrequencySet:
         """Compute from the base table (counted as a table scan)."""
-        result = compute_frequency_set(self.problem, node)
+        with obs.span("scan") as sp:
+            result = compute_frequency_set(self.problem, node)
+            if sp:
+                sp.set(
+                    node=str(node),
+                    rows_scanned=self.problem.num_rows,
+                    groups=result.num_groups,
+                )
         self.stats.table_scans += 1
-        self.stats.frequency_set_rows += result.num_groups
+        self.stats.note_frequency_set(result.num_groups)
         return result
 
     def rollup(self, source: FrequencySet, target: LatticeNode) -> FrequencySet:
         """Compute by rollup from ``source`` (counted as a rollup)."""
-        result = source.rollup(target)
+        with obs.span("rollup") as sp:
+            result = source.rollup(target)
+            if sp:
+                sp.set(
+                    source=str(source.node),
+                    target=str(target),
+                    source_rows=source.num_groups,
+                    groups=result.num_groups,
+                )
         self.stats.rollups += 1
-        self.stats.frequency_set_rows += result.num_groups
+        self.stats.note_frequency_set(result.num_groups)
         self.stats.rollup_source_rows += source.num_groups
         return result
 
     def project(self, source: FrequencySet, attributes: Sequence[str]) -> FrequencySet:
         """Compute by projecting attributes out (counted as a projection)."""
-        result = source.project(attributes)
+        with obs.span("project") as sp:
+            result = source.project(attributes)
+            if sp:
+                sp.set(
+                    source=str(source.node),
+                    attributes=",".join(attributes),
+                    source_rows=source.num_groups,
+                    groups=result.num_groups,
+                )
         self.stats.projections += 1
-        self.stats.frequency_set_rows += result.num_groups
+        self.stats.note_frequency_set(result.num_groups)
         return result
 
     def decide(

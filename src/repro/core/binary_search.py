@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import time
 
+from repro import obs
 from repro.core.anonymity import FrequencyEvaluator
 from repro.core.problem import PreparedTable
 from repro.core.result import AnonymizationResult, make_result
@@ -34,10 +35,17 @@ def _first_anonymous_at_height(
     k: int,
     max_suppression: int,
 ) -> LatticeNode | None:
-    for node in sorted(lattice.nodes_at_height(height), key=LatticeNode.sort_key):
-        frequency_set = evaluator.scan(node)
-        if evaluator.decide(node, frequency_set, k, max_suppression):
-            return node
+    with obs.span("binary_search.probe", height=height) as sp:
+        for node in sorted(
+            lattice.nodes_at_height(height), key=LatticeNode.sort_key
+        ):
+            frequency_set = evaluator.scan(node)
+            if evaluator.decide(node, frequency_set, k, max_suppression):
+                if sp:
+                    sp.set(found=str(node))
+                return node
+        if sp:
+            sp.set(found=None)
     return None
 
 

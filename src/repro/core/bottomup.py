@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import time
 
+from repro import obs
 from repro.core.anonymity import FrequencyEvaluator, FrequencySet
 from repro.core.problem import PreparedTable
 from repro.core.result import AnonymizationResult, make_result
@@ -48,26 +49,34 @@ def bottom_up_search(
 
     for height in range(lattice.max_height + 1):
         layer = lattice.nodes_at_height(height)
-        for node in sorted(layer, key=LatticeNode.sort_key):
-            if node in marked:
-                stats.nodes_marked += 1
-                anonymous.add(node)
-                marked.update(lattice.successors(node))
-                continue
-            if rollup and height > 0:
-                # Any direct specialization must have failed (else this node
-                # would be marked), so its frequency set is cached.
-                parent = next(
-                    p for p in lattice.predecessors(node) if p in freq_cache
-                )
-                frequency_set = evaluator.rollup(freq_cache[parent], node)
-            else:
-                frequency_set = evaluator.scan(node)
-            if evaluator.decide(node, frequency_set, k, max_suppression):
-                anonymous.add(node)
-                marked.update(lattice.successors(node))
-            else:
-                freq_cache[node] = frequency_set
+        # One span per lattice level: the trace shows how the exhaustive
+        # search's cost is distributed over heights.
+        with obs.span(
+            "bottomup.level", height=height, layer_size=len(layer)
+        ) as sp:
+            checked_before = stats.nodes_checked
+            for node in sorted(layer, key=LatticeNode.sort_key):
+                if node in marked:
+                    stats.nodes_marked += 1
+                    anonymous.add(node)
+                    marked.update(lattice.successors(node))
+                    continue
+                if rollup and height > 0:
+                    # Any direct specialization must have failed (else this
+                    # node would be marked), so its frequency set is cached.
+                    parent = next(
+                        p for p in lattice.predecessors(node) if p in freq_cache
+                    )
+                    frequency_set = evaluator.rollup(freq_cache[parent], node)
+                else:
+                    frequency_set = evaluator.scan(node)
+                if evaluator.decide(node, frequency_set, k, max_suppression):
+                    anonymous.add(node)
+                    marked.update(lattice.successors(node))
+                else:
+                    freq_cache[node] = frequency_set
+            if sp:
+                sp.set(nodes_checked=stats.nodes_checked - checked_before)
         if rollup:
             # Frequency sets two layers down can no longer be parents.
             stale = [n for n in freq_cache if n.height < height]

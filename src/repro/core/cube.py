@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import time
 
+from repro import obs
 from repro.core.anonymity import FrequencyEvaluator, FrequencySet
 from repro.core.incognito import RootProvider, run_incognito
 from repro.core.problem import PreparedTable
@@ -41,20 +42,24 @@ def build_zero_generalization_cube(
     started = time.perf_counter()
     scans_before = stats.table_scans
 
-    full_node = problem.bottom_node()
-    cube: dict[tuple[str, ...], FrequencySet] = {
-        qi: evaluator.scan(full_node)
-    }
-    # Derive all proper subsets, largest first, each from the superset that
-    # adds back the lowest-ranked missing attribute (always already built).
-    for size in range(len(qi) - 1, 0, -1):
-        for subset in _subsets_of_size(qi, size):
-            missing = next(name for name in qi if name not in subset)
-            parent_attrs = tuple(
-                name for name in qi if name in subset or name == missing
-            )
-            parent = cube[parent_attrs]
-            cube[subset] = evaluator.project(parent, subset)
+    with obs.span("cube.build", qi_size=len(qi)) as sp:
+        full_node = problem.bottom_node()
+        cube: dict[tuple[str, ...], FrequencySet] = {
+            qi: evaluator.scan(full_node)
+        }
+        # Derive all proper subsets, largest first, each from the superset
+        # that adds back the lowest-ranked missing attribute (always
+        # already built).
+        for size in range(len(qi) - 1, 0, -1):
+            for subset in _subsets_of_size(qi, size):
+                missing = next(name for name in qi if name not in subset)
+                parent_attrs = tuple(
+                    name for name in qi if name in subset or name == missing
+                )
+                parent = cube[parent_attrs]
+                cube[subset] = evaluator.project(parent, subset)
+        if sp:
+            sp.set(subsets=len(cube))
 
     stats.cube_build_scans += stats.table_scans - scans_before
     stats.cube_build_seconds += time.perf_counter() - started

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import time
 
+from repro import obs
 from repro.core.anonymity import FrequencyEvaluator
 from repro.core.problem import PreparedTable
 from repro.core.result import AnonymizationResult, make_result
@@ -44,8 +45,11 @@ def datafly(
     node = problem.bottom_node()
     trace: list[tuple[LatticeNode, int]] = []
     while True:
-        frequency_set = evaluator.scan(node)
-        outliers = frequency_set.rows_below(k)
+        with obs.span("datafly.step", node=str(node)) as sp:
+            frequency_set = evaluator.scan(node)
+            outliers = frequency_set.rows_below(k)
+            if sp:
+                sp.set(outliers=outliers)
         trace.append((node, outliers))
         if evaluator.decide(node, frequency_set, k, max_suppression):
             break

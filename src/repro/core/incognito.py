@@ -38,6 +38,7 @@ import itertools
 import time
 from typing import Callable, Sequence
 
+from repro import obs
 from repro.core.anonymity import FrequencyEvaluator, FrequencySet
 from repro.core.problem import PreparedTable
 from repro.core.result import AnonymizationResult, make_result
@@ -163,11 +164,29 @@ def run_incognito(
     graph = initial_graph(qi, problem.heights)
     survivors: Sequence[LatticeNode] = []
     for size in range(1, len(qi) + 1):
-        stats.nodes_generated += len(graph)
-        provider.prepare(evaluator, graph)
-        survivors = _search_graph(evaluator, graph, k, max_suppression, provider)
+        # One paper iteration = one a-priori subset size (lattice level of
+        # the outer search): its own phase span, so traces show where the
+        # scans and rollups of each subset size land.
+        with obs.span(
+            "incognito.iteration",
+            algorithm=algorithm,
+            subset_size=size,
+            candidates=len(graph),
+        ) as sp:
+            checked_before = stats.nodes_checked
+            stats.nodes_generated += len(graph)
+            provider.prepare(evaluator, graph)
+            survivors = _search_graph(
+                evaluator, graph, k, max_suppression, provider
+            )
+            if sp:
+                sp.set(
+                    survivors=len(survivors),
+                    nodes_checked=stats.nodes_checked - checked_before,
+                )
         if size < len(qi):
-            graph = graph_generation(survivors, graph, qi)
+            with obs.span("incognito.graph_generation", subset_size=size + 1):
+                graph = graph_generation(survivors, graph, qi)
     stats.elapsed_seconds = time.perf_counter() - started
 
     return make_result(

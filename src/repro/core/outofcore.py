@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.core.anonymity import FrequencyEvaluator, FrequencySet
 from repro.core.incognito import run_incognito
 from repro.core.problem import PreparedTable
@@ -116,11 +117,14 @@ class ChunkedEvaluator(FrequencyEvaluator):
         self.chunk_rows = chunk_rows
 
     def scan(self, node: LatticeNode) -> FrequencySet:
-        result = compute_frequency_set_chunked(
-            self.problem, node, chunk_rows=self.chunk_rows
-        )
+        with obs.span("scan", kind="chunked", chunk_rows=self.chunk_rows) as sp:
+            result = compute_frequency_set_chunked(
+                self.problem, node, chunk_rows=self.chunk_rows
+            )
+            if sp:
+                sp.set(node=str(node), groups=result.num_groups)
         self.stats.table_scans += 1
-        self.stats.frequency_set_rows += result.num_groups
+        self.stats.note_frequency_set(result.num_groups)
         return result
 
 
@@ -143,11 +147,14 @@ def chunked_incognito(
     # through the chunked path only needs a provider override.
     class _ChunkedScanProvider(incognito_module.RootProvider):
         def frequency_set(self, evaluator, node):
-            result = compute_frequency_set_chunked(
-                problem, node, chunk_rows=chunk_rows
-            )
+            with obs.span("scan", kind="chunked", chunk_rows=chunk_rows) as sp:
+                result = compute_frequency_set_chunked(
+                    problem, node, chunk_rows=chunk_rows
+                )
+                if sp:
+                    sp.set(node=str(node), groups=result.num_groups)
             evaluator.stats.table_scans += 1
-            evaluator.stats.frequency_set_rows += result.num_groups
+            evaluator.stats.note_frequency_set(result.num_groups)
             return result
 
     return run_incognito(

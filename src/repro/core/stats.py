@@ -6,43 +6,144 @@ algorithm evaluates (the Section 4.2.1 in-text table) and how often each
 touches the base data versus rolling up an existing frequency set.  All
 algorithms in this reproduction record both, through one shared
 :class:`SearchStats` object, so the numbers are directly comparable.
+
+Since the observability layer (:mod:`repro.obs`) landed, the numbers
+actually live in a hierarchical :class:`~repro.obs.counters.CounterSet`;
+``SearchStats`` is a thin, backward-compatible attribute view over it.
+``stats.table_scans += 1`` still works everywhere, but the same data is
+available as dotted counters (``stats.counters.total("frequency")``) and
+feeds the ``BENCH_*.json`` export without any copying.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.obs.counters import CounterSet
+
+#: SearchStats attribute → counter name, for the summed counters.
+_COUNTER_KEYS = {
+    "table_scans": "frequency.table_scans",
+    "rollups": "frequency.rollups",
+    "projections": "frequency.projections",
+    "nodes_checked": "nodes.checked",
+    "nodes_marked": "nodes.marked",
+    "nodes_generated": "nodes.generated",
+    "frequency_set_rows": "frequency.rows",
+    "rollup_source_rows": "frequency.rollup_source_rows",
+    "cube_build_scans": "cube.build_scans",
+    "cube_build_seconds": "cube.build_seconds",
+    "elapsed_seconds": "time.elapsed_seconds",
+}
+
+#: Attributes exposed as floats; everything else is coerced to int.
+_FLOAT_FIELDS = frozenset({"cube_build_seconds", "elapsed_seconds"})
+
+#: Counter-name prefix of the per-subset-size node-check histogram.
+_CHECKS_PREFIX = "nodes.checked_by_size."
+
+#: High-water mark: the largest single frequency set materialised.
+_PEAK_KEY = "frequency.peak_rows"
 
 
-@dataclass
+def _counter_view(field: str, key: str) -> property:
+    cast = float if field in _FLOAT_FIELDS else int
+
+    def fget(self: "SearchStats"):
+        return cast(self.counters.get(key, 0))
+
+    def fset(self: "SearchStats", value) -> None:
+        self.counters.set(key, cast(value))
+
+    return property(fget, fset, doc=f"View of counter {key!r}.")
+
+
 class SearchStats:
-    """Counters filled in by a single algorithm run."""
+    """Counters filled in by a single algorithm run.
 
-    #: frequency sets computed by scanning the base table
-    table_scans: int = 0
-    #: frequency sets computed by rolling up another frequency set
-    rollups: int = 0
-    #: frequency sets computed by projecting attributes out of another set
-    projections: int = 0
-    #: nodes whose k-anonymity was decided by evaluating a frequency set —
-    #: the paper's "number of nodes searched"
-    nodes_checked: int = 0
-    #: nodes skipped because the generalization property marked them
-    nodes_marked: int = 0
-    #: candidate nodes generated across all iterations (graph sizes)
-    nodes_generated: int = 0
-    #: total rows across all computed frequency sets (memory-pressure proxy)
-    frequency_set_rows: int = 0
-    #: total rows of the SOURCE sets fed into rollups (rollup-cost proxy —
-    #: a rollup re-aggregates its source, so cost scales with this)
-    rollup_source_rows: int = 0
-    #: scans attributable to the Cube pre-computation phase
-    cube_build_scans: int = 0
-    #: wall-clock seconds of the Cube pre-computation phase
-    cube_build_seconds: float = 0.0
-    #: wall-clock seconds of the whole run (filled by the caller/harness)
-    elapsed_seconds: float = 0.0
-    #: per-iteration node-check counts, keyed by subset size
-    checks_by_subset_size: dict[int, int] = field(default_factory=dict)
+    Semantics of the individual fields (unchanged from the original
+    dataclass):
+
+    * ``table_scans`` — frequency sets computed by scanning the base table
+    * ``rollups`` — frequency sets computed by rolling up another set
+    * ``projections`` — frequency sets computed by projecting attributes out
+    * ``nodes_checked`` — nodes decided by evaluating a frequency set (the
+      paper's "number of nodes searched")
+    * ``nodes_marked`` — nodes skipped via the generalization property
+    * ``nodes_generated`` — candidate nodes generated across all iterations
+    * ``frequency_set_rows`` — total rows across all computed frequency sets
+    * ``rollup_source_rows`` — total rows of the source sets fed to rollups
+    * ``cube_build_scans`` / ``cube_build_seconds`` — Cube pre-computation
+    * ``elapsed_seconds`` — whole-run wall clock (filled by the caller)
+    """
+
+    __slots__ = ("counters",)
+
+    def __init__(self, counters: CounterSet | None = None, **initial) -> None:
+        self.counters = counters if counters is not None else CounterSet()
+        for field, value in initial.items():
+            if field == "checks_by_subset_size":
+                for size, count in value.items():
+                    self.counters.set(f"{_CHECKS_PREFIX}{int(size)}", count)
+                continue
+            if field not in _COUNTER_KEYS and field != "peak_frequency_set_rows":
+                raise TypeError(f"SearchStats has no field {field!r}")
+            setattr(self, field, value)
+
+    # Summed counters, exposed as plain read/write attributes.
+    table_scans = _counter_view("table_scans", _COUNTER_KEYS["table_scans"])
+    rollups = _counter_view("rollups", _COUNTER_KEYS["rollups"])
+    projections = _counter_view("projections", _COUNTER_KEYS["projections"])
+    nodes_checked = _counter_view("nodes_checked", _COUNTER_KEYS["nodes_checked"])
+    nodes_marked = _counter_view("nodes_marked", _COUNTER_KEYS["nodes_marked"])
+    nodes_generated = _counter_view(
+        "nodes_generated", _COUNTER_KEYS["nodes_generated"]
+    )
+    frequency_set_rows = _counter_view(
+        "frequency_set_rows", _COUNTER_KEYS["frequency_set_rows"]
+    )
+    rollup_source_rows = _counter_view(
+        "rollup_source_rows", _COUNTER_KEYS["rollup_source_rows"]
+    )
+    cube_build_scans = _counter_view(
+        "cube_build_scans", _COUNTER_KEYS["cube_build_scans"]
+    )
+    cube_build_seconds = _counter_view(
+        "cube_build_seconds", _COUNTER_KEYS["cube_build_seconds"]
+    )
+    elapsed_seconds = _counter_view(
+        "elapsed_seconds", _COUNTER_KEYS["elapsed_seconds"]
+    )
+
+    @property
+    def peak_frequency_set_rows(self) -> int:
+        """Largest single frequency set materialised (memory high-water)."""
+        return int(self.counters.get(_PEAK_KEY, 0))
+
+    @peak_frequency_set_rows.setter
+    def peak_frequency_set_rows(self, value: int) -> None:
+        self.counters.note_max(_PEAK_KEY, int(value))
+
+    def note_frequency_set(self, num_groups: int) -> None:
+        """Account one materialised frequency set of ``num_groups`` rows."""
+        self.counters.incr(_COUNTER_KEYS["frequency_set_rows"], num_groups)
+        self.counters.note_max(_PEAK_KEY, num_groups)
+
+    @property
+    def checks_by_subset_size(self) -> dict[int, int]:
+        """Per-iteration node-check counts, keyed by subset size."""
+        out: dict[int, int] = {}
+        for name in self.counters:
+            if name.startswith(_CHECKS_PREFIX):
+                out[int(name[len(_CHECKS_PREFIX):])] = int(
+                    self.counters.get(name)
+                )
+        return out
+
+    @checks_by_subset_size.setter
+    def checks_by_subset_size(self, mapping: dict[int, int]) -> None:
+        for name in [n for n in self.counters if n.startswith(_CHECKS_PREFIX)]:
+            self.counters.remove(name)
+        for size, count in mapping.items():
+            self.counters.set(f"{_CHECKS_PREFIX}{int(size)}", count)
 
     @property
     def frequency_evaluations(self) -> int:
@@ -51,28 +152,20 @@ class SearchStats:
 
     def record_check(self, subset_size: int) -> None:
         """Count one node decision at the given attribute-subset size."""
-        self.nodes_checked += 1
-        self.checks_by_subset_size[subset_size] = (
-            self.checks_by_subset_size.get(subset_size, 0) + 1
-        )
+        self.counters.incr(_COUNTER_KEYS["nodes_checked"])
+        self.counters.incr(f"{_CHECKS_PREFIX}{subset_size}")
 
     def merge(self, other: "SearchStats") -> None:
-        """Accumulate ``other`` into this object (used by multi-phase runs)."""
-        self.table_scans += other.table_scans
-        self.rollups += other.rollups
-        self.projections += other.projections
-        self.nodes_checked += other.nodes_checked
-        self.nodes_marked += other.nodes_marked
-        self.nodes_generated += other.nodes_generated
-        self.frequency_set_rows += other.frequency_set_rows
-        self.rollup_source_rows += other.rollup_source_rows
-        self.cube_build_scans += other.cube_build_scans
-        self.cube_build_seconds += other.cube_build_seconds
-        self.elapsed_seconds += other.elapsed_seconds
-        for size, count in other.checks_by_subset_size.items():
-            self.checks_by_subset_size[size] = (
-                self.checks_by_subset_size.get(size, 0) + count
-            )
+        """Accumulate ``other`` into this object (used by multi-phase runs).
+
+        Summed counters add; high-water marks (peak frequency-set rows)
+        take the maximum of the two runs.
+        """
+        self.counters.merge(other.counters)
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat counter snapshot (the ``BENCH_*.json`` payload)."""
+        return self.counters.as_dict()
 
     def summary(self) -> str:
         return (
@@ -82,3 +175,11 @@ class SearchStats:
             f"generated={self.nodes_generated} "
             f"elapsed={self.elapsed_seconds:.3f}s"
         )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SearchStats):
+            return NotImplemented
+        return self.counters == other.counters
+
+    def __repr__(self) -> str:
+        return f"SearchStats({self.summary()})"

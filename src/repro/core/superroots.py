@@ -15,6 +15,7 @@ implement the greatest lower bound, matching the example.
 
 from __future__ import annotations
 
+from repro import obs
 from repro.core.anonymity import FrequencyEvaluator, FrequencySet
 from repro.core.incognito import RootProvider, run_incognito
 from repro.core.problem import PreparedTable
@@ -51,10 +52,15 @@ class SuperRootProvider(RootProvider):
         families: dict[tuple[str, ...], list[LatticeNode]] = {}
         for root in graph.roots():
             families.setdefault(root.attributes, []).append(root)
-        for attributes, roots in families.items():
-            if len(roots) <= 1:
-                continue  # a lone root gains nothing from a super-root
-            self._super_roots[attributes] = evaluator.scan(family_meet(roots))
+        with obs.span("superroots.prepare", families=len(families)) as sp:
+            for attributes, roots in families.items():
+                if len(roots) <= 1:
+                    continue  # a lone root gains nothing from a super-root
+                self._super_roots[attributes] = evaluator.scan(
+                    family_meet(roots)
+                )
+            if sp:
+                sp.set(super_roots=len(self._super_roots))
 
     def frequency_set(
         self, evaluator: FrequencyEvaluator, node: LatticeNode

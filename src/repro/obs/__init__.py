@@ -1,0 +1,109 @@
+"""``repro.obs`` — lightweight engine-wide observability.
+
+The paper's whole evaluation is cost accounting: how many lattice nodes each
+algorithm touches, and whether each evaluation scans the base table or rolls
+up an existing frequency set.  This package gives every layer of the engine
+one shared way to record that accounting:
+
+* **trace spans** (:mod:`repro.obs.trace`) — nestable, monotonic-timed
+  ``span("rollup", node=...)`` context managers;
+* **hierarchical counters** (:mod:`repro.obs.counters`) — dotted-name
+  counters with subtree aggregation (``SearchStats`` is a thin view over
+  one of these);
+* **pluggable sinks** (:mod:`repro.obs.sinks`) — no-op, in-memory, and
+  JSON-lines;
+* **profiling** (:mod:`repro.obs.profile`) — a ``cProfile`` hook that wraps
+  any algorithm run and dumps the top-N hotspots.
+
+The module-level tracer is *disabled* by default, and instrumented hot
+paths pay one function call when it is off.  Turn it on for a region::
+
+    from repro import obs
+    from repro.obs import InMemorySink, Tracer
+
+    tracer = Tracer(InMemorySink())
+    with obs.use_tracer(tracer):
+        basic_incognito(problem, k)
+    tracer.sink.count("scan")   # table scans, as spans
+
+or globally (the CLI's ``--trace`` does this)::
+
+    obs.set_tracer(Tracer(JsonLinesSink(sys.stderr)))
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.obs.counters import CounterSet
+from repro.obs.profile import profile, profile_call
+from repro.obs.sinks import (
+    InMemorySink,
+    JsonLinesSink,
+    NullSink,
+    Sink,
+    read_json_lines,
+)
+from repro.obs.trace import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "CounterSet",
+    "InMemorySink",
+    "JsonLinesSink",
+    "NullSink",
+    "NULL_SPAN",
+    "Sink",
+    "Span",
+    "Tracer",
+    "enabled",
+    "get_tracer",
+    "incr",
+    "profile",
+    "profile_call",
+    "read_json_lines",
+    "set_tracer",
+    "span",
+    "use_tracer",
+]
+
+#: The process-wide tracer; disabled (and therefore free) unless replaced.
+_active: Tracer = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The currently installed tracer (disabled no-op by default)."""
+    return _active
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Install ``tracer`` as the process-wide tracer; returns the previous."""
+    global _active
+    previous = _active
+    _active = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Temporarily install ``tracer`` (tests and scoped instrumentation)."""
+    previous = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def enabled() -> bool:
+    """Whether the active tracer records anything."""
+    return _active.enabled
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the active tracer (no-op span when disabled)."""
+    return _active.span(name, **attrs)
+
+
+def incr(name: str, value: float = 1) -> None:
+    """Count on the active tracer (current span + run totals)."""
+    _active.incr(name, value)

@@ -1,0 +1,140 @@
+"""Hierarchical counters — the metrics half of :mod:`repro.obs`.
+
+A :class:`CounterSet` holds named numeric counters.  Names are dotted paths
+(``"frequency.table_scans"``, ``"nodes.checked_by_size.3"``) so related
+counters aggregate naturally: :meth:`CounterSet.total` sums a whole subtree
+and :meth:`CounterSet.as_tree` nests the flat namespace for display.
+
+Two accumulation modes exist because merging runs needs both:
+
+* summed counters (:meth:`incr`) — scans, rollups, rows;
+* high-water marks (:meth:`note_max`) — peak frequency-set size and other
+  "largest seen" figures, which merge by ``max`` rather than ``+``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+
+class CounterSet:
+    """A mutable bag of dotted-name counters with subtree aggregation."""
+
+    __slots__ = ("_values", "_maxima")
+
+    def __init__(self, values: Mapping[str, float] | None = None) -> None:
+        self._values: dict[str, float] = dict(values) if values else {}
+        self._maxima: dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def incr(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to counter ``name`` (creating it at 0)."""
+        self._values[name] = self._values.get(name, 0) + value
+
+    def note_max(self, name: str, value: float) -> None:
+        """Raise high-water mark ``name`` to ``value`` if it is larger."""
+        if value > self._maxima.get(name, float("-inf")):
+            self._maxima[name] = value
+
+    def set(self, name: str, value: float) -> None:
+        """Overwrite counter ``name`` (used by the SearchStats view's setters)."""
+        self._values[name] = value
+
+    def remove(self, name: str) -> None:
+        """Drop counter ``name`` if present (either accumulation mode)."""
+        self._values.pop(name, None)
+        self._maxima.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def get(self, name: str, default: float = 0) -> float:
+        if name in self._values:
+            return self._values[name]
+        if name in self._maxima:
+            return self._maxima[name]
+        return default
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values or name in self._maxima
+
+    def __len__(self) -> int:
+        return len(self._values) + len(self._maxima)
+
+    def __iter__(self) -> Iterator[str]:
+        yield from self._values
+        yield from self._maxima
+
+    def total(self, prefix: str) -> float:
+        """Sum of ``prefix`` itself plus every counter under ``prefix.``."""
+        dotted = prefix + "."
+        return sum(
+            value
+            for name, value in self._values.items()
+            if name == prefix or name.startswith(dotted)
+        )
+
+    def children(self, prefix: str) -> dict[str, float]:
+        """Counters directly or transitively under ``prefix.``, names relative."""
+        dotted = prefix + "."
+        out = {}
+        for name, value in self.as_dict().items():
+            if name.startswith(dotted):
+                out[name[len(dotted):]] = value
+        return out
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat snapshot: summed counters first, then high-water marks."""
+        snapshot = dict(self._values)
+        snapshot.update(self._maxima)
+        return snapshot
+
+    def as_tree(self) -> dict:
+        """Nest the dotted namespace into dicts (leaves are numbers)."""
+        tree: dict = {}
+        for name, value in self.as_dict().items():
+            parts = name.split(".")
+            node = tree
+            for part in parts[:-1]:
+                existing = node.get(part)
+                if not isinstance(existing, dict):
+                    existing = {} if existing is None else {"": existing}
+                    node[part] = existing
+                node = existing
+            leaf = parts[-1]
+            if isinstance(node.get(leaf), dict):
+                node[leaf][""] = value
+            else:
+                node[leaf] = value
+        return tree
+
+    # ------------------------------------------------------------------
+    # combination
+    # ------------------------------------------------------------------
+    def merge(self, other: "CounterSet") -> None:
+        """Accumulate ``other``: sums add, high-water marks take the max."""
+        for name, value in other._values.items():
+            self.incr(name, value)
+        for name, value in other._maxima.items():
+            self.note_max(name, value)
+
+    def copy(self) -> "CounterSet":
+        duplicate = CounterSet(self._values)
+        duplicate._maxima = dict(self._maxima)
+        return duplicate
+
+    def clear(self) -> None:
+        self._values.clear()
+        self._maxima.clear()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CounterSet):
+            return NotImplemented
+        return (
+            self._values == other._values and self._maxima == other._maxima
+        )
+
+    def __repr__(self) -> str:
+        return f"CounterSet({self.as_dict()!r})"

@@ -1,0 +1,64 @@
+"""cProfile integration: wrap any algorithm run and dump the hotspots.
+
+Two entry points:
+
+* :func:`profile` — a context manager::
+
+      with profile(top=15):
+          basic_incognito(problem, k)
+
+* :func:`profile_call` — wrap a single callable and return its result::
+
+      result = profile_call(basic_incognito, problem, k, top=15)
+
+Both print a ``pstats`` table of the top-N functions (by cumulative time,
+configurable) to the given stream, so ``--profile`` on the CLI and the
+bench runner need no extra machinery.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+from contextlib import contextmanager
+from typing import IO, Any, Callable, Iterator
+
+#: Default number of hotspot rows printed.
+DEFAULT_TOP = 20
+
+
+@contextmanager
+def profile(
+    top: int = DEFAULT_TOP,
+    *,
+    sort: str = "cumulative",
+    stream: IO[str] | None = None,
+) -> Iterator[cProfile.Profile]:
+    """Profile the enclosed block and print the top-``top`` hotspots.
+
+    Yields the live :class:`cProfile.Profile` so callers can also dump raw
+    stats (``yielded.dump_stats(path)``) after the block exits.
+    """
+    out = stream if stream is not None else sys.stderr
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=out)
+        stats.strip_dirs().sort_stats(sort).print_stats(top)
+
+
+def profile_call(
+    fn: Callable[..., Any],
+    *args: Any,
+    top: int = DEFAULT_TOP,
+    sort: str = "cumulative",
+    stream: IO[str] | None = None,
+    **kwargs: Any,
+) -> Any:
+    """Run ``fn(*args, **kwargs)`` under cProfile; return its result."""
+    with profile(top, sort=sort, stream=stream):
+        return fn(*args, **kwargs)

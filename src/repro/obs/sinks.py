@@ -1,0 +1,112 @@
+"""Span sinks: where closed trace spans go.
+
+Three implementations cover the use cases the engine needs:
+
+* :class:`NullSink` — discard everything (the default; tracing off).
+* :class:`InMemorySink` — keep spans in a list, with small query helpers;
+  used by tests and by in-process consumers (the bench harness reads span
+  counts back out of one of these).
+* :class:`JsonLinesSink` — serialise each span as one JSON object per line
+  to any writable text stream; ``--trace`` wires this to a file or stderr.
+  Lines carry ``span_id`` / ``parent_id`` / ``depth`` so the nesting is
+  reconstructable (see :func:`read_json_lines`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, TYPE_CHECKING, Iterable, Protocol
+
+if TYPE_CHECKING:  # circular at runtime: trace.py imports sinks.py
+    from repro.obs.trace import Span
+
+
+class Sink(Protocol):
+    """Anything that accepts closed spans."""
+
+    def emit(self, span: "Span") -> None: ...
+
+
+class NullSink:
+    """Discards all spans."""
+
+    def emit(self, span: "Span") -> None:
+        pass
+
+
+class InMemorySink:
+    """Collects closed spans (children arrive before their parents)."""
+
+    def __init__(self) -> None:
+        self.spans: list["Span"] = []
+
+    def emit(self, span: "Span") -> None:
+        self.spans.append(span)
+
+    def named(self, name: str) -> list["Span"]:
+        """All closed spans with the given name, in close order."""
+        return [span for span in self.spans if span.name == name]
+
+    def count(self, name: str) -> int:
+        return len(self.named(name))
+
+    def roots(self) -> list["Span"]:
+        """Top-level spans (those closed with no parent on the stack)."""
+        return [span for span in self.spans if span.parent_id is None]
+
+    def clear(self) -> None:
+        self.spans.clear()
+
+
+class JsonLinesSink:
+    """Writes one JSON object per closed span to a text stream.
+
+    The sink does not own the stream unless constructed via :meth:`open`;
+    pass ``sys.stderr`` or any file object you manage yourself.
+    """
+
+    def __init__(self, stream: IO[str]) -> None:
+        self.stream = stream
+        self._owns_stream = False
+
+    @classmethod
+    def open(cls, path: str) -> "JsonLinesSink":
+        """Create a sink that owns (and will close) the file at ``path``."""
+        sink = cls(open(path, "w"))
+        sink._owns_stream = True
+        return sink
+
+    def emit(self, span: "Span") -> None:
+        json.dump(span.to_dict(), self.stream, default=str)
+        self.stream.write("\n")
+
+    def close(self) -> None:
+        self.stream.flush()
+        if self._owns_stream:
+            self.stream.close()
+
+
+def read_json_lines(lines: Iterable[str]) -> list[dict]:
+    """Parse JSON-lines trace output back into span records.
+
+    Returns the flat records with an extra ``"children"`` list on each,
+    linked via ``parent_id`` — the round-trip inverse of
+    :class:`JsonLinesSink` (timing is preserved as written; spans arrive
+    children-first, so every parent referenced already exists... except
+    parents that never closed, whose children simply stay roots).
+    """
+    records: list[dict] = []
+    by_id: dict[int, dict] = {}
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        record["children"] = []
+        records.append(record)
+        by_id[record["span_id"]] = record
+    for record in records:
+        parent = by_id.get(record.get("parent_id"))
+        if parent is not None:
+            parent["children"].append(record)
+    return records

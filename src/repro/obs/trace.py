@@ -1,0 +1,205 @@
+"""Nestable trace spans with monotonic timing — the tracing half of
+:mod:`repro.obs`.
+
+A :class:`Tracer` hands out :class:`Span` context managers::
+
+    with tracer.span("rollup", node="<B1, Z0>") as sp:
+        ...
+        sp.set(groups=result.num_groups)
+
+Spans nest (the tracer keeps a stack), time themselves with
+``time.perf_counter``, carry free-form attributes and span-local counters,
+and are pushed to a pluggable sink (:mod:`repro.obs.sinks`) as they close —
+children before parents, each with ``span_id`` / ``parent_id`` so flat
+JSON-lines output reconstructs the tree exactly.
+
+A *disabled* tracer returns one shared no-op span, so instrumented hot
+paths cost a function call and nothing more when observability is off.
+Guard any expensive attribute construction with the span's truthiness::
+
+    with obs.span("scan") as sp:
+        result = compute(...)
+        if sp:  # False on the no-op span
+            sp.set(node=str(node), groups=result.num_groups)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.obs.counters import CounterSet
+from repro.obs.sinks import NullSink, Sink
+
+
+class Span:
+    """One timed, attributed region of work; usable as a context manager."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "started",
+        "ended",
+        "children",
+        "counters",
+        "span_id",
+        "parent_id",
+        "depth",
+        "_tracer",
+    )
+
+    def __init__(self, name: str, attrs: dict[str, Any], tracer: "Tracer") -> None:
+        self.name = name
+        self.attrs = attrs
+        self.started: float | None = None
+        self.ended: float | None = None
+        self.children: list[Span] = []
+        self.counters = CounterSet()
+        self.span_id: int = -1
+        self.parent_id: int | None = None
+        self.depth: int = 0
+        self._tracer = tracer
+
+    # -- recording ------------------------------------------------------
+    def set(self, **attrs: Any) -> None:
+        """Attach or overwrite attributes on the span."""
+        self.attrs.update(attrs)
+
+    def incr(self, name: str, value: float = 1) -> None:
+        """Bump a span-local counter (also aggregated into the tracer)."""
+        self.counters.incr(name, value)
+
+    # -- inspection -----------------------------------------------------
+    @property
+    def duration_seconds(self) -> float:
+        """Elapsed seconds; 0.0 until the span has both started and ended."""
+        if self.started is None or self.ended is None:
+            return 0.0
+        return self.ended - self.started
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready flat record (children referenced by their own lines)."""
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "depth": self.depth,
+            "name": self.name,
+            "duration_seconds": self.duration_seconds,
+            "attrs": dict(self.attrs),
+            "counters": self.counters.as_dict(),
+        }
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"duration={self.duration_seconds:.6f}s, attrs={self.attrs!r})"
+        )
+
+    # -- context management --------------------------------------------
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        self.span_id = tracer._next_id()
+        stack = tracer._stack
+        if stack:
+            parent = stack[-1]
+            self.parent_id = parent.span_id
+            self.depth = parent.depth + 1
+        stack.append(self)
+        self.started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.ended = time.perf_counter()
+        tracer = self._tracer
+        stack = tracer._stack
+        # Tolerate a corrupted stack (mismatched exits) rather than raising
+        # from instrumentation: find and remove this span wherever it is.
+        if stack and stack[-1] is self:
+            stack.pop()
+        elif self in stack:
+            stack.remove(self)
+        if stack:
+            parent = stack[-1]
+            parent.children.append(self)
+            parent.counters.merge(self.counters)
+        tracer._close(self)
+
+
+class _NullSpan:
+    """Shared do-nothing span returned by disabled tracers."""
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> None:
+        pass
+
+    def incr(self, name: str, value: float = 1) -> None:
+        pass
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Factory and registry for spans; aggregates counters across a run.
+
+    Attributes
+    ----------
+    enabled:
+        When False, :meth:`span` returns the shared no-op span and
+        :meth:`incr` does nothing — the zero-overhead default.
+    sink:
+        Receives every closed span (see :mod:`repro.obs.sinks`).
+    totals:
+        Run-wide :class:`CounterSet`; every span closure bumps
+        ``span.<name>`` and ``span_seconds.<name>`` here, and explicit
+        :meth:`incr` calls land here too.
+    """
+
+    def __init__(self, sink: Sink | None = None, *, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.sink: Sink = sink if sink is not None else NullSink()
+        self.totals = CounterSet()
+        self._stack: list[Span] = []
+        self._id_counter = 0
+
+    def span(self, name: str, **attrs: Any):
+        """Open a nestable span; returns the no-op span when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(name, attrs, self)
+
+    def incr(self, name: str, value: float = 1) -> None:
+        """Count into the current span (if any) and the run totals."""
+        if not self.enabled:
+            return
+        if self._stack:
+            self._stack[-1].counters.incr(name, value)
+        self.totals.incr(name, value)
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    # -- internal -------------------------------------------------------
+    def _next_id(self) -> int:
+        self._id_counter += 1
+        return self._id_counter
+
+    def _close(self, span: Span) -> None:
+        self.totals.incr(f"span.{span.name}")
+        self.totals.incr(f"span_seconds.{span.name}", span.duration_seconds)
+        self.sink.emit(span)

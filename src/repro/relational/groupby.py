@@ -13,10 +13,12 @@ raw values.
 
 from __future__ import annotations
 
+import time
 from typing import Hashable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.relational.column import CODE_DTYPE, Column
 from repro.relational.table import Table
 
@@ -61,7 +63,14 @@ class GroupByResult:
         return int(self.counts.shape[0])
 
     def min_count(self) -> int:
-        """Smallest group size (0 for an empty input)."""
+        """Smallest group size; 0 for an empty input.
+
+        The 0 means "no groups", not "a group of size zero" — k-anonymity
+        call sites must treat an empty relation as vacuously k-anonymous
+        rather than comparing this against k (see
+        :meth:`repro.core.anonymity.FrequencySet.is_k_anonymous` and
+        DESIGN.md, "Empty-table semantics").
+        """
         return int(self.counts.min()) if self.counts.size else 0
 
     def total(self) -> int:
@@ -106,15 +115,22 @@ def _combine_codes(
     Returns the key array and whether the dense encoding was used.  If the
     key space would overflow int64, falls back to structured row hashing via
     ``np.unique(axis=0)`` handled by the caller (dense=False).
+
+    The cardinality product must accumulate in an overflow-proof Python
+    int: radices arriving as numpy integers (e.g. from ``np.ndarray``
+    shapes or vectorised cardinality math) would otherwise wrap at int64
+    *while computing the product*, and a wrapped — possibly small or
+    negative — product would pass the ``_DENSE_KEY_LIMIT`` guard and
+    silently corrupt the dense keys.
     """
     space = 1
     for radix in radices:
-        space *= max(radix, 1)
+        space *= max(int(radix), 1)
         if space > _DENSE_KEY_LIMIT:
             return np.empty(0, dtype=np.int64), False
     keys = np.zeros(code_arrays[0].shape[0], dtype=np.int64)
     for codes, radix in zip(code_arrays, radices):
-        keys *= max(radix, 1)
+        keys *= max(int(radix), 1)
         keys += codes
     return keys, True
 
@@ -135,21 +151,36 @@ def group_by_codes(
         empty = np.empty((0, len(code_arrays)), dtype=CODE_DTYPE)
         return empty, np.empty(0, dtype=np.int64)
 
-    keys, dense = _combine_codes(code_arrays, radices)
-    if dense:
-        unique_keys, counts = np.unique(keys, return_counts=True)
-        # Decode the mixed-radix keys back into per-column codes.
-        key_codes = np.empty((unique_keys.shape[0], len(code_arrays)), dtype=CODE_DTYPE)
-        remaining = unique_keys.copy()
-        for j in range(len(code_arrays) - 1, -1, -1):
-            radix = max(radices[j], 1)
-            key_codes[:, j] = remaining % radix
-            remaining //= radix
-        return key_codes, counts
-
-    stacked = np.column_stack([codes.astype(np.int64) for codes in code_arrays])
-    unique_rows, counts = np.unique(stacked, axis=0, return_counts=True)
-    return unique_rows.astype(CODE_DTYPE), counts
+    with obs.span("groupby", kind="count", rows=num_rows) as sp:
+        key_build_started = time.perf_counter()
+        keys, dense = _combine_codes(code_arrays, radices)
+        key_build_seconds = time.perf_counter() - key_build_started
+        count_started = time.perf_counter()
+        if dense:
+            unique_keys, counts = np.unique(keys, return_counts=True)
+            # Decode the mixed-radix keys back into per-column codes.
+            key_codes = np.empty(
+                (unique_keys.shape[0], len(code_arrays)), dtype=CODE_DTYPE
+            )
+            remaining = unique_keys.copy()
+            for j in range(len(code_arrays) - 1, -1, -1):
+                radix = max(radices[j], 1)
+                key_codes[:, j] = remaining % radix
+                remaining //= radix
+        else:
+            stacked = np.column_stack(
+                [codes.astype(np.int64) for codes in code_arrays]
+            )
+            unique_rows, counts = np.unique(stacked, axis=0, return_counts=True)
+            key_codes = unique_rows.astype(CODE_DTYPE)
+        if sp:
+            sp.set(
+                dense=dense,
+                groups=int(counts.shape[0]),
+                key_build_seconds=key_build_seconds,
+                count_seconds=time.perf_counter() - count_started,
+            )
+    return key_codes, counts
 
 
 def group_by_count(table: Table, names: Sequence[str]) -> GroupByResult:

@@ -17,6 +17,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.relational.schema import ColumnSpec, Schema
 from repro.relational.table import Table
 
@@ -71,27 +72,32 @@ def hash_join(
         left.schema.position(name)
         right.schema.position(name)
 
-    build, probe = (right, left)
-    build_keys = _join_key_rows(build, on)
-    probe_keys = _join_key_rows(probe, on)
+    with obs.span(
+        "join", on=",".join(on), build_rows=right.num_rows, probe_rows=left.num_rows
+    ) as sp:
+        build, probe = (right, left)
+        build_keys = _join_key_rows(build, on)
+        probe_keys = _join_key_rows(probe, on)
 
-    matches: dict[tuple, list[int]] = defaultdict(list)
-    for row, key in enumerate(build_keys):
-        matches[key].append(row)
+        matches: dict[tuple, list[int]] = defaultdict(list)
+        for row, key in enumerate(build_keys):
+            matches[key].append(row)
 
-    probe_rows: list[int] = []
-    build_rows: list[int] = []
-    for row, key in enumerate(probe_keys):
-        for matched in matches.get(key, ()):
-            probe_rows.append(row)
-            build_rows.append(matched)
+        probe_rows: list[int] = []
+        build_rows: list[int] = []
+        for row, key in enumerate(probe_keys):
+            for matched in matches.get(key, ()):
+                probe_rows.append(row)
+                build_rows.append(matched)
 
-    schema, kept_right = _output_schema(left, right, on, suffix)
-    left_part = left.take(np.asarray(probe_rows, dtype=np.int64))
-    right_part = right.take(np.asarray(build_rows, dtype=np.int64))
-    columns = list(left_part.columns()) + [
-        right_part.column(name) for name in kept_right
-    ]
+        schema, kept_right = _output_schema(left, right, on, suffix)
+        left_part = left.take(np.asarray(probe_rows, dtype=np.int64))
+        right_part = right.take(np.asarray(build_rows, dtype=np.int64))
+        columns = list(left_part.columns()) + [
+            right_part.column(name) for name in kept_right
+        ]
+        if sp:
+            sp.set(output_rows=len(probe_rows), distinct_build_keys=len(matches))
     return Table(schema, columns)
 
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+from repro import obs
 from repro.relational.join import hash_join
 from repro.relational.table import Table
 
@@ -74,6 +75,14 @@ class StarSchema:
         This is the literal SQL-star-schema evaluation path; the fast path
         used by the algorithms lives in :mod:`repro.core.generalize`.
         """
+        with obs.span(
+            "star.generalize",
+            levels=",".join(f"{a}={l}" for a, l in levels.items()),
+            fact_rows=self._fact.num_rows,
+        ):
+            return self._generalized_view(levels)
+
+    def _generalized_view(self, levels: Mapping[str, int]) -> Table:
         result = self._fact
         for attribute, level in levels.items():
             if level == 0:

@@ -1,0 +1,94 @@
+"""Tests for the machine-readable benchmark export and its validator."""
+
+import json
+
+import pytest
+
+from repro.bench.export import (
+    BENCH_FILENAME,
+    COUNTER_FIELDS,
+    SCHEMA_VERSION,
+    bench_document,
+    run_record,
+    validate_bench_document,
+    write_bench_json,
+)
+from repro.bench.harness import run_algorithm
+from repro.datasets.patients import patients_problem
+
+
+def _valid_document():
+    run = run_algorithm("Basic Incognito", patients_problem(), 2)
+    record = run_record("fig10", "adults", 2, "qid_size", 3, run)
+    return bench_document([record], {"adults_rows": 6, "quick": True})
+
+
+class TestRunRecord:
+    def test_counters_match_measured_run(self):
+        run = run_algorithm("Cube Incognito", patients_problem(), 2)
+        record = run_record("fig12", "adults", 2, "qid_size", 3, run)
+        assert record["algorithm"] == "Cube Incognito"
+        assert record["counters"]["table_scans"] == run.table_scans
+        assert record["counters"]["rollups"] == run.rollups
+        assert record["counters"]["projections"] == run.projections
+        assert record["anonymization_seconds"] == pytest.approx(
+            run.elapsed_seconds - run.cube_build_seconds
+        )
+        assert set(record["counters"]) == set(COUNTER_FIELDS)
+        assert record["raw_counters"] == run.counters
+
+
+class TestValidator:
+    def test_valid_document_passes(self):
+        assert validate_bench_document(_valid_document()) == []
+
+    def test_non_object_rejected(self):
+        assert validate_bench_document([1, 2]) != []
+        assert validate_bench_document(None) != []
+
+    def test_wrong_schema_version(self):
+        document = _valid_document()
+        document["schema_version"] = SCHEMA_VERSION + 1
+        assert any("schema_version" in e for e in validate_bench_document(document))
+
+    def test_wrong_benchmark_name(self):
+        document = _valid_document()
+        document["benchmark"] = "other"
+        assert any("benchmark" in e for e in validate_bench_document(document))
+
+    def test_empty_runs_rejected(self):
+        document = _valid_document()
+        document["runs"] = []
+        assert any("runs" in e for e in validate_bench_document(document))
+
+    def test_missing_run_field_rejected(self):
+        document = _valid_document()
+        del document["runs"][0]["algorithm"]
+        assert any("algorithm" in e for e in validate_bench_document(document))
+
+    def test_negative_timing_rejected(self):
+        document = _valid_document()
+        document["runs"][0]["elapsed_seconds"] = -0.5
+        assert any("elapsed_seconds" in e for e in validate_bench_document(document))
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, True, None, "3"])
+    def test_malformed_counter_rejected(self, bad):
+        document = _valid_document()
+        document["runs"][0]["counters"]["table_scans"] = bad
+        assert any("table_scans" in e for e in validate_bench_document(document))
+
+
+class TestWriteBenchJson:
+    def test_writes_valid_document(self, tmp_path):
+        path = tmp_path / "out" / BENCH_FILENAME
+        written = write_bench_json(path, _valid_document())
+        assert written == path
+        loaded = json.loads(path.read_text())
+        assert validate_bench_document(loaded) == []
+
+    def test_refuses_malformed_document(self, tmp_path):
+        document = _valid_document()
+        document["runs"][0]["counters"]["rollups"] = -3
+        with pytest.raises(ValueError, match="rollups"):
+            write_bench_json(tmp_path / BENCH_FILENAME, document)
+        assert not (tmp_path / BENCH_FILENAME).exists()

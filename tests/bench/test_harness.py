@@ -49,6 +49,49 @@ class TestRunAlgorithm:
             assert isinstance(run, MeasuredRun)
             assert run.algorithm == name
 
+    def test_all_fields_come_from_the_same_best_run(self, monkeypatch):
+        """Regression: never mix the fastest repeat's wall-clock with
+        another repeat's counters — every reported field must come from
+        the single best (fastest) execution."""
+        from repro.core.result import AnonymizationResult
+        from repro.core.stats import SearchStats
+
+        def result(elapsed, scans):
+            return AnonymizationResult(
+                algorithm="Scripted",
+                k=2,
+                anonymous_nodes=[],
+                stats=SearchStats(
+                    elapsed_seconds=elapsed,
+                    table_scans=scans,
+                    rollups=scans * 2,
+                    nodes_checked=scans * 3,
+                ),
+            )
+
+        # Three repeats; the middle one is fastest and must win wholesale.
+        results = iter([result(3.0, 30), result(1.0, 10), result(2.0, 20)])
+        monkeypatch.setitem(
+            EXTRA_ALGORITHMS, "Scripted", lambda p, k: next(results)
+        )
+        run = run_algorithm("Scripted", patients_problem(), 2, repeats=3)
+        assert run.elapsed_seconds == 1.0
+        assert run.table_scans == 10
+        assert run.rollups == 20
+        assert run.nodes_checked == 30
+        assert run.counters["frequency.table_scans"] == 10
+
+    def test_measured_run_projects_every_stats_field(self):
+        run = run_algorithm("Cube Incognito", patients_problem(), 2)
+        # The structured counters block must mirror the dotted snapshot.
+        assert run.counters["frequency.table_scans"] == run.table_scans
+        assert run.counters["frequency.rollups"] == run.rollups
+        assert run.counters["frequency.projections"] == run.projections
+        assert run.counters["nodes.checked"] == run.nodes_checked
+        assert run.cube_build_scans > 0
+        assert run.peak_frequency_set_rows > 0
+        assert run.frequency_set_rows >= run.peak_frequency_set_rows
+
 
 class TestFormatting:
     def test_table_layout(self):

@@ -95,6 +95,51 @@ class TestIsKAnonymous:
         assert fs.rows_below(2) == 0
 
 
+def empty_patients_problem() -> PreparedTable:
+    from repro.datasets.patients import patients_hierarchies
+    from repro.relational.schema import Schema
+
+    schema = Schema.of("Birthdate", "Sex", "Zipcode", "Disease")
+    return PreparedTable(
+        Table.from_rows(schema, []), patients_hierarchies(), QI
+    )
+
+
+class TestEmptyRelationSemantics:
+    """An empty relation is k-anonymous for every k (vacuous truth).
+
+    Regression: ``min_count()`` returns 0 for "no groups", so the plain
+    ``min_count() >= k`` test wrongly failed every k on empty input.
+    """
+
+    def test_empty_frequency_set_is_k_anonymous_for_all_k(self):
+        fs = compute_frequency_set(empty_patients_problem(), node(0, 0, 0))
+        assert fs.num_groups == 0
+        assert fs.min_count() == 0  # the "no groups" sentinel, not a count
+        for k in (1, 2, 10, 10**6):
+            assert fs.is_k_anonymous(k)
+
+    def test_empty_with_suppression_budget(self):
+        fs = compute_frequency_set(empty_patients_problem(), node(0, 0, 0))
+        assert fs.is_k_anonymous(2, max_suppression=3)
+        assert fs.rows_below(2) == 0
+
+    def test_suppression_leaving_empty_remainder(self):
+        # Every group is undersized; suppressing them all leaves an empty
+        # remainder, which must still count as k-anonymous when the budget
+        # covers every dropped row.
+        problem = patients_problem()
+        fs = compute_frequency_set(problem, node(0, 0, 0))
+        assert fs.rows_below(10) == fs.total()  # all rows are outliers
+        assert fs.is_k_anonymous(10, max_suppression=fs.total())
+        assert not fs.is_k_anonymous(10, max_suppression=fs.total() - 1)
+
+    def test_empty_still_rejects_invalid_k(self):
+        fs = compute_frequency_set(empty_patients_problem(), node(0, 0, 0))
+        with pytest.raises(ValueError):
+            fs.is_k_anonymous(0)
+
+
 class TestRollup:
     def test_rollup_property_single_step(self):
         """Rolling up must equal recomputing from scratch (Rollup Property)."""

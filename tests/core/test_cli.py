@@ -161,3 +161,48 @@ class TestParsing:
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestObservabilityFlags:
+    def test_trace_writes_json_lines(
+        self, patients_csv, spec_json, tmp_path, capsys
+    ):
+        from repro.obs import read_json_lines
+
+        trace = tmp_path / "trace.jsonl"
+        code = main([
+            "--trace", str(trace),
+            "anonymize", str(patients_csv),
+            "--hierarchies", str(spec_json),
+            "--k", "2",
+            "--output", str(tmp_path / "out.csv"),
+        ])
+        assert code == 0
+        records = read_json_lines(trace.read_text().splitlines())
+        names = {record["name"] for record in records}
+        assert {"scan", "rollup", "groupby"} <= names
+
+    def test_trace_leaves_global_tracer_disabled(
+        self, patients_csv, spec_json, tmp_path
+    ):
+        from repro import obs
+
+        main([
+            "--trace", str(tmp_path / "t.jsonl"),
+            "check", str(patients_csv),
+            "--qi", "Birthdate,Sex,Zipcode", "--k", "1",
+        ])
+        assert not obs.enabled()
+
+    def test_profile_prints_hotspots(
+        self, patients_csv, spec_json, tmp_path, capsys
+    ):
+        code = main([
+            "--profile",
+            "anonymize", str(patients_csv),
+            "--hierarchies", str(spec_json),
+            "--k", "2",
+            "--output", str(tmp_path / "out.csv"),
+        ])
+        assert code == 0
+        assert "function calls" in capsys.readouterr().err

@@ -1,0 +1,142 @@
+"""Tests for the hierarchical CounterSet."""
+
+from repro.obs import CounterSet
+
+
+class TestRecording:
+    def test_incr_creates_and_accumulates(self):
+        counters = CounterSet()
+        counters.incr("frequency.table_scans")
+        counters.incr("frequency.table_scans", 4)
+        assert counters.get("frequency.table_scans") == 5
+
+    def test_get_default(self):
+        assert CounterSet().get("missing") == 0
+        assert CounterSet().get("missing", -1) == -1
+
+    def test_set_overwrites(self):
+        counters = CounterSet()
+        counters.incr("a", 10)
+        counters.set("a", 3)
+        assert counters.get("a") == 3
+
+    def test_note_max_keeps_high_water_mark(self):
+        counters = CounterSet()
+        counters.note_max("peak", 10)
+        counters.note_max("peak", 4)
+        counters.note_max("peak", 17)
+        assert counters.get("peak") == 17
+
+    def test_remove_drops_both_modes(self):
+        counters = CounterSet()
+        counters.incr("summed", 2)
+        counters.note_max("peak", 9)
+        counters.remove("summed")
+        counters.remove("peak")
+        counters.remove("never_existed")  # no-op, no raise
+        assert "summed" not in counters
+        assert "peak" not in counters
+
+    def test_contains_and_len(self):
+        counters = CounterSet()
+        counters.incr("a.b")
+        counters.note_max("m", 1)
+        assert "a.b" in counters
+        assert "m" in counters
+        assert "a" not in counters
+        assert len(counters) == 2
+        assert set(counters) == {"a.b", "m"}
+
+
+class TestAggregation:
+    def test_total_sums_subtree(self):
+        counters = CounterSet()
+        counters.incr("frequency.table_scans", 3)
+        counters.incr("frequency.rollups", 7)
+        counters.incr("frequency.rows.scanned", 100)
+        counters.incr("nodes.checked", 42)
+        assert counters.total("frequency") == 110
+        assert counters.total("frequency.rows") == 100
+        assert counters.total("nodes") == 42
+        assert counters.total("absent") == 0
+
+    def test_total_includes_exact_name(self):
+        counters = CounterSet()
+        counters.incr("span.scan", 2)
+        counters.incr("span", 1)
+        assert counters.total("span") == 3
+
+    def test_total_does_not_match_name_prefixes(self):
+        counters = CounterSet()
+        counters.incr("scans", 5)
+        counters.incr("scan", 1)
+        assert counters.total("scan") == 1
+
+    def test_children_relative_names(self):
+        counters = CounterSet()
+        counters.incr("nodes.checked_by_size.2", 4)
+        counters.incr("nodes.checked_by_size.3", 9)
+        counters.incr("nodes.checked", 13)
+        assert counters.children("nodes.checked_by_size") == {"2": 4, "3": 9}
+
+    def test_as_tree_nests_dotted_names(self):
+        counters = CounterSet()
+        counters.incr("a.b.c", 1)
+        counters.incr("a.b.d", 2)
+        counters.incr("e", 3)
+        assert counters.as_tree() == {"a": {"b": {"c": 1, "d": 2}}, "e": 3}
+
+    def test_as_tree_handles_leaf_and_subtree_collision(self):
+        counters = CounterSet()
+        counters.incr("span", 1)
+        counters.incr("span.scan", 2)
+        tree = counters.as_tree()
+        assert tree["span"][""] == 1
+        assert tree["span"]["scan"] == 2
+
+
+class TestCombination:
+    def test_merge_sums_and_maxes(self):
+        first = CounterSet()
+        first.incr("scans", 3)
+        first.note_max("peak", 10)
+        second = CounterSet()
+        second.incr("scans", 4)
+        second.incr("rollups", 1)
+        second.note_max("peak", 7)
+        first.merge(second)
+        assert first.get("scans") == 7
+        assert first.get("rollups") == 1
+        assert first.get("peak") == 10  # max, not 17
+
+    def test_copy_is_independent(self):
+        original = CounterSet()
+        original.incr("a", 1)
+        original.note_max("m", 5)
+        duplicate = original.copy()
+        duplicate.incr("a", 9)
+        duplicate.note_max("m", 99)
+        assert original.get("a") == 1
+        assert original.get("m") == 5
+        assert duplicate.get("a") == 10
+        assert duplicate.get("m") == 99
+
+    def test_equality(self):
+        a = CounterSet({"x": 1})
+        b = CounterSet({"x": 1})
+        assert a == b
+        b.note_max("m", 2)
+        assert a != b
+
+    def test_clear(self):
+        counters = CounterSet({"x": 1})
+        counters.note_max("m", 2)
+        counters.clear()
+        assert len(counters) == 0
+        assert counters.as_dict() == {}
+
+    def test_as_dict_includes_maxima(self):
+        counters = CounterSet()
+        counters.incr("sum", 2)
+        counters.note_max("peak", 8)
+        assert counters.as_dict() == {"sum": 2, "peak": 8}

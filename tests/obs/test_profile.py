@@ -1,0 +1,31 @@
+"""Tests for the cProfile hook."""
+
+import io
+
+from repro.obs import profile, profile_call
+
+
+def _work() -> int:
+    return sum(range(1000))
+
+
+class TestProfile:
+    def test_context_manager_prints_report(self):
+        stream = io.StringIO()
+        with profile(top=5, stream=stream):
+            _work()
+        report = stream.getvalue()
+        assert "function calls" in report
+        assert "cumulative" in report
+
+    def test_sort_key_respected(self):
+        stream = io.StringIO()
+        with profile(top=5, sort="tottime", stream=stream):
+            _work()
+        assert "tottime" in stream.getvalue()
+
+    def test_profile_call_returns_result(self):
+        stream = io.StringIO()
+        result = profile_call(_work, top=3, stream=stream)
+        assert result == sum(range(1000))
+        assert stream.getvalue()

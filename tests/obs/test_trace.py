@@ -1,0 +1,175 @@
+"""Tests for trace spans, nesting, and the module-level tracer plumbing."""
+
+from repro import obs
+from repro.obs import NULL_SPAN, InMemorySink, Tracer
+
+
+class TestSpanNesting:
+    def test_parent_child_linkage(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert inner.depth == 1
+        assert outer.depth == 0
+        assert outer.children == [inner]
+
+    def test_children_emitted_before_parents(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [span.name for span in sink.spans] == ["inner", "outer"]
+        assert sink.roots() == [sink.spans[1]]
+
+    def test_siblings_share_parent(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("outer") as outer:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        names = [child.name for child in outer.children]
+        assert names == ["a", "b"]
+        assert all(c.parent_id == outer.span_id for c in outer.children)
+
+    def test_current_tracks_innermost(self):
+        tracer = Tracer(InMemorySink())
+        assert tracer.current is None
+        with tracer.span("outer") as outer:
+            assert tracer.current is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current is inner
+            assert tracer.current is outer
+        assert tracer.current is None
+
+    def test_timing_is_monotone(self):
+        tracer = Tracer(InMemorySink())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.duration_seconds >= 0
+        assert outer.duration_seconds >= inner.duration_seconds
+
+    def test_span_survives_exception(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        try:
+            with tracer.span("doomed"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert sink.count("doomed") == 1
+        assert tracer.current is None  # stack unwound
+
+
+class TestSpanRecording:
+    def test_set_attrs(self):
+        tracer = Tracer(InMemorySink())
+        with tracer.span("scan", node="<B1, Z0>") as sp:
+            sp.set(groups=12, dense=True)
+        assert sp.attrs == {"node": "<B1, Z0>", "groups": 12, "dense": True}
+
+    def test_counters_aggregate_into_parent(self):
+        tracer = Tracer(InMemorySink())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                inner.incr("rows", 10)
+            with tracer.span("inner2") as inner2:
+                inner2.incr("rows", 5)
+        assert outer.counters.get("rows") == 15
+
+    def test_tracer_incr_hits_current_span_and_totals(self):
+        tracer = Tracer(InMemorySink())
+        with tracer.span("outer") as outer:
+            tracer.incr("widgets", 3)
+        tracer.incr("widgets", 2)  # outside any span: totals only
+        assert outer.counters.get("widgets") == 3
+        assert tracer.totals.get("widgets") == 5
+
+    def test_totals_count_span_closures(self):
+        tracer = Tracer(InMemorySink())
+        with tracer.span("scan"):
+            pass
+        with tracer.span("scan"):
+            pass
+        assert tracer.totals.get("span.scan") == 2
+        assert tracer.totals.get("span_seconds.scan") >= 0
+
+    def test_to_dict_shape(self):
+        tracer = Tracer(InMemorySink())
+        with tracer.span("scan", node="root") as sp:
+            sp.incr("rows", 7)
+        record = sp.to_dict()
+        assert record["name"] == "scan"
+        assert record["span_id"] == sp.span_id
+        assert record["parent_id"] is None
+        assert record["depth"] == 0
+        assert record["attrs"] == {"node": "root"}
+        assert record["counters"] == {"rows": 7}
+        assert record["duration_seconds"] >= 0
+
+
+class TestDisabledTracer:
+    def test_disabled_span_is_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        sp = tracer.span("anything", expensive="attr")
+        assert sp is NULL_SPAN
+        assert not sp  # truthiness gate for attr construction
+        with sp:
+            sp.set(ignored=1)
+            sp.incr("ignored")
+        assert tracer.totals.as_dict() == {}
+
+    def test_disabled_incr_is_noop(self):
+        tracer = Tracer(enabled=False)
+        tracer.incr("widgets", 100)
+        assert tracer.totals.as_dict() == {}
+
+    def test_enabled_span_is_truthy(self):
+        tracer = Tracer(InMemorySink())
+        with tracer.span("real") as sp:
+            assert sp
+
+
+class TestModuleTracer:
+    def test_default_is_disabled(self):
+        assert not obs.enabled()
+        assert obs.span("anything") is NULL_SPAN
+
+    def test_use_tracer_installs_and_restores(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        previous = obs.get_tracer()
+        with obs.use_tracer(tracer):
+            assert obs.get_tracer() is tracer
+            assert obs.enabled()
+            with obs.span("work"):
+                obs.incr("units", 2)
+        assert obs.get_tracer() is previous
+        assert sink.count("work") == 1
+        assert tracer.totals.get("units") == 2
+
+    def test_use_tracer_restores_on_exception(self):
+        previous = obs.get_tracer()
+        try:
+            with obs.use_tracer(Tracer(InMemorySink())):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert obs.get_tracer() is previous
+
+    def test_set_tracer_returns_previous(self):
+        first = obs.get_tracer()
+        replacement = Tracer(enabled=False)
+        returned = obs.set_tracer(replacement)
+        try:
+            assert returned is first
+            assert obs.get_tracer() is replacement
+        finally:
+            obs.set_tracer(first)

@@ -115,3 +115,46 @@ class TestGroupByCodes:
         a = rng.integers(0, 3, size=1000).astype(np.int32)
         _, counts = group_by_codes([a], [3])
         assert counts.sum() == 1000
+
+    def test_numpy_radix_product_overflow_forces_fallback(self):
+        """Regression: np.int64 radices whose product wraps at int64.
+
+        2**32 * 2**32 == 2**64 wraps to exactly 0 under numpy int64
+        arithmetic — small enough to pass the ``_DENSE_KEY_LIMIT`` guard
+        and silently corrupt the dense mixed-radix keys.  The cardinality
+        product must accumulate in Python ints so the guard sees 2**64
+        and takes the sparse path.
+        """
+        from repro.relational.groupby import _combine_codes
+
+        radices = [np.int64(2**32), np.int64(2**32)]
+        rng = np.random.default_rng(3)
+        arrays = [rng.integers(0, 4, size=100).astype(np.int32) for _ in range(2)]
+        _, dense = _combine_codes(arrays, radices)
+        assert dense is False
+
+        sparse_keys, sparse_counts = group_by_codes(arrays, radices)
+        dense_keys, dense_counts = group_by_codes(arrays, [4, 4])
+        as_dict = lambda keys, counts: {
+            tuple(keys[g]): int(counts[g]) for g in range(keys.shape[0])
+        }
+        assert as_dict(sparse_keys, sparse_counts) == as_dict(
+            dense_keys, dense_counts
+        )
+
+    def test_numpy_radix_negative_wrap_forces_fallback(self):
+        """Two ~2**31.5 radices wrap to a *negative* int64 product.
+
+        A negative wrapped product also passes a naive ``> limit`` check;
+        the Python-int accumulation sees the true ~2**63 product instead.
+        """
+        from repro.relational.groupby import _combine_codes
+
+        radix = np.int64(3_037_000_500)  # just above isqrt(2**63): square wraps < 0
+        radices = [radix, radix]
+        rng = np.random.default_rng(4)
+        arrays = [rng.integers(0, 3, size=60).astype(np.int32) for _ in range(2)]
+        _, dense = _combine_codes(arrays, radices)
+        assert dense is False
+        _, counts = group_by_codes(arrays, radices)
+        assert counts.sum() == 60
