@@ -19,6 +19,11 @@ Observability flags:
   (default stderr): per-iteration phases, scans, rollups, group-bys.
 * ``--profile`` — wrap the run in cProfile and print the top hotspots.
 
+Execution knobs: ``--workers N`` (with ``--parallel-mode``) evaluates each
+lattice level on N workers, and ``--cache-mb M`` shares a frequency-set
+cache across all runs of a sweep — cross-algorithm reuse shows up as
+``cache.hits`` in the JSON while ``frequency.table_scans`` drops.
+
 Scale knobs: ``REPRO_ADULTS_ROWS`` (default 45,222) and
 ``REPRO_LANDSEND_ROWS`` (default 200,000); ``--quick`` overrides both with
 a small fixed workload.  Output goes to stdout and, with ``--out DIR``, to
@@ -39,6 +44,8 @@ from repro.bench.export import (
     write_bench_json,
 )
 from repro.bench.harness import Series, format_series_table
+from repro.core.fscache import FrequencySetCache, use_cache
+from repro.parallel import ExecutionConfig, use_execution
 from repro.bench.workloads import (
     adults_rows,
     figure10_sweep,
@@ -230,6 +237,27 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run under cProfile and print the top hotspots to stderr",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="evaluate lattice levels on this many workers (1 = serial; "
+        "marked-node sets and nodes.* counters are identical either way)",
+    )
+    parser.add_argument(
+        "--parallel-mode",
+        choices=["threads", "processes"],
+        default="processes",
+        help="worker backend when --workers > 1",
+    )
+    parser.add_argument(
+        "--cache-mb",
+        type=int,
+        default=0,
+        metavar="MB",
+        help="share a frequency-set cache of this size across all runs "
+        "(0 = off); cache.* counters land in the benchmark JSON",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -258,8 +286,14 @@ def main(argv: list[str] | None = None) -> int:
         else obs.get_tracer()
     )
 
+    execution = ExecutionConfig.from_workers(args.workers, args.parallel_mode)
+    cache = (
+        FrequencySetCache(args.cache_mb * 1024 * 1024)
+        if args.cache_mb > 0
+        else None
+    )
     try:
-        with obs.use_tracer(tracer):
+        with obs.use_tracer(tracer), use_execution(execution), use_cache(cache):
             if args.profile:
                 with obs.profile():
                     _run_artifacts(args, records)
@@ -278,6 +312,9 @@ def main(argv: list[str] | None = None) -> int:
             "landsend_rows": 0 if args.quick else landsend_rows(),
             "quick": bool(args.quick),
             "artifact": "fig10" if args.quick else args.artifact,
+            "workers": execution.workers,
+            "parallel_mode": execution.mode,
+            "cache_mb": args.cache_mb,
         }
         written = write_bench_json(json_path, bench_document(records, config))
         print(f"wrote {written} ({len(records)} runs)", file=sys.stderr)

@@ -52,9 +52,11 @@ from repro.core.binary_search import samarati_binary_search
 from repro.core.bottomup import bottom_up_search
 from repro.core.cube import cube_incognito
 from repro.core.datafly import datafly
+from repro.core.fscache import FrequencySetCache, use_cache
 from repro.core.incognito import basic_incognito
 from repro.core.problem import PreparedTable
 from repro.core.superroots import superroots_incognito
+from repro.parallel import ExecutionConfig, use_execution
 from repro.hierarchy.spec import hierarchies_from_spec
 from repro.relational.csvio import read_csv, write_csv
 from repro.relational.groupby import group_by_count
@@ -244,6 +246,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the command under cProfile and print the top hotspots",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="evaluate each lattice level's nodes on this many workers "
+        "(1 = serial; results are identical either way)",
+    )
+    parser.add_argument(
+        "--parallel-mode",
+        choices=["threads", "processes"],
+        default="processes",
+        help="worker backend when --workers > 1 (default: processes; "
+        "threads avoid process start-up cost on small tables)",
+    )
+    parser.add_argument(
+        "--cache-mb",
+        type=int,
+        default=0,
+        metavar="MB",
+        help="enable the frequency-set cache with this byte budget "
+        "(0 = off); repeat probes become cache hits instead of table scans",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     anonymize = commands.add_parser(
@@ -320,8 +344,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     tracer = (
         obs.Tracer(trace_sink) if trace_sink is not None else obs.get_tracer()
     )
+    execution = ExecutionConfig.from_workers(args.workers, args.parallel_mode)
+    cache = (
+        FrequencySetCache(args.cache_mb * 1024 * 1024)
+        if args.cache_mb > 0
+        else None
+    )
     try:
-        with obs.use_tracer(tracer):
+        with obs.use_tracer(tracer), use_execution(execution), use_cache(cache):
             if args.profile:
                 with obs.profile():
                     return args.run(args)

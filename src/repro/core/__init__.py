@@ -18,6 +18,9 @@ Public surface:
   anonymized view V from a chosen lattice node.
 * :func:`~repro.core.anonymity.check_k_anonymity` — the independent checker
   used by tests and examples.
+* :class:`~repro.core.fscache.FrequencySetCache` /
+  :func:`~repro.core.fscache.use_cache` — the cross-algorithm frequency-set
+  cache (pairs with :mod:`repro.parallel` for execution backends).
 """
 
 from repro.core.anonymity import (
@@ -30,6 +33,7 @@ from repro.core.binary_search import samarati_binary_search
 from repro.core.bottomup import bottom_up_search
 from repro.core.cube import cube_incognito
 from repro.core.datafly import datafly
+from repro.core.fscache import FrequencySetCache, current_cache, use_cache
 from repro.core.generalize import GeneralizedView, apply_generalization
 from repro.core.incognito import basic_incognito
 from repro.core.materialized import materialized_incognito
@@ -48,6 +52,7 @@ __all__ = [
     "AnonymizationResult",
     "FrequencyEvaluator",
     "FrequencySet",
+    "FrequencySetCache",
     "GeneralizedView",
     "PreparedTable",
     "SearchStats",
@@ -58,11 +63,13 @@ __all__ = [
     "chunked_incognito",
     "compute_frequency_set",
     "cube_incognito",
+    "current_cache",
     "datafly",
     "materialized_incognito",
     "minimal_height_nodes",
     "pareto_minimal_nodes",
     "samarati_binary_search",
     "superroots_incognito",
+    "use_cache",
     "weighted_minimal_node",
 ]

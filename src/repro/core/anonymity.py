@@ -306,11 +306,28 @@ class FrequencyEvaluator:
     * opens a same-named :mod:`repro.obs` trace span, so an enabled tracer
       sees one ``scan`` / ``rollup`` / ``project`` span per frequency set,
       with the underlying ``groupby`` work nested inside.
+
+    With a :class:`~repro.core.fscache.FrequencySetCache` attached, the
+    higher-level :meth:`resolve_job` / :meth:`materialize` entry points
+    substitute cached results for table work: an exact cache hit costs
+    nothing (``cache.hits``), and a cached *ancestor* turns a would-be
+    table scan into a rollup (``cache.rollup_saves``).  The raw
+    :meth:`scan` / :meth:`rollup` primitives stay cache-oblivious so the
+    substitution is visible in — never hidden from — the counters.
     """
 
-    def __init__(self, problem: PreparedTable, stats: SearchStats | None = None) -> None:
+    def __init__(
+        self,
+        problem: PreparedTable,
+        stats: SearchStats | None = None,
+        *,
+        cache=None,
+    ) -> None:
         self.problem = problem
         self.stats = stats if stats is not None else SearchStats()
+        self.cache = cache
+        if cache is not None:
+            cache.bind(problem)
 
     def scan(self, node: LatticeNode) -> FrequencySet:
         """Compute from the base table (counted as a table scan)."""
@@ -363,3 +380,81 @@ class FrequencyEvaluator:
         """Check anonymity and record the node decision."""
         self.stats.record_check(node.size)
         return frequency_set.is_k_anonymous(k, max_suppression)
+
+    # ------------------------------------------------------------------
+    # cache-aware planning (used directly and by the parallel evaluator)
+    # ------------------------------------------------------------------
+    def resolve_job(
+        self, node: LatticeNode, source: FrequencySet | None = None
+    ) -> tuple[str, FrequencySet | None]:
+        """Plan how to obtain ``node``'s frequency set.
+
+        Returns ``(kind, payload)`` where kind is ``"use"`` (payload *is*
+        the set — zero cost), ``"rollup"`` (re-aggregate payload up to
+        ``node``), or ``"scan"`` (payload None — scan the base table).
+        ``source`` is an algorithm-supplied rollup source (a failed BFS
+        parent, a super-root, a cube base set); it wins over the cache's
+        ancestor search because it is by construction at least as close.
+
+        Cache accounting happens here — the planning step — so serial and
+        parallel execution record identical ``cache.*`` counters: an exact
+        hit bumps ``cache.hits``; an ancestor substitution bumps both
+        ``cache.hits`` and ``cache.rollup_saves``; only a plan that ends
+        in a table scan despite consulting the cache bumps
+        ``cache.misses``.
+        """
+        if source is not None and source.node == node:
+            return ("use", source)
+        cache = self.cache
+        if cache is not None:
+            hit = cache.get(node)
+            if hit is not None:
+                self.stats.cache_hits += 1
+                return ("use", hit)
+        if source is not None:
+            return ("rollup", source)
+        if cache is not None:
+            ancestor = cache.nearest_ancestor(node)
+            if ancestor is not None:
+                self.stats.cache_hits += 1
+                self.stats.cache_rollup_saves += 1
+                return ("rollup", ancestor)
+            self.stats.cache_misses += 1
+        return ("scan", None)
+
+    def execute_job(
+        self, node: LatticeNode, kind: str, payload: FrequencySet | None
+    ) -> FrequencySet:
+        """Carry out a plan from :meth:`resolve_job` (no cache admission)."""
+        if kind == "use":
+            assert payload is not None
+            return payload
+        if kind == "rollup":
+            assert payload is not None
+            return self.rollup(payload, node)
+        if kind == "scan":
+            return self.scan(node)
+        raise ValueError(f"unknown frequency-set job kind {kind!r}")
+
+    def cache_put(self, frequency_set: FrequencySet) -> None:
+        """Admit a freshly materialised set, accounting evictions."""
+        if self.cache is None:
+            return
+        evicted = self.cache.put(frequency_set)
+        if evicted:
+            self.stats.cache_evictions += evicted
+
+    def materialize(
+        self, node: LatticeNode, source: FrequencySet | None = None
+    ) -> FrequencySet:
+        """Obtain ``node``'s frequency set the cheapest known way.
+
+        The serial convenience wrapper over resolve → execute → admit; the
+        parallel evaluator performs the same three steps with the middle
+        one fanned out across workers.
+        """
+        kind, payload = self.resolve_job(node, source)
+        result = self.execute_job(node, kind, payload)
+        if kind != "use":
+            self.cache_put(result)
+        return result

@@ -14,6 +14,22 @@ query over the table (the distance-vector-matrix alternative described by
 Samarati was found "prohibitively expensive for large databases").  Within
 a height, nodes are checked in deterministic order and the scan of a height
 stops at the first anonymous node.
+
+Two of this module's costs respond to the shared infrastructure:
+
+* a :class:`~repro.core.fscache.FrequencySetCache` turns repeat probes
+  into exact hits and — after any *failed* probe, which evaluates an
+  entire height — later higher probes into cached-ancestor rollups
+  instead of fresh table scans (every node above a fully-evaluated height
+  has a cached ancestor there);
+* a parallel :class:`~repro.parallel.BatchMaterializer` evaluates probe
+  heights in blocks of ``workers`` nodes.  The found node is identical to
+  the serial run (decisions stay in sorted order), but up to
+  ``workers - 1`` nodes after the first anonymous one in its block are
+  materialised speculatively, so a *parallel* binary search may record a
+  few more ``frequency.table_scans`` than a serial one — the one
+  documented counter divergence in the parallel subsystem (serial runs
+  are always exactly the classic algorithm).
 """
 
 from __future__ import annotations
@@ -22,10 +38,12 @@ import time
 
 from repro import obs
 from repro.core.anonymity import FrequencyEvaluator
+from repro.core.fscache import FrequencySetCache, current_cache
 from repro.core.problem import PreparedTable
 from repro.core.result import AnonymizationResult, make_result
 from repro.core.stats import SearchStats
 from repro.lattice.node import LatticeNode
+from repro.parallel import BatchMaterializer, ExecutionConfig
 
 
 def _first_anonymous_at_height(
@@ -34,16 +52,23 @@ def _first_anonymous_at_height(
     height: int,
     k: int,
     max_suppression: int,
+    pool: BatchMaterializer,
 ) -> LatticeNode | None:
     with obs.span("binary_search.probe", height=height) as sp:
-        for node in sorted(
+        nodes = sorted(
             lattice.nodes_at_height(height), key=LatticeNode.sort_key
-        ):
-            frequency_set = evaluator.scan(node)
-            if evaluator.decide(node, frequency_set, k, max_suppression):
-                if sp:
-                    sp.set(found=str(node))
-                return node
+        )
+        block_size = max(1, pool.execution.workers)
+        for start in range(0, len(nodes), block_size):
+            block = nodes[start : start + block_size]
+            frequency_sets = pool.materialize_batch(
+                evaluator, [(node, None) for node in block]
+            )
+            for node, frequency_set in zip(block, frequency_sets):
+                if evaluator.decide(node, frequency_set, k, max_suppression):
+                    if sp:
+                        sp.set(found=str(node))
+                    return node
         if sp:
             sp.set(found=None)
     return None
@@ -54,6 +79,8 @@ def samarati_binary_search(
     k: int,
     *,
     max_suppression: int = 0,
+    execution: ExecutionConfig | None = None,
+    cache: FrequencySetCache | None = None,
 ) -> AnonymizationResult:
     """Find one minimal-height k-anonymous generalization by binary search.
 
@@ -63,8 +90,10 @@ def samarati_binary_search(
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
+    if cache is None:
+        cache = current_cache()
     stats = SearchStats()
-    evaluator = FrequencyEvaluator(problem, stats)
+    evaluator = FrequencyEvaluator(problem, stats, cache=cache)
     lattice = problem.lattice()
     stats.nodes_generated = lattice.size
     started = time.perf_counter()
@@ -72,26 +101,31 @@ def samarati_binary_search(
     probes: list[tuple[int, bool]] = []
     low, high = 0, lattice.max_height
     best: LatticeNode | None = None
-    while low < high:
-        middle = (low + high) // 2
-        found = _first_anonymous_at_height(
-            evaluator, lattice, middle, k, max_suppression
-        )
-        probes.append((middle, found is not None))
-        if found is not None:
-            best = found
-            high = middle
-        else:
-            low = middle + 1
-    if best is None or best.height != low:
-        # Haven't actually verified height ``low`` yet (or only a higher
-        # height succeeded): check it, falling back to the recorded best.
-        found = _first_anonymous_at_height(
-            evaluator, lattice, low, k, max_suppression
-        )
-        probes.append((low, found is not None))
-        if found is not None:
-            best = found
+    pool = BatchMaterializer(problem, execution)
+    try:
+        while low < high:
+            middle = (low + high) // 2
+            found = _first_anonymous_at_height(
+                evaluator, lattice, middle, k, max_suppression, pool
+            )
+            probes.append((middle, found is not None))
+            if found is not None:
+                best = found
+                high = middle
+            else:
+                low = middle + 1
+        if best is None or best.height != low:
+            # Haven't actually verified height ``low`` yet (or only a
+            # higher height succeeded): check it, falling back to the
+            # recorded best.
+            found = _first_anonymous_at_height(
+                evaluator, lattice, low, k, max_suppression, pool
+            )
+            probes.append((low, found is not None))
+            if found is not None:
+                best = found
+    finally:
+        pool.close()
 
     stats.elapsed_seconds = time.perf_counter() - started
     return make_result(

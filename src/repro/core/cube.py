@@ -44,8 +44,10 @@ def build_zero_generalization_cube(
 
     with obs.span("cube.build", qi_size=len(qi)) as sp:
         full_node = problem.bottom_node()
+        # materialize (not scan) so an attached cache can serve the full-QI
+        # set from a previous run instead of re-scanning the table.
         cube: dict[tuple[str, ...], FrequencySet] = {
-            qi: evaluator.scan(full_node)
+            qi: evaluator.materialize(full_node)
         }
         # Derive all proper subsets, largest first, each from the superset
         # that adds back the lowest-ranked missing attribute (always
@@ -58,6 +60,7 @@ def build_zero_generalization_cube(
                 )
                 parent = cube[parent_attrs]
                 cube[subset] = evaluator.project(parent, subset)
+                evaluator.cache_put(cube[subset])
         if sp:
             sp.set(subsets=len(cube))
 
@@ -78,17 +81,19 @@ class CubeRootProvider(RootProvider):
     def __init__(self, problem: PreparedTable, evaluator: FrequencyEvaluator) -> None:
         self._cube = build_zero_generalization_cube(problem, evaluator)
 
-    def frequency_set(
+    def root_source(
         self, evaluator: FrequencyEvaluator, node: LatticeNode
-    ) -> FrequencySet:
-        base = self._cube[node.attributes]
-        if base.node == node:
-            return base
-        return evaluator.rollup(base, node)
+    ) -> FrequencySet | None:
+        return self._cube[node.attributes]
 
 
 def cube_incognito(
-    problem: PreparedTable, k: int, *, max_suppression: int = 0
+    problem: PreparedTable,
+    k: int,
+    *,
+    max_suppression: int = 0,
+    execution=None,
+    cache=None,
 ) -> AnonymizationResult:
     """Cube Incognito (Section 3.3.2).
 
@@ -103,4 +108,6 @@ def cube_incognito(
         max_suppression=max_suppression,
         provider_factory=CubeRootProvider,
         algorithm="cube-incognito",
+        execution=execution,
+        cache=cache,
     )

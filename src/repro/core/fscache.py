@@ -1,0 +1,231 @@
+"""Cross-algorithm frequency-set cache (``repro.core.fscache``).
+
+The paper's central cost observation is that frequency sets are expensive
+to obtain from the base table and cheap to derive from one another (the
+rollup property).  :class:`FrequencySetCache` turns that observation into a
+memoization layer shared *across* algorithm runs: a bounded LRU store keyed
+by (QI-subset, domain vector) that, on an exact miss, looks for the nearest
+cached **ancestor** — a frequency set of the same attribute subset at
+componentwise lower-or-equal levels — so the evaluator can roll up instead
+of re-scanning the table.
+
+Intended use:
+
+* binary search probes the same lattice repeatedly at different heights;
+  every node a failed probe scanned becomes a rollup source for every node
+  of a later, higher probe;
+* a figure sweep runs six algorithms over the *same* problem — the sets
+  Bottom-Up materialises serve Basic Incognito's roots as exact hits.
+
+The cache is bound to the identity of the prepared table it was filled
+from (:meth:`bind`); binding a different problem clears it, so stale
+frequency sets can never leak across datasets.  Entries are bounded by an
+approximate byte budget (``key_codes`` + ``counts`` array sizes) with
+least-recently-used eviction; an entry bigger than the whole budget is not
+admitted at all rather than churning the cache.
+
+Run-level accounting (``cache.hits`` / ``cache.misses`` /
+``cache.evictions`` / ``cache.rollup_saves``) is recorded by the consuming
+:class:`~repro.core.anonymity.FrequencyEvaluator` into its
+:class:`~repro.core.stats.SearchStats`; the cache itself keeps lifetime
+totals for inspection and tests.
+
+A module-level *default* cache can be installed for a region
+(:func:`use_cache`) so fixed-signature callers — the bench harness's
+algorithm table, the CLI — can opt whole runs into caching without
+threading a parameter through every layer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.anonymity import FrequencySet
+    from repro.core.problem import PreparedTable
+    from repro.lattice.node import LatticeNode
+
+#: Default byte budget (64 MiB) — roughly a few thousand Adults-sized sets.
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+#: Fixed per-entry overhead estimate added to the array payload bytes.
+ENTRY_OVERHEAD_BYTES = 256
+
+
+def _key(node: "LatticeNode") -> tuple[tuple[str, ...], tuple[int, ...]]:
+    return (node.attributes, node.levels)
+
+
+class FrequencySetCache:
+    """Bounded LRU memoization of frequency sets, keyed by lattice node."""
+
+    def __init__(self, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self._entries: "OrderedDict[tuple, tuple[FrequencySet, int]]" = (
+            OrderedDict()
+        )
+        self._bytes = 0
+        self._fingerprint: tuple | None = None
+        # Lifetime totals (run-level deltas live in each run's SearchStats).
+        self.hits = 0
+        self.ancestor_hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.insertions = 0
+
+    # ------------------------------------------------------------------
+    # binding
+    # ------------------------------------------------------------------
+    def bind(self, problem: "PreparedTable") -> None:
+        """Tie the cache to ``problem``'s underlying data.
+
+        Frequency sets are only valid for the exact table + compiled
+        hierarchies they were computed from.  Binding a problem with a
+        different fingerprint clears the cache; QI-subset views of the
+        same prepared data (``with_quasi_identifier``) share a fingerprint
+        and therefore share the cache.
+        """
+        fingerprint = problem.cache_fingerprint
+        if self._fingerprint is None:
+            self._fingerprint = fingerprint
+        elif self._fingerprint != fingerprint:
+            self.clear()
+            self._fingerprint = fingerprint
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0
+        self._fingerprint = None
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def get(self, node: "LatticeNode") -> "FrequencySet | None":
+        """Exact hit for ``node``'s frequency set, refreshing its recency."""
+        entry = self._entries.get(_key(node))
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(_key(node))
+        self.hits += 1
+        return entry[0]
+
+    def nearest_ancestor(self, node: "LatticeNode") -> "FrequencySet | None":
+        """The highest cached strict specialization of ``node``, if any.
+
+        "Nearest" means greatest total height (fewest levels left to roll
+        up, hence the smallest re-aggregation); ties break on the level
+        vector so the choice is deterministic regardless of insertion
+        order.  The winner's recency is refreshed like a hit.
+        """
+        best: "FrequencySet | None" = None
+        for cached, _ in self._entries.values():
+            cached_node = cached.node
+            if cached_node.attributes != node.attributes:
+                continue
+            if cached_node.levels == node.levels:
+                continue
+            if any(
+                have > want
+                for have, want in zip(cached_node.levels, node.levels)
+            ):
+                continue
+            if best is None or (
+                (cached_node.height, cached_node.levels)
+                > (best.node.height, best.node.levels)
+            ):
+                best = cached
+        if best is not None:
+            self._entries.move_to_end(_key(best.node))
+            self.ancestor_hits += 1
+        return best
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def put(self, frequency_set: "FrequencySet") -> int:
+        """Admit ``frequency_set``; returns the number of evictions caused."""
+        key = _key(frequency_set.node)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return 0
+        size = self.entry_bytes(frequency_set)
+        if size > self.max_bytes:
+            return 0  # would evict everything and still not fit
+        self._entries[key] = (frequency_set, size)
+        self._bytes += size
+        self.insertions += 1
+        evicted = 0
+        while self._bytes > self.max_bytes:
+            _, (_, dropped_size) = self._entries.popitem(last=False)
+            self._bytes -= dropped_size
+            evicted += 1
+        self.evictions += evicted
+        return evicted
+
+    @staticmethod
+    def entry_bytes(frequency_set: "FrequencySet") -> int:
+        """Approximate resident size of one cached frequency set."""
+        return (
+            int(frequency_set.key_codes.nbytes)
+            + int(frequency_set.counts.nbytes)
+            + ENTRY_OVERHEAD_BYTES
+        )
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, node: "LatticeNode") -> bool:
+        return _key(node) in self._entries
+
+    def nodes(self) -> list["LatticeNode"]:
+        """Cached nodes, least-recently-used first (the eviction order)."""
+        return [cached.node for cached, _ in self._entries.values()]
+
+    def __repr__(self) -> str:
+        return (
+            f"FrequencySetCache(entries={len(self)}, "
+            f"bytes={self._bytes}/{self.max_bytes}, hits={self.hits}, "
+            f"ancestor_hits={self.ancestor_hits}, misses={self.misses}, "
+            f"evictions={self.evictions})"
+        )
+
+
+#: Region default used when algorithms are called without an explicit cache.
+_default_cache: FrequencySetCache | None = None
+
+
+def current_cache() -> FrequencySetCache | None:
+    """The region-default cache (None means caching is off)."""
+    return _default_cache
+
+
+def set_default_cache(
+    cache: FrequencySetCache | None,
+) -> FrequencySetCache | None:
+    """Install ``cache`` as the region default; returns the previous one."""
+    global _default_cache
+    previous = _default_cache
+    _default_cache = cache
+    return previous
+
+
+@contextmanager
+def use_cache(cache: FrequencySetCache | None) -> Iterator[FrequencySetCache | None]:
+    """Temporarily install ``cache`` as the region default."""
+    previous = set_default_cache(cache)
+    try:
+        yield cache
+    finally:
+        set_default_cache(previous)

@@ -14,14 +14,32 @@ breadth-first search that exploits:
 and then builds iteration i+1's candidates with the **subset property**
 (a-priori join/prune/edge generation, :mod:`repro.lattice.generation`).
 
-The engine below is shared by the three variants, which differ only in how
-*root* frequency sets are obtained:
+The search is *level-synchronous*: because a direct generalization always
+sits exactly one height above its specialization, marks and rollup sources
+only ever flow upward across level boundaries, so all unmarked nodes at
+one height are mutually independent.  The engine therefore collects each
+height's work into a batch and hands it to a
+:class:`~repro.parallel.BatchMaterializer`, which executes it serially, on
+threads, or on a process pool — with bit-identical results and identical
+structural counters in every mode (see :mod:`repro.parallel.evaluator` for
+the determinism contract).  Within a level, entries are processed in
+insertion order (roots first, then children in parent order), which is
+exactly the order the previous heap-based engine popped them in.
 
-* **Basic** — scan the base table once per root;
+The engine is shared by the variants, which differ only in how *root*
+frequency sets are obtained — a provider answers
+:meth:`RootProvider.root_source` with an optional rollup source:
+
+* **Basic** — no source: scan the base table once per root;
 * **Super-roots** (Section 3.3.1) — one scan per root *family* at the
   family's greatest lower bound, roots derived by rollup;
 * **Cube** (Section 3.3.2) — no scans during the search at all: roots roll
   up from pre-computed zero-generalization frequency sets.
+
+With a :class:`~repro.core.fscache.FrequencySetCache` attached (``cache=``
+or :func:`~repro.core.fscache.use_cache`), every materialisation first
+consults the cache: exact hits and cached-ancestor rollups replace table
+work, visible as ``cache.*`` counters instead of ``frequency.*`` ones.
 
 One deliberate deviation from the literal Figure 8 pseudocode: when a
 *marked* node is dequeued we propagate its mark to its direct
@@ -33,19 +51,19 @@ matches the generalization property's intent and the paper's node counts.
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import time
 from typing import Callable, Sequence
 
 from repro import obs
 from repro.core.anonymity import FrequencyEvaluator, FrequencySet
+from repro.core.fscache import FrequencySetCache, current_cache
 from repro.core.problem import PreparedTable
 from repro.core.result import AnonymizationResult, make_result
 from repro.core.stats import SearchStats
 from repro.lattice.generation import graph_generation, initial_graph
 from repro.lattice.graph import CandidateGraph
 from repro.lattice.node import LatticeNode
+from repro.parallel import BatchMaterializer, ExecutionConfig
 
 
 class RootProvider:
@@ -54,19 +72,51 @@ class RootProvider:
     def prepare(self, evaluator: FrequencyEvaluator, graph: CandidateGraph) -> None:
         """Hook called once per iteration before the search starts."""
 
+    def root_source(
+        self, evaluator: FrequencyEvaluator, node: LatticeNode
+    ) -> FrequencySet | None:
+        """A rollup source for root ``node``, or None to scan the table.
+
+        The returned set's node may equal ``node`` itself (served as-is),
+        or be a specialization of it (rolled up).  This is the method
+        variants override: returning a *plan input* instead of a finished
+        set lets the engine route the actual work through the cache and
+        the parallel batch evaluator.
+        """
+        return None
+
     def frequency_set(
         self, evaluator: FrequencyEvaluator, node: LatticeNode
     ) -> FrequencySet:
-        raise NotImplementedError
+        """Materialise a root's frequency set (serial convenience path).
+
+        Subclasses predating :meth:`root_source` may override this
+        directly; the engine detects that and evaluates such roots in the
+        parent process (see :func:`_uses_legacy_frequency_set`).
+        """
+        return evaluator.materialize(node, self.root_source(evaluator, node))
 
 
 class ScanRootProvider(RootProvider):
-    """Basic Incognito: every root costs one scan of the base table."""
+    """Basic Incognito: every root costs one scan of the base table.
 
-    def frequency_set(
-        self, evaluator: FrequencyEvaluator, node: LatticeNode
-    ) -> FrequencySet:
-        return evaluator.scan(node)
+    The default :meth:`RootProvider.root_source` (no source) already means
+    "scan"; the class exists so the basic variant is named in code.
+    """
+
+
+def _uses_legacy_frequency_set(provider: RootProvider) -> bool:
+    """True when ``provider`` overrides frequency_set but not root_source.
+
+    Such providers (e.g. the chunked out-of-core scan provider) compute
+    finished frequency sets themselves, so their roots are evaluated
+    serially in the parent and fed to the batch as pre-resolved results.
+    """
+    cls = type(provider)
+    return (
+        cls.frequency_set is not RootProvider.frequency_set
+        and cls.root_source is RootProvider.root_source
+    )
 
 
 def _search_graph(
@@ -75,25 +125,30 @@ def _search_graph(
     k: int,
     max_suppression: int,
     provider: RootProvider,
+    pool: BatchMaterializer,
 ) -> list[LatticeNode]:
     """One iteration's modified BFS; returns the surviving (anonymous) nodes.
 
-    Nodes enter the priority queue (ordered by height) either as roots or as
-    direct generalizations of failed nodes.  Failed nodes cache their
-    frequency sets so children can roll up from them; a cache entry is
-    released once all queue entries referencing it have been consumed.
+    Nodes enter their height's entry list either as roots or as direct
+    generalizations of failed nodes.  Each height is evaluated as one
+    batch; failed nodes cache their frequency sets so children can roll up
+    from them, and a cache entry is released once all entries referencing
+    it have been consumed.
     """
     stats = evaluator.stats
     survivors = set(graph.nodes)
     marked: set[LatticeNode] = set()
-    visited: set[LatticeNode] = set()
     freq_cache: dict[LatticeNode, FrequencySet] = {}
     pending_children: dict[LatticeNode, int] = {}
+    legacy = _uses_legacy_frequency_set(provider)
 
-    counter = itertools.count()
-    heap: list[tuple[int, int, LatticeNode, LatticeNode | None]] = []
+    # Per-height entry lists, in insertion order.  A node's entries all
+    # live at its own height, and children enter strictly above the level
+    # being processed, so popping min(levels) visits nodes in exactly the
+    # old heap's (height, insertion counter) order.
+    levels: dict[int, list[tuple[LatticeNode, LatticeNode | None]]] = {}
     for root in graph.roots():
-        heapq.heappush(heap, (root.height, next(counter), root, None))
+        levels.setdefault(root.height, []).append((root, None))
 
     def release(parent: LatticeNode | None) -> None:
         if parent is None:
@@ -103,38 +158,51 @@ def _search_graph(
             del pending_children[parent]
             del freq_cache[parent]
 
-    while heap:
-        _, _, node, parent = heapq.heappop(heap)
-        if node in visited:
-            release(parent)
-            continue
-        visited.add(node)
+    while levels:
+        height = min(levels)
+        entries = levels.pop(height)
 
-        if node in marked:
-            # Anonymous by the generalization property; propagate the mark.
-            stats.nodes_marked += 1
-            marked.update(graph.direct_generalizations(node))
-            release(parent)
-            continue
+        # Triage the level: duplicates release their parent, marked nodes
+        # propagate (all marks affecting this height were created at lower
+        # heights, so membership is final here), the rest form the batch.
+        batch: list[tuple[LatticeNode, LatticeNode | None]] = []
+        requests: list[tuple[LatticeNode, FrequencySet | None]] = []
+        seen: set[LatticeNode] = set()
+        for node, parent in entries:
+            if node in seen:
+                release(parent)
+                continue
+            seen.add(node)
+            if node in marked:
+                # Anonymous by the generalization property; propagate.
+                stats.nodes_marked += 1
+                marked.update(graph.direct_generalizations(node))
+                release(parent)
+                continue
+            batch.append((node, parent))
+            if parent is not None:
+                requests.append((node, freq_cache[parent]))
+            elif legacy:
+                requests.append((node, provider.frequency_set(evaluator, node)))
+            else:
+                requests.append((node, provider.root_source(evaluator, node)))
 
-        if parent is None:
-            frequency_set = provider.frequency_set(evaluator, node)
-        else:
-            frequency_set = evaluator.rollup(freq_cache[parent], node)
-            release(parent)
+        frequency_sets = pool.materialize_batch(evaluator, requests)
 
-        if evaluator.decide(node, frequency_set, k, max_suppression):
-            marked.update(graph.direct_generalizations(node))
-        else:
-            survivors.discard(node)
-            children = graph.direct_generalizations(node)
-            if children:
-                freq_cache[node] = frequency_set
-                pending_children[node] = len(children)
-                for child in children:
-                    heapq.heappush(
-                        heap, (child.height, next(counter), child, node)
-                    )
+        for (node, parent), frequency_set in zip(batch, frequency_sets):
+            if evaluator.decide(node, frequency_set, k, max_suppression):
+                marked.update(graph.direct_generalizations(node))
+            else:
+                survivors.discard(node)
+                children = graph.direct_generalizations(node)
+                if children:
+                    freq_cache[node] = frequency_set
+                    pending_children[node] = len(children)
+                    for child in children:
+                        levels.setdefault(child.height, []).append(
+                            (child, node)
+                        )
+            release(parent)
 
     return sorted(survivors, key=LatticeNode.sort_key)
 
@@ -147,13 +215,23 @@ def run_incognito(
     provider_factory: Callable[[PreparedTable, FrequencyEvaluator], RootProvider]
     | None = None,
     algorithm: str = "basic-incognito",
+    execution: ExecutionConfig | None = None,
+    cache: FrequencySetCache | None = None,
 ) -> AnonymizationResult:
-    """Shared driver for the Incognito variants (Figure 8's outer loop)."""
+    """Shared driver for the Incognito variants (Figure 8's outer loop).
+
+    ``execution`` and ``cache`` default to the region defaults installed
+    via :func:`repro.parallel.use_execution` /
+    :func:`repro.core.fscache.use_cache` (serial, no cache out of the
+    box), so fixed-signature callers can opt in without new parameters.
+    """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
+    if cache is None:
+        cache = current_cache()
     qi = problem.quasi_identifier
     stats = SearchStats()
-    evaluator = FrequencyEvaluator(problem, stats)
+    evaluator = FrequencyEvaluator(problem, stats, cache=cache)
     started = time.perf_counter()
     # Provider construction may do real work (Cube Incognito's
     # pre-computation phase) so it is timed as part of the run.
@@ -163,30 +241,36 @@ def run_incognito(
         provider = provider_factory(problem, evaluator)
     graph = initial_graph(qi, problem.heights)
     survivors: Sequence[LatticeNode] = []
-    for size in range(1, len(qi) + 1):
-        # One paper iteration = one a-priori subset size (lattice level of
-        # the outer search): its own phase span, so traces show where the
-        # scans and rollups of each subset size land.
-        with obs.span(
-            "incognito.iteration",
-            algorithm=algorithm,
-            subset_size=size,
-            candidates=len(graph),
-        ) as sp:
-            checked_before = stats.nodes_checked
-            stats.nodes_generated += len(graph)
-            provider.prepare(evaluator, graph)
-            survivors = _search_graph(
-                evaluator, graph, k, max_suppression, provider
-            )
-            if sp:
-                sp.set(
-                    survivors=len(survivors),
-                    nodes_checked=stats.nodes_checked - checked_before,
+    pool = BatchMaterializer(problem, execution)
+    try:
+        for size in range(1, len(qi) + 1):
+            # One paper iteration = one a-priori subset size (lattice level
+            # of the outer search): its own phase span, so traces show
+            # where the scans and rollups of each subset size land.
+            with obs.span(
+                "incognito.iteration",
+                algorithm=algorithm,
+                subset_size=size,
+                candidates=len(graph),
+            ) as sp:
+                checked_before = stats.nodes_checked
+                stats.nodes_generated += len(graph)
+                provider.prepare(evaluator, graph)
+                survivors = _search_graph(
+                    evaluator, graph, k, max_suppression, provider, pool
                 )
-        if size < len(qi):
-            with obs.span("incognito.graph_generation", subset_size=size + 1):
-                graph = graph_generation(survivors, graph, qi)
+                if sp:
+                    sp.set(
+                        survivors=len(survivors),
+                        nodes_checked=stats.nodes_checked - checked_before,
+                    )
+            if size < len(qi):
+                with obs.span(
+                    "incognito.graph_generation", subset_size=size + 1
+                ):
+                    graph = graph_generation(survivors, graph, qi)
+    finally:
+        pool.close()
     stats.elapsed_seconds = time.perf_counter() - started
 
     return make_result(
@@ -199,9 +283,19 @@ def run_incognito(
 
 
 def basic_incognito(
-    problem: PreparedTable, k: int, *, max_suppression: int = 0
+    problem: PreparedTable,
+    k: int,
+    *,
+    max_suppression: int = 0,
+    execution: ExecutionConfig | None = None,
+    cache: FrequencySetCache | None = None,
 ) -> AnonymizationResult:
     """Basic Incognito (Section 3.1): sound and complete full-domain search."""
     return run_incognito(
-        problem, k, max_suppression=max_suppression, algorithm="basic-incognito"
+        problem,
+        k,
+        max_suppression=max_suppression,
+        algorithm="basic-incognito",
+        execution=execution,
+        cache=cache,
     )

@@ -92,14 +92,12 @@ class MaterializedCubeProvider(RootProvider):
             for attributes, sets in self._materialized.items()
         }
 
-    def frequency_set(
+    def root_source(
         self, evaluator: FrequencyEvaluator, node: LatticeNode
-    ) -> FrequencySet:
+    ) -> FrequencySet | None:
         for candidate in self._materialized[node.attributes]:
             if node.generalizes(candidate.node):
-                if candidate.node == node:
-                    return candidate
-                return evaluator.rollup(candidate, node)
+                return candidate
         raise AssertionError(
             f"no materialized source for {node}; the zero set always applies"
         )

@@ -81,6 +81,21 @@ class PreparedTable:
     def num_rows(self) -> int:
         return self._table.num_rows
 
+    @property
+    def cache_fingerprint(self) -> tuple:
+        """Identity of the prepared data, for frequency-set cache binding.
+
+        Two problems share a fingerprint exactly when they share the same
+        table object and the same compiled hierarchies — which is what
+        makes their frequency sets interchangeable.  QI-subset views from
+        :meth:`with_quasi_identifier` share both, so a cache filled under
+        one view serves the others.
+        """
+        return (
+            id(self._table),
+            tuple(sorted((name, id(h)) for name, h in self._compiled.items())),
+        )
+
     def hierarchy(self, attribute: str) -> CompiledHierarchy:
         try:
             return self._compiled[attribute]

@@ -32,10 +32,18 @@ _COUNTER_KEYS = {
     "cube_build_scans": "cube.build_scans",
     "cube_build_seconds": "cube.build_seconds",
     "elapsed_seconds": "time.elapsed_seconds",
+    "cache_hits": "cache.hits",
+    "cache_misses": "cache.misses",
+    "cache_evictions": "cache.evictions",
+    "cache_rollup_saves": "cache.rollup_saves",
+    "parallel_tasks": "parallel.tasks",
+    "parallel_merge_seconds": "parallel.merge_seconds",
 }
 
 #: Attributes exposed as floats; everything else is coerced to int.
-_FLOAT_FIELDS = frozenset({"cube_build_seconds", "elapsed_seconds"})
+_FLOAT_FIELDS = frozenset(
+    {"cube_build_seconds", "elapsed_seconds", "parallel_merge_seconds"}
+)
 
 #: Counter-name prefix of the per-subset-size node-check histogram.
 _CHECKS_PREFIX = "nodes.checked_by_size."
@@ -112,6 +120,29 @@ class SearchStats:
     elapsed_seconds = _counter_view(
         "elapsed_seconds", _COUNTER_KEYS["elapsed_seconds"]
     )
+    cache_hits = _counter_view("cache_hits", _COUNTER_KEYS["cache_hits"])
+    cache_misses = _counter_view("cache_misses", _COUNTER_KEYS["cache_misses"])
+    cache_evictions = _counter_view(
+        "cache_evictions", _COUNTER_KEYS["cache_evictions"]
+    )
+    cache_rollup_saves = _counter_view(
+        "cache_rollup_saves", _COUNTER_KEYS["cache_rollup_saves"]
+    )
+    parallel_tasks = _counter_view(
+        "parallel_tasks", _COUNTER_KEYS["parallel_tasks"]
+    )
+    parallel_merge_seconds = _counter_view(
+        "parallel_merge_seconds", _COUNTER_KEYS["parallel_merge_seconds"]
+    )
+
+    @property
+    def parallel_workers(self) -> int:
+        """Largest worker pool used by any parallel batch (high-water)."""
+        return int(self.counters.get("parallel.workers", 0))
+
+    @parallel_workers.setter
+    def parallel_workers(self, value: int) -> None:
+        self.counters.note_max("parallel.workers", int(value))
 
     @property
     def peak_frequency_set_rows(self) -> int:
@@ -159,9 +190,18 @@ class SearchStats:
         """Accumulate ``other`` into this object (used by multi-phase runs).
 
         Summed counters add; high-water marks (peak frequency-set rows)
-        take the maximum of the two runs.
+        take the maximum of the two runs.  Both operations are associative
+        and commutative, so per-shard deltas from parallel workers can be
+        folded in any order without changing the totals.
         """
         self.counters.merge(other.counters)
+
+    def __iadd__(self, other: "SearchStats") -> "SearchStats":
+        """``stats += delta`` — in-place :meth:`merge`, returning self."""
+        if not isinstance(other, SearchStats):
+            return NotImplemented
+        self.merge(other)
+        return self
 
     def as_dict(self) -> dict[str, float]:
         """Flat counter snapshot (the ``BENCH_*.json`` payload)."""

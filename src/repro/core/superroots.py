@@ -56,25 +56,28 @@ class SuperRootProvider(RootProvider):
             for attributes, roots in families.items():
                 if len(roots) <= 1:
                     continue  # a lone root gains nothing from a super-root
-                self._super_roots[attributes] = evaluator.scan(
+                # materialize (not scan) so an attached cache can serve the
+                # super-root and gets to keep it for other algorithms.
+                self._super_roots[attributes] = evaluator.materialize(
                     family_meet(roots)
                 )
             if sp:
                 sp.set(super_roots=len(self._super_roots))
 
-    def frequency_set(
+    def root_source(
         self, evaluator: FrequencyEvaluator, node: LatticeNode
-    ) -> FrequencySet:
-        super_root = self._super_roots.get(node.attributes)
-        if super_root is None:
-            return evaluator.scan(node)
-        if super_root.node == node:
-            return super_root
-        return evaluator.rollup(super_root, node)
+    ) -> FrequencySet | None:
+        # None for lone-root families: the engine scans (or cache-serves).
+        return self._super_roots.get(node.attributes)
 
 
 def superroots_incognito(
-    problem: PreparedTable, k: int, *, max_suppression: int = 0
+    problem: PreparedTable,
+    k: int,
+    *,
+    max_suppression: int = 0,
+    execution=None,
+    cache=None,
 ) -> AnonymizationResult:
     """Super-roots Incognito (Section 3.3.1)."""
     return run_incognito(
@@ -83,4 +86,6 @@ def superroots_incognito(
         max_suppression=max_suppression,
         provider_factory=lambda _problem, _evaluator: SuperRootProvider(),
         algorithm="superroots-incognito",
+        execution=execution,
+        cache=cache,
     )

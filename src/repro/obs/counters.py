@@ -114,11 +114,32 @@ class CounterSet:
     # combination
     # ------------------------------------------------------------------
     def merge(self, other: "CounterSet") -> None:
-        """Accumulate ``other``: sums add, high-water marks take the max."""
+        """Accumulate ``other``: sums add, high-water marks take the max.
+
+        Both operations are associative and commutative, so per-shard
+        deltas produced by parallel workers can be merged in any order and
+        still yield identical totals (integer counters are exact; see
+        ``tests/core/test_stats_merge.py`` for the regression test).
+        """
         for name, value in other._values.items():
             self.incr(name, value)
         for name, value in other._maxima.items():
             self.note_max(name, value)
+
+    def __iadd__(self, other: "CounterSet") -> "CounterSet":
+        """``totals += delta`` — in-place :meth:`merge`, returning self."""
+        if not isinstance(other, CounterSet):
+            return NotImplemented
+        self.merge(other)
+        return self
+
+    def __add__(self, other: "CounterSet") -> "CounterSet":
+        """Merged copy of two counter sets (neither operand is mutated)."""
+        if not isinstance(other, CounterSet):
+            return NotImplemented
+        result = self.copy()
+        result.merge(other)
+        return result
 
     def copy(self) -> "CounterSet":
         duplicate = CounterSet(self._values)

@@ -25,6 +25,7 @@ Guard any expensive attribute construction with the span's truthiness::
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Any
 
@@ -172,8 +173,21 @@ class Tracer:
         self.enabled = enabled
         self.sink: Sink = sink if sink is not None else NullSink()
         self.totals = CounterSet()
-        self._stack: list[Span] = []
+        # Span nesting is per thread: the parallel evaluator's thread
+        # workers each get their own stack, so concurrently open spans
+        # never corrupt each other's parent/child links.  Ids, run totals,
+        # and sink emission stay process-wide, guarded by one lock.
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._id_counter = 0
+
+    @property
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
 
     def span(self, name: str, **attrs: Any):
         """Open a nestable span; returns the no-op span when disabled."""
@@ -185,9 +199,11 @@ class Tracer:
         """Count into the current span (if any) and the run totals."""
         if not self.enabled:
             return
-        if self._stack:
-            self._stack[-1].counters.incr(name, value)
-        self.totals.incr(name, value)
+        stack = self._stack
+        if stack:
+            stack[-1].counters.incr(name, value)
+        with self._lock:
+            self.totals.incr(name, value)
 
     @property
     def current(self) -> Span | None:
@@ -196,10 +212,12 @@ class Tracer:
 
     # -- internal -------------------------------------------------------
     def _next_id(self) -> int:
-        self._id_counter += 1
-        return self._id_counter
+        with self._lock:
+            self._id_counter += 1
+            return self._id_counter
 
     def _close(self, span: Span) -> None:
-        self.totals.incr(f"span.{span.name}")
-        self.totals.incr(f"span_seconds.{span.name}", span.duration_seconds)
-        self.sink.emit(span)
+        with self._lock:
+            self.totals.incr(f"span.{span.name}")
+            self.totals.incr(f"span_seconds.{span.name}", span.duration_seconds)
+            self.sink.emit(span)

@@ -1,0 +1,37 @@
+"""``repro.parallel`` — per-level parallel frequency-set evaluation.
+
+Nodes at the same lattice level are independent given the frequency sets
+of the level below, so each level's unmarked nodes can be materialised
+concurrently.  This package provides:
+
+* :class:`~repro.parallel.config.ExecutionConfig` — backend (``serial`` /
+  ``threads`` / ``processes``) and worker count, with a region-default
+  mechanism (:func:`use_execution`) for fixed-signature callers;
+* :class:`~repro.parallel.evaluator.BatchMaterializer` — the batch engine
+  the search algorithms hand one level's requests to;
+* :mod:`~repro.parallel.worker` — the process-pool worker side
+  (problem shipped once per worker, arrays + stats deltas back).
+
+Serial and parallel runs of the same algorithm produce identical result
+sets and identical structural (``nodes.*`` / ``frequency.*``) counters;
+see :mod:`repro.parallel.evaluator` for the determinism contract and
+``tests/differential/`` for the suite that locks it down.
+"""
+
+from repro.parallel.config import (
+    MODES,
+    ExecutionConfig,
+    current_execution,
+    set_default_execution,
+    use_execution,
+)
+from repro.parallel.evaluator import BatchMaterializer
+
+__all__ = [
+    "MODES",
+    "BatchMaterializer",
+    "ExecutionConfig",
+    "current_execution",
+    "set_default_execution",
+    "use_execution",
+]

@@ -1,0 +1,85 @@
+"""Execution configuration for the parallel frequency-set evaluator.
+
+An :class:`ExecutionConfig` names the backend (``serial`` — the
+zero-dependency fallback; ``threads`` — cheap for small tables where
+process start-up and shipping dominate; ``processes`` — true parallelism
+for big scans) and the worker count.  It is immutable and normalising:
+one worker is always the serial config, so ``ExecutionConfig.from_workers``
+can be fed a CLI ``--workers`` value directly.
+
+A module-level *default* config can be installed for a region
+(:func:`use_execution`) so fixed-signature callers — the bench harness's
+algorithm table, the CLI — can opt whole runs into parallelism without
+threading a parameter through every layer.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+#: Recognised execution backends.
+MODES = ("serial", "threads", "processes")
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How frequency-set batches are executed."""
+
+    mode: str = "serial"
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(
+                f"mode must be one of {MODES}, got {self.mode!r}"
+            )
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        # One worker cannot parallelise anything; collapse to the serial
+        # fast path so `is_parallel` is the single dispatch question.
+        if self.mode != "serial" and self.workers == 1:
+            object.__setattr__(self, "mode", "serial")
+        if self.mode == "serial" and self.workers != 1:
+            object.__setattr__(self, "workers", 1)
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.mode != "serial"
+
+    @classmethod
+    def from_workers(
+        cls, workers: int | None, mode: str | None = None
+    ) -> "ExecutionConfig":
+        """Build from CLI-style inputs; ``workers`` absent/<=1 is serial."""
+        if workers is None or workers <= 1:
+            return cls()
+        return cls(mode=mode or "processes", workers=workers)
+
+
+#: Region default used when algorithms are called without explicit config.
+_default_execution = ExecutionConfig()
+
+
+def current_execution() -> ExecutionConfig:
+    """The region-default execution config (serial unless installed)."""
+    return _default_execution
+
+
+def set_default_execution(config: ExecutionConfig) -> ExecutionConfig:
+    """Install ``config`` as the region default; returns the previous one."""
+    global _default_execution
+    previous = _default_execution
+    _default_execution = config
+    return previous
+
+
+@contextmanager
+def use_execution(config: ExecutionConfig) -> Iterator[ExecutionConfig]:
+    """Temporarily install ``config`` as the region default."""
+    previous = set_default_execution(config)
+    try:
+        yield config
+    finally:
+        set_default_execution(previous)

@@ -1,0 +1,210 @@
+"""Per-level parallel frequency-set materialisation.
+
+The search algorithms in :mod:`repro.core` are level-synchronous: all
+unmarked nodes at one lattice (or candidate-graph) height are independent
+— each needs a frequency set derived either from the base table or from a
+set computed at a strictly lower height.  :class:`BatchMaterializer`
+exploits exactly that independence: the algorithm hands it one level's
+``(node, rollup-source)`` requests, and it materialises them serially, on
+a thread pool, or on a process pool, returning results in request order.
+
+Determinism contract (what makes ``--workers N`` safe to trust):
+
+* *planning* (cache consultation, ``cache.*`` counters) happens in the
+  parent before dispatch, via
+  :meth:`~repro.core.anonymity.FrequencyEvaluator.resolve_job`;
+* workers only *execute* scan/rollup plans, each into a private
+  :class:`~repro.core.stats.SearchStats` delta;
+* deltas and results are merged in submission order, and counter merging
+  itself is associative/commutative (integer sums and maxima), so the
+  merged ``frequency.*`` counters and the returned frequency sets are
+  bit-identical to a serial run regardless of worker scheduling.
+
+Only the ``parallel.*`` accounting (tasks, workers high-water,
+merge_seconds) and wall-clock differ between modes.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Executor, Future
+from typing import Sequence
+
+from repro import obs
+from repro.core.anonymity import FrequencyEvaluator, FrequencySet
+from repro.lattice.node import LatticeNode
+from repro.parallel import worker as worker_module
+from repro.parallel.config import ExecutionConfig, current_execution
+
+#: A materialisation request: the node plus an optional rollup source.
+Request = "tuple[LatticeNode, FrequencySet | None]"
+
+
+def _split_chunks(items: list, pieces: int) -> list[list]:
+    """Split ``items`` into at most ``pieces`` contiguous, non-empty runs."""
+    pieces = min(pieces, len(items))
+    base, extra = divmod(len(items), pieces)
+    chunks = []
+    start = 0
+    for index in range(pieces):
+        stop = start + base + (1 if index < extra else 0)
+        chunks.append(items[start:stop])
+        start = stop
+    return chunks
+
+
+def _thread_chunk(problem, chunk):
+    """Execute one chunk in a worker thread (shared memory, private stats)."""
+    from repro.core.stats import SearchStats
+
+    evaluator = FrequencyEvaluator(problem, SearchStats())
+    out = []
+    for _, node, kind, payload in chunk:
+        out.append(evaluator.execute_job(node, kind, payload))
+    return out, evaluator.stats.counters
+
+
+class BatchMaterializer:
+    """Materialises batches of frequency-set requests for one problem.
+
+    One instance spans a whole algorithm run — the underlying executor is
+    created lazily on the first parallel batch (so serial runs never pay
+    for a pool) and reused across levels and Incognito iterations.  Use as
+    a context manager, or call :meth:`close` when the run ends.
+    """
+
+    def __init__(
+        self, problem, execution: ExecutionConfig | None = None
+    ) -> None:
+        self.problem = problem
+        self.execution = (
+            execution if execution is not None else current_execution()
+        )
+        self._executor: Executor | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_executor(self) -> Executor:
+        if self._executor is None:
+            if self.execution.mode == "threads":
+                from concurrent.futures import ThreadPoolExecutor
+
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.execution.workers,
+                    thread_name_prefix="repro-fs",
+                )
+            else:
+                from concurrent.futures import ProcessPoolExecutor
+
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.execution.workers,
+                    initializer=worker_module.init_worker,
+                    initargs=(self.problem,),
+                )
+        return self._executor
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "BatchMaterializer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # materialisation
+    # ------------------------------------------------------------------
+    def materialize_batch(
+        self,
+        evaluator: FrequencyEvaluator,
+        requests: Sequence[tuple[LatticeNode, FrequencySet | None]],
+    ) -> list[FrequencySet]:
+        """Frequency sets for ``requests``, in request order.
+
+        Serial configs (and degenerate batches) take the exact same code
+        path as :meth:`FrequencyEvaluator.materialize`, so the serial
+        fallback has zero parallel machinery in the loop.
+        """
+        if not self.execution.is_parallel or len(requests) < 2:
+            return [
+                evaluator.materialize(node, source)
+                for node, source in requests
+            ]
+
+        results: list[FrequencySet | None] = [None] * len(requests)
+        pending = []  # (request index, node, kind, payload)
+        for index, (node, source) in enumerate(requests):
+            kind, payload = evaluator.resolve_job(node, source)
+            if kind == "use":
+                results[index] = payload
+            else:
+                pending.append((index, node, kind, payload))
+        if len(pending) <= 1:
+            # Nothing (or a single job) survived the cache: dispatching to
+            # a pool would cost more than the work.
+            for index, node, kind, payload in pending:
+                result = evaluator.execute_job(node, kind, payload)
+                evaluator.cache_put(result)
+                results[index] = result
+            return results
+
+        chunks = _split_chunks(pending, self.execution.workers)
+        with obs.span(
+            "parallel.batch",
+            mode=self.execution.mode,
+            jobs=len(pending),
+            tasks=len(chunks),
+            workers=self.execution.workers,
+        ):
+            futures = self._submit(chunks)
+            merge_seconds = 0.0
+            for chunk, future in zip(chunks, futures):
+                chunk_results, delta = future.result()
+                merge_started = time.perf_counter()
+                evaluator.stats.counters += delta
+                for (index, node, _, _), item in zip(chunk, chunk_results):
+                    if isinstance(item, FrequencySet):
+                        result = item
+                    else:
+                        key_codes, counts = item
+                        result = FrequencySet(
+                            node, key_codes, counts, self.problem
+                        )
+                    evaluator.cache_put(result)
+                    results[index] = result
+                merge_seconds += time.perf_counter() - merge_started
+
+        stats = evaluator.stats
+        stats.parallel_tasks += len(chunks)
+        stats.parallel_workers = self.execution.workers
+        stats.parallel_merge_seconds += merge_seconds
+        return results
+
+    def _submit(self, chunks: list[list]) -> list[Future]:
+        executor = self._ensure_executor()
+        if self.execution.mode == "threads":
+            return [
+                executor.submit(_thread_chunk, self.problem, chunk)
+                for chunk in chunks
+            ]
+        shipped = [
+            [
+                (
+                    node,
+                    kind,
+                    None
+                    if payload is None
+                    else (payload.node, payload.key_codes, payload.counts),
+                )
+                for _, node, kind, payload in chunk
+            ]
+            for chunk in chunks
+        ]
+        return [
+            executor.submit(worker_module.run_chunk, chunk)
+            for chunk in shipped
+        ]

@@ -1,0 +1,75 @@
+"""Process-pool worker side of :mod:`repro.parallel`.
+
+A :class:`~concurrent.futures.ProcessPoolExecutor` worker is initialised
+exactly once with the prepared problem — the dictionary-encoded column
+arrays plus compiled hierarchy lookup tables — via :func:`init_worker`;
+after that, each :func:`run_chunk` call ships only lattice nodes and (for
+rollup jobs) the source set's two small arrays, never the base table.
+
+Results come back as raw ``(key_codes, counts)`` array pairs together with
+the chunk's :class:`~repro.obs.counters.CounterSet` stats delta; the parent
+rebuilds :class:`~repro.core.anonymity.FrequencySet` objects against its
+own problem instance and merges the deltas in deterministic (submission)
+order.  Everything crossing the boundary is plain picklable data — numpy
+arrays, tuples, ``CounterSet`` — so the module works under both ``fork``
+and ``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+#: The worker-resident problem, installed once per process by the pool
+#: initializer.  Module-global on purpose: executor task functions must be
+#: importable top-level callables, and the problem must not be re-pickled
+#: per task.
+_PROBLEM = None
+
+
+def init_worker(problem) -> None:
+    """Pool initializer: install the shipped problem in this process.
+
+    Also installs a disabled tracer: under the ``fork`` start method the
+    worker inherits the parent's active tracer, and concurrent writes to
+    an inherited JSON-lines sink would tear lines in the trace file.  The
+    only signal leaving a worker is the per-chunk counter delta, which the
+    parent merges deterministically.
+    """
+    global _PROBLEM
+    _PROBLEM = problem
+    from repro import obs
+    from repro.obs.trace import Tracer
+
+    obs.set_tracer(Tracer(enabled=False))
+
+
+def run_chunk(
+    jobs: Sequence[tuple[Any, str, tuple | None]],
+) -> tuple[list[tuple], "object"]:
+    """Materialise one chunk of frequency-set jobs in a worker process.
+
+    ``jobs`` entries are ``(node, kind, payload)`` with kind ``"scan"``
+    (payload None) or ``"rollup"`` (payload is the source set exploded to
+    ``(source_node, key_codes, counts)``).  Returns the materialised
+    ``(key_codes, counts)`` pairs in job order plus this chunk's stats
+    delta.  The worker's tracer is the process default (disabled), so the
+    only signal leaving the worker is the counter delta.
+    """
+    from repro.core.anonymity import FrequencyEvaluator, FrequencySet
+    from repro.core.stats import SearchStats
+
+    if _PROBLEM is None:
+        raise RuntimeError("worker used before init_worker installed a problem")
+    evaluator = FrequencyEvaluator(_PROBLEM, SearchStats())
+    out: list[tuple] = []
+    for node, kind, payload in jobs:
+        if kind == "scan":
+            result = evaluator.scan(node)
+        elif kind == "rollup":
+            source_node, key_codes, counts = payload
+            source = FrequencySet(source_node, key_codes, counts, _PROBLEM)
+            result = evaluator.rollup(source, node)
+        else:
+            raise ValueError(f"unknown job kind {kind!r}")
+        out.append((result.key_codes, result.counts))
+    return out, evaluator.stats.counters

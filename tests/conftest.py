@@ -1,10 +1,30 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+Hypothesis runs under one of two registered profiles, selected with the
+``HYPOTHESIS_PROFILE`` environment variable:
+
+* ``dev`` (default) — normal randomized exploration for local runs;
+* ``ci`` — derandomized (fixed seed derived from each test) with no
+  deadline, so CI failures are reproducible and slow machines don't flake.
+"""
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+
+try:
+    from hypothesis import settings
+
+    settings.register_profile("dev", deadline=None)
+    settings.register_profile(
+        "ci", deadline=None, derandomize=True, print_blob=True
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+except ImportError:  # pragma: no cover - hypothesis-less environments
+    pass
 
 from repro.core.problem import PreparedTable
 from repro.datasets.patients import (

@@ -1,0 +1,179 @@
+"""Semantics of the cross-algorithm FrequencySetCache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.anonymity import FrequencyEvaluator, compute_frequency_set
+from repro.core.binary_search import samarati_binary_search
+from repro.core.bottomup import bottom_up_search
+from repro.core.fscache import (
+    ENTRY_OVERHEAD_BYTES,
+    FrequencySetCache,
+    current_cache,
+    use_cache,
+)
+from repro.core.stats import SearchStats
+from repro.lattice.node import LatticeNode
+from tests.conftest import make_random_problem, tiny_numeric_problem
+
+
+def _node(problem, levels) -> LatticeNode:
+    return LatticeNode(tuple(problem.quasi_identifier), tuple(levels))
+
+
+def _fill(cache, problem, *level_vectors):
+    sets = []
+    for levels in level_vectors:
+        fs = compute_frequency_set(problem, _node(problem, levels))
+        cache.put(fs)
+        sets.append(fs)
+    return sets
+
+
+class TestLookup:
+    def test_exact_hit_and_miss(self):
+        problem = tiny_numeric_problem()
+        cache = FrequencySetCache()
+        cache.bind(problem)
+        (fs,) = _fill(cache, problem, (1, 0))
+        assert cache.get(_node(problem, (1, 0))) is fs
+        assert cache.get(_node(problem, (2, 0))) is None
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_ancestor_rollup_vs_exact_hit(self):
+        problem = tiny_numeric_problem()
+        cache = FrequencySetCache()
+        cache.bind(problem)
+        zero, mid = _fill(cache, problem, (0, 0), (1, 0))
+        # Exact node present -> get() wins, ancestor search not needed.
+        assert cache.get(_node(problem, (1, 0))) is mid
+        # (1, 1) is cached nowhere; nearest ancestor is the *highest*
+        # comparable specialization — (1, 0), not (0, 0).
+        assert cache.nearest_ancestor(_node(problem, (1, 1))) is mid
+        # A node below everything cached has no ancestor.
+        assert cache.nearest_ancestor(_node(problem, (0, 0))) is None
+        assert zero.node == _node(problem, (0, 0))
+
+    def test_ancestor_requires_same_attributes(self):
+        problem = tiny_numeric_problem()
+        cache = FrequencySetCache()
+        cache.bind(problem)
+        _fill(cache, problem, (0, 0))
+        age_only = LatticeNode(("age",), (1,))
+        assert cache.nearest_ancestor(age_only) is None
+
+
+class TestEviction:
+    def test_lru_eviction_order(self):
+        problem = tiny_numeric_problem()
+        sets = [
+            compute_frequency_set(problem, _node(problem, levels))
+            for levels in ((0, 0), (1, 0), (2, 0), (3, 0))
+        ]
+        budget = sum(FrequencySetCache.entry_bytes(fs) for fs in sets[:3])
+        cache = FrequencySetCache(budget)
+        cache.bind(problem)
+        for fs in sets[:3]:
+            assert cache.put(fs) == 0
+        # Refresh the oldest entry, then overflow: the eviction victim must
+        # be the least-recently-used entry (sets[1]), not insertion order.
+        assert cache.get(sets[0].node) is sets[0]
+        evicted = cache.put(sets[3])
+        assert evicted >= 1
+        assert sets[1].node not in cache
+        assert sets[0].node in cache and sets[3].node in cache
+
+    def test_oversized_entry_not_admitted(self):
+        problem = tiny_numeric_problem()
+        fs = compute_frequency_set(problem, _node(problem, (0, 0)))
+        cache = FrequencySetCache(ENTRY_OVERHEAD_BYTES)  # smaller than any set
+        cache.bind(problem)
+        assert cache.put(fs) == 0
+        assert len(cache) == 0 and cache.size_bytes == 0
+
+
+class TestBinding:
+    def test_rebinding_different_problem_clears(self):
+        first = make_random_problem(1)
+        second = make_random_problem(2)
+        cache = FrequencySetCache()
+        cache.bind(first)
+        cache.put(compute_frequency_set(first, first.bottom_node()))
+        assert len(cache) == 1
+        cache.bind(second)
+        assert len(cache) == 0
+
+    def test_qi_subset_views_share_the_cache(self):
+        problem = make_random_problem(3)
+        cache = FrequencySetCache()
+        cache.bind(problem)
+        cache.put(compute_frequency_set(problem, problem.bottom_node()))
+        view = problem.with_quasi_identifier(problem.quasi_identifier[:1])
+        cache.bind(view)  # same fingerprint: entries survive
+        assert len(cache) == 1
+
+
+class TestEvaluatorAccounting:
+    def test_cache_hit_does_not_count_a_table_scan(self):
+        problem = tiny_numeric_problem()
+        cache = FrequencySetCache()
+        stats = SearchStats()
+        evaluator = FrequencyEvaluator(problem, stats, cache=cache)
+        node = _node(problem, (1, 0))
+        evaluator.materialize(node)
+        assert stats.table_scans == 1 and stats.cache_misses == 1
+        evaluator.materialize(node)
+        assert stats.table_scans == 1  # unchanged: served from cache
+        assert stats.cache_hits == 1
+        assert stats.frequency_evaluations == 1
+
+    def test_ancestor_substitution_counts_rollup_save(self):
+        problem = tiny_numeric_problem()
+        cache = FrequencySetCache()
+        stats = SearchStats()
+        evaluator = FrequencyEvaluator(problem, stats, cache=cache)
+        evaluator.materialize(_node(problem, (1, 0)))
+        evaluator.materialize(_node(problem, (2, 1)))
+        # Second call: no exact entry, but (1, 0) is a cached ancestor, so
+        # the would-be scan becomes a rollup.
+        assert stats.table_scans == 1
+        assert stats.rollups == 1
+        assert stats.cache_hits == 1 and stats.cache_rollup_saves == 1
+
+    def test_eviction_counted_in_stats(self):
+        problem = tiny_numeric_problem()
+        sets = [
+            compute_frequency_set(problem, _node(problem, levels))
+            for levels in ((0, 0), (1, 0))
+        ]
+        cache = FrequencySetCache(FrequencySetCache.entry_bytes(sets[0]))
+        stats = SearchStats()
+        evaluator = FrequencyEvaluator(problem, stats, cache=cache)
+        evaluator.cache_put(sets[0])
+        evaluator.cache_put(sets[1])
+        assert stats.cache_evictions == 1
+
+
+class TestCrossAlgorithmReuse:
+    def test_bottom_up_seeds_binary_search(self):
+        problem = make_random_problem(9, num_rows=30)
+        k = 2
+        cold = samarati_binary_search(problem, k)
+
+        cache = FrequencySetCache()
+        bottom_up_search(problem, k, cache=cache)
+        warm = samarati_binary_search(problem, k, cache=cache)
+
+        assert warm.anonymous_nodes == cold.anonymous_nodes
+        assert warm.stats.cache_hits > 0
+        assert warm.stats.table_scans < cold.stats.table_scans
+
+
+class TestRegionDefault:
+    def test_use_cache_installs_and_restores(self):
+        assert current_cache() is None
+        cache = FrequencySetCache()
+        with use_cache(cache):
+            assert current_cache() is cache
+        assert current_cache() is None

@@ -1,0 +1,92 @@
+"""SearchStats / CounterSet merging must be associative and commutative.
+
+The parallel evaluator folds per-chunk stats deltas into the run's totals
+in submission order; the determinism contract only holds if the fold's
+result is independent of grouping and order — integer sums for counters,
+maxima for high-water marks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import random
+
+from repro.core.stats import SearchStats
+from repro.obs.counters import CounterSet
+
+
+def _delta(seed: int) -> SearchStats:
+    rng = random.Random(seed)
+    stats = SearchStats()
+    stats.table_scans = rng.randint(0, 50)
+    stats.rollups = rng.randint(0, 50)
+    stats.rollup_source_rows = rng.randint(0, 10_000)
+    stats.frequency_set_rows = rng.randint(0, 10_000)
+    stats.peak_frequency_set_rows = rng.randint(1, 5_000)
+    stats.record_check(rng.randint(1, 4))
+    return stats
+
+
+def _fold(deltas) -> dict:
+    total = SearchStats()
+    for delta in deltas:
+        total += delta
+    return total.as_dict()
+
+
+def test_merge_is_permutation_invariant():
+    deltas = [_delta(seed) for seed in range(4)]
+    baseline = _fold(deltas)
+    for order in itertools.permutations(range(4)):
+        assert _fold(deltas[i] for i in order) == baseline
+
+
+def test_merge_is_associative():
+    a, b, c = (_delta(seed) for seed in (10, 11, 12))
+    left = SearchStats()
+    left += a
+    left += b
+    left += c
+
+    bc = SearchStats()
+    bc += b
+    bc += c
+    right = SearchStats()
+    right += a
+    right += bc
+
+    assert left.as_dict() == right.as_dict()
+
+
+def test_iadd_merges_sums_and_maxima():
+    total = SearchStats(table_scans=2, peak_frequency_set_rows=10)
+    delta = SearchStats(table_scans=3, peak_frequency_set_rows=7)
+    total += delta
+    assert total.table_scans == 5
+    assert total.peak_frequency_set_rows == 10  # max, not sum
+    result = total.__iadd__(object())
+    assert result is NotImplemented
+
+
+def test_counterset_add_returns_merged_copy():
+    left = CounterSet({"a.x": 1})
+    left.note_max("a.peak", 5)
+    right = CounterSet({"a.x": 2})
+    right.note_max("a.peak", 3)
+    merged = left + right
+    assert merged.get("a.x") == 3 and merged.get("a.peak") == 5
+    # operands untouched
+    assert left.get("a.x") == 1 and right.get("a.x") == 2
+
+
+def test_counterset_round_trips_through_pickle():
+    """Worker processes ship their deltas back as pickled CounterSets."""
+    delta = _delta(99)
+    clone = pickle.loads(pickle.dumps(delta.counters))
+    assert clone == delta.counters
+    # Maxima must survive as maxima: merging the clone twice must not sum.
+    total = SearchStats()
+    total.counters += clone
+    total.counters += clone
+    assert total.peak_frequency_set_rows == delta.peak_frequency_set_rows

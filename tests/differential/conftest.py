@@ -1,0 +1,40 @@
+"""Fixtures for the differential suite: execution × cache combinations.
+
+Both fixtures are module-scoped (hypothesis forbids function-scoped
+fixtures inside ``@given`` tests), so one combination spans every
+generated example of a module:
+
+* the *execution* axis runs the same algorithms serially and on a
+  two-worker thread pool — results must be indistinguishable;
+* the *cache* axis shares one :class:`FrequencySetCache` across *all*
+  examples, deliberately: every new random problem has a new fingerprint,
+  so each example also exercises the bind-and-invalidate path, and within
+  an example the algorithms exercise cross-algorithm reuse.  (The cache
+  is only ever touched from the test thread — planning and admission
+  happen in the parent even under the thread pool.)
+
+Process-pool execution is covered by dedicated seed-listed tests in
+``test_differential.py`` rather than the hypothesis fan — a process pool
+per generated example would dominate the suite's runtime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fscache import FrequencySetCache
+from repro.parallel import ExecutionConfig
+
+
+@pytest.fixture(scope="module", params=["serial", "threads-2"])
+def execution(request) -> ExecutionConfig:
+    if request.param == "serial":
+        return ExecutionConfig()
+    return ExecutionConfig(mode="threads", workers=2)
+
+
+@pytest.fixture(scope="module", params=["cache-off", "cache-on"])
+def cache(request) -> FrequencySetCache | None:
+    if request.param == "cache-off":
+        return None
+    return FrequencySetCache()
