@@ -50,6 +50,7 @@ from pathlib import Path
 from typing import Any
 
 from repro.bench.harness import MeasuredRun
+from repro.resilience.atomicio import atomic_write_text
 
 #: Current schema version of the exported document.
 SCHEMA_VERSION = 1
@@ -128,7 +129,13 @@ def bench_document(
 
 
 def write_bench_json(path: str | Path, document: dict[str, Any]) -> Path:
-    """Validate and write ``document``; raises ValueError when malformed."""
+    """Validate and write ``document``; raises ValueError when malformed.
+
+    The write is atomic (temp file + fsync + rename): a crash or kill
+    mid-export leaves either the previous complete document or the new
+    one, never a torn half-written file — sweeps that export after every
+    figure can be interrupted without corrupting the trajectory data.
+    """
     errors = validate_bench_document(document)
     if errors:
         raise ValueError(
@@ -136,8 +143,7 @@ def write_bench_json(path: str | Path, document: dict[str, Any]) -> Path:
             + "\n  ".join(errors)
         )
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    atomic_write_text(path, json.dumps(document, indent=2, sort_keys=True) + "\n")
     return path
 
 

@@ -24,6 +24,15 @@ lattice level on N workers, and ``--cache-mb M`` shares a frequency-set
 cache across all runs of a sweep — cross-algorithm reuse shows up as
 ``cache.hits`` in the JSON while ``frequency.table_scans`` drops.
 
+Resilience knobs (see :mod:`repro.resilience`): ``--chunk-timeout`` /
+``--max-retries`` tune the supervised parallel path, ``--inject-faults
+SPEC`` deterministically injects worker failures (figures and structural
+counters are unchanged; ``fault.*`` / ``retry.*`` counters land in the
+JSON), and ``--checkpoint DIR`` + ``--resume`` let an interrupted sweep
+pick up where it stopped without re-scanning completed levels.  The JSON
+export itself is written atomically, so a killed sweep never leaves a
+torn ``BENCH_incognito.json``.
+
 Scale knobs: ``REPRO_ADULTS_ROWS`` (default 45,222) and
 ``REPRO_LANDSEND_ROWS`` (default 200,000); ``--quick`` overrides both with
 a small fixed workload.  Output goes to stdout and, with ``--out DIR``, to
@@ -46,6 +55,7 @@ from repro.bench.export import (
 from repro.bench.harness import Series, format_series_table
 from repro.core.fscache import FrequencySetCache, use_cache
 from repro.parallel import ExecutionConfig, use_execution
+from repro.resilience import FaultPlan, use_checkpoints
 from repro.bench.workloads import (
     adults_rows,
     figure10_sweep,
@@ -258,7 +268,46 @@ def main(argv: list[str] | None = None) -> int:
         help="share a frequency-set cache of this size across all runs "
         "(0 = off); cache.* counters land in the benchmark JSON",
     )
+    parser.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="supervision timeout per parallel chunk (default: unbounded)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="failed-chunk retries before serial fallback (default: 3)",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        default=None,
+        metavar="SPEC",
+        help="deterministic fault injection for the parallel path, e.g. "
+        "'crash=0.2,timeout=0.1,seed=7'; figures and structural counters "
+        "are unchanged, fault.*/retry.* counters land in the JSON",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="checkpoint every algorithm run into DIR (one file per "
+        "algorithm/k/problem, atomic writes); with --resume an "
+        "interrupted sweep skips completed levels",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume matching checkpoints found in --checkpoint DIR",
+    )
     args = parser.parse_args(argv)
+
+    if args.resume and args.checkpoint is None:
+        parser.error("--resume requires --checkpoint DIR")
 
     if args.quick:
         print(
@@ -286,14 +335,35 @@ def main(argv: list[str] | None = None) -> int:
         else obs.get_tracer()
     )
 
-    execution = ExecutionConfig.from_workers(args.workers, args.parallel_mode)
-    cache = (
-        FrequencySetCache(args.cache_mb * 1024 * 1024)
-        if args.cache_mb > 0
-        else None
-    )
     try:
-        with obs.use_tracer(tracer), use_execution(execution), use_cache(cache):
+        execution = ExecutionConfig.from_workers(
+            args.workers, args.parallel_mode
+        )
+        if (
+            args.chunk_timeout is not None
+            or args.max_retries != 3
+            or args.inject_faults is not None
+        ):
+            execution = ExecutionConfig(
+                mode=execution.mode,
+                workers=execution.workers,
+                chunk_timeout=args.chunk_timeout,
+                max_retries=args.max_retries,
+                faults=FaultPlan.from_spec(args.inject_faults)
+                if args.inject_faults is not None
+                else None,
+            )
+        cache = (
+            FrequencySetCache(args.cache_mb * 1024 * 1024)
+            if args.cache_mb > 0
+            else None
+        )
+    except ValueError as error:
+        parser.error(str(error))
+    try:
+        with obs.use_tracer(tracer), use_execution(execution), use_cache(
+            cache
+        ), use_checkpoints(args.checkpoint, args.resume):
             if args.profile:
                 with obs.profile():
                     _run_artifacts(args, records)

@@ -57,6 +57,7 @@ from repro.core.incognito import basic_incognito
 from repro.core.problem import PreparedTable
 from repro.core.superroots import superroots_incognito
 from repro.parallel import ExecutionConfig, use_execution
+from repro.resilience import CheckpointStore, FaultPlan
 from repro.hierarchy.spec import hierarchies_from_spec
 from repro.relational.csvio import read_csv, write_csv
 from repro.relational.groupby import group_by_count
@@ -90,6 +91,14 @@ def _comma_list(text: str) -> list[str]:
     return [item for item in text.split(",") if item]
 
 
+def _fault_plan(text: str) -> FaultPlan:
+    """argparse type for ``--inject-faults``; clean errors on bad specs."""
+    try:
+        return FaultPlan.from_spec(text)
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from error
+
+
 def cmd_anonymize(args: argparse.Namespace) -> int:
     table = read_csv(args.input)
     spec = json.loads(Path(args.hierarchies).read_text())
@@ -98,7 +107,13 @@ def cmd_anonymize(args: argparse.Namespace) -> int:
     problem = PreparedTable(table, hierarchies, qi)
 
     algorithm = ALGORITHMS[args.algorithm]
-    result = algorithm(problem, args.k, max_suppression=args.max_suppression)
+    extra = {}
+    if args.checkpoint:
+        extra["checkpoint"] = CheckpointStore(args.checkpoint)
+        extra["resume"] = args.resume
+    result = algorithm(
+        problem, args.k, max_suppression=args.max_suppression, **extra
+    )
     if not result.found:
         print(
             f"no {args.k}-anonymous full-domain generalization exists "
@@ -268,6 +283,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable the frequency-set cache with this byte budget "
         "(0 = off); repeat probes become cache hits instead of table scans",
     )
+    parser.add_argument(
+        "--chunk-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="supervision timeout per parallel chunk; a chunk exceeding it "
+        "is abandoned and retried (default: wait forever)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="failed-chunk retries before falling back to serial execution "
+        "of that chunk in the parent (default: 3)",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        type=_fault_plan,
+        default=None,
+        metavar="SPEC",
+        help="deterministically inject worker failures for resilience "
+        "testing, e.g. 'crash=0.2,timeout=0.1,seed=7' "
+        "(keys: crash, timeout, slow, poison, memory, seed, hold, delay); "
+        "results are bit-identical to a fault-free run",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     anonymize = commands.add_parser(
@@ -296,6 +337,16 @@ def build_parser() -> argparse.ArgumentParser:
     anonymize.add_argument(
         "--show-all", action="store_true",
         help="list every k-anonymous generalization found",
+    )
+    anonymize.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="persist search progress to PATH after every completed "
+        "level/probe (atomic writes), enabling --resume after a kill",
+    )
+    anonymize.add_argument(
+        "--resume", action="store_true",
+        help="resume from a matching --checkpoint file instead of "
+        "re-searching completed levels",
     )
     anonymize.set_defaults(run=cmd_anonymize)
 
@@ -334,6 +385,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
+    if getattr(args, "resume", False) and not getattr(args, "checkpoint", None):
+        parser.error("--resume requires --checkpoint PATH")
+    if getattr(args, "checkpoint", None) and args.algorithm == "datafly":
+        parser.error(
+            "--checkpoint is not supported by the datafly heuristic "
+            "(it has no level-synchronous structure to checkpoint)"
+        )
+
     trace_sink = None
     if args.trace is not None:
         trace_sink = (
@@ -344,12 +403,29 @@ def main(argv: Sequence[str] | None = None) -> int:
     tracer = (
         obs.Tracer(trace_sink) if trace_sink is not None else obs.get_tracer()
     )
-    execution = ExecutionConfig.from_workers(args.workers, args.parallel_mode)
-    cache = (
-        FrequencySetCache(args.cache_mb * 1024 * 1024)
-        if args.cache_mb > 0
-        else None
-    )
+    try:
+        execution = ExecutionConfig.from_workers(
+            args.workers, args.parallel_mode
+        )
+        if (
+            args.chunk_timeout is not None
+            or args.max_retries != 3
+            or args.inject_faults is not None
+        ):
+            execution = ExecutionConfig(
+                mode=execution.mode,
+                workers=execution.workers,
+                chunk_timeout=args.chunk_timeout,
+                max_retries=args.max_retries,
+                faults=args.inject_faults,
+            )
+        cache = (
+            FrequencySetCache(args.cache_mb * 1024 * 1024)
+            if args.cache_mb > 0
+            else None
+        )
+    except ValueError as error:
+        parser.error(str(error))
     try:
         with obs.use_tracer(tracer), use_execution(execution), use_cache(cache):
             if args.profile:

@@ -43,7 +43,16 @@ from repro.core.problem import PreparedTable
 from repro.core.result import AnonymizationResult, make_result
 from repro.core.stats import SearchStats
 from repro.lattice.node import LatticeNode
+from repro.obs.counters import CounterSet
 from repro.parallel import BatchMaterializer, ExecutionConfig
+from repro.resilience.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointStore,
+    node_from_json,
+    node_to_json,
+    problem_fingerprint,
+    resolve_checkpoint,
+)
 
 
 def _first_anonymous_at_height(
@@ -81,34 +90,122 @@ def samarati_binary_search(
     max_suppression: int = 0,
     execution: ExecutionConfig | None = None,
     cache: FrequencySetCache | None = None,
+    checkpoint: CheckpointStore | None = None,
+    resume: bool = False,
 ) -> AnonymizationResult:
     """Find one minimal-height k-anonymous generalization by binary search.
 
     Returns a result with a single node (``complete=False``), or an empty
     node list when even the top of the lattice is not k-anonymous (k larger
     than the table, with no suppression allowance).
+
+    Checkpointing is per *probe* (one fully-evaluated height): each probe's
+    height and outcome is persisted with the run's counters, and a resumed
+    run replays recorded outcomes through the bisection logic — zero table
+    work — before probing live again.
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
     if cache is None:
         cache = current_cache()
+    store = checkpoint
+    if store is None:
+        store, region_resume = resolve_checkpoint(
+            "binary-search", problem, k
+        )
+        resume = resume or region_resume
+    header: dict | None = None
+    state: dict | None = None
+    if store is not None:
+        header = {
+            "format": CHECKPOINT_FORMAT,
+            "kind": "binary-search",
+            "algorithm": "binary-search",
+            "k": k,
+            "max_suppression": max_suppression,
+            "fingerprint": problem_fingerprint(problem),
+        }
+        if resume:
+            state = store.load_matching(header)
+
+    if state is not None and state.get("completed"):
+        stats = SearchStats(CounterSet.from_snapshot(state["counters"]))
+        stats.elapsed_seconds = float(state.get("elapsed_seconds", 0.0))
+        best = (
+            node_from_json(state["best"])
+            if state.get("best") is not None
+            else None
+        )
+        return make_result(
+            "binary-search",
+            k,
+            [best] if best is not None else [],
+            stats,
+            max_suppression=max_suppression,
+            complete=False,
+            probes=[
+                (int(p["h"]), p["f"] is not None) for p in state["probes"]
+            ],
+            resumed_probes=len(state["probes"]),
+            checkpoint_saves=0,
+        )
+
     stats = SearchStats()
     evaluator = FrequencyEvaluator(problem, stats, cache=cache)
     lattice = problem.lattice()
     stats.nodes_generated = lattice.size
     started = time.perf_counter()
 
-    probes: list[tuple[int, bool]] = []
+    #: Each probe as {"h": height, "f": found-node JSON or None}.
+    record: list[dict] = []
+    replayed = 0
+    base_elapsed = 0.0
+    if state is not None:
+        stats.counters = CounterSet.from_snapshot(state["counters"])
+        stats.nodes_generated = lattice.size
+        record = list(state["probes"])
+        base_elapsed = float(state.get("elapsed_seconds", 0.0))
+    #: Unconsumed recorded probes, replayed in order instead of evaluated.
+    replay = list(record)
+
+    pool = BatchMaterializer(problem, execution)
+
+    def probe(height: int) -> LatticeNode | None:
+        nonlocal replayed
+        if replay and int(replay[0]["h"]) == height:
+            item = replay.pop(0)
+            replayed += 1
+            return (
+                node_from_json(item["f"]) if item["f"] is not None else None
+            )
+        found = _first_anonymous_at_height(
+            evaluator, lattice, height, k, max_suppression, pool
+        )
+        record.append(
+            {
+                "h": height,
+                "f": node_to_json(found) if found is not None else None,
+            }
+        )
+        if store is not None:
+            store.save(
+                {
+                    **header,
+                    "completed": False,
+                    "probes": record,
+                    "counters": stats.counters.snapshot(),
+                    "elapsed_seconds": base_elapsed
+                    + (time.perf_counter() - started),
+                }
+            )
+        return found
+
     low, high = 0, lattice.max_height
     best: LatticeNode | None = None
-    pool = BatchMaterializer(problem, execution)
     try:
         while low < high:
             middle = (low + high) // 2
-            found = _first_anonymous_at_height(
-                evaluator, lattice, middle, k, max_suppression, pool
-            )
-            probes.append((middle, found is not None))
+            found = probe(middle)
             if found is not None:
                 best = found
                 high = middle
@@ -118,16 +215,29 @@ def samarati_binary_search(
             # Haven't actually verified height ``low`` yet (or only a
             # higher height succeeded): check it, falling back to the
             # recorded best.
-            found = _first_anonymous_at_height(
-                evaluator, lattice, low, k, max_suppression, pool
-            )
-            probes.append((low, found is not None))
+            found = probe(low)
             if found is not None:
                 best = found
     finally:
         pool.close()
 
-    stats.elapsed_seconds = time.perf_counter() - started
+    stats.elapsed_seconds = base_elapsed + time.perf_counter() - started
+    extra: dict = {}
+    if store is not None:
+        store.save(
+            {
+                **header,
+                "completed": True,
+                "probes": record,
+                "best": node_to_json(best) if best is not None else None,
+                "counters": stats.counters.snapshot(),
+                "elapsed_seconds": stats.elapsed_seconds,
+            }
+        )
+        extra = {
+            "checkpoint_saves": store.saves,
+            "resumed_probes": replayed,
+        }
     return make_result(
         "binary-search",
         k,
@@ -135,5 +245,6 @@ def samarati_binary_search(
         stats,
         max_suppression=max_suppression,
         complete=False,
-        probes=probes,
+        probes=[(int(p["h"]), p["f"] is not None) for p in record],
+        **extra,
     )

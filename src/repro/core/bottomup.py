@@ -36,7 +36,18 @@ from repro.core.problem import PreparedTable
 from repro.core.result import AnonymizationResult, make_result
 from repro.core.stats import SearchStats
 from repro.lattice.node import LatticeNode
+from repro.obs.counters import CounterSet
 from repro.parallel import BatchMaterializer, ExecutionConfig
+from repro.resilience.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointStore,
+    frequency_set_from_json,
+    frequency_set_to_json,
+    nodes_from_json,
+    nodes_to_json,
+    problem_fingerprint,
+    resolve_checkpoint,
+)
 
 
 def bottom_up_search(
@@ -47,12 +58,54 @@ def bottom_up_search(
     max_suppression: int = 0,
     execution: ExecutionConfig | None = None,
     cache: FrequencySetCache | None = None,
+    checkpoint: CheckpointStore | None = None,
+    resume: bool = False,
 ) -> AnonymizationResult:
-    """Exhaustive bottom-up BFS; returns all k-anonymous generalizations."""
+    """Exhaustive bottom-up BFS; returns all k-anonymous generalizations.
+
+    With a checkpoint store the run persists its progress after every
+    completed lattice height: the anonymous/marked sets, the restored
+    run's counters, and — for the rollup variant — the boundary frequency
+    sets (failed nodes of the just-finished height) the next height rolls
+    up from.  Resuming restarts at the first unfinished height with zero
+    re-scanning of completed levels.
+    """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
     if cache is None:
         cache = current_cache()
+    algorithm = "bottom-up" + ("-rollup" if rollup else "")
+    store = checkpoint
+    if store is None:
+        store, region_resume = resolve_checkpoint(algorithm, problem, k)
+        resume = resume or region_resume
+    header: dict | None = None
+    state: dict | None = None
+    if store is not None:
+        header = {
+            "format": CHECKPOINT_FORMAT,
+            "kind": "bottom-up",
+            "algorithm": algorithm,
+            "k": k,
+            "max_suppression": max_suppression,
+            "fingerprint": problem_fingerprint(problem),
+        }
+        if resume:
+            state = store.load_matching(header)
+
+    if state is not None and state.get("completed"):
+        stats = SearchStats(CounterSet.from_snapshot(state["counters"]))
+        stats.elapsed_seconds = float(state.get("elapsed_seconds", 0.0))
+        return make_result(
+            algorithm,
+            k,
+            nodes_from_json(state["anonymous"]),
+            stats,
+            max_suppression=max_suppression,
+            resumed_heights=int(state["height_done"]) + 1,
+            checkpoint_saves=0,
+        )
+
     stats = SearchStats()
     evaluator = FrequencyEvaluator(problem, stats, cache=cache)
     lattice = problem.lattice()
@@ -62,9 +115,28 @@ def bottom_up_search(
     marked: set[LatticeNode] = set()
     freq_cache: dict[LatticeNode, FrequencySet] = {}
 
+    start_height = 0
+    base_elapsed = 0.0
+    if state is not None:
+        stats.counters = CounterSet.from_snapshot(state["counters"])
+        anonymous = set(nodes_from_json(state["anonymous"]))
+        marked = set(nodes_from_json(state["marked"]))
+        freq_cache = {
+            fs.node: fs
+            for fs in (
+                frequency_set_from_json(item, problem)
+                for item in state.get("boundary", [])
+            )
+        }
+        start_height = int(state["height_done"]) + 1
+        base_elapsed = float(state.get("elapsed_seconds", 0.0))
+    # Known upfront and recorded by overwrite, so checkpoints taken at any
+    # height (and the completed-resume shortcut) carry the final value.
+    stats.nodes_generated = lattice.size
+
     pool = BatchMaterializer(problem, execution)
     try:
-        for height in range(lattice.max_height + 1):
+        for height in range(start_height, lattice.max_height + 1):
             layer = lattice.nodes_at_height(height)
             # One span per lattice level: the trace shows how the
             # exhaustive search's cost is distributed over heights.
@@ -110,16 +182,44 @@ def bottom_up_search(
                 stale = [n for n in freq_cache if n.height < height]
                 for node in stale:
                     del freq_cache[node]
+            if store is not None:
+                store.save(
+                    {
+                        **header,
+                        "height_done": height,
+                        "completed": height == lattice.max_height,
+                        "anonymous": nodes_to_json(
+                            sorted(anonymous, key=LatticeNode.sort_key)
+                        ),
+                        "marked": nodes_to_json(
+                            sorted(marked, key=LatticeNode.sort_key)
+                        ),
+                        "boundary": [
+                            frequency_set_to_json(freq_cache[node])
+                            for node in sorted(
+                                freq_cache, key=LatticeNode.sort_key
+                            )
+                        ],
+                        "counters": stats.counters.snapshot(),
+                        "elapsed_seconds": base_elapsed
+                        + (time.perf_counter() - started),
+                    }
+                )
     finally:
         pool.close()
 
-    stats.nodes_generated = lattice.size
-    stats.elapsed_seconds = time.perf_counter() - started
-    algorithm = "bottom-up" + ("-rollup" if rollup else "")
+    stats.elapsed_seconds = base_elapsed + time.perf_counter() - started
+    extra: dict = {}
+    if store is not None:
+        extra = {
+            "checkpoint_saves": store.saves,
+            "resumed_heights": start_height,
+        }
     return make_result(
         algorithm,
         k,
         sorted(anonymous, key=LatticeNode.sort_key),
         stats,
         max_suppression=max_suppression,
+        **extra,
     )

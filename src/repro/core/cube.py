@@ -94,6 +94,8 @@ def cube_incognito(
     max_suppression: int = 0,
     execution=None,
     cache=None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> AnonymizationResult:
     """Cube Incognito (Section 3.3.2).
 
@@ -101,6 +103,11 @@ def cube_incognito(
     ``cube_build_scans`` / ``cube_build_seconds``; ``elapsed_seconds`` is
     the total including the build, so the Figure 12 breakdown is
     ``anonymization = elapsed - cube_build``.
+
+    When resuming from a checkpoint the cube is rebuilt (it is derived
+    state, deliberately not persisted) but the duplicate build counters
+    are discarded in favor of the snapshot's, so resumed totals match an
+    uninterrupted run.
     """
     return run_incognito(
         problem,
@@ -110,4 +117,6 @@ def cube_incognito(
         algorithm="cube-incognito",
         execution=execution,
         cache=cache,
+        checkpoint=checkpoint,
+        resume=resume,
     )

@@ -70,6 +70,8 @@ class FrequencySetCache:
         )
         self._bytes = 0
         self._fingerprint: tuple | None = None
+        #: True once memory pressure demoted the cache to scan-through.
+        self.degraded = False
         # Lifetime totals (run-level deltas live in each run's SearchStats).
         self.hits = 0
         self.ancestor_hits = 0
@@ -101,11 +103,28 @@ class FrequencySetCache:
         self._bytes = 0
         self._fingerprint = None
 
+    def degrade(self) -> None:
+        """Demote to scan-through under memory pressure.
+
+        Drops every cached entry and refuses further admissions; lookups
+        miss unconditionally.  Results stay correct — the evaluator simply
+        re-derives every frequency set — but ``cache.*`` accounting and the
+        scan/rollup split shift accordingly (see DESIGN.md §7).  Sticky for
+        the cache's lifetime: the pressure signal means this process should
+        stop holding frequency sets, not retry at the next batch.
+        """
+        self._entries.clear()
+        self._bytes = 0
+        self.degraded = True
+
     # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------
     def get(self, node: "LatticeNode") -> "FrequencySet | None":
         """Exact hit for ``node``'s frequency set, refreshing its recency."""
+        if self.degraded:
+            self.misses += 1
+            return None
         entry = self._entries.get(_key(node))
         if entry is None:
             self.misses += 1
@@ -122,6 +141,8 @@ class FrequencySetCache:
         vector so the choice is deterministic regardless of insertion
         order.  The winner's recency is refreshed like a hit.
         """
+        if self.degraded:
+            return None
         best: "FrequencySet | None" = None
         for cached, _ in self._entries.values():
             cached_node = cached.node
@@ -149,6 +170,8 @@ class FrequencySetCache:
     # ------------------------------------------------------------------
     def put(self, frequency_set: "FrequencySet") -> int:
         """Admit ``frequency_set``; returns the number of evictions caused."""
+        if self.degraded:
+            return 0
         key = _key(frequency_set.node)
         if key in self._entries:
             self._entries.move_to_end(key)

@@ -63,7 +63,16 @@ from repro.core.stats import SearchStats
 from repro.lattice.generation import graph_generation, initial_graph
 from repro.lattice.graph import CandidateGraph
 from repro.lattice.node import LatticeNode
+from repro.obs.counters import CounterSet
 from repro.parallel import BatchMaterializer, ExecutionConfig
+from repro.resilience.checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointStore,
+    nodes_from_json,
+    nodes_to_json,
+    problem_fingerprint,
+    resolve_checkpoint,
+)
 
 
 class RootProvider:
@@ -217,6 +226,8 @@ def run_incognito(
     algorithm: str = "basic-incognito",
     execution: ExecutionConfig | None = None,
     cache: FrequencySetCache | None = None,
+    checkpoint: CheckpointStore | None = None,
+    resume: bool = False,
 ) -> AnonymizationResult:
     """Shared driver for the Incognito variants (Figure 8's outer loop).
 
@@ -224,12 +235,60 @@ def run_incognito(
     via :func:`repro.parallel.use_execution` /
     :func:`repro.core.fscache.use_cache` (serial, no cache out of the
     box), so fixed-signature callers can opt in without new parameters.
+
+    With a ``checkpoint`` store (explicit, or resolved from the
+    :func:`repro.resilience.use_checkpoints` region default) the run
+    persists its full progress after *every completed iteration* —
+    survivors per subset size, counters, elapsed time — atomically.
+    ``resume=True`` replays a matching checkpoint instead of re-searching:
+    completed iterations are reconstructed by pure graph generation (zero
+    table scans, zero node checks) and the search continues at the first
+    incomplete subset size with restored counters, so an interrupted +
+    resumed run ends with the same marked set and the same structural
+    counters as an uninterrupted one.
     """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
     if cache is None:
         cache = current_cache()
     qi = problem.quasi_identifier
+    store = checkpoint
+    if store is None:
+        store, region_resume = resolve_checkpoint(algorithm, problem, k)
+        resume = resume or region_resume
+    header: dict | None = None
+    state: dict | None = None
+    if store is not None:
+        header = {
+            "format": CHECKPOINT_FORMAT,
+            "kind": "incognito",
+            "algorithm": algorithm,
+            "k": k,
+            "max_suppression": max_suppression,
+            "fingerprint": problem_fingerprint(problem),
+            "qi": list(qi),
+        }
+        if resume:
+            state = store.load_matching(header)
+
+    if state is not None and state.get("completed"):
+        # The whole search already ran to completion: the result is the
+        # checkpoint.  No evaluator, no scans, no pool.
+        stats = SearchStats(CounterSet.from_snapshot(state["counters"]))
+        stats.elapsed_seconds = float(state.get("elapsed_seconds", 0.0))
+        final = nodes_from_json(
+            state["survivors_by_size"][str(state["iterations_done"])]
+        )
+        return make_result(
+            algorithm,
+            k,
+            final,
+            stats,
+            max_suppression=max_suppression,
+            resumed_iterations=int(state["iterations_done"]),
+            checkpoint_saves=0,
+        )
+
     stats = SearchStats()
     evaluator = FrequencyEvaluator(problem, stats, cache=cache)
     started = time.perf_counter()
@@ -241,9 +300,34 @@ def run_incognito(
         provider = provider_factory(problem, evaluator)
     graph = initial_graph(qi, problem.heights)
     survivors: Sequence[LatticeNode] = []
+
+    survivors_by_size: dict[str, list] = {}
+    start_size = 1
+    base_elapsed = 0.0
+    if state is not None:
+        # Restore *after* provider construction: the snapshot already
+        # accounts the original run's pre-computation (e.g. Cube's build
+        # scans), so the re-run's duplicate is discarded and the final
+        # counters match an uninterrupted run.
+        stats.counters = CounterSet.from_snapshot(state["counters"])
+        survivors_by_size = dict(state["survivors_by_size"])
+        start_size = int(state["iterations_done"]) + 1
+        base_elapsed = float(state.get("elapsed_seconds", 0.0))
+        with obs.span(
+            "incognito.resume",
+            algorithm=algorithm,
+            iterations_done=start_size - 1,
+        ):
+            # Replay completed iterations as pure graph work — no scans,
+            # no rollups, no node checks, no counter changes.
+            for size in range(1, start_size):
+                survivors = nodes_from_json(survivors_by_size[str(size)])
+                if size < len(qi):
+                    graph = graph_generation(survivors, graph, qi)
+
     pool = BatchMaterializer(problem, execution)
     try:
-        for size in range(1, len(qi) + 1):
+        for size in range(start_size, len(qi) + 1):
             # One paper iteration = one a-priori subset size (lattice level
             # of the outer search): its own phase span, so traces show
             # where the scans and rollups of each subset size land.
@@ -264,6 +348,19 @@ def run_incognito(
                         survivors=len(survivors),
                         nodes_checked=stats.nodes_checked - checked_before,
                     )
+            if store is not None:
+                survivors_by_size[str(size)] = nodes_to_json(survivors)
+                store.save(
+                    {
+                        **header,
+                        "iterations_done": size,
+                        "completed": size == len(qi),
+                        "survivors_by_size": survivors_by_size,
+                        "counters": stats.counters.snapshot(),
+                        "elapsed_seconds": base_elapsed
+                        + (time.perf_counter() - started),
+                    }
+                )
             if size < len(qi):
                 with obs.span(
                     "incognito.graph_generation", subset_size=size + 1
@@ -271,14 +368,21 @@ def run_incognito(
                     graph = graph_generation(survivors, graph, qi)
     finally:
         pool.close()
-    stats.elapsed_seconds = time.perf_counter() - started
+    stats.elapsed_seconds = base_elapsed + time.perf_counter() - started
 
+    extra: dict = {}
+    if store is not None:
+        extra = {
+            "checkpoint_saves": store.saves,
+            "resumed_iterations": start_size - 1,
+        }
     return make_result(
         algorithm,
         k,
         survivors,
         stats,
         max_suppression=max_suppression,
+        **extra,
     )
 
 
@@ -289,6 +393,8 @@ def basic_incognito(
     max_suppression: int = 0,
     execution: ExecutionConfig | None = None,
     cache: FrequencySetCache | None = None,
+    checkpoint: CheckpointStore | None = None,
+    resume: bool = False,
 ) -> AnonymizationResult:
     """Basic Incognito (Section 3.1): sound and complete full-domain search."""
     return run_incognito(
@@ -298,4 +404,6 @@ def basic_incognito(
         algorithm="basic-incognito",
         execution=execution,
         cache=cache,
+        checkpoint=checkpoint,
+        resume=resume,
     )

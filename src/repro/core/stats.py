@@ -38,11 +38,25 @@ _COUNTER_KEYS = {
     "cache_rollup_saves": "cache.rollup_saves",
     "parallel_tasks": "parallel.tasks",
     "parallel_merge_seconds": "parallel.merge_seconds",
+    "fault_crashes": "fault.crashes",
+    "fault_timeouts": "fault.timeouts",
+    "fault_poisoned": "fault.poisoned",
+    "fault_pool_rebuilds": "fault.pool_rebuilds",
+    "fault_demotions": "fault.demotions",
+    "fault_memory_pressure": "fault.memory_pressure",
+    "retry_attempts": "retry.attempts",
+    "retry_serial_fallbacks": "retry.serial_fallbacks",
+    "retry_backoff_seconds": "retry.backoff_seconds",
 }
 
 #: Attributes exposed as floats; everything else is coerced to int.
 _FLOAT_FIELDS = frozenset(
-    {"cube_build_seconds", "elapsed_seconds", "parallel_merge_seconds"}
+    {
+        "cube_build_seconds",
+        "elapsed_seconds",
+        "parallel_merge_seconds",
+        "retry_backoff_seconds",
+    }
 )
 
 #: Counter-name prefix of the per-subset-size node-check histogram.
@@ -133,6 +147,35 @@ class SearchStats:
     )
     parallel_merge_seconds = _counter_view(
         "parallel_merge_seconds", _COUNTER_KEYS["parallel_merge_seconds"]
+    )
+    # Failure supervision (see repro.resilience): observed faults and the
+    # retry/degradation work they caused.  Real or injected, these never
+    # perturb the frequency.* counters above — failed attempts contribute
+    # no deltas; only the one successful execution per chunk is merged.
+    fault_crashes = _counter_view("fault_crashes", _COUNTER_KEYS["fault_crashes"])
+    fault_timeouts = _counter_view(
+        "fault_timeouts", _COUNTER_KEYS["fault_timeouts"]
+    )
+    fault_poisoned = _counter_view(
+        "fault_poisoned", _COUNTER_KEYS["fault_poisoned"]
+    )
+    fault_pool_rebuilds = _counter_view(
+        "fault_pool_rebuilds", _COUNTER_KEYS["fault_pool_rebuilds"]
+    )
+    fault_demotions = _counter_view(
+        "fault_demotions", _COUNTER_KEYS["fault_demotions"]
+    )
+    fault_memory_pressure = _counter_view(
+        "fault_memory_pressure", _COUNTER_KEYS["fault_memory_pressure"]
+    )
+    retry_attempts = _counter_view(
+        "retry_attempts", _COUNTER_KEYS["retry_attempts"]
+    )
+    retry_serial_fallbacks = _counter_view(
+        "retry_serial_fallbacks", _COUNTER_KEYS["retry_serial_fallbacks"]
+    )
+    retry_backoff_seconds = _counter_view(
+        "retry_backoff_seconds", _COUNTER_KEYS["retry_backoff_seconds"]
     )
 
     @property

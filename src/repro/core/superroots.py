@@ -78,6 +78,8 @@ def superroots_incognito(
     max_suppression: int = 0,
     execution=None,
     cache=None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> AnonymizationResult:
     """Super-roots Incognito (Section 3.3.1)."""
     return run_incognito(
@@ -88,4 +90,6 @@ def superroots_incognito(
         algorithm="superroots-incognito",
         execution=execution,
         cache=cache,
+        checkpoint=checkpoint,
+        resume=resume,
     )

@@ -91,6 +91,25 @@ class CounterSet:
         snapshot.update(self._maxima)
         return snapshot
 
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """JSON-ready snapshot preserving the two accumulation modes.
+
+        :meth:`as_dict` flattens sums and high-water marks together, which
+        is fine for reporting but lossy for persistence: restoring a
+        high-water mark as a summed counter would make later
+        :meth:`note_max` calls invisible to :meth:`get`.  Checkpoints use
+        this faithful form (see :meth:`from_snapshot`).
+        """
+        return {"sums": dict(self._values), "maxima": dict(self._maxima)}
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping[str, Mapping[str, float]]) -> "CounterSet":
+        """Rebuild a counter set persisted with :meth:`snapshot`."""
+        restored = cls(dict(snapshot.get("sums", {})))
+        for name, value in dict(snapshot.get("maxima", {})).items():
+            restored.note_max(name, value)
+        return restored
+
     def as_tree(self) -> dict:
         """Nest the dotted namespace into dicts (leaves are numbers)."""
         tree: dict = {}

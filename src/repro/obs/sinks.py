@@ -79,6 +79,9 @@ class JsonLinesSink:
     def emit(self, span: "Span") -> None:
         json.dump(span.to_dict(), self.stream, default=str)
         self.stream.write("\n")
+        # Flush per span so a crashed run's trace ends at a line boundary
+        # with every closed span on disk — partial traces stay parseable.
+        self.stream.flush()
 
     def close(self) -> None:
         self.stream.flush()

@@ -16,6 +16,13 @@ Serial and parallel runs of the same algorithm produce identical result
 sets and identical structural (``nodes.*`` / ``frequency.*``) counters;
 see :mod:`repro.parallel.evaluator` for the determinism contract and
 ``tests/differential/`` for the suite that locks it down.
+
+The batch path is *supervised* (see :mod:`repro.resilience`): chunks are
+awaited with a per-chunk timeout, retried with bounded exponential
+backoff, and survive pool breakage through a rebuild-once-then-demote
+ladder (``processes → threads → serial``) — all without perturbing the
+determinism contract.  Failures are accounted under ``fault.*`` and
+``retry.*``.
 """
 
 from repro.parallel.config import (

@@ -1,4 +1,4 @@
-"""Per-level parallel frequency-set materialisation.
+"""Per-level parallel frequency-set materialisation, with supervision.
 
 The search algorithms in :mod:`repro.core` are level-synchronous: all
 unmarked nodes at one lattice (or candidate-graph) height are independent
@@ -22,22 +22,52 @@ Determinism contract (what makes ``--workers N`` safe to trust):
 
 Only the ``parallel.*`` accounting (tasks, workers high-water,
 merge_seconds) and wall-clock differ between modes.
+
+Failure supervision (the ``repro.resilience`` tentpole) extends the
+contract to *partial failure*: a dead worker, a stalled chunk, or a
+corrupt result must never abort — or silently alter — a run.  Each
+dispatched chunk is awaited with a per-chunk timeout and retried with
+exponential backoff and deterministic jitter, bounded by
+``ExecutionConfig.max_retries``; a chunk that exhausts its retries is
+executed serially in the parent, which cannot fail.  Pool-level breakage
+(``BrokenProcessPool``) walks a graceful-degradation ladder: the pool is
+rebuilt once, then the run is demoted ``processes → threads → serial``.
+Because plans are fixed in the parent and exactly one successful
+execution per chunk is merged — crashed, timed-out, and poisoned
+attempts contribute neither results nor counter deltas — retried and
+demoted execution still yields bit-identical frequency sets and
+``frequency.*`` counters; the failures themselves are accounted under
+the new ``fault.*`` / ``retry.*`` namespaces.  Injected faults
+(:class:`~repro.resilience.faults.FaultPlan`) exercise every rung of this
+ladder deterministically; see ``tests/resilience``.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import Executor, Future
+from concurrent.futures import BrokenExecutor, Executor, Future
+from concurrent.futures import TimeoutError as FuturesTimeout
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro import obs
 from repro.core.anonymity import FrequencyEvaluator, FrequencySet
 from repro.lattice.node import LatticeNode
+from repro.obs.counters import CounterSet
 from repro.parallel import worker as worker_module
 from repro.parallel.config import ExecutionConfig, current_execution
+from repro.resilience.faults import (
+    InjectedWorkerCrash,
+    PoisonedResultError,
+    apply_worker_fault,
+    poison_payload,
+)
 
 #: A materialisation request: the node plus an optional rollup source.
 Request = "tuple[LatticeNode, FrequencySet | None]"
+
+#: Degradation ladder, in demotion order.
+_LADDER = {"processes": "threads", "threads": "serial"}
 
 
 def _split_chunks(items: list, pieces: int) -> list[list]:
@@ -53,15 +83,95 @@ def _split_chunks(items: list, pieces: int) -> list[list]:
     return chunks
 
 
-def _thread_chunk(problem, chunk):
-    """Execute one chunk in a worker thread (shared memory, private stats)."""
+def _thread_chunk(problem, chunk, directive=None):
+    """Execute one chunk in a worker thread (shared memory, private stats).
+
+    Also the supervised path's serial fallback (with ``directive=None``):
+    executing through a private evaluator and merging the delta keeps the
+    counters bit-identical whichever rung of the ladder did the work.
+    """
     from repro.core.stats import SearchStats
 
+    apply_worker_fault(directive, in_process=False)
     evaluator = FrequencyEvaluator(problem, SearchStats())
     out = []
     for _, node, kind, payload in chunk:
         out.append(evaluator.execute_job(node, kind, payload))
-    return out, evaluator.stats.counters
+    result = (out, evaluator.stats.counters)
+    if directive is not None and directive[0] == "poison":
+        result = poison_payload(result)
+    return result
+
+
+def _ship_chunk(chunk) -> list[tuple]:
+    """Explode a chunk's payloads into picklable job tuples for a process."""
+    return [
+        (
+            node,
+            kind,
+            None
+            if payload is None
+            else (payload.node, payload.key_codes, payload.counts),
+        )
+        for _, node, kind, payload in chunk
+    ]
+
+
+def _validate_payload(chunk, payload) -> tuple[list, CounterSet]:
+    """Shape-check one chunk result; raises PoisonedResultError when corrupt.
+
+    Workers are untrusted under the failure model: a result is only merged
+    if it is structurally coherent — a ``(results, delta)`` pair with one
+    well-formed frequency set (object or raw array pair) per job and
+    non-negative counts.  Anything else is treated exactly like a crashed
+    worker: discarded and re-executed.
+    """
+    try:
+        results, delta = payload
+    except (TypeError, ValueError):
+        raise PoisonedResultError("chunk payload is not a (results, delta) pair")
+    if not isinstance(delta, CounterSet):
+        raise PoisonedResultError(
+            f"chunk stats delta is {type(delta).__name__}, not CounterSet"
+        )
+    if not isinstance(results, list) or len(results) != len(chunk):
+        got = len(results) if isinstance(results, list) else type(results).__name__
+        raise PoisonedResultError(
+            f"chunk returned {got} results for {len(chunk)} jobs"
+        )
+    for (_, node, _, _), item in zip(chunk, results):
+        if isinstance(item, FrequencySet):
+            key_codes, counts = item.key_codes, item.counts
+            if item.node != node:
+                raise PoisonedResultError(
+                    f"result for {node} labelled {item.node}"
+                )
+        else:
+            try:
+                key_codes, counts = item
+            except (TypeError, ValueError):
+                raise PoisonedResultError("malformed frequency-set payload")
+        if (
+            getattr(key_codes, "ndim", None) != 2
+            or getattr(counts, "ndim", None) != 1
+            or key_codes.shape[0] != counts.shape[0]
+        ):
+            raise PoisonedResultError("frequency-set arrays are inconsistent")
+        if counts.size and int(counts.min()) < 0:
+            raise PoisonedResultError("frequency set carries negative counts")
+    return results, delta
+
+
+@dataclass
+class _ChunkState:
+    """Supervision bookkeeping for one dispatched chunk."""
+
+    chunk: list
+    task_id: int
+    attempt: int = 0
+    future: Future | None = field(default=None, repr=False)
+    done: bool = False
+    serial_fallback: bool = False
 
 
 class BatchMaterializer:
@@ -71,6 +181,12 @@ class BatchMaterializer:
     created lazily on the first parallel batch (so serial runs never pay
     for a pool) and reused across levels and Incognito iterations.  Use as
     a context manager, or call :meth:`close` when the run ends.
+
+    The instance also carries the run's degradation state: the current
+    ladder rung (which may sit below ``execution.mode`` after failures),
+    whether the one pool rebuild has been spent, and the last shutdown
+    error (:attr:`shutdown_error` — recorded, never raised, so a broken
+    pool at exit cannot mask the algorithm's own exception).
     """
 
     def __init__(
@@ -81,13 +197,24 @@ class BatchMaterializer:
             execution if execution is not None else current_execution()
         )
         self._executor: Executor | None = None
+        #: Current degradation-ladder rung; starts at the configured mode.
+        self._mode = self.execution.mode
+        self._pool_rebuilt = False
+        self._task_counter = 0
+        #: Last error swallowed while shutting an executor down.
+        self.shutdown_error: BaseException | None = None
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
+    @property
+    def mode(self) -> str:
+        """The currently effective execution mode (post-degradation)."""
+        return self._mode
+
     def _ensure_executor(self) -> Executor:
         if self._executor is None:
-            if self.execution.mode == "threads":
+            if self._mode == "threads":
                 from concurrent.futures import ThreadPoolExecutor
 
                 self._executor = ThreadPoolExecutor(
@@ -104,15 +231,31 @@ class BatchMaterializer:
                 )
         return self._executor
 
+    def _drop_executor(self, wait: bool = False) -> None:
+        """Shut the current executor down, recording (not raising) errors.
+
+        ``cancel_futures=True`` keeps a broken process pool from hanging
+        the shutdown on work that will never run; any shutdown exception
+        is stored on :attr:`shutdown_error` so it cannot mask whatever
+        the algorithm itself was raising.
+        """
+        executor, self._executor = self._executor, None
+        if executor is None:
+            return
+        try:
+            executor.shutdown(wait=wait, cancel_futures=True)
+        except BaseException as error:  # noqa: BLE001 - recorded, not lost
+            self.shutdown_error = error
+
     def close(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        self._drop_executor(wait=True)
 
     def __enter__(self) -> "BatchMaterializer":
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
+        # Swallow-and-record: a failed shutdown must never shadow the
+        # algorithm exception travelling through this frame.
         self.close()
 
     # ------------------------------------------------------------------
@@ -155,15 +298,14 @@ class BatchMaterializer:
         chunks = _split_chunks(pending, self.execution.workers)
         with obs.span(
             "parallel.batch",
-            mode=self.execution.mode,
+            mode=self._mode,
             jobs=len(pending),
             tasks=len(chunks),
             workers=self.execution.workers,
-        ):
-            futures = self._submit(chunks)
+        ) as sp:
+            payloads = self._dispatch_supervised(evaluator, chunks)
             merge_seconds = 0.0
-            for chunk, future in zip(chunks, futures):
-                chunk_results, delta = future.result()
+            for chunk, (chunk_results, delta) in zip(chunks, payloads):
                 merge_started = time.perf_counter()
                 evaluator.stats.counters += delta
                 for (index, node, _, _), item in zip(chunk, chunk_results):
@@ -177,6 +319,8 @@ class BatchMaterializer:
                     evaluator.cache_put(result)
                     results[index] = result
                 merge_seconds += time.perf_counter() - merge_started
+            if sp:
+                sp.set(final_mode=self._mode)
 
         stats = evaluator.stats
         stats.parallel_tasks += len(chunks)
@@ -184,27 +328,172 @@ class BatchMaterializer:
         stats.parallel_merge_seconds += merge_seconds
         return results
 
-    def _submit(self, chunks: list[list]) -> list[Future]:
-        executor = self._ensure_executor()
-        if self.execution.mode == "threads":
-            return [
-                executor.submit(_thread_chunk, self.problem, chunk)
-                for chunk in chunks
-            ]
-        shipped = [
-            [
-                (
-                    node,
-                    kind,
-                    None
-                    if payload is None
-                    else (payload.node, payload.key_codes, payload.counts),
-                )
-                for _, node, kind, payload in chunk
-            ]
+    # ------------------------------------------------------------------
+    # supervised dispatch (retry / degrade ladder)
+    # ------------------------------------------------------------------
+    def _next_task_id(self) -> int:
+        self._task_counter += 1
+        return self._task_counter
+
+    def _dispatch_supervised(
+        self, evaluator: FrequencyEvaluator, chunks: list[list]
+    ) -> list[tuple[list, CounterSet]]:
+        """Execute every chunk to completion, in order, surviving failures."""
+        states = [
+            _ChunkState(chunk=chunk, task_id=self._next_task_id())
             for chunk in chunks
         ]
-        return [
-            executor.submit(worker_module.run_chunk, chunk)
-            for chunk in shipped
-        ]
+        for state in states:
+            self._try_submit(state, evaluator)
+        payloads = []
+        for state in states:
+            payloads.append(self._await_state(state, states, evaluator))
+            state.done = True
+        return payloads
+
+    def _try_submit(self, state: _ChunkState, evaluator) -> None:
+        """Submit one chunk on the current rung; broken pools leave
+        ``state.future`` unset for the await loop to recover."""
+        try:
+            self._submit_state(state, evaluator)
+        except BrokenExecutor:
+            evaluator.stats.counters.incr("fault.crashes")
+            state.future = None
+
+    def _submit_state(self, state: _ChunkState, evaluator) -> None:
+        state.future = None
+        if self._mode == "serial" or state.serial_fallback:
+            return  # executed inline (and never injected) at await time
+        directive = None
+        plan = self.execution.faults
+        counters = evaluator.stats.counters
+        if plan is not None and plan.any_faults:
+            kind = plan.draw(state.task_id, state.attempt)
+            if kind == "memory":
+                # Parent-side signal: demote the cache to scan-through.
+                counters.incr("fault.injected.memory_pressure")
+                counters.incr("fault.memory_pressure")
+                cache = evaluator.cache
+                if cache is not None and not cache.degraded:
+                    cache.degrade()
+            elif kind is not None:
+                counters.incr(f"fault.injected.{kind}")
+                param = {
+                    "crash": 0.0,
+                    "poison": 0.0,
+                    "timeout": plan.hold_seconds,
+                    "slow": plan.slow_seconds,
+                }[kind]
+                directive = (kind, param)
+        executor = self._ensure_executor()
+        if self._mode == "threads":
+            state.future = executor.submit(
+                _thread_chunk, self.problem, state.chunk, directive
+            )
+        else:
+            state.future = executor.submit(
+                worker_module.run_chunk, _ship_chunk(state.chunk), directive
+            )
+
+    def _await_state(
+        self, state: _ChunkState, states: list[_ChunkState], evaluator
+    ) -> tuple[list, CounterSet]:
+        """One chunk's successful ``(results, delta)``, however obtained.
+
+        Loops submit → await → classify-failure → retry until the chunk
+        succeeds.  Termination is guaranteed: every rung either succeeds
+        or pushes the chunk (or the whole run) down the ladder, and the
+        bottom rung — serial in-parent execution with injection disabled —
+        cannot fail without raising the underlying real error.
+        """
+        counters = evaluator.stats.counters
+        while True:
+            if self._mode == "serial" or state.serial_fallback:
+                return _validate_payload(
+                    state.chunk, _thread_chunk(self.problem, state.chunk)
+                )
+            if state.future is None:
+                self._try_submit(state, evaluator)
+                if state.future is None:
+                    # Submission itself hit a dead pool: recover, re-loop.
+                    self._recover_pool(states, evaluator)
+                    continue
+            try:
+                payload = state.future.result(
+                    timeout=self.execution.effective_timeout
+                )
+                return _validate_payload(state.chunk, payload)
+            except FuturesTimeout:
+                counters.incr("fault.timeouts")
+                state.future = None  # abandon the stalled worker's future
+                self._note_retry(state, counters)
+            except BrokenExecutor:
+                counters.incr("fault.crashes")
+                state.future = None
+                self._recover_pool(states, evaluator)
+                self._note_retry(state, counters)
+            except InjectedWorkerCrash:
+                counters.incr("fault.crashes")
+                state.future = None
+                self._note_retry(state, counters)
+            except PoisonedResultError:
+                counters.incr("fault.poisoned")
+                state.future = None
+                self._note_retry(state, counters)
+            except Exception:
+                # Unexpected worker error: retry like a fault.  A genuine,
+                # deterministic bug eventually exhausts retries and
+                # re-raises from the serial fallback, where the real
+                # traceback is visible.
+                counters.incr("fault.errors")
+                state.future = None
+                self._note_retry(state, counters)
+
+    def _note_retry(self, state: _ChunkState, counters: CounterSet) -> None:
+        """Account one failed attempt; back off or fall back to serial."""
+        if state.attempt == 0:
+            counters.incr("retry.chunks")
+        state.attempt += 1
+        counters.incr("retry.attempts")
+        if state.attempt > self.execution.max_retries:
+            state.serial_fallback = True
+            counters.incr("retry.serial_fallbacks")
+            return
+        base = self.execution.backoff_base
+        if base <= 0:
+            return
+        delay = min(
+            self.execution.backoff_cap, base * (2 ** (state.attempt - 1))
+        )
+        plan = self.execution.faults
+        if plan is not None:
+            delay *= plan.jitter(state.task_id, state.attempt)
+        counters.incr("retry.backoff_seconds", delay)
+        time.sleep(delay)
+
+    def _recover_pool(
+        self, states: list[_ChunkState], evaluator
+    ) -> None:
+        """Walk the ladder after pool breakage and re-dispatch pending work.
+
+        The first breakage of a process pool earns one rebuild
+        (``fault.pool_rebuilds``); any further breakage — or breakage of a
+        thread pool — demotes the whole run one rung
+        (``fault.demotions``).  Chunks whose futures died with the pool
+        are resubmitted on the new rung; chunks already consumed are
+        untouched, so each chunk still contributes exactly one merged
+        result.
+        """
+        counters = evaluator.stats.counters
+        self._drop_executor(wait=False)
+        if self._mode == "processes" and not self._pool_rebuilt:
+            self._pool_rebuilt = True
+            counters.incr("fault.pool_rebuilds")
+        elif self._mode in _LADDER:
+            self._mode = _LADDER[self._mode]
+            counters.incr("fault.demotions")
+        if self._mode == "serial":
+            return  # pending chunks run inline when awaited
+        for other in states:
+            if not other.done and other.future is not None:
+                self._try_submit(other, evaluator)

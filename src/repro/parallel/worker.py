@@ -45,6 +45,7 @@ def init_worker(problem) -> None:
 
 def run_chunk(
     jobs: Sequence[tuple[Any, str, tuple | None]],
+    directive: tuple[str, float] | None = None,
 ) -> tuple[list[tuple], "object"]:
     """Materialise one chunk of frequency-set jobs in a worker process.
 
@@ -54,12 +55,21 @@ def run_chunk(
     ``(key_codes, counts)`` pairs in job order plus this chunk's stats
     delta.  The worker's tracer is the process default (disabled), so the
     only signal leaving the worker is the counter delta.
+
+    ``directive`` is a pre-drawn fault-injection order from the parent's
+    :class:`~repro.resilience.faults.FaultPlan` (crash/stall before doing
+    any work, or poison the payload after).  A crashed or stalled-out
+    chunk therefore never contributes a partial counter delta — the
+    supervised retry re-executes the whole chunk, so merged ``frequency.*``
+    counters stay bit-identical to a fault-free run.
     """
     from repro.core.anonymity import FrequencyEvaluator, FrequencySet
     from repro.core.stats import SearchStats
+    from repro.resilience.faults import apply_worker_fault, poison_payload
 
     if _PROBLEM is None:
         raise RuntimeError("worker used before init_worker installed a problem")
+    apply_worker_fault(directive, in_process=True)
     evaluator = FrequencyEvaluator(_PROBLEM, SearchStats())
     out: list[tuple] = []
     for node, kind, payload in jobs:
@@ -72,4 +82,7 @@ def run_chunk(
         else:
             raise ValueError(f"unknown job kind {kind!r}")
         out.append((result.key_codes, result.counts))
-    return out, evaluator.stats.counters
+    payload_out = (out, evaluator.stats.counters)
+    if directive is not None and directive[0] == "poison":
+        payload_out = poison_payload(payload_out)
+    return payload_out

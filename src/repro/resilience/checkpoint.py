@@ -1,0 +1,226 @@
+"""Level-granular checkpoint/resume for the long-running lattice searches.
+
+The search algorithms are level-synchronous: at the end of every completed
+unit of work — an Incognito iteration (one a-priori subset size), a
+bottom-up lattice height, a binary-search probe — the algorithm's entire
+progress is describable as plain data (which nodes survived or were
+marked, the boundary frequency sets children still roll up from, the run's
+counters).  :class:`CheckpointStore` persists exactly that snapshot after
+each unit, atomically (write-temp-fsync-rename, see
+:mod:`repro.resilience.atomicio`), so a killed run can be resumed with
+``--resume`` and *never re-does a completed level* — completed levels are
+replayed from the snapshot (pure graph work, no table scans), and their
+counters are restored rather than recomputed.
+
+A checkpoint is only trusted when its header matches the run asking to
+resume: same algorithm, same ``k`` / suppression budget, and the same
+*content* fingerprint of the prepared table (the in-memory
+``cache_fingerprint`` is identity-based and so useless across processes —
+:func:`problem_fingerprint` hashes the encoded columns and hierarchy
+shapes instead).  A mismatched or missing file simply means "start
+fresh"; a torn file cannot exist by construction.
+
+Fixed-signature callers (the bench harness's algorithm table, the CLI's
+figure sweeps) opt in through a region default: :func:`use_checkpoints`
+installs a directory, and every checkpoint-aware algorithm derives its own
+store file from its algorithm tag, ``k``, and the problem fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from contextlib import contextmanager
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterator
+
+import numpy as np
+
+from repro.resilience.atomicio import atomic_write_json
+
+if TYPE_CHECKING:  # typing only: keep the core <-> resilience cycle lazy
+    from repro.core.problem import PreparedTable
+    from repro.lattice.node import LatticeNode
+
+#: Schema version of the checkpoint files.
+CHECKPOINT_FORMAT = 1
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file exists but cannot be parsed."""
+
+
+# ----------------------------------------------------------------------
+# codecs
+# ----------------------------------------------------------------------
+def problem_fingerprint(problem: "PreparedTable") -> str:
+    """Content hash of the prepared data, stable across processes.
+
+    Covers the quasi-identifier (names and order), every hierarchy's level
+    structure, and the dictionary-encoded column data — i.e. everything a
+    frequency set depends on.  Two processes preparing the same CSV with
+    the same spec produce the same fingerprint.
+    """
+    digest = hashlib.sha256()
+    digest.update(repr((problem.quasi_identifier, problem.num_rows)).encode())
+    for name in problem.quasi_identifier:
+        hierarchy = problem.hierarchy(name)
+        shape = tuple(
+            hierarchy.cardinality(level)
+            for level in range(hierarchy.height + 1)
+        )
+        digest.update(repr((name, shape)).encode())
+        codes = problem.table.column(name).codes
+        digest.update(np.ascontiguousarray(codes).tobytes())
+    return digest.hexdigest()
+
+
+def node_to_json(node: "LatticeNode") -> dict[str, Any]:
+    return {"a": list(node.attributes), "l": list(node.levels)}
+
+
+def node_from_json(data: dict[str, Any]) -> "LatticeNode":
+    from repro.lattice.node import LatticeNode
+
+    return LatticeNode(tuple(data["a"]), tuple(int(x) for x in data["l"]))
+
+
+def nodes_to_json(nodes) -> list[dict[str, Any]]:
+    return [node_to_json(node) for node in nodes]
+
+
+def nodes_from_json(items) -> list["LatticeNode"]:
+    return [node_from_json(item) for item in items]
+
+
+def frequency_set_to_json(frequency_set) -> dict[str, Any]:
+    """JSON-encode one frequency set (node + raw code/count arrays).
+
+    Only used for *boundary* sets — the handful of per-level rollup
+    sources the next level still needs — never whole caches, so the
+    plain-list encoding stays small.
+    """
+    return {
+        "node": node_to_json(frequency_set.node),
+        "key_codes": frequency_set.key_codes.tolist(),
+        "counts": frequency_set.counts.tolist(),
+    }
+
+
+def frequency_set_from_json(data: dict[str, Any], problem):
+    """Rebuild a frequency set persisted with :func:`frequency_set_to_json`."""
+    from repro.core.anonymity import FrequencySet
+    from repro.relational.column import CODE_DTYPE
+
+    node = node_from_json(data["node"])
+    key_codes = np.asarray(data["key_codes"], dtype=CODE_DTYPE).reshape(
+        -1, len(node.attributes)
+    )
+    counts = np.asarray(data["counts"], dtype=np.int64)
+    return FrequencySet(node, key_codes, counts, problem)
+
+
+# ----------------------------------------------------------------------
+# the store
+# ----------------------------------------------------------------------
+class CheckpointStore:
+    """Atomic persistence of one search's level-granular progress."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        #: Number of successful saves performed through this store.
+        self.saves = 0
+
+    def load(self) -> dict[str, Any] | None:
+        """The persisted state, or None when no checkpoint exists yet."""
+        try:
+            text = self.path.read_text()
+        except FileNotFoundError:
+            return None
+        try:
+            state = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise CheckpointError(
+                f"checkpoint {self.path} is not valid JSON ({error}); "
+                f"delete it to start fresh"
+            ) from error
+        if not isinstance(state, dict):
+            raise CheckpointError(
+                f"checkpoint {self.path} must hold a JSON object"
+            )
+        return state
+
+    def load_matching(self, header: dict[str, Any]) -> dict[str, Any] | None:
+        """The state if every ``header`` field matches, else None.
+
+        A header mismatch (different algorithm, k, fingerprint, or format)
+        is not an error — it means the checkpoint belongs to a different
+        run and the caller should start fresh (the next save overwrites).
+        """
+        state = self.load()
+        if state is None:
+            return None
+        for key, expected in header.items():
+            if state.get(key) != expected:
+                return None
+        return state
+
+    def save(self, state: dict[str, Any]) -> None:
+        """Atomically persist ``state`` (previous snapshot fully replaced)."""
+        atomic_write_json(self.path, state)
+        self.saves += 1
+
+    def clear(self) -> None:
+        self.path.unlink(missing_ok=True)
+
+    def __repr__(self) -> str:
+        return f"CheckpointStore({str(self.path)!r}, saves={self.saves})"
+
+
+# ----------------------------------------------------------------------
+# region default (fixed-signature callers: bench table, figure sweeps)
+# ----------------------------------------------------------------------
+_default_dir: Path | None = None
+_default_resume: bool = False
+
+
+def set_default_checkpoints(
+    directory: str | Path | None, resume: bool = False
+) -> tuple[Path | None, bool]:
+    """Install a region-default checkpoint directory; returns the previous."""
+    global _default_dir, _default_resume
+    previous = (_default_dir, _default_resume)
+    _default_dir = Path(directory) if directory is not None else None
+    _default_resume = bool(resume)
+    return previous
+
+
+@contextmanager
+def use_checkpoints(
+    directory: str | Path | None, resume: bool = False
+) -> Iterator[Path | None]:
+    """Temporarily install a region-default checkpoint directory."""
+    previous = set_default_checkpoints(directory, resume)
+    try:
+        yield _default_dir
+    finally:
+        set_default_checkpoints(previous[0], previous[1])
+
+
+def resolve_checkpoint(
+    tag: str, problem: "PreparedTable", k: int
+) -> tuple[CheckpointStore | None, bool]:
+    """The region-default store for one algorithm run, plus the resume flag.
+
+    Returns ``(None, False)`` when no directory is installed.  The file
+    name is deterministic in (algorithm tag, k, problem fingerprint), so
+    a re-run of the same sweep finds its own checkpoints and runs over
+    different problems or k values never collide.
+    """
+    if _default_dir is None:
+        return None, False
+    fingerprint = problem_fingerprint(problem)[:16]
+    safe = re.sub(r"[^A-Za-z0-9._-]+", "-", tag)
+    path = _default_dir / f"{safe}-k{k}-{fingerprint}.ckpt.json"
+    return CheckpointStore(path), _default_resume

@@ -1,0 +1,238 @@
+"""Deterministic fault injection for the parallel evaluator.
+
+A :class:`FaultPlan` is a seeded specification of how often dispatched
+chunks misbehave, with one injector per failure class the supervised batch
+path (:mod:`repro.parallel.evaluator`) must survive:
+
+* ``crash``   — the worker dies mid-task (``os._exit`` in a process pool,
+  an :class:`InjectedWorkerCrash` in a thread pool);
+* ``timeout`` — the worker stalls past the supervision timeout and the
+  parent must give up on it and re-dispatch;
+* ``slow``    — the worker is merely late (tests the retry machinery does
+  *not* fire for ordinary latency);
+* ``poison``  — the worker returns a corrupt result the parent-side
+  validation must reject (truncated payloads, mangled counts);
+* ``memory``  — a memory-pressure signal handled entirely in the parent:
+  the attached :class:`~repro.core.fscache.FrequencySetCache` is demoted
+  to scan-through (see :meth:`FrequencySetCache.degrade`).
+
+Every decision is a pure function of ``(seed, task_id, attempt)``, so a
+replayed run injects exactly the same faults at exactly the same tasks —
+which is what makes the fault-matrix differential tests reproducible —
+and a *retry* of the same task draws a fresh decision, so with any rate
+below 1.0 retries converge.  The plan is installed through
+``ExecutionConfig(faults=...)`` or the ``--inject-faults`` CLI flag.
+
+Faults are only drawn for work dispatched to a pool: serial execution —
+including the degradation ladder's final serial fallback — is never
+injected, which guarantees every run terminates with correct results.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, fields
+
+__all__ = [
+    "FaultPlan",
+    "InjectedWorkerCrash",
+    "PoisonedResultError",
+    "apply_worker_fault",
+    "poison_payload",
+]
+
+#: Draw order of the fault classes (first match wins on the unit draw).
+_FAULT_KINDS = ("crash", "timeout", "slow", "poison", "memory")
+
+#: Spec aliases accepted by :meth:`FaultPlan.from_spec`.
+_SPEC_KEYS = {
+    "crash": "crash_rate",
+    "timeout": "timeout_rate",
+    "slow": "slow_rate",
+    "poison": "poison_rate",
+    "memory": "memory_pressure_rate",
+    "seed": "seed",
+    "hold": "hold_seconds",
+    "delay": "slow_seconds",
+}
+
+
+class InjectedWorkerCrash(RuntimeError):
+    """Raised inside a thread worker to simulate its death."""
+
+
+class PoisonedResultError(RuntimeError):
+    """A chunk result failed parent-side validation and must be retried."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, deterministic fault-injection rates for chunk dispatch."""
+
+    crash_rate: float = 0.0
+    timeout_rate: float = 0.0
+    slow_rate: float = 0.0
+    poison_rate: float = 0.0
+    memory_pressure_rate: float = 0.0
+    seed: int = 0
+    #: How long an injected-timeout worker stalls before giving up its slot.
+    hold_seconds: float = 1.0
+    #: Added latency of an injected-slow worker (must stay under timeouts).
+    slow_seconds: float = 0.02
+
+    def __post_init__(self) -> None:
+        total = 0.0
+        for name in (
+            "crash_rate",
+            "timeout_rate",
+            "slow_rate",
+            "poison_rate",
+            "memory_pressure_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+            total += value
+        if total > 1.0:
+            raise ValueError(
+                f"fault rates must sum to at most 1.0, got {total:.3f}"
+            )
+        if self.hold_seconds <= 0:
+            raise ValueError(
+                f"hold_seconds must be positive, got {self.hold_seconds!r}"
+            )
+        if self.slow_seconds <= 0:
+            raise ValueError(
+                f"slow_seconds must be positive, got {self.slow_seconds!r}"
+            )
+
+    @property
+    def any_faults(self) -> bool:
+        """True when at least one injector has a non-zero rate."""
+        return (
+            self.crash_rate
+            + self.timeout_rate
+            + self.slow_rate
+            + self.poison_rate
+            + self.memory_pressure_rate
+        ) > 0.0
+
+    # ------------------------------------------------------------------
+    # drawing
+    # ------------------------------------------------------------------
+    def draw(self, task_id: int, attempt: int) -> str | None:
+        """The fault injected for ``(task_id, attempt)``, or None.
+
+        Returns one of ``"crash"``, ``"timeout"``, ``"slow"``,
+        ``"poison"``, ``"memory"``.  Pure: the same arguments always draw
+        the same outcome for a given plan.
+        """
+        unit = random.Random(
+            f"faultplan:{self.seed}:{task_id}:{attempt}"
+        ).random()
+        cumulative = 0.0
+        for kind, rate in zip(
+            _FAULT_KINDS,
+            (
+                self.crash_rate,
+                self.timeout_rate,
+                self.slow_rate,
+                self.poison_rate,
+                self.memory_pressure_rate,
+            ),
+        ):
+            cumulative += rate
+            if unit < cumulative:
+                return kind
+        return None
+
+    def jitter(self, task_id: int, attempt: int) -> float:
+        """Deterministic backoff jitter factor in [0.5, 1.5)."""
+        return 0.5 + random.Random(
+            f"faultjitter:{self.seed}:{task_id}:{attempt}"
+        ).random()
+
+    # ------------------------------------------------------------------
+    # spec parsing
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultPlan":
+        """Parse ``"crash=0.2,timeout=0.1,seed=7"`` into a plan.
+
+        Keys: ``crash`` / ``timeout`` / ``slow`` / ``poison`` / ``memory``
+        (rates in [0, 1]), ``seed`` (int), ``hold`` (stall seconds of an
+        injected timeout), ``delay`` (added seconds of an injected-slow
+        worker).  Raises ValueError on unknown keys or malformed values.
+        """
+        values: dict[str, float | int] = {}
+        for pair in spec.split(","):
+            pair = pair.strip()
+            if not pair:
+                continue
+            key, sep, raw = pair.partition("=")
+            key = key.strip().lower()
+            if not sep or key not in _SPEC_KEYS:
+                known = ",".join(sorted(_SPEC_KEYS))
+                raise ValueError(
+                    f"bad fault spec entry {pair!r} (expected key=value with "
+                    f"key in {{{known}}})"
+                )
+            field = _SPEC_KEYS[key]
+            try:
+                values[field] = int(raw) if field == "seed" else float(raw)
+            except ValueError:
+                raise ValueError(
+                    f"bad fault spec value for {key!r}: {raw!r}"
+                ) from None
+        return cls(**values)
+
+    def describe(self) -> str:
+        """Compact one-line rendering (CLI/bench banners)."""
+        parts = []
+        for field in fields(self):
+            value = getattr(self, field.name)
+            default = field.default
+            if value != default:
+                parts.append(f"{field.name}={value}")
+        return "FaultPlan(" + ", ".join(parts or ["no-op"]) + ")"
+
+
+# ----------------------------------------------------------------------
+# worker-side application (shared by the thread and process chunk runners)
+# ----------------------------------------------------------------------
+def apply_worker_fault(directive: tuple[str, float] | None, *, in_process: bool) -> None:
+    """Apply a pre-execution fault directive inside a worker.
+
+    ``directive`` is ``(kind, param)`` as computed by the parent (the
+    parent draws; workers only obey, so decisions stay deterministic no
+    matter which worker a chunk lands on).  ``crash`` kills a process
+    worker outright (``os._exit`` — the pool observes a broken process)
+    and raises :class:`InjectedWorkerCrash` in a thread worker; ``timeout``
+    and ``slow`` stall for ``param`` seconds.
+    """
+    if directive is None:
+        return
+    kind, param = directive
+    if kind == "crash":
+        if in_process:
+            import os
+
+            os._exit(73)  # noqa: SLF001 - deliberate simulated worker death
+        raise InjectedWorkerCrash("injected worker crash")
+    if kind in ("timeout", "slow"):
+        time.sleep(param)
+        return
+    if kind == "poison":
+        return  # applied to the payload after execution, not here
+    raise ValueError(f"unknown fault directive {kind!r}")
+
+
+def poison_payload(payload: tuple[list, object]) -> tuple[list, object]:
+    """Corrupt a chunk payload the way a buggy worker might.
+
+    Truncates the result list (a lost job), which the parent's shape
+    validation must detect and convert into a retry.
+    """
+    results, delta = payload
+    return results[:-1], delta

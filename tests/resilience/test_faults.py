@@ -1,0 +1,176 @@
+"""Unit tests for the fault-injection plan and supervision config."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.parallel import ExecutionConfig
+from repro.resilience import FaultPlan, InjectedWorkerCrash
+from repro.resilience.faults import apply_worker_fault, poison_payload
+
+
+class TestFaultPlanDraw:
+    def test_draw_is_pure(self):
+        plan = FaultPlan(crash_rate=0.3, timeout_rate=0.3, seed=11)
+        for task_id in range(20):
+            for attempt in range(3):
+                first = plan.draw(task_id, attempt)
+                assert plan.draw(task_id, attempt) == first
+
+    def test_retries_draw_fresh_decisions(self):
+        plan = FaultPlan(crash_rate=0.5, seed=4)
+        outcomes = {plan.draw(1, attempt) for attempt in range(32)}
+        # With rate 0.5 both outcomes appear within a few dozen attempts.
+        assert outcomes == {"crash", None}
+
+    def test_rate_one_always_fires(self):
+        plan = FaultPlan(crash_rate=1.0, seed=0)
+        assert all(plan.draw(t, 0) == "crash" for t in range(10))
+
+    def test_no_faults_never_fires(self):
+        plan = FaultPlan(seed=3)
+        assert not plan.any_faults
+        assert all(plan.draw(t, a) is None for t in range(5) for a in range(3))
+
+    def test_seed_changes_outcomes(self):
+        draws_a = [FaultPlan(crash_rate=0.5, seed=1).draw(t, 0) for t in range(64)]
+        draws_b = [FaultPlan(crash_rate=0.5, seed=2).draw(t, 0) for t in range(64)]
+        assert draws_a != draws_b
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        plan = FaultPlan(seed=9)
+        for task_id in range(10):
+            value = plan.jitter(task_id, 1)
+            assert value == plan.jitter(task_id, 1)
+            assert 0.5 <= value < 1.5
+
+
+class TestFaultPlanValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValueError):
+            FaultPlan(crash_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultPlan(timeout_rate=1.5)
+
+    def test_rates_must_sum_to_at_most_one(self):
+        with pytest.raises(ValueError):
+            FaultPlan(crash_rate=0.6, timeout_rate=0.6)
+
+    def test_positive_durations(self):
+        with pytest.raises(ValueError):
+            FaultPlan(hold_seconds=0)
+        with pytest.raises(ValueError):
+            FaultPlan(slow_seconds=-1)
+
+
+class TestFaultPlanSpec:
+    def test_acceptance_spec_parses(self):
+        plan = FaultPlan.from_spec("crash=0.2,timeout=0.1,seed=7")
+        assert plan == FaultPlan(crash_rate=0.2, timeout_rate=0.1, seed=7)
+
+    def test_all_keys_and_aliases(self):
+        plan = FaultPlan.from_spec(
+            "crash=0.1, timeout=0.1, slow=0.1, poison=0.1, memory=0.1,"
+            " seed=3, hold=0.5, delay=0.01"
+        )
+        assert plan.memory_pressure_rate == 0.1
+        assert plan.hold_seconds == 0.5
+        assert plan.slow_seconds == 0.01
+        assert plan.seed == 3
+
+    def test_empty_spec_is_noop_plan(self):
+        assert not FaultPlan.from_spec("").any_faults
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="bad fault spec entry"):
+            FaultPlan.from_spec("explode=0.5")
+
+    def test_malformed_value_rejected(self):
+        with pytest.raises(ValueError, match="bad fault spec value"):
+            FaultPlan.from_spec("crash=lots")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ValueError, match="bad fault spec entry"):
+            FaultPlan.from_spec("crash")
+
+    def test_out_of_range_spec_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_spec("crash=0.9,timeout=0.9")
+
+    def test_describe_mentions_non_defaults(self):
+        text = FaultPlan(crash_rate=0.2, seed=7).describe()
+        assert "crash_rate=0.2" in text and "seed=7" in text
+        assert FaultPlan().describe() == "FaultPlan(no-op)"
+
+
+class TestWorkerFaultApplication:
+    def test_none_directive_is_noop(self):
+        apply_worker_fault(None, in_process=False)
+
+    def test_thread_crash_raises(self):
+        with pytest.raises(InjectedWorkerCrash):
+            apply_worker_fault(("crash", 0.0), in_process=False)
+
+    def test_slow_and_timeout_stall(self):
+        started = time.perf_counter()
+        apply_worker_fault(("slow", 0.01), in_process=False)
+        apply_worker_fault(("timeout", 0.01), in_process=False)
+        assert time.perf_counter() - started >= 0.02
+
+    def test_poison_applies_after_execution_not_here(self):
+        apply_worker_fault(("poison", 0.0), in_process=False)
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(ValueError):
+            apply_worker_fault(("gamma-ray", 0.0), in_process=False)
+
+    def test_poison_payload_truncates_results(self):
+        results, delta = poison_payload((["a", "b", "c"], "delta"))
+        assert results == ["a", "b"] and delta == "delta"
+
+
+class TestExecutionConfigSupervision:
+    def test_defaults(self):
+        config = ExecutionConfig()
+        assert config.chunk_timeout is None
+        assert config.max_retries == 3
+        assert config.faults is None
+        assert config.effective_timeout is None
+
+    def test_explicit_timeout_wins(self):
+        config = ExecutionConfig(
+            chunk_timeout=5.0,
+            faults=FaultPlan(timeout_rate=0.5, hold_seconds=1.0),
+        )
+        assert config.effective_timeout == 5.0
+
+    def test_injected_timeouts_imply_a_timeout(self):
+        config = ExecutionConfig(
+            faults=FaultPlan(timeout_rate=0.5, hold_seconds=2.0)
+        )
+        assert config.effective_timeout == 0.5
+        # The floor keeps tiny holds from producing a hair-trigger timeout.
+        floor = ExecutionConfig(
+            faults=FaultPlan(timeout_rate=0.5, hold_seconds=0.2)
+        )
+        assert floor.effective_timeout == 0.1
+
+    def test_faults_without_timeouts_leave_waits_unbounded(self):
+        config = ExecutionConfig(faults=FaultPlan(crash_rate=0.5))
+        assert config.effective_timeout is None
+
+    def test_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(chunk_timeout=0)
+        with pytest.raises(ValueError):
+            ExecutionConfig(chunk_timeout=-1.0)
+        with pytest.raises(ValueError):
+            ExecutionConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            ExecutionConfig(backoff_base=-0.5)
+        with pytest.raises(ValueError):
+            ExecutionConfig(backoff_base=1.0, backoff_cap=0.5)
+        with pytest.raises(ValueError):
+            ExecutionConfig(faults="crash=1.0")  # must be a FaultPlan
