@@ -1,0 +1,93 @@
+"""Entry point: ``python -m repro.analysis [paths] [--strict]``.
+
+Exit status: 0 when no *active* (non-suppressed) findings, or when run
+without ``--strict`` (advisory mode); 1 when ``--strict`` and any active
+finding exists.  Parse failures are active RA000 findings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.core import Project, active, run_analysis
+from repro.analysis.reporting import render_json, render_text
+from repro.analysis.rules import all_rules, rules_by_id
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-specific invariant linter (rules RA001-RA005)",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyse (default: src)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 when any non-suppressed finding exists "
+        "(the CI gate mode)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all), "
+        "e.g. RA001,RA004",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print suppressed findings with their justifications",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}  {rule.title}")
+            print(f"       {rule.rationale}")
+        return 0
+
+    try:
+        rules = (
+            rules_by_id([r.strip() for r in args.rules.split(",") if r.strip()])
+            if args.rules
+            else all_rules()
+        )
+    except ValueError as error:
+        parser.error(str(error))
+
+    project = Project.load(args.paths)
+    if not project.units:
+        print(f"no Python files under {args.paths}", file=sys.stderr)
+        return 2
+    findings = run_analysis(project, rules)
+
+    if args.format == "json":
+        render_json(findings, sys.stdout)
+    else:
+        render_text(findings, sys.stdout, verbose=args.verbose)
+
+    if args.strict and active(findings):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,395 @@
+"""AST-visitor core of :mod:`repro.analysis`.
+
+Three layers:
+
+* :class:`ModuleUnit` — one parsed source file: path, dotted module name
+  (derived from the ``src/`` layout when present), AST, source lines, and
+  the suppression comments found in it.
+* :class:`Project` — the set of units under analysis plus the shared
+  resolution machinery rules need: the project-internal import graph
+  (for reachability questions), import-alias resolution, and module-level
+  string-constant resolution (so ``counters.incr(_PEAK_KEY)`` and
+  ``f"{_CHECKS_PREFIX}{size}"`` resolve to checkable names).
+* :class:`Rule` + :func:`run_analysis` — the rule protocol and the driver
+  that runs every rule, applies suppressions, and returns findings.
+
+A finding is *active* unless a justified suppression comment covers its
+line (see :mod:`repro.analysis.suppress`); ``--strict`` turns active
+findings into a non-zero exit.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.suppress import Suppression, parse_suppressions
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    suppressed: bool = False
+    justification: str | None = None
+
+    def render(self) -> str:
+        mark = " [suppressed]" if self.suppressed else ""
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}{mark}"
+
+    def as_document(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "suppressed": self.suppressed,
+            "justification": self.justification,
+        }
+
+
+class Rule:
+    """A named invariant check over a :class:`Project`.
+
+    Subclasses set ``rule_id`` / ``title`` / ``rationale`` and implement
+    :meth:`run`.  Findings are emitted *without* suppression state — the
+    driver applies the unit's suppression comments afterwards, so rules
+    never need to know the mechanism exists.
+    """
+
+    rule_id: str = "RA000"
+    title: str = ""
+    rationale: str = ""
+
+    def run(self, project: "Project") -> list[Finding]:
+        raise NotImplementedError
+
+    def finding(self, unit: "ModuleUnit", line: int, message: str) -> Finding:
+        return Finding(self.rule_id, str(unit.path), line, message)
+
+
+@dataclass
+class ModuleUnit:
+    """One parsed source file under analysis."""
+
+    path: Path
+    module: str
+    source: str
+    tree: ast.Module
+    suppressions: dict[int, list[Suppression]] = field(default_factory=dict)
+    #: Parse failure, if the file could not be analysed at all.
+    error: str | None = None
+
+    @classmethod
+    def load(cls, path: Path, root: Path | None = None) -> "ModuleUnit":
+        source = path.read_text()
+        module = module_name_for(path)
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            return cls(
+                path=path,
+                module=module,
+                source=source,
+                tree=ast.Module(body=[], type_ignores=[]),
+                error=f"syntax error: {exc.msg} (line {exc.lineno})",
+            )
+        return cls(
+            path=path,
+            module=module,
+            source=source,
+            tree=tree,
+            suppressions=parse_suppressions(source),
+        )
+
+    def suppression_for(self, line: int, rule_id: str) -> Suppression | None:
+        for suppression in self.suppressions.get(line, []):
+            if suppression.rule_id == rule_id:
+                return suppression
+        return None
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name from a file path.
+
+    Uses the ``src/`` layout when the path contains a ``src`` component
+    (``src/repro/core/stats.py`` → ``repro.core.stats``); otherwise the
+    bare stem, which is what fixture files analysed in isolation get.
+    ``__init__.py`` names the package itself.
+    """
+    parts = list(path.parts)
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    else:
+        parts = [path.name]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else path.stem
+
+
+def _iter_source_files(paths: Sequence[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+class Project:
+    """The analysed module set plus shared cross-module resolution."""
+
+    def __init__(self, units: Sequence[ModuleUnit]) -> None:
+        self.units = list(units)
+        self.by_module: dict[str, ModuleUnit] = {
+            unit.module: unit for unit in self.units
+        }
+        self._constants: dict[str, dict[str, object]] = {}
+
+    @classmethod
+    def load(cls, paths: Sequence[str | Path]) -> "Project":
+        files = _iter_source_files([Path(p) for p in paths])
+        return cls([ModuleUnit.load(path) for path in files])
+
+    # ------------------------------------------------------------------
+    # project layout
+    # ------------------------------------------------------------------
+    def root(self) -> Path | None:
+        """Nearest ancestor directory holding a ``pyproject.toml``."""
+        for unit in self.units:
+            probe = unit.path.resolve().parent
+            while True:
+                if (probe / "pyproject.toml").exists():
+                    return probe
+                if probe.parent == probe:
+                    break
+                probe = probe.parent
+        return None
+
+    # ------------------------------------------------------------------
+    # imports and reachability
+    # ------------------------------------------------------------------
+    def imported_modules(self, unit: ModuleUnit) -> set[str]:
+        """Project-internal modules ``unit`` imports, anywhere in its tree."""
+        found: set[str] = set()
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self._note_module(alias.name, found)
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_from_base(unit, node)
+                if base is None:
+                    continue
+                self._note_module(base, found)
+                for alias in node.names:
+                    self._note_module(f"{base}.{alias.name}", found)
+        return found
+
+    def _import_from_base(
+        self, unit: ModuleUnit, node: ast.ImportFrom
+    ) -> str | None:
+        if node.level == 0:
+            return node.module
+        # Relative import: resolve against the unit's package.
+        package = unit.module.rsplit(".", node.level)[0] if "." in unit.module else ""
+        if node.module:
+            return f"{package}.{node.module}" if package else node.module
+        return package or None
+
+    def _note_module(self, name: str | None, found: set[str]) -> None:
+        if not name:
+            return
+        if name in self.by_module:
+            found.add(name)
+        # ``import x.y.z`` also initialises x and x.y.
+        while "." in name:
+            name = name.rsplit(".", 1)[0]
+            if name in self.by_module:
+                found.add(name)
+
+    def reachable_from(self, seeds: Iterable[str]) -> set[str]:
+        """Modules transitively imported from ``seeds`` (seeds included)."""
+        frontier = [seed for seed in seeds if seed in self.by_module]
+        reached = set(frontier)
+        while frontier:
+            unit = self.by_module[frontier.pop()]
+            for imported in self.imported_modules(unit):
+                if imported not in reached:
+                    reached.add(imported)
+                    frontier.append(imported)
+        return reached
+
+    def import_aliases(self, unit: ModuleUnit) -> dict[str, str]:
+        """Local name → project module for module-object imports.
+
+        Covers ``import repro.parallel.worker as w`` and
+        ``from repro.parallel import worker as worker_module`` — the forms
+        that put a *module object* in the unit's namespace, which rules
+        need to resolve attribute references like ``worker_module.run_chunk``.
+        """
+        aliases: dict[str, str] = {}
+        for node in ast.walk(unit.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in self.by_module:
+                        aliases[alias.asname or alias.name.split(".")[0]] = (
+                            alias.name
+                            if alias.asname
+                            else alias.name.split(".")[0]
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_from_base(unit, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    dotted = f"{base}.{alias.name}"
+                    if dotted in self.by_module:
+                        aliases[alias.asname or alias.name] = dotted
+        return aliases
+
+    # ------------------------------------------------------------------
+    # constant resolution
+    # ------------------------------------------------------------------
+    def module_constants(self, unit: ModuleUnit) -> dict[str, object]:
+        """Module-level ``NAME = <literal>`` bindings (str and dict-of-str).
+
+        Only simple, single-target assignments whose value is a string
+        constant or a dict literal with constant keys and values — enough
+        to resolve the counter-name constants the engine actually uses.
+        """
+        cached = self._constants.get(unit.module)
+        if cached is not None:
+            return cached
+        constants: dict[str, object] = {}
+        for stmt in unit.tree.body:
+            if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+                continue
+            target = stmt.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            value = stmt.value
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                constants[target.id] = value.value
+            elif isinstance(value, ast.Dict):
+                entries: dict[str, str] = {}
+                for key, item in zip(value.keys, value.values):
+                    if (
+                        isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                        and isinstance(item, ast.Constant)
+                        and isinstance(item.value, str)
+                    ):
+                        entries[key.value] = item.value
+                if entries:
+                    constants[target.id] = entries
+        self._constants[unit.module] = constants
+        return constants
+
+    def resolve_string(
+        self, unit: ModuleUnit, node: ast.expr
+    ) -> tuple[str, str] | None:
+        """Resolve an expression to ``("exact", s)`` or ``("prefix", s)``.
+
+        * string constant → exact;
+        * ``NAME`` bound to a module-level string constant → exact;
+        * ``NAME[<str>]`` into a module-level dict constant → exact;
+        * f-string → the concatenation of its leading resolvable pieces as
+          a prefix (exact if every piece resolves);
+        * anything else → None (dynamic; rules skip it).
+        """
+        constants = self.module_constants(unit)
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return ("exact", node.value)
+        if isinstance(node, ast.Name):
+            value = constants.get(node.id)
+            if isinstance(value, str):
+                return ("exact", value)
+            return None
+        if isinstance(node, ast.Subscript):
+            base = node.value
+            key = node.slice
+            if (
+                isinstance(base, ast.Name)
+                and isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+            ):
+                table = constants.get(base.id)
+                if isinstance(table, dict):
+                    resolved = table.get(key.value)
+                    if isinstance(resolved, str):
+                        return ("exact", resolved)
+            return None
+        if isinstance(node, ast.JoinedStr):
+            prefix = ""
+            for piece in node.values:
+                if isinstance(piece, ast.Constant) and isinstance(
+                    piece.value, str
+                ):
+                    prefix += piece.value
+                    continue
+                if isinstance(piece, ast.FormattedValue):
+                    inner = self.resolve_string(unit, piece.value)
+                    if inner is not None and inner[0] == "exact":
+                        prefix += inner[1]
+                        continue
+                return ("prefix", prefix) if prefix else None
+            return ("exact", prefix)
+        return None
+
+
+def run_analysis(
+    project: Project, rules: Sequence[Rule]
+) -> list[Finding]:
+    """Run every rule, apply suppressions, and return all findings.
+
+    A justified suppression comment (``# ra: RA003 -- why``) on a
+    finding's line marks it suppressed.  A suppression *without* a
+    justification does not suppress — the finding stays active with a
+    note, so lint-clean can never be bought with a bare mute.  Unparseable
+    files surface as active ``RA000`` findings.
+    """
+    findings: list[Finding] = []
+    for unit in project.units:
+        if unit.error is not None:
+            findings.append(
+                Finding("RA000", str(unit.path), 1, unit.error)
+            )
+    for rule in rules:
+        for finding in rule.run(project):
+            unit = next(
+                (u for u in project.units if str(u.path) == finding.path),
+                None,
+            )
+            if unit is not None:
+                suppression = unit.suppression_for(finding.line, finding.rule)
+                if suppression is not None:
+                    if suppression.justification:
+                        finding = replace(
+                            finding,
+                            suppressed=True,
+                            justification=suppression.justification,
+                        )
+                    else:
+                        finding = replace(
+                            finding,
+                            message=finding.message
+                            + " (suppression ignored: missing justification;"
+                            " use '# ra: "
+                            + finding.rule
+                            + " -- <why>')",
+                        )
+            findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return findings
+
+
+def active(findings: Iterable[Finding]) -> list[Finding]:
+    """The findings that count against ``--strict`` (not suppressed)."""
+    return [finding for finding in findings if not finding.suppressed]

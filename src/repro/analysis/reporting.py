@@ -1,0 +1,41 @@
+"""Finding reporters: human text and machine JSON.
+
+Both render the same finding list; the JSON form is stable and
+diff-friendly (sorted by path/line/rule upstream) so CI logs and local
+runs can be compared mechanically.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Sequence
+
+from repro.analysis.core import Finding, active
+
+
+def render_text(
+    findings: Sequence[Finding], stream: IO[str], *, verbose: bool = False
+) -> None:
+    """One line per finding, suppressed ones last, then a summary line."""
+    live = active(findings)
+    suppressed = [finding for finding in findings if finding.suppressed]
+    for finding in live:
+        stream.write(finding.render() + "\n")
+    if verbose:
+        for finding in suppressed:
+            stream.write(finding.render() + "\n")
+            if finding.justification:
+                stream.write(f"    justification: {finding.justification}\n")
+    stream.write(
+        f"{len(live)} finding(s), {len(suppressed)} suppressed\n"
+    )
+
+
+def render_json(findings: Sequence[Finding], stream: IO[str]) -> None:
+    document = {
+        "findings": [finding.as_document() for finding in findings],
+        "active": len(active(findings)),
+        "suppressed": sum(1 for finding in findings if finding.suppressed),
+    }
+    json.dump(document, stream, indent=2, sort_keys=True)
+    stream.write("\n")

@@ -1,0 +1,50 @@
+"""Rule registry for :mod:`repro.analysis`.
+
+Each rule lives in its own module; :func:`all_rules` instantiates the
+full set in rule-ID order, and :func:`rules_by_id` selects a subset for
+``--rules RA001,RA004`` style invocations.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import Rule
+from repro.analysis.rules.atomic_io import AtomicIORule
+from repro.analysis.rules.cli_docs import CliDocRule
+from repro.analysis.rules.counter_names import CounterRegistryRule
+from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.shared_state import SharedStateRule
+
+__all__ = [
+    "AtomicIORule",
+    "CliDocRule",
+    "CounterRegistryRule",
+    "DeterminismRule",
+    "SharedStateRule",
+    "all_rules",
+    "rules_by_id",
+]
+
+_RULE_CLASSES = (
+    DeterminismRule,
+    CounterRegistryRule,
+    SharedStateRule,
+    AtomicIORule,
+    CliDocRule,
+)
+
+
+def all_rules() -> list[Rule]:
+    """One fresh instance of every registered rule, in rule-ID order."""
+    return [cls() for cls in _RULE_CLASSES]
+
+
+def rules_by_id(ids: list[str]) -> list[Rule]:
+    """Instances for the requested rule IDs; unknown IDs raise ValueError."""
+    known = {cls.rule_id: cls for cls in _RULE_CLASSES}
+    unknown = [rule_id for rule_id in ids if rule_id not in known]
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    return [known[rule_id]() for rule_id in ids]

@@ -1,0 +1,114 @@
+"""RA004 — checkpoint/bench/export writes must go through atomicio.
+
+The failure model (DESIGN.md §7) guarantees a reader of a checkpoint or
+``BENCH_*.json`` only ever observes a complete previous file or a
+complete new file.  That guarantee lives in exactly one place —
+:func:`repro.resilience.atomicio.atomic_write_text`'s
+write-temp-fsync-rename — and it evaporates the moment any code on those
+paths opens the destination for writing directly.
+
+Within the configured module families (``repro.resilience`` and
+``repro.bench``) this rule flags:
+
+* ``open(path, "w"/"a"/"x")`` — positional or ``mode=`` keyword;
+* ``<path>.open("w"...)`` (the :class:`pathlib.Path` spelling);
+* ``<path>.write_text(...)`` / ``<path>.write_bytes(...)``.
+
+The one legitimate direct write — inside the atomic primitive itself —
+carries a justified suppression.  When the analysed project contains no
+module under the configured prefixes (fixtures linted in isolation), all
+modules are in scope.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Finding, ModuleUnit, Project, Rule
+
+#: Module families whose writes are durability-critical.
+SCOPE_PREFIXES = ("repro.resilience", "repro.bench")
+
+_WRITE_METHODS = {"write_text", "write_bytes"}
+
+
+def _write_mode(call: ast.Call, mode_position: int) -> str | None:
+    """The constant write-ish mode string of an open() call, if any."""
+    mode: ast.expr | None = None
+    if len(call.args) > mode_position:
+        mode = call.args[mode_position]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if (
+        isinstance(mode, ast.Constant)
+        and isinstance(mode.value, str)
+        and any(flag in mode.value for flag in ("w", "a", "x", "+"))
+    ):
+        return mode.value
+    return None
+
+
+class AtomicIORule(Rule):
+    rule_id = "RA004"
+    title = "durability-critical writes must route through atomicio"
+    rationale = (
+        "checkpoint/bench/export files are contractually never torn; "
+        "only atomicio's write-temp-fsync-rename provides that, so any "
+        "direct open-for-write on those paths is a crash-window bug"
+    )
+
+    def __init__(self, prefixes: tuple[str, ...] = SCOPE_PREFIXES) -> None:
+        self.prefixes = prefixes
+
+    def _in_scope(self, project: Project) -> list[ModuleUnit]:
+        scoped = [
+            unit
+            for unit in project.units
+            if unit.module.startswith(self.prefixes)
+        ]
+        return scoped if scoped else list(project.units)
+
+    def run(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        for unit in self._in_scope(project):
+            for node in ast.walk(unit.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                finding = self._check_call(unit, node)
+                if finding is not None:
+                    findings.append(finding)
+        return findings
+
+    def _check_call(
+        self, unit: ModuleUnit, call: ast.Call
+    ) -> Finding | None:
+        func = call.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode = _write_mode(call, mode_position=1)
+            if mode is not None:
+                return self.finding(
+                    unit,
+                    call.lineno,
+                    f"open(..., {mode!r}) writes directly; route through "
+                    "repro.resilience.atomicio so a kill cannot tear the "
+                    "file",
+                )
+        elif isinstance(func, ast.Attribute):
+            if func.attr == "open":
+                mode = _write_mode(call, mode_position=0)
+                if mode is not None:
+                    return self.finding(
+                        unit,
+                        call.lineno,
+                        f".open({mode!r}) writes directly; route through "
+                        "repro.resilience.atomicio",
+                    )
+            elif func.attr in _WRITE_METHODS:
+                return self.finding(
+                    unit,
+                    call.lineno,
+                    f".{func.attr}(...) bypasses atomicio; use "
+                    "atomic_write_text/atomic_write_json instead",
+                )
+        return None

@@ -1,0 +1,96 @@
+"""RA005 — every CLI flag must be documented.
+
+The CLI surface (``repro.cli`` and ``repro.bench.run_figures``) is how
+users reach the parallel, cache, and resilience machinery; a flag that
+exists only in ``--help`` output drifts out of README examples and
+DESIGN contracts within a few PRs (both files document flag semantics the
+code alone cannot express, e.g. the determinism guarantee of
+``--inject-faults``).
+
+The rule extracts every ``add_argument("--flag", ...)`` literal from the
+in-scope modules and requires the flag to appear — as a standalone token,
+so ``--out`` is not satisfied by ``--output`` — in the project's
+``README.md`` or ``DESIGN.md`` (located at the nearest ancestor of the
+analysed files holding a ``pyproject.toml``).
+
+Scope: modules whose dotted name ends in ``cli`` or ``run_figures``;
+when the analysed project contains none (fixtures linted in isolation),
+every module with ``add_argument`` calls is in scope.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from repro.analysis.core import Finding, ModuleUnit, Project, Rule
+
+#: Module-name suffixes that define the user-facing CLI surface.
+SCOPE_SUFFIXES = ("cli", "run_figures")
+
+#: Documentation files consulted, relative to the project root.
+DOC_FILES = ("README.md", "DESIGN.md")
+
+
+class CliDocRule(Rule):
+    rule_id = "RA005"
+    title = "argparse flags must appear in README or DESIGN"
+    rationale = (
+        "flags carry contract semantics (determinism of --inject-faults, "
+        "resume guarantees of --checkpoint) that only the docs state; an "
+        "undocumented flag is drift the moment it lands"
+    )
+
+    def __init__(self, suffixes: tuple[str, ...] = SCOPE_SUFFIXES) -> None:
+        self.suffixes = suffixes
+
+    def _in_scope(self, project: Project) -> list[ModuleUnit]:
+        scoped = [
+            unit
+            for unit in project.units
+            if unit.module.rsplit(".", 1)[-1] in self.suffixes
+        ]
+        return scoped if scoped else list(project.units)
+
+    def run(self, project: Project) -> list[Finding]:
+        root = project.root()
+        docs = ""
+        if root is not None:
+            for name in DOC_FILES:
+                doc_path = root / name
+                if doc_path.exists():
+                    docs += doc_path.read_text() + "\n"
+        findings: list[Finding] = []
+        for unit in self._in_scope(project):
+            for line, flag in self._flags(unit):
+                # Standalone-token match: the flag must not be satisfied
+                # by a longer flag containing it (--out vs --output).
+                if not re.search(re.escape(flag) + r"(?![\w-])", docs):
+                    findings.append(
+                        self.finding(
+                            unit,
+                            line,
+                            f"CLI flag {flag!r} is not documented in "
+                            + " or ".join(DOC_FILES),
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _flags(unit: ModuleUnit) -> list[tuple[int, str]]:
+        flags: list[tuple[int, str]] = []
+        for node in ast.walk(unit.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_argument"
+            ):
+                continue
+            for arg in node.args:
+                if (
+                    isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)
+                    and arg.value.startswith("--")
+                ):
+                    flags.append((node.lineno, arg.value))
+        return flags

@@ -1,0 +1,127 @@
+"""RA002 — counter and span literals must match the obs registry.
+
+The dotted counter namespace (``frequency.*``, ``cache.*``, ``parallel.*``,
+``fault.*``, ``retry.*``) is an API: the bench export, the trajectory
+tooling, and the differential tests all read counters *by name*.  A typo'd
+name in an ``incr()`` call does not fail — it silently creates a counter
+nobody reads while the real one stays at zero.  This rule resolves every
+name literal at a counter/span call site against the machine-readable
+registry exported by :mod:`repro.obs.registry` and flags anything
+undeclared.
+
+Checked call shapes (first positional argument is the name):
+
+* ``<anything>.incr(name, ...)`` / ``<anything>.note_max(name, ...)``
+* ``<anything>.set(name, value)`` with a *positional string* name (keyword
+  ``sp.set(attr=...)`` span attributes are not counters and are ignored)
+* ``<anything>.span(name, ...)`` / ``span(name, ...)`` — checked against
+  the registry's span-name set.
+
+Name arguments resolve through :meth:`Project.resolve_string`: plain
+literals, module-level string constants (``_PEAK_KEY``), dict-constant
+lookups (``_COUNTER_KEYS["table_scans"]``), and f-strings — an f-string's
+constant head must extend a registered *prefix* family such as
+``fault.injected.``.  Genuinely dynamic names are skipped, not guessed.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import Finding, ModuleUnit, Project, Rule
+
+_COUNTER_METHODS = ("incr", "note_max", "set")
+
+
+class CounterRegistryRule(Rule):
+    rule_id = "RA002"
+    title = "counter/span name literals must be registered"
+    rationale = (
+        "a typo'd counter name silently creates a new counter that no "
+        "export or test reads; the repro.obs registry makes the namespace "
+        "closed and machine-checked"
+    )
+
+    def __init__(self, registry=None) -> None:
+        self._registry = registry
+
+    @property
+    def registry(self):
+        if self._registry is None:
+            from repro.obs.registry import default_registry
+
+            self._registry = default_registry()
+        return self._registry
+
+    def run(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        for unit in project.units:
+            for node in ast.walk(unit.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                method = self._method_name(node)
+                if method in _COUNTER_METHODS:
+                    findings.extend(self._check_counter(project, unit, node))
+                elif method == "span":
+                    findings.extend(self._check_span(project, unit, node))
+        return findings
+
+    @staticmethod
+    def _method_name(call: ast.Call) -> str | None:
+        if isinstance(call.func, ast.Attribute):
+            return call.func.attr
+        if isinstance(call.func, ast.Name):
+            return call.func.id
+        return None
+
+    def _check_counter(
+        self, project: Project, unit: ModuleUnit, call: ast.Call
+    ) -> list[Finding]:
+        if not call.args:
+            return []  # keyword-only .set(attr=...) — a span attribute
+        resolved = project.resolve_string(unit, call.args[0])
+        if resolved is None:
+            return []
+        kind, name = resolved
+        registry = self.registry
+        if kind == "exact" and not registry.allows_counter(name):
+            return [
+                self.finding(
+                    unit,
+                    call.lineno,
+                    f"counter name {name!r} is not in the obs registry; "
+                    "declare it in repro.core.stats._COUNTER_KEYS or "
+                    "repro.obs.registry before incrementing it",
+                )
+            ]
+        if kind == "prefix" and not registry.allows_counter_prefix(name):
+            return [
+                self.finding(
+                    unit,
+                    call.lineno,
+                    f"dynamic counter name starting {name!r} matches no "
+                    "registered prefix family (repro.obs.registry."
+                    "COUNTER_PREFIXES)",
+                )
+            ]
+        return []
+
+    def _check_span(
+        self, project: Project, unit: ModuleUnit, call: ast.Call
+    ) -> list[Finding]:
+        if not call.args:
+            return []
+        resolved = project.resolve_string(unit, call.args[0])
+        if resolved is None or resolved[0] != "exact":
+            return []
+        name = resolved[1]
+        if not self.registry.allows_span(name):
+            return [
+                self.finding(
+                    unit,
+                    call.lineno,
+                    f"span name {name!r} is not in the obs registry; add "
+                    "it to repro.obs.registry.SPAN_NAMES",
+                )
+            ]
+        return []

@@ -1,0 +1,94 @@
+"""Per-rule suppression comments for :mod:`repro.analysis`.
+
+Syntax (one comment can carry several, separated by ``;``)::
+
+    risky_line()  # ra: RA003 -- worker-resident problem, installed once
+
+    # ra: RA004 -- this IS the atomic-replace primitive
+    with open(tmp, "w") as handle:
+
+A suppression names exactly one rule ID and *must* carry a justification
+after ``--`` — the driver refuses to honour a bare mute (the finding stays
+active, annotated).  A comment on its own line applies to the next *code*
+line (intervening comment/blank lines are skipped, so a justification may
+span several comment lines); a trailing comment applies to its own line.  Suppressions are deliberately
+line-scoped: a module- or file-wide mute would defeat the point of
+machine-checked invariants.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+
+#: ``# ra: RA003 -- justification`` (justification optional at parse time;
+#: the driver penalises its absence).
+_PATTERN = re.compile(
+    r"ra:\s*(?P<rule>RA\d{3})\s*(?:--\s*(?P<why>[^;]*))?"
+)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed suppression: the rule it mutes and why."""
+
+    rule_id: str
+    justification: str
+    line: int
+
+
+def parse_suppressions(source: str) -> dict[int, list[Suppression]]:
+    """Map line number → suppressions applying to that line.
+
+    Uses :mod:`tokenize` rather than a regex over raw lines so that
+    ``# ra: ...`` text inside string literals is never misread as a
+    suppression.
+    """
+    by_line: dict[int, list[Suppression]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):
+        return by_line
+    lines = source.splitlines()
+    # Lines carrying actual code, so an own-line suppression can skip past
+    # the rest of its comment block (and blank lines) to the code it guards.
+    non_code = {
+        tokenize.COMMENT,
+        tokenize.NL,
+        tokenize.NEWLINE,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENCODING,
+        tokenize.ENDMARKER,
+    }
+    code_lines = sorted(
+        {token.start[0] for token in tokens if token.type not in non_code}
+    )
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        comment_line = token.start[0]
+        found = [
+            Suppression(
+                rule_id=match.group("rule"),
+                justification=(match.group("why") or "").strip(),
+                line=comment_line,
+            )
+            for match in _PATTERN.finditer(token.string)
+        ]
+        if not found:
+            continue
+        # A comment alone on its line covers the next code line instead.
+        text_before = lines[comment_line - 1][: token.start[1]].strip()
+        if text_before:
+            target = comment_line
+        else:
+            target = next(
+                (line for line in code_lines if line > comment_line), -1
+            )
+            if target < 0:
+                continue
+        by_line.setdefault(target, []).extend(found)
+    return by_line

@@ -55,7 +55,7 @@ from repro.bench.export import (
 from repro.bench.harness import Series, format_series_table
 from repro.core.fscache import FrequencySetCache, use_cache
 from repro.parallel import ExecutionConfig, use_execution
-from repro.resilience import FaultPlan, use_checkpoints
+from repro.resilience import FaultPlan, atomic_write_text, use_checkpoints
 from repro.bench.workloads import (
     adults_rows,
     figure10_sweep,
@@ -82,7 +82,7 @@ def _emit(name: str, text: str, out_dir: Path | None) -> None:
     print()
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
-        (out_dir / f"{name}.txt").write_text(text + "\n")
+        atomic_write_text(out_dir / f"{name}.txt", text + "\n")
 
 
 def _collect_series(

@@ -42,6 +42,8 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterator
 
+from repro.obs.counters import CounterSet
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.anonymity import FrequencySet
     from repro.core.problem import PreparedTable
@@ -72,12 +74,9 @@ class FrequencySetCache:
         self._fingerprint: tuple | None = None
         #: True once memory pressure demoted the cache to scan-through.
         self.degraded = False
-        # Lifetime totals (run-level deltas live in each run's SearchStats).
-        self.hits = 0
-        self.ancestor_hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.insertions = 0
+        #: Lifetime totals in the registered ``cache.*`` counter namespace
+        #: (run-level deltas live in each run's SearchStats).
+        self.lifetime = CounterSet()
 
     # ------------------------------------------------------------------
     # binding
@@ -123,14 +122,14 @@ class FrequencySetCache:
     def get(self, node: "LatticeNode") -> "FrequencySet | None":
         """Exact hit for ``node``'s frequency set, refreshing its recency."""
         if self.degraded:
-            self.misses += 1
+            self.lifetime.incr("cache.misses")
             return None
         entry = self._entries.get(_key(node))
         if entry is None:
-            self.misses += 1
+            self.lifetime.incr("cache.misses")
             return None
         self._entries.move_to_end(_key(node))
-        self.hits += 1
+        self.lifetime.incr("cache.hits")
         return entry[0]
 
     def nearest_ancestor(self, node: "LatticeNode") -> "FrequencySet | None":
@@ -162,7 +161,7 @@ class FrequencySetCache:
                 best = cached
         if best is not None:
             self._entries.move_to_end(_key(best.node))
-            self.ancestor_hits += 1
+            self.lifetime.incr("cache.ancestor_hits")
         return best
 
     # ------------------------------------------------------------------
@@ -181,14 +180,38 @@ class FrequencySetCache:
             return 0  # would evict everything and still not fit
         self._entries[key] = (frequency_set, size)
         self._bytes += size
-        self.insertions += 1
+        self.lifetime.incr("cache.insertions")
         evicted = 0
         while self._bytes > self.max_bytes:
             _, (_, dropped_size) = self._entries.popitem(last=False)
             self._bytes -= dropped_size
             evicted += 1
-        self.evictions += evicted
+        if evicted:
+            self.lifetime.incr("cache.evictions", evicted)
         return evicted
+
+    # ------------------------------------------------------------------
+    # lifetime totals (read-only views over the dotted counter namespace)
+    # ------------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        return int(self.lifetime.get("cache.hits", 0))
+
+    @property
+    def ancestor_hits(self) -> int:
+        return int(self.lifetime.get("cache.ancestor_hits", 0))
+
+    @property
+    def misses(self) -> int:
+        return int(self.lifetime.get("cache.misses", 0))
+
+    @property
+    def evictions(self) -> int:
+        return int(self.lifetime.get("cache.evictions", 0))
+
+    @property
+    def insertions(self) -> int:
+        return int(self.lifetime.get("cache.insertions", 0))
 
     @staticmethod
     def entry_bytes(frequency_set: "FrequencySet") -> int:

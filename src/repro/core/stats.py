@@ -44,7 +44,9 @@ _COUNTER_KEYS = {
     "fault_pool_rebuilds": "fault.pool_rebuilds",
     "fault_demotions": "fault.demotions",
     "fault_memory_pressure": "fault.memory_pressure",
+    "fault_errors": "fault.errors",
     "retry_attempts": "retry.attempts",
+    "retry_chunks": "retry.chunks",
     "retry_serial_fallbacks": "retry.serial_fallbacks",
     "retry_backoff_seconds": "retry.backoff_seconds",
 }
@@ -168,9 +170,11 @@ class SearchStats:
     fault_memory_pressure = _counter_view(
         "fault_memory_pressure", _COUNTER_KEYS["fault_memory_pressure"]
     )
+    fault_errors = _counter_view("fault_errors", _COUNTER_KEYS["fault_errors"])
     retry_attempts = _counter_view(
         "retry_attempts", _COUNTER_KEYS["retry_attempts"]
     )
+    retry_chunks = _counter_view("retry_chunks", _COUNTER_KEYS["retry_chunks"])
     retry_serial_fallbacks = _counter_view(
         "retry_serial_fallbacks", _COUNTER_KEYS["retry_serial_fallbacks"]
     )

@@ -1,0 +1,133 @@
+"""Machine-readable registry of the engine's counter and span namespace.
+
+Every dotted counter name (``frequency.table_scans``, ``cache.hits``,
+``fault.crashes``) and trace-span name (``scan``, ``parallel.batch``) the
+engine emits is declared here — either directly, or by derivation from
+:data:`repro.core.stats._COUNTER_KEYS`, which remains the single source of
+truth for the counters the ``BENCH_*.json`` export reports.
+
+The registry exists so the namespace is *checkable*: the RA002 rule of
+:mod:`repro.analysis` resolves every ``counters.incr("...")`` /
+``obs.span("...")`` literal in the source tree against it, turning a
+typo'd counter name — which today would silently create a new counter that
+no report ever reads — into a lint-time failure.  Adding a genuinely new
+counter therefore means declaring it (in ``_COUNTER_KEYS`` or in the
+extras below) in the same change that first increments it.
+
+Dump the registry as JSON for external tooling::
+
+    python -m repro.obs.registry
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Counters recorded outside the ``SearchStats`` attribute views: the
+#: parallel high-water mark, the frequency-set size high-water mark, and
+#: the cache's lifetime totals (kept on the cache object itself, not in a
+#: run's stats — see :class:`repro.core.fscache.FrequencySetCache`).
+EXTRA_COUNTERS = frozenset(
+    {
+        "parallel.workers",
+        "frequency.peak_rows",
+        "cache.ancestor_hits",
+        "cache.insertions",
+    }
+)
+
+#: Open-ended counter families: any name extending one of these prefixes
+#: is declared.  Each carries a generator whose suffix is data-dependent
+#: (a subset size, an injected-fault kind, a span name).
+COUNTER_PREFIXES = (
+    "nodes.checked_by_size.",
+    "fault.injected.",
+    "span.",
+    "span_seconds.",
+)
+
+#: Every span name the engine opens (see the ``obs.span(...)`` call sites).
+SPAN_NAMES = frozenset(
+    {
+        "scan",
+        "rollup",
+        "project",
+        "groupby",
+        "join",
+        "star.generalize",
+        "parallel.batch",
+        "bottomup.level",
+        "binary_search.probe",
+        "datafly.step",
+        "incognito.resume",
+        "incognito.iteration",
+        "incognito.graph_generation",
+        "superroots.prepare",
+        "cube.build",
+        "bench.run",
+    }
+)
+
+
+@dataclass(frozen=True)
+class ObsRegistry:
+    """The declared counter/span namespace, as one immutable value."""
+
+    counters: frozenset[str]
+    counter_prefixes: tuple[str, ...]
+    spans: frozenset[str]
+
+    def allows_counter(self, name: str) -> bool:
+        """Whether an exact counter name is declared."""
+        return name in self.counters or any(
+            name.startswith(prefix) for prefix in self.counter_prefixes
+        )
+
+    def allows_counter_prefix(self, prefix: str) -> bool:
+        """Whether a *partial* name (an f-string's constant head) is safe.
+
+        True when every name the dynamic tail could generate is covered by
+        a declared prefix — i.e. the head itself extends (or equals) a
+        registered prefix.
+        """
+        return any(
+            prefix.startswith(registered)
+            for registered in self.counter_prefixes
+        )
+
+    def allows_span(self, name: str) -> bool:
+        return name in self.spans
+
+    def as_document(self) -> dict:
+        """JSON-ready rendering (stable ordering for diffing)."""
+        return {
+            "counters": sorted(self.counters),
+            "counter_prefixes": list(self.counter_prefixes),
+            "spans": sorted(self.spans),
+        }
+
+
+def default_registry() -> ObsRegistry:
+    """The engine's registry: ``SearchStats`` keys plus the declared extras.
+
+    Imports :mod:`repro.core.stats` lazily — ``repro.core`` depends on
+    ``repro.obs``, so a module-level import here would be circular.
+    """
+    from repro.core.stats import _COUNTER_KEYS
+
+    return ObsRegistry(
+        counters=frozenset(_COUNTER_KEYS.values()) | EXTRA_COUNTERS,
+        counter_prefixes=COUNTER_PREFIXES,
+        spans=SPAN_NAMES,
+    )
+
+
+def main() -> int:
+    import json
+
+    print(json.dumps(default_registry().as_document(), indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -412,14 +412,16 @@ class BatchMaterializer:
                 return _validate_payload(
                     state.chunk, _thread_chunk(self.problem, state.chunk)
                 )
-            if state.future is None:
+            future = state.future
+            if future is None:
                 self._try_submit(state, evaluator)
-                if state.future is None:
+                future = state.future
+                if future is None:
                     # Submission itself hit a dead pool: recover, re-loop.
                     self._recover_pool(states, evaluator)
                     continue
             try:
-                payload = state.future.result(
+                payload = future.result(
                     timeout=self.execution.effective_timeout
                 )
                 return _validate_payload(state.chunk, payload)

@@ -17,7 +17,10 @@ and ``spawn`` start methods.
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
+
+if TYPE_CHECKING:
+    from repro.obs.counters import CounterSet
 
 #: The worker-resident problem, installed once per process by the pool
 #: initializer.  Module-global on purpose: executor task functions must be
@@ -35,6 +38,9 @@ def init_worker(problem) -> None:
     only signal leaving a worker is the per-chunk counter delta, which the
     parent merges deterministically.
     """
+    # ra: RA003 -- sanctioned worker-resident state: the problem is shipped
+    # once via the pool initializer and is read-only thereafter; shipping it
+    # per-chunk would serialize the table on every submit.
     global _PROBLEM
     _PROBLEM = problem
     from repro import obs
@@ -46,7 +52,7 @@ def init_worker(problem) -> None:
 def run_chunk(
     jobs: Sequence[tuple[Any, str, tuple | None]],
     directive: tuple[str, float] | None = None,
-) -> tuple[list[tuple], "object"]:
+) -> tuple[list[tuple], "CounterSet"]:
     """Materialise one chunk of frequency-set jobs in a worker process.
 
     ``jobs`` entries are ``(node, kind, payload)`` with kind ``"scan"``
@@ -67,6 +73,8 @@ def run_chunk(
     from repro.core.stats import SearchStats
     from repro.resilience.faults import apply_worker_fault, poison_payload
 
+    # ra: RA003 -- read of the initializer-installed problem (see above);
+    # never mutated after init_worker, so chunk results stay deterministic.
     if _PROBLEM is None:
         raise RuntimeError("worker used before init_worker installed a problem")
     apply_worker_fault(directive, in_process=True)
@@ -76,6 +84,8 @@ def run_chunk(
         if kind == "scan":
             result = evaluator.scan(node)
         elif kind == "rollup":
+            if payload is None:
+                raise ValueError("rollup job shipped without a source payload")
             source_node, key_codes, counts = payload
             source = FrequencySet(source_node, key_codes, counts, _PROBLEM)
             result = evaluator.rollup(source, node)

@@ -27,6 +27,8 @@ def atomic_write_text(path: str | Path, text: str) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
     try:
+        # ra: RA004 -- this IS the atomic-write primitive: the plain write
+        # targets a private temp file, fsynced then os.replace()d into place.
         with open(tmp, "w") as handle:
             handle.write(text)
             handle.flush()

@@ -1,0 +1,16 @@
+"""Fixture: violates nothing — the sanctioned spelling of each pattern."""
+
+import random
+
+
+def seeded_draw(seed):
+    rng = random.Random(f"fixture:{seed}")
+    return rng.random()
+
+
+def ordered(items):
+    return sorted(set(items))
+
+
+def record(counters):
+    counters.incr("cache.hits")

@@ -1,0 +1,7 @@
+"""Fixture: violates RA001 only — wall-clock read in worker-reachable code."""
+
+import time
+
+
+def chunk_timestamp():
+    return time.time()

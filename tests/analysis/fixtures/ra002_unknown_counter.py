@@ -1,0 +1,5 @@
+"""Fixture: violates RA002 only — counter name absent from the obs registry."""
+
+
+def record(counters):
+    counters.incr("cache.hitz")

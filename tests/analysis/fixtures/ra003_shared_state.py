@@ -1,0 +1,16 @@
+"""Fixture: violates RA003 only — dispatched function reads a module mutable."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+_RESULTS = []
+
+
+def work(value):
+    _RESULTS.append(value)
+    return value
+
+
+def run():
+    with ThreadPoolExecutor(max_workers=1) as pool:
+        future = pool.submit(work, 1)
+    return future.result()

@@ -1,0 +1,8 @@
+"""Fixture: violates RA004 only — direct open-for-write of an export file."""
+
+import json
+
+
+def save_bench(path, payload):
+    with open(path, "w") as handle:
+        json.dump(payload, handle)

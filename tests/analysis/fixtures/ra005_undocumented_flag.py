@@ -1,0 +1,9 @@
+"""Fixture: violates RA005 only — argparse flag absent from README/DESIGN."""
+
+import argparse
+
+
+def build_parser():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--frobnicate-level", type=int, default=0)
+    return parser

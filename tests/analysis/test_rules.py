@@ -1,0 +1,62 @@
+"""Each fixture under ``fixtures/`` trips exactly its intended rule."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import active, all_rules, analyze_paths, rules_by_id
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+CASES = [
+    ("ra001_unseeded.py", {"RA001"}),
+    ("ra002_unknown_counter.py", {"RA002"}),
+    ("ra003_shared_state.py", {"RA003"}),
+    ("ra004_plain_write.py", {"RA004"}),
+    ("ra005_undocumented_flag.py", {"RA005"}),
+    ("clean.py", set()),
+]
+
+
+@pytest.mark.parametrize("name,expected", CASES, ids=[c[0] for c in CASES])
+def test_fixture_trips_exactly_its_rule(name, expected):
+    findings = active(analyze_paths([FIXTURES / name]))
+    assert {finding.rule for finding in findings} == expected
+    if expected:
+        # One deliberate violation per fixture, pinpointed to a line.
+        assert len(findings) == 1
+        assert findings[0].line > 0
+        assert findings[0].path.endswith(name)
+
+
+def test_fixture_directory_as_a_whole():
+    findings = active(analyze_paths([FIXTURES]))
+    assert {finding.rule for finding in findings} == {
+        "RA001",
+        "RA002",
+        "RA003",
+        "RA004",
+        "RA005",
+    }
+
+
+def test_rule_ids_are_unique_and_described():
+    rules = all_rules()
+    ids = [rule.rule_id for rule in rules]
+    assert len(ids) == len(set(ids))
+    for rule in rules:
+        assert rule.title and rule.rationale
+
+
+def test_rules_by_id_selects_and_rejects():
+    selected = rules_by_id(["RA004", "RA001"])
+    assert [rule.rule_id for rule in selected] == ["RA004", "RA001"]
+    with pytest.raises(ValueError, match="RA999"):
+        rules_by_id(["RA999"])
+
+
+def test_syntax_error_surfaces_as_ra000(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def broken(:\n")
+    findings = active(analyze_paths([bad]))
+    assert [finding.rule for finding in findings] == ["RA000"]

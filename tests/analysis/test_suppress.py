@@ -1,0 +1,82 @@
+"""Suppression-comment parsing and enforcement semantics."""
+
+import textwrap
+
+from repro.analysis import active, all_rules, analyze_paths
+from repro.analysis.suppress import parse_suppressions
+
+
+def test_trailing_comment_applies_to_its_own_line():
+    source = 'x = 1\ny = open(p, "w")  # ra: RA004 -- test primitive\n'
+    by_line = parse_suppressions(source)
+    assert list(by_line) == [2]
+    (sup,) = by_line[2]
+    assert sup.rule_id == "RA004"
+    assert sup.justification == "test primitive"
+
+
+def test_own_line_comment_skips_to_next_code_line():
+    source = textwrap.dedent(
+        """\
+        # ra: RA003 -- worker-resident state, installed once by the
+        # pool initializer and read-only thereafter.
+        global _PROBLEM
+        """
+    )
+    by_line = parse_suppressions(source)
+    assert list(by_line) == [3]
+    assert by_line[3][0].rule_id == "RA003"
+
+
+def test_multiple_suppressions_in_one_comment():
+    source = 'risky()  # ra: RA001 -- why one; ra: RA003 -- why two\n'
+    (sups,) = parse_suppressions(source).values()
+    assert {(s.rule_id, s.justification) for s in sups} == {
+        ("RA001", "why one"),
+        ("RA003", "why two"),
+    }
+
+
+def test_directive_inside_string_literal_is_ignored():
+    source = 'text = "# ra: RA001 -- not a comment"\n'
+    assert parse_suppressions(source) == {}
+
+
+def test_justified_suppression_suppresses(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "import time\n"
+        "\n"
+        "def stamp():\n"
+        "    return time.time()  # ra: RA001 -- fixture, sanctioned\n"
+    )
+    findings = analyze_paths([target], all_rules())
+    assert active(findings) == []
+    (finding,) = [f for f in findings if f.suppressed]
+    assert finding.rule == "RA001"
+    assert finding.justification == "fixture, sanctioned"
+
+
+def test_unjustified_suppression_does_not_suppress(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "import time\n"
+        "\n"
+        "def stamp():\n"
+        "    return time.time()  # ra: RA001\n"
+    )
+    (finding,) = active(analyze_paths([target], all_rules()))
+    assert finding.rule == "RA001"
+    assert "missing justification" in finding.message
+
+
+def test_suppression_is_rule_specific(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "import time\n"
+        "\n"
+        "def stamp():\n"
+        "    return time.time()  # ra: RA004 -- wrong rule\n"
+    )
+    (finding,) = active(analyze_paths([target], all_rules()))
+    assert finding.rule == "RA001"
