@@ -24,19 +24,26 @@ from pathlib import Path
 
 from repro.bench import run_figures
 from repro.bench.export import BENCH_FILENAME, validate_bench_document
-from repro.obs import read_json_lines
+from repro.obs import (
+    chrome_trace_json,
+    folded_stacks,
+    parse_folded,
+    read_json_lines,
+)
 
 
 def smoke(out_dir: Path) -> list[str]:
     """Run the quick workload into ``out_dir``; return problems found."""
     json_path = out_dir / BENCH_FILENAME
     trace_path = out_dir / "trace.jsonl"
+    metrics_path = out_dir / "metrics.json"
     code = run_figures.main(
         [
             "--quick",
             "--out", str(out_dir),
             "--json", str(json_path),
             "--trace", str(trace_path),
+            "--metrics-out", str(metrics_path),
         ]
     )
     if code != 0:
@@ -86,6 +93,103 @@ def smoke(out_dir: Path) -> list[str]:
                 problems.append(f"trace has no {required!r} spans")
         if max(span["depth"] for span in spans) < 2:
             problems.append("trace spans never nested two levels deep")
+        problems.extend(check_chrome_export(spans))
+        problems.extend(check_folded_export(spans))
+
+    problems.extend(check_metrics_dump(metrics_path))
+    return problems
+
+
+def check_chrome_export(spans: list[dict]) -> list[str]:
+    """The Chrome trace export must be valid, complete, and nested."""
+    problems: list[str] = []
+    try:
+        document = json.loads(chrome_trace_json(spans))
+    except ValueError as error:  # pragma: no cover - defensive
+        return [f"chrome export is not valid JSON: {error}"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ["chrome export has no traceEvents"]
+    # Replay B/E events per (pid, tid) lane: every E closes the innermost
+    # open B of the same name, and every lane ends balanced.
+    stacks: dict[tuple, list[str]] = {}
+    for index, event in enumerate(events):
+        for field in ("name", "ph", "ts", "pid", "tid"):
+            if field not in event:
+                problems.append(f"chrome event {index} missing {field!r}")
+                return problems
+        if event["ph"] not in ("B", "E"):
+            problems.append(
+                f"chrome event {index} has unexpected ph {event['ph']!r}"
+            )
+            continue
+        stack = stacks.setdefault((event["pid"], event["tid"]), [])
+        if event["ph"] == "B":
+            stack.append(event["name"])
+        elif not stack or stack[-1] != event["name"]:
+            problems.append(
+                f"chrome event {index}: E {event['name']!r} does not close "
+                f"the innermost open span "
+                f"({stack[-1] if stack else 'nothing open'!r})"
+            )
+            return problems
+        else:
+            stack.pop()
+    for lane, stack in stacks.items():
+        if stack:
+            problems.append(f"chrome lane {lane} left spans open: {stack}")
+    if min(event["ts"] for event in events) != 0.0:
+        problems.append("chrome timestamps are not rebased to zero")
+    return problems
+
+
+def check_folded_export(spans: list[dict]) -> list[str]:
+    """Folded self-times must round-trip the root spans' durations."""
+    problems: list[str] = []
+    folded = parse_folded(folded_stacks(spans))
+    if not folded:
+        return ["folded export produced no stacks"]
+    if any(value < 0 for value in folded.values()):
+        problems.append("folded export contains negative self time")
+    # Flamegraph invariant: total self time equals total root wall-clock
+    # (children's time is part of their root's duration), to within the
+    # ±1µs rounding each emitted line may contribute.
+    by_id = {span["span_id"]: span for span in spans}
+    root_micros = sum(
+        (span["ended"] - span["started"]) * 1e6
+        for span in spans
+        if span.get("parent_id") not in by_id
+        and span.get("started") is not None
+        and span.get("ended") is not None
+    )
+    total = sum(folded.values())
+    if abs(total - root_micros) > len(folded) + 1:
+        problems.append(
+            f"folded self-times sum to {total}us but root spans cover "
+            f"{root_micros:.0f}us — durations do not round-trip"
+        )
+    return problems
+
+
+def check_metrics_dump(metrics_path: Path) -> list[str]:
+    """--metrics-out must produce well-formed quantile summaries."""
+    if not metrics_path.exists():
+        return [f"{metrics_path} was not written"]
+    metrics = json.loads(metrics_path.read_text())
+    problems: list[str] = []
+    for required in ("latency.scan_seconds", "dist.frequency_set_rows"):
+        if required not in metrics:
+            problems.append(f"metrics dump is missing {required!r}")
+    for name, summary in metrics.items():
+        if summary.get("count", 0) == 0:
+            continue
+        for field in ("count", "sum", "min", "max", "p50", "p90", "p99"):
+            if field not in summary:
+                problems.append(f"metrics {name!r} missing {field!r}")
+                break
+        else:
+            if not summary["min"] <= summary["p50"] <= summary["max"]:
+                problems.append(f"metrics {name!r} quantiles out of range")
     return problems
 
 

@@ -15,7 +15,9 @@ Checked call shapes (first positional argument is the name):
 * ``<anything>.set(name, value)`` with a *positional string* name (keyword
   ``sp.set(attr=...)`` span attributes are not counters and are ignored)
 * ``<anything>.span(name, ...)`` / ``span(name, ...)`` — checked against
-  the registry's span-name set.
+  the registry's span-name set
+* ``<anything>.observe(name, value)`` / ``<anything>.timer(name)`` —
+  histogram/timer instruments, checked against the registry's metric set.
 
 Name arguments resolve through :meth:`Project.resolve_string`: plain
 literals, module-level string constants (``_PEAK_KEY``), dict-constant
@@ -31,6 +33,8 @@ import ast
 from repro.analysis.core import Finding, ModuleUnit, Project, Rule
 
 _COUNTER_METHODS = ("incr", "note_max", "set")
+
+_METRIC_METHODS = ("observe", "timer")
 
 
 class CounterRegistryRule(Rule):
@@ -64,6 +68,8 @@ class CounterRegistryRule(Rule):
                     findings.extend(self._check_counter(project, unit, node))
                 elif method == "span":
                     findings.extend(self._check_span(project, unit, node))
+                elif method in _METRIC_METHODS:
+                    findings.extend(self._check_metric(project, unit, node))
         return findings
 
     @staticmethod
@@ -122,6 +128,27 @@ class CounterRegistryRule(Rule):
                     call.lineno,
                     f"span name {name!r} is not in the obs registry; add "
                     "it to repro.obs.registry.SPAN_NAMES",
+                )
+            ]
+        return []
+
+    def _check_metric(
+        self, project: Project, unit: ModuleUnit, call: ast.Call
+    ) -> list[Finding]:
+        if not call.args:
+            return []
+        resolved = project.resolve_string(unit, call.args[0])
+        if resolved is None or resolved[0] != "exact":
+            return []  # dynamic metric names are skipped, like counters
+        name = resolved[1]
+        if not self.registry.allows_metric(name):
+            return [
+                self.finding(
+                    unit,
+                    call.lineno,
+                    f"metric name {name!r} is not in the obs registry; add "
+                    "it to repro.obs.registry.METRIC_NAMES before "
+                    "recording it",
                 )
             ]
         return []

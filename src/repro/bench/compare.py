@@ -1,0 +1,297 @@
+"""Noise-tolerant benchmark comparison (``python -m repro.bench.compare``).
+
+The ``BENCH_incognito.json`` trajectory only guards performance if someone
+— or something — actually diffs it.  This module is that something: it
+reduces two bench documents to schema-versioned *run summaries* (counters
+plus metric quantiles per workload), diffs them with a relative threshold
+and an absolute floor, and exits non-zero on regression, so CI can gate on
+``run_figures --quick`` output against a committed baseline
+(``benchmarks/baseline.json``).
+
+Inputs may be raw bench documents (schema version ≥ 2, as written by
+``run_figures --json``) or pre-reduced summaries (``kind:
+"bench-summary"``, as produced by ``--summarize``) — each side is detected
+independently, so comparing a fresh run against a committed summary works
+without ceremony.
+
+What counts as a regression (``exit 1``):
+
+* a workload's elapsed seconds grew by more than ``--threshold``
+  (relative) *and* more than ``--min-seconds`` (absolute) — the floor
+  keeps microsecond-scale quick-mode workloads from tripping the gate on
+  scheduler noise;
+* a workload present in the baseline disappeared.
+
+Everything else — counter drift, metric quantile movement, new workloads —
+is *reported* (counters loudly: a changed ``nodes_checked`` means the
+algorithm itself changed, which is tier-1's job to catch, but the diff
+surfaces it) without affecting the exit code.
+
+Usage::
+
+    python -m repro.bench.compare BASELINE.json CURRENT.json --threshold 0.2
+    python -m repro.bench.compare --summarize BENCH_incognito.json -o baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.resilience.atomicio import atomic_write_text
+
+#: Version of the *summary* schema (independent of the bench document's).
+SUMMARY_SCHEMA_VERSION = 1
+
+#: Marker distinguishing summaries from raw bench documents.
+SUMMARY_KIND = "bench-summary"
+
+#: Default relative slowdown tolerated before a workload regresses.
+DEFAULT_THRESHOLD = 0.2
+
+#: Default absolute floor: slowdowns smaller than this many seconds never
+#: regress, whatever the ratio — quick-mode workloads finish in
+#: milliseconds, where a 20% "slowdown" is one scheduler hiccup.
+DEFAULT_MIN_SECONDS = 0.05
+
+#: Structural counters reported (never gated) in the workload diff.
+_DIFF_COUNTERS = ("nodes_checked", "table_scans", "rollups", "solutions")
+
+#: Metric quantiles carried into summaries and reported in diffs.
+_DIFF_QUANTILES = ("p50", "p90", "p99", "max")
+
+
+def workload_key(run: dict[str, Any]) -> str:
+    """Stable identity of one measured workload point.
+
+    ``figure/database/x_name=x_value/k=K/algorithm`` — everything that
+    determines *what* was measured, nothing that describes how fast.
+    """
+    return (
+        f"{run['figure']}/{run['database']}/{run['x_name']}="
+        f"{run['x_value']}/k={run['k']}/{run['algorithm']}"
+    )
+
+
+def summarize_document(document: dict[str, Any]) -> dict[str, Any]:
+    """Reduce a bench document to the comparable per-workload summary."""
+    workloads: dict[str, dict[str, Any]] = {}
+    for run in document.get("runs", ()):
+        counters = run.get("counters", {})
+        entry: dict[str, Any] = {
+            "elapsed_seconds": run["elapsed_seconds"],
+            "counters": {
+                name: counters[name]
+                for name in _DIFF_COUNTERS
+                if name in counters
+            },
+            "metrics": {},
+        }
+        if "solutions" in run:
+            entry["counters"]["solutions"] = run["solutions"]
+        for name, summary in sorted(run.get("metrics", {}).items()):
+            if summary.get("count", 0) == 0:
+                continue
+            entry["metrics"][name] = {
+                "count": summary["count"],
+                **{
+                    q: summary[q]
+                    for q in _DIFF_QUANTILES
+                    if q in summary
+                },
+            }
+        workloads[workload_key(run)] = entry
+    return {
+        "schema_version": SUMMARY_SCHEMA_VERSION,
+        "kind": SUMMARY_KIND,
+        "benchmark": document.get("benchmark", "incognito"),
+        "workloads": workloads,
+    }
+
+
+def load_summary(path: str | Path) -> dict[str, Any]:
+    """Read a bench document *or* summary from disk; always a summary."""
+    document = json.loads(Path(path).read_text())
+    if document.get("kind") == SUMMARY_KIND:
+        version = document.get("schema_version")
+        if version != SUMMARY_SCHEMA_VERSION:
+            raise ValueError(
+                f"{path}: summary schema_version {version!r} is not "
+                f"{SUMMARY_SCHEMA_VERSION}"
+            )
+        if not isinstance(document.get("workloads"), dict):
+            raise ValueError(f"{path}: summary is missing its workloads map")
+        return document
+    if not isinstance(document.get("runs"), list):
+        raise ValueError(
+            f"{path}: neither a bench document (no runs[]) nor a "
+            f"bench-summary (no kind marker)"
+        )
+    return summarize_document(document)
+
+
+def _relative_delta(before: float, after: float) -> float:
+    if before <= 0:
+        return 0.0 if after <= 0 else float("inf")
+    return (after - before) / before
+
+
+def compare_summaries(
+    baseline: dict[str, Any],
+    current: dict[str, Any],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> tuple[list[str], list[str]]:
+    """Diff two summaries → ``(regressions, notes)``.
+
+    ``regressions`` non-empty means the gate should fail; ``notes`` are
+    informational lines (counter drift, quantile movement, workload-set
+    changes) for the human reading the CI log.
+    """
+    regressions: list[str] = []
+    notes: list[str] = []
+    base_workloads = baseline["workloads"]
+    curr_workloads = current["workloads"]
+
+    for key in sorted(base_workloads):
+        if key not in curr_workloads:
+            regressions.append(f"{key}: workload missing from current run")
+            continue
+        base, curr = base_workloads[key], curr_workloads[key]
+        before = float(base["elapsed_seconds"])
+        after = float(curr["elapsed_seconds"])
+        delta = _relative_delta(before, after)
+        absolute = after - before
+        if delta > threshold and absolute > min_seconds:
+            regressions.append(
+                f"{key}: elapsed {before:.4f}s -> {after:.4f}s "
+                f"(+{delta * 100.0:.1f}%, threshold {threshold * 100.0:.0f}%)"
+                + _quantile_report(base, curr)
+            )
+        elif delta > threshold:
+            notes.append(
+                f"{key}: elapsed +{delta * 100.0:.1f}% but only "
+                f"{absolute * 1000.0:.2f}ms absolute (< "
+                f"{min_seconds * 1000.0:.0f}ms floor) — ignored as noise"
+            )
+        for name in sorted(
+            set(base.get("counters", {})) & set(curr.get("counters", {}))
+        ):
+            if base["counters"][name] != curr["counters"][name]:
+                notes.append(
+                    f"{key}: counter {name} changed "
+                    f"{base['counters'][name]} -> {curr['counters'][name]} "
+                    f"(structural change — check tier-1)"
+                )
+    for key in sorted(set(curr_workloads) - set(base_workloads)):
+        notes.append(f"{key}: new workload (not in baseline)")
+    return regressions, notes
+
+
+def _quantile_report(base: dict[str, Any], curr: dict[str, Any]) -> str:
+    """Per-metric quantile diff lines attached to a regression report."""
+    lines: list[str] = []
+    base_metrics = base.get("metrics", {})
+    curr_metrics = curr.get("metrics", {})
+    for name in sorted(set(base_metrics) & set(curr_metrics)):
+        cells = []
+        for q in _DIFF_QUANTILES:
+            if q in base_metrics[name] and q in curr_metrics[name]:
+                cells.append(
+                    f"{q} {base_metrics[name][q]:.2e}->"
+                    f"{curr_metrics[name][q]:.2e}"
+                )
+        if cells:
+            lines.append(f"    {name}: " + ", ".join(cells))
+    return ("\n" + "\n".join(lines)) if lines else ""
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.compare",
+        description=(
+            "Compare two BENCH_*.json documents (or summaries) and exit "
+            "non-zero when a workload regressed beyond the threshold."
+        ),
+    )
+    parser.add_argument(
+        "baseline", help="baseline bench document or bench-summary JSON"
+    )
+    parser.add_argument(
+        "current",
+        nargs="?",
+        help="current bench document or summary (omit with --summarize)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="relative slowdown tolerated per workload (default 0.2 = 20%%)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=DEFAULT_MIN_SECONDS,
+        help=(
+            "absolute slowdown floor in seconds; smaller deltas never "
+            "regress (default 0.05)"
+        ),
+    )
+    parser.add_argument(
+        "--summarize",
+        action="store_true",
+        help=(
+            "reduce BASELINE to a bench-summary instead of comparing "
+            "(write it with -o; this is how benchmarks/baseline.json "
+            "is produced)"
+        ),
+    )
+    parser.add_argument(
+        "-o",
+        "--out",
+        help="with --summarize: write the summary here instead of stdout",
+    )
+    args = parser.parse_args(argv)
+
+    if args.summarize:
+        summary = load_summary(args.baseline)
+        rendered = json.dumps(summary, indent=2, sort_keys=True) + "\n"
+        if args.out:
+            atomic_write_text(Path(args.out), rendered)
+        else:
+            sys.stdout.write(rendered)
+        return 0
+
+    if args.current is None:
+        parser.error("current document required unless --summarize is given")
+    baseline = load_summary(args.baseline)
+    current = load_summary(args.current)
+    regressions, notes = compare_summaries(
+        baseline,
+        current,
+        threshold=args.threshold,
+        min_seconds=args.min_seconds,
+    )
+    for note in notes:
+        print(f"note: {note}")
+    if regressions:
+        print(
+            f"REGRESSION: {len(regressions)} workload(s) exceeded the "
+            f"{args.threshold * 100.0:.0f}% threshold:"
+        )
+        for regression in regressions:
+            print(f"  {regression}")
+        return 1
+    print(
+        f"ok: {len(current['workloads'])} workload(s) within "
+        f"{args.threshold * 100.0:.0f}% of baseline"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,10 +7,10 @@ by diffing trajectories across commits.  The document is self-describing
 dependency-free structural check used by the tier-2 smoke script
 (``scripts/tier2_smoke.py``) and the tests.
 
-Schema (version 1)::
+Schema (version 2; version 1 lacked the per-run ``metrics`` field)::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "benchmark": "incognito",
       "config": {"adults_rows": int, "landsend_rows": int, "quick": bool},
       "runs": [
@@ -37,7 +37,16 @@ Schema (version 1)::
             "rollup_source_rows": int,
             "peak_frequency_set_rows": int
           },
-          "raw_counters": {dotted-name: number, ...}   # full CounterSet dump
+          "raw_counters": {dotted-name: number, ...},  # full CounterSet dump
+          "metrics": {                    # distribution summaries —
+            "latency.scan_seconds": {     # quantiles derived from the
+              "count": int,               # fixed-bucket histograms of
+              "sum": number,              # repro.obs.metrics; {"count": 0}
+              "min": number,              # for an instrument that never
+              "max": number,              # recorded
+              "p50": number, "p90": number, "p99": number
+            }, ...
+          }
         }, ...
       ]
     }
@@ -53,7 +62,8 @@ from repro.bench.harness import MeasuredRun
 from repro.resilience.atomicio import atomic_write_text
 
 #: Current schema version of the exported document.
-SCHEMA_VERSION = 1
+#: 2 added the per-run ``metrics`` distribution summaries.
+SCHEMA_VERSION = 2
 
 #: Default file name of the exported document.
 BENCH_FILENAME = "BENCH_incognito.json"
@@ -77,7 +87,10 @@ TIMING_FIELDS = ("elapsed_seconds", "cube_build_seconds")
 
 #: Required per-run fields beyond counters/timings.
 RUN_FIELDS = ("figure", "database", "k", "x_name", "x_value", "algorithm",
-              "solutions", "counters")
+              "solutions", "counters", "metrics")
+
+#: Fields every non-empty metric summary must carry.
+METRIC_SUMMARY_FIELDS = ("count", "sum", "min", "max", "p50", "p90", "p99")
 
 
 def run_record(
@@ -113,6 +126,9 @@ def run_record(
             "peak_frequency_set_rows": run.peak_frequency_set_rows,
         },
         "raw_counters": dict(run.counters),
+        "metrics": {
+            name: dict(summary) for name, summary in run.metrics.items()
+        },
     }
 
 
@@ -191,4 +207,30 @@ def validate_bench_document(document: Any) -> list[str]:
                     f"{where}.counters.{field} must be a non-negative integer, "
                     f"got {value!r}"
                 )
+        metrics = run.get("metrics")
+        if metrics is None:
+            continue  # missing field already reported above
+        if not isinstance(metrics, dict):
+            errors.append(f"{where}.metrics must be an object")
+            continue
+        for name, summary in metrics.items():
+            errors.extend(_validate_metric_summary(where, name, summary))
+    return errors
+
+
+def _validate_metric_summary(where: str, name: str, summary: Any) -> list[str]:
+    """Check one metric quantile summary (``{"count": 0}`` or full)."""
+    label = f"{where}.metrics[{name!r}]"
+    if not isinstance(summary, dict):
+        return [f"{label} must be an object"]
+    count = summary.get("count")
+    if not isinstance(count, int) or isinstance(count, bool) or count < 0:
+        return [f"{label}.count must be a non-negative integer, got {count!r}"]
+    if count == 0:
+        return []  # empty instrument: {"count": 0} is the whole summary
+    errors = []
+    for field in METRIC_SUMMARY_FIELDS:
+        value = summary.get(field)
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            errors.append(f"{label}.{field} must be a number, got {value!r}")
     return errors

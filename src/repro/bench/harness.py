@@ -62,6 +62,9 @@ class MeasuredRun:
     peak_frequency_set_rows: int = 0
     #: full dotted-counter snapshot of the measured run (BENCH_*.json payload)
     counters: dict = field(default_factory=dict)
+    #: metric quantile summaries (name → count/sum/min/max/p50/p90/p99) of
+    #: the measured run — the distribution half of the BENCH_*.json payload
+    metrics: dict = field(default_factory=dict)
 
     @property
     def anonymization_seconds(self) -> float:
@@ -96,6 +99,9 @@ def measured_run_from_result(
     wall-clock reported next to counters of a different repeat.)
     """
     stats = result.stats
+    # Stats-surface histograms also feed the tracer's run-wide metrics so
+    # --metrics-out sees every instrument, not just obs.observe callers.
+    obs.get_tracer().merge_metrics(stats.metrics)
     return MeasuredRun(
         algorithm=name,
         elapsed_seconds=stats.elapsed_seconds,
@@ -112,6 +118,7 @@ def measured_run_from_result(
         rollup_source_rows=stats.rollup_source_rows,
         peak_frequency_set_rows=stats.peak_frequency_set_rows,
         counters=stats.as_dict(),
+        metrics=stats.metrics.as_dict(),
     )
 
 

@@ -15,8 +15,13 @@ trajectories are diffable across commits.
 
 Observability flags:
 
-* ``--trace [FILE]`` — record :mod:`repro.obs` spans as JSON lines to FILE
-  (default stderr): per-iteration phases, scans, rollups, group-bys.
+* ``--trace [FILE]`` — record :mod:`repro.obs` spans to FILE (default
+  stderr): per-iteration phases, scans, rollups, group-bys.
+* ``--trace-format chrome|folded`` — render the trace as Chrome
+  trace-event JSON (load the file in Perfetto / ``chrome://tracing``) or
+  folded-stack flamegraph text instead of raw JSON lines.
+* ``--metrics-out PATH`` — dump the run's latency/distribution histogram
+  summaries (p50/p90/p99 per instrument) as one JSON object.
 * ``--profile`` — wrap the run in cProfile and print the top hotspots.
 
 Execution knobs: ``--workers N`` (with ``--parallel-mode``) evaluates each
@@ -42,6 +47,7 @@ one text file per artifact (plus the JSON document).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -243,6 +249,22 @@ def main(argv: list[str] | None = None) -> int:
         help="record obs trace spans as JSON lines to FILE (default stderr)",
     )
     parser.add_argument(
+        "--trace-format",
+        choices=["jsonl", "chrome", "folded"],
+        default="jsonl",
+        help="trace output format: raw JSON lines (default), Chrome "
+        "trace-event JSON (Perfetto-loadable), or folded-stack "
+        "flamegraph text",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the run's metric histogram summaries "
+        "(count/sum/min/max/p50/p90/p99 per instrument) as JSON to PATH",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="run under cProfile and print the top hotspots to stderr",
@@ -324,14 +346,21 @@ def main(argv: list[str] | None = None) -> int:
 
     records: list[dict] = []
 
+    if args.trace_format != "jsonl" and args.trace is None:
+        parser.error("--trace-format requires --trace FILE")
+
     trace_sink = None
     if args.trace is not None:
-        if args.trace == "-":
+        if args.trace_format != "jsonl":
+            # chrome/folded render from the complete span set at the end.
+            trace_sink = obs.InMemorySink()
+        elif args.trace == "-":
             trace_sink = obs.JsonLinesSink(sys.stderr)
         else:
             trace_sink = obs.JsonLinesSink.open(args.trace)
     tracer = (
-        obs.Tracer(trace_sink) if trace_sink is not None
+        obs.Tracer(trace_sink)
+        if trace_sink is not None or args.metrics_out is not None
         else obs.get_tracer()
     )
 
@@ -370,8 +399,25 @@ def main(argv: list[str] | None = None) -> int:
             else:
                 _run_artifacts(args, records)
     finally:
-        if trace_sink is not None:
+        if isinstance(trace_sink, obs.InMemorySink):
+            rendered = obs.render_trace(
+                [span.to_dict() for span in trace_sink.spans],
+                args.trace_format,
+            )
+            if args.trace == "-":
+                sys.stderr.write(rendered)
+            else:
+                atomic_write_text(Path(args.trace), rendered)
+        elif trace_sink is not None:
             trace_sink.close()
+        if args.metrics_out is not None:
+            atomic_write_text(
+                args.metrics_out,
+                json.dumps(
+                    tracer.metrics.as_dict(), indent=2, sort_keys=True
+                )
+                + "\n",
+            )
 
     if records:
         json_path = args.json

@@ -57,7 +57,7 @@ from repro.core.incognito import basic_incognito
 from repro.core.problem import PreparedTable
 from repro.core.superroots import superroots_incognito
 from repro.parallel import ExecutionConfig, use_execution
-from repro.resilience import CheckpointStore, FaultPlan
+from repro.resilience import CheckpointStore, FaultPlan, atomic_write_text
 from repro.hierarchy.spec import hierarchies_from_spec
 from repro.relational.csvio import read_csv, write_csv
 from repro.relational.groupby import group_by_count
@@ -257,6 +257,22 @@ def build_parser() -> argparse.ArgumentParser:
         "JSON lines to FILE (default stderr)",
     )
     parser.add_argument(
+        "--trace-format",
+        choices=["jsonl", "chrome", "folded"],
+        default="jsonl",
+        help="trace output format: raw JSON lines (default), Chrome "
+        "trace-event JSON (Perfetto-loadable), or folded-stack "
+        "flamegraph text",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the run's metric histogram summaries "
+        "(count/sum/min/max/p50/p90/p99 per instrument) as JSON to PATH",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="run the command under cProfile and print the top hotspots",
@@ -393,15 +409,22 @@ def main(argv: Sequence[str] | None = None) -> int:
             "(it has no level-synchronous structure to checkpoint)"
         )
 
+    if args.trace_format != "jsonl" and args.trace is None:
+        parser.error("--trace-format requires --trace FILE")
+
     trace_sink = None
     if args.trace is not None:
-        trace_sink = (
-            obs.JsonLinesSink(sys.stderr)
-            if args.trace == "-"
-            else obs.JsonLinesSink.open(args.trace)
-        )
+        if args.trace_format != "jsonl":
+            # chrome/folded render from the complete span set at the end.
+            trace_sink = obs.InMemorySink()
+        elif args.trace == "-":
+            trace_sink = obs.JsonLinesSink(sys.stderr)
+        else:
+            trace_sink = obs.JsonLinesSink.open(args.trace)
     tracer = (
-        obs.Tracer(trace_sink) if trace_sink is not None else obs.get_tracer()
+        obs.Tracer(trace_sink)
+        if trace_sink is not None or args.metrics_out is not None
+        else obs.get_tracer()
     )
     try:
         execution = ExecutionConfig.from_workers(
@@ -433,8 +456,25 @@ def main(argv: Sequence[str] | None = None) -> int:
                     return args.run(args)
             return args.run(args)
     finally:
-        if trace_sink is not None:
+        if isinstance(trace_sink, obs.InMemorySink):
+            rendered = obs.render_trace(
+                [span.to_dict() for span in trace_sink.spans],
+                args.trace_format,
+            )
+            if args.trace == "-":
+                sys.stderr.write(rendered)
+            else:
+                atomic_write_text(Path(args.trace), rendered)
+        elif trace_sink is not None:
             trace_sink.close()
+        if args.metrics_out is not None:
+            atomic_write_text(
+                args.metrics_out,
+                json.dumps(
+                    tracer.metrics.as_dict(), indent=2, sort_keys=True
+                )
+                + "\n",
+            )
 
 
 if __name__ == "__main__":

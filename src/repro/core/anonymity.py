@@ -18,6 +18,7 @@ frequency sets through one instrumented chokepoint.
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 import numpy as np
@@ -191,10 +192,12 @@ def _regroup_weighted(
     if num_rows == 0:
         empty = np.empty((0, len(code_arrays)), dtype=CODE_DTYPE)
         return empty, np.empty(0, dtype=np.int64)
+    regroup_started = time.perf_counter()
     with obs.span("groupby", kind="weighted", rows=num_rows) as sp:
         key_codes, counts = _regroup_weighted_nonempty(
             code_arrays, radices, weights, sp
         )
+    obs.observe("latency.groupby_seconds", time.perf_counter() - regroup_started)
     return key_codes, counts
 
 
@@ -332,7 +335,8 @@ class FrequencyEvaluator:
     def scan(self, node: LatticeNode) -> FrequencySet:
         """Compute from the base table (counted as a table scan)."""
         with obs.span("scan") as sp:
-            result = compute_frequency_set(self.problem, node)
+            with self.stats.metrics.timer("latency.scan_seconds"):
+                result = compute_frequency_set(self.problem, node)
             if sp:
                 sp.set(
                     node=str(node),
@@ -346,7 +350,8 @@ class FrequencyEvaluator:
     def rollup(self, source: FrequencySet, target: LatticeNode) -> FrequencySet:
         """Compute by rollup from ``source`` (counted as a rollup)."""
         with obs.span("rollup") as sp:
-            result = source.rollup(target)
+            with self.stats.metrics.timer("latency.rollup_seconds"):
+                result = source.rollup(target)
             if sp:
                 sp.set(
                     source=str(source.node),
@@ -357,12 +362,14 @@ class FrequencyEvaluator:
         self.stats.rollups += 1
         self.stats.note_frequency_set(result.num_groups)
         self.stats.rollup_source_rows += source.num_groups
+        self.stats.metrics.observe("dist.rollup_source_rows", source.num_groups)
         return result
 
     def project(self, source: FrequencySet, attributes: Sequence[str]) -> FrequencySet:
         """Compute by projecting attributes out (counted as a projection)."""
         with obs.span("project") as sp:
-            result = source.project(attributes)
+            with self.stats.metrics.timer("latency.project_seconds"):
+                result = source.project(attributes)
             if sp:
                 sp.set(
                     source=str(source.node),
@@ -401,8 +408,17 @@ class FrequencyEvaluator:
         hit bumps ``cache.hits``; an ancestor substitution bumps both
         ``cache.hits`` and ``cache.rollup_saves``; only a plan that ends
         in a table scan despite consulting the cache bumps
-        ``cache.misses``.
+        ``cache.misses``.  With a cache attached, the plan step is timed
+        into ``latency.cache_lookup_seconds`` (lookup + ancestor search).
         """
+        if self.cache is None:
+            return self._plan_job(node, source)
+        with self.stats.metrics.timer("latency.cache_lookup_seconds"):
+            return self._plan_job(node, source)
+
+    def _plan_job(
+        self, node: LatticeNode, source: FrequencySet | None = None
+    ) -> tuple[str, FrequencySet | None]:
         if source is not None and source.node == node:
             return ("use", source)
         cache = self.cache

@@ -63,6 +63,7 @@ def _first_anonymous_at_height(
     max_suppression: int,
     pool: BatchMaterializer,
 ) -> LatticeNode | None:
+    probe_started = time.perf_counter()
     with obs.span("binary_search.probe", height=height) as sp:
         nodes = sorted(
             lattice.nodes_at_height(height), key=LatticeNode.sort_key
@@ -77,9 +78,16 @@ def _first_anonymous_at_height(
                 if evaluator.decide(node, frequency_set, k, max_suppression):
                     if sp:
                         sp.set(found=str(node))
+                    evaluator.stats.metrics.observe(
+                        "latency.probe_seconds",
+                        time.perf_counter() - probe_started,
+                    )
                     return node
         if sp:
             sp.set(found=None)
+    evaluator.stats.metrics.observe(
+        "latency.probe_seconds", time.perf_counter() - probe_started
+    )
     return None
 
 

@@ -138,6 +138,7 @@ def bottom_up_search(
     try:
         for height in range(start_height, lattice.max_height + 1):
             layer = lattice.nodes_at_height(height)
+            level_started = time.perf_counter()
             # One span per lattice level: the trace shows how the
             # exhaustive search's cost is distributed over heights.
             with obs.span(
@@ -177,6 +178,9 @@ def bottom_up_search(
                         freq_cache[node] = frequency_set
                 if sp:
                     sp.set(nodes_checked=stats.nodes_checked - checked_before)
+            stats.metrics.observe(
+                "latency.level_seconds", time.perf_counter() - level_started
+            )
             if rollup:
                 # Frequency sets two layers down can no longer be parents.
                 stale = [n for n in freq_cache if n.height < height]

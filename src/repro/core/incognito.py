@@ -170,6 +170,7 @@ def _search_graph(
     while levels:
         height = min(levels)
         entries = levels.pop(height)
+        level_started = time.perf_counter()
 
         # Triage the level: duplicates release their parent, marked nodes
         # propagate (all marks affecting this height were created at lower
@@ -212,6 +213,11 @@ def _search_graph(
                             (child, node)
                         )
             release(parent)
+
+        # One observation per BFS level: the paper's per-level cost curve.
+        evaluator.stats.metrics.observe(
+            "latency.level_seconds", time.perf_counter() - level_started
+        )
 
     return sorted(survivors, key=LatticeNode.sort_key)
 

@@ -18,6 +18,7 @@ feeds the ``BENCH_*.json`` export without any copying.
 from __future__ import annotations
 
 from repro.obs.counters import CounterSet
+from repro.obs.metrics import MetricSet
 
 #: SearchStats attribute → counter name, for the summed counters.
 _COUNTER_KEYS = {
@@ -97,12 +98,28 @@ class SearchStats:
     * ``rollup_source_rows`` — total rows of the source sets fed to rollups
     * ``cube_build_scans`` / ``cube_build_seconds`` — Cube pre-computation
     * ``elapsed_seconds`` — whole-run wall clock (filled by the caller)
+
+    Alongside the counters, each run carries a
+    :class:`~repro.obs.metrics.MetricSet` of distribution instruments
+    (``latency.*`` timings, ``dist.*`` data distributions, ``worker.*``
+    pool telemetry).  Metrics ride the same merge path as counters —
+    per-chunk deltas from pool workers fold in with
+    ``stats += delta`` — but equality (:meth:`__eq__`) intentionally
+    compares counters only: wall-clock histograms differ between otherwise
+    identical runs, and the differential suite compares the deterministic
+    ``dist.*`` family explicitly instead.
     """
 
-    __slots__ = ("counters",)
+    __slots__ = ("counters", "metrics")
 
-    def __init__(self, counters: CounterSet | None = None, **initial) -> None:
+    def __init__(
+        self,
+        counters: CounterSet | None = None,
+        metrics: MetricSet | None = None,
+        **initial,
+    ) -> None:
         self.counters = counters if counters is not None else CounterSet()
+        self.metrics = metrics if metrics is not None else MetricSet()
         for field, value in initial.items():
             if field == "checks_by_subset_size":
                 for size, count in value.items():
@@ -204,6 +221,9 @@ class SearchStats:
         """Account one materialised frequency set of ``num_groups`` rows."""
         self.counters.incr(_COUNTER_KEYS["frequency_set_rows"], num_groups)
         self.counters.note_max(_PEAK_KEY, num_groups)
+        # Data-valued distribution: integer observations, identical across
+        # serial/thread/process execution of the same plan.
+        self.metrics.observe("dist.frequency_set_rows", num_groups)
 
     @property
     def checks_by_subset_size(self) -> dict[int, int]:
@@ -237,11 +257,13 @@ class SearchStats:
         """Accumulate ``other`` into this object (used by multi-phase runs).
 
         Summed counters add; high-water marks (peak frequency-set rows)
-        take the maximum of the two runs.  Both operations are associative
-        and commutative, so per-shard deltas from parallel workers can be
-        folded in any order without changing the totals.
+        take the maximum of the two runs; metric histograms fold
+        bucket-wise.  All three operations are associative and commutative,
+        so per-shard deltas from parallel workers can be folded in any
+        order without changing the totals.
         """
         self.counters.merge(other.counters)
+        self.metrics.merge(other.metrics)
 
     def __iadd__(self, other: "SearchStats") -> "SearchStats":
         """``stats += delta`` — in-place :meth:`merge`, returning self."""

@@ -10,8 +10,14 @@ one shared way to record that accounting:
 * **hierarchical counters** (:mod:`repro.obs.counters`) — dotted-name
   counters with subtree aggregation (``SearchStats`` is a thin view over
   one of these);
+* **distribution metrics** (:mod:`repro.obs.metrics`) — fixed-bucket
+  log-scaled histograms and timers with exact, order-free merging
+  (``observe("latency.scan_seconds", dt)`` / ``timer(...)``);
 * **pluggable sinks** (:mod:`repro.obs.sinks`) — no-op, in-memory, and
-  JSON-lines;
+  buffered JSON-lines;
+* **standard exports** (:mod:`repro.obs.export`) — Chrome trace-event
+  JSON (Perfetto-loadable) and folded-stack flamegraph text rendered from
+  closed span records;
 * **profiling** (:mod:`repro.obs.profile`) — a ``cProfile`` hook that wraps
   any algorithm run and dumps the top-N hotspots.
 
@@ -37,6 +43,14 @@ from contextlib import contextmanager
 from typing import Any, Iterator
 
 from repro.obs.counters import CounterSet
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_json,
+    folded_stacks,
+    parse_folded,
+    render_trace,
+)
+from repro.obs.metrics import NULL_TIMER, Histogram, MetricSet
 from repro.obs.profile import profile, profile_call
 from repro.obs.sinks import (
     InMemorySink,
@@ -49,21 +63,32 @@ from repro.obs.trace import NULL_SPAN, Span, Tracer
 
 __all__ = [
     "CounterSet",
+    "Histogram",
     "InMemorySink",
     "JsonLinesSink",
+    "MetricSet",
     "NullSink",
     "NULL_SPAN",
+    "NULL_TIMER",
     "Sink",
     "Span",
     "Tracer",
+    "chrome_trace",
+    "chrome_trace_json",
     "enabled",
+    "flush",
+    "folded_stacks",
     "get_tracer",
     "incr",
+    "observe",
+    "parse_folded",
     "profile",
     "profile_call",
     "read_json_lines",
+    "render_trace",
     "set_tracer",
     "span",
+    "timer",
     "use_tracer",
 ]
 
@@ -107,3 +132,21 @@ def span(name: str, **attrs: Any):
 def incr(name: str, value: float = 1) -> None:
     """Count on the active tracer (current span + run totals)."""
     _active.incr(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram observation on the active tracer's metrics."""
+    _active.observe(name, value)
+
+
+def timer(name: str):
+    """Time a region into the active tracer's histogram ``name``.
+
+    Returns a no-op context manager when the tracer is disabled.
+    """
+    return _active.timer(name)
+
+
+def flush() -> None:
+    """Flush the active tracer's sink (buffered JSON-lines, crash paths)."""
+    _active.flush()

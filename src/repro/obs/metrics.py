@@ -1,0 +1,326 @@
+"""Distribution instruments — histograms and timers for :mod:`repro.obs`.
+
+Counters (:mod:`repro.obs.counters`) answer *how many*; this module
+answers *how it is distributed*.  A :class:`Histogram` accumulates values
+into a **fixed, log-scaled bucket layout** shared by every histogram in
+the process, and a :class:`MetricSet` is the named bag of them — the
+metrics analogue of a :class:`~repro.obs.counters.CounterSet`.
+
+Why fixed buckets?  The engine's determinism contract (DESIGN.md §6)
+extends to telemetry: per-chunk metric deltas produced by pool workers are
+merged in the parent, and the merge must be associative and commutative so
+chunk scheduling cannot change the merged result.  With one global bucket
+layout, merging is element-wise integer addition of bucket counts (exact),
+plus min/max (exact) — no re-bucketing, no approximation drift.  The sum
+is a float and is exact whenever the recorded values are integers (row
+counts, job counts) below 2**53.
+
+Two families of instruments use this module:
+
+* **value distributions** (``dist.*``, ``worker.chunk_jobs``) — recorded
+  quantities are data-dependent and deterministic, so the merged
+  histograms are bit-identical across serial / thread / process execution
+  of the same problem (the differential suite's oracle checks this);
+* **timings and resources** (``latency.*``, ``worker.*_seconds``,
+  ``worker.rss_bytes``) — values are wall-clock or OS-dependent and vary
+  run to run; only the *merge algebra* is deterministic for these.
+
+Quantile summaries (p50/p90/p99) are derived from the buckets and are
+therefore deterministic functions of the histogram state: the reported
+quantile is the upper bound of the bucket containing that rank, clamped
+into the observed ``[min, max]`` range.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from typing import Iterator, Mapping
+
+#: Log-scaled bucket upper bounds: 4 buckets per decade, 1e-7 .. 1e9.
+#: One extra overflow bucket catches anything above the last bound.  The
+#: layout is a module constant — never configurable per histogram — so any
+#: two histograms are merge-compatible by construction.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    10.0 ** (exponent / 4) for exponent in range(-28, 37)
+)
+
+#: Total bucket count, including the overflow bucket.
+NUM_BUCKETS = len(BUCKET_BOUNDS) + 1
+
+#: The quantiles every summary reports.
+SUMMARY_QUANTILES = (0.50, 0.90, 0.99)
+
+
+class Histogram:
+    """Fixed-layout log-bucketed histogram with exact merge.
+
+    Bucket ``i`` (for ``i < len(BUCKET_BOUNDS)``) counts values ``v`` with
+    ``BUCKET_BOUNDS[i-1] < v <= BUCKET_BOUNDS[i]`` (values at or below
+    zero land in bucket 0); the final bucket counts overflow.
+    """
+
+    __slots__ = ("buckets", "count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self.buckets: list[int] = [0] * NUM_BUCKETS
+        self.count: int = 0
+        self.sum: float = 0.0
+        self.min: float = float("inf")
+        self.max: float = float("-inf")
+
+    # -- recording ------------------------------------------------------
+    def record(self, value: float) -> None:
+        value = float(value)
+        self.buckets[bucket_index(value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    # -- reading --------------------------------------------------------
+    def quantile(self, q: float) -> float:
+        """Deterministic bucket-resolution quantile estimate.
+
+        Returns the upper bound of the bucket holding rank
+        ``ceil(q * count)``, clamped into ``[min, max]``; 0.0 on an empty
+        histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = max(1, -(-int(q * self.count * 1_000_000) // 1_000_000))
+        cumulative = 0
+        for index, bucket_count in enumerate(self.buckets):
+            cumulative += bucket_count
+            if cumulative >= target:
+                if index >= len(BUCKET_BOUNDS):
+                    return self.max
+                return min(max(BUCKET_BOUNDS[index], self.min), self.max)
+        return self.max
+
+    def summary(self) -> dict[str, float]:
+        """JSON-ready quantile summary (the ``BENCH_*.json`` metric form)."""
+        if self.count == 0:
+            return {"count": 0}
+        out: dict[str, float] = {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+        for q in SUMMARY_QUANTILES:
+            out[f"p{int(q * 100)}"] = self.quantile(q)
+        return out
+
+    # -- combination ----------------------------------------------------
+    def merge(self, other: "Histogram") -> None:
+        """Accumulate ``other``; associative and commutative by design.
+
+        Bucket counts and ``count`` add exactly; min/max take the extreme;
+        ``sum`` adds (exact for integer-valued observations).
+        """
+        for index, bucket_count in enumerate(other.buckets):
+            self.buckets[index] += bucket_count
+        self.count += other.count
+        self.sum += other.sum
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
+    def copy(self) -> "Histogram":
+        duplicate = Histogram()
+        duplicate.buckets = list(self.buckets)
+        duplicate.count = self.count
+        duplicate.sum = self.sum
+        duplicate.min = self.min
+        duplicate.max = self.max
+        return duplicate
+
+    # -- persistence ----------------------------------------------------
+    def snapshot(self) -> dict:
+        """Faithful JSON-ready state (sparse buckets, for shipping)."""
+        return {
+            "buckets": {
+                str(i): c for i, c in enumerate(self.buckets) if c
+            },
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping) -> "Histogram":
+        restored = cls()
+        for index, bucket_count in dict(snapshot.get("buckets", {})).items():
+            restored.buckets[int(index)] = int(bucket_count)
+        restored.count = int(snapshot.get("count", 0))
+        restored.sum = float(snapshot.get("sum", 0.0))
+        if restored.count:
+            restored.min = float(snapshot["min"])
+            restored.max = float(snapshot["max"])
+        return restored
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (
+            self.buckets == other.buckets
+            and self.count == other.count
+            and self.sum == other.sum
+            and self.min == other.min
+            and self.max == other.max
+        )
+
+    def __repr__(self) -> str:
+        if self.count == 0:
+            return "Histogram(empty)"
+        return (
+            f"Histogram(count={self.count}, min={self.min:g}, "
+            f"max={self.max:g}, p50={self.quantile(0.5):g})"
+        )
+
+
+def bucket_index(value: float) -> int:
+    """The fixed bucket a value lands in (0 for non-positive values)."""
+    if value <= BUCKET_BOUNDS[0]:
+        return 0
+    return bisect_left(BUCKET_BOUNDS, value)
+
+
+class _MetricTimer:
+    """Context manager recording an elapsed-seconds observation."""
+
+    __slots__ = ("_metrics", "_name", "_started")
+
+    def __init__(self, metrics: "MetricSet", name: str) -> None:
+        self._metrics = metrics
+        self._name = name
+        self._started = 0.0
+
+    def __enter__(self) -> "_MetricTimer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._metrics.observe(
+            self._name, time.perf_counter() - self._started
+        )
+
+
+class _NullTimer:
+    """Shared do-nothing timer returned by disabled instrument surfaces."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullTimer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_TIMER = _NullTimer()
+
+
+class MetricSet:
+    """A mutable bag of named histograms with exact, order-free merging."""
+
+    __slots__ = ("_histograms",)
+
+    def __init__(self) -> None:
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- recording ------------------------------------------------------
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into histogram ``name`` (creating it)."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram()
+        histogram.record(value)
+
+    def timer(self, name: str) -> _MetricTimer:
+        """Context manager timing a region into histogram ``name``."""
+        return _MetricTimer(self, name)
+
+    # -- reading --------------------------------------------------------
+    def get(self, name: str) -> Histogram | None:
+        return self._histograms.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._histograms
+
+    def __len__(self) -> int:
+        return len(self._histograms)
+
+    def __iter__(self) -> Iterator[str]:
+        yield from self._histograms
+
+    def filtered(self, *prefixes: str) -> dict[str, Histogram]:
+        """Histograms whose names start with any of ``prefixes``."""
+        return {
+            name: histogram
+            for name, histogram in self._histograms.items()
+            if name.startswith(prefixes)
+        }
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        """Quantile summaries per instrument, name-sorted (JSON-ready)."""
+        return {
+            name: self._histograms[name].summary()
+            for name in sorted(self._histograms)
+        }
+
+    # -- combination ----------------------------------------------------
+    def merge(self, other: "MetricSet") -> None:
+        """Accumulate ``other``'s histograms (exact; any merge order)."""
+        for name, histogram in other._histograms.items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                self._histograms[name] = histogram.copy()
+            else:
+                mine.merge(histogram)
+
+    def __iadd__(self, other: "MetricSet") -> "MetricSet":
+        if not isinstance(other, MetricSet):
+            return NotImplemented
+        self.merge(other)
+        return self
+
+    def copy(self) -> "MetricSet":
+        duplicate = MetricSet()
+        duplicate.merge(self)
+        return duplicate
+
+    def clear(self) -> None:
+        self._histograms.clear()
+
+    # -- persistence ----------------------------------------------------
+    def snapshot(self) -> dict[str, dict]:
+        """Faithful JSON-ready state (inverse of :meth:`from_snapshot`)."""
+        return {
+            name: self._histograms[name].snapshot()
+            for name in sorted(self._histograms)
+        }
+
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping[str, Mapping]) -> "MetricSet":
+        restored = cls()
+        for name, histogram_snapshot in dict(snapshot).items():
+            restored._histograms[name] = Histogram.from_snapshot(
+                histogram_snapshot
+            )
+        return restored
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetricSet):
+            return NotImplemented
+        return self._histograms == other._histograms
+
+    def __repr__(self) -> str:
+        return f"MetricSet({sorted(self._histograms)!r})"

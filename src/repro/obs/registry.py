@@ -1,18 +1,21 @@
-"""Machine-readable registry of the engine's counter and span namespace.
+"""Machine-readable registry of the engine's counter, metric, and span
+namespace.
 
 Every dotted counter name (``frequency.table_scans``, ``cache.hits``,
-``fault.crashes``) and trace-span name (``scan``, ``parallel.batch``) the
-engine emits is declared here — either directly, or by derivation from
+``fault.crashes``), histogram/timer metric name (``latency.scan_seconds``,
+``worker.rss_bytes``), and trace-span name (``scan``, ``parallel.batch``)
+the engine emits is declared here — either directly, or by derivation from
 :data:`repro.core.stats._COUNTER_KEYS`, which remains the single source of
 truth for the counters the ``BENCH_*.json`` export reports.
 
 The registry exists so the namespace is *checkable*: the RA002 rule of
 :mod:`repro.analysis` resolves every ``counters.incr("...")`` /
-``obs.span("...")`` literal in the source tree against it, turning a
-typo'd counter name — which today would silently create a new counter that
-no report ever reads — into a lint-time failure.  Adding a genuinely new
-counter therefore means declaring it (in ``_COUNTER_KEYS`` or in the
-extras below) in the same change that first increments it.
+``metrics.observe("...")`` / ``obs.span("...")`` literal in the source
+tree against it, turning a typo'd name — which today would silently create
+a new instrument that no report ever reads — into a lint-time failure.
+Adding a genuinely new counter or metric therefore means declaring it (in
+``_COUNTER_KEYS`` or in the sets below) in the same change that first
+records it.
 
 Dump the registry as JSON for external tooling::
 
@@ -46,6 +49,39 @@ COUNTER_PREFIXES = (
     "span_seconds.",
 )
 
+#: Every histogram/timer instrument the engine records, by family:
+#:
+#: ``latency.*`` — wall-clock operation timings (parent-process surfaces);
+#: ``worker.*``  — per-chunk telemetry shipped back from pool workers
+#:                 (absent in serial runs by construction);
+#: ``dist.*``    — data-valued distributions whose merged histograms are
+#:                 bit-identical across serial/thread/process execution.
+METRIC_NAMES = frozenset(
+    {
+        # operation latency (FrequencyEvaluator + relational + search loops)
+        "latency.scan_seconds",
+        "latency.rollup_seconds",
+        "latency.project_seconds",
+        "latency.groupby_seconds",
+        "latency.join_seconds",
+        "latency.star_generalize_seconds",
+        "latency.cache_lookup_seconds",
+        "latency.level_seconds",
+        "latency.probe_seconds",
+        # parent-side dispatch/retry latency (supervised batch evaluator)
+        "latency.chunk_dispatch_seconds",
+        "latency.chunk_retry_wait_seconds",
+        # worker-shipped telemetry (pool workers → chunk-result channel)
+        "worker.queue_wait_seconds",
+        "worker.chunk_seconds",
+        "worker.chunk_jobs",
+        "worker.rss_bytes",
+        # deterministic data distributions
+        "dist.frequency_set_rows",
+        "dist.rollup_source_rows",
+    }
+)
+
 #: Every span name the engine opens (see the ``obs.span(...)`` call sites).
 SPAN_NAMES = frozenset(
     {
@@ -71,11 +107,12 @@ SPAN_NAMES = frozenset(
 
 @dataclass(frozen=True)
 class ObsRegistry:
-    """The declared counter/span namespace, as one immutable value."""
+    """The declared counter/metric/span namespace, as one immutable value."""
 
     counters: frozenset[str]
     counter_prefixes: tuple[str, ...]
     spans: frozenset[str]
+    metrics: frozenset[str] = frozenset()
 
     def allows_counter(self, name: str) -> bool:
         """Whether an exact counter name is declared."""
@@ -98,11 +135,16 @@ class ObsRegistry:
     def allows_span(self, name: str) -> bool:
         return name in self.spans
 
+    def allows_metric(self, name: str) -> bool:
+        """Whether an exact histogram/timer instrument name is declared."""
+        return name in self.metrics
+
     def as_document(self) -> dict:
         """JSON-ready rendering (stable ordering for diffing)."""
         return {
             "counters": sorted(self.counters),
             "counter_prefixes": list(self.counter_prefixes),
+            "metrics": sorted(self.metrics),
             "spans": sorted(self.spans),
         }
 
@@ -119,6 +161,7 @@ def default_registry() -> ObsRegistry:
         counters=frozenset(_COUNTER_KEYS.values()) | EXTRA_COUNTERS,
         counter_prefixes=COUNTER_PREFIXES,
         spans=SPAN_NAMES,
+        metrics=METRIC_NAMES,
     )
 
 

@@ -15,6 +15,7 @@ Three implementations cover the use cases the engine needs:
 from __future__ import annotations
 
 import json
+import time
 from typing import IO, TYPE_CHECKING, Iterable, Protocol
 
 if TYPE_CHECKING:  # circular at runtime: trace.py imports sinks.py
@@ -58,8 +59,25 @@ class InMemorySink:
         self.spans.clear()
 
 
+#: Buffered spans before a forced flush (keeps worst-case loss bounded).
+FLUSH_EVERY_SPANS = 64
+
+#: Seconds a buffered span may sit unflushed (keeps tail latency bounded).
+FLUSH_INTERVAL_SECONDS = 1.0
+
+
 class JsonLinesSink:
     """Writes one JSON object per closed span to a text stream.
+
+    Emission is buffered — serialised lines accumulate and are written in
+    one batch once :data:`FLUSH_EVERY_SPANS` lines pile up or
+    :data:`FLUSH_INTERVAL_SECONDS` has passed since the last flush — so a
+    fully traced ``run_figures`` sweep does not pay one write+flush
+    syscall pair per span.  Crash-safety is bounded, not per-span: at most
+    one buffer's worth of spans can be lost, every flush lands on a line
+    boundary, and the supervisor's fault paths call
+    :meth:`Tracer.flush <repro.obs.trace.Tracer.flush>` before retrying so
+    faulty runs still leave their trace on disk.
 
     The sink does not own the stream unless constructed via :meth:`open`;
     pass ``sys.stderr`` or any file object you manage yourself.
@@ -68,6 +86,8 @@ class JsonLinesSink:
     def __init__(self, stream: IO[str]) -> None:
         self.stream = stream
         self._owns_stream = False
+        self._buffer: list[str] = []
+        self._last_flush = time.perf_counter()
 
     @classmethod
     def open(cls, path: str) -> "JsonLinesSink":
@@ -77,14 +97,23 @@ class JsonLinesSink:
         return sink
 
     def emit(self, span: "Span") -> None:
-        json.dump(span.to_dict(), self.stream, default=str)
-        self.stream.write("\n")
-        # Flush per span so a crashed run's trace ends at a line boundary
-        # with every closed span on disk — partial traces stay parseable.
+        self._buffer.append(json.dumps(span.to_dict(), default=str))
+        if (
+            len(self._buffer) >= FLUSH_EVERY_SPANS
+            or time.perf_counter() - self._last_flush >= FLUSH_INTERVAL_SECONDS
+        ):
+            self.flush()
+
+    def flush(self) -> None:
+        """Write and flush all buffered lines (always at a line boundary)."""
+        if self._buffer:
+            self.stream.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
         self.stream.flush()
+        self._last_flush = time.perf_counter()
 
     def close(self) -> None:
-        self.stream.flush()
+        self.flush()
         if self._owns_stream:
             self.stream.close()
 

@@ -30,6 +30,7 @@ import time
 from typing import Any
 
 from repro.obs.counters import CounterSet
+from repro.obs.metrics import NULL_TIMER, MetricSet, _MetricTimer
 from repro.obs.sinks import NullSink, Sink
 
 
@@ -46,6 +47,7 @@ class Span:
         "span_id",
         "parent_id",
         "depth",
+        "thread",
         "_tracer",
     )
 
@@ -59,6 +61,7 @@ class Span:
         self.span_id: int = -1
         self.parent_id: int | None = None
         self.depth: int = 0
+        self.thread: int = 0
         self._tracer = tracer
 
     # -- recording ------------------------------------------------------
@@ -79,12 +82,21 @@ class Span:
         return self.ended - self.started
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-ready flat record (children referenced by their own lines)."""
+        """JSON-ready flat record (children referenced by their own lines).
+
+        ``started``/``ended`` are raw ``perf_counter`` readings — only
+        differences between values from the same process are meaningful.
+        ``thread`` is a dense per-tracer index (0 = first thread to open a
+        span), stable enough for trace viewers to lane spans by.
+        """
         return {
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "depth": self.depth,
             "name": self.name,
+            "started": self.started,
+            "ended": self.ended,
+            "thread": self.thread,
             "duration_seconds": self.duration_seconds,
             "attrs": dict(self.attrs),
             "counters": self.counters.as_dict(),
@@ -103,6 +115,7 @@ class Span:
     def __enter__(self) -> "Span":
         tracer = self._tracer
         self.span_id = tracer._next_id()
+        self.thread = tracer._thread_index()
         stack = tracer._stack
         if stack:
             parent = stack[-1]
@@ -167,19 +180,25 @@ class Tracer:
         Run-wide :class:`CounterSet`; every span closure bumps
         ``span.<name>`` and ``span_seconds.<name>`` here, and explicit
         :meth:`incr` calls land here too.
+    metrics:
+        Run-wide :class:`MetricSet` of latency/distribution histograms;
+        :meth:`observe` and :meth:`timer` record here (``--metrics-out``
+        dumps its quantile summaries).
     """
 
     def __init__(self, sink: Sink | None = None, *, enabled: bool = True) -> None:
         self.enabled = enabled
         self.sink: Sink = sink if sink is not None else NullSink()
         self.totals = CounterSet()
+        self.metrics = MetricSet()
         # Span nesting is per thread: the parallel evaluator's thread
         # workers each get their own stack, so concurrently open spans
         # never corrupt each other's parent/child links.  Ids, run totals,
-        # and sink emission stay process-wide, guarded by one lock.
+        # metrics, and sink emission stay process-wide, guarded by one lock.
         self._local = threading.local()
         self._lock = threading.Lock()
         self._id_counter = 0
+        self._thread_ids: dict[int, int] = {}
 
     @property
     def _stack(self) -> list[Span]:
@@ -205,6 +224,43 @@ class Tracer:
         with self._lock:
             self.totals.incr(name, value)
 
+    def observe(self, name: str, value: float) -> None:
+        """Record one histogram observation into the run-wide metrics."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self.metrics.observe(name, value)
+
+    def timer(self, name: str):
+        """Context manager timing a region into histogram ``name``.
+
+        Returns the shared no-op timer when disabled, so instrumented hot
+        paths pay one call and a truthiness check at most.
+        """
+        if not self.enabled:
+            return NULL_TIMER
+        return _MetricTimer(self, name)
+
+    def merge_metrics(self, metrics: MetricSet) -> None:
+        """Fold an external :class:`MetricSet` into the run-wide metrics.
+
+        The bench harness pushes each measured run's ``SearchStats``
+        histograms (``latency.scan_seconds`` and friends, which record on
+        the stats surface, not the tracer) through here so
+        ``--metrics-out`` describes the whole sweep.  No-op when disabled.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            self.metrics.merge(metrics)
+
+    def flush(self) -> None:
+        """Push any buffered sink output to its stream (crash-safety)."""
+        flush = getattr(self.sink, "flush", None)
+        if flush is not None:
+            with self._lock:
+                flush()
+
     @property
     def current(self) -> Span | None:
         """The innermost open span, or None outside any span."""
@@ -215,6 +271,15 @@ class Tracer:
         with self._lock:
             self._id_counter += 1
             return self._id_counter
+
+    def _thread_index(self) -> int:
+        """Dense index of the calling thread (0 = first thread seen)."""
+        ident = threading.get_ident()
+        with self._lock:
+            index = self._thread_ids.get(ident)
+            if index is None:
+                index = self._thread_ids[ident] = len(self._thread_ids)
+            return index
 
     def _close(self, span: Span) -> None:
         with self._lock:

@@ -54,6 +54,7 @@ from repro import obs
 from repro.core.anonymity import FrequencyEvaluator, FrequencySet
 from repro.lattice.node import LatticeNode
 from repro.obs.counters import CounterSet
+from repro.obs.metrics import MetricSet
 from repro.parallel import worker as worker_module
 from repro.parallel.config import ExecutionConfig, current_execution
 from repro.resilience.faults import (
@@ -83,21 +84,31 @@ def _split_chunks(items: list, pieces: int) -> list[list]:
     return chunks
 
 
-def _thread_chunk(problem, chunk, directive=None):
+def _thread_chunk(problem, chunk, directive=None, submitted_at=None):
     """Execute one chunk in a worker thread (shared memory, private stats).
 
     Also the supervised path's serial fallback (with ``directive=None``):
     executing through a private evaluator and merging the delta keeps the
     counters bit-identical whichever rung of the ladder did the work.
+    Ships the same chunk telemetry as a process worker, so the ``worker.*``
+    histograms describe the pool uniformly across thread and process modes.
     """
     from repro.core.stats import SearchStats
+    from repro.parallel.worker import _note_worker_telemetry
 
     apply_worker_fault(directive, in_process=False)
+    chunk_started = time.perf_counter()
     evaluator = FrequencyEvaluator(problem, SearchStats())
     out = []
     for _, node, kind, payload in chunk:
         out.append(evaluator.execute_job(node, kind, payload))
-    result = (out, evaluator.stats.counters)
+    _note_worker_telemetry(
+        evaluator.stats.metrics,
+        num_jobs=len(chunk),
+        chunk_seconds=time.perf_counter() - chunk_started,
+        submitted_at=submitted_at,
+    )
+    result = (out, evaluator.stats.counters, evaluator.stats.metrics)
     if directive is not None and directive[0] == "poison":
         result = poison_payload(result)
     return result
@@ -117,22 +128,28 @@ def _ship_chunk(chunk) -> list[tuple]:
     ]
 
 
-def _validate_payload(chunk, payload) -> tuple[list, CounterSet]:
+def _validate_payload(chunk, payload) -> tuple[list, CounterSet, MetricSet]:
     """Shape-check one chunk result; raises PoisonedResultError when corrupt.
 
     Workers are untrusted under the failure model: a result is only merged
-    if it is structurally coherent — a ``(results, delta)`` pair with one
-    well-formed frequency set (object or raw array pair) per job and
-    non-negative counts.  Anything else is treated exactly like a crashed
-    worker: discarded and re-executed.
+    if it is structurally coherent — a ``(results, counters, metrics)``
+    triple with one well-formed frequency set (object or raw array pair)
+    per job and non-negative counts.  Anything else is treated exactly
+    like a crashed worker: discarded and re-executed.
     """
     try:
-        results, delta = payload
+        results, delta, metrics = payload
     except (TypeError, ValueError):
-        raise PoisonedResultError("chunk payload is not a (results, delta) pair")
+        raise PoisonedResultError(
+            "chunk payload is not a (results, counters, metrics) triple"
+        )
     if not isinstance(delta, CounterSet):
         raise PoisonedResultError(
             f"chunk stats delta is {type(delta).__name__}, not CounterSet"
+        )
+    if not isinstance(metrics, MetricSet):
+        raise PoisonedResultError(
+            f"chunk metrics delta is {type(metrics).__name__}, not MetricSet"
         )
     if not isinstance(results, list) or len(results) != len(chunk):
         got = len(results) if isinstance(results, list) else type(results).__name__
@@ -159,7 +176,7 @@ def _validate_payload(chunk, payload) -> tuple[list, CounterSet]:
             raise PoisonedResultError("frequency-set arrays are inconsistent")
         if counts.size and int(counts.min()) < 0:
             raise PoisonedResultError("frequency set carries negative counts")
-    return results, delta
+    return results, delta, metrics
 
 
 @dataclass
@@ -305,9 +322,12 @@ class BatchMaterializer:
         ) as sp:
             payloads = self._dispatch_supervised(evaluator, chunks)
             merge_seconds = 0.0
-            for chunk, (chunk_results, delta) in zip(chunks, payloads):
+            for chunk, (chunk_results, delta, metrics_delta) in zip(
+                chunks, payloads
+            ):
                 merge_started = time.perf_counter()
                 evaluator.stats.counters += delta
+                evaluator.stats.metrics += metrics_delta
                 for (index, node, _, _), item in zip(chunk, chunk_results):
                     if isinstance(item, FrequencySet):
                         result = item
@@ -337,7 +357,7 @@ class BatchMaterializer:
 
     def _dispatch_supervised(
         self, evaluator: FrequencyEvaluator, chunks: list[list]
-    ) -> list[tuple[list, CounterSet]]:
+    ) -> list[tuple[list, CounterSet, MetricSet]]:
         """Execute every chunk to completion, in order, surviving failures."""
         states = [
             _ChunkState(chunk=chunk, task_id=self._next_task_id())
@@ -386,27 +406,40 @@ class BatchMaterializer:
                 }[kind]
                 directive = (kind, param)
         executor = self._ensure_executor()
+        # Submission timestamp for the worker's queue-wait observation:
+        # time.monotonic is comparable across processes on this host,
+        # unlike perf_counter, whose epoch is per-process.
+        submitted_at = time.monotonic()
         if self._mode == "threads":
             state.future = executor.submit(
-                _thread_chunk, self.problem, state.chunk, directive
+                _thread_chunk, self.problem, state.chunk, directive, submitted_at
             )
         else:
             state.future = executor.submit(
-                worker_module.run_chunk, _ship_chunk(state.chunk), directive
+                worker_module.run_chunk,
+                _ship_chunk(state.chunk),
+                directive,
+                submitted_at,
             )
 
     def _await_state(
         self, state: _ChunkState, states: list[_ChunkState], evaluator
-    ) -> tuple[list, CounterSet]:
-        """One chunk's successful ``(results, delta)``, however obtained.
+    ) -> tuple[list, CounterSet, MetricSet]:
+        """One chunk's successful ``(results, counters, metrics)`` triple.
 
         Loops submit → await → classify-failure → retry until the chunk
         succeeds.  Termination is guaranteed: every rung either succeeds
         or pushes the chunk (or the whole run) down the ladder, and the
         bottom rung — serial in-parent execution with injection disabled —
         cannot fail without raising the underlying real error.
+
+        The successful attempt's await time lands in the parent's
+        ``latency.chunk_dispatch_seconds`` histogram (earlier chunks in a
+        level absorb most of the pool's concurrency, later ones return
+        nearly instantly — the distribution, not the total, is the story).
         """
         counters = evaluator.stats.counters
+        metrics = evaluator.stats.metrics
         while True:
             if self._mode == "serial" or state.serial_fallback:
                 return _validate_payload(
@@ -420,28 +453,34 @@ class BatchMaterializer:
                     # Submission itself hit a dead pool: recover, re-loop.
                     self._recover_pool(states, evaluator)
                     continue
+            await_started = time.perf_counter()
             try:
                 payload = future.result(
                     timeout=self.execution.effective_timeout
                 )
-                return _validate_payload(state.chunk, payload)
+                validated = _validate_payload(state.chunk, payload)
+                metrics.observe(
+                    "latency.chunk_dispatch_seconds",
+                    time.perf_counter() - await_started,
+                )
+                return validated
             except FuturesTimeout:
                 counters.incr("fault.timeouts")
                 state.future = None  # abandon the stalled worker's future
-                self._note_retry(state, counters)
+                self._note_retry(state, evaluator)
             except BrokenExecutor:
                 counters.incr("fault.crashes")
                 state.future = None
                 self._recover_pool(states, evaluator)
-                self._note_retry(state, counters)
+                self._note_retry(state, evaluator)
             except InjectedWorkerCrash:
                 counters.incr("fault.crashes")
                 state.future = None
-                self._note_retry(state, counters)
+                self._note_retry(state, evaluator)
             except PoisonedResultError:
                 counters.incr("fault.poisoned")
                 state.future = None
-                self._note_retry(state, counters)
+                self._note_retry(state, evaluator)
             except Exception:
                 # Unexpected worker error: retry like a fault.  A genuine,
                 # deterministic bug eventually exhausts retries and
@@ -449,10 +488,14 @@ class BatchMaterializer:
                 # traceback is visible.
                 counters.incr("fault.errors")
                 state.future = None
-                self._note_retry(state, counters)
+                self._note_retry(state, evaluator)
 
-    def _note_retry(self, state: _ChunkState, counters: CounterSet) -> None:
+    def _note_retry(self, state: _ChunkState, evaluator) -> None:
         """Account one failed attempt; back off or fall back to serial."""
+        counters = evaluator.stats.counters
+        # A fault was just observed: push any buffered trace output to disk
+        # before retrying, in case this run is about to die entirely.
+        obs.flush()
         if state.attempt == 0:
             counters.incr("retry.chunks")
         state.attempt += 1
@@ -471,6 +514,9 @@ class BatchMaterializer:
         if plan is not None:
             delay *= plan.jitter(state.task_id, state.attempt)
         counters.incr("retry.backoff_seconds", delay)
+        evaluator.stats.metrics.observe(
+            "latency.chunk_retry_wait_seconds", delay
+        )
         time.sleep(delay)
 
     def _recover_pool(

@@ -7,20 +7,25 @@ after that, each :func:`run_chunk` call ships only lattice nodes and (for
 rollup jobs) the source set's two small arrays, never the base table.
 
 Results come back as raw ``(key_codes, counts)`` array pairs together with
-the chunk's :class:`~repro.obs.counters.CounterSet` stats delta; the parent
-rebuilds :class:`~repro.core.anonymity.FrequencySet` objects against its
-own problem instance and merges the deltas in deterministic (submission)
+the chunk's :class:`~repro.obs.counters.CounterSet` stats delta and its
+:class:`~repro.obs.metrics.MetricSet` telemetry delta (per-job latency
+histograms plus ``worker.*`` queue-wait / chunk-duration / RSS
+observations); the parent rebuilds
+:class:`~repro.core.anonymity.FrequencySet` objects against its own
+problem instance and merges the deltas in deterministic (submission)
 order.  Everything crossing the boundary is plain picklable data — numpy
-arrays, tuples, ``CounterSet`` — so the module works under both ``fork``
-and ``spawn`` start methods.
+arrays, tuples, ``CounterSet``, ``MetricSet`` — so the module works under
+both ``fork`` and ``spawn`` start methods.
 """
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Any, Sequence
 
 if TYPE_CHECKING:
     from repro.obs.counters import CounterSet
+    from repro.obs.metrics import MetricSet
 
 #: The worker-resident problem, installed once per process by the pool
 #: initializer.  Module-global on purpose: executor task functions must be
@@ -49,18 +54,57 @@ def init_worker(problem) -> None:
     obs.set_tracer(Tracer(enabled=False))
 
 
+def _note_worker_telemetry(
+    metrics: "MetricSet",
+    *,
+    num_jobs: int,
+    chunk_seconds: float,
+    submitted_at: float | None,
+) -> None:
+    """Record the ``worker.*`` observations for one executed chunk.
+
+    Queue wait is the gap between the parent stamping the submission
+    (``time.monotonic`` — comparable across processes on Linux, unlike
+    ``perf_counter``) and the worker starting the chunk.  RSS is this
+    process's lifetime high-water mark from ``getrusage`` (kibibytes on
+    Linux, converted to bytes); it is resampled per chunk so the merged
+    histogram shows the pool's memory envelope over time.
+    """
+    metrics.observe("worker.chunk_jobs", num_jobs)
+    metrics.observe("worker.chunk_seconds", chunk_seconds)
+    if submitted_at is not None:
+        metrics.observe(
+            "worker.queue_wait_seconds",
+            max(0.0, time.monotonic() - submitted_at),
+        )
+    try:
+        import resource
+
+        metrics.observe(
+            "worker.rss_bytes",
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024,
+        )
+    except (ImportError, OSError):  # pragma: no cover - non-POSIX platform
+        pass
+
+
 def run_chunk(
     jobs: Sequence[tuple[Any, str, tuple | None]],
     directive: tuple[str, float] | None = None,
-) -> tuple[list[tuple], "CounterSet"]:
+    submitted_at: float | None = None,
+) -> tuple[list[tuple], "CounterSet", "MetricSet"]:
     """Materialise one chunk of frequency-set jobs in a worker process.
 
     ``jobs`` entries are ``(node, kind, payload)`` with kind ``"scan"``
     (payload None) or ``"rollup"`` (payload is the source set exploded to
     ``(source_node, key_codes, counts)``).  Returns the materialised
     ``(key_codes, counts)`` pairs in job order plus this chunk's stats
-    delta.  The worker's tracer is the process default (disabled), so the
-    only signal leaving the worker is the counter delta.
+    delta and metrics delta.  The worker's tracer is the process default
+    (disabled), so the only signals leaving the worker are those two
+    deltas on the chunk-result channel.
+
+    ``submitted_at`` is the parent's ``time.monotonic`` reading at submit
+    time, used for the ``worker.queue_wait_seconds`` observation.
 
     ``directive`` is a pre-drawn fault-injection order from the parent's
     :class:`~repro.resilience.faults.FaultPlan` (crash/stall before doing
@@ -78,6 +122,7 @@ def run_chunk(
     if _PROBLEM is None:
         raise RuntimeError("worker used before init_worker installed a problem")
     apply_worker_fault(directive, in_process=True)
+    chunk_started = time.perf_counter()
     evaluator = FrequencyEvaluator(_PROBLEM, SearchStats())
     out: list[tuple] = []
     for node, kind, payload in jobs:
@@ -92,7 +137,13 @@ def run_chunk(
         else:
             raise ValueError(f"unknown job kind {kind!r}")
         out.append((result.key_codes, result.counts))
-    payload_out = (out, evaluator.stats.counters)
+    _note_worker_telemetry(
+        evaluator.stats.metrics,
+        num_jobs=len(jobs),
+        chunk_seconds=time.perf_counter() - chunk_started,
+        submitted_at=submitted_at,
+    )
+    payload_out = (out, evaluator.stats.counters, evaluator.stats.metrics)
     if directive is not None and directive[0] == "poison":
         payload_out = poison_payload(payload_out)
     return payload_out

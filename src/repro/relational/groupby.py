@@ -152,6 +152,7 @@ def group_by_codes(
         return empty, np.empty(0, dtype=np.int64)
 
     with obs.span("groupby", kind="count", rows=num_rows) as sp:
+        groupby_started = time.perf_counter()
         key_build_started = time.perf_counter()
         keys, dense = _combine_codes(code_arrays, radices)
         key_build_seconds = time.perf_counter() - key_build_started
@@ -180,6 +181,9 @@ def group_by_codes(
                 key_build_seconds=key_build_seconds,
                 count_seconds=time.perf_counter() - count_started,
             )
+        obs.observe(
+            "latency.groupby_seconds", time.perf_counter() - groupby_started
+        )
     return key_codes, counts
 
 

@@ -12,6 +12,7 @@ codes: the smaller input builds, the larger probes.
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from typing import Sequence
 
@@ -75,6 +76,7 @@ def hash_join(
     with obs.span(
         "join", on=",".join(on), build_rows=right.num_rows, probe_rows=left.num_rows
     ) as sp:
+        join_started = time.perf_counter()
         build, probe = (right, left)
         build_keys = _join_key_rows(build, on)
         probe_keys = _join_key_rows(probe, on)
@@ -98,6 +100,9 @@ def hash_join(
         ]
         if sp:
             sp.set(output_rows=len(probe_rows), distinct_build_keys=len(matches))
+        obs.observe(
+            "latency.join_seconds", time.perf_counter() - join_started
+        )
     return Table(schema, columns)
 
 

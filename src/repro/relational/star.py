@@ -16,6 +16,7 @@ layer free of upward dependencies.
 
 from __future__ import annotations
 
+import time
 from typing import Mapping, Sequence
 
 from repro import obs
@@ -80,7 +81,13 @@ class StarSchema:
             levels=",".join(f"{a}={l}" for a, l in levels.items()),
             fact_rows=self._fact.num_rows,
         ):
-            return self._generalized_view(levels)
+            generalize_started = time.perf_counter()
+            result = self._generalized_view(levels)
+            obs.observe(
+                "latency.star_generalize_seconds",
+                time.perf_counter() - generalize_started,
+            )
+            return result
 
     def _generalized_view(self, levels: Mapping[str, int]) -> Table:
         result = self._fact

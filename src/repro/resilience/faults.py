@@ -228,11 +228,13 @@ def apply_worker_fault(directive: tuple[str, float] | None, *, in_process: bool)
     raise ValueError(f"unknown fault directive {kind!r}")
 
 
-def poison_payload(payload: tuple[list, object]) -> tuple[list, object]:
+def poison_payload(payload: tuple) -> tuple:
     """Corrupt a chunk payload the way a buggy worker might.
 
     Truncates the result list (a lost job), which the parent's shape
-    validation must detect and convert into a retry.
+    validation must detect and convert into a retry.  The accompanying
+    delta elements (counters, metrics) pass through untouched — shape
+    validation must catch the corruption from the results alone.
     """
-    results, delta = payload
-    return results[:-1], delta
+    results, *deltas = payload
+    return (results[:-1], *deltas)

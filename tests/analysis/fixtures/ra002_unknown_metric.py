@@ -1,0 +1,5 @@
+"""Fixture: violates RA002 only — metric name absent from the obs registry."""
+
+
+def record(metrics):
+    metrics.observe("latency.scan_secondz", 0.25)

@@ -11,6 +11,7 @@ FIXTURES = Path(__file__).parent / "fixtures"
 CASES = [
     ("ra001_unseeded.py", {"RA001"}),
     ("ra002_unknown_counter.py", {"RA002"}),
+    ("ra002_unknown_metric.py", {"RA002"}),
     ("ra003_shared_state.py", {"RA003"}),
     ("ra004_plain_write.py", {"RA004"}),
     ("ra005_undocumented_flag.py", {"RA005"}),

@@ -49,9 +49,22 @@ def test_registry_and_stats_agree():
         assert registry.allows_counter(dotted), dotted
     for span in ("scan", "rollup", "project", "groupby", "parallel.batch"):
         assert registry.allows_span(span), span
+    for metric in (
+        "latency.scan_seconds",
+        "worker.rss_bytes",
+        "dist.frequency_set_rows",
+    ):
+        assert registry.allows_metric(metric), metric
+    assert not registry.allows_metric("latency.nope_seconds")
     document = registry.as_document()
-    assert set(document) == {"counters", "counter_prefixes", "spans"}
+    assert set(document) == {
+        "counters",
+        "counter_prefixes",
+        "metrics",
+        "spans",
+    }
     assert document["counters"] == sorted(document["counters"])
+    assert document["metrics"] == sorted(document["metrics"])
 
 
 def test_renamed_counter_literal_fails_ra002(tmp_path):

@@ -1,0 +1,216 @@
+"""The bench regression gate: summaries, thresholds, exit codes."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.compare import (
+    DEFAULT_MIN_SECONDS,
+    SUMMARY_KIND,
+    SUMMARY_SCHEMA_VERSION,
+    compare_summaries,
+    load_summary,
+    main,
+    summarize_document,
+    workload_key,
+)
+
+
+def _run(figure="fig10", database="adults", k=2, x=3, algorithm="Basic",
+         elapsed=1.0):
+    return {
+        "figure": figure,
+        "database": database,
+        "k": k,
+        "x_name": "qid_size",
+        "x_value": x,
+        "algorithm": algorithm,
+        "elapsed_seconds": elapsed,
+        "solutions": 6,
+        "counters": {"nodes_checked": 13, "table_scans": 8, "rollups": 5},
+        "metrics": {
+            "latency.scan_seconds": {
+                "count": 8, "sum": 0.4, "min": 0.01, "max": 0.2,
+                "p50": 0.05, "p90": 0.1, "p99": 0.2,
+            },
+            "never.recorded": {"count": 0},
+        },
+    }
+
+
+def _document(runs):
+    return {
+        "schema_version": 2,
+        "benchmark": "incognito",
+        "config": {"quick": True},
+        "runs": runs,
+    }
+
+
+class TestSummarize:
+    def test_workload_key_is_fully_qualified(self):
+        assert workload_key(_run()) == "fig10/adults/qid_size=3/k=2/Basic"
+
+    def test_summary_shape(self):
+        summary = summarize_document(_document([_run()]))
+        assert summary["kind"] == SUMMARY_KIND
+        assert summary["schema_version"] == SUMMARY_SCHEMA_VERSION
+        entry = summary["workloads"]["fig10/adults/qid_size=3/k=2/Basic"]
+        assert entry["elapsed_seconds"] == 1.0
+        assert entry["counters"]["nodes_checked"] == 13
+        assert entry["counters"]["solutions"] == 6
+        # Empty instruments are dropped; recorded ones keep quantiles.
+        assert "never.recorded" not in entry["metrics"]
+        assert entry["metrics"]["latency.scan_seconds"]["p99"] == 0.2
+
+    def test_load_summary_accepts_both_forms(self, tmp_path):
+        document = _document([_run()])
+        raw = tmp_path / "raw.json"
+        raw.write_text(json.dumps(document))
+        summarized = tmp_path / "summary.json"
+        summarized.write_text(json.dumps(summarize_document(document)))
+        assert load_summary(raw) == load_summary(summarized)
+
+    def test_load_summary_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(ValueError, match="neither a bench document"):
+            load_summary(bad)
+
+    def test_load_summary_rejects_wrong_version(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({
+            "kind": SUMMARY_KIND, "schema_version": 99, "workloads": {},
+        }))
+        with pytest.raises(ValueError, match="schema_version"):
+            load_summary(bad)
+
+
+class TestCompare:
+    def test_identical_summaries_pass(self):
+        summary = summarize_document(_document([_run(), _run(x=4)]))
+        regressions, notes = compare_summaries(summary, summary)
+        assert regressions == []
+        assert notes == []
+
+    def test_twenty_percent_slowdown_regresses(self):
+        base = summarize_document(_document([_run(elapsed=1.0)]))
+        slow = copy.deepcopy(base)
+        key = "fig10/adults/qid_size=3/k=2/Basic"
+        slow["workloads"][key]["elapsed_seconds"] = 1.25
+        regressions, _ = compare_summaries(base, slow, threshold=0.2)
+        assert len(regressions) == 1
+        assert key in regressions[0]
+        assert "+25.0%" in regressions[0]
+        # The report carries the per-metric quantile diff.
+        assert "latency.scan_seconds" in regressions[0]
+        assert "p99" in regressions[0]
+
+    def test_small_absolute_delta_is_noise(self):
+        # +50% relative but only 1ms absolute: under the floor, not a
+        # regression — quick-mode workloads run in microseconds.
+        base = summarize_document(_document([_run(elapsed=0.002)]))
+        jittery = copy.deepcopy(base)
+        key = "fig10/adults/qid_size=3/k=2/Basic"
+        jittery["workloads"][key]["elapsed_seconds"] = 0.003
+        regressions, notes = compare_summaries(base, jittery, threshold=0.2)
+        assert regressions == []
+        assert any("ignored as noise" in note for note in notes)
+        assert DEFAULT_MIN_SECONDS > 0.001
+
+    def test_speedup_never_regresses(self):
+        base = summarize_document(_document([_run(elapsed=2.0)]))
+        fast = copy.deepcopy(base)
+        key = "fig10/adults/qid_size=3/k=2/Basic"
+        fast["workloads"][key]["elapsed_seconds"] = 0.5
+        regressions, _ = compare_summaries(base, fast)
+        assert regressions == []
+
+    def test_missing_workload_regresses(self):
+        base = summarize_document(_document([_run(), _run(x=4)]))
+        partial = summarize_document(_document([_run()]))
+        regressions, _ = compare_summaries(base, partial)
+        assert len(regressions) == 1
+        assert "missing" in regressions[0]
+
+    def test_counter_drift_is_a_note_not_a_failure(self):
+        base = summarize_document(_document([_run()]))
+        drifted = copy.deepcopy(base)
+        key = "fig10/adults/qid_size=3/k=2/Basic"
+        drifted["workloads"][key]["counters"]["nodes_checked"] = 99
+        regressions, notes = compare_summaries(base, drifted)
+        assert regressions == []
+        assert any("nodes_checked" in note for note in notes)
+
+    def test_new_workload_is_a_note(self):
+        base = summarize_document(_document([_run()]))
+        grown = summarize_document(_document([_run(), _run(x=4)]))
+        regressions, notes = compare_summaries(base, grown)
+        assert regressions == []
+        assert any("new workload" in note for note in notes)
+
+
+class TestCli:
+    def _write(self, tmp_path, name, document):
+        path = tmp_path / name
+        path.write_text(json.dumps(document))
+        return str(path)
+
+    def test_identical_runs_exit_zero(self, tmp_path, capsys):
+        document = _document([_run(), _run(x=4)])
+        a = self._write(tmp_path, "a.json", document)
+        b = self._write(tmp_path, "b.json", document)
+        assert main([a, b, "--threshold", "0.2"]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_injected_slowdown_exits_nonzero_with_quantile_report(
+        self, tmp_path, capsys
+    ):
+        base = _document([_run(elapsed=1.0)])
+        slow = copy.deepcopy(base)
+        slow["runs"][0]["elapsed_seconds"] = 1.3
+        a = self._write(tmp_path, "a.json", base)
+        b = self._write(tmp_path, "b.json", slow)
+        assert main([a, b, "--threshold", "0.2"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "latency.scan_seconds" in out  # per-workload quantile diff
+
+    def test_threshold_flag_is_respected(self, tmp_path):
+        base = _document([_run(elapsed=1.0)])
+        slow = copy.deepcopy(base)
+        slow["runs"][0]["elapsed_seconds"] = 1.3
+        a = self._write(tmp_path, "a.json", base)
+        b = self._write(tmp_path, "b.json", slow)
+        assert main([a, b, "--threshold", "0.5"]) == 0
+
+    def test_summarize_writes_summary_file(self, tmp_path):
+        a = self._write(tmp_path, "a.json", _document([_run()]))
+        out = tmp_path / "baseline.json"
+        assert main(["--summarize", a, "-o", str(out)]) == 0
+        summary = json.loads(out.read_text())
+        assert summary["kind"] == SUMMARY_KIND
+        assert len(summary["workloads"]) == 1
+
+    def test_summarize_to_stdout(self, tmp_path, capsys):
+        a = self._write(tmp_path, "a.json", _document([_run()]))
+        assert main(["--summarize", a]) == 0
+        assert json.loads(capsys.readouterr().out)["kind"] == SUMMARY_KIND
+
+    def test_compare_requires_current(self, tmp_path):
+        a = self._write(tmp_path, "a.json", _document([_run()]))
+        with pytest.raises(SystemExit):
+            main([a])
+
+    def test_committed_baseline_matches_current_schema(self):
+        # The repo ships benchmarks/baseline.json for CI; it must load.
+        from pathlib import Path
+
+        baseline = (
+            Path(__file__).resolve().parents[2]
+            / "benchmarks"
+            / "baseline.json"
+        )
+        summary = load_summary(baseline)
+        assert summary["workloads"]

@@ -52,6 +52,22 @@ STRUCTURAL_COUNTERS = (
 )
 
 
+def assert_dist_metrics_identical(a, b, context=""):
+    """The ``dist.*`` histogram family must be *bit-identical* across
+    execution modes: its observations are data values (row counts), the
+    evaluation plan is fixed in the parent, and the histogram merge is
+    exact and order-free — so not just the summaries but the full bucket
+    state must match.  (``latency.*``/``worker.*`` are wall-clock and OS
+    telemetry; only their merge algebra is deterministic, so they are
+    deliberately excluded.)
+    """
+    dist_a = a.stats.metrics.filtered("dist.")
+    dist_b = b.stats.metrics.filtered("dist.")
+    assert set(dist_a) == set(dist_b), context
+    for name, histogram in dist_a.items():
+        assert histogram == dist_b[name], f"{context}: {name}"
+
+
 def oracle_anonymous_nodes(problem: PreparedTable, k: int) -> set:
     """Every k-anonymous node of the full lattice, by definition."""
     lattice = problem.lattice()
@@ -106,6 +122,42 @@ def test_process_pool_matches_serial_exactly():
                 assert parallel.stats.counters.get(key) == serial.stats.counters.get(
                     key
                 ), key
+            assert_dist_metrics_identical(
+                parallel, serial, f"processes seed={seed} k={k}"
+            )
+
+
+def test_worker_metric_merge_identical_across_modes():
+    """Merged ``dist.*`` histograms are bit-identical serial vs threads vs
+    processes, and pool runs ship uniform ``worker.*`` telemetry.
+
+    The chunk payloads carry per-worker MetricSet deltas that the parent
+    merges in submission order; because the merge is exact and the
+    ``dist.*`` observations are plan-determined data values, every
+    execution mode must converge on the same histogram state.  Serial runs
+    have no chunks, hence no ``worker.*`` instruments, by construction.
+    """
+    threads = ExecutionConfig(mode="threads", workers=2)
+    processes = ExecutionConfig(mode="processes", workers=2)
+    for seed in (3, 42):
+        problem = make_random_problem(seed, num_rows=30)
+        serial = basic_incognito(problem, 2)
+        threaded = basic_incognito(problem, 2, execution=threads)
+        pooled = basic_incognito(problem, 2, execution=processes)
+        assert_dist_metrics_identical(threaded, serial, f"threads seed={seed}")
+        assert_dist_metrics_identical(pooled, serial, f"processes seed={seed}")
+        # Pool modes describe their chunks uniformly...
+        for result, mode in ((threaded, "threads"), (pooled, "processes")):
+            workerish = result.stats.metrics.filtered("worker.")
+            assert "worker.chunk_jobs" in workerish, mode
+            assert "worker.chunk_seconds" in workerish, mode
+            assert "worker.queue_wait_seconds" in workerish, mode
+            # ...and every dispatched job is accounted for exactly once.
+            assert workerish["worker.chunk_jobs"].sum == (
+                threaded.stats.metrics.get("worker.chunk_jobs").sum
+            ), mode
+        # ...while pure serial execution never fabricates worker telemetry.
+        assert serial.stats.metrics.filtered("worker.") == {}
 
 
 def test_cache_does_not_change_thread_pool_results():

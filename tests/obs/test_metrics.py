@@ -1,0 +1,232 @@
+"""Histogram / MetricSet semantics: fixed buckets, exact order-free merge."""
+
+import random
+
+import pytest
+
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    NUM_BUCKETS,
+    Histogram,
+    MetricSet,
+    bucket_index,
+)
+
+
+class TestBucketLayout:
+    def test_bounds_are_strictly_increasing(self):
+        assert all(a < b for a, b in zip(BUCKET_BOUNDS, BUCKET_BOUNDS[1:]))
+
+    def test_four_buckets_per_decade(self):
+        # 10**(i/4) layout: every 4th bound is a power of ten.
+        assert BUCKET_BOUNDS[0] == pytest.approx(1e-7)
+        assert BUCKET_BOUNDS[28] == pytest.approx(1.0)
+        assert BUCKET_BOUNDS[-1] == pytest.approx(1e9)
+        assert NUM_BUCKETS == len(BUCKET_BOUNDS) + 1
+
+    def test_bucket_index_edges(self):
+        assert bucket_index(0.0) == 0
+        assert bucket_index(-1.0) == 0
+        assert bucket_index(BUCKET_BOUNDS[0]) == 0
+        # A value exactly on a bound belongs to that bound's bucket.
+        assert bucket_index(1.0) == 28
+        assert bucket_index(1.0000001) == 29
+        assert bucket_index(1e30) == NUM_BUCKETS - 1  # overflow bucket
+
+    def test_same_bucket_means_identical_counts_across_jitter(self):
+        # Values within one bucket land identically — the property that
+        # keeps bucket state stable under sub-bucket timing jitter (only
+        # the exact min/max/sum fields see the raw values).
+        h1, h2 = Histogram(), Histogram()
+        h1.record(0.011)
+        h2.record(0.012)  # same bucket as 0.011
+        assert h1.buckets == h2.buckets
+        assert bucket_index(0.011) == bucket_index(0.012)
+
+
+class TestHistogram:
+    def test_empty_summary_and_quantile(self):
+        h = Histogram()
+        assert h.summary() == {"count": 0}
+        assert h.quantile(0.5) == 0.0
+
+    def test_summary_fields(self):
+        h = Histogram()
+        for value in (1, 2, 3, 100):
+            h.record(value)
+        s = h.summary()
+        assert s["count"] == 4
+        assert s["sum"] == 106.0
+        assert s["min"] == 1.0
+        assert s["max"] == 100.0
+        assert s["p50"] <= s["p90"] <= s["p99"] <= s["max"]
+
+    def test_quantiles_clamped_to_observed_range(self):
+        h = Histogram()
+        h.record(5.0)
+        # Single observation: every quantile is that value's bucket bound
+        # clamped into [min, max] = [5, 5].
+        assert h.quantile(0.0) == 5.0
+        assert h.quantile(0.5) == 5.0
+        assert h.quantile(1.0) == 5.0
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_quantile_monotone_in_q(self):
+        h = Histogram()
+        rng = random.Random(7)
+        for _ in range(500):
+            h.record(rng.uniform(1e-6, 1e3))
+        qs = [h.quantile(q / 100) for q in range(0, 101, 5)]
+        assert qs == sorted(qs)
+
+    def test_merge_matches_combined_recording(self):
+        rng = random.Random(11)
+        values = [rng.uniform(1e-7, 1e4) for _ in range(200)]
+        combined = Histogram()
+        for value in values:
+            combined.record(value)
+        left, right = Histogram(), Histogram()
+        for value in values[:77]:
+            left.record(value)
+        for value in values[77:]:
+            right.record(value)
+        left.merge(right)
+        assert left.buckets == combined.buckets
+        assert left.count == combined.count
+        assert left.min == combined.min
+        assert left.max == combined.max
+
+    def test_merge_commutative_and_associative_exact(self):
+        # Integer observations: sums add exactly, so chunk reordering
+        # yields *bit-identical* histograms, not just close ones.
+        rng = random.Random(3)
+        chunks = []
+        for _ in range(5):
+            h = Histogram()
+            for _ in range(40):
+                h.record(rng.randrange(1, 10_000))
+            chunks.append(h)
+        orders = [list(range(5)), [4, 2, 0, 3, 1], [1, 3, 0, 4, 2]]
+        merged = []
+        for order in orders:
+            total = Histogram()
+            for index in order:
+                total.merge(chunks[index])
+            merged.append(total)
+        assert merged[0] == merged[1] == merged[2]
+        # associativity: ((a+b)+c) == (a+(b+c))
+        ab = chunks[0].copy()
+        ab.merge(chunks[1])
+        ab.merge(chunks[2])
+        bc = chunks[1].copy()
+        bc.merge(chunks[2])
+        a_bc = chunks[0].copy()
+        a_bc.merge(bc)
+        assert ab == a_bc
+
+    def test_merge_with_empty_is_identity(self):
+        h = Histogram()
+        h.record(3.0)
+        before = h.copy()
+        h.merge(Histogram())
+        assert h == before
+        empty = Histogram()
+        empty.merge(before)
+        assert empty == before
+
+    def test_snapshot_round_trip(self):
+        h = Histogram()
+        for value in (1e-9, 0.5, 7, 42, 1e12):
+            h.record(value)
+        assert Histogram.from_snapshot(h.snapshot()) == h
+        assert Histogram.from_snapshot(Histogram().snapshot()) == Histogram()
+
+    def test_copy_is_independent(self):
+        h = Histogram()
+        h.record(1.0)
+        c = h.copy()
+        c.record(2.0)
+        assert h.count == 1
+        assert c.count == 2
+
+
+class TestMetricSet:
+    def test_observe_and_lookup(self):
+        m = MetricSet()
+        m.observe("dist.rows", 10)
+        m.observe("dist.rows", 20)
+        assert "dist.rows" in m
+        assert len(m) == 1
+        assert m.get("dist.rows").count == 2
+        assert m.get("missing") is None
+
+    def test_timer_records_elapsed(self):
+        m = MetricSet()
+        with m.timer("latency.x_seconds"):
+            pass
+        h = m.get("latency.x_seconds")
+        assert h.count == 1
+        assert h.min >= 0.0
+
+    def test_filtered_by_prefix(self):
+        m = MetricSet()
+        m.observe("dist.rows", 1)
+        m.observe("latency.scan_seconds", 0.1)
+        m.observe("worker.chunk_jobs", 4)
+        assert set(m.filtered("dist.")) == {"dist.rows"}
+        assert set(m.filtered("dist.", "worker.")) == {
+            "dist.rows",
+            "worker.chunk_jobs",
+        }
+
+    def test_as_dict_sorted_and_json_ready(self):
+        m = MetricSet()
+        m.observe("b.metric", 2)
+        m.observe("a.metric", 1)
+        d = m.as_dict()
+        assert list(d) == ["a.metric", "b.metric"]
+        assert d["a.metric"]["count"] == 1
+
+    def test_merge_under_chunk_reordering_is_bit_identical(self):
+        # The parallel evaluator's contract: merging per-chunk deltas in
+        # any order produces the same MetricSet.
+        rng = random.Random(23)
+        deltas = []
+        for chunk in range(6):
+            delta = MetricSet()
+            for _ in range(25):
+                delta.observe("dist.rows", rng.randrange(1, 1000))
+            delta.observe("worker.chunk_jobs", 25)
+            deltas.append(delta)
+        forward = MetricSet()
+        for delta in deltas:
+            forward += delta
+        shuffled = MetricSet()
+        order = list(range(6))
+        rng.shuffle(order)
+        for index in order:
+            shuffled += deltas[index]
+        assert forward == shuffled
+        assert forward.as_dict() == shuffled.as_dict()
+
+    def test_merge_copies_foreign_histograms(self):
+        a, b = MetricSet(), MetricSet()
+        b.observe("dist.rows", 1)
+        a.merge(b)
+        b.observe("dist.rows", 2)
+        assert a.get("dist.rows").count == 1  # not aliased
+
+    def test_snapshot_round_trip(self):
+        m = MetricSet()
+        m.observe("dist.rows", 5)
+        m.observe("latency.scan_seconds", 0.02)
+        assert MetricSet.from_snapshot(m.snapshot()) == m
+
+    def test_clear(self):
+        m = MetricSet()
+        m.observe("dist.rows", 1)
+        m.clear()
+        assert len(m) == 0

@@ -108,8 +108,45 @@ class TestJsonLinesRoundTrip:
         tracer = Tracer(sink)
         with tracer.span("scan", node=object()) as sp:
             assert sp
+        sink.flush()
         record = json.loads(stream.getvalue())
         assert isinstance(record["attrs"]["node"], str)
+
+    def test_emission_is_buffered_until_flush(self):
+        # Satellite: no write+flush syscall pair per span.  Closed spans
+        # sit in the buffer (within the flush interval) until an explicit
+        # flush, a full buffer, or close pushes them out.
+        stream = io.StringIO()
+        sink = JsonLinesSink(stream)
+        tracer = Tracer(sink)
+        with tracer.span("scan"):
+            pass
+        assert stream.getvalue() == ""
+        tracer.flush()
+        assert [json.loads(line)["name"]
+                for line in stream.getvalue().splitlines()] == ["scan"]
+
+    def test_full_buffer_forces_flush(self):
+        from repro.obs.sinks import FLUSH_EVERY_SPANS
+
+        stream = io.StringIO()
+        sink = JsonLinesSink(stream)
+        tracer = Tracer(sink)
+        for _ in range(FLUSH_EVERY_SPANS):
+            with tracer.span("scan"):
+                pass
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == FLUSH_EVERY_SPANS
+
+    def test_close_flushes_remaining_buffer(self):
+        stream = io.StringIO()
+        sink = JsonLinesSink(stream)
+        tracer = Tracer(sink)
+        with tracer.span("rollup"):
+            pass
+        sink.close()
+        assert [json.loads(line)["name"]
+                for line in stream.getvalue().splitlines()] == ["rollup"]
 
     def test_open_owns_and_closes_file(self, tmp_path):
         path = tmp_path / "trace.jsonl"

@@ -1,5 +1,7 @@
 """Tests for trace spans, nesting, and the module-level tracer plumbing."""
 
+import threading
+
 from repro import obs
 from repro.obs import NULL_SPAN, InMemorySink, Tracer
 
@@ -66,6 +68,62 @@ class TestSpanNesting:
             pass
         assert sink.count("doomed") == 1
         assert tracer.current is None  # stack unwound
+
+
+class TestCrossThreadSpans:
+    def test_parent_ids_stable_across_threads(self):
+        """Concurrent threads never cross-link their span trees.
+
+        Each thread opens ``outer > inner`` with a barrier in between, so
+        every thread holds an open span while every other thread opens its
+        child — the exact interleaving that would corrupt parent ids if
+        the span stack were tracer-global instead of per-thread.
+        """
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        num_threads = 4
+        barrier = threading.Barrier(num_threads)
+        failures: list[str] = []
+
+        def work(index: int) -> None:
+            with tracer.span("outer", worker=index) as outer:
+                barrier.wait()
+                with tracer.span("inner", worker=index) as inner:
+                    barrier.wait()
+                if inner.parent_id != outer.span_id:
+                    failures.append(
+                        f"thread {index}: inner parented to "
+                        f"{inner.parent_id}, expected {outer.span_id}"
+                    )
+
+        threads = [
+            threading.Thread(target=work, args=(i,))
+            for i in range(num_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert failures == []
+        assert sink.count("outer") == num_threads
+        assert sink.count("inner") == num_threads
+        # Every inner span links to an outer span of the *same* worker.
+        outers = {span.attrs["worker"]: span for span in sink.named("outer")}
+        for inner in sink.named("inner"):
+            assert inner.parent_id == outers[inner.attrs["worker"]].span_id
+        # Span ids are globally unique; thread lanes are dense indices.
+        ids = [span.span_id for span in sink.spans]
+        assert len(ids) == len(set(ids))
+        lanes = {span.thread for span in sink.spans}
+        assert lanes == set(range(len(lanes)))
+
+    def test_same_thread_lane_for_outer_and_inner(self):
+        sink = InMemorySink()
+        tracer = Tracer(sink)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.thread == inner.thread
 
 
 class TestSpanRecording:
