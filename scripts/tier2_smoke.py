@@ -57,7 +57,9 @@ def smoke(out_dir: Path) -> list[str]:
     ]
 
     runs = document.get("runs", [])
-    expected = len(run_figures.QUICK_QI_SIZES) * 6  # six Figure-10 algorithms
+    # Six Figure-10 algorithms per QI size, plus the serial/shards pair of
+    # the quick shard-scaling workload.
+    expected = len(run_figures.QUICK_QI_SIZES) * 6 + 2
     if len(runs) != expected:
         problems.append(f"expected {expected} runs, got {len(runs)}")
 
@@ -82,6 +84,32 @@ def smoke(out_dir: Path) -> list[str]:
         problems.append("no Basic Incognito runs in the document")
     elif all(r["counters"]["rollups"] == 0 for r in basics):
         problems.append("Basic Incognito never rolled up (rollup path dead?)")
+
+    shard_runs = {
+        r["algorithm"]: r for r in runs if r["figure"] == "shard"
+    }
+    if set(shard_runs) != {
+        "Basic Incognito (serial)", "Basic Incognito (shards)"
+    }:
+        problems.append(
+            f"shard workload runs missing/mislabelled: {sorted(shard_runs)}"
+        )
+    else:
+        serial, sharded = (
+            shard_runs["Basic Incognito (serial)"],
+            shard_runs["Basic Incognito (shards)"],
+        )
+        # Shard-parallel evaluation must be invisible in the structural
+        # accounting: same search, same scans, same frequency-set rows.
+        if serial["counters"] != sharded["counters"]:
+            problems.append(
+                "shard-mode structural counters diverge from serial: "
+                f"{serial['counters']} vs {sharded['counters']}"
+            )
+        if serial["solutions"] != sharded["solutions"]:
+            problems.append(
+                "shard-mode solution count diverges from serial"
+            )
 
     spans = read_json_lines(trace_path.read_text().splitlines())
     if not spans:

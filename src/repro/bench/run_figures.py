@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -70,13 +71,21 @@ from repro.bench.workloads import (
     format_nodes_table,
     landsend_rows,
     nodes_searched_runs,
+    shard_scale_sweep,
 )
+from repro.datasets.landsend import FULL_ROWS
 
 #: The ``--quick`` workload: a CI-sized Figure 10 slice that still exercises
 #: every algorithm (Basic vs Cube counter parity is asserted downstream).
 QUICK_ROWS = 1_500
 QUICK_QI_SIZES = (3, 4)
 QUICK_K = 2
+
+#: The ``--quick`` shard workload: small enough for CI, big enough that the
+#: scan fans out over several shards per worker.
+QUICK_SHARD_ROWS = 6_000
+QUICK_SHARD_WIDTH = 1_024
+QUICK_SHARD_WORKERS = 2
 
 
 def _progress(message: str) -> None:
@@ -197,15 +206,50 @@ def run_nodes(out_dir: Path | None, records: list[dict]) -> None:
     _emit("nodes_searched", title + format_nodes_table(rows), out_dir)
 
 
+def run_shard(
+    out_dir: Path | None,
+    records: list[dict],
+    *,
+    quick: bool = False,
+    workers: int = 4,
+    shard_rows: int | None = None,
+) -> None:
+    """The shard-scaling artifact: serial vs shards on one shm table."""
+    if quick:
+        workers, shard_rows = QUICK_SHARD_WORKERS, QUICK_SHARD_WIDTH
+    series = shard_scale_sweep(
+        k=QUICK_K,
+        qi_size=4,
+        rows=QUICK_SHARD_ROWS if quick else None,
+        workers=workers,
+        shard_rows=shard_rows,
+        progress=_progress,
+    )
+    _collect_series(records, "shard", "landsend", "qid_size", series, k=QUICK_K)
+    title = (
+        f"Shard scaling — landsend database (k={QUICK_K}, QID=4): serial vs "
+        f"{workers}-worker zero-copy shard evaluation"
+    )
+    _emit("shard_scaling", format_series_table(title, "QID", series), out_dir)
+
+
 def _run_artifacts(args: argparse.Namespace, records: list[dict]) -> None:
+    shard_kwargs = dict(
+        # --workers defaults to 1 (serial figures); the shard artifact
+        # exists to measure parallelism, so it never runs single-worker.
+        workers=args.workers if args.workers > 1 else 4,
+        shard_rows=args.shard_rows,
+    )
     if args.quick:
         run_fig10(args.out, records, quick=True)
+        run_shard(args.out, records, quick=True)
         return
     runners = {
         "fig10": run_fig10,
         "fig11": run_fig11,
         "fig12": run_fig12,
         "nodes": run_nodes,
+        "shard": lambda out, recs: run_shard(out, recs, **shard_kwargs),
     }
     if args.artifact == "all":
         for runner in runners.values():
@@ -220,7 +264,7 @@ def main(argv: list[str] | None = None) -> int:
         "artifact",
         nargs="?",
         default="all",
-        choices=["all", "fig10", "fig11", "fig12", "nodes"],
+        choices=["all", "fig10", "fig11", "fig12", "nodes", "shard"],
         help="which figure/table to regenerate (default: all)",
     )
     parser.add_argument(
@@ -278,9 +322,27 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--parallel-mode",
-        choices=["threads", "processes"],
+        choices=["threads", "processes", "shards"],
         default="processes",
-        help="worker backend when --workers > 1",
+        help="worker backend when --workers > 1 (shards = processes "
+        "attaching the table zero-copy via shared memory, scans fanned "
+        "out over row shards)",
+    )
+    parser.add_argument(
+        "--rows",
+        default=None,
+        metavar="N|full",
+        help="override the Lands End row count for this invocation "
+        f"(same as REPRO_LANDSEND_ROWS; 'full' = the paper's {FULL_ROWS:,})",
+    )
+    parser.add_argument(
+        "--shard-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rows per shard in the shards mode (default: the package "
+        "default width; execution granularity only, results are "
+        "bit-identical for every value)",
     )
     parser.add_argument(
         "--cache-mb",
@@ -331,6 +393,20 @@ def main(argv: list[str] | None = None) -> int:
     if args.resume and args.checkpoint is None:
         parser.error("--resume requires --checkpoint DIR")
 
+    if args.rows is not None:
+        if args.rows == "full":
+            rows_override = FULL_ROWS
+        else:
+            try:
+                rows_override = int(args.rows)
+            except ValueError:
+                parser.error(f"--rows must be an integer or 'full', got {args.rows!r}")
+        if rows_override < 1:
+            parser.error(f"--rows must be >= 1, got {rows_override}")
+        # The sweeps read REPRO_LANDSEND_ROWS per problem build; overriding
+        # it here scales every landsend workload of this invocation.
+        os.environ["REPRO_LANDSEND_ROWS"] = str(rows_override)
+
     if args.quick:
         print(
             f"(quick mode: adults rows={QUICK_ROWS}, "
@@ -372,6 +448,7 @@ def main(argv: list[str] | None = None) -> int:
             args.chunk_timeout is not None
             or args.max_retries != 3
             or args.inject_faults is not None
+            or args.shard_rows is not None
         ):
             execution = ExecutionConfig(
                 mode=execution.mode,
@@ -381,6 +458,7 @@ def main(argv: list[str] | None = None) -> int:
                 faults=FaultPlan.from_spec(args.inject_faults)
                 if args.inject_faults is not None
                 else None,
+                shard_rows=args.shard_rows,
             )
         cache = (
             FrequencySetCache(args.cache_mb * 1024 * 1024)
@@ -431,6 +509,7 @@ def main(argv: list[str] | None = None) -> int:
             "workers": execution.workers,
             "parallel_mode": execution.mode,
             "cache_mb": args.cache_mb,
+            "shard_rows": args.shard_rows,
         }
         written = write_bench_json(json_path, bench_document(records, config))
         print(f"wrote {written} ({len(records)} runs)", file=sys.stderr)

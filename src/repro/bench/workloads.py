@@ -16,7 +16,12 @@ from typing import Callable, Sequence
 from repro.bench.harness import ALGORITHMS, MeasuredRun, Series, run_algorithm
 from repro.core.problem import PreparedTable
 from repro.datasets.adults import ADULTS_QI, adults_problem
-from repro.datasets.landsend import LANDSEND_QI, landsend_problem
+from repro.datasets.landsend import (
+    LANDSEND_QI,
+    landsend_problem,
+    landsend_problem_shm,
+)
+from repro.parallel import ExecutionConfig, current_execution, use_execution
 
 
 def _env_rows(name: str, default: int) -> int:
@@ -33,14 +38,34 @@ def landsend_rows() -> int:
 
 
 def make_problem(database: str, qi_size: int, *, rows: int | None = None) -> PreparedTable:
-    """Build the problem for one sweep point of either database."""
+    """Build the problem for one sweep point of either database.
+
+    Under the ``shards`` execution mode the Lands End table is streamed
+    straight into shared memory (:func:`landsend_problem_shm`) so a
+    full-scale sweep never materialises it as ordinary process memory and
+    shard workers attach it zero-copy; release it with
+    :func:`release_problem` when the sweep point is done.
+    """
     if database == "adults":
         return adults_problem(rows if rows is not None else adults_rows(), qi_size=qi_size)
     if database == "landsend":
-        return landsend_problem(
-            rows if rows is not None else landsend_rows(), qi_size=qi_size
-        )
+        num_rows = rows if rows is not None else landsend_rows()
+        if current_execution().mode == "shards":
+            return landsend_problem_shm(num_rows, qi_size=qi_size)
+        return landsend_problem(num_rows, qi_size=qi_size)
     raise ValueError(f"unknown database {database!r}")
+
+
+def release_problem(problem: PreparedTable) -> None:
+    """Close the shared-memory store riding on ``problem``, if any.
+
+    No-op for ordinary in-memory problems; for shm-backed ones this
+    unlinks the segments so a long sweep's storage is bounded by one
+    sweep point, not the whole sweep.
+    """
+    store = getattr(problem, "_shm_store", None)
+    if store is not None:
+        store.close()
 
 
 #: Figure 10's QI-size ranges ("we began with the first three attributes").
@@ -71,14 +96,17 @@ def figure10_sweep(
     series = {name: Series(name) for name in algorithms}
     for qi_size in qi_sizes:
         problem = make_problem(database, qi_size, rows=rows)
-        for name in algorithms:
-            run = run_algorithm(name, problem, k, repeats=repeats)
-            series[name].add(qi_size, run)
-            if progress is not None:
-                progress(
-                    f"fig10[{database} k={k}] qid={qi_size} {name}: "
-                    f"{run.elapsed_seconds:.3f}s ({run.nodes_checked} nodes)"
-                )
+        try:
+            for name in algorithms:
+                run = run_algorithm(name, problem, k, repeats=repeats)
+                series[name].add(qi_size, run)
+                if progress is not None:
+                    progress(
+                        f"fig10[{database} k={k}] qid={qi_size} {name}: "
+                        f"{run.elapsed_seconds:.3f}s ({run.nodes_checked} nodes)"
+                    )
+        finally:
+            release_problem(problem)
     return [series[name] for name in algorithms]
 
 
@@ -116,19 +144,23 @@ def figure11_sweep(
         qi_size: make_problem(database, qi_size, rows=rows)
         for qi_size in {qi for _, qi in lineup}
     }
-    series = []
-    for label, qi_size in lineup:
-        algorithm = label.split(" (QID")[0]
-        line = Series(label)
-        for k in ks:
-            run = run_algorithm(algorithm, problems[qi_size], k, repeats=repeats)
-            line.add(k, run)
-            if progress is not None:
-                progress(
-                    f"fig11[{database}] k={k} {label}: {run.elapsed_seconds:.3f}s"
-                )
-        series.append(line)
-    return series
+    try:
+        series = []
+        for label, qi_size in lineup:
+            algorithm = label.split(" (QID")[0]
+            line = Series(label)
+            for k in ks:
+                run = run_algorithm(algorithm, problems[qi_size], k, repeats=repeats)
+                line.add(k, run)
+                if progress is not None:
+                    progress(
+                        f"fig11[{database}] k={k} {label}: {run.elapsed_seconds:.3f}s"
+                    )
+            series.append(line)
+        return series
+    finally:
+        for problem in problems.values():
+            release_problem(problem)
 
 
 def figure12_sweep(
@@ -149,7 +181,10 @@ def figure12_sweep(
     line = Series("Cube Incognito")
     for qi_size in qi_sizes:
         problem = make_problem(database, qi_size, rows=rows)
-        run = run_algorithm("Cube Incognito", problem, k)
+        try:
+            run = run_algorithm("Cube Incognito", problem, k)
+        finally:
+            release_problem(problem)
         line.add(qi_size, run)
         if progress is not None:
             progress(
@@ -158,6 +193,58 @@ def figure12_sweep(
                 f"{run.anonymization_seconds:.3f}s"
             )
     return line
+
+
+def shard_scale_sweep(
+    *,
+    k: int = 2,
+    qi_size: int = 4,
+    rows: int | None = None,
+    workers: int = 4,
+    shard_rows: int | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> list[Series]:
+    """Serial vs shard-mode Basic Incognito over one shm-backed table.
+
+    Builds the Lands End problem once, streamed straight into shared
+    memory, then times "Basic Incognito" twice over the *same* problem:
+    serially and under the ``shards`` execution mode (``workers``
+    processes attaching the segments zero-copy, scans fanned out in
+    ``shard_rows``-row shards).  The results are bit-identical by
+    construction — this workload records the speedup, and the bench
+    regression gate holds it.
+    """
+    num_rows = rows if rows is not None else landsend_rows()
+    problem = landsend_problem_shm(num_rows, qi_size=qi_size)
+    try:
+        series = []
+        configs = [
+            ("Basic Incognito (serial)", ExecutionConfig()),
+            (
+                "Basic Incognito (shards)",
+                ExecutionConfig(
+                    mode="shards", workers=workers, shard_rows=shard_rows
+                ),
+            ),
+        ]
+        for label, config in configs:
+            line = Series(label)
+            with use_execution(config):
+                run = run_algorithm("Basic Incognito", problem, k)
+            # The two runs are the same algorithm under different execution
+            # modes; relabel so the bench JSON (and the regression gate's
+            # workload keys) keep them apart.
+            run.algorithm = label
+            line.add(qi_size, run)
+            if progress is not None:
+                progress(
+                    f"shard[k={k} qid={qi_size} rows={num_rows}] {label}: "
+                    f"{run.elapsed_seconds:.3f}s"
+                )
+            series.append(line)
+        return series
+    finally:
+        release_problem(problem)
 
 
 def nodes_searched_runs(

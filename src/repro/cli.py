@@ -286,10 +286,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--parallel-mode",
-        choices=["threads", "processes"],
+        choices=["threads", "processes", "shards"],
         default="processes",
         help="worker backend when --workers > 1 (default: processes; "
-        "threads avoid process start-up cost on small tables)",
+        "threads avoid process start-up cost on small tables; shards "
+        "fan each table scan out over shared-memory row shards)",
+    )
+    parser.add_argument(
+        "--shard-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rows per shard under --parallel-mode shards (default: the "
+        "package default width; affects execution granularity only, "
+        "never the results)",
     )
     parser.add_argument(
         "--cache-mb",
@@ -434,6 +444,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.chunk_timeout is not None
             or args.max_retries != 3
             or args.inject_faults is not None
+            or args.shard_rows is not None
         ):
             execution = ExecutionConfig(
                 mode=execution.mode,
@@ -441,6 +452,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 chunk_timeout=args.chunk_timeout,
                 max_retries=args.max_retries,
                 faults=args.inject_faults,
+                shard_rows=args.shard_rows,
             )
         cache = (
             FrequencySetCache(args.cache_mb * 1024 * 1024)

@@ -271,6 +271,39 @@ def compute_frequency_set(
     return FrequencySet(node, key_codes, counts, problem)
 
 
+def compute_frequency_set_range(
+    problem: PreparedTable, node: LatticeNode, start: int, stop: int
+) -> FrequencySet:
+    """*Partial* frequency set of rows ``[start, stop)`` at ``node``.
+
+    The building block of both the out-of-core chunked scan and the
+    shard-parallel evaluator: because COUNT is distributive, the partial
+    sets of a row partition merge exactly to the whole-table scan (see
+    :func:`repro.core.outofcore.merge_partial_frequency_sets`).  The
+    returned set is labelled with ``node`` like a full scan — it is the
+    caller's job to remember which row range it covers.
+    """
+    num_rows = problem.table.num_rows
+    if not 0 <= start <= stop <= num_rows:
+        raise ValueError(
+            f"row range [{start}, {stop}) out of bounds for {num_rows} rows"
+        )
+    from repro.relational.column import CODE_DTYPE
+
+    if start == stop:
+        empty = np.empty((0, node.size), dtype=CODE_DTYPE)
+        return FrequencySet(node, empty, np.empty(0, dtype=np.int64), problem)
+    code_arrays = []
+    radices = []
+    for attribute, level in node.items():
+        hierarchy = problem.hierarchy(attribute)
+        base_codes = problem.table.column(attribute).codes[start:stop]
+        code_arrays.append(hierarchy.generalize_codes(base_codes, level))
+        radices.append(hierarchy.cardinality(level))
+    key_codes, counts = group_by_codes(code_arrays, radices)
+    return FrequencySet(node, key_codes, counts, problem)
+
+
 def check_k_anonymity(
     table: Table,
     quasi_identifier: Sequence[str],
@@ -345,6 +378,34 @@ class FrequencyEvaluator:
                 )
         self.stats.table_scans += 1
         self.stats.note_frequency_set(result.num_groups)
+        return result
+
+    def scan_range(
+        self, node: LatticeNode, start: int, stop: int
+    ) -> FrequencySet:
+        """Partial scan of rows ``[start, stop)`` (one shard of a scan).
+
+        Deliberately does **not** touch the ``frequency.*`` counters or the
+        ``dist.*`` metrics: a ranged scan produces a *partial* set, and the
+        shard-mode materializer accounts one table scan (plus one
+        frequency-set observation) for the *merged* result — keeping those
+        surfaces bit-identical to a serial whole-table scan.  The shard
+        work itself is visible under the ``shard.*`` namespace.
+        """
+        with obs.span("scan", kind="range") as sp:
+            with self.stats.metrics.timer("shard.range_seconds"):
+                result = compute_frequency_set_range(
+                    self.problem, node, start, stop
+                )
+            if sp:
+                sp.set(
+                    node=str(node),
+                    rows_scanned=stop - start,
+                    groups=result.num_groups,
+                )
+        self.stats.shard_range_scans += 1
+        self.stats.shard_rows_scanned += stop - start
+        self.stats.metrics.observe("shard.rows_per_range", stop - start)
         return result
 
     def rollup(self, source: FrequencySet, target: LatticeNode) -> FrequencySet:
@@ -450,6 +511,12 @@ class FrequencyEvaluator:
             return self.rollup(payload, node)
         if kind == "scan":
             return self.scan(node)
+        if kind == "scan_range":
+            # Shard-mode expansion of a "scan" plan: payload is the row
+            # range.  Only ever produced by the shard materializer, never
+            # by resolve_job.
+            start, stop = payload  # type: ignore[misc]
+            return self.scan_range(node, start, stop)
         raise ValueError(f"unknown frequency-set job kind {kind!r}")
 
     def cache_put(self, frequency_set: FrequencySet) -> None:

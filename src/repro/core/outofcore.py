@@ -39,16 +39,30 @@ from repro.relational.column import CODE_DTYPE
 from repro.relational.groupby import group_by_codes
 
 
-def _merge_partials(
+#: How many partial (keys, counts) pairs may accumulate before they are
+#: folded into one.  Bounds the peak working set of a chunked scan at
+#: fan-in × (running merged set + one chunk's groups) instead of letting
+#: every chunk's partial live until the end of the scan.
+MERGE_FAN_IN = 8
+
+
+def merge_partials(
     partial_keys: list[np.ndarray],
     partial_counts: list[np.ndarray],
     radices: list[int],
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Merge per-chunk (keys, counts) pairs into one grouped result."""
+    """Merge per-chunk/per-shard (keys, counts) pairs into one grouped result.
+
+    COUNT is distributive, so re-grouping the concatenated group keys with
+    count weights is exact; and because the re-group sorts by the same
+    mixed-radix dense key as :func:`~repro.relational.groupby.group_by_codes`,
+    the merged result is *bit-identical* to a single whole-table scan
+    regardless of how the input was partitioned or in which order partials
+    were folded.  Shard-parallel evaluation (:mod:`repro.shard`) relies on
+    this to merge worker partials exactly.
+    """
     all_keys = np.concatenate(partial_keys, axis=0)
     all_counts = np.concatenate(partial_counts)
-    # Re-group the concatenated partials, summing counts: COUNT is
-    # distributive, so grouping the group keys with count weights is exact.
     from repro.core.anonymity import _regroup_weighted
 
     columns = [all_keys[:, position] for position in range(all_keys.shape[1])]
@@ -65,7 +79,9 @@ def compute_frequency_set_chunked(
 
     Produces exactly the same result as
     :func:`repro.core.anonymity.compute_frequency_set`; peak extra memory
-    is one chunk's worth of generalized codes plus the partial results.
+    is one chunk's worth of generalized codes plus at most
+    :data:`MERGE_FAN_IN` pending partial results (partials are folded
+    incrementally rather than all retained until the end of the scan).
     """
     if chunk_rows <= 0:
         raise ValueError(f"chunk_rows must be positive, got {chunk_rows}")
@@ -94,10 +110,14 @@ def compute_frequency_set_chunked(
         keys, counts = group_by_codes(chunk_arrays, radices)
         partial_keys.append(keys)
         partial_counts.append(counts)
+        if len(partial_keys) >= MERGE_FAN_IN:
+            merged = merge_partials(partial_keys, partial_counts, radices)
+            partial_keys = [merged[0]]
+            partial_counts = [merged[1]]
 
     if len(partial_keys) == 1:
         return FrequencySet(node, partial_keys[0], partial_counts[0], problem)
-    keys, counts = _merge_partials(partial_keys, partial_counts, radices)
+    keys, counts = merge_partials(partial_keys, partial_counts, radices)
     return FrequencySet(node, keys, counts, problem)
 
 

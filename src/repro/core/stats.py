@@ -39,6 +39,10 @@ _COUNTER_KEYS = {
     "cache_rollup_saves": "cache.rollup_saves",
     "parallel_tasks": "parallel.tasks",
     "parallel_merge_seconds": "parallel.merge_seconds",
+    "shard_range_scans": "shard.range_scans",
+    "shard_rows_scanned": "shard.rows_scanned",
+    "shard_merges": "shard.merges",
+    "shard_merge_seconds": "shard.merge_seconds",
     "fault_crashes": "fault.crashes",
     "fault_timeouts": "fault.timeouts",
     "fault_poisoned": "fault.poisoned",
@@ -58,6 +62,7 @@ _FLOAT_FIELDS = frozenset(
         "cube_build_seconds",
         "elapsed_seconds",
         "parallel_merge_seconds",
+        "shard_merge_seconds",
         "retry_backoff_seconds",
     }
 )
@@ -166,6 +171,20 @@ class SearchStats:
     )
     parallel_merge_seconds = _counter_view(
         "parallel_merge_seconds", _COUNTER_KEYS["parallel_merge_seconds"]
+    )
+    # Shard-mode accounting (see repro.shard): ranged partial scans and the
+    # parent-side exact merges that fold them.  Kept in their own namespace
+    # so the frequency.* counters stay bit-identical to a serial run — one
+    # merged shard scan still accounts exactly one frequency.table_scans.
+    shard_range_scans = _counter_view(
+        "shard_range_scans", _COUNTER_KEYS["shard_range_scans"]
+    )
+    shard_rows_scanned = _counter_view(
+        "shard_rows_scanned", _COUNTER_KEYS["shard_rows_scanned"]
+    )
+    shard_merges = _counter_view("shard_merges", _COUNTER_KEYS["shard_merges"])
+    shard_merge_seconds = _counter_view(
+        "shard_merge_seconds", _COUNTER_KEYS["shard_merge_seconds"]
     )
     # Failure supervision (see repro.resilience): observed faults and the
     # retry/degradation work they caused.  Real or injected, these never

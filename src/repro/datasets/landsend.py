@@ -67,14 +67,19 @@ PRICE_POOL = 346
 COST_POOL = 1_412
 
 
+def _zipf_weights(pool: int, exponent: float) -> np.ndarray:
+    """Normalised zipf(exponent) popularity weights over ``pool`` ranks."""
+    ranks = np.arange(1, pool + 1, dtype=np.float64)
+    weights = 1.0 / ranks ** exponent
+    weights /= weights.sum()
+    return weights
+
+
 def _zipf_codes(
     rng: np.random.Generator, pool: int, num_rows: int, exponent: float
 ) -> np.ndarray:
     """Draw ``num_rows`` category codes from a zipf(exponent) popularity."""
-    ranks = np.arange(1, pool + 1, dtype=np.float64)
-    weights = 1.0 / ranks ** exponent
-    weights /= weights.sum()
-    return rng.choice(pool, size=num_rows, p=weights)
+    return rng.choice(pool, size=num_rows, p=_zipf_weights(pool, exponent))
 
 
 def _zipcode_pool(rng: np.random.Generator) -> list[str]:
@@ -99,13 +104,22 @@ def _money_pool(rng: np.random.Generator, count: int, low: int, high: int) -> li
     return [f"{p:04d}" for p in np.sort(picks)]
 
 
-def landsend_table(num_rows: int = DEFAULT_ROWS, *, seed: int = 11) -> Table:
-    """Generate the synthetic Lands End relation (deterministic per seed)."""
-    if num_rows <= 0:
-        raise ValueError(f"num_rows must be positive, got {num_rows}")
-    rng = np.random.default_rng(seed)
+#: Popularity skew per attribute (zipf exponents).
+_EXPONENTS = {
+    "zipcode": 0.9,
+    "order_date": 0.4,
+    "gender": 0.3,
+    "style": 1.0,
+    "price": 0.8,
+    "quantity": 0.0,
+    "cost": 0.8,
+    "shipment": 0.5,
+}
 
-    pools: dict[str, list[str]] = {
+
+def _pools(rng: np.random.Generator) -> dict[str, list[str]]:
+    """The deterministic attribute value pools (drawn in a fixed order)."""
+    return {
         "zipcode": _zipcode_pool(rng),
         "order_date": _date_pool(),
         "gender": ["Female", "Male"],
@@ -115,21 +129,20 @@ def landsend_table(num_rows: int = DEFAULT_ROWS, *, seed: int = 11) -> Table:
         "cost": _money_pool(rng, COST_POOL, 1, 4_000),
         "shipment": ["Standard", "Express"],
     }
-    exponents = {
-        "zipcode": 0.9,
-        "order_date": 0.4,
-        "gender": 0.3,
-        "style": 1.0,
-        "price": 0.8,
-        "quantity": 0.0,
-        "cost": 0.8,
-        "shipment": 0.5,
-    }
+
+
+def landsend_table(num_rows: int = DEFAULT_ROWS, *, seed: int = 11) -> Table:
+    """Generate the synthetic Lands End relation (deterministic per seed)."""
+    if num_rows <= 0:
+        raise ValueError(f"num_rows must be positive, got {num_rows}")
+    rng = np.random.default_rng(seed)
+
+    pools = _pools(rng)
     columns = []
     specs = []
     for name in LANDSEND_QI:
         pool = pools[name]
-        codes = _zipf_codes(rng, len(pool), num_rows, exponents[name])
+        codes = _zipf_codes(rng, len(pool), num_rows, _EXPONENTS[name])
         column = Column(codes.astype(CODE_DTYPE), pool, validate=False)
         columns.append(column.compact())  # drop unsampled pool entries
         specs.append(ColumnSpec(name))
@@ -157,9 +170,129 @@ def landsend_problem(
     seed: int = 11,
 ) -> PreparedTable:
     """A Lands End problem over the first ``qi_size`` attributes."""
+    _check_qi_size(qi_size)
+    table = landsend_table(num_rows, seed=seed)
+    return PreparedTable(table, landsend_hierarchies(), LANDSEND_QI[:qi_size])
+
+
+def _check_qi_size(qi_size: int) -> None:
     if not 1 <= qi_size <= len(LANDSEND_QI):
         raise ValueError(
             f"qi_size must be in [1, {len(LANDSEND_QI)}], got {qi_size}"
         )
-    table = landsend_table(num_rows, seed=seed)
-    return PreparedTable(table, landsend_hierarchies(), LANDSEND_QI[:qi_size])
+
+
+# ----------------------------------------------------------------------
+# streaming generation (full-scale, bounded-memory)
+# ----------------------------------------------------------------------
+
+#: Rows drawn per generation block.  Part of the *content definition* of
+#: the streamed table: each column is an independent per-column RNG stream
+#: consumed in blocks of this many rows, so the streamed table for a given
+#: ``(num_rows, seed)`` never depends on the execution shard width.
+GEN_BLOCK_ROWS = 262_144
+
+
+def iter_landsend_blocks(
+    num_rows: int,
+    *,
+    qi_size: int = len(LANDSEND_QI),
+    seed: int = 11,
+    block_rows: int = GEN_BLOCK_ROWS,
+):
+    """Stream the Lands End relation as ``(start, stop, codes)`` blocks.
+
+    ``codes`` maps each of the first ``qi_size`` attribute names to a
+    block of pool-space category codes for rows ``[start, stop)``.  Peak
+    memory is one block, never the table: this is what lets
+    :func:`landsend_problem_shm` materialise all :data:`FULL_ROWS` rows
+    shard-by-shard straight into shared memory.
+
+    Each column draws from its own deterministic RNG stream (seeded from
+    ``(seed, column position)``), so the content for a given ``seed`` and
+    ``block_rows`` is fixed; it differs from :func:`landsend_table`'s
+    single-stream draw order but has the same pools and skew.
+    ``block_rows`` is part of the draw schedule — different values give
+    different (equally distributed) tables.
+    """
+    if num_rows <= 0:
+        raise ValueError(f"num_rows must be positive, got {num_rows}")
+    if block_rows <= 0:
+        raise ValueError(f"block_rows must be positive, got {block_rows}")
+    _check_qi_size(qi_size)
+    pools = _pools(np.random.default_rng(seed))
+    names = LANDSEND_QI[:qi_size]
+    streams = {
+        name: np.random.default_rng([seed, position])
+        for position, name in enumerate(LANDSEND_QI)
+        if name in names
+    }
+    weights = {
+        name: _zipf_weights(len(pools[name]), _EXPONENTS[name])
+        for name in names
+    }
+    for start in range(0, num_rows, block_rows):
+        stop = min(start + block_rows, num_rows)
+        yield start, stop, {
+            name: streams[name].choice(
+                len(pools[name]), size=stop - start, p=weights[name]
+            )
+            for name in names
+        }
+
+
+def landsend_problem_shm(
+    num_rows: int = DEFAULT_ROWS,
+    *,
+    qi_size: int = len(LANDSEND_QI),
+    seed: int = 11,
+) -> PreparedTable:
+    """Stream a Lands End problem straight into shared memory.
+
+    The QI code arrays are materialised block-by-block into
+    ``multiprocessing.shared_memory`` segments — the full table is never
+    held as ordinary process memory — then compacted in place (unsampled
+    pool entries dropped, codes renumbered densely, block-wise again).
+    The returned problem's columns are zero-copy views of those segments
+    and the owning :class:`repro.shard.shm.SharedTableStore` rides along
+    as ``problem._shm_store``: shard-mode execution adopts it (workers
+    attach the same segments), and whoever built the problem closes the
+    store when done with it.
+    """
+    from repro.shard.shm import SharedTableStore
+
+    _check_qi_size(qi_size)
+    pools = _pools(np.random.default_rng(seed))
+    names = LANDSEND_QI[:qi_size]
+    store = SharedTableStore()
+    try:
+        arrays = {name: store.allocate(name, num_rows) for name in names}
+        used = {
+            name: np.zeros(len(pools[name]), dtype=bool) for name in names
+        }
+        for start, stop, blocks in iter_landsend_blocks(
+            num_rows, qi_size=qi_size, seed=seed
+        ):
+            for name in names:
+                block = blocks[name]
+                arrays[name][start:stop] = block
+                used[name][block] = True
+        values: dict[str, list[str]] = {}
+        for name in names:
+            mask = used[name]
+            remap = (np.cumsum(mask) - 1).astype(CODE_DTYPE)
+            codes = arrays[name]
+            for start in range(0, num_rows, GEN_BLOCK_ROWS):
+                stop = min(start + GEN_BLOCK_ROWS, num_rows)
+                codes[start:stop] = remap[codes[start:stop]]
+            pool = pools[name]
+            values[name] = [pool[code] for code in np.flatnonzero(mask)]
+        hierarchies = {
+            name: hierarchy
+            for name, hierarchy in landsend_hierarchies().items()
+            if name in names
+        }
+        return store.build_problem(values, hierarchies, names)
+    except BaseException:
+        store.close()
+        raise

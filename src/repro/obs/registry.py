@@ -76,6 +76,10 @@ METRIC_NAMES = frozenset(
         "worker.chunk_seconds",
         "worker.chunk_jobs",
         "worker.rss_bytes",
+        # shard-mode telemetry (repro.shard): ranged partial-scan timings
+        # and the per-range row widths the planner chose
+        "shard.range_seconds",
+        "shard.rows_per_range",
         # deterministic data distributions
         "dist.frequency_set_rows",
         "dist.rollup_source_rows",

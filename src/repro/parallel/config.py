@@ -3,7 +3,9 @@
 An :class:`ExecutionConfig` names the backend (``serial`` — the
 zero-dependency fallback; ``threads`` — cheap for small tables where
 process start-up and shipping dominate; ``processes`` — true parallelism
-for big scans) and the worker count.  It is immutable and normalising:
+for big scans; ``shards`` — processes over shared-memory row shards, the
+zero-copy mode for full-scale tables, see :mod:`repro.shard`) and the
+worker count.  It is immutable and normalising:
 one worker is always the serial config, so ``ExecutionConfig.from_workers``
 can be fed a CLI ``--workers`` value directly.
 
@@ -31,9 +33,11 @@ from typing import Iterator
 
 from repro.resilience.faults import FaultPlan
 
-#: Recognised execution backends, in degradation-ladder order (the
-#: supervised batch path demotes rightwards: processes → threads → serial).
-MODES = ("serial", "threads", "processes")
+#: Recognised execution backends.  The supervised batch path demotes a
+#: failing run down the ladder: shards → threads → serial and
+#: processes → threads → serial (shards demote to threads, not processes,
+#: because threads share the parent's memory and need no re-shipping).
+MODES = ("serial", "threads", "processes", "shards")
 
 
 @dataclass(frozen=True)
@@ -54,6 +58,10 @@ class ExecutionConfig:
     backoff_cap: float = 2.0
     #: Deterministic injected failures (None = no injection).
     faults: FaultPlan | None = None
+    #: Rows per shard for the ``shards`` mode (None = package default);
+    #: execution granularity only — never affects results, which merge
+    #: bit-identically for every shard width.
+    shard_rows: int | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -83,6 +91,12 @@ class ExecutionConfig:
             raise ValueError(
                 f"faults must be a FaultPlan or None, got {type(self.faults).__name__}"
             )
+        if self.shard_rows is not None and (
+            not isinstance(self.shard_rows, int) or self.shard_rows < 1
+        ):
+            raise ValueError(
+                f"shard_rows must be an int >= 1 or None, got {self.shard_rows!r}"
+            )
         # One worker cannot parallelise anything; collapse to the serial
         # fast path so `is_parallel` is the single dispatch question.
         if self.mode != "serial" and self.workers == 1:
@@ -93,6 +107,15 @@ class ExecutionConfig:
     @property
     def is_parallel(self) -> bool:
         return self.mode != "serial"
+
+    @property
+    def effective_shard_rows(self) -> int:
+        """The shard width the shards mode plans with."""
+        if self.shard_rows is not None:
+            return self.shard_rows
+        from repro.shard.shm import DEFAULT_SHARD_ROWS
+
+        return DEFAULT_SHARD_ROWS
 
     @property
     def effective_timeout(self) -> float | None:

@@ -6,7 +6,16 @@ unmarked nodes at one lattice (or candidate-graph) height are independent
 set computed at a strictly lower height.  :class:`BatchMaterializer`
 exploits exactly that independence: the algorithm hands it one level's
 ``(node, rollup-source)`` requests, and it materialises them serially, on
-a thread pool, or on a process pool, returning results in request order.
+a thread pool, on a process pool, or shard-parallel over shared memory
+(the ``shards`` mode), returning results in request order.
+
+The ``shards`` mode adds a second axis of parallelism for full-scale
+tables: the QI code arrays live in ``multiprocessing.shared_memory``
+segments (:mod:`repro.shard`) that every worker attaches zero-copy, and
+each planned scan fans out as ``scan_range`` jobs over contiguous row
+shards whose partial frequency sets the parent merges exactly
+(:func:`repro.core.outofcore.merge_partials` — COUNT is distributive).
+Rollups are not fanned out; their inputs are already small.
 
 Determinism contract (what makes ``--workers N`` safe to trust):
 
@@ -67,12 +76,20 @@ from repro.resilience.faults import (
 #: A materialisation request: the node plus an optional rollup source.
 Request = "tuple[LatticeNode, FrequencySet | None]"
 
-#: Degradation ladder, in demotion order.
-_LADDER = {"processes": "threads", "threads": "serial"}
+#: Degradation ladder, in demotion order.  Shards demote straight to
+#: threads (not processes): threads share the parent's memory, so shard
+#: ranged-scan jobs keep running zero-copy with no pool re-shipping.
+_LADDER = {"shards": "threads", "processes": "threads", "threads": "serial"}
 
 
 def _split_chunks(items: list, pieces: int) -> list[list]:
-    """Split ``items`` into at most ``pieces`` contiguous, non-empty runs."""
+    """Split ``items`` into at most ``pieces`` contiguous, non-empty runs.
+
+    An empty ``items`` yields no chunks (rather than dividing by zero) —
+    the batch path can reach this with every request resolved from cache.
+    """
+    if not items:
+        return []
     pieces = min(pieces, len(items))
     base, extra = divmod(len(items), pieces)
     chunks = []
@@ -115,13 +132,18 @@ def _thread_chunk(problem, chunk, directive=None, submitted_at=None):
 
 
 def _ship_chunk(chunk) -> list[tuple]:
-    """Explode a chunk's payloads into picklable job tuples for a process."""
+    """Explode a chunk's payloads into picklable job tuples for a process.
+
+    Rollup sources (:class:`FrequencySet`) are exploded to their two small
+    arrays; plain-tuple payloads — a ``scan_range`` job's ``(start, stop)``
+    row range — are already picklable and pass through unchanged.
+    """
     return [
         (
             node,
             kind,
-            None
-            if payload is None
+            payload
+            if payload is None or isinstance(payload, tuple)
             else (payload.node, payload.key_codes, payload.counts),
         )
         for _, node, kind, payload in chunk
@@ -218,6 +240,12 @@ class BatchMaterializer:
         self._mode = self.execution.mode
         self._pool_rebuilt = False
         self._task_counter = 0
+        #: Shared-memory store backing the ``shards`` mode, if any.  Owned
+        #: (created here, closed by :meth:`close`) unless adopted from a
+        #: shm-backed problem (``problem._shm_store``), whose builder owns
+        #: the unlink.
+        self._shm_store = None
+        self._owns_store = False
         #: Last error swallowed while shutting an executor down.
         self.shutdown_error: BaseException | None = None
 
@@ -238,6 +266,14 @@ class BatchMaterializer:
                     max_workers=self.execution.workers,
                     thread_name_prefix="repro-fs",
                 )
+            elif self._mode == "shards":
+                from concurrent.futures import ProcessPoolExecutor
+
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.execution.workers,
+                    initializer=worker_module.init_worker_shared,
+                    initargs=(self._ensure_store().handle,),
+                )
             else:
                 from concurrent.futures import ProcessPoolExecutor
 
@@ -247,6 +283,28 @@ class BatchMaterializer:
                     initargs=(self.problem,),
                 )
         return self._executor
+
+    def _ensure_store(self):
+        """The shared-memory store for shard workers, adopting if possible.
+
+        A problem built by a streaming shm builder already owns segments
+        (``problem._shm_store``); re-copying it would double peak RSS, so
+        that store is adopted and its lifecycle left to its builder.  For
+        ordinary in-memory problems a store is created here — one copy of
+        the QI code arrays, total, shared by every worker — and closed by
+        :meth:`close`.
+        """
+        if self._shm_store is None:
+            from repro.shard.shm import SharedTableStore
+
+            adopted = getattr(self.problem, "_shm_store", None)
+            if adopted is not None and not adopted.closed:
+                self._shm_store = adopted
+                self._owns_store = False
+            else:
+                self._shm_store = SharedTableStore.from_problem(self.problem)
+                self._owns_store = True
+        return self._shm_store
 
     def _drop_executor(self, wait: bool = False) -> None:
         """Shut the current executor down, recording (not raising) errors.
@@ -265,7 +323,15 @@ class BatchMaterializer:
             self.shutdown_error = error
 
     def close(self) -> None:
+        # Workers unmap on exit; only then may the owning side unlink.
         self._drop_executor(wait=True)
+        store, self._shm_store = self._shm_store, None
+        owned, self._owns_store = self._owns_store, False
+        if store is not None and owned:
+            try:
+                store.close()
+            except BaseException as error:  # noqa: BLE001 - recorded, not lost
+                self.shutdown_error = error
 
     def __enter__(self) -> "BatchMaterializer":
         return self
@@ -296,14 +362,18 @@ class BatchMaterializer:
             ]
 
         results: list[FrequencySet | None] = [None] * len(requests)
-        pending = []  # (request index, node, kind, payload)
+        pending = []  # (slot, node, kind, payload); slot is the request
+        # index, or ("shard", index, piece) for one range of a fanned scan
         for index, (node, source) in enumerate(requests):
             kind, payload = evaluator.resolve_job(node, source)
             if kind == "use":
                 results[index] = payload
             else:
                 pending.append((index, node, kind, payload))
-        if len(pending) <= 1:
+        shard_plan: dict[int, int] = {}  # request index → piece count
+        if self._mode == "shards":
+            pending = self._expand_shard_scans(pending, shard_plan)
+        if len(pending) <= 1 and not shard_plan:
             # Nothing (or a single job) survived the cache: dispatching to
             # a pool would cost more than the work.
             for index, node, kind, payload in pending:
@@ -322,13 +392,22 @@ class BatchMaterializer:
         ) as sp:
             payloads = self._dispatch_supervised(evaluator, chunks)
             merge_seconds = 0.0
+            shard_partials: dict[int, list] = {
+                index: [None] * count for index, count in shard_plan.items()
+            }
             for chunk, (chunk_results, delta, metrics_delta) in zip(
                 chunks, payloads
             ):
                 merge_started = time.perf_counter()
                 evaluator.stats.counters += delta
                 evaluator.stats.metrics += metrics_delta
-                for (index, node, _, _), item in zip(chunk, chunk_results):
+                for (slot, node, _, _), item in zip(chunk, chunk_results):
+                    if isinstance(slot, tuple):
+                        _, index, piece = slot
+                        if isinstance(item, FrequencySet):
+                            item = (item.key_codes, item.counts)
+                        shard_partials[index][piece] = item
+                        continue
                     if isinstance(item, FrequencySet):
                         result = item
                     else:
@@ -337,8 +416,14 @@ class BatchMaterializer:
                             node, key_codes, counts, self.problem
                         )
                     evaluator.cache_put(result)
-                    results[index] = result
+                    results[slot] = result
                 merge_seconds += time.perf_counter() - merge_started
+            for index, partials in shard_partials.items():
+                result = self._merge_shard_partials(
+                    evaluator, requests[index][0], partials
+                )
+                evaluator.cache_put(result)
+                results[index] = result
             if sp:
                 sp.set(final_mode=self._mode)
 
@@ -347,6 +432,76 @@ class BatchMaterializer:
         stats.parallel_workers = self.execution.workers
         stats.parallel_merge_seconds += merge_seconds
         return results
+
+    # ------------------------------------------------------------------
+    # shard fan-out (the `shards` execution mode)
+    # ------------------------------------------------------------------
+    def _expand_shard_scans(
+        self, pending: list, shard_plan: dict[int, int]
+    ) -> list:
+        """Fan each planned ``scan`` out over the table's row shards.
+
+        Rollup jobs pass through untouched — their inputs are already
+        small.  A table that fits in a single shard (or is empty) is not
+        fanned out either; the plain scan path handles it.  Fanned
+        entries carry ``("shard", request_index, piece)`` slots so the
+        merge phase can reassemble partials in deterministic piece order,
+        and ``shard_plan`` records the piece count per fanned request.
+        """
+        ranges = self._shard_ranges()
+        if len(ranges) <= 1:
+            return pending
+        expanded = []
+        for entry in pending:
+            index, node, kind, payload = entry
+            if kind != "scan":
+                expanded.append(entry)
+                continue
+            shard_plan[index] = len(ranges)
+            for piece, bounds in enumerate(ranges):
+                expanded.append(
+                    (("shard", index, piece), node, "scan_range", bounds)
+                )
+        return expanded
+
+    def _shard_ranges(self) -> list[tuple[int, int]]:
+        from repro.shard.shm import plan_shards
+
+        return plan_shards(
+            self.problem.table.num_rows, self.execution.effective_shard_rows
+        )
+
+    def _merge_shard_partials(
+        self, evaluator: FrequencyEvaluator, node, partials: list
+    ) -> FrequencySet:
+        """Fold one node's per-shard partials into its exact frequency set.
+
+        COUNT is distributive and the re-group sorts by the same dense
+        key as a direct scan, so the merged set is bit-identical to a
+        whole-table scan.  The *merged* result is what the run's scan
+        accounting describes: one ``frequency.table_scans`` increment and
+        one frequency-set observation, exactly as a serial run would
+        record — the shard work itself lives under ``shard.*``.
+        """
+        from repro.core.outofcore import merge_partials
+
+        radices = [
+            self.problem.hierarchy(attribute).cardinality(level)
+            for attribute, level in node.items()
+        ]
+        merge_started = time.perf_counter()
+        key_codes, counts = merge_partials(
+            [keys for keys, _ in partials],
+            [piece_counts for _, piece_counts in partials],
+            radices,
+        )
+        result = FrequencySet(node, key_codes, counts, self.problem)
+        stats = evaluator.stats
+        stats.shard_merges += 1
+        stats.shard_merge_seconds += time.perf_counter() - merge_started
+        stats.table_scans += 1
+        stats.note_frequency_set(result.num_groups)
+        return result
 
     # ------------------------------------------------------------------
     # supervised dispatch (retry / degrade ladder)
@@ -534,7 +689,7 @@ class BatchMaterializer:
         """
         counters = evaluator.stats.counters
         self._drop_executor(wait=False)
-        if self._mode == "processes" and not self._pool_rebuilt:
+        if self._mode in ("processes", "shards") and not self._pool_rebuilt:
             self._pool_rebuilt = True
             counters.incr("fault.pool_rebuilds")
         elif self._mode in _LADDER:

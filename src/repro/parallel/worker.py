@@ -20,6 +20,7 @@ both ``fork`` and ``spawn`` start methods.
 
 from __future__ import annotations
 
+import sys
 import time
 from typing import TYPE_CHECKING, Any, Sequence
 
@@ -54,6 +55,43 @@ def init_worker(problem) -> None:
     obs.set_tracer(Tracer(enabled=False))
 
 
+def init_worker_shared(handle) -> None:
+    """Pool initializer for the ``shards`` mode: attach, don't copy.
+
+    ``handle`` is a :class:`repro.shard.shm.SharedProblemHandle` — segment
+    names, dtypes, shapes, dictionaries, and compiled hierarchies.  The
+    rebuilt problem's code arrays are read-only views into the parent's
+    shared-memory segments, so initialising a worker costs a few mmaps
+    instead of unpickling the whole table.  Workers never ``unlink``; the
+    owning :class:`~repro.shard.shm.SharedTableStore` does that once the
+    pool has shut down.
+    """
+    from repro.shard.shm import attach_problem
+
+    init_worker(attach_problem(handle))
+
+
+def _peak_rss_bytes() -> float | None:
+    """This process's lifetime peak RSS in bytes, or None if unavailable.
+
+    ``getrusage().ru_maxrss`` is documented in kilobytes on Linux but is
+    already bytes on macOS (so a blanket ``* 1024`` would inflate Darwin
+    readings 1024×), and the ``resource`` module does not exist on
+    Windows at all — there the observation is skipped rather than
+    guessed.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - Windows
+        return None
+    try:
+        ru_maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except OSError:  # pragma: no cover - exotic POSIX without getrusage
+        return None
+    scale = 1 if sys.platform == "darwin" else 1024
+    return float(ru_maxrss) * scale
+
+
 def _note_worker_telemetry(
     metrics: "MetricSet",
     *,
@@ -66,9 +104,10 @@ def _note_worker_telemetry(
     Queue wait is the gap between the parent stamping the submission
     (``time.monotonic`` — comparable across processes on Linux, unlike
     ``perf_counter``) and the worker starting the chunk.  RSS is this
-    process's lifetime high-water mark from ``getrusage`` (kibibytes on
-    Linux, converted to bytes); it is resampled per chunk so the merged
-    histogram shows the pool's memory envelope over time.
+    process's lifetime high-water mark from :func:`_peak_rss_bytes`,
+    platform-scaled to bytes and skipped where unsupported; it is
+    resampled per chunk so the merged histogram shows the pool's memory
+    envelope over time.
     """
     metrics.observe("worker.chunk_jobs", num_jobs)
     metrics.observe("worker.chunk_seconds", chunk_seconds)
@@ -77,15 +116,9 @@ def _note_worker_telemetry(
             "worker.queue_wait_seconds",
             max(0.0, time.monotonic() - submitted_at),
         )
-    try:
-        import resource
-
-        metrics.observe(
-            "worker.rss_bytes",
-            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024,
-        )
-    except (ImportError, OSError):  # pragma: no cover - non-POSIX platform
-        pass
+    rss_bytes = _peak_rss_bytes()
+    if rss_bytes is not None:
+        metrics.observe("worker.rss_bytes", rss_bytes)
 
 
 def run_chunk(
@@ -96,8 +129,10 @@ def run_chunk(
     """Materialise one chunk of frequency-set jobs in a worker process.
 
     ``jobs`` entries are ``(node, kind, payload)`` with kind ``"scan"``
-    (payload None) or ``"rollup"`` (payload is the source set exploded to
-    ``(source_node, key_codes, counts)``).  Returns the materialised
+    (payload None), ``"rollup"`` (payload is the source set exploded to
+    ``(source_node, key_codes, counts)``), or ``"scan_range"`` (payload is
+    a ``(start, stop)`` row range — one shard of a fanned-out scan, whose
+    partial result the parent merges exactly).  Returns the materialised
     ``(key_codes, counts)`` pairs in job order plus this chunk's stats
     delta and metrics delta.  The worker's tracer is the process default
     (disabled), so the only signals leaving the worker are those two
@@ -134,6 +169,11 @@ def run_chunk(
             source_node, key_codes, counts = payload
             source = FrequencySet(source_node, key_codes, counts, _PROBLEM)
             result = evaluator.rollup(source, node)
+        elif kind == "scan_range":
+            if payload is None:
+                raise ValueError("scan_range job shipped without a row range")
+            start, stop = payload
+            result = evaluator.scan_range(node, start, stop)
         else:
             raise ValueError(f"unknown job kind {kind!r}")
         out.append((result.key_codes, result.counts))

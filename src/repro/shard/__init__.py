@@ -1,0 +1,33 @@
+"""Shard-parallel, zero-copy frequency-set evaluation.
+
+The paper's §7 future work asks for scalability where the base table does
+not fit comfortably in memory; SKALD's recipe is to partition the table
+into row shards, compute per-shard frequency sets, and merge them exactly
+(COUNT is distributive).  This package supplies the two halves the
+``shards`` execution mode of :mod:`repro.parallel` composes:
+
+* :mod:`repro.shard.shm` — QI code arrays backed by named
+  ``multiprocessing.shared_memory`` segments, so pool workers attach
+  zero-copy views instead of receiving a pickled table each;
+* :func:`plan_shards` — the contiguous row-range plan a lattice node's
+  scan fans out over, with the exact merge provided by
+  :func:`repro.core.outofcore.merge_partials`.
+"""
+
+from repro.shard.shm import (
+    DEFAULT_SHARD_ROWS,
+    SharedColumnSpec,
+    SharedProblemHandle,
+    SharedTableStore,
+    attach_problem,
+    plan_shards,
+)
+
+__all__ = [
+    "DEFAULT_SHARD_ROWS",
+    "SharedColumnSpec",
+    "SharedProblemHandle",
+    "SharedTableStore",
+    "attach_problem",
+    "plan_shards",
+]

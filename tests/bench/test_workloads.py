@@ -11,7 +11,10 @@ from repro.bench.workloads import (
     format_nodes_table,
     make_problem,
     nodes_searched_table,
+    release_problem,
+    shard_scale_sweep,
 )
+from repro.parallel import ExecutionConfig, use_execution
 
 ROWS = 800  # miniature scale: exercise the plumbing, not the timings
 
@@ -29,6 +32,19 @@ class TestMakeProblem:
     def test_unknown_database(self):
         with pytest.raises(ValueError):
             make_problem("nope", 3)
+
+    def test_landsend_is_shm_backed_under_shards(self):
+        config = ExecutionConfig(mode="shards", workers=2)
+        with use_execution(config):
+            problem = make_problem("landsend", 3, rows=ROWS)
+        try:
+            assert getattr(problem, "_shm_store", None) is not None
+        finally:
+            release_problem(problem)
+        assert problem._shm_store.closed
+
+    def test_release_problem_is_a_noop_without_store(self):
+        release_problem(make_problem("adults", 3, rows=ROWS))
 
 
 class TestSweepShapes:
@@ -77,6 +93,27 @@ class TestSweepShapes:
         text = format_nodes_table([(3, 14, 14), (4, 47, 35)])
         assert "QID size" in text
         assert "47" in text and "35" in text
+
+    def test_shard_scale_sweep_miniature(self):
+        messages = []
+        series = shard_scale_sweep(
+            rows=2_000,
+            workers=2,
+            shard_rows=512,
+            progress=messages.append,
+        )
+        assert [line.label for line in series] == [
+            "Basic Incognito (serial)", "Basic Incognito (shards)",
+        ]
+        for line in series:
+            # Runs are relabelled so the bench gate keys them apart.
+            assert line.runs[0].algorithm == line.label
+            assert line.runs[0].elapsed_seconds > 0
+        # Same search either way: identical structural accounting.
+        serial_run, shard_run = series[0].runs[0], series[1].runs[0]
+        assert serial_run.table_scans == shard_run.table_scans
+        assert serial_run.solutions == shard_run.solutions
+        assert messages and all("shard[" in m for m in messages)
 
     def test_progress_callback_invoked(self):
         messages = []

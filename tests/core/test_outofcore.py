@@ -2,12 +2,16 @@
 
 import pytest
 
+import numpy as np
+
 from repro.core.anonymity import compute_frequency_set
 from repro.core.incognito import basic_incognito
 from repro.core.outofcore import (
+    MERGE_FAN_IN,
     ChunkedEvaluator,
     chunked_incognito,
     compute_frequency_set_chunked,
+    merge_partials,
 )
 from repro.datasets.adults import adults_problem
 from repro.datasets.patients import patients_problem
@@ -51,6 +55,45 @@ class TestChunkedScan:
             compute_frequency_set_chunked(
                 problem, problem.bottom_node(), chunk_rows=0
             )
+
+    def test_incremental_fold_matches_direct_beyond_fan_in(self):
+        """Differential for the bounded-merge path: far more chunks than
+        MERGE_FAN_IN, so partials are folded incrementally mid-scan."""
+        problem = adults_problem(3_000, qi_size=4)
+        chunk_rows = 64
+        assert (3_000 // chunk_rows) > 2 * MERGE_FAN_IN
+        for node in (problem.bottom_node(), problem.top_node()):
+            chunked = compute_frequency_set_chunked(
+                problem, node, chunk_rows=chunk_rows
+            )
+            direct = compute_frequency_set(problem, node)
+            np.testing.assert_array_equal(chunked.key_codes, direct.key_codes)
+            np.testing.assert_array_equal(chunked.counts, direct.counts)
+
+
+class TestMergePartials:
+    def test_overlapping_groups_sum(self):
+        keys_a = np.array([[0], [1]])
+        keys_b = np.array([[1], [2]])
+        merged_keys, merged_counts = merge_partials(
+            [keys_a, keys_b],
+            [np.array([2, 3]), np.array([4, 5])],
+            [3],
+        )
+        np.testing.assert_array_equal(merged_keys, [[0], [1], [2]])
+        np.testing.assert_array_equal(merged_counts, [2, 7, 5])
+
+    def test_fold_order_is_irrelevant(self):
+        problem = patients_problem()
+        node = problem.bottom_node()
+        pieces = [
+            compute_frequency_set_chunked(problem, node, chunk_rows=1)
+        ]
+        direct = compute_frequency_set(problem, node)
+        np.testing.assert_array_equal(
+            pieces[0].key_codes, direct.key_codes
+        )
+        np.testing.assert_array_equal(pieces[0].counts, direct.counts)
 
 
 class TestChunkedEvaluator:

@@ -1,11 +1,14 @@
 """Tests for the synthetic Lands End generator (Figure 9, right)."""
 
+import numpy as np
 import pytest
 
 from repro.datasets.landsend import (
     LANDSEND_QI,
+    iter_landsend_blocks,
     landsend_hierarchies,
     landsend_problem,
+    landsend_problem_shm,
     landsend_table,
 )
 
@@ -109,3 +112,91 @@ class TestDeterminism:
     def test_problem_qi_bounds(self):
         with pytest.raises(ValueError):
             landsend_problem(100, qi_size=9)
+
+
+class TestStreamingBlocks:
+    def test_blocks_cover_rows_exactly(self):
+        blocks = list(
+            iter_landsend_blocks(10_000, qi_size=3, block_rows=3_000)
+        )
+        assert [(b[0], b[1]) for b in blocks] == [
+            (0, 3_000), (3_000, 6_000), (6_000, 9_000), (9_000, 10_000)
+        ]
+        for start, stop, codes in blocks:
+            assert set(codes) == set(LANDSEND_QI[:3])
+            for column in codes.values():
+                assert len(column) == stop - start
+
+    def test_streams_are_deterministic(self):
+        first = list(iter_landsend_blocks(5_000, qi_size=2, block_rows=1_024))
+        second = list(iter_landsend_blocks(5_000, qi_size=2, block_rows=1_024))
+        for (_, _, left), (_, _, right) in zip(first, second):
+            for name in left:
+                np.testing.assert_array_equal(left[name], right[name])
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            list(iter_landsend_blocks(0))
+        with pytest.raises(ValueError):
+            list(iter_landsend_blocks(100, block_rows=0))
+        with pytest.raises(ValueError):
+            list(iter_landsend_blocks(100, qi_size=9))
+
+
+class TestShmProblem:
+    def test_builds_a_working_problem(self):
+        problem = landsend_problem_shm(4_000, qi_size=3)
+        try:
+            assert problem.table.num_rows == 4_000
+            assert problem.quasi_identifier == LANDSEND_QI[:3]
+            assert problem._shm_store is not None
+            for name in problem.quasi_identifier:
+                column = problem.table.column(name)
+                # Compaction renumbered codes densely over used values.
+                assert column.codes.min() >= 0
+                assert column.codes.max() == column.cardinality - 1
+        finally:
+            problem._shm_store.close()
+
+    def test_same_seed_same_streamed_table(self):
+        first = landsend_problem_shm(3_000, qi_size=2)
+        second = landsend_problem_shm(3_000, qi_size=2)
+        try:
+            for name in first.quasi_identifier:
+                np.testing.assert_array_equal(
+                    first.table.column(name).codes,
+                    second.table.column(name).codes,
+                )
+                assert list(first.table.column(name).values) == (
+                    list(second.table.column(name).values)
+                )
+        finally:
+            first._shm_store.close()
+            second._shm_store.close()
+
+    def test_failed_build_releases_segments(self, monkeypatch):
+        """A generator blowing up mid-stream must not leak segments."""
+        import repro.datasets.landsend as landsend_module
+        from repro.shard import shm as shm_module
+
+        stores = []
+        original_cls = shm_module.SharedTableStore
+
+        class RecordingStore(original_cls):
+            def __init__(self):
+                super().__init__()
+                stores.append(self)
+
+        monkeypatch.setattr(shm_module, "SharedTableStore", RecordingStore)
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("stream died")
+
+        monkeypatch.setattr(landsend_module, "iter_landsend_blocks", boom)
+        with pytest.raises(RuntimeError, match="stream died"):
+            landsend_problem_shm(2_000, qi_size=2)
+        assert stores and all(store.closed for store in stores)
+
+    def test_invalid_rows(self):
+        with pytest.raises(ValueError):
+            landsend_problem_shm(0)

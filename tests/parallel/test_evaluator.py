@@ -65,6 +65,10 @@ class TestSplitChunks:
         chunks = _split_chunks(items, 4)
         assert [x for chunk in chunks for x in chunk] == items
 
+    def test_empty_items_is_no_chunks(self):
+        # Regression: this used to divide by a zero chunk count.
+        assert _split_chunks([], 3) == []
+
 
 class TestBatchMaterializer:
     def _requests(self, problem):

@@ -1,0 +1,92 @@
+"""Worker-side unit tests: RSS telemetry portability, scan_range jobs."""
+
+from __future__ import annotations
+
+import sys
+import types
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.anonymity import compute_frequency_set_range
+from repro.parallel import worker
+from tests.conftest import tiny_numeric_problem
+
+
+def fake_resource(ru_maxrss):
+    """A stand-in ``resource`` module reporting a fixed ru_maxrss."""
+    return types.SimpleNamespace(
+        RUSAGE_SELF=0,
+        getrusage=lambda who: types.SimpleNamespace(ru_maxrss=ru_maxrss),
+    )
+
+
+class TestPeakRssBytes:
+    """ru_maxrss units are platform-specific: KiB on Linux, bytes on
+    macOS, and the resource module is absent on Windows."""
+
+    def test_linux_scales_kilobytes_to_bytes(self, monkeypatch):
+        monkeypatch.setitem(sys.modules, "resource", fake_resource(2_048))
+        monkeypatch.setattr(sys, "platform", "linux")
+        assert worker._peak_rss_bytes() == 2_048 * 1024
+
+    def test_darwin_is_already_bytes(self, monkeypatch):
+        # Regression: a blanket *1024 inflated macOS readings 1024x.
+        monkeypatch.setitem(sys.modules, "resource", fake_resource(2_048))
+        monkeypatch.setattr(sys, "platform", "darwin")
+        assert worker._peak_rss_bytes() == 2_048
+
+    def test_missing_resource_module_skips(self, monkeypatch):
+        # Windows: `import resource` raises; no observation, no crash.
+        monkeypatch.setitem(sys.modules, "resource", None)
+        assert worker._peak_rss_bytes() is None
+
+    def test_real_platform_reports_positive(self):
+        value = worker._peak_rss_bytes()
+        assert value is not None and value > 0
+
+    def test_telemetry_skips_when_unavailable(self, monkeypatch):
+        from repro.obs.metrics import MetricSet
+
+        monkeypatch.setitem(sys.modules, "resource", None)
+        metrics = MetricSet()
+        worker._note_worker_telemetry(
+            metrics, num_jobs=1, chunk_seconds=0.1, submitted_at=None
+        )
+        assert metrics.as_dict().get("worker.rss_bytes", {"count": 0})[
+            "count"
+        ] == 0
+
+
+@pytest.fixture
+def installed_problem():
+    """Install a problem in this process's worker slot, restoring after."""
+    previous_problem = worker._PROBLEM
+    previous_tracer = obs.get_tracer()
+    problem = tiny_numeric_problem()
+    worker.init_worker(problem)
+    try:
+        yield problem
+    finally:
+        worker._PROBLEM = previous_problem
+        obs.set_tracer(previous_tracer)
+
+
+class TestRunChunkScanRange:
+    def test_scan_range_job_returns_the_shard_partial(self, installed_problem):
+        node = installed_problem.bottom_node()
+        out, counters, _ = worker.run_chunk([(node, "scan_range", (2, 7))])
+        (key_codes, counts), = out
+        direct = compute_frequency_set_range(installed_problem, node, 2, 7)
+        np.testing.assert_array_equal(key_codes, direct.key_codes)
+        np.testing.assert_array_equal(counts, direct.counts)
+        # Shard work is telemetry, not scan accounting.
+        assert counters.get("shard.range_scans", 0) == 1
+        assert counters.get("shard.rows_scanned", 0) == 5
+        assert counters.get("frequency.table_scans", 0) == 0
+
+    def test_scan_range_without_payload_is_an_error(self, installed_problem):
+        node = installed_problem.bottom_node()
+        with pytest.raises(ValueError, match="scan_range"):
+            worker.run_chunk([(node, "scan_range", None)])
