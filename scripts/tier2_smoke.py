@@ -58,8 +58,9 @@ def smoke(out_dir: Path) -> list[str]:
 
     runs = document.get("runs", [])
     # Six Figure-10 algorithms per QI size, plus the serial/shards pair of
-    # the quick shard-scaling workload.
-    expected = len(run_figures.QUICK_QI_SIZES) * 6 + 2
+    # the quick shard-scaling workload, plus the from-scratch/incremental
+    # pair of the quick incremental workload.
+    expected = len(run_figures.QUICK_QI_SIZES) * 6 + 2 + 2
     if len(runs) != expected:
         problems.append(f"expected {expected} runs, got {len(runs)}")
 
@@ -109,6 +110,37 @@ def smoke(out_dir: Path) -> list[str]:
         if serial["solutions"] != sharded["solutions"]:
             problems.append(
                 "shard-mode solution count diverges from serial"
+            )
+
+    incremental_runs = {
+        r["algorithm"]: r for r in runs if r["figure"] == "incremental"
+    }
+    if set(incremental_runs) != {
+        "Basic Incognito (from scratch)", "Basic Incognito (incremental)"
+    }:
+        problems.append(
+            "incremental workload runs missing/mislabelled: "
+            f"{sorted(incremental_runs)}"
+        )
+    else:
+        scratch, delta = (
+            incremental_runs["Basic Incognito (from scratch)"],
+            incremental_runs["Basic Incognito (incremental)"],
+        )
+        # Delta maintenance must be invisible in the structural accounting:
+        # same search trajectory, same scans, same frequency-set rows.
+        if scratch["counters"] != delta["counters"]:
+            problems.append(
+                "incremental structural counters diverge from scratch: "
+                f"{scratch['counters']} vs {delta['counters']}"
+            )
+        if scratch["solutions"] != delta["solutions"]:
+            problems.append(
+                "incremental solution count diverges from from-scratch"
+            )
+        if delta["raw_counters"].get("incremental.delta_scans", 0) <= 0:
+            problems.append(
+                "incremental run recorded no delta scans (delta path dead?)"
             )
 
     spans = read_json_lines(trace_path.read_text().splitlines())

@@ -15,10 +15,11 @@ Schema (version 2; version 1 lacked the per-run ``metrics`` field)::
       "config": {"adults_rows": int, "landsend_rows": int, "quick": bool},
       "runs": [
         {
-          "figure":   "fig10" | "fig11" | "fig12" | "nodes",
+          "figure":   "fig10" | "fig11" | "fig12" | "nodes" | "shard"
+                      | "incremental",
           "database": "adults" | "landsend",
           "k":        int,
-          "x_name":   "qid_size" | "k",
+          "x_name":   "qid_size" | "k" | "batches",
           "x_value":  number,
           "algorithm": str,               # legend label
           "elapsed_seconds":       float,

@@ -69,6 +69,7 @@ from repro.bench.workloads import (
     figure11_sweep,
     figure12_sweep,
     format_nodes_table,
+    incremental_sweep,
     landsend_rows,
     nodes_searched_runs,
     shard_scale_sweep,
@@ -86,6 +87,13 @@ QUICK_K = 2
 QUICK_SHARD_ROWS = 6_000
 QUICK_SHARD_WIDTH = 1_024
 QUICK_SHARD_WORKERS = 2
+
+#: The incremental workload: the Adults table streamed in this many
+#: batches (``--quick`` shrinks the rows, never the batch count — the
+#: steady-state measurement needs a long enough priming chain either way).
+INCREMENTAL_BATCHES = 10
+QUICK_INCREMENTAL_ROWS = 4_000
+QUICK_INCREMENTAL_QI = 4
 
 
 def _progress(message: str) -> None:
@@ -233,6 +241,35 @@ def run_shard(
     _emit("shard_scaling", format_series_table(title, "QID", series), out_dir)
 
 
+def run_incremental(
+    out_dir: Path | None,
+    records: list[dict],
+    *,
+    quick: bool = False,
+) -> None:
+    """The incremental artifact: streamed re-anonymization vs from-scratch."""
+    series = incremental_sweep(
+        k=QUICK_K,
+        qi_size=QUICK_INCREMENTAL_QI if quick else 5,
+        batches=INCREMENTAL_BATCHES,
+        rows=QUICK_INCREMENTAL_ROWS if quick else None,
+        progress=_progress,
+    )
+    _collect_series(
+        records, "incremental", "adults", "batches", series, k=QUICK_K
+    )
+    title = (
+        f"Incremental re-anonymization — adults database (k={QUICK_K}, "
+        f"{INCREMENTAL_BATCHES} appended batches): from-scratch vs "
+        f"steady-state delta maintenance"
+    )
+    _emit(
+        "incremental_reanonymize",
+        format_series_table(title, "batches", series),
+        out_dir,
+    )
+
+
 def _run_artifacts(args: argparse.Namespace, records: list[dict]) -> None:
     shard_kwargs = dict(
         # --workers defaults to 1 (serial figures); the shard artifact
@@ -243,6 +280,7 @@ def _run_artifacts(args: argparse.Namespace, records: list[dict]) -> None:
     if args.quick:
         run_fig10(args.out, records, quick=True)
         run_shard(args.out, records, quick=True)
+        run_incremental(args.out, records, quick=True)
         return
     runners = {
         "fig10": run_fig10,
@@ -250,6 +288,7 @@ def _run_artifacts(args: argparse.Namespace, records: list[dict]) -> None:
         "fig12": run_fig12,
         "nodes": run_nodes,
         "shard": lambda out, recs: run_shard(out, recs, **shard_kwargs),
+        "incremental": run_incremental,
     }
     if args.artifact == "all":
         for runner in runners.values():
@@ -264,7 +303,7 @@ def main(argv: list[str] | None = None) -> int:
         "artifact",
         nargs="?",
         default="all",
-        choices=["all", "fig10", "fig11", "fig12", "nodes", "shard"],
+        choices=["all", "fig10", "fig11", "fig12", "nodes", "shard", "incremental"],
         help="which figure/table to regenerate (default: all)",
     )
     parser.add_argument(

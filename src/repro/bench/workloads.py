@@ -247,6 +247,98 @@ def shard_scale_sweep(
         release_problem(problem)
 
 
+def incremental_sweep(
+    *,
+    k: int = 2,
+    qi_size: int = 5,
+    batches: int = 10,
+    rows: int | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> list[Series]:
+    """Full recompute vs steady-state incremental re-anonymization (Adults).
+
+    Streams the Adults table in ``batches`` row-batches through an
+    :class:`~repro.incremental.IncrementalSession` (Basic Incognito):
+    version 0 anonymizes the first batch from scratch, versions
+    ``1..batches-2`` prime the remembered prefix sets, and the *final*
+    append's run is the measured one — the steady state where every node's
+    frequency set is a remembered prefix plus one small delta scan.  The
+    from-scratch line anonymizes the same concatenated table in one shot.
+    Bit-identity between the two is proven by ``tests/incremental`` and
+    ``scripts/incremental_smoke.py``; this workload records the cost ratio
+    and the bench regression gate holds it.
+    """
+    import numpy as np
+
+    from repro import obs
+    from repro.bench.harness import measured_run_from_result
+    from repro.core.incognito import basic_incognito
+    from repro.incremental import IncrementalSession
+
+    if batches < 2:
+        raise ValueError("incremental_sweep needs at least two batches")
+    full = make_problem("adults", qi_size, rows=rows)
+    qi = full.quasi_identifier
+    hierarchies = {name: full.hierarchy(name).source for name in qi}
+    bounds = [
+        round(index * full.num_rows / batches) for index in range(batches + 1)
+    ]
+    batch_tables = [
+        full.table.take(np.arange(lo, hi))
+        for lo, hi in zip(bounds, bounds[1:])
+    ]
+
+    session = IncrementalSession(
+        PreparedTable(batch_tables[0], hierarchies, qi),
+        k,
+        algorithm="basic",
+    )
+
+    # Every run sits under a bench.run root span (the trace contract the
+    # other workloads follow); incremental.version spans nest inside.
+    def versioned_run():
+        with obs.span(
+            "bench.run",
+            algorithm="Basic Incognito (incremental)",
+            k=k,
+            repeat=session.version,
+        ):
+            return session.run()
+
+    versioned_run()  # version 0: full scans
+    for delta in batch_tables[1:-1]:
+        session.append(delta)
+        versioned_run()  # prime the remembered prefix sets
+    session.append(batch_tables[-1])
+    incremental = measured_run_from_result(
+        "Basic Incognito (incremental)", versioned_run()
+    )
+
+    # From-scratch over the *same* concatenated table (identical codes).
+    scratch_problem = PreparedTable(
+        session.dataset.problem.table, hierarchies, qi
+    )
+    with obs.span(
+        "bench.run", algorithm="Basic Incognito (from scratch)", k=k, repeat=0
+    ):
+        scratch_result = basic_incognito(scratch_problem, k)
+    scratch = measured_run_from_result(
+        "Basic Incognito (from scratch)", scratch_result
+    )
+
+    series = []
+    for run in (scratch, incremental):
+        line = Series(run.algorithm)
+        line.add(batches, run)
+        if progress is not None:
+            progress(
+                f"incremental[k={k} qid={qi_size} batches={batches}] "
+                f"{run.algorithm}: {run.elapsed_seconds:.3f}s"
+            )
+        series.append(line)
+    return series
+
+
 def nodes_searched_runs(
     *,
     k: int = 2,

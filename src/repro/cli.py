@@ -106,14 +106,38 @@ def cmd_anonymize(args: argparse.Namespace) -> int:
     qi = args.qi if args.qi else list(hierarchies)
     problem = PreparedTable(table, hierarchies, qi)
 
-    algorithm = ALGORITHMS[args.algorithm]
-    extra = {}
-    if args.checkpoint:
-        extra["checkpoint"] = CheckpointStore(args.checkpoint)
-        extra["resume"] = args.resume
-    result = algorithm(
-        problem, args.k, max_suppression=args.max_suppression, **extra
-    )
+    if args.append or args.base_checkpoint:
+        # Incremental path: anonymize the base plus every appended delta,
+        # reusing frequency sets remembered (and, with --base-checkpoint,
+        # persisted with a version-fingerprint chain) from earlier runs.
+        from repro.incremental import IncrementalSession
+
+        session = IncrementalSession(
+            problem,
+            args.k,
+            algorithm=args.algorithm,
+            max_suppression=args.max_suppression,
+            checkpoint_dir=args.base_checkpoint,
+        )
+        for path in args.append or []:
+            delta = read_csv(path)
+            session.append(delta)
+            print(
+                f"appended {delta.num_rows} row(s) from {path} "
+                f"(dataset version {session.version})",
+                file=sys.stderr,
+            )
+        result = session.run(resume=args.resume)
+        problem = session.dataset.problem
+    else:
+        algorithm = ALGORITHMS[args.algorithm]
+        extra = {}
+        if args.checkpoint:
+            extra["checkpoint"] = CheckpointStore(args.checkpoint)
+            extra["resume"] = args.resume
+        result = algorithm(
+            problem, args.k, max_suppression=args.max_suppression, **extra
+        )
     if not result.found:
         print(
             f"no {args.k}-anonymous full-domain generalization exists "
@@ -372,7 +396,21 @@ def build_parser() -> argparse.ArgumentParser:
     anonymize.add_argument(
         "--resume", action="store_true",
         help="resume from a matching --checkpoint file instead of "
-        "re-searching completed levels",
+        "re-searching completed levels (with --base-checkpoint, resumes "
+        "the incremental run's own checkpoint)",
+    )
+    anonymize.add_argument(
+        "--append", action="append", default=None, metavar="CSV",
+        help="append this delta CSV (same columns as the input) before "
+        "anonymizing; repeatable, applied in order — the run then scans "
+        "only rows not covered by remembered frequency sets",
+    )
+    anonymize.add_argument(
+        "--base-checkpoint", default=None, metavar="DIR",
+        help="directory holding the incremental session state (per-node "
+        "frequency sets + the dataset's version-fingerprint chain); "
+        "reused across invocations so re-anonymizing after --append "
+        "touches only the new rows",
     )
     anonymize.set_defaults(run=cmd_anonymize)
 
@@ -411,13 +449,32 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
-    if getattr(args, "resume", False) and not getattr(args, "checkpoint", None):
-        parser.error("--resume requires --checkpoint PATH")
+    if getattr(args, "resume", False) and not (
+        getattr(args, "checkpoint", None)
+        or getattr(args, "base_checkpoint", None)
+    ):
+        parser.error(
+            "--resume requires --checkpoint PATH or --base-checkpoint DIR"
+        )
     if getattr(args, "checkpoint", None) and args.algorithm == "datafly":
         parser.error(
             "--checkpoint is not supported by the datafly heuristic "
             "(it has no level-synchronous structure to checkpoint)"
         )
+    incremental = getattr(args, "append", None) or getattr(
+        args, "base_checkpoint", None
+    )
+    if incremental:
+        if args.algorithm not in ("basic", "bottomup", "binary"):
+            parser.error(
+                "incremental runs (--append/--base-checkpoint) support "
+                "--algorithm basic, bottomup, or binary"
+            )
+        if getattr(args, "checkpoint", None):
+            parser.error(
+                "--checkpoint conflicts with incremental runs; the "
+                "--base-checkpoint directory manages its own run checkpoint"
+            )
 
     if args.trace_format != "jsonl" and args.trace is None:
         parser.error("--trace-format requires --trace FILE")

@@ -364,6 +364,16 @@ class FrequencyEvaluator:
         self.cache = cache
         if cache is not None:
             cache.bind(problem)
+        # Adopt the region-default delta context when it serves exactly
+        # this dataset version (fingerprint equality covers QI-subset
+        # views, which share table and compiled hierarchies).  Imported
+        # lazily: repro.incremental sits above repro.core.
+        from repro.incremental.context import current_delta_context
+
+        delta = current_delta_context()
+        self._delta = (
+            delta if delta is not None and delta.matches(problem) else None
+        )
 
     def scan(self, node: LatticeNode) -> FrequencySet:
         """Compute from the base table (counted as a table scan)."""
@@ -406,6 +416,62 @@ class FrequencyEvaluator:
         self.stats.shard_range_scans += 1
         self.stats.shard_rows_scanned += stop - start
         self.stats.metrics.observe("shard.rows_per_range", stop - start)
+        return result
+
+    def delta_scan(
+        self,
+        node: LatticeNode,
+        base_keys: np.ndarray,
+        base_counts: np.ndarray,
+        start: int,
+    ) -> FrequencySet:
+        """Scan only rows ``[start, num_rows)`` and merge the base prefix in.
+
+        The incremental replacement for :meth:`scan`: ``base_keys`` /
+        ``base_counts`` are the node's exact frequency set over the first
+        ``start`` rows (remembered from an earlier dataset version), the
+        appended suffix is scanned directly, and the two partials fold with
+        the exact distributive COUNT merge.  Because dictionary and level
+        codes are prefix-stable under appends, the merged set — groups,
+        order, and counts — is bit-identical to a whole-table scan, so this
+        accounts exactly like one: ``frequency.table_scans`` plus one
+        frequency-set observation.  The saved work is visible under
+        ``incremental.*`` (delta rows scanned, base rows reused) and the
+        ``latency.delta_*`` timers.  An empty delta (``start == num_rows``)
+        still takes this path, keeping the plan — and therefore every
+        counter an algorithm decision can depend on — history-independent.
+        """
+        from repro.core.outofcore import merge_partials
+
+        num_rows = self.problem.num_rows
+        with obs.span("scan", kind="delta") as sp:
+            with self.stats.metrics.timer("latency.delta_scan_seconds"):
+                partial = compute_frequency_set_range(
+                    self.problem, node, start, num_rows
+                )
+            with self.stats.metrics.timer("latency.delta_merge_seconds"):
+                radices = [
+                    self.problem.hierarchy(attribute).cardinality(level)
+                    for attribute, level in node.items()
+                ]
+                key_codes, counts = merge_partials(
+                    [base_keys, partial.key_codes],
+                    [base_counts, partial.counts],
+                    radices,
+                )
+            result = FrequencySet(node, key_codes, counts, self.problem)
+            if sp:
+                sp.set(
+                    node=str(node),
+                    rows_scanned=num_rows - start,
+                    rows_reused=start,
+                    groups=result.num_groups,
+                )
+        self.stats.incremental_delta_scans += 1
+        self.stats.incremental_delta_rows_scanned += num_rows - start
+        self.stats.incremental_base_rows_reused += start
+        self.stats.table_scans += 1
+        self.stats.note_frequency_set(result.num_groups)
         return result
 
     def rollup(self, source: FrequencySet, target: LatticeNode) -> FrequencySet:
@@ -459,7 +525,10 @@ class FrequencyEvaluator:
 
         Returns ``(kind, payload)`` where kind is ``"use"`` (payload *is*
         the set — zero cost), ``"rollup"`` (re-aggregate payload up to
-        ``node``), or ``"scan"`` (payload None — scan the base table).
+        ``node``), ``"scan"`` (payload None — scan the base table), or
+        ``"delta"`` (incremental maintenance: payload is the remembered
+        ``(base_keys, base_counts, covered_rows)`` prefix set; scan only
+        the appended rows and merge — see :meth:`delta_scan`).
         ``source`` is an algorithm-supplied rollup source (a failed BFS
         parent, a super-root, a cube base set); it wins over the cache's
         ancestor search because it is by construction at least as close.
@@ -497,6 +566,23 @@ class FrequencyEvaluator:
                 self.stats.cache_rollup_saves += 1
                 return ("rollup", ancestor)
             self.stats.cache_misses += 1
+        delta = self._delta
+        if delta is not None:
+            # Incremental maintenance: a remembered prefix set turns this
+            # scan into a delta-only scan plus an exact merge.  Decided
+            # here — in the parent, like all planning — so the
+            # incremental.* accounting is identical across execution
+            # modes.  Only a would-be *scan* is replaced: rollups are
+            # already cheaper than any delta scan and keeping them keeps
+            # the frequency.* counters bit-identical to from-scratch.
+            piece = delta.lookup(node)
+            if piece is not None:
+                self.stats.incremental_base_hits += 1
+                return (
+                    "delta",
+                    (piece.key_codes, piece.counts, piece.covered_rows),
+                )
+            self.stats.incremental_base_misses += 1
         return ("scan", None)
 
     def execute_job(
@@ -517,10 +603,29 @@ class FrequencyEvaluator:
             # by resolve_job.
             start, stop = payload  # type: ignore[misc]
             return self.scan_range(node, start, stop)
+        if kind == "delta":
+            # Incremental plan: payload is the remembered base prefix set
+            # plus the first un-covered row (see _plan_job).
+            base_keys, base_counts, start = payload  # type: ignore[misc]
+            return self.delta_scan(node, base_keys, base_counts, start)
         raise ValueError(f"unknown frequency-set job kind {kind!r}")
 
     def cache_put(self, frequency_set: FrequencySet) -> None:
-        """Admit a freshly materialised set, accounting evictions."""
+        """Admit a freshly materialised set, accounting evictions.
+
+        With a delta context adopted, every materialised set is also
+        *captured* as that node's prefix set for the next dataset version
+        — any full materialisation (scan, rollup, projection, delta, or a
+        shard/delta merge) covers exactly the current row count.  Capture
+        happens in the parent for all execution modes (workers never see
+        the context), so ``incremental.captures`` is mode-independent.
+        """
+        delta = self._delta
+        if delta is not None:
+            evicted = delta.capture(frequency_set, self.problem.num_rows)
+            self.stats.incremental_captures += 1
+            if evicted:
+                self.stats.incremental_evictions += evicted
         if self.cache is None:
             return
         evicted = self.cache.put(frequency_set)

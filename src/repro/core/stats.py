@@ -43,6 +43,13 @@ _COUNTER_KEYS = {
     "shard_rows_scanned": "shard.rows_scanned",
     "shard_merges": "shard.merges",
     "shard_merge_seconds": "shard.merge_seconds",
+    "incremental_base_hits": "incremental.base_hits",
+    "incremental_base_misses": "incremental.base_misses",
+    "incremental_delta_scans": "incremental.delta_scans",
+    "incremental_delta_rows_scanned": "incremental.delta_rows_scanned",
+    "incremental_base_rows_reused": "incremental.base_rows_reused",
+    "incremental_captures": "incremental.captures",
+    "incremental_evictions": "incremental.evictions",
     "fault_crashes": "fault.crashes",
     "fault_timeouts": "fault.timeouts",
     "fault_poisoned": "fault.poisoned",
@@ -185,6 +192,35 @@ class SearchStats:
     shard_merges = _counter_view("shard_merges", _COUNTER_KEYS["shard_merges"])
     shard_merge_seconds = _counter_view(
         "shard_merge_seconds", _COUNTER_KEYS["shard_merge_seconds"]
+    )
+    # Incremental-maintenance accounting (see repro.incremental): delta-only
+    # scans over appended rows and the base sets they were merged into.
+    # Strictly integer by design — SearchStats equality compares *all*
+    # counters, and the append-differential suite asserts incremental runs
+    # bit-identical to from-scratch runs; wall-clock lives in the
+    # latency.delta_* metric family instead.
+    incremental_base_hits = _counter_view(
+        "incremental_base_hits", _COUNTER_KEYS["incremental_base_hits"]
+    )
+    incremental_base_misses = _counter_view(
+        "incremental_base_misses", _COUNTER_KEYS["incremental_base_misses"]
+    )
+    incremental_delta_scans = _counter_view(
+        "incremental_delta_scans", _COUNTER_KEYS["incremental_delta_scans"]
+    )
+    incremental_delta_rows_scanned = _counter_view(
+        "incremental_delta_rows_scanned",
+        _COUNTER_KEYS["incremental_delta_rows_scanned"],
+    )
+    incremental_base_rows_reused = _counter_view(
+        "incremental_base_rows_reused",
+        _COUNTER_KEYS["incremental_base_rows_reused"],
+    )
+    incremental_captures = _counter_view(
+        "incremental_captures", _COUNTER_KEYS["incremental_captures"]
+    )
+    incremental_evictions = _counter_view(
+        "incremental_evictions", _COUNTER_KEYS["incremental_evictions"]
     )
     # Failure supervision (see repro.resilience): observed faults and the
     # retry/degradation work they caused.  Real or injected, these never

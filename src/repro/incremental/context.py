@@ -1,0 +1,226 @@
+"""Carry-over of frequency sets across dataset versions (``repro.incremental``).
+
+A :class:`DeltaContext` remembers, per lattice node, the last frequency set
+an algorithm materialised **and how many leading rows of the versioned
+table it covers**.  When the dataset grows by appended rows, every
+remembered set is still the exact partial frequency set of the row prefix
+it was computed over: dictionary encoding appends new values *after* the
+existing codes (:meth:`repro.relational.column.Column.concat`) and compiled
+hierarchies assign level codes in first-seen base order, so neither the
+base codes nor the level codes of old rows ever change.  The evaluator can
+therefore scan only the appended suffix and fold the remembered prefix in
+with the exact distributive COUNT merge
+(:func:`repro.core.outofcore.merge_partials`) — the same algebra the shard
+mode uses for row-partitioned scans, applied across *time* instead of
+across workers.
+
+The context is installed for a region with :func:`use_delta_context`
+(mirroring :func:`repro.core.fscache.use_cache`), and a
+:class:`~repro.core.anonymity.FrequencyEvaluator` adopts it when the
+problem it was built for matches the context's bound dataset version
+(compared by ``cache_fingerprint``, so QI-subset views share the context
+exactly as they share the frequency-set cache).  Entries are bounded by an
+approximate byte budget with deterministic oldest-first eviction; evicting
+a piece only costs future *speed* (the node falls back to a full scan),
+never correctness.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    import numpy as np
+
+    from repro.core.anonymity import FrequencySet
+    from repro.core.problem import PreparedTable
+    from repro.lattice.node import LatticeNode
+
+#: Default byte budget for remembered pieces (matches the fscache default).
+DEFAULT_MAX_BYTES = 64 * 1024 * 1024
+
+#: Fixed per-piece overhead estimate added to the array payload bytes.
+PIECE_OVERHEAD_BYTES = 256
+
+
+def _key(node: "LatticeNode") -> tuple[tuple[str, ...], tuple[int, ...]]:
+    return (node.attributes, node.levels)
+
+
+class DeltaPiece:
+    """One node's remembered frequency set over a row prefix.
+
+    ``covered_rows`` is the exclusive end of the covered prefix — always a
+    dataset-version boundary, because pieces are captured from fully
+    materialised sets of some version's whole table.
+    """
+
+    __slots__ = ("node", "covered_rows", "key_codes", "counts")
+
+    def __init__(
+        self,
+        node: "LatticeNode",
+        covered_rows: int,
+        key_codes: "np.ndarray",
+        counts: "np.ndarray",
+    ) -> None:
+        self.node = node
+        self.covered_rows = int(covered_rows)
+        self.key_codes = key_codes
+        self.counts = counts
+
+    @property
+    def size_bytes(self) -> int:
+        return (
+            int(self.key_codes.nbytes)
+            + int(self.counts.nbytes)
+            + PIECE_OVERHEAD_BYTES
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DeltaPiece({self.node}, covered_rows={self.covered_rows}, "
+            f"groups={int(self.counts.shape[0])})"
+        )
+
+
+class DeltaContext:
+    """Per-node prefix frequency sets carried across dataset versions."""
+
+    def __init__(self, max_bytes: int = DEFAULT_MAX_BYTES) -> None:
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be positive, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self._pieces: "OrderedDict[tuple, DeltaPiece]" = OrderedDict()
+        self._bytes = 0
+        #: ``cache_fingerprint`` of the currently bound dataset version.
+        self.fingerprint: tuple | None = None
+
+    # ------------------------------------------------------------------
+    # binding
+    # ------------------------------------------------------------------
+    def rebind(self, problem: "PreparedTable") -> None:
+        """Bind the context to a (new) version of the dataset.
+
+        Deliberately keeps the stored pieces: the owning
+        :class:`~repro.incremental.session.IncrementalSession` only rebinds
+        along one append chain, where every piece's covered prefix is
+        unchanged by construction.  (Cross-*dataset* safety is the
+        session's job — it validates the fingerprint chain before reusing
+        persisted pieces.)
+        """
+        self.fingerprint = problem.cache_fingerprint
+
+    def matches(self, problem: "PreparedTable") -> bool:
+        """Whether ``problem`` is the dataset version this context serves."""
+        return (
+            self.fingerprint is not None
+            and self.fingerprint == problem.cache_fingerprint
+        )
+
+    # ------------------------------------------------------------------
+    # lookup / capture
+    # ------------------------------------------------------------------
+    def lookup(self, node: "LatticeNode") -> DeltaPiece | None:
+        """The remembered prefix set for ``node``, refreshing its recency."""
+        piece = self._pieces.get(_key(node))
+        if piece is not None:
+            self._pieces.move_to_end(_key(node))
+        return piece
+
+    def capture(self, frequency_set: "FrequencySet", covered_rows: int) -> int:
+        """Remember a fully materialised set; returns evictions caused.
+
+        Idempotent per node and version: capturing the same node again
+        replaces its piece (the new one covers at least as many rows).  A
+        piece larger than the whole budget is not admitted at all.
+        """
+        piece = DeltaPiece(
+            frequency_set.node,
+            covered_rows,
+            frequency_set.key_codes,
+            frequency_set.counts,
+        )
+        if piece.size_bytes > self.max_bytes:
+            return 0
+        key = _key(frequency_set.node)
+        previous = self._pieces.pop(key, None)
+        if previous is not None:
+            self._bytes -= previous.size_bytes
+        self._pieces[key] = piece
+        self._bytes += piece.size_bytes
+        evicted = 0
+        while self._bytes > self.max_bytes:
+            _, dropped = self._pieces.popitem(last=False)
+            self._bytes -= dropped.size_bytes
+            evicted += 1
+        return evicted
+
+    def install(self, piece: DeltaPiece) -> None:
+        """Adopt a piece restored from a persisted session state."""
+        key = _key(piece.node)
+        previous = self._pieces.pop(key, None)
+        if previous is not None:
+            self._bytes -= previous.size_bytes
+        self._pieces[key] = piece
+        self._bytes += piece.size_bytes
+
+    def clear(self) -> None:
+        self._pieces.clear()
+        self._bytes = 0
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._pieces)
+
+    def __contains__(self, node: "LatticeNode") -> bool:
+        return _key(node) in self._pieces
+
+    def pieces(self) -> list[DeltaPiece]:
+        """All pieces, least-recently-used first (the eviction order)."""
+        return list(self._pieces.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"DeltaContext(pieces={len(self)}, "
+            f"bytes={self._bytes}/{self.max_bytes})"
+        )
+
+
+#: Region default adopted by evaluators built while it is installed.
+_default_context: DeltaContext | None = None
+
+
+def current_delta_context() -> DeltaContext | None:
+    """The region-default delta context (None means incremental is off)."""
+    return _default_context
+
+
+def set_default_delta_context(
+    context: DeltaContext | None,
+) -> DeltaContext | None:
+    """Install ``context`` as the region default; returns the previous one."""
+    global _default_context
+    previous = _default_context
+    _default_context = context
+    return previous
+
+
+@contextmanager
+def use_delta_context(
+    context: DeltaContext | None,
+) -> Iterator[DeltaContext | None]:
+    """Temporarily install ``context`` as the region default."""
+    previous = set_default_delta_context(context)
+    try:
+        yield context
+    finally:
+        set_default_delta_context(previous)

@@ -80,6 +80,11 @@ METRIC_NAMES = frozenset(
         # and the per-range row widths the planner chose
         "shard.range_seconds",
         "shard.rows_per_range",
+        # incremental-maintenance telemetry (repro.incremental): delta-only
+        # scan and base-merge timings — wall clock stays out of the
+        # incremental.* counters so run equality remains exact
+        "latency.delta_scan_seconds",
+        "latency.delta_merge_seconds",
         # deterministic data distributions
         "dist.frequency_set_rows",
         "dist.rollup_source_rows",
@@ -101,6 +106,7 @@ SPAN_NAMES = frozenset(
         "datafly.step",
         "incognito.resume",
         "incognito.iteration",
+        "incremental.version",
         "incognito.graph_generation",
         "superroots.prepare",
         "cube.build",

@@ -371,9 +371,12 @@ class BatchMaterializer:
             else:
                 pending.append((index, node, kind, payload))
         shard_plan: dict[int, int] = {}  # request index → piece count
+        # request index → (piece count, remembered base-prefix payload)
+        delta_plan: dict[int, tuple[int, tuple]] = {}
         if self._mode == "shards":
             pending = self._expand_shard_scans(pending, shard_plan)
-        if len(pending) <= 1 and not shard_plan:
+            pending = self._expand_delta_scans(pending, delta_plan)
+        if len(pending) <= 1 and not shard_plan and not delta_plan:
             # Nothing (or a single job) survived the cache: dispatching to
             # a pool would cost more than the work.
             for index, node, kind, payload in pending:
@@ -395,6 +398,10 @@ class BatchMaterializer:
             shard_partials: dict[int, list] = {
                 index: [None] * count for index, count in shard_plan.items()
             }
+            delta_partials: dict[int, list] = {
+                index: [None] * count
+                for index, (count, _) in delta_plan.items()
+            }
             for chunk, (chunk_results, delta, metrics_delta) in zip(
                 chunks, payloads
             ):
@@ -403,10 +410,15 @@ class BatchMaterializer:
                 evaluator.stats.metrics += metrics_delta
                 for (slot, node, _, _), item in zip(chunk, chunk_results):
                     if isinstance(slot, tuple):
-                        _, index, piece = slot
+                        family, index, piece = slot
                         if isinstance(item, FrequencySet):
                             item = (item.key_codes, item.counts)
-                        shard_partials[index][piece] = item
+                        partial_store = (
+                            shard_partials
+                            if family == "shard"
+                            else delta_partials
+                        )
+                        partial_store[index][piece] = item
                         continue
                     if isinstance(item, FrequencySet):
                         result = item
@@ -421,6 +433,13 @@ class BatchMaterializer:
             for index, partials in shard_partials.items():
                 result = self._merge_shard_partials(
                     evaluator, requests[index][0], partials
+                )
+                evaluator.cache_put(result)
+                results[index] = result
+            for index, partials in delta_partials.items():
+                result = self._merge_delta_partials(
+                    evaluator, requests[index][0], delta_plan[index][1],
+                    partials,
                 )
                 evaluator.cache_put(result)
                 results[index] = result
@@ -471,6 +490,48 @@ class BatchMaterializer:
             self.problem.table.num_rows, self.execution.effective_shard_rows
         )
 
+    def _expand_delta_scans(
+        self, pending: list, delta_plan: dict[int, tuple[int, tuple]]
+    ) -> list:
+        """Fan a ``delta`` plan's appended-row suffix over row shards.
+
+        The remembered base prefix stays in the parent (``delta_plan``
+        keeps its payload for the merge phase); only the un-covered suffix
+        ``[start, num_rows)`` is split into ``scan_range`` jobs.  A suffix
+        that fits one shard is not fanned out — the whole ``delta`` job
+        ships to a worker, which performs the scan *and* the base merge
+        itself.  Fanned entries carry ``("delta", request_index, piece)``
+        slots, mirroring the shard fan-out.
+        """
+        expanded = []
+        for entry in pending:
+            index, node, kind, payload = entry
+            if kind != "delta":
+                expanded.append(entry)
+                continue
+            _, _, start = payload
+            ranges = self._delta_ranges(start)
+            if len(ranges) <= 1:
+                expanded.append(entry)
+                continue
+            delta_plan[index] = (len(ranges), payload)
+            for piece, bounds in enumerate(ranges):
+                expanded.append(
+                    (("delta", index, piece), node, "scan_range", bounds)
+                )
+        return expanded
+
+    def _delta_ranges(self, start: int) -> list[tuple[int, int]]:
+        from repro.shard.shm import plan_shards
+
+        num_rows = self.problem.table.num_rows
+        return [
+            (start + lo, start + hi)
+            for lo, hi in plan_shards(
+                num_rows - start, self.execution.effective_shard_rows
+            )
+        ]
+
     def _merge_shard_partials(
         self, evaluator: FrequencyEvaluator, node, partials: list
     ) -> FrequencySet:
@@ -499,6 +560,49 @@ class BatchMaterializer:
         stats = evaluator.stats
         stats.shard_merges += 1
         stats.shard_merge_seconds += time.perf_counter() - merge_started
+        stats.table_scans += 1
+        stats.note_frequency_set(result.num_groups)
+        return result
+
+    def _merge_delta_partials(
+        self,
+        evaluator: FrequencyEvaluator,
+        node: LatticeNode,
+        base: tuple,
+        partials: list,
+    ) -> FrequencySet:
+        """Fold the remembered prefix and per-shard delta partials exactly.
+
+        The shards-mode counterpart of
+        :meth:`FrequencyEvaluator.delta_scan`: the base prefix set joins
+        the fanned-out suffix partials in one distributive COUNT merge,
+        and the merged result accounts identically — one
+        ``frequency.table_scans``, one frequency-set observation, and the
+        same ``incremental.*`` deltas a serial delta scan records — so
+        both counter families stay independent of the execution mode.
+        """
+        from repro.core.outofcore import merge_partials
+
+        base_keys, base_counts, start = base
+        radices = [
+            self.problem.hierarchy(attribute).cardinality(level)
+            for attribute, level in node.items()
+        ]
+        merge_started = time.perf_counter()
+        key_codes, counts = merge_partials(
+            [base_keys, *(keys for keys, _ in partials)],
+            [base_counts, *(counts_ for _, counts_ in partials)],
+            radices,
+        )
+        result = FrequencySet(node, key_codes, counts, self.problem)
+        stats = evaluator.stats
+        stats.metrics.observe(
+            "latency.delta_merge_seconds", time.perf_counter() - merge_started
+        )
+        num_rows = self.problem.table.num_rows
+        stats.incremental_delta_scans += 1
+        stats.incremental_delta_rows_scanned += num_rows - start
+        stats.incremental_base_rows_reused += start
         stats.table_scans += 1
         stats.note_frequency_set(result.num_groups)
         return result

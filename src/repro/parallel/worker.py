@@ -130,9 +130,12 @@ def run_chunk(
 
     ``jobs`` entries are ``(node, kind, payload)`` with kind ``"scan"``
     (payload None), ``"rollup"`` (payload is the source set exploded to
-    ``(source_node, key_codes, counts)``), or ``"scan_range"`` (payload is
+    ``(source_node, key_codes, counts)``), ``"scan_range"`` (payload is
     a ``(start, stop)`` row range — one shard of a fanned-out scan, whose
-    partial result the parent merges exactly).  Returns the materialised
+    partial result the parent merges exactly), or ``"delta"`` (payload is
+    a remembered ``(base_keys, base_counts, start)`` prefix frequency set
+    — scan only rows ``[start, end)`` and fold the prefix in with the
+    exact COUNT merge; see ``repro.incremental``).  Returns the materialised
     ``(key_codes, counts)`` pairs in job order plus this chunk's stats
     delta and metrics delta.  The worker's tracer is the process default
     (disabled), so the only signals leaving the worker are those two
@@ -174,6 +177,11 @@ def run_chunk(
                 raise ValueError("scan_range job shipped without a row range")
             start, stop = payload
             result = evaluator.scan_range(node, start, stop)
+        elif kind == "delta":
+            if payload is None:
+                raise ValueError("delta job shipped without a base prefix set")
+            base_keys, base_counts, start = payload
+            result = evaluator.delta_scan(node, base_keys, base_counts, start)
         else:
             raise ValueError(f"unknown job kind {kind!r}")
         out.append((result.key_codes, result.counts))

@@ -26,16 +26,20 @@ bit-identical under each degradation.
 
 from repro.resilience.atomicio import atomic_write_json, atomic_write_text
 from repro.resilience.checkpoint import (
+    ChainMatch,
+    ChainMismatchWarning,
     CheckpointError,
     CheckpointStore,
     frequency_set_from_json,
     frequency_set_to_json,
     node_from_json,
+    match_chain,
     node_to_json,
     nodes_from_json,
     nodes_to_json,
     problem_fingerprint,
     resolve_checkpoint,
+    segment_fingerprint,
     set_default_checkpoints,
     use_checkpoints,
 )
@@ -46,6 +50,8 @@ from repro.resilience.faults import (
 )
 
 __all__ = [
+    "ChainMatch",
+    "ChainMismatchWarning",
     "CheckpointError",
     "CheckpointStore",
     "FaultPlan",
@@ -55,12 +61,14 @@ __all__ = [
     "atomic_write_text",
     "frequency_set_from_json",
     "frequency_set_to_json",
+    "match_chain",
     "node_from_json",
     "node_to_json",
     "nodes_from_json",
     "nodes_to_json",
     "problem_fingerprint",
     "resolve_checkpoint",
+    "segment_fingerprint",
     "set_default_checkpoints",
     "use_checkpoints",
 ]

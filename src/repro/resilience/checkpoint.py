@@ -32,8 +32,9 @@ import hashlib
 import json
 import re
 from contextlib import contextmanager
+from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 import numpy as np
 
@@ -49,6 +50,16 @@ CHECKPOINT_FORMAT = 1
 
 class CheckpointError(RuntimeError):
     """A checkpoint file exists but cannot be parsed."""
+
+
+class ChainMismatchWarning(UserWarning):
+    """A version-chained checkpoint diverged from the live dataset.
+
+    Emitted (never raised) when an incremental session finds that some
+    suffix of its persisted fingerprint chain no longer matches the data —
+    the session falls back to the longest valid prefix, and the warning
+    names exactly which delta diverged (see :meth:`ChainMatch.describe`).
+    """
 
 
 # ----------------------------------------------------------------------
@@ -74,6 +85,114 @@ def problem_fingerprint(problem: "PreparedTable") -> str:
         codes = problem.table.column(name).codes
         digest.update(np.ascontiguousarray(codes).tobytes())
     return digest.hexdigest()
+
+
+def segment_fingerprint(
+    problem: "PreparedTable", start: int, stop: int
+) -> str:
+    """Content hash of the quasi-identifier data in rows ``[start, stop)``.
+
+    The chain element for one appended delta of a versioned dataset.
+    Chain-stable by construction: dictionary encoding appends new values
+    *after* the existing codes (``Column.concat``), so the codes of rows
+    already in the table never change when later deltas arrive — the same
+    slice hashed at any later version yields the same digest.  Unlike
+    :func:`problem_fingerprint` it deliberately excludes the hierarchy
+    shapes, which *do* grow as deltas introduce new values; the base
+    segment of a chain uses the full :func:`problem_fingerprint` instead.
+    """
+    digest = hashlib.sha256()
+    digest.update(
+        repr((problem.quasi_identifier, int(start), int(stop))).encode()
+    )
+    for name in problem.quasi_identifier:
+        codes = problem.table.column(name).codes[start:stop]
+        digest.update(np.ascontiguousarray(codes).tobytes())
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class ChainMatch:
+    """Outcome of validating a stored version chain against the live one.
+
+    ``matched`` counts the leading chain elements (base fingerprint plus
+    ordered delta fingerprints) that agree; everything derived from those
+    segments — persisted delta pieces covering at most
+    ``offsets[matched]`` rows — remains reusable.  When a mid-chain
+    element disagrees, ``diverged_index`` pinpoints it (0 is the base
+    segment, i >= 1 is delta i) together with both fingerprints, so the
+    operator learns *which* append no longer matches instead of silently
+    losing the whole checkpoint.
+    """
+
+    matched: int
+    stored: int
+    expected: int
+    diverged_index: int | None = None
+    expected_fingerprint: str | None = None
+    found_fingerprint: str | None = None
+
+    @property
+    def full(self) -> bool:
+        """Whether the stored chain covers the live chain exactly."""
+        return (
+            self.diverged_index is None
+            and self.matched == self.expected
+            and self.stored == self.expected
+        )
+
+    def describe(self) -> str:
+        if self.diverged_index is not None:
+            which = (
+                "the base segment"
+                if self.diverged_index == 0
+                else f"delta {self.diverged_index}"
+            )
+            return (
+                f"checkpoint version chain diverged at {which}: expected "
+                f"{self.expected_fingerprint}, found "
+                f"{self.found_fingerprint}; falling back to the longest "
+                f"valid prefix ({self.matched} of {self.expected} "
+                f"segment(s))"
+            )
+        if self.full:
+            return (
+                f"checkpoint version chain matches all "
+                f"{self.expected} segment(s)"
+            )
+        if self.stored > self.expected:
+            return (
+                f"checkpoint version chain holds {self.stored} segments "
+                f"but the dataset has only {self.expected}; reusing the "
+                f"{self.matched} that match"
+            )
+        return (
+            f"checkpoint version chain covers {self.matched} of "
+            f"{self.expected} segment(s); the rest will be computed fresh"
+        )
+
+
+def match_chain(
+    stored: Sequence[str], expected: Sequence[str]
+) -> ChainMatch:
+    """Longest-common-prefix comparison of two fingerprint chains."""
+    stored = [str(item) for item in stored]
+    expected = [str(item) for item in expected]
+    for index in range(min(len(stored), len(expected))):
+        if stored[index] != expected[index]:
+            return ChainMatch(
+                matched=index,
+                stored=len(stored),
+                expected=len(expected),
+                diverged_index=index,
+                expected_fingerprint=expected[index],
+                found_fingerprint=stored[index],
+            )
+    return ChainMatch(
+        matched=min(len(stored), len(expected)),
+        stored=len(stored),
+        expected=len(expected),
+    )
 
 
 def node_to_json(node: "LatticeNode") -> dict[str, Any]:
@@ -165,6 +284,35 @@ class CheckpointStore:
             if state.get(key) != expected:
                 return None
         return state
+
+    def load_chain(
+        self, header: dict[str, Any], chain: Sequence[str]
+    ) -> tuple[dict[str, Any] | None, ChainMatch | None]:
+        """Chain-aware load: the state plus how much of its chain is valid.
+
+        Non-chain ``header`` fields (algorithm, k, format, ...) behave
+        like :meth:`load_matching` — any mismatch means "different run,
+        start fresh" and returns ``(None, None)``.  The stored ``"chain"``
+        list, however, is *diffed* against the live ``chain`` rather than
+        discarded on inequality: the returned :class:`ChainMatch` reports
+        the longest matching prefix and, on divergence, exactly which
+        segment disagrees with which fingerprints — so a caller can keep
+        every piece of state derived from the still-valid prefix instead
+        of silently throwing the whole checkpoint away.
+        """
+        state = self.load()
+        if state is None:
+            return None, None
+        for key, expected in header.items():
+            if state.get(key) != expected:
+                return None, None
+        stored = state.get("chain")
+        if not isinstance(stored, list):
+            raise CheckpointError(
+                f"checkpoint {self.path} carries no version chain; "
+                f"delete it to start fresh"
+            )
+        return state, match_chain(stored, chain)
 
     def save(self, state: dict[str, Any]) -> None:
         """Atomically persist ``state`` (previous snapshot fully replaced)."""

@@ -49,8 +49,13 @@ class TestQuickJsonExport:
         algorithms = {run["algorithm"] for run in runs}
         assert "Basic Incognito" in algorithms
         assert "Cube Incognito" in algorithms
-        x_values = {run["x_value"] for run in runs}
+        x_values = {
+            run["x_value"] for run in runs if run["figure"] == "fig10"
+        }
         assert x_values == set(run_figures.QUICK_QI_SIZES)
+        # quick mode also carries the shard and incremental workloads
+        figures = {run["figure"] for run in runs}
+        assert {"fig10", "shard", "incremental"} <= figures
 
     def test_counters_match_fresh_search_stats_exactly(self, quick_output):
         """Basic vs Cube scan/rollup numbers in the JSON must equal the

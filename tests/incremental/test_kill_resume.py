@@ -1,0 +1,151 @@
+"""Kill-resume equivalence for incremental runs, all three algorithms.
+
+A checkpointed :class:`~repro.incremental.IncrementalSession` maintains
+two files: the algorithm's own level-granular run checkpoint (kill/resume
+*inside* one version) and the session chain file (pieces + fingerprint
+chain, reuse *across* versions and processes).  These tests kill the run
+mid-delta — via the same deterministic ``BombStore`` crash surface the
+resilience suite uses — then resume in a fresh session (a fresh process,
+as far as the code can tell) and assert the resumed result equals
+
+* an uninterrupted incremental run (results AND counters), and
+* a from-scratch run over the concatenated table (results AND structural
+  counters),
+
+with no completed level re-scanned.  Ample piece budgets on purpose: a
+tight ``max_bytes`` can evict pieces between the kill and the resume,
+which legitimately shifts ``incremental.*`` accounting (see DESIGN.md
+§11).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.problem import PreparedTable
+from repro.incremental import ALGORITHMS, IncrementalSession
+import repro.incremental.session as session_module
+from repro.resilience import CheckpointStore
+from tests.conftest import make_random_problem
+from tests.incremental.test_append_property import (
+    from_scratch,
+    scratch_comparable,
+    split_rows,
+)
+from tests.resilience.test_checkpoint import BombStore, Killed, comparable_counters
+
+
+def make_session(problem, algorithm, checkpoint_dir=None):
+    qi = problem.quasi_identifier
+    hierarchies = {name: problem.hierarchy(name).source for name in qi}
+    return IncrementalSession(
+        PreparedTable(problem.table, hierarchies, qi),
+        2,
+        algorithm=algorithm,
+        checkpoint_dir=checkpoint_dir,
+    )
+
+
+def stream_batches(session, batches):
+    result = session.run()
+    for delta in batches[1:]:
+        session.append(delta)
+        result = session.run()
+    return result
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_kill_mid_delta_then_resume(algorithm, tmp_path, monkeypatch):
+    problem = make_random_problem(31, num_rows=60, num_attributes=3)
+    batches = split_rows(problem, [20, 40])
+    base = PreparedTable(
+        batches[0],
+        {n: problem.hierarchy(n).source for n in problem.quasi_identifier},
+        problem.quasi_identifier,
+    )
+
+    # The uninterrupted reference: same batches, own checkpoint directory.
+    untouched = make_session(base, algorithm, tmp_path / "reference")
+    reference = stream_batches(untouched, batches)
+
+    # The victim: bomb the *run* checkpoint (the chain file stays intact),
+    # so the process dies mid-way through re-anonymizing the final delta.
+    ckpt_dir = tmp_path / "killed"
+    victim = make_session(base, algorithm, ckpt_dir)
+    victim.run()
+    victim.append(batches[1])
+    victim.run()
+    victim.append(batches[2])
+
+    real_store = session_module.CheckpointStore
+
+    def bombing_store(path):
+        if str(path).endswith(".run.ckpt.json"):
+            return BombStore(path, 1)
+        return real_store(path)
+
+    monkeypatch.setattr(session_module, "CheckpointStore", bombing_store)
+    with pytest.raises(Killed):
+        victim.run()
+    monkeypatch.setattr(session_module, "CheckpointStore", real_store)
+
+    run_ckpt = next(ckpt_dir.glob("*.run.ckpt.json"))
+    at_kill = CheckpointStore(run_ckpt).load()
+    assert at_kill is not None and not at_kill.get("completed")
+
+    # Resume in a fresh session: rebuild the same append chain, adopt the
+    # persisted pieces, and resume the algorithm's own checkpoint.
+    resumed_session = make_session(base, algorithm, ckpt_dir)
+    resumed_session.append(batches[1])
+    resumed_session.append(batches[2])
+    resumed = resumed_session.run(resume=True)
+
+    assert resumed_session.chain_report is not None
+    assert resumed_session.chain_report.diverged_index is None
+
+    assert resumed.anonymous_nodes == reference.anonymous_nodes
+    assert comparable_counters(resumed.stats) == comparable_counters(
+        reference.stats
+    )
+
+    # ... and both equal a from-scratch run over the concatenated table.
+    scratch, scratch_problem = from_scratch(resumed_session, 2, algorithm)
+    assert resumed.anonymous_nodes == scratch.anonymous_nodes
+    assert scratch_comparable(resumed.stats) == scratch_comparable(
+        scratch.stats
+    )
+
+    # Completed pre-kill work is replayed, never re-scanned: the resumed
+    # run's total scans equal the reference's, not reference + replayed.
+    assert resumed.stats.table_scans == reference.stats.table_scans
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+def test_chain_survives_process_boundary_without_a_kill(algorithm, tmp_path):
+    """Sanity half of the pair: a clean process handoff reuses all pieces."""
+    problem = make_random_problem(41, num_rows=50, num_attributes=3)
+    batches = split_rows(problem, [25])
+    base = PreparedTable(
+        batches[0],
+        {n: problem.hierarchy(n).source for n in problem.quasi_identifier},
+        problem.quasi_identifier,
+    )
+
+    first = make_session(base, algorithm, tmp_path / "chain")
+    first.run()
+
+    # "New process": a fresh session over the same base, same directory.
+    second = make_session(base, algorithm, tmp_path / "chain")
+    second.append(batches[1])
+    result = second.run()
+    assert second.chain_report is not None
+    # The stored chain (version 0) is a strict prefix of the live one.
+    assert second.chain_report.matched == 1
+    assert result.stats.incremental_base_hits > 0
+
+    scratch, scratch_problem = from_scratch(second, 2, algorithm)
+    assert result.anonymous_nodes == scratch.anonymous_nodes
+    assert scratch_comparable(result.stats) == scratch_comparable(
+        scratch.stats
+    )
