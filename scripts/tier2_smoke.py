@@ -59,18 +59,34 @@ def smoke(out_dir: Path) -> list[str]:
     runs = document.get("runs", [])
     # Six Figure-10 algorithms per QI size, plus the serial/shards pair of
     # the quick shard-scaling workload, plus the from-scratch/incremental
-    # pair of the quick incremental workload.
-    expected = len(run_figures.QUICK_QI_SIZES) * 6 + 2 + 2
+    # pair of the quick incremental workload, plus one service run per
+    # runner-concurrency width.
+    expected = (
+        len(run_figures.QUICK_QI_SIZES) * 6
+        + 2
+        + 2
+        + len(run_figures.SERVICE_WIDTHS)
+    )
     if len(runs) != expected:
         problems.append(f"expected {expected} runs, got {len(runs)}")
 
     for run in runs:
         where = f"{run.get('algorithm')}@qid={run.get('x_value')}"
+        if run.get("solutions", -1) < 0:
+            problems.append(f"{where}: solutions must be non-negative")
+        if run.get("figure") == "service":
+            # Batch-level measurement: jobs run in subprocesses, so the
+            # structural counters are legitimately zero — the throughput
+            # and job-latency instruments are the contract instead.
+            if run.get("raw_counters", {}).get("service.jobs_per_second", 0) <= 0:
+                problems.append(f"{where}: no service throughput recorded")
+            latency = run.get("metrics", {}).get("latency.job_total_seconds", {})
+            if latency.get("count", 0) != run_figures.QUICK_SERVICE_JOBS:
+                problems.append(f"{where}: job latency count != job count")
+            continue
         counters = run.get("counters", {})
         if counters.get("nodes_checked", 0) <= 0:
             problems.append(f"{where}: nodes_checked must be positive")
-        if run.get("solutions", -1) < 0:
-            problems.append(f"{where}: solutions must be non-negative")
         # Every algorithm evaluates at least one frequency set somehow.
         evaluations = (
             counters.get("table_scans", 0)

@@ -72,6 +72,7 @@ from repro.bench.workloads import (
     incremental_sweep,
     landsend_rows,
     nodes_searched_runs,
+    service_job_sweep,
     shard_scale_sweep,
 )
 from repro.datasets.landsend import FULL_ROWS
@@ -87,6 +88,13 @@ QUICK_K = 2
 QUICK_SHARD_ROWS = 6_000
 QUICK_SHARD_WIDTH = 1_024
 QUICK_SHARD_WORKERS = 2
+
+#: The service workload: identical jobs pushed through the job server at
+#: each concurrency width.  Spawned-runner cold start dominates each job,
+#: so the batch stays CI-sized even at the full job count.
+SERVICE_JOBS = 12
+QUICK_SERVICE_JOBS = 6
+SERVICE_WIDTHS = (1, 2)
 
 #: The incremental workload: the Adults table streamed in this many
 #: batches (``--quick`` shrinks the rows, never the batch count — the
@@ -270,6 +278,36 @@ def run_incremental(
     )
 
 
+def run_service(
+    out_dir: Path | None,
+    records: list[dict],
+    *,
+    quick: bool = False,
+) -> None:
+    """The job-server artifact: batch throughput per concurrency width."""
+    jobs = QUICK_SERVICE_JOBS if quick else SERVICE_JOBS
+    series = service_job_sweep(
+        jobs=jobs,
+        k=QUICK_K,
+        max_running=SERVICE_WIDTHS,
+        progress=_progress,
+    )
+    _collect_series(records, "service", "synthetic", "jobs", series, k=QUICK_K)
+    title = (
+        f"Anonymization service — {jobs} identical jobs (k={QUICK_K}) per "
+        f"runner-concurrency width: batch wall clock and throughput"
+    )
+    elapsed = format_series_table(title + " [elapsed]", "jobs", series)
+    throughput = format_series_table(
+        title + " [throughput]",
+        "jobs",
+        series,
+        value=lambda run: run.counters["service.jobs_per_second"],
+        unit=" jobs/s",
+    )
+    _emit("service_throughput", elapsed + "\n\n" + throughput, out_dir)
+
+
 def _run_artifacts(args: argparse.Namespace, records: list[dict]) -> None:
     shard_kwargs = dict(
         # --workers defaults to 1 (serial figures); the shard artifact
@@ -281,6 +319,7 @@ def _run_artifacts(args: argparse.Namespace, records: list[dict]) -> None:
         run_fig10(args.out, records, quick=True)
         run_shard(args.out, records, quick=True)
         run_incremental(args.out, records, quick=True)
+        run_service(args.out, records, quick=True)
         return
     runners = {
         "fig10": run_fig10,
@@ -289,6 +328,7 @@ def _run_artifacts(args: argparse.Namespace, records: list[dict]) -> None:
         "nodes": run_nodes,
         "shard": lambda out, recs: run_shard(out, recs, **shard_kwargs),
         "incremental": run_incremental,
+        "service": run_service,
     }
     if args.artifact == "all":
         for runner in runners.values():
@@ -303,7 +343,16 @@ def main(argv: list[str] | None = None) -> int:
         "artifact",
         nargs="?",
         default="all",
-        choices=["all", "fig10", "fig11", "fig12", "nodes", "shard", "incremental"],
+        choices=[
+            "all",
+            "fig10",
+            "fig11",
+            "fig12",
+            "nodes",
+            "shard",
+            "incremental",
+            "service",
+        ],
         help="which figure/table to regenerate (default: all)",
     )
     parser.add_argument(

@@ -339,6 +339,118 @@ def incremental_sweep(
     return series
 
 
+def _service_dataset_csv(directory) -> str:
+    """Write a small, CSV-stable table and return its connector ref.
+
+    String-typed ages with a rounding hierarchy and a suppression column
+    survive the CSV round trip bit-exactly (no schema inference), so every
+    job over this dataset is deterministic across spawned runners.
+    """
+    from pathlib import Path
+
+    from repro.resilience.atomicio import atomic_write_text
+
+    path = Path(directory) / "service-bench.csv"
+    lines = ["age,sex,disease"]
+    for row in range(96):
+        age = 20 + (row * 7) % 60
+        sex = "M" if row % 2 else "F"
+        disease = ("flu", "cold", "asthma")[row % 3]
+        lines.append(f"{age},{sex},{disease}")
+    atomic_write_text(path, "\n".join(lines) + "\n")
+    return f"csv:{path}"
+
+
+def service_job_sweep(
+    *,
+    jobs: int = 6,
+    k: int = 2,
+    max_running: Sequence[int] = (1, 2),
+    progress: Callable[[str], None] | None = None,
+) -> list[Series]:
+    """Job-server throughput: ``jobs`` identical jobs per concurrency width.
+
+    Each configuration drives a real :class:`repro.service.manager.JobManager`
+    (spawned runner subprocesses, WAL persistence — the full service stack
+    minus HTTP) on a throwaway data directory, submits ``jobs`` identical
+    anonymization jobs, and waits for the batch to go idle.  The measured
+    elapsed time is the batch wall clock, so jobs/sec is ``jobs / elapsed``
+    (recorded under ``service.jobs_per_second`` in the raw counter dump) and
+    the p99 job latency rides along in the ``latency.job_total_seconds``
+    metric summary — both land in ``BENCH_incognito.json`` where the
+    regression gate diffs them.
+    """
+    import tempfile
+    import time
+
+    from repro.service.jobs import JobSpec
+    from repro.service.manager import JobManager
+
+    series = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-svc-") as scratch:
+        dataset = _service_dataset_csv(scratch)
+        spec = JobSpec(
+            dataset=dataset,
+            k=k,
+            algorithm="basic",
+            qi=("age", "sex"),
+            hierarchies={
+                "age": {"type": "rounding", "digits": 2},
+                "sex": {"type": "suppression"},
+            },
+        )
+        for width in max_running:
+            label = f"Service ({width} runner{'s' if width > 1 else ''})"
+            # Admission bounds sized to the batch: this workload measures
+            # throughput, not the (separately tested) overload rejections.
+            manager = JobManager(
+                f"{scratch}/svc-w{width}",
+                max_running=width,
+                max_queue=jobs,
+                tenant_budget=jobs,
+                retry_backoff_base=0.01,
+                retry_backoff_cap=0.05,
+            )
+            manager.start()
+            try:
+                start = time.perf_counter()
+                submitted = [manager.submit(spec) for _ in range(jobs)]
+                if not manager.wait_idle(600.0):
+                    raise RuntimeError(f"{label}: batch never went idle")
+                elapsed = time.perf_counter() - start
+                states = [manager.get(record.id).state for record in submitted]
+                if states.count("succeeded") != jobs:
+                    raise RuntimeError(f"{label}: job states {states}")
+                counters = manager.counters.as_dict()
+                counters["service.jobs_per_second"] = (
+                    jobs / elapsed if elapsed > 0 else 0.0
+                )
+                run = MeasuredRun(
+                    algorithm=label,
+                    elapsed_seconds=elapsed,
+                    nodes_checked=0,
+                    table_scans=0,
+                    rollups=0,
+                    solutions=jobs,
+                    counters=counters,
+                    metrics=manager.metrics.as_dict(),
+                )
+            finally:
+                manager.drain()
+            line = Series(label)
+            line.add(jobs, run)
+            if progress is not None:
+                p99 = run.metrics.get("latency.job_total_seconds", {}).get(
+                    "p99", 0.0
+                )
+                progress(
+                    f"service[k={k} jobs={jobs}] {label}: {elapsed:.3f}s "
+                    f"({jobs / elapsed:.2f} jobs/s, p99 job {p99:.3f}s)"
+                )
+            series.append(line)
+    return series
+
+
 def nodes_searched_runs(
     *,
     k: int = 2,

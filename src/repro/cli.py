@@ -266,6 +266,37 @@ def cmd_attack(args: argparse.Namespace) -> int:
     return 0 if report.uniquely_linked == 0 else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import run_server
+
+    print(
+        f"serving anonymization jobs from {args.data_dir} "
+        f"on {args.host}:{args.port or '<ephemeral>'} "
+        f"(SIGTERM drains gracefully)"
+    )
+    run_server(
+        args.data_dir,
+        host=args.host,
+        port=args.port,
+        max_running=args.max_running,
+        max_queue=args.max_queue,
+        tenant_budget=args.tenant_budget,
+        heartbeat_timeout=args.heartbeat_timeout,
+        max_attempts=args.max_attempts,
+        fault_spec=args.inject_job_faults,
+    )
+    return 0
+
+
+def cmd_gc_shm(args: argparse.Namespace) -> int:
+    from repro.shard.manifest import manifest_dir, sweep_orphans
+
+    report = sweep_orphans()
+    print(f"swept {manifest_dir()}:")
+    print(json.dumps(report.as_dict(), indent=2))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -442,6 +473,61 @@ def build_parser() -> argparse.ArgumentParser:
     model.add_argument("--output", default=None)
     model.add_argument("--preview", type=int, default=10)
     model.set_defaults(run=cmd_model)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the anonymization job server (asyncio HTTP/JSON; "
+        "crash-safe WAL, deadlines, admission control, graceful drain)",
+    )
+    serve.add_argument(
+        "data_dir",
+        help="service state directory (WAL, snapshots, per-job dirs); "
+        "jobs found here are recovered and resumed on start",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (default 0 = OS-assigned; the bound port is "
+        "recorded in <data_dir>/server.json)",
+    )
+    serve.add_argument(
+        "--max-running", type=int, default=2,
+        help="concurrent job subprocesses (default: 2)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=16,
+        help="queued-job bound; submissions beyond it get HTTP 429 "
+        "(default: 16)",
+    )
+    serve.add_argument(
+        "--tenant-budget", type=int, default=4,
+        help="active (queued+running) jobs allowed per tenant before "
+        "429 (default: 4)",
+    )
+    serve.add_argument(
+        "--max-attempts", type=int, default=3,
+        help="execution attempts per job before a crash/hang becomes a "
+        "terminal failure (default: 3)",
+    )
+    serve.add_argument(
+        "--heartbeat-timeout", type=float, default=None, metavar="SECONDS",
+        help="a runner whose heartbeat is staler than this is killed and "
+        "retried with backoff (default: 5s)",
+    )
+    serve.add_argument(
+        "--inject-job-faults", default=None, metavar="SPEC",
+        help="seeded job-level fault injection for chaos testing, e.g. "
+        "'crash=0.3,timeout=0.2,seed=7' (crash kills the runner after "
+        "its first checkpoint; timeout hangs it until the watchdog fires)",
+    )
+    serve.set_defaults(run=cmd_serve)
+
+    gc_shm = commands.add_parser(
+        "gc-shm",
+        help="sweep shared-memory segments orphaned by SIGKILLed owners "
+        "(reads the on-disk segment manifest; safe while servers run)",
+    )
+    gc_shm.set_defaults(run=cmd_gc_shm)
     return parser
 
 

@@ -39,6 +39,30 @@ EXTRA_COUNTERS = frozenset(
     }
 )
 
+#: Counters recorded by the anonymization service (:mod:`repro.service`):
+#: job lifecycle totals, admission-control and watchdog activity, and the
+#: crash-recovery bookkeeping the chaos suite asserts over.
+SERVICE_COUNTERS = frozenset(
+    {
+        "service.jobs_submitted",
+        "service.jobs_succeeded",
+        "service.jobs_failed",
+        "service.jobs_cancelled",
+        "service.jobs_resumed",
+        "service.jobs_resumed_succeeded",
+        "service.jobs_recovered",
+        "service.jobs_drained",
+        "service.retries",
+        "service.watchdog_kills",
+        "service.deadline_kills",
+        "service.scheduler_errors",
+        "service.wal_corrupt_lines",
+        "service.shm_segments_swept",
+        "service.requests",
+        "service.request_errors",
+    }
+)
+
 #: Open-ended counter families: any name extending one of these prefixes
 #: is declared.  Each carries a generator whose suffix is data-dependent
 #: (a subset size, an injected-fault kind, a span name).
@@ -47,6 +71,9 @@ COUNTER_PREFIXES = (
     "fault.injected.",
     "span.",
     "span_seconds.",
+    # service admission rejections and injected job-level faults, by kind
+    "service.rejected.",
+    "service.injected.",
 )
 
 #: Every histogram/timer instrument the engine records, by family:
@@ -88,6 +115,11 @@ METRIC_NAMES = frozenset(
         # deterministic data distributions
         "dist.frequency_set_rows",
         "dist.rollup_source_rows",
+        # anonymization-service job latency (queue wait, execution, and
+        # end-to-end submission→terminal), recorded by the job manager
+        "latency.job_queue_seconds",
+        "latency.job_run_seconds",
+        "latency.job_total_seconds",
     }
 )
 
@@ -111,6 +143,7 @@ SPAN_NAMES = frozenset(
         "superroots.prepare",
         "cube.build",
         "bench.run",
+        "service.job.run",
     }
 )
 
@@ -168,7 +201,9 @@ def default_registry() -> ObsRegistry:
     from repro.core.stats import _COUNTER_KEYS
 
     return ObsRegistry(
-        counters=frozenset(_COUNTER_KEYS.values()) | EXTRA_COUNTERS,
+        counters=frozenset(_COUNTER_KEYS.values())
+        | EXTRA_COUNTERS
+        | SERVICE_COUNTERS,
         counter_prefixes=COUNTER_PREFIXES,
         spans=SPAN_NAMES,
         metrics=METRIC_NAMES,

@@ -243,32 +243,78 @@ def frequency_set_from_json(data: dict[str, Any], problem):
 # ----------------------------------------------------------------------
 # the store
 # ----------------------------------------------------------------------
+#: Internal sentinel: a checkpoint file exists but cannot be trusted.
+_CORRUPT = object()
+
+
 class CheckpointStore:
-    """Atomic persistence of one search's level-granular progress."""
+    """Atomic persistence of one search's level-granular progress.
+
+    Corruption is survived, not raised: ``atomic_write_json`` makes a
+    torn *write* impossible on POSIX-atomic filesystems, but power loss
+    mid-rename on filesystems without atomic replacement, bit rot, or a
+    stray editor can still leave an unparseable file.  :meth:`load`
+    detects that, **quarantines** the bad file (renamed with a
+    ``.quarantined`` suffix so the evidence survives for inspection) and
+    falls back to the *previous* level's snapshot — :meth:`save` rotates
+    the outgoing checkpoint to a ``.prev`` sibling before writing the new
+    one — so a resumable run loses at most one level of progress instead
+    of crashing at startup.
+    """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
         #: Number of successful saves performed through this store.
         self.saves = 0
+        #: Files quarantined by :meth:`load` (empty in healthy runs).
+        self.quarantined: list[Path] = []
+        #: True when the last load served the rotated previous snapshot.
+        self.fell_back = False
+
+    @property
+    def previous_path(self) -> Path:
+        """Where :meth:`save` rotates the outgoing snapshot."""
+        return self.path.with_name(self.path.name + ".prev")
 
     def load(self) -> dict[str, Any] | None:
-        """The persisted state, or None when no checkpoint exists yet."""
+        """The persisted state, or None when no usable checkpoint exists.
+
+        A corrupt current file is quarantined and the previous level's
+        rotated snapshot is served instead; if that is also missing or
+        corrupt, the result is None — "start fresh", never an exception.
+        """
+        self.fell_back = False
+        state = self._read_state(self.path)
+        if state is _CORRUPT:
+            self._quarantine(self.path)
+            state = self._read_state(self.previous_path)
+            if state is _CORRUPT:
+                self._quarantine(self.previous_path)
+                state = None
+            elif state is not None:
+                self.fell_back = True
+        return state  # type: ignore[return-value]
+
+    def _read_state(self, path: Path):
+        """Parse one checkpoint file: dict, None (absent), or _CORRUPT."""
         try:
-            text = self.path.read_text()
-        except FileNotFoundError:
+            text = path.read_text()
+        except (FileNotFoundError, OSError):
             return None
         try:
             state = json.loads(text)
-        except json.JSONDecodeError as error:
-            raise CheckpointError(
-                f"checkpoint {self.path} is not valid JSON ({error}); "
-                f"delete it to start fresh"
-            ) from error
-        if not isinstance(state, dict):
-            raise CheckpointError(
-                f"checkpoint {self.path} must hold a JSON object"
-            )
-        return state
+        except json.JSONDecodeError:
+            return _CORRUPT
+        return state if isinstance(state, dict) else _CORRUPT
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a bad file aside (never deleted: it is evidence)."""
+        target = path.with_name(path.name + ".quarantined")
+        try:
+            path.replace(target)
+        except OSError:
+            return
+        self.quarantined.append(target)
 
     def load_matching(self, header: dict[str, Any]) -> dict[str, Any] | None:
         """The state if every ``header`` field matches, else None.
@@ -315,12 +361,24 @@ class CheckpointStore:
         return state, match_chain(stored, chain)
 
     def save(self, state: dict[str, Any]) -> None:
-        """Atomically persist ``state`` (previous snapshot fully replaced)."""
+        """Atomically persist ``state``, rotating the old snapshot aside.
+
+        The outgoing checkpoint becomes ``<name>.prev`` *before* the new
+        one is written, so there is always a one-level-older fallback for
+        :meth:`load` to quarantine-recover into.  A crash between the
+        rotate and the write leaves only ``.prev`` — a resume then redoes
+        exactly one level, which is the degradation contract.
+        """
+        try:
+            self.path.replace(self.previous_path)
+        except OSError:
+            pass  # first save, or rotation impossible — never blocks saving
         atomic_write_json(self.path, state)
         self.saves += 1
 
     def clear(self) -> None:
         self.path.unlink(missing_ok=True)
+        self.previous_path.unlink(missing_ok=True)
 
     def __repr__(self) -> str:
         return f"CheckpointStore({str(self.path)!r}, saves={self.saves})"

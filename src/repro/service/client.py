@@ -1,0 +1,142 @@
+"""A small stdlib client for the anonymization service.
+
+Used by the chaos harness, the service bench workload, and the tests —
+and convenient from a REPL.  One :class:`ServiceClient` talks to one
+server; every call opens a fresh connection (the server closes after
+each response anyway), so a client object stays valid across server
+restarts, which is exactly what the chaos suite needs.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+
+class ServiceUnavailable(ConnectionError):
+    """The server cannot be reached (down, restarting, or refusing)."""
+
+
+class ServiceClient:
+    """Minimal JSON-over-HTTP client bound to one host:port."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    @classmethod
+    def from_server_info(cls, data_dir: str | Path, **kwargs) -> "ServiceClient":
+        """Build a client from the ``server.json`` a running server wrote."""
+        from repro.service.server import SERVER_INFO_FILE
+
+        info = json.loads((Path(data_dir) / SERVER_INFO_FILE).read_text())
+        return cls(info["host"], int(info["port"]), **kwargs)
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        method: str,
+        path: str,
+        document: dict[str, Any] | None = None,
+    ) -> tuple[int, dict[str, Any]]:
+        """One round trip; returns ``(status, parsed JSON body)``."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = json.dumps(document).encode() if document is not None else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            payload = response.read()
+        except (OSError, http.client.HTTPException) as error:
+            raise ServiceUnavailable(
+                f"{self.host}:{self.port} unreachable: {error}"
+            ) from error
+        finally:
+            connection.close()
+        try:
+            parsed = json.loads(payload.decode() or "{}")
+        except json.JSONDecodeError:
+            parsed = {"error": payload.decode(errors="replace")}
+        return response.status, parsed if isinstance(parsed, dict) else {}
+
+    # ------------------------------------------------------------------
+    # routes
+    # ------------------------------------------------------------------
+    def submit(self, spec: dict[str, Any]) -> tuple[int, dict[str, Any]]:
+        return self.request("POST", "/jobs", spec)
+
+    def jobs(self) -> list[dict[str, Any]]:
+        _, document = self.request("GET", "/jobs")
+        return document.get("jobs", [])
+
+    def job(self, job_id: str) -> tuple[int, dict[str, Any]]:
+        return self.request("GET", f"/jobs/{job_id}")
+
+    def result(self, job_id: str) -> tuple[int, dict[str, Any]]:
+        return self.request("GET", f"/jobs/{job_id}/result")
+
+    def cancel(self, job_id: str) -> tuple[int, dict[str, Any]]:
+        return self.request("DELETE", f"/jobs/{job_id}")
+
+    def healthz(self) -> dict[str, Any]:
+        _, document = self.request("GET", "/healthz")
+        return document
+
+    def metrics(self) -> dict[str, Any]:
+        _, document = self.request("GET", "/metrics")
+        return document
+
+    # ------------------------------------------------------------------
+    # polling helpers
+    # ------------------------------------------------------------------
+    def wait_terminal(
+        self,
+        job_id: str,
+        timeout: float,
+        *,
+        poll: float = 0.1,
+        tolerate_downtime: bool = False,
+    ) -> dict[str, Any]:
+        """Poll until the job reaches a terminal state; raises on timeout.
+
+        ``tolerate_downtime`` keeps polling through connection failures —
+        the chaos suite kills and restarts the server mid-wait.
+        """
+        deadline = time.monotonic() + timeout
+        last: dict[str, Any] | None = None
+        while time.monotonic() < deadline:
+            try:
+                status, document = self.job(job_id)
+            except ServiceUnavailable:
+                if not tolerate_downtime:
+                    raise
+                time.sleep(poll)
+                continue
+            if status == 200:
+                last = document
+                if document.get("state") in ("succeeded", "failed", "cancelled"):
+                    return document
+            time.sleep(poll)
+        raise TimeoutError(
+            f"job {job_id} not terminal after {timeout}s (last seen: {last})"
+        )
+
+    def wait_reachable(self, timeout: float, *, poll: float = 0.1) -> None:
+        """Block until /healthz answers (server start/restart)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                self.healthz()
+                return
+            except ServiceUnavailable:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(poll)

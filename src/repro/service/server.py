@@ -1,0 +1,313 @@
+"""The asyncio HTTP/JSON front end of the anonymization service.
+
+Deliberately a *thin protocol shim*: no framework, no routing table
+magic — just ``asyncio.start_server``, a small HTTP/1.1 request parser,
+and a handful of routes that translate between JSON documents and the
+synchronous :class:`~repro.service.manager.JobManager` (blocking manager
+calls run in the default executor so the event loop never stalls on a
+lock or a dataset spill).
+
+Routes::
+
+    POST   /jobs            submit a job spec        202 | 400 | 429 | 503
+    GET    /jobs            job summaries            200
+    GET    /jobs/{id}       full job record          200 | 404
+    GET    /jobs/{id}/result terminal result payload 200 | 404 | 409
+    DELETE /jobs/{id}       cancel                   200 | 404 | 409
+    GET    /healthz         liveness + job counts    200
+    GET    /metrics         service counters/metrics 200
+
+Admission refusals map to explicit status codes — ``429`` for
+``queue_full`` / ``tenant_budget``, ``503`` for ``draining`` — with the
+machine-readable reason in the body, per the bounded-overload contract.
+
+On start the server writes ``server.json`` (pid, host, bound port)
+atomically into the data directory: with ``port=0`` the OS picks the
+port, and the chaos harness needs both the port to talk to and the pid
+to SIGKILL.  SIGTERM/SIGINT trigger the graceful path: stop accepting,
+then :meth:`JobManager.drain` checkpoints running jobs and compacts the
+store before the process exits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+from pathlib import Path
+from typing import Any
+
+from repro.resilience.atomicio import atomic_write_json
+from repro.service.jobs import AdmissionError, JobSpec, JobValidationError
+from repro.service.manager import JobManager
+
+#: Hard limits on request framing (one job spec is small by design).
+MAX_HEADER_BYTES = 16_384
+MAX_BODY_BYTES = 8_000_000
+
+#: File the running server describes itself in (pid, host, port).
+SERVER_INFO_FILE = "server.json"
+
+_REASON_STATUS = {"queue_full": 429, "tenant_budget": 429, "draining": 503}
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _HttpError(Exception):
+    """Routes raise this to short-circuit into an error response."""
+
+    def __init__(self, status: int, document: dict[str, Any]) -> None:
+        super().__init__(document.get("error", ""))
+        self.status = status
+        self.document = document
+
+
+class ServiceServer:
+    """One listening server bound to one :class:`JobManager`."""
+
+    def __init__(
+        self,
+        manager: JobManager,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.manager = manager
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind, record the bound address in ``server.json``."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+        atomic_write_json(
+            self.manager.data_dir / SERVER_INFO_FILE,
+            {"pid": os.getpid(), "host": self.host, "port": self.port},
+        )
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.manager.counters.incr("service.requests")
+        try:
+            method, path, body = await self._read_request(reader)
+            status, document = await self._route(method, path, body)
+        except _HttpError as error:
+            status, document = error.status, error.document
+        except (asyncio.IncompleteReadError, ConnectionError, TimeoutError):
+            writer.close()
+            return
+        except Exception as error:  # noqa: BLE001 - one request, not the server
+            self.manager.counters.incr("service.request_errors")
+            status, document = 500, {"error": f"{type(error).__name__}: {error}"}
+        if status >= 400:
+            self.manager.counters.incr("service.request_errors")
+        payload = json.dumps(document).encode()
+        writer.write(
+            (
+                f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n"
+            ).encode()
+            + payload
+        )
+        try:
+            await writer.drain()
+        except ConnectionError:
+            pass
+        writer.close()
+
+    @staticmethod
+    async def _read_request(
+        reader: asyncio.StreamReader,
+    ) -> tuple[str, str, bytes]:
+        header_blob = await reader.readuntil(b"\r\n\r\n")
+        if len(header_blob) > MAX_HEADER_BYTES:
+            raise _HttpError(413, {"error": "headers too large"})
+        head, *header_lines = header_blob.decode("latin-1").split("\r\n")
+        parts = head.split()
+        if len(parts) != 3:
+            raise _HttpError(400, {"error": f"malformed request line {head!r}"})
+        method, path, _version = parts
+        content_length = 0
+        for line in header_lines:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise _HttpError(400, {"error": "bad Content-Length"})
+        if content_length > MAX_BODY_BYTES:
+            raise _HttpError(413, {"error": "body too large"})
+        body = (
+            await reader.readexactly(content_length) if content_length else b""
+        )
+        return method.upper(), path, body
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def _route(
+        self, method: str, path: str, body: bytes
+    ) -> tuple[int, dict[str, Any]]:
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz" and method == "GET":
+            return 200, self.manager.health_document()
+        if path == "/metrics" and method == "GET":
+            return 200, self.manager.metrics_document()
+        if path == "/jobs":
+            if method == "GET":
+                return 200, {"jobs": self.manager.list_jobs()}
+            if method == "POST":
+                return await self._submit(body)
+            raise _HttpError(405, {"error": f"{method} not allowed on /jobs"})
+        if path.startswith("/jobs/"):
+            return await self._job_route(method, path)
+        raise _HttpError(404, {"error": f"no route for {path!r}"})
+
+    async def _submit(self, body: bytes) -> tuple[int, dict[str, Any]]:
+        try:
+            document = json.loads(body.decode() or "null")
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise _HttpError(400, {"error": f"body is not JSON: {error}"})
+        if not isinstance(document, dict):
+            raise _HttpError(400, {"error": "job spec must be a JSON object"})
+        try:
+            spec = JobSpec.from_json(document)
+        except (JobValidationError, TypeError) as error:
+            raise _HttpError(400, {"error": str(error)})
+        loop = asyncio.get_running_loop()
+        try:
+            record = await loop.run_in_executor(
+                None, self.manager.submit, spec
+            )
+        except AdmissionError as error:
+            raise _HttpError(
+                _REASON_STATUS.get(error.reason, 429),
+                {"error": error.detail, "reason": error.reason},
+            )
+        except (JobValidationError, ValueError) as error:
+            raise _HttpError(400, {"error": str(error)})
+        return 202, {"id": record.id, "state": record.state}
+
+    async def _job_route(
+        self, method: str, path: str
+    ) -> tuple[int, dict[str, Any]]:
+        pieces = path.split("/")  # ["", "jobs", id, ...rest]
+        job_id = pieces[2]
+        rest = pieces[3:]
+        record = self.manager.get(job_id)
+        if record is None:
+            raise _HttpError(404, {"error": f"no job {job_id!r}"})
+        if not rest:
+            if method == "GET":
+                return 200, record.to_json()
+            if method == "DELETE":
+                if record.terminal:
+                    raise _HttpError(
+                        409,
+                        {"error": f"job {job_id} is already {record.state}"},
+                    )
+                loop = asyncio.get_running_loop()
+                cancelled = await loop.run_in_executor(
+                    None, self.manager.cancel, job_id
+                )
+                return 200, cancelled.to_json() if cancelled else {}
+            raise _HttpError(405, {"error": f"{method} not allowed"})
+        if rest == ["result"] and method == "GET":
+            if not record.terminal:
+                raise _HttpError(
+                    409, {"error": f"job {job_id} is still {record.state}"}
+                )
+            result = self.manager.result(job_id)
+            if result is None:
+                return 200, {
+                    "status": record.state,
+                    "cause": record.cause,
+                }
+            return 200, result
+        raise _HttpError(404, {"error": f"no route for {path!r}"})
+
+
+async def serve_async(server: ServiceServer) -> None:
+    """Run until SIGTERM/SIGINT, then stop accepting and drain."""
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except NotImplementedError:  # non-unix event loops
+            pass
+    await server.start()
+    await stop.wait()
+    await server.stop()
+    await loop.run_in_executor(None, server.manager.drain)
+
+
+def run_server(
+    data_dir: str | Path,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_running: int = 2,
+    max_queue: int = 16,
+    tenant_budget: int = 4,
+    heartbeat_timeout: float | None = None,
+    max_attempts: int = 3,
+    fault_spec: str | None = None,
+) -> None:
+    """Blocking entry point behind ``repro serve``.
+
+    Builds the manager (recovering any persisted jobs), binds, serves
+    until a termination signal, then drains gracefully.
+    """
+    from repro.resilience.faults import FaultPlan
+    from repro.service.manager import DEFAULT_HEARTBEAT_TIMEOUT
+
+    manager = JobManager(
+        data_dir,
+        max_running=max_running,
+        max_queue=max_queue,
+        tenant_budget=tenant_budget,
+        heartbeat_timeout=(
+            heartbeat_timeout
+            if heartbeat_timeout is not None
+            else DEFAULT_HEARTBEAT_TIMEOUT
+        ),
+        max_attempts=max_attempts,
+        fault_plan=FaultPlan.from_spec(fault_spec) if fault_spec else None,
+    )
+    manager.start()
+    try:
+        asyncio.run(serve_async(ServiceServer(manager, host, port)))
+    finally:
+        manager.drain()  # idempotent; covers non-signal exits

@@ -1,0 +1,202 @@
+"""Crash-safe persistence of the job table: snapshot + fsync'd WAL.
+
+Two files under the service data directory:
+
+``jobs.snapshot.json``
+    The compacted job table, written atomically
+    (:func:`repro.resilience.atomicio.atomic_write_json`) — a reader sees
+    a complete old snapshot or a complete new one, never a torn file.
+``jobs.wal``
+    An append-only JSON-lines log of full job records, one line per
+    state transition, each appended with ``flush`` + ``fsync`` *before*
+    the transition takes effect in memory.  Write-ahead in the strict
+    sense: if the server process dies at any instant, the on-disk log is
+    never behind what the server believed.
+
+Replay is last-write-wins by job id (every line carries the whole
+record), so recovery is ``snapshot ∪ wal`` with later sequence numbers
+winning.  Torn tails are expected — a crash mid-append leaves a partial
+final line, which replay drops silently (the transition it described
+never finished happening).  A corrupt line *before* the tail means real
+damage; it is counted and skipped rather than aborting recovery, because
+a service that refuses to start over one bad record converts one lost
+job into a lost store.
+
+Compaction (startup and graceful shutdown) folds the WAL into a fresh
+snapshot and truncates the log, bounding replay work by the live job
+count instead of the server's lifetime transition count.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO, Any
+
+from repro.resilience.atomicio import atomic_write_json
+
+#: Schema version of both the snapshot document and WAL lines.
+WAL_FORMAT = 1
+
+#: Compact at startup whenever the WAL holds at least this many lines.
+COMPACT_THRESHOLD = 256
+
+
+class JobStoreReplay:
+    """Outcome of loading the store: records plus damage accounting."""
+
+    def __init__(self) -> None:
+        self.records: dict[str, dict[str, Any]] = {}
+        self.max_seq: int = 0
+        self.wal_lines: int = 0
+        #: Corrupt non-tail lines skipped during replay (real damage).
+        self.corrupt_lines: int = 0
+        #: True when the final line was partial (normal crash artifact).
+        self.torn_tail: bool = False
+
+    def apply(self, record: dict[str, Any]) -> None:
+        self.records[str(record["id"])] = record
+        self.max_seq = max(self.max_seq, int(record.get("seq", 0)))
+
+
+class JobStore:
+    """The service's write-ahead job persistence (one directory)."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.snapshot_path = self.directory / "jobs.snapshot.json"
+        self.wal_path = self.directory / "jobs.wal"
+        self._wal_handle: IO[str] | None = None
+        #: Lifetime appends through this store instance.
+        self.appended = 0
+
+    # ------------------------------------------------------------------
+    # load / replay
+    # ------------------------------------------------------------------
+    def load(self) -> JobStoreReplay:
+        """Rebuild the job table: snapshot first, then WAL replay."""
+        replay = JobStoreReplay()
+        snapshot = self._read_snapshot()
+        for record in snapshot:
+            replay.apply(record)
+        self._replay_wal(replay)
+        return replay
+
+    def _read_snapshot(self) -> list[dict[str, Any]]:
+        try:
+            text = self.snapshot_path.read_text()
+        except FileNotFoundError:
+            return []
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError:
+            # The snapshot is written atomically; a torn one cannot exist
+            # by construction.  A corrupt one is external damage — treat
+            # it as absent (the WAL still holds every live transition
+            # since the last compaction).
+            return []
+        if not isinstance(document, dict):
+            return []
+        jobs = document.get("jobs")
+        return [job for job in jobs if isinstance(job, dict)] if isinstance(
+            jobs, list
+        ) else []
+
+    def _replay_wal(self, replay: JobStoreReplay) -> None:
+        try:
+            raw = self.wal_path.read_bytes()
+        except FileNotFoundError:
+            return
+        if not raw:
+            return
+        lines = raw.split(b"\n")
+        # A file ending in "\n" splits with one trailing empty piece; a
+        # torn tail is a non-empty final piece with no newline after it.
+        tail_complete = raw.endswith(b"\n")
+        if lines and lines[-1] == b"":
+            lines.pop()
+        for index, line in enumerate(lines):
+            replay.wal_lines += 1
+            last = index == len(lines) - 1
+            try:
+                entry = json.loads(line)
+                if not isinstance(entry, dict) or "job" not in entry:
+                    raise ValueError("not a WAL entry")
+                replay.apply(entry["job"])
+            except (ValueError, KeyError, TypeError):
+                if last and not tail_complete:
+                    replay.torn_tail = True
+                else:
+                    replay.corrupt_lines += 1
+
+    # ------------------------------------------------------------------
+    # append / compact
+    # ------------------------------------------------------------------
+    def _handle(self) -> IO[str]:
+        if self._wal_handle is None or self._wal_handle.closed:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            # Append-only by design: the WAL's durability comes from the
+            # per-record fsync below, not from atomic replacement — a log
+            # is the one file the atomic-write primitive cannot model.
+            self._wal_handle = open(self.wal_path, "a", encoding="utf-8")
+        return self._wal_handle
+
+    def append(self, record: dict[str, Any]) -> None:
+        """Durably log one full job record *before* acting on it.
+
+        The line is flushed and fsync'd before this returns — the
+        write-ahead contract.  ``sort_keys`` keeps lines diffable; the
+        compact separators keep the log small.
+        """
+        handle = self._handle()
+        handle.write(
+            json.dumps(
+                {"format": WAL_FORMAT, "job": record},
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+            + "\n"
+        )
+        handle.flush()
+        os.fsync(handle.fileno())
+        self.appended += 1
+
+    def compact(self, records: dict[str, dict[str, Any]], max_seq: int) -> None:
+        """Fold the live table into the snapshot and truncate the WAL.
+
+        Ordering is what makes this crash-safe: the snapshot (holding
+        everything the WAL held) lands atomically *first*; only then is
+        the log truncated.  A crash between the two replays the old WAL
+        over the new snapshot — records are full and last-write-wins, so
+        the double-apply is harmless.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        snapshot = {
+            "format": WAL_FORMAT,
+            "max_seq": max_seq,
+            "jobs": [records[key] for key in sorted(records)],
+        }
+        atomic_write_json(self.snapshot_path, snapshot)
+        self.close()
+        with open(self.wal_path, "w", encoding="utf-8") as handle:
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def wal_line_count(self) -> int:
+        try:
+            with open(self.wal_path, "rb") as handle:
+                return sum(1 for _ in handle)
+        except FileNotFoundError:
+            return 0
+
+    def close(self) -> None:
+        handle, self._wal_handle = self._wal_handle, None
+        if handle is not None and not handle.closed:
+            handle.close()
+
+    def __enter__(self) -> "JobStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

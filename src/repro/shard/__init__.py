@@ -11,9 +11,13 @@ into row shards, compute per-shard frequency sets, and merge them exactly
   zero-copy views instead of receiving a pickled table each;
 * :func:`plan_shards` — the contiguous row-range plan a lattice node's
   scan fans out over, with the exact merge provided by
-  :func:`repro.core.outofcore.merge_partials`.
+  :func:`repro.core.outofcore.merge_partials`;
+* :mod:`repro.shard.manifest` — an on-disk manifest of live segments so
+  a SIGKILLed owner's leaked segments can be swept at the next startup
+  (:func:`sweep_orphans`, surfaced as ``repro gc-shm``).
 """
 
+from repro.shard.manifest import SweepReport, manifest_dir, sweep_orphans
 from repro.shard.shm import (
     DEFAULT_SHARD_ROWS,
     SharedColumnSpec,
@@ -28,6 +32,9 @@ __all__ = [
     "SharedColumnSpec",
     "SharedProblemHandle",
     "SharedTableStore",
+    "SweepReport",
     "attach_problem",
+    "manifest_dir",
     "plan_shards",
+    "sweep_orphans",
 ]

@@ -1,0 +1,192 @@
+"""On-disk manifest of live shared-memory segments, and the orphan reaper.
+
+``multiprocessing.shared_memory`` segments outlive their creator: if the
+owning process is SIGKILLed (the chaos suite does exactly this to job
+runners and to the server itself), ``SharedTableStore.close`` never runs
+and the segments leak in ``/dev/shm`` until reboot.  The stdlib resource
+tracker does not help — SIGKILL kills it along with the owner.
+
+The fix is bookkeeping the owner cannot skip: every
+:class:`~repro.shard.shm.SharedTableStore` registers its segment names in
+a small per-store JSON file under :func:`manifest_dir` as it allocates
+them, and removes the file when it closes cleanly.  A manifest file whose
+recorded ``pid`` is no longer alive is therefore *proof* of a leak, and
+:func:`sweep_orphans` — run at service startup and via ``repro gc-shm`` —
+attaches and unlinks every segment it names, then deletes the file.
+
+Manifest writes are advisory: a failure to record (read-only temp dir,
+disk full) must never break the allocation itself, so the hooks in
+:mod:`repro.shard.shm` swallow ``OSError`` — a missed manifest means a
+possible leak, which is the status quo ante, not a new failure mode.
+
+This module is imported by worker-reachable code, so it stays inside the
+RA001 determinism contract: no wall clock, no OS entropy — manifest file
+names derive from the owner's pid and a process-local counter.
+"""
+
+from __future__ import annotations
+
+import errno
+import itertools
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from pathlib import Path
+
+#: Schema version of manifest files.
+MANIFEST_FORMAT = 1
+
+#: Environment override for the manifest directory (tests, containers).
+MANIFEST_DIR_ENV = "REPRO_SHM_MANIFEST_DIR"
+
+#: Process-local store counter: distinguishes manifests written by the
+#: same pid (one per live SharedTableStore).
+_STORE_IDS = itertools.count(1)
+
+
+def manifest_dir() -> Path:
+    """Where manifests live: ``$REPRO_SHM_MANIFEST_DIR`` or a tmpdir."""
+    override = os.environ.get(MANIFEST_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path(tempfile.gettempdir()) / "repro-shm-manifest"
+
+
+def next_store_token() -> str:
+    """A per-process-unique token naming one store's manifest file."""
+    return f"{os.getpid()}-{next(_STORE_IDS)}"
+
+
+def manifest_path(token: str) -> Path:
+    return manifest_dir() / f"{token}.json"
+
+
+def record_segments(token: str, segments: list[str]) -> Path:
+    """Write (or rewrite) one store's manifest naming its live segments.
+
+    The write is atomic (temp file + rename) so the sweeper never reads a
+    torn manifest; the caller is responsible for tolerating ``OSError``.
+    """
+    path = manifest_path(token)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    document = {
+        "format": MANIFEST_FORMAT,
+        "pid": os.getpid(),
+        "segments": list(segments),
+    }
+    temporary = path.with_suffix(".json.tmp")
+    temporary.write_text(json.dumps(document, sort_keys=True))
+    os.replace(temporary, path)
+    return path
+
+
+def remove_manifest(token: str) -> None:
+    """Delete one store's manifest (clean close); missing is fine."""
+    manifest_path(token).unlink(missing_ok=True)
+
+
+@dataclass(frozen=True)
+class ManifestEntry:
+    """One parsed manifest file: who owned which segments."""
+
+    path: Path
+    pid: int
+    segments: tuple[str, ...]
+
+
+def read_entries(directory: Path | None = None) -> list[ManifestEntry]:
+    """Every parseable manifest in ``directory`` (unreadable ones skipped)."""
+    directory = directory if directory is not None else manifest_dir()
+    entries: list[ManifestEntry] = []
+    try:
+        paths = sorted(directory.glob("*.json"))
+    except OSError:
+        return []
+    for path in paths:
+        try:
+            document = json.loads(path.read_text())
+            entries.append(
+                ManifestEntry(
+                    path=path,
+                    pid=int(document["pid"]),
+                    segments=tuple(
+                        str(name) for name in document["segments"]
+                    ),
+                )
+            )
+        except (OSError, ValueError, KeyError, TypeError):
+            continue  # torn or foreign file; the sweep leaves it alone
+    return entries
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether ``pid`` is a live process we can see.
+
+    ``kill(pid, 0)`` probes without signalling; ``EPERM`` means the
+    process exists but belongs to someone else — alive either way.
+    """
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except OSError as error:
+        return error.errno == errno.EPERM
+    return True
+
+
+@dataclass
+class SweepReport:
+    """What one orphan sweep did (rendered by ``repro gc-shm``)."""
+
+    manifests_seen: int = 0
+    manifests_live: int = 0
+    manifests_removed: int = 0
+    segments_unlinked: int = 0
+    segments_already_gone: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "manifests_seen": self.manifests_seen,
+            "manifests_live": self.manifests_live,
+            "manifests_removed": self.manifests_removed,
+            "segments_unlinked": self.segments_unlinked,
+            "segments_already_gone": self.segments_already_gone,
+        }
+
+
+def sweep_orphans(directory: Path | None = None) -> SweepReport:
+    """Unlink every segment whose recorded owner is dead; report counts.
+
+    Live owners' manifests are untouched.  Unlinking is idempotent — a
+    segment already gone (the resource tracker got there first, or a
+    previous sweep was interrupted) just counts as such.
+    """
+    report = SweepReport()
+    for entry in read_entries(directory):
+        report.manifests_seen += 1
+        if pid_alive(entry.pid):
+            report.manifests_live += 1
+            continue
+        for name in entry.segments:
+            try:
+                segment = shared_memory.SharedMemory(name=name)
+            except FileNotFoundError:
+                report.segments_already_gone += 1
+                continue
+            except OSError:
+                report.segments_already_gone += 1
+                continue
+            try:
+                segment.close()
+                segment.unlink()
+                report.segments_unlinked += 1
+            except FileNotFoundError:
+                report.segments_already_gone += 1
+        try:
+            entry.path.unlink(missing_ok=True)
+            report.manifests_removed += 1
+        except OSError:
+            pass
+    return report

@@ -47,6 +47,7 @@ from repro.hierarchy.base import CompiledHierarchy, Hierarchy
 from repro.relational.column import CODE_DTYPE, Column
 from repro.relational.schema import Schema
 from repro.relational.table import Table
+from repro.shard import manifest
 
 #: Default rows per shard: big enough that per-shard fan-out overhead is
 #: noise, small enough that a shard's generalized codes stay cache-friendly
@@ -147,6 +148,18 @@ class SharedTableStore:
         ] = []
         self._handle: SharedProblemHandle | None = None
         self._closed = False
+        #: Names this store's leak manifest (see repro.shard.manifest).
+        self._manifest_token = manifest.next_store_token()
+
+    def _record_manifest(self) -> None:
+        """Best-effort leak bookkeeping; never allowed to break allocation."""
+        try:
+            manifest.record_segments(
+                self._manifest_token,
+                [segment.name for _, segment, _ in self._columns],
+            )
+        except OSError:
+            pass
 
     # ------------------------------------------------------------------
     # construction
@@ -183,6 +196,7 @@ class SharedTableStore:
         segment = shared_memory.SharedMemory(create=True, size=nbytes)
         codes = np.ndarray((num_rows,), dtype=CODE_DTYPE, buffer=segment.buf)
         self._columns.append((name, segment, codes))
+        self._record_manifest()
         return codes
 
     def seal(
@@ -296,3 +310,7 @@ class SharedTableStore:
                 segment.unlink()
             except FileNotFoundError:
                 pass
+        try:
+            manifest.remove_manifest(self._manifest_token)
+        except OSError:
+            pass

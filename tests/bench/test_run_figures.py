@@ -53,9 +53,25 @@ class TestQuickJsonExport:
             run["x_value"] for run in runs if run["figure"] == "fig10"
         }
         assert x_values == set(run_figures.QUICK_QI_SIZES)
-        # quick mode also carries the shard and incremental workloads
+        # quick mode also carries the shard/incremental/service workloads
         figures = {run["figure"] for run in runs}
-        assert {"fig10", "shard", "incremental"} <= figures
+        assert {"fig10", "shard", "incremental", "service"} <= figures
+
+    def test_service_workload_exports_throughput_and_p99(self, quick_output):
+        document, _ = quick_output
+        service = [
+            run for run in document["runs"] if run["figure"] == "service"
+        ]
+        assert {run["algorithm"] for run in service} == {
+            "Service (1 runner)",
+            "Service (2 runners)",
+        }
+        for run in service:
+            assert run["solutions"] == run_figures.QUICK_SERVICE_JOBS
+            assert run["raw_counters"]["service.jobs_per_second"] > 0
+            latency = run["metrics"]["latency.job_total_seconds"]
+            assert latency["count"] == run_figures.QUICK_SERVICE_JOBS
+            assert latency["p99"] >= latency["p50"] > 0
 
     def test_counters_match_fresh_search_stats_exactly(self, quick_output):
         """Basic vs Cube scan/rollup numbers in the JSON must equal the

@@ -18,7 +18,6 @@ from repro.core.binary_search import samarati_binary_search
 from repro.core.bottomup import bottom_up_search
 from repro.core.incognito import basic_incognito
 from repro.resilience import (
-    CheckpointError,
     CheckpointStore,
     FaultPlan,
     frequency_set_from_json,
@@ -75,14 +74,52 @@ class TestStore:
         store.save({"a": 2})
         assert store.load() == {"a": 2}
 
-    def test_corrupt_file_is_an_error_not_garbage(self, tmp_path):
+    def test_corrupt_file_is_quarantined_not_fatal(self, tmp_path):
+        """Truncated/corrupt checkpoints must never crash a resume.
+
+        The bad file is moved aside with a ``.quarantined`` suffix (kept
+        as evidence, never silently deleted) and, with no previous
+        snapshot to fall back to, the load reports "start fresh".
+        """
         path = tmp_path / "state.json"
         path.write_text("{not json")
-        with pytest.raises(CheckpointError, match="not valid JSON"):
-            CheckpointStore(path).load()
+        store = CheckpointStore(path)
+        assert store.load() is None
+        assert not path.exists()
+        assert [p.name for p in store.quarantined] == [
+            "state.json.quarantined"
+        ]
+        # Non-object JSON is equally untrustworthy.
         path.write_text("[1, 2]")
-        with pytest.raises(CheckpointError, match="JSON object"):
-            CheckpointStore(path).load()
+        assert CheckpointStore(path).load() is None
+
+    def test_corrupt_file_falls_back_to_previous_level(self, tmp_path):
+        """Save rotates the old snapshot aside; load recovers into it."""
+        store = CheckpointStore(tmp_path / "state.json")
+        store.save({"level": 1})
+        store.save({"level": 2})
+        assert store.previous_path.exists()
+        # Truncate the current file the way power loss mid-replace on a
+        # non-atomic filesystem would.
+        store.path.write_text('{"level": 2')
+        recovered = CheckpointStore(store.path)
+        assert recovered.load() == {"level": 1}
+        assert recovered.fell_back
+        assert len(recovered.quarantined) == 1
+        # Both current and previous corrupt: start fresh, both aside.
+        both = CheckpointStore(tmp_path / "state.json")
+        both.path.write_text("garbage")
+        both.previous_path.write_text("also garbage")
+        assert both.load() is None
+        assert len(both.quarantined) == 2
+
+    def test_clear_removes_rotated_previous_too(self, tmp_path):
+        store = CheckpointStore(tmp_path / "state.json")
+        store.save({"level": 1})
+        store.save({"level": 2})
+        store.clear()
+        assert not store.path.exists()
+        assert not store.previous_path.exists()
 
     def test_load_matching_rejects_header_drift(self, tmp_path):
         store = CheckpointStore(tmp_path / "state.json")

@@ -184,6 +184,91 @@ class TestProcessPoolLadder:
         assert final_mode in ("threads", "serial")
 
 
+class TestShardLadder:
+    """Fault matrix for the ``shards`` rung (shards → threads → serial).
+
+    PR 6 added shard-mode execution to the degradation ladder but only
+    the processes rung had a dedicated fault-matrix test; these mirror
+    it: every shard-mode run under injected faults must stay
+    bit-identical to the serial no-fault baseline, and constant failure
+    must demote down the ladder rather than wedge or error out.
+    """
+
+    #: Tiny shards so even the test fixture fans out over several ranges.
+    SHARD = dict(shard_rows=4)
+
+    def test_acceptance_plan_on_shards(self):
+        problem = tiny_numeric_problem()
+        requests = all_requests(problem)
+        plan = FaultPlan(crash_rate=0.2, timeout_rate=0.1, seed=7)
+        config = ExecutionConfig(
+            mode="shards",
+            workers=2,
+            faults=plan,
+            chunk_timeout=0.25,
+            backoff_base=0.001,
+            backoff_cap=0.01,
+            **self.SHARD,
+        )
+        counters, _ = assert_matches_baseline(
+            problem, requests, config, rounds=5
+        )
+        injected = sum(
+            value
+            for key, value in counters.as_dict().items()
+            if key.startswith("fault.injected.")
+        )
+        assert injected > 0
+
+    def test_constant_crashes_walk_shards_down_the_ladder(self):
+        """Every shard task crashes: demote to threads, then serial."""
+        problem = tiny_numeric_problem()
+        requests = all_requests(problem)
+        plan = FaultPlan(crash_rate=1.0, seed=6)
+        config = ExecutionConfig(
+            mode="shards",
+            workers=2,
+            max_retries=2,
+            faults=plan,
+            **FAST,
+            **self.SHARD,
+        )
+        counters, final_mode = assert_matches_baseline(
+            problem, requests, config
+        )
+        assert counters.get("fault.demotions", 0) >= 1
+        assert final_mode in ("threads", "serial")
+
+    def test_poison_on_shards_reaches_serial_fallback(self):
+        problem = tiny_numeric_problem()
+        requests = all_requests(problem)
+        plan = FaultPlan(poison_rate=1.0, seed=5)
+        config = ExecutionConfig(
+            mode="shards",
+            workers=2,
+            max_retries=1,
+            faults=plan,
+            **FAST,
+            **self.SHARD,
+        )
+        counters, _ = assert_matches_baseline(problem, requests, config)
+        assert counters.get("fault.poisoned", 0) >= 1
+        assert counters.get("retry.serial_fallbacks", 0) >= 1
+
+    def test_shard_timeouts_retry_transparently(self):
+        problem = tiny_numeric_problem()
+        requests = all_requests(problem)
+        plan = FaultPlan(timeout_rate=0.4, seed=9, hold_seconds=0.3)
+        config = ExecutionConfig(
+            mode="shards", workers=2, faults=plan, **FAST, **self.SHARD
+        )
+        counters, _ = assert_matches_baseline(
+            problem, requests, config, rounds=3
+        )
+        assert counters.get("fault.injected.timeout", 0) >= 1
+        assert counters.get("retry.attempts", 0) >= 1
+
+
 class TestShutdownSafety:
     class _BrokenExecutor:
         def shutdown(self, wait=True, cancel_futures=False):

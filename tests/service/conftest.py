@@ -1,0 +1,75 @@
+"""Shared fixtures for the service suite.
+
+The service moves job specs through JSON, subprocesses, and CSV spills,
+so the shared dataset here is deliberately *string-typed*: a CSV round
+trip preserves strings exactly, which keeps the bit-identity contract
+honest end to end (``RoundingHierarchy`` and ``SuppressionHierarchy``
+both operate on strings natively).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.relational.csvio import write_csv
+from repro.relational.table import Table
+from repro.service.connectors import (
+    register_memory_dataset,
+    unregister_memory_dataset,
+)
+
+#: Hierarchy specs (``repro.hierarchy.spec`` format) for the shared table.
+HIERARCHY_SPECS = {
+    "age": {"type": "rounding", "digits": 2},
+    "sex": {"type": "suppression"},
+}
+
+#: QI order used throughout the suite.
+QI = ["age", "sex"]
+
+
+def small_table() -> Table:
+    """Twelve rows, two QI columns, all strings (CSV-stable)."""
+    return Table.from_columns(
+        {
+            "age": [
+                "21", "22", "23", "24", "31", "32",
+                "33", "34", "41", "42", "43", "44",
+            ],
+            "sex": ["M", "F"] * 6,
+            "disease": [
+                "flu", "flu", "cold", "cold", "flu", "ulcer",
+                "flu", "cold", "ulcer", "flu", "cold", "flu",
+            ],
+        }
+    )
+
+
+def write_dataset_csv(directory: Path) -> str:
+    """Write the shared table as CSV; return its ``csv:`` reference."""
+    path = directory / "dataset.csv"
+    write_csv(small_table(), path)
+    return f"csv:{path}"
+
+
+def job_payload(dataset: str, **overrides) -> dict:
+    """A valid job document for the shared dataset."""
+    payload = {
+        "dataset": dataset,
+        "k": 2,
+        "algorithm": "basic",
+        "qi": QI,
+        "hierarchies": HIERARCHY_SPECS,
+    }
+    payload.update(overrides)
+    return payload
+
+
+@pytest.fixture
+def memory_dataset():
+    """Register the shared table under ``memory:svc-fixture``."""
+    register_memory_dataset("svc-fixture", small_table())
+    yield "memory:svc-fixture"
+    unregister_memory_dataset("svc-fixture")

@@ -1,0 +1,128 @@
+"""Write-ahead job store: replay, torn tails, corruption, compaction."""
+
+from __future__ import annotations
+
+import json
+
+from repro.service.jobs import JobRecord, JobSpec
+from repro.service.wal import JobStore
+
+
+def record_json(seq: int, state: str = "queued") -> dict:
+    return JobRecord(
+        id=f"j{seq:08d}",
+        seq=seq,
+        spec=JobSpec(dataset="builtin:adults", k=2),
+        state=state,
+    ).to_json()
+
+
+class TestAppendReplay:
+    def test_roundtrip_and_last_write_wins(self, tmp_path):
+        with JobStore(tmp_path) as store:
+            store.append(record_json(1, "queued"))
+            store.append(record_json(2, "queued"))
+            store.append(record_json(1, "succeeded"))
+        replay = JobStore(tmp_path).load()
+        assert replay.max_seq == 2
+        assert replay.records["j00000001"]["state"] == "succeeded"
+        assert replay.records["j00000002"]["state"] == "queued"
+        assert replay.wal_lines == 3
+        assert replay.corrupt_lines == 0 and not replay.torn_tail
+
+    def test_empty_directory_loads_empty(self, tmp_path):
+        replay = JobStore(tmp_path / "fresh").load()
+        assert replay.records == {} and replay.max_seq == 0
+
+    def test_fsync_leaves_no_buffered_tail(self, tmp_path):
+        # Every append is immediately visible to an independent reader —
+        # the write-ahead property observed from outside the process.
+        store = JobStore(tmp_path)
+        store.append(record_json(1))
+        assert JobStore(tmp_path).load().records  # no close, no flush call
+        store.close()
+
+
+class TestDamageTolerance:
+    def test_torn_tail_is_dropped_silently(self, tmp_path):
+        with JobStore(tmp_path) as store:
+            store.append(record_json(1))
+            store.append(record_json(2))
+        with open(tmp_path / "jobs.wal", "a", encoding="utf-8") as handle:
+            handle.write('{"format":1,"job":{"id":"j000000')  # no newline
+        replay = JobStore(tmp_path).load()
+        assert replay.torn_tail
+        assert replay.corrupt_lines == 0
+        assert set(replay.records) == {"j00000001", "j00000002"}
+
+    def test_corrupt_mid_file_line_is_counted(self, tmp_path):
+        with JobStore(tmp_path) as store:
+            store.append(record_json(1))
+        with open(tmp_path / "jobs.wal", "a", encoding="utf-8") as handle:
+            handle.write("%%% not json %%%\n")
+        with JobStore(tmp_path) as store:
+            store.append(record_json(2))
+        replay = JobStore(tmp_path).load()
+        assert replay.corrupt_lines == 1
+        assert not replay.torn_tail
+        assert set(replay.records) == {"j00000001", "j00000002"}
+
+    def test_non_entry_json_line_is_corrupt(self, tmp_path):
+        with open_wal(tmp_path) as handle:
+            handle.write('{"format":1}\n[1,2,3]\n')
+        replay = JobStore(tmp_path).load()
+        assert replay.corrupt_lines == 2
+
+    def test_corrupt_snapshot_treated_as_absent(self, tmp_path):
+        with JobStore(tmp_path) as store:
+            store.append(record_json(1))
+            store.compact(store.load().records, 1)
+            store.append(record_json(2))
+        (tmp_path / "jobs.snapshot.json").write_text("{torn")
+        replay = JobStore(tmp_path).load()
+        # Snapshot gone, but the WAL still replays what came after it.
+        assert set(replay.records) == {"j00000002"}
+
+
+def open_wal(directory):
+    directory.mkdir(parents=True, exist_ok=True)
+    return open(directory / "jobs.wal", "a", encoding="utf-8")
+
+
+class TestCompaction:
+    def test_compact_folds_wal_into_snapshot(self, tmp_path):
+        with JobStore(tmp_path) as store:
+            for seq in range(1, 6):
+                store.append(record_json(seq))
+            replay = store.load()
+            store.compact(replay.records, replay.max_seq)
+        store = JobStore(tmp_path)
+        assert store.wal_line_count() == 0
+        replay = store.load()
+        assert len(replay.records) == 5 and replay.max_seq == 5
+        snapshot = json.loads((tmp_path / "jobs.snapshot.json").read_text())
+        assert snapshot["max_seq"] == 5
+
+    def test_append_after_compact_works(self, tmp_path):
+        with JobStore(tmp_path) as store:
+            store.append(record_json(1))
+            replay = store.load()
+            store.compact(replay.records, replay.max_seq)
+            store.append(record_json(2))
+        replay = JobStore(tmp_path).load()
+        assert set(replay.records) == {"j00000001", "j00000002"}
+
+    def test_crash_between_snapshot_and_truncate_is_harmless(self, tmp_path):
+        """Snapshot lands first; replaying the stale WAL over it is a
+        no-op because records are full and last-write-wins."""
+        with JobStore(tmp_path) as store:
+            store.append(record_json(1, "queued"))
+            store.append(record_json(1, "succeeded"))
+            replay = store.load()
+            stale_wal = (tmp_path / "jobs.wal").read_bytes()
+            store.compact(replay.records, replay.max_seq)
+        # Simulate dying after the snapshot write but before truncation.
+        (tmp_path / "jobs.wal").write_bytes(stale_wal)
+        replay = JobStore(tmp_path).load()
+        assert replay.records["j00000001"]["state"] == "succeeded"
+        assert len(replay.records) == 1
