@@ -19,7 +19,20 @@ RA004     checkpoint/bench/export writes must route through
           :mod:`repro.resilience.atomicio`
 RA005     argparse flags in the CLI surface must appear in README or
           DESIGN
+RA006     the static lock-acquisition graph (service/parallel/obs) must
+          be acyclic and no lock may be held across a blocking call
+RA007     coroutines in the asyncio server must not reach blocking
+          calls (sleep, sync IO, subprocess waits, un-timed acquire)
+RA008     SharedMemory/heartbeat/tempfile acquisitions must reach
+          cleanup on every exception path
+RA009     atomic publishes must order write → fsync → rename; a rename
+          not dominated by fsync is a zero-fill crash window
 ========  ============================================================
+
+RA006-RA009 share the interprocedural call graph in
+:mod:`repro.analysis.callgraph`; the static lock graph is additionally
+cross-checked at test time by the runtime recorder in
+:mod:`repro.analysis.runtime` (DESIGN.md §13).
 
 Run it::
 

@@ -19,13 +19,21 @@ from repro.analysis.rules import all_rules, rules_by_id
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Project-specific invariant linter (rules RA001-RA005)",
+        description="Project-specific invariant linter (rules RA001-RA009)",
     )
     parser.add_argument(
         "paths",
         nargs="*",
         default=["src"],
         help="files or directories to analyse (default: src)",
+    )
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="path prefix to skip (repeatable); lets the gate cover "
+        "tests/ without linting the deliberately-broken rule fixtures",
     )
     parser.add_argument(
         "--strict",
@@ -74,6 +82,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error(str(error))
 
     project = Project.load(args.paths)
+    if args.exclude:
+        prefixes = tuple(prefix.rstrip("/") for prefix in args.exclude)
+        project = Project(
+            [
+                unit
+                for unit in project.units
+                if not str(unit.path).startswith(prefixes)
+            ]
+        )
     if not project.units:
         print(f"no Python files under {args.paths}", file=sys.stderr)
         return 2

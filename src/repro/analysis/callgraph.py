@@ -1,0 +1,503 @@
+"""Interprocedural call graph and blocking-call detection.
+
+The concurrency rules (RA006-RA009) need one thing the per-module AST
+walks of RA001-RA005 cannot give them: *reachability through calls*.  A
+lock held in ``JobManager._tick`` is dangerous not because of what
+``_tick`` does directly but because of what ``_enforce_watchdogs`` →
+``_kill`` → ``process.join(...)`` does three frames down; a coroutine in
+the asyncio server is unsafe because of file IO two synchronous calls
+away.  This module builds that bridge over the existing
+:class:`~repro.analysis.core.Project` layer.
+
+Resolution is deliberately *typed and conservative* — an edge exists only
+when the target is provable from the source text:
+
+* ``name(...)`` where ``name`` is defined in, or imported into, the
+  calling module;
+* ``self.method(...)`` inside a class body;
+* ``alias.func(...)`` through a module-object import alias;
+* ``self.attr.method(...)`` where ``self.attr`` was assigned in a method
+  of the class from an annotated parameter or a direct construction of a
+  project class (``self.store = JobStore(...)``).
+
+Anything dynamic resolves to nothing rather than to a guess: a missed
+edge costs recall, a fabricated edge costs a false finding, and for a
+lint gate the second is the expensive one.  ``loop.run_in_executor(None,
+fn, ...)`` is the one special form: the target is recorded as an
+*executor edge*, excluded from ordinary traversal, because the callable
+runs on a worker thread — it is exactly the sanctioned way to do blocking
+work from a coroutine.
+
+The blocking-call scanner lives here too (shared by RA006 and RA007):
+a syntactic classifier for calls that park the calling thread —
+subprocess waits, ``.join``/``.wait``, queue gets, socket reads,
+``time.sleep`` — with an opt-in wider profile (sync file IO, lock
+acquisition) for the async-safety rule, where *any* of it stalls the
+event loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.core import ModuleUnit, Project
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method definition indexed by the call graph."""
+
+    qualname: str  #: ``module.func`` or ``module.Class.method``
+    unit: ModuleUnit
+    node: FunctionNode
+    class_qual: str | None  #: ``module.Class`` for methods, else None
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.node, ast.AsyncFunctionDef)
+
+
+def _symbol_imports(unit: ModuleUnit, project: Project) -> dict[str, str]:
+    """Local name → dotted target for ``from x import y`` style imports.
+
+    Unlike :meth:`Project.import_aliases` (module objects only) this also
+    resolves imported *functions and classes* — ``from repro.service.wal
+    import JobStore`` binds ``JobStore`` → ``repro.service.wal.JobStore``.
+    """
+    symbols: dict[str, str] = {}
+    for node in ast.walk(unit.tree):
+        if isinstance(node, ast.ImportFrom):
+            base = project._import_from_base(unit, node)
+            if base is None:
+                continue
+            for alias in node.names:
+                symbols[alias.asname or alias.name] = f"{base}.{alias.name}"
+    return symbols
+
+
+class CallGraph:
+    """Function index + resolvable call edges over one project."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        #: qualname → definition.
+        self.functions: dict[str, FunctionInfo] = {}
+        #: ``module.Class`` → class definition unit (for attr typing).
+        self._classes: dict[str, tuple[ModuleUnit, ast.ClassDef]] = {}
+        #: ``module.Class.attr`` → ``module.Class`` (inferred object type).
+        self.attr_types: dict[str, str] = {}
+        #: caller qualname → callee qualnames (ordinary call edges).
+        self.edges: dict[str, set[str]] = {}
+        #: caller qualname → callables dispatched via ``run_in_executor``.
+        self.executor_edges: dict[str, set[str]] = {}
+        #: call-site lines: (caller, callee) → first line in the caller.
+        self.call_lines: dict[tuple[str, str], int] = {}
+        self._symbols_cache: dict[str, dict[str, str]] = {}
+        self._aliases_cache: dict[str, dict[str, str]] = {}
+        self._index()
+        self._infer_attr_types()
+        for info in self.functions.values():
+            self._resolve_edges(info)
+
+    def _symbols_for(self, unit: ModuleUnit) -> dict[str, str]:
+        cached = self._symbols_cache.get(unit.module)
+        if cached is None:
+            cached = _symbol_imports(unit, self.project)
+            self._symbols_cache[unit.module] = cached
+        return cached
+
+    def _aliases_for(self, unit: ModuleUnit) -> dict[str, str]:
+        cached = self._aliases_cache.get(unit.module)
+        if cached is None:
+            cached = self.project.import_aliases(unit)
+            self._aliases_cache[unit.module] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # indexing
+    # ------------------------------------------------------------------
+    def _index(self) -> None:
+        for unit in self.project.units:
+            for stmt in unit.tree.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self._add(unit, stmt, None)
+                elif isinstance(stmt, ast.ClassDef):
+                    class_qual = f"{unit.module}.{stmt.name}"
+                    self._classes[class_qual] = (unit, stmt)
+                    for member in stmt.body:
+                        if isinstance(
+                            member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                        ):
+                            self._add(unit, member, class_qual)
+
+    def _add(
+        self, unit: ModuleUnit, node: FunctionNode, class_qual: str | None
+    ) -> None:
+        owner = class_qual if class_qual is not None else unit.module
+        info = FunctionInfo(f"{owner}.{node.name}", unit, node, class_qual)
+        self.functions[info.qualname] = info
+
+    def _infer_attr_types(self) -> None:
+        """Type ``self.attr`` from annotated-parameter or constructor
+        assignments in any method of the class."""
+        for class_qual, (unit, _) in self._classes.items():
+            symbols = self._symbols_for(unit)
+            for info in self.functions.values():
+                if info.class_qual != class_qual:
+                    continue
+                annotations = {
+                    arg.arg: arg.annotation
+                    for arg in (
+                        info.node.args.args + info.node.args.kwonlyargs
+                    )
+                    if arg.annotation is not None
+                }
+                for stmt in ast.walk(info.node):
+                    if not (
+                        isinstance(stmt, ast.Assign)
+                        and len(stmt.targets) == 1
+                    ):
+                        continue
+                    target = stmt.targets[0]
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    inferred = self._value_class(
+                        unit, symbols, stmt.value, annotations
+                    )
+                    if inferred is not None:
+                        self.attr_types[f"{class_qual}.{target.attr}"] = (
+                            inferred
+                        )
+
+    def _value_class(
+        self,
+        unit: ModuleUnit,
+        symbols: dict[str, str],
+        value: ast.expr,
+        annotations: dict[str, ast.expr | None],
+    ) -> str | None:
+        # ``self.x = param`` where ``param: SomeProjectClass``.
+        if isinstance(value, ast.Name) and value.id in annotations:
+            annotation = annotations[value.id]
+            if isinstance(annotation, ast.Name):
+                return self._class_named(unit, symbols, annotation.id)
+            return None
+        # ``self.x = SomeProjectClass(...)``.
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+            return self._class_named(unit, symbols, value.func.id)
+        return None
+
+    def _class_named(
+        self, unit: ModuleUnit, symbols: dict[str, str], name: str
+    ) -> str | None:
+        local = f"{unit.module}.{name}"
+        if local in self._classes:
+            return local
+        dotted = symbols.get(name)
+        if dotted is not None and dotted in self._classes:
+            return dotted
+        return None
+
+    # ------------------------------------------------------------------
+    # edge resolution
+    # ------------------------------------------------------------------
+    def _resolve_edges(self, info: FunctionInfo) -> None:
+        for call in ast.walk(info.node):
+            if not isinstance(call, ast.Call):
+                continue
+            if self._is_run_in_executor(call):
+                target = self._resolve_ref(info, call.args[1])
+                if target is not None:
+                    self.executor_edges.setdefault(info.qualname, set()).add(
+                        target
+                    )
+                continue
+            target = self.resolve_call(info, call)
+            if target is not None:
+                self.edges.setdefault(info.qualname, set()).add(target)
+                self.call_lines.setdefault(
+                    (info.qualname, target), call.lineno
+                )
+
+    def resolve_call(self, info: FunctionInfo, call: ast.Call) -> str | None:
+        """The indexed qualname one call site dispatches to, if provable.
+
+        ``run_in_executor`` dispatch resolves to ``None`` here — its
+        target is an executor edge, not a same-thread call.
+        """
+        if self._is_run_in_executor(call):
+            return None
+        return self._resolve_ref(info, call.func)
+
+    @staticmethod
+    def _is_run_in_executor(call: ast.Call) -> bool:
+        return (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "run_in_executor"
+            and len(call.args) >= 2
+        )
+
+    def _resolve_ref(self, info: FunctionInfo, ref: ast.expr) -> str | None:
+        """A function reference expression → indexed qualname, or None."""
+        unit = info.unit
+        symbols = self._symbols_for(unit)
+        module_aliases = self._aliases_for(unit)
+        if isinstance(ref, ast.Name):
+            local = f"{unit.module}.{ref.id}"
+            if local in self.functions:
+                return local
+            if local in self._classes:
+                init = f"{local}.__init__"
+                return init if init in self.functions else None
+            dotted = symbols.get(ref.id)
+            if dotted is not None:
+                if dotted in self.functions:
+                    return dotted
+                if dotted in self._classes:
+                    init = f"{dotted}.__init__"
+                    return init if init in self.functions else None
+            return None
+        if not isinstance(ref, ast.Attribute):
+            return None
+        value = ref.value
+        # self.method(...)
+        if (
+            isinstance(value, ast.Name)
+            and value.id == "self"
+            and info.class_qual is not None
+        ):
+            qual = f"{info.class_qual}.{ref.attr}"
+            if qual in self.functions:
+                return qual
+            # self.attr where attr is a typed object: fall through below.
+            typed = self.attr_types.get(f"{info.class_qual}.{ref.attr}")
+            if typed is not None:
+                return None  # a bare object reference, not a call target
+            return None
+        # alias.func(...) through a module-object import.
+        if isinstance(value, ast.Name):
+            module = module_aliases.get(value.id)
+            if module is not None:
+                qual = f"{module}.{ref.attr}"
+                if qual in self.functions:
+                    return qual
+            # ClassName.classmethod(...) through a symbol import or a
+            # same-module class.
+            class_qual = self._class_named(info.unit, symbols, value.id)
+            if class_qual is not None:
+                qual = f"{class_qual}.{ref.attr}"
+                if qual in self.functions:
+                    return qual
+            return None
+        # self.attr.method(...) where self.attr has an inferred class.
+        if (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id == "self"
+            and info.class_qual is not None
+        ):
+            typed = self.attr_types.get(f"{info.class_qual}.{value.attr}")
+            if typed is not None:
+                qual = f"{typed}.{ref.attr}"
+                if qual in self.functions:
+                    return qual
+        return None
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def reachable(self, seed: str) -> set[str]:
+        """Qualnames reachable from ``seed`` through ordinary edges
+        (executor edges excluded; seed included)."""
+        reached = {seed}
+        frontier = [seed]
+        while frontier:
+            current = frontier.pop()
+            for target in self.edges.get(current, ()):
+                if target not in reached:
+                    reached.add(target)
+                    frontier.append(target)
+        return reached
+
+    def chain(self, start: str, end: str) -> list[str]:
+        """One shortest ``start → ... → end`` call path (for messages)."""
+        if start == end:
+            return [start]
+        parents: dict[str, str] = {}
+        frontier = [start]
+        seen = {start}
+        while frontier:
+            next_frontier: list[str] = []
+            for current in frontier:
+                for target in self.edges.get(current, ()):
+                    if target in seen:
+                        continue
+                    seen.add(target)
+                    parents[target] = current
+                    if target == end:
+                        path = [end]
+                        while path[-1] != start:
+                            path.append(parents[path[-1]])
+                        return list(reversed(path))
+                    next_frontier.append(target)
+            frontier = next_frontier
+        return []
+
+
+# ----------------------------------------------------------------------
+# blocking-call detection
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BlockingCall:
+    """One syntactically-recognised thread-parking call."""
+
+    line: int
+    description: str
+
+
+#: ``subprocess.<fn>`` entry points that wait on a child.
+_SUBPROCESS_WAITS = {"run", "call", "check_call", "check_output"}
+
+#: Socket operations that park the calling thread.
+_SOCKET_OPS = {"recv", "recv_into", "accept", "sendall"}
+
+#: Path/file read-write methods counted as sync file IO (wide profile).
+_FILE_IO_METHODS = {
+    "read_text",
+    "read_bytes",
+    "write_text",
+    "write_bytes",
+}
+
+
+def _is_numeric(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float)
+    )
+
+
+def _receiver_name(func: ast.Attribute) -> str | None:
+    """Trailing attribute name of the receiver, for heuristics."""
+    value = func.value
+    if isinstance(value, ast.Name):
+        return value.id
+    if isinstance(value, ast.Attribute):
+        return value.attr
+    return None
+
+
+def _awaited_calls(node: ast.AST) -> set[int]:
+    """ids of Call nodes directly under an ``await`` (not blocking)."""
+    awaited: set[int] = set()
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Await) and isinstance(sub.value, ast.Call):
+            awaited.add(id(sub.value))
+    return awaited
+
+
+def blocking_calls(
+    node: ast.AST,
+    *,
+    file_io: bool = False,
+    lock_acquire: bool = False,
+    exclude_receivers: frozenset[str] = frozenset(),
+) -> list[BlockingCall]:
+    """Syntactic blocking calls in ``node``'s body.
+
+    The base profile covers calls that park a thread indefinitely:
+    ``time.sleep``, subprocess waits (``subprocess.run`` et al,
+    ``.communicate``), thread/process ``.join`` (argument shapes that
+    exclude ``str.join``), ``.wait``, queue ``.get`` (receiver named like
+    a queue), and socket reads.  ``file_io=True`` adds ``open()`` and
+    Path read/write methods; ``lock_acquire=True`` adds ``.acquire()``
+    without a timeout and ``with self.<*lock*>:`` acquisitions — the
+    wide profile for code that must never stall an event loop.
+
+    ``exclude_receivers`` drops matches whose receiver attribute is one
+    of the given names (RA006 uses it so ``self._cond.wait()`` under
+    ``with self._cond:`` is not double-reported against its own lock).
+    """
+    found: list[BlockingCall] = []
+    awaited = _awaited_calls(node)
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.With, ast.AsyncWith)) and lock_acquire:
+            for item in sub.items:
+                expr = item.context_expr
+                if (
+                    isinstance(expr, ast.Attribute)
+                    and "lock" in expr.attr.lower()
+                ):
+                    found.append(
+                        BlockingCall(
+                            sub.lineno,
+                            f"acquires {expr.attr!r} (no timeout) via "
+                            "'with'",
+                        )
+                    )
+            continue
+        if not isinstance(sub, ast.Call) or id(sub) in awaited:
+            continue
+        func = sub.func
+        if isinstance(func, ast.Name):
+            if func.id == "sleep":
+                found.append(BlockingCall(sub.lineno, "time.sleep(...)"))
+            elif file_io and func.id == "open":
+                found.append(BlockingCall(sub.lineno, "open(...) file IO"))
+            continue
+        if not isinstance(func, ast.Attribute):
+            continue
+        receiver = _receiver_name(func)
+        if receiver in exclude_receivers:
+            continue
+        attr = func.attr
+        if attr == "sleep" and receiver == "time":
+            found.append(BlockingCall(sub.lineno, "time.sleep(...)"))
+        elif attr in _SUBPROCESS_WAITS and receiver == "subprocess":
+            found.append(
+                BlockingCall(sub.lineno, f"subprocess.{attr}(...)")
+            )
+        elif attr == "communicate":
+            found.append(
+                BlockingCall(sub.lineno, ".communicate() subprocess wait")
+            )
+        elif attr == "join" and _is_process_join(sub):
+            found.append(
+                BlockingCall(sub.lineno, ".join(...) process/thread wait")
+            )
+        elif attr == "wait":
+            found.append(BlockingCall(sub.lineno, ".wait(...)"))
+        elif attr == "get" and receiver and "queue" in receiver.lower():
+            found.append(BlockingCall(sub.lineno, "queue .get(...)"))
+        elif attr in _SOCKET_OPS:
+            found.append(BlockingCall(sub.lineno, f"socket .{attr}(...)"))
+        elif file_io and attr == "open":
+            found.append(BlockingCall(sub.lineno, ".open(...) file IO"))
+        elif file_io and attr in _FILE_IO_METHODS:
+            found.append(BlockingCall(sub.lineno, f".{attr}(...) file IO"))
+        elif (
+            lock_acquire
+            and attr == "acquire"
+            and not any(kw.arg == "timeout" for kw in sub.keywords)
+            and len(sub.args) < 2
+        ):
+            found.append(
+                BlockingCall(sub.lineno, ".acquire() without timeout")
+            )
+    return found
+
+
+def _is_process_join(call: ast.Call) -> bool:
+    """``.join`` shapes that are waits, not ``str.join``: no arguments,
+    a numeric timeout, or a ``timeout=`` keyword."""
+    if any(kw.arg == "timeout" for kw in call.keywords):
+        return True
+    if not call.args and not call.keywords:
+        return True
+    return len(call.args) == 1 and _is_numeric(call.args[0])

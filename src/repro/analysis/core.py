@@ -352,8 +352,14 @@ def run_analysis(
     A justified suppression comment (``# ra: RA003 -- why``) on a
     finding's line marks it suppressed.  A suppression *without* a
     justification does not suppress — the finding stays active with a
-    note, so lint-clean can never be bought with a bare mute.  Unparseable
-    files surface as active ``RA000`` findings.
+    note, so lint-clean can never be bought with a bare mute.  A
+    suppression for a rule that *ran* but produced no finding on its
+    line is stale — the code it once excused has moved or been fixed —
+    and surfaces as an active finding of that rule, so dead mutes cannot
+    accumulate and silently swallow a future regression on that line.
+    (Suppressions for rules not in this run are left alone: their
+    staleness is unknowable.)  Unparseable files surface as active
+    ``RA000`` findings.
     """
     findings: list[Finding] = []
     for unit in project.units:
@@ -361,6 +367,7 @@ def run_analysis(
             findings.append(
                 Finding("RA000", str(unit.path), 1, unit.error)
             )
+    matched: set[tuple[str, int, str]] = set()
     for rule in rules:
         for finding in rule.run(project):
             unit = next(
@@ -370,6 +377,7 @@ def run_analysis(
             if unit is not None:
                 suppression = unit.suppression_for(finding.line, finding.rule)
                 if suppression is not None:
+                    matched.add((finding.path, finding.line, finding.rule))
                     if suppression.justification:
                         finding = replace(
                             finding,
@@ -386,6 +394,24 @@ def run_analysis(
                             + " -- <why>')",
                         )
             findings.append(finding)
+    ran = {rule.rule_id for rule in rules}
+    for unit in project.units:
+        for line, suppressions in unit.suppressions.items():
+            for suppression in suppressions:
+                if suppression.rule_id not in ran:
+                    continue
+                if (str(unit.path), line, suppression.rule_id) in matched:
+                    continue
+                findings.append(
+                    Finding(
+                        suppression.rule_id,
+                        str(unit.path),
+                        line,
+                        f"stale suppression: {suppression.rule_id} ran "
+                        "but produced no finding on this line; remove "
+                        "the comment",
+                    )
+                )
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings
 

@@ -8,17 +8,25 @@ full set in rule-ID order, and :func:`rules_by_id` selects a subset for
 from __future__ import annotations
 
 from repro.analysis.core import Rule
+from repro.analysis.rules.async_safety import AsyncSafetyRule
 from repro.analysis.rules.atomic_io import AtomicIORule
+from repro.analysis.rules.atomic_protocol import AtomicProtocolRule
 from repro.analysis.rules.cli_docs import CliDocRule
 from repro.analysis.rules.counter_names import CounterRegistryRule
 from repro.analysis.rules.determinism import DeterminismRule
+from repro.analysis.rules.lock_order import LockOrderRule
+from repro.analysis.rules.resource_lifecycle import ResourceLifecycleRule
 from repro.analysis.rules.shared_state import SharedStateRule
 
 __all__ = [
+    "AsyncSafetyRule",
     "AtomicIORule",
+    "AtomicProtocolRule",
     "CliDocRule",
     "CounterRegistryRule",
     "DeterminismRule",
+    "LockOrderRule",
+    "ResourceLifecycleRule",
     "SharedStateRule",
     "all_rules",
     "rules_by_id",
@@ -30,6 +38,10 @@ _RULE_CLASSES = (
     SharedStateRule,
     AtomicIORule,
     CliDocRule,
+    LockOrderRule,
+    AsyncSafetyRule,
+    ResourceLifecycleRule,
+    AtomicProtocolRule,
 )
 
 

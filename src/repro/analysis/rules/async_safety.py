@@ -1,0 +1,114 @@
+"""RA007 — no blocking calls reachable from event-loop coroutines.
+
+The service front end (:mod:`repro.service.server`) is a single-threaded
+asyncio loop.  One synchronous stall — a file write, ``time.sleep``, a
+``subprocess.run``, or a lock ``.acquire()`` contending with the
+scheduler thread — freezes *every* connected client for the duration,
+including health checks, which is how a busy manager turns into a
+flapping deployment.
+
+The rule scans every coroutine in scope with the *wide* blocking
+profile (base thread-parking calls plus sync file IO plus un-timed lock
+acquisition), then follows each provably-resolved call into synchronous
+callees through the interprocedural call graph and applies the same
+profile there, reporting the call site in the coroutine with the chain
+to the offending line.  ``await``-ed expressions and
+``loop.run_in_executor(...)`` dispatch are exempt by construction — the
+executor is exactly the sanctioned escape hatch, and routing manager
+calls through it is the expected fix.
+
+Scope: ``repro.service.server``; all modules when absent (fixtures).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import CallGraph, blocking_calls
+from repro.analysis.core import Finding, ModuleUnit, Project, Rule
+
+#: The event-loop module family.
+SCOPE_PREFIXES = ("repro.service.server",)
+
+
+def _short(qual: str) -> str:
+    return ".".join(qual.split(".")[-2:])
+
+
+class AsyncSafetyRule(Rule):
+    rule_id = "RA007"
+    title = "coroutines must not reach blocking calls"
+    rationale = (
+        "one synchronous stall inside the asyncio server freezes every "
+        "client and health probe at once; blocking work belongs behind "
+        "run_in_executor, never on the event loop"
+    )
+
+    def __init__(self, prefixes: tuple[str, ...] = SCOPE_PREFIXES) -> None:
+        self.prefixes = prefixes
+
+    def _in_scope(self, project: Project) -> list[ModuleUnit]:
+        scoped = [
+            unit
+            for unit in project.units
+            if unit.module.startswith(self.prefixes)
+        ]
+        return scoped if scoped else list(project.units)
+
+    def run(self, project: Project) -> list[Finding]:
+        units = {id(unit) for unit in self._in_scope(project)}
+        graph = CallGraph(project)
+        findings: list[Finding] = []
+        seen: set[tuple[str, int, str]] = set()
+
+        def add(unit: ModuleUnit, line: int, message: str) -> None:
+            key = (str(unit.path), line, message)
+            if key not in seen:
+                seen.add(key)
+                findings.append(self.finding(unit, line, message))
+
+        for info in graph.functions.values():
+            if not info.is_async or id(info.unit) not in units:
+                continue
+            # Direct blocking in the coroutine body (await-ed calls are
+            # excluded by the scanner).
+            for block in blocking_calls(
+                info.node, file_io=True, lock_acquire=True
+            ):
+                add(
+                    info.unit,
+                    block.line,
+                    f"coroutine {_short(info.qualname)} performs "
+                    f"{block.description} on the event loop",
+                )
+            # Blocking reachable through provable synchronous callees.
+            for call in ast.walk(info.node):
+                if not isinstance(call, ast.Call):
+                    continue
+                target = graph.resolve_call(info, call)
+                if target is None:
+                    continue
+                target_info = graph.functions.get(target)
+                if target_info is None or target_info.is_async:
+                    continue
+                for reached in sorted(graph.reachable(target)):
+                    reached_info = graph.functions.get(reached)
+                    if reached_info is None or reached_info.is_async:
+                        continue
+                    blocks = blocking_calls(
+                        reached_info.node, file_io=True, lock_acquire=True
+                    )
+                    if not blocks:
+                        continue
+                    route = " -> ".join(
+                        _short(qual) for qual in graph.chain(target, reached)
+                    )
+                    add(
+                        info.unit,
+                        call.lineno,
+                        f"coroutine {_short(info.qualname)} reaches "
+                        f"{blocks[0].description} via {route} (line "
+                        f"{blocks[0].line}); route it through "
+                        "run_in_executor",
+                    )
+        return findings

@@ -1,0 +1,173 @@
+"""RA009 — atomic-publish protocol: every rename dominated by fsync.
+
+The crash-safety story (DESIGN.md §7/§12) hinges on one three-beat
+protocol: write the new bytes to a sidecar, ``os.fsync`` them to the
+platter, *then* rename over the destination.  Skip the fsync and the
+rename can hit disk before the data does — after a power cut the reader
+finds a complete-looking file full of zeros, which is strictly worse
+than the torn write the protocol exists to prevent.
+
+The rule replays each function's IO statements in line order as an
+abstract protocol machine: opening a path for writing (``open(p, "w")``,
+``p.open("w")``, ``p.write_text`` / ``p.write_bytes``) marks that path
+expression *dirty*; ``os.fsync(...)`` clears the dirty set (the fd↔path
+association is not tracked — any fsync in between is accepted, which
+errs toward silence, never toward a false alarm); a rename
+(``os.replace`` / ``os.rename``, or single-argument ``p.replace`` /
+``p.rename``) whose *source* is still dirty is a finding.  Paths are
+compared by source text, so the tmp-file idiom (one local name used for
+write and rename) matches exactly; renames of files written elsewhere
+resolve to nothing and stay silent.
+
+Control flow is deliberately ignored — the protocol is a straight-line
+contract inside one function, and every implementation in this codebase
+(``atomicio``, WAL compaction, checkpoint rotation) is written that way.
+
+Scope: ``repro.service.wal``, ``repro.resilience``,
+``repro.shard.manifest``; all modules when absent (fixtures).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.core import Finding, ModuleUnit, Project, Rule
+
+SCOPE_PREFIXES = (
+    "repro.service.wal",
+    "repro.resilience",
+    "repro.shard.manifest",
+)
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+_WRITE_METHODS = {"write_text", "write_bytes"}
+_RENAME_ATTRS = {"replace", "rename"}
+
+
+@dataclass(frozen=True)
+class _Event:
+    line: int
+    kind: str  #: ``write`` | ``fsync`` | ``rename``
+    key: str | None  #: source-text of the path expression
+
+
+def _write_mode(call: ast.Call, mode_position: int) -> str | None:
+    mode: ast.expr | None = None
+    if len(call.args) > mode_position:
+        mode = call.args[mode_position]
+    for keyword in call.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if (
+        isinstance(mode, ast.Constant)
+        and isinstance(mode.value, str)
+        and any(flag in mode.value for flag in ("w", "a", "x", "+"))
+    ):
+        return mode.value
+    return None
+
+
+def _own_calls(function: ast.AST) -> list[ast.Call]:
+    calls: list[ast.Call] = []
+    stack: list[ast.AST] = list(ast.iter_child_nodes(function))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (*_FUNCTION_NODES, ast.ClassDef)):
+            continue
+        if isinstance(node, ast.Call):
+            calls.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return calls
+
+
+def _receiver(func: ast.Attribute) -> str | None:
+    if isinstance(func.value, ast.Name):
+        return func.value.id
+    return None
+
+
+def _classify(call: ast.Call) -> _Event | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id == "open" and call.args:
+            if _write_mode(call, mode_position=1) is not None:
+                return _Event(call.lineno, "write", ast.unparse(call.args[0]))
+        if func.id == "fsync":
+            return _Event(call.lineno, "fsync", None)
+        return None
+    if not isinstance(func, ast.Attribute):
+        return None
+    attr = func.attr
+    if attr == "fsync":
+        return _Event(call.lineno, "fsync", None)
+    if attr == "open" and _write_mode(call, mode_position=0) is not None:
+        return _Event(call.lineno, "write", ast.unparse(func.value))
+    if attr in _WRITE_METHODS:
+        return _Event(call.lineno, "write", ast.unparse(func.value))
+    if attr in _RENAME_ATTRS and _receiver(func) == "os" and call.args:
+        return _Event(call.lineno, "rename", ast.unparse(call.args[0]))
+    if (
+        attr in _RENAME_ATTRS
+        and _receiver(func) != "os"
+        and len(call.args) == 1
+        and not call.keywords
+    ):
+        # ``p.replace(target)`` / ``p.rename(target)`` — exactly one
+        # argument, which excludes ``str.replace(old, new)``.
+        return _Event(call.lineno, "rename", ast.unparse(func.value))
+    return None
+
+
+class AtomicProtocolRule(Rule):
+    rule_id = "RA009"
+    title = "renames must be dominated by an fsync of the written data"
+    rationale = (
+        "rename-before-fsync publishes a file whose bytes may not have "
+        "hit disk; after a crash the reader sees a complete-looking "
+        "zero-filled file, defeating the atomic-publish protocol the "
+        "durability story depends on"
+    )
+
+    def __init__(self, prefixes: tuple[str, ...] = SCOPE_PREFIXES) -> None:
+        self.prefixes = prefixes
+
+    def _in_scope(self, project: Project) -> list[ModuleUnit]:
+        scoped = [
+            unit
+            for unit in project.units
+            if unit.module.startswith(self.prefixes)
+        ]
+        return scoped if scoped else list(project.units)
+
+    def run(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        for unit in self._in_scope(project):
+            for node in ast.walk(unit.tree):
+                if not isinstance(node, _FUNCTION_NODES):
+                    continue
+                events = sorted(
+                    filter(
+                        None, (_classify(call) for call in _own_calls(node))
+                    ),
+                    key=lambda event: event.line,
+                )
+                dirty: set[str] = set()
+                for event in events:
+                    if event.kind == "write" and event.key is not None:
+                        dirty.add(event.key)
+                    elif event.kind == "fsync":
+                        dirty.clear()
+                    elif event.kind == "rename" and event.key in dirty:
+                        findings.append(
+                            self.finding(
+                                unit,
+                                event.line,
+                                f"{event.key} is renamed into place "
+                                "without an fsync after writing it; a "
+                                "crash can publish a file whose data "
+                                "never reached disk",
+                            )
+                        )
+        return findings

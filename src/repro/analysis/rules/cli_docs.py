@@ -11,7 +11,13 @@ The rule extracts every ``add_argument("--flag", ...)`` literal from the
 in-scope modules and requires the flag to appear — as a standalone token,
 so ``--out`` is not satisfied by ``--output`` — in the project's
 ``README.md`` or ``DESIGN.md`` (located at the nearest ancestor of the
-analysed files holding a ``pyproject.toml``).
+analysed files holding a ``pyproject.toml``).  Subcommands registered
+via ``add_parser("name", ...)`` are held to a stronger bar: the docs
+must contain a ``repro name`` usage mention, not merely the bare word —
+a subcommand whose only trace is prose (say, "the serve subcommand")
+gives users nothing to copy.  This covers the ``serve`` and ``gc-shm``
+surfaces the service stack added, whose flags are all registered on
+subparsers.
 
 Scope: modules whose dotted name ends in ``cli`` or ``run_figures``;
 when the analysed project contains none (fixtures linted in isolation),
@@ -74,6 +80,19 @@ class CliDocRule(Rule):
                             + " or ".join(DOC_FILES),
                         )
                     )
+            for line, name in self._subcommands(unit):
+                if not re.search(
+                    r"repro[ `]+" + re.escape(name) + r"(?![\w-])", docs
+                ):
+                    findings.append(
+                        self.finding(
+                            unit,
+                            line,
+                            f"CLI subcommand {name!r} has no "
+                            f"'repro {name}' usage mention in "
+                            + " or ".join(DOC_FILES),
+                        )
+                    )
         return findings
 
     @staticmethod
@@ -94,3 +113,20 @@ class CliDocRule(Rule):
                 ):
                     flags.append((node.lineno, arg.value))
         return flags
+
+    @staticmethod
+    def _subcommands(unit: ModuleUnit) -> list[tuple[int, str]]:
+        """Every ``add_parser("name", ...)`` registration in the unit."""
+        names: list[tuple[int, str]] = []
+        for node in ast.walk(unit.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_parser"
+                and node.args
+            ):
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                names.append((node.lineno, first.value))
+        return names

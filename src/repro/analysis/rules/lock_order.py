@@ -1,0 +1,386 @@
+"""RA006 — static lock-order and lock-hold analysis.
+
+The service stack is one scheduler thread, one asyncio shim, and N job
+subprocesses coordinating through a handful of ``threading`` locks.  Two
+statically-checkable ways that goes wrong:
+
+* **ordering cycles** — thread A holds lock X and wants Y while thread B
+  holds Y and wants X: a deadlock that no test reliably reproduces.  The
+  rule extracts every cross-lock nesting (``with self._a: ... with
+  self._b:`` — directly or through any provable call chain) into a
+  lock-acquisition graph and reports cycles.  A self-edge on a
+  non-reentrant ``Lock`` (reacquired while held) is the one-lock special
+  case of the same bug; reentrant ``RLock`` self-edges are legal.
+* **a lock held across a blocking call** — a ``.join``/``.wait`` on a
+  subprocess, a queue ``get``, socket IO, or ``time.sleep`` inside a
+  ``with self._lock:`` body stalls every other thread that needs the
+  lock for as long as the wait takes (the manager's API calls all take
+  the same lock the scheduler holds).  Reachability runs through the
+  interprocedural call graph, so the join three calls down from the
+  ``with`` body is still found.
+
+File IO and ``os.fsync`` are deliberately *not* in the blocking set:
+the write-ahead contract (DESIGN.md §12) commits the WAL line under the
+manager lock on purpose — bounded-latency IO under a lock is a design
+decision, unbounded waits are a bug.
+
+Scope: ``repro.service.manager``, ``repro.parallel``, ``repro.obs``
+(the lock-owning layers); all modules when none of those are present
+(fixtures linted standalone).
+
+:func:`analyze_lock_order` exposes the lock table and acquisition-order
+edges so the *runtime* lock-order recorder
+(:mod:`repro.analysis.runtime`) can cross-check observed acquisition
+orders against this static graph — see DESIGN.md §13.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    blocking_calls,
+)
+from repro.analysis.core import Finding, ModuleUnit, Project, Rule
+
+#: Module families that own thread coordination.
+SCOPE_PREFIXES = ("repro.service.manager", "repro.parallel", "repro.obs")
+
+#: ``threading`` factory names that create a lock-like object.
+LOCK_FACTORIES = ("Lock", "RLock", "Condition")
+
+
+@dataclass(frozen=True)
+class LockInfo:
+    """One discovered lock: identity, kind, and creation site."""
+
+    qual: str  #: ``module.Class.attr``
+    attr: str  #: the ``self.<attr>`` name
+    kind: str  #: ``Lock`` | ``RLock`` | ``Condition``
+    path: str
+    line: int  #: line of the factory call (== runtime creation site)
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    """``held`` acquired first, ``acquired`` taken while holding it."""
+
+    held: str
+    acquired: str
+    path: str
+    line: int
+
+
+@dataclass
+class LockAnalysis:
+    """The static lock graph plus hold-across-blocking violations."""
+
+    locks: dict[str, LockInfo] = field(default_factory=dict)
+    edges: list[LockEdge] = field(default_factory=list)
+    #: (unit, line, message) for blocking calls under a held lock.
+    held_blocking: list[tuple[ModuleUnit, int, str]] = field(
+        default_factory=list
+    )
+
+    def edge_pairs(self) -> set[tuple[str, str]]:
+        return {(edge.held, edge.acquired) for edge in self.edges}
+
+
+def _scoped_units(
+    project: Project, prefixes: tuple[str, ...]
+) -> list[ModuleUnit]:
+    scoped = [
+        unit for unit in project.units if unit.module.startswith(prefixes)
+    ]
+    return scoped if scoped else list(project.units)
+
+
+def _lock_factory_kind(unit_symbols: dict[str, str], call: ast.Call) -> str | None:
+    """``Lock`` / ``RLock`` / ``Condition`` when the call is a
+    ``threading`` lock factory, else None."""
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "threading"
+        and func.attr in LOCK_FACTORIES
+    ):
+        return func.attr
+    if isinstance(func, ast.Name) and func.id in LOCK_FACTORIES:
+        if unit_symbols.get(func.id) == f"threading.{func.id}":
+            return func.id
+    return None
+
+
+def _unit_symbols(unit: ModuleUnit) -> dict[str, str]:
+    symbols: dict[str, str] = {}
+    for node in ast.walk(unit.tree):
+        if isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+            for alias in node.names:
+                symbols[alias.asname or alias.name] = (
+                    f"{node.module}.{alias.name}"
+                )
+    return symbols
+
+
+def discover_locks(units: list[ModuleUnit]) -> dict[str, LockInfo]:
+    """``self.<attr> = threading.Lock()``-style creations in ``units``."""
+    locks: dict[str, LockInfo] = {}
+    for unit in units:
+        symbols = _unit_symbols(unit)
+        for stmt in unit.tree.body:
+            if not isinstance(stmt, ast.ClassDef):
+                continue
+            class_qual = f"{unit.module}.{stmt.name}"
+            for node in ast.walk(stmt):
+                if not (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.value, ast.Call)
+                ):
+                    continue
+                target = node.targets[0]
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                kind = _lock_factory_kind(symbols, node.value)
+                if kind is None:
+                    continue
+                qual = f"{class_qual}.{target.attr}"
+                locks[qual] = LockInfo(
+                    qual=qual,
+                    attr=target.attr,
+                    kind=kind,
+                    path=str(unit.path),
+                    line=node.value.lineno,
+                )
+    return locks
+
+
+def _lock_for(
+    locks: dict[str, LockInfo], info: FunctionInfo, expr: ast.expr
+) -> LockInfo | None:
+    """The discovered lock a ``with``-item context expression names."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and info.class_qual is not None
+    ):
+        return locks.get(f"{info.class_qual}.{expr.attr}")
+    return None
+
+
+def _direct_acquisitions(
+    locks: dict[str, LockInfo], info: FunctionInfo
+) -> list[tuple[LockInfo, ast.With | ast.AsyncWith]]:
+    found = []
+    for node in ast.walk(info.node):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                lock = _lock_for(locks, info, item.context_expr)
+                if lock is not None:
+                    found.append((lock, node))
+    return found
+
+
+def _short(qual: str) -> str:
+    """``module.Class.attr`` → ``Class.attr`` for messages."""
+    return ".".join(qual.split(".")[-2:])
+
+
+def analyze_lock_order(
+    project: Project, prefixes: tuple[str, ...] = SCOPE_PREFIXES
+) -> LockAnalysis:
+    """Build the static lock graph and the held-across-blocking list.
+
+    Edges come from two shapes: a ``with self._b:`` lexically nested in
+    a ``with self._a:`` body, and a call under ``with self._a:`` whose
+    provable callees (transitively) acquire ``self._b``.  Blocking calls
+    are likewise collected both directly from the held body and from
+    every function reachable through calls made while the lock is held.
+    """
+    units = _scoped_units(project, prefixes)
+    unit_set = {id(unit) for unit in units}
+    analysis = LockAnalysis(locks=discover_locks(units))
+    if not analysis.locks:
+        return analysis
+    graph = CallGraph(project)
+
+    # Per-function direct lock acquisitions, for transitive edges.
+    acquired_in: dict[str, list[LockInfo]] = {}
+    for qualname, info in graph.functions.items():
+        direct = _direct_acquisitions(analysis.locks, info)
+        if direct:
+            acquired_in[qualname] = [lock for lock, _ in direct]
+
+    seen_edges: set[tuple[str, str, str, int]] = set()
+    seen_blocking: set[tuple[str, int, str]] = set()
+
+    def add_edge(held: LockInfo, acquired: LockInfo, path: str, line: int):
+        key = (held.qual, acquired.qual, path, line)
+        if key not in seen_edges:
+            seen_edges.add(key)
+            analysis.edges.append(
+                LockEdge(held.qual, acquired.qual, path, line)
+            )
+
+    def add_blocking(unit: ModuleUnit, line: int, message: str) -> None:
+        key = (str(unit.path), line, message)
+        if key not in seen_blocking:
+            seen_blocking.add(key)
+            analysis.held_blocking.append((unit, line, message))
+
+    for info in graph.functions.values():
+        if id(info.unit) not in unit_set:
+            continue
+        for held, with_node in _direct_acquisitions(analysis.locks, info):
+            path = str(info.unit.path)
+            # (a) lexically nested acquisitions → direct order edges.
+            for nested in ast.walk(with_node):
+                if nested is with_node or not isinstance(
+                    nested, (ast.With, ast.AsyncWith)
+                ):
+                    continue
+                for item in nested.items:
+                    lock = _lock_for(analysis.locks, info, item.context_expr)
+                    if lock is not None:
+                        add_edge(held, lock, path, nested.lineno)
+            # (b) blocking calls directly in the held body.
+            for block in blocking_calls(
+                with_node, exclude_receivers=frozenset({held.attr})
+            ):
+                add_blocking(
+                    info.unit,
+                    block.line,
+                    f"{_short(held.qual)} ({held.kind}) held across "
+                    f"{block.description}",
+                )
+            # (c) calls made while holding the lock: transitive lock
+            # acquisitions and transitive blocking in provable callees.
+            for call in ast.walk(with_node):
+                if not isinstance(call, ast.Call):
+                    continue
+                target = graph.resolve_call(info, call)
+                if target is None:
+                    continue
+                for reached in graph.reachable(target):
+                    for lock in acquired_in.get(reached, ()):
+                        add_edge(held, lock, path, call.lineno)
+                    reached_info = graph.functions.get(reached)
+                    if reached_info is None:
+                        continue
+                    blocks = blocking_calls(reached_info.node)
+                    if blocks:
+                        route = " -> ".join(
+                            _short(q) for q in graph.chain(target, reached)
+                        )
+                        add_blocking(
+                            info.unit,
+                            call.lineno,
+                            f"{_short(held.qual)} ({held.kind}) held "
+                            f"across {blocks[0].description} in {route} "
+                            f"(line {blocks[0].line})",
+                        )
+    return analysis
+
+
+def _cycles(pairs: set[tuple[str, str]]) -> list[list[str]]:
+    """Distinct multi-node cycles in the lock-order graph, each as a
+    closed path ``[a, b, ..., a]`` (self-edges handled separately)."""
+    adjacency: dict[str, set[str]] = {}
+    for held, acquired in pairs:
+        if held != acquired:
+            adjacency.setdefault(held, set()).add(acquired)
+    cycles: list[list[str]] = []
+    reported: set[frozenset[str]] = set()
+    for held, acquired in sorted(pairs):
+        if held == acquired:
+            continue
+        # A cycle through this edge exists iff ``held`` is reachable
+        # back from ``acquired``.
+        parents: dict[str, str] = {}
+        frontier = [acquired]
+        seen = {acquired}
+        found = False
+        while frontier and not found:
+            current = frontier.pop()
+            for nxt in adjacency.get(current, ()):
+                if nxt in seen:
+                    continue
+                parents[nxt] = current
+                if nxt == held:
+                    found = True
+                    break
+                seen.add(nxt)
+                frontier.append(nxt)
+        if not found:
+            continue
+        # Walk parents held → ... → acquired, reverse, close the loop:
+        # the cycle reads held → acquired → ... → held.
+        walk = [held]
+        while walk[-1] != acquired:
+            walk.append(parents[walk[-1]])
+        cycle = [held, *reversed(walk)]
+        key = frozenset(cycle)
+        if key in reported:
+            continue
+        reported.add(key)
+        cycles.append(cycle)
+    return cycles
+
+
+class LockOrderRule(Rule):
+    rule_id = "RA006"
+    title = "lock graph must be acyclic and never held across blocking"
+    rationale = (
+        "a cycle in the static lock-acquisition graph is a latent "
+        "deadlock, and a lock held across a subprocess/queue/socket "
+        "wait stalls every thread contending for it — both survive "
+        "code review far more often than they survive this graph walk"
+    )
+
+    def __init__(self, prefixes: tuple[str, ...] = SCOPE_PREFIXES) -> None:
+        self.prefixes = prefixes
+
+    def run(self, project: Project) -> list[Finding]:
+        analysis = analyze_lock_order(project, self.prefixes)
+        units_by_path = {str(unit.path): unit for unit in project.units}
+        findings: list[Finding] = []
+        for unit, line, message in analysis.held_blocking:
+            findings.append(self.finding(unit, line, message))
+        pairs = analysis.edge_pairs()
+        for edge in analysis.edges:
+            if edge.held != edge.acquired:
+                continue
+            lock = analysis.locks[edge.held]
+            if lock.kind != "Lock":
+                continue  # RLock/Condition reacquisition is reentrant
+            findings.append(
+                self.finding(
+                    units_by_path[edge.path],
+                    edge.line,
+                    f"non-reentrant Lock {_short(lock.qual)} reacquired "
+                    "while already held (self-deadlock)",
+                )
+            )
+        edge_sites = {
+            (edge.held, edge.acquired): edge for edge in analysis.edges
+        }
+        for cycle in _cycles(pairs):
+            edge = edge_sites[(cycle[0], cycle[1])]
+            route = " -> ".join(_short(qual) for qual in cycle)
+            findings.append(
+                self.finding(
+                    units_by_path[edge.path],
+                    edge.line,
+                    f"lock-order cycle (potential deadlock): {route}",
+                )
+            )
+        return findings

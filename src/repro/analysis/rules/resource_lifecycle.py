@@ -1,0 +1,250 @@
+"""RA008 — acquired OS resources must reach cleanup on exception paths.
+
+Named ``multiprocessing.shared_memory`` segments are the one resource in
+this codebase the operating system will *not* reclaim when the process
+dies: a segment attached or created and then leaked by an exception path
+survives in ``/dev/shm`` until someone unlinks it (the PR 6 single-owner
+rule, DESIGN.md §10).  Heartbeat threads and ``delete=False`` tempfiles
+have the same shape — an acquire whose matching release lives on the
+happy path only.
+
+The rule finds acquisitions — ``SharedMemory(...)`` construction,
+``tempfile.mkstemp(...)`` / ``NamedTemporaryFile(delete=False)``, and
+``.start()`` on a heartbeat object — and requires each to be protected
+by a ``try`` *in the same function* whose handlers or ``finally`` run a
+cleanup call (``close`` / ``unlink`` / ``stop`` / ``set`` / ``release``
+/ ``terminate`` / ``kill`` / ``clear``).  Protection means the
+acquisition sits inside the ``try`` body, or in the statement
+immediately before it — anything else leaves a window where an
+exception between acquire and ``try`` entry leaks the resource, which
+is exactly the bug class this rule exists to catch.
+
+The check is intraprocedural on purpose: "this function hands the open
+segment to its caller" is a contract the analysis cannot see, so
+functions that legitimately *return* live resources (e.g. ``allocate``)
+still must guard the window between acquiring and returning.
+
+Scope: ``repro.shard`` and ``repro.service``; all modules when absent.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.analysis.core import Finding, ModuleUnit, Project, Rule
+
+SCOPE_PREFIXES = ("repro.shard", "repro.service")
+
+#: Method names that release one of the tracked resource kinds.
+CLEANUP_ATTRS = {
+    "close",
+    "unlink",
+    "stop",
+    "set",
+    "release",
+    "clear",
+    "terminate",
+    "kill",
+}
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@dataclass(frozen=True)
+class Acquisition:
+    """One resource-acquiring statement inside a function."""
+
+    line: int
+    description: str
+
+
+def _own_statements(node: ast.AST) -> list[ast.stmt]:
+    """Every statement in ``node``'s body, not descending into nested
+    function/class definitions (those are analysed on their own)."""
+    collected: list[ast.stmt] = []
+    stack: list[ast.stmt] = list(getattr(node, "body", []))
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, (*_FUNCTION_NODES, ast.ClassDef)):
+            continue
+        collected.append(stmt)
+        for field in ("body", "orelse", "finalbody"):
+            stack.extend(getattr(stmt, field, []))
+        for handler in getattr(stmt, "handlers", []):
+            stack.extend(handler.body)
+    return collected
+
+
+def _own_blocks(node: ast.AST) -> list[list[ast.stmt]]:
+    """Every statement list in ``node``, again skipping nested defs."""
+    blocks: list[list[ast.stmt]] = [list(getattr(node, "body", []))]
+    for stmt in _own_statements(node):
+        for field in ("body", "orelse", "finalbody"):
+            inner = getattr(stmt, field, None)
+            if inner:
+                blocks.append(list(inner))
+        for handler in getattr(stmt, "handlers", []):
+            blocks.append(list(handler.body))
+    return blocks
+
+
+def _is_shared_memory_call(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id == "SharedMemory"
+    return isinstance(func, ast.Attribute) and func.attr == "SharedMemory"
+
+
+def _is_tempfile_call(call: ast.Call) -> str | None:
+    func = call.func
+    name = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    if name == "mkstemp":
+        return "tempfile.mkstemp(...)"
+    if name == "NamedTemporaryFile":
+        for keyword in call.keywords:
+            if (
+                keyword.arg == "delete"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is False
+            ):
+                return "NamedTemporaryFile(delete=False)"
+    return None
+
+
+def _heartbeat_vars(statements: list[ast.stmt]) -> set[str]:
+    """Variables assigned from a ``*Heartbeat*``-named constructor."""
+    names: set[str] = set()
+    for stmt in statements:
+        if not (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Call)
+            and isinstance(stmt.value.func, ast.Name)
+            and "heartbeat" in stmt.value.func.id.lower()
+        ):
+            continue
+        names.add(stmt.targets[0].id)
+    return names
+
+
+def _own_calls(function: ast.AST) -> list[ast.Call]:
+    """Call nodes in the function, not descending into nested defs."""
+    calls: list[ast.Call] = []
+    stack: list[ast.AST] = list(ast.iter_child_nodes(function))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (*_FUNCTION_NODES, ast.ClassDef)):
+            continue
+        if isinstance(node, ast.Call):
+            calls.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return calls
+
+
+def _acquisitions(function: ast.AST) -> list[Acquisition]:
+    heartbeats = _heartbeat_vars(_own_statements(function))
+    found: list[Acquisition] = []
+    for node in _own_calls(function):
+        if _is_shared_memory_call(node):
+            found.append(Acquisition(node.lineno, "SharedMemory segment"))
+            continue
+        tempfile_kind = _is_tempfile_call(node)
+        if tempfile_kind is not None:
+            found.append(Acquisition(node.lineno, tempfile_kind))
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "start"
+            and isinstance(func.value, ast.Name)
+            and func.value.id in heartbeats
+        ):
+            found.append(
+                Acquisition(
+                    node.lineno, f"heartbeat thread {func.value.id!r}"
+                )
+            )
+    return found
+
+
+def _has_cleanup(try_stmt: ast.Try) -> bool:
+    exception_paths: list[ast.stmt] = list(try_stmt.finalbody)
+    for handler in try_stmt.handlers:
+        exception_paths.extend(handler.body)
+    for stmt in exception_paths:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in CLEANUP_ATTRS
+            ):
+                return True
+    return False
+
+
+def _is_protected(function: ast.AST, line: int) -> bool:
+    """True when a cleanup-bearing ``try`` covers the acquisition: the
+    line is inside the try body, or in the statement immediately before
+    the try in the same block."""
+    for block in _own_blocks(function):
+        for index, stmt in enumerate(block):
+            if not (isinstance(stmt, ast.Try) and _has_cleanup(stmt)):
+                continue
+            end = stmt.end_lineno or stmt.lineno
+            if stmt.lineno <= line <= end:
+                return True
+            if index > 0:
+                previous = block[index - 1]
+                previous_end = previous.end_lineno or previous.lineno
+                if previous.lineno <= line <= previous_end:
+                    return True
+    return False
+
+
+class ResourceLifecycleRule(Rule):
+    rule_id = "RA008"
+    title = "resource acquisitions must reach cleanup on exception paths"
+    rationale = (
+        "a leaked shared-memory segment outlives the process in "
+        "/dev/shm and a leaked heartbeat thread keeps a dead job "
+        "looking alive; every acquire needs a try whose handlers or "
+        "finally release it, with no exception window before the try"
+    )
+
+    def __init__(self, prefixes: tuple[str, ...] = SCOPE_PREFIXES) -> None:
+        self.prefixes = prefixes
+
+    def _in_scope(self, project: Project) -> list[ModuleUnit]:
+        scoped = [
+            unit
+            for unit in project.units
+            if unit.module.startswith(self.prefixes)
+        ]
+        return scoped if scoped else list(project.units)
+
+    def run(self, project: Project) -> list[Finding]:
+        findings: list[Finding] = []
+        for unit in self._in_scope(project):
+            for node in ast.walk(unit.tree):
+                if not isinstance(node, _FUNCTION_NODES):
+                    continue
+                for acquisition in _acquisitions(node):
+                    if _is_protected(node, acquisition.line):
+                        continue
+                    findings.append(
+                        self.finding(
+                            unit,
+                            acquisition.line,
+                            f"{acquisition.description} acquired in "
+                            f"{node.name}() with no try/finally or "
+                            "except-path cleanup covering it; an "
+                            "exception here leaks the resource",
+                        )
+                    )
+        return findings

@@ -1,0 +1,229 @@
+"""Runtime lock-order recorder — the dynamic half of RA006.
+
+The static analysis (:mod:`repro.analysis.rules.lock_order`) *predicts*
+the lock-acquisition graph from source text; this module *observes* it
+from a live process and lets tests assert the two agree.  The value is
+mutual: an acquisition order the static pass missed (dynamic dispatch,
+a lock reached through a path the call graph could not prove) shows up
+here, and a static edge that never fires in practice is at worst noise —
+while a cycle in the *combined* graph is a deadlock witness no matter
+which half contributed each edge.
+
+Mechanics: :meth:`LockOrderRecorder.install` monkeypatches the
+``threading.Lock`` / ``threading.RLock`` factories so every lock created
+while installed is wrapped in a :class:`_RecordingLock` that remembers
+its *creation site* — ``(filename, line)`` of the factory call, which is
+exactly the site RA006's lock table keys on (``self._lock =
+threading.RLock()``).  Each wrapper maintains a thread-local held-stack;
+acquiring while other wrapped locks are held records one ``(held site,
+acquired site)`` pair per held lock.  ``Condition``'s internal waiter
+locks come from ``_thread.allocate_lock`` and are deliberately not
+wrapped.
+
+:func:`combined_cycle` then merges observed pairs (translated to static
+lock identities; pairs touching locks outside the static table —
+stdlib ``Event`` internals, test scaffolding — are ignored) with the
+static edges and returns a cycle if one exists.  The service conftest
+runs this after every test (see DESIGN.md §13), so the full chaos suite
+doubles as a continuous cross-check of the analysis.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from dataclasses import dataclass, field
+
+from repro.analysis.rules.lock_order import LockAnalysis
+
+#: A lock's identity at runtime: where its factory call was made.
+Site = tuple[str, int]
+
+
+class _RecordingLock:
+    """Wraps one real lock; mirrors its API, records acquisition order."""
+
+    def __init__(
+        self,
+        inner: object,
+        kind: str,
+        site: Site,
+        recorder: "LockOrderRecorder",
+    ) -> None:
+        self._inner = inner
+        self._kind = kind
+        self._site = site
+        self._recorder = recorder
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)  # type: ignore[attr-defined]
+        if acquired:
+            self._recorder._note_acquire(self)
+        return acquired
+
+    def release(self) -> None:
+        self._recorder._note_release(self)
+        self._inner.release()  # type: ignore[attr-defined]
+
+    def locked(self) -> bool:
+        return self._inner.locked()  # type: ignore[attr-defined]
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __getattr__(self, name: str) -> object:
+        # _is_owned / _acquire_restore / _release_save etc. — Condition
+        # interop goes straight to the real lock.
+        return getattr(self._inner, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RecordingLock {self._kind} @ {self._site[0]}:{self._site[1]}>"
+
+
+@dataclass
+class LockOrderRecorder:
+    """Observes lock-acquisition order process-wide while installed."""
+
+    #: Every observed (held site, acquired site) pair, with kinds.
+    observed: set[tuple[Site, Site]] = field(default_factory=set)
+    #: Site → lock kind ("Lock" | "RLock") for every wrapped lock.
+    kinds: dict[Site, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._tls = threading.local()
+        # A *real* (unwrapped) mutex guarding the observed set.
+        self._mutex = threading.Lock()
+        self._originals: tuple[object, object] | None = None
+
+    # ------------------------------------------------------------------
+    # wrapper callbacks
+    # ------------------------------------------------------------------
+    def _held_stack(self) -> list[_RecordingLock]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def _note_acquire(self, lock: _RecordingLock) -> None:
+        stack = self._held_stack()
+        pairs = [
+            (held._site, lock._site)
+            for held in stack
+            if held is not lock or held._kind == "Lock"
+        ]
+        stack.append(lock)
+        if pairs:
+            with self._mutex:
+                self.observed.update(pairs)
+
+    def _note_release(self, lock: _RecordingLock) -> None:
+        stack = self._held_stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is lock:
+                del stack[index]
+                return
+
+    # ------------------------------------------------------------------
+    # installation
+    # ------------------------------------------------------------------
+    def install(self) -> None:
+        if self._originals is not None:
+            raise RuntimeError("recorder already installed")
+        self._originals = (threading.Lock, threading.RLock)
+        threading.Lock = self._factory("Lock", self._originals[0])  # type: ignore[misc]
+        threading.RLock = self._factory("RLock", self._originals[1])  # type: ignore[misc]
+
+    def uninstall(self) -> None:
+        if self._originals is None:
+            return
+        threading.Lock, threading.RLock = self._originals  # type: ignore[misc]
+        self._originals = None
+
+    def _factory(self, kind: str, real: object):
+        def make_lock(*args: object, **kwargs: object) -> _RecordingLock:
+            frame = sys._getframe(1)
+            site = (
+                os.path.abspath(frame.f_code.co_filename),
+                frame.f_lineno,
+            )
+            self.kinds.setdefault(site, kind)
+            return _RecordingLock(real(*args, **kwargs), kind, site, self)  # type: ignore[operator]
+
+        return make_lock
+
+    def __enter__(self) -> "LockOrderRecorder":
+        self.install()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.uninstall()
+
+
+def observed_static_pairs(
+    recorder: LockOrderRecorder, analysis: LockAnalysis
+) -> set[tuple[str, str]]:
+    """Observed pairs translated to static lock quals; pairs touching
+    any lock the static table does not know are dropped (stdlib
+    internals, test scaffolding)."""
+    by_site = {
+        (os.path.abspath(info.path), info.line): qual
+        for qual, info in analysis.locks.items()
+    }
+    pairs: set[tuple[str, str]] = set()
+    for held_site, acquired_site in recorder.observed:
+        held = by_site.get(held_site)
+        acquired = by_site.get(acquired_site)
+        if held is None or acquired is None:
+            continue
+        if held == acquired and analysis.locks[held].kind != "Lock":
+            continue  # reentrant reacquisition is legal
+        pairs.add((held, acquired))
+    return pairs
+
+
+def combined_cycle(
+    recorder: LockOrderRecorder, analysis: LockAnalysis
+) -> list[str] | None:
+    """A lock-order cycle in static ∪ observed edges, or None.
+
+    Static-only, observed-only, and mixed cycles all count: a deadlock
+    needs the edges to *exist*, not to come from the same evidence.
+    """
+    edges: dict[str, set[str]] = {}
+    all_pairs = analysis.edge_pairs() | observed_static_pairs(
+        recorder, analysis
+    )
+    for held, acquired in all_pairs:
+        if held == acquired:
+            if analysis.locks[held].kind == "Lock":
+                return [held, held]
+            continue
+        edges.setdefault(held, set()).add(acquired)
+
+    visited: set[str] = set()
+
+    def dfs(node: str, path: list[str]) -> list[str] | None:
+        for nxt in sorted(edges.get(node, ())):
+            if nxt in path:
+                return [*path[path.index(nxt) :], nxt]
+            if nxt in visited:
+                continue
+            visited.add(nxt)
+            found = dfs(nxt, [*path, nxt])
+            if found is not None:
+                return found
+        return None
+
+    for root in sorted(edges):
+        if root in visited:
+            continue
+        visited.add(root)
+        found = dfs(root, [root])
+        if found is not None:
+            return found
+    return None

@@ -23,8 +23,8 @@ import re
 import tokenize
 from dataclasses import dataclass
 
-#: ``# ra: RA003 -- justification`` (justification optional at parse time;
-#: the driver penalises its absence).
+#: ``# ra: <RULE-ID> -- justification`` (justification optional at parse
+#: time; the driver penalises its absence).
 _PATTERN = re.compile(
     r"ra:\s*(?P<rule>RA\d{3})\s*(?:--\s*(?P<why>[^;]*))?"
 )

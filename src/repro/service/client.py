@@ -29,7 +29,7 @@ class ServiceClient:
         self.timeout = timeout
 
     @classmethod
-    def from_server_info(cls, data_dir: str | Path, **kwargs) -> "ServiceClient":
+    def from_server_info(cls, data_dir: str | Path, **kwargs: Any) -> "ServiceClient":
         """Build a client from the ``server.json`` a running server wrote."""
         from repro.service.server import SERVER_INFO_FILE
 

@@ -44,6 +44,7 @@ import multiprocessing
 import threading
 import time
 from collections import deque
+from multiprocessing.process import BaseProcess
 from pathlib import Path
 from typing import Any
 
@@ -396,8 +397,14 @@ class JobManager:
     def _tick(self) -> None:
         with self._lock:
             self._collect_finished()
-            self._enforce_watchdogs()
+            victims = self._enforce_watchdogs()
             self._launch_ready()
+        # Reap killed runners *outside* the lock: join() can stall for
+        # its full timeout on a child wedged in uninterruptible IO, and
+        # every API call contends on this lock (RA006).  The victims
+        # are already out of _running, so state stays consistent.
+        for process in victims:
+            process.join(timeout=5.0)
 
     def _launch_ready(self) -> None:
         now = time.monotonic()
@@ -480,7 +487,10 @@ class JobManager:
                     f"runner crashed (exit code {live.process.exitcode})",
                 )
 
-    def _enforce_watchdogs(self) -> None:
+    def _enforce_watchdogs(self) -> list[BaseProcess]:
+        """Kill overdue/hung runners; return them for the caller to
+        reap once the lock is released."""
+        victims: list[BaseProcess] = []
         now_monotonic = time.monotonic()
         now_wall = time.time()
         for job_id in list(self._running):
@@ -491,7 +501,8 @@ class JobManager:
             deadline = record.spec.deadline_seconds
             if deadline is not None and record.started_at is not None:
                 if now_wall - record.started_at > deadline:
-                    self._kill(live)
+                    live.process.kill()
+                    victims.append(live.process)
                     self._running.pop(job_id)
                     self.counters.incr("service.deadline_kills")
                     self._finish_failure(
@@ -501,12 +512,14 @@ class JobManager:
                     continue
             stale = self._heartbeat_age(live, now_monotonic)
             if stale is not None and stale > self.heartbeat_timeout:
-                self._kill(live)
+                live.process.kill()
+                victims.append(live.process)
                 self._running.pop(job_id)
                 self.counters.incr("service.watchdog_kills")
                 self._crashed_attempt(
                     record, f"hung runner (heartbeat stale {stale:.1f}s)"
                 )
+        return victims
 
     def _heartbeat_age(self, live: _Running, now_monotonic: float) -> float | None:
         """Seconds since the child last proved liveness, or None if unknowable.
@@ -523,11 +536,6 @@ class JobManager:
             since_start = now_monotonic - live.started_monotonic
             return since_start if since_start > STARTUP_GRACE_SECONDS else None
         return time.time() - mtime
-
-    @staticmethod
-    def _kill(live: _Running) -> None:
-        live.process.kill()
-        live.process.join(timeout=5.0)
 
     def _crashed_attempt(self, record: JobRecord, cause: str) -> None:
         if record.attempt >= record.max_attempts:

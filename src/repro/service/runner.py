@@ -45,12 +45,15 @@ import sys
 import threading
 import time
 from pathlib import Path
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
 from repro.resilience.atomicio import atomic_write_json
 from repro.resilience.checkpoint import CheckpointStore
+
+if TYPE_CHECKING:
+    from repro.service.jobs import JobSpec
 
 #: Seconds between heartbeat touches in the child.
 HEARTBEAT_INTERVAL = 0.2
@@ -93,7 +96,7 @@ def _algorithm_registry() -> dict[str, Callable]:
 # ----------------------------------------------------------------------
 # result payloads (shared by the child and the inline oracle)
 # ----------------------------------------------------------------------
-def frequency_fingerprint(problem, node) -> str:
+def frequency_fingerprint(problem: Any, node: Any) -> str:
     """Content hash of one node's frequency set (fresh scan, no cache).
 
     The chaos suite's bit-identity witness: two runs that produce the
@@ -110,7 +113,9 @@ def frequency_fingerprint(problem, node) -> str:
     return digest.hexdigest()
 
 
-def result_payload(problem, result, spec_json: dict[str, Any]) -> dict[str, Any]:
+def result_payload(
+    problem: Any, result: Any, spec_json: dict[str, Any]
+) -> dict[str, Any]:
     """The job's terminal result document (also the comparable oracle).
 
     ``comparable()`` below names the subset that must be bit-identical
@@ -154,7 +159,7 @@ def comparable(payload: dict[str, Any]) -> dict[str, Any]:
     }
 
 
-def run_job_inline(spec) -> dict[str, Any]:
+def run_job_inline(spec: "JobSpec") -> dict[str, Any]:
     """Execute a job spec directly in-process: the differential oracle.
 
     No subprocess, no checkpointing, no supervision — the plain batch
@@ -170,7 +175,7 @@ def run_job_inline(spec) -> dict[str, Any]:
     return result_payload(problem, result, spec.to_json())
 
 
-def _execution_region(spec):
+def _execution_region(spec: "JobSpec") -> Any:
     from repro.parallel import ExecutionConfig, use_execution
 
     return use_execution(
@@ -216,12 +221,14 @@ class _FaultingStore(CheckpointStore):
     beating, and the watchdog (not the fault) must kill it.
     """
 
-    def __init__(self, path, directive: str, heartbeat: _Heartbeat) -> None:
+    def __init__(
+        self, path: Path, directive: str, heartbeat: _Heartbeat
+    ) -> None:
         super().__init__(path)
         self.directive = directive
         self.heartbeat = heartbeat
 
-    def save(self, state) -> None:
+    def save(self, state: dict[str, Any]) -> None:
         super().save(state)
         if self.saves != 1:
             return
@@ -234,7 +241,7 @@ class _FaultingStore(CheckpointStore):
 
 
 def _install_drain_handler() -> None:
-    def handler(signum, frame):
+    def handler(signum: int, frame: object) -> None:
         raise DrainRequested()
 
     signal.signal(signal.SIGTERM, handler)
@@ -260,61 +267,66 @@ def run_job_child(
     _install_drain_handler()
     heartbeat = _Heartbeat(directory / HEARTBEAT_FILE)
     heartbeat.start()
-
-    log_handle = open(directory / LOG_FILE, "a", encoding="utf-8")
-    sys.stdout = log_handle  # noqa: RA000 - child-scoped redirect
-    sys.stderr = log_handle
-
-    spec = JobSpec.from_json(spec_json)
-    sink = obs.JsonLinesSink.open(directory / TRACE_FILE)
-    tracer = obs.Tracer(sink)
-    store: CheckpointStore = (
-        _FaultingStore(directory / CHECKPOINT_FILE, directive, heartbeat)
-        if directive is not None
-        else CheckpointStore(directory / CHECKPOINT_FILE)
-    )
+    # Everything after start() runs under the outer try: an exception in
+    # setup (log open, spec parse, sink open) must still stop the
+    # heartbeat thread, or a dead attempt keeps beating and the watchdog
+    # never learns (RA008).
     try:
-        with obs.use_tracer(tracer):
-            with obs.span(
-                "service.job.run",
-                job_dir=str(directory.name),
-                algorithm=spec.algorithm,
-                attempt_resume=bool(resume),
-            ):
-                from repro.service.connectors import load_problem
+        log_handle = open(directory / LOG_FILE, "a", encoding="utf-8")
+        sys.stdout = log_handle  # noqa: RA000 - child-scoped redirect
+        sys.stderr = log_handle
 
-                problem = load_problem(spec)
-                algorithm = _algorithm_registry()[spec.algorithm]
-                with _execution_region(spec):
-                    result = algorithm(
-                        problem,
-                        spec.k,
-                        max_suppression=spec.max_suppression,
-                        checkpoint=store,
-                        resume=resume,
-                    )
-                payload = result_payload(problem, result, spec.to_json())
-        atomic_write_json(directory / RESULT_FILE, payload)
-    except DrainRequested:
-        atomic_write_json(
-            directory / RESULT_FILE,
-            {"status": "drained", "saves": store.saves},
+        spec = JobSpec.from_json(spec_json)
+        sink = obs.JsonLinesSink.open(directory / TRACE_FILE)
+        tracer = obs.Tracer(sink)
+        store: CheckpointStore = (
+            _FaultingStore(directory / CHECKPOINT_FILE, directive, heartbeat)
+            if directive is not None
+            else CheckpointStore(directory / CHECKPOINT_FILE)
         )
-    except BaseException as error:  # noqa: BLE001 - recorded as the job's cause
-        atomic_write_json(
-            directory / RESULT_FILE,
-            {
-                "status": "failed",
-                "cause": f"{type(error).__name__}: {error}",
-            },
-        )
+        try:
+            with obs.use_tracer(tracer):
+                with obs.span(
+                    "service.job.run",
+                    job_dir=str(directory.name),
+                    algorithm=spec.algorithm,
+                    attempt_resume=bool(resume),
+                ):
+                    from repro.service.connectors import load_problem
+
+                    problem = load_problem(spec)
+                    algorithm = _algorithm_registry()[spec.algorithm]
+                    with _execution_region(spec):
+                        result = algorithm(
+                            problem,
+                            spec.k,
+                            max_suppression=spec.max_suppression,
+                            checkpoint=store,
+                            resume=resume,
+                        )
+                    payload = result_payload(problem, result, spec.to_json())
+            atomic_write_json(directory / RESULT_FILE, payload)
+        except DrainRequested:
+            atomic_write_json(
+                directory / RESULT_FILE,
+                {"status": "drained", "saves": store.saves},
+            )
+        except BaseException as error:  # noqa: BLE001 - the job's cause
+            atomic_write_json(
+                directory / RESULT_FILE,
+                {
+                    "status": "failed",
+                    "cause": f"{type(error).__name__}: {error}",
+                },
+            )
+        finally:
+            try:
+                sink.close()
+            except OSError:
+                pass
+            log_handle.flush()
     finally:
         heartbeat.stop.set()
-        try:
-            sink.close()
-        except OSError:
-            pass
-        log_handle.flush()
 
 
 # ----------------------------------------------------------------------

@@ -99,10 +99,21 @@ class ServiceServer:
         sockets = self._server.sockets or []
         if sockets:
             self.port = sockets[0].getsockname()[1]
-        atomic_write_json(
+        await self._call(
+            atomic_write_json,
             self.manager.data_dir / SERVER_INFO_FILE,
             {"pid": os.getpid(), "host": self.host, "port": self.port},
         )
+
+    async def _call(self, fn: Any, *args: Any) -> Any:
+        """Run a blocking callable on the default executor.
+
+        Every manager entry point takes the manager lock, and result/
+        info reads touch the filesystem; awaiting them directly would
+        stall the event loop for every connected client (RA007).
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(None, fn, *args)
 
     async def stop(self) -> None:
         if self._server is not None:
@@ -181,12 +192,12 @@ class ServiceServer:
     ) -> tuple[int, dict[str, Any]]:
         path = path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/healthz" and method == "GET":
-            return 200, self.manager.health_document()
+            return 200, await self._call(self.manager.health_document)
         if path == "/metrics" and method == "GET":
-            return 200, self.manager.metrics_document()
+            return 200, await self._call(self.manager.metrics_document)
         if path == "/jobs":
             if method == "GET":
-                return 200, {"jobs": self.manager.list_jobs()}
+                return 200, {"jobs": await self._call(self.manager.list_jobs)}
             if method == "POST":
                 return await self._submit(body)
             raise _HttpError(405, {"error": f"{method} not allowed on /jobs"})
@@ -205,11 +216,8 @@ class ServiceServer:
             spec = JobSpec.from_json(document)
         except (JobValidationError, TypeError) as error:
             raise _HttpError(400, {"error": str(error)})
-        loop = asyncio.get_running_loop()
         try:
-            record = await loop.run_in_executor(
-                None, self.manager.submit, spec
-            )
+            record = await self._call(self.manager.submit, spec)
         except AdmissionError as error:
             raise _HttpError(
                 _REASON_STATUS.get(error.reason, 429),
@@ -225,7 +233,7 @@ class ServiceServer:
         pieces = path.split("/")  # ["", "jobs", id, ...rest]
         job_id = pieces[2]
         rest = pieces[3:]
-        record = self.manager.get(job_id)
+        record = await self._call(self.manager.get, job_id)
         if record is None:
             raise _HttpError(404, {"error": f"no job {job_id!r}"})
         if not rest:
@@ -237,10 +245,7 @@ class ServiceServer:
                         409,
                         {"error": f"job {job_id} is already {record.state}"},
                     )
-                loop = asyncio.get_running_loop()
-                cancelled = await loop.run_in_executor(
-                    None, self.manager.cancel, job_id
-                )
+                cancelled = await self._call(self.manager.cancel, job_id)
                 return 200, cancelled.to_json() if cancelled else {}
             raise _HttpError(405, {"error": f"{method} not allowed"})
         if rest == ["result"] and method == "GET":
@@ -248,7 +253,7 @@ class ServiceServer:
                 raise _HttpError(
                     409, {"error": f"job {job_id} is still {record.state}"}
                 )
-            result = self.manager.result(job_id)
+            result = await self._call(self.manager.result, job_id)
             if result is None:
                 return 200, {
                     "status": record.state,

@@ -198,5 +198,5 @@ class JobStore:
     def __enter__(self) -> "JobStore":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
         self.close()

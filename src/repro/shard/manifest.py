@@ -35,6 +35,8 @@ from dataclasses import dataclass
 from multiprocessing import shared_memory
 from pathlib import Path
 
+from repro.resilience.atomicio import atomic_write_text
+
 #: Schema version of manifest files.
 MANIFEST_FORMAT = 1
 
@@ -66,20 +68,18 @@ def manifest_path(token: str) -> Path:
 def record_segments(token: str, segments: list[str]) -> Path:
     """Write (or rewrite) one store's manifest naming its live segments.
 
-    The write is atomic (temp file + rename) so the sweeper never reads a
-    torn manifest; the caller is responsible for tolerating ``OSError``.
+    The write goes through :func:`atomic_write_text` (write → fsync →
+    rename, RA009) so the sweeper never reads a torn manifest and a
+    crash cannot publish a zero-filled one; the caller is responsible
+    for tolerating ``OSError``.
     """
     path = manifest_path(token)
-    path.parent.mkdir(parents=True, exist_ok=True)
     document = {
         "format": MANIFEST_FORMAT,
         "pid": os.getpid(),
         "segments": list(segments),
     }
-    temporary = path.with_suffix(".json.tmp")
-    temporary.write_text(json.dumps(document, sort_keys=True))
-    os.replace(temporary, path)
-    return path
+    return atomic_write_text(path, json.dumps(document, sort_keys=True))
 
 
 def remove_manifest(token: str) -> None:
@@ -172,18 +172,18 @@ def sweep_orphans(directory: Path | None = None) -> SweepReport:
         for name in entry.segments:
             try:
                 segment = shared_memory.SharedMemory(name=name)
-            except FileNotFoundError:
-                report.segments_already_gone += 1
-                continue
-            except OSError:
+            except (FileNotFoundError, OSError):
                 report.segments_already_gone += 1
                 continue
             try:
-                segment.close()
                 segment.unlink()
                 report.segments_unlinked += 1
             except FileNotFoundError:
                 report.segments_already_gone += 1
+            finally:
+                # close() unconditionally: a racing sweeper that won the
+                # unlink must not leave this one's mapping open (RA008).
+                segment.close()
         try:
             entry.path.unlink(missing_ok=True)
             report.manifests_removed += 1

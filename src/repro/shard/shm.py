@@ -110,13 +110,21 @@ def attach_problem(handle: SharedProblemHandle) -> PreparedTable:
     """
     columns = []
     segments = []
-    for spec in handle.columns:
-        segment = shared_memory.SharedMemory(name=spec.segment)
-        codes = np.ndarray(
-            spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf
-        )
-        columns.append(Column(codes, spec.values, validate=False))
-        segments.append(segment)
+    try:
+        for spec in handle.columns:
+            segment = shared_memory.SharedMemory(name=spec.segment)
+            # Pin the mapping *before* anything that can raise, so a
+            # failure mid-loop (bad dtype/shape, a vanished later
+            # segment) cannot strand an already-open mapping (RA008).
+            segments.append(segment)
+            codes = np.ndarray(
+                spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf
+            )
+            columns.append(Column(codes, spec.values, validate=False))
+    except BaseException:
+        for attached in segments:
+            attached.close()
+        raise
     table = Table(
         Schema.of(*(spec.name for spec in handle.columns)), columns
     )
@@ -194,8 +202,17 @@ class SharedTableStore:
             raise ValueError(f"num_rows must be >= 0, got {num_rows}")
         nbytes = max(num_rows * np.dtype(CODE_DTYPE).itemsize, 1)
         segment = shared_memory.SharedMemory(create=True, size=nbytes)
-        codes = np.ndarray((num_rows,), dtype=CODE_DTYPE, buffer=segment.buf)
-        self._columns.append((name, segment, codes))
+        try:
+            codes = np.ndarray(
+                (num_rows,), dtype=CODE_DTYPE, buffer=segment.buf
+            )
+            self._columns.append((name, segment, codes))
+        except BaseException:
+            # The segment exists in /dev/shm but nothing owns it yet:
+            # release it here or nothing ever will (RA008).
+            segment.close()
+            segment.unlink()
+            raise
         self._record_manifest()
         return codes
 

@@ -1,0 +1,17 @@
+"""Fixture: violates RA006 only — lock held across a subprocess join."""
+
+import threading
+
+
+class Reaper:
+    def __init__(self, process):
+        self._lock = threading.Lock()
+        self.process = process
+
+    def reap(self):
+        with self._lock:
+            self.process.join(timeout=5.0)
+
+    def reap_quietly(self):
+        with self._lock:
+            self.process.join(timeout=0.1)  # ra: RA006 -- fixture: the suppressed twin of reap()

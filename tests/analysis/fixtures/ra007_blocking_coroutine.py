@@ -1,0 +1,18 @@
+"""Fixture: violates RA007 only — a coroutine reaches ``time.sleep``
+through a synchronous helper (``time.sleep`` itself is RA001-legal)."""
+
+import time
+
+
+def settle():
+    time.sleep(0.5)
+
+
+async def handler():
+    settle()
+    return "ok"
+
+
+async def quiet_handler():
+    settle()  # ra: RA007 -- fixture: the suppressed twin of handler()
+    return "ok"

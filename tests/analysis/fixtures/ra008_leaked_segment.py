@@ -1,0 +1,16 @@
+"""Fixture: violates RA008 only — an attached segment with no cleanup
+covering the exception window."""
+
+from multiprocessing import shared_memory
+
+
+def peek(name):
+    segment = shared_memory.SharedMemory(name=name)
+    value = bytes(segment.buf[:4])
+    segment.close()
+    return value
+
+
+def peek_quietly(name):
+    segment = shared_memory.SharedMemory(name=name)  # ra: RA008 -- fixture: the suppressed twin of peek()
+    return bytes(segment.buf[:4])

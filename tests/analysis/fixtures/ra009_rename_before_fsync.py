@@ -1,0 +1,16 @@
+"""Fixture: violates RA009 only — the sidecar is renamed into place
+without an fsync (the RA004 routing concern is suppressed; the *order*
+bug is what this fixture isolates)."""
+
+import json
+import os
+
+
+def publish(tmp, path, document):
+    tmp.write_text(json.dumps(document))  # ra: RA004 -- fixture isolates the fsync-order bug, not write routing
+    os.replace(tmp, path)
+
+
+def publish_quietly(tmp, path, document):
+    tmp.write_text(json.dumps(document))  # ra: RA004 -- fixture isolates the fsync-order bug, not write routing
+    os.replace(tmp, path)  # ra: RA009 -- fixture: the suppressed twin of publish()

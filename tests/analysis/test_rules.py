@@ -15,6 +15,10 @@ CASES = [
     ("ra003_shared_state.py", {"RA003"}),
     ("ra004_plain_write.py", {"RA004"}),
     ("ra005_undocumented_flag.py", {"RA005"}),
+    ("ra006_lock_across_join.py", {"RA006"}),
+    ("ra007_blocking_coroutine.py", {"RA007"}),
+    ("ra008_leaked_segment.py", {"RA008"}),
+    ("ra009_rename_before_fsync.py", {"RA009"}),
     ("clean.py", set()),
 ]
 
@@ -38,7 +42,33 @@ def test_fixture_directory_as_a_whole():
         "RA003",
         "RA004",
         "RA005",
+        "RA006",
+        "RA007",
+        "RA008",
+        "RA009",
     }
+
+
+NEW_RULE_FIXTURES = [
+    ("ra006_lock_across_join.py", "RA006"),
+    ("ra007_blocking_coroutine.py", "RA007"),
+    ("ra008_leaked_segment.py", "RA008"),
+    ("ra009_rename_before_fsync.py", "RA009"),
+]
+
+
+@pytest.mark.parametrize(
+    "name,rule", NEW_RULE_FIXTURES, ids=[c[1] for c in NEW_RULE_FIXTURES]
+)
+def test_new_rule_fixture_has_a_suppressed_twin(name, rule):
+    """Each concurrency/lifecycle fixture carries one firing case and
+    one justified-suppression case of its own rule."""
+    findings = analyze_paths([FIXTURES / name])
+    firing = [f for f in findings if f.rule == rule and not f.suppressed]
+    suppressed = [f for f in findings if f.rule == rule and f.suppressed]
+    assert len(firing) == 1
+    assert len(suppressed) == 1
+    assert suppressed[0].justification
 
 
 def test_rule_ids_are_unique_and_described():

@@ -1,0 +1,170 @@
+"""The runtime lock-order recorder and its static cross-check."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.analysis.core import Project
+from repro.analysis.rules.lock_order import (
+    LockAnalysis,
+    LockEdge,
+    LockInfo,
+    analyze_lock_order,
+)
+from repro.analysis.runtime import (
+    LockOrderRecorder,
+    combined_cycle,
+    observed_static_pairs,
+)
+
+
+def _analysis_for(recorder, quals_to_locks, edges=()):
+    """A LockAnalysis whose lock table keys on the given wrappers'
+    creation sites (what the static pass would have discovered)."""
+    locks = {}
+    for qual, lock in quals_to_locks.items():
+        filename, line = lock._site
+        locks[qual] = LockInfo(
+            qual=qual,
+            attr=qual.rsplit(".", 1)[-1],
+            kind=lock._kind,
+            path=filename,
+            line=line,
+        )
+    analysis = LockAnalysis(locks=locks)
+    for held, acquired in edges:
+        analysis.edges.append(LockEdge(held, acquired, "static", 0))
+    return analysis
+
+
+def test_install_wraps_and_uninstall_restores():
+    original_lock, original_rlock = threading.Lock, threading.RLock
+    recorder = LockOrderRecorder()
+    recorder.install()
+    try:
+        assert threading.Lock is not original_lock
+        lock = threading.Lock()
+        with lock:
+            assert lock.locked()
+        assert not lock.locked()
+    finally:
+        recorder.uninstall()
+    assert threading.Lock is original_lock
+    assert threading.RLock is original_rlock
+
+
+def test_nested_acquisition_records_ordered_pair():
+    with LockOrderRecorder() as recorder:
+        outer = threading.Lock()
+        inner = threading.Lock()
+        with outer:
+            with inner:
+                pass
+    assert (outer._site, inner._site) in recorder.observed
+    assert (inner._site, outer._site) not in recorder.observed
+
+
+def test_rlock_reentry_is_not_a_self_pair():
+    with LockOrderRecorder() as recorder:
+        lock = threading.RLock()
+        with lock:
+            with lock:
+                pass
+    assert (lock._site, lock._site) not in recorder.observed
+
+
+def test_pairs_outside_static_table_are_ignored():
+    with LockOrderRecorder() as recorder:
+        known = threading.Lock()
+        stray = threading.Lock()
+        with known:
+            with stray:
+                pass
+    analysis = _analysis_for(recorder, {"m.C.known": known})
+    assert observed_static_pairs(recorder, analysis) == set()
+    assert combined_cycle(recorder, analysis) is None
+
+
+def test_observed_order_consistent_with_static_edge():
+    with LockOrderRecorder() as recorder:
+        a = threading.Lock()
+        b = threading.Lock()
+        with a:
+            with b:
+                pass
+    analysis = _analysis_for(
+        recorder,
+        {"m.C.a": a, "m.C.b": b},
+        edges=[("m.C.a", "m.C.b")],  # static agrees: a before b
+    )
+    assert observed_static_pairs(recorder, analysis) == {("m.C.a", "m.C.b")}
+    assert combined_cycle(recorder, analysis) is None
+
+
+def test_inverted_static_edge_makes_a_combined_cycle():
+    with LockOrderRecorder() as recorder:
+        a = threading.Lock()
+        b = threading.Lock()
+        with a:
+            with b:
+                pass
+    analysis = _analysis_for(
+        recorder,
+        {"m.C.a": a, "m.C.b": b},
+        edges=[("m.C.b", "m.C.a")],  # static says b before a: cycle
+    )
+    cycle = combined_cycle(recorder, analysis)
+    assert cycle is not None
+    assert set(cycle) == {"m.C.a", "m.C.b"}
+
+
+def test_plain_lock_self_pair_is_a_cycle():
+    recorder = LockOrderRecorder()
+    with recorder:
+        lock = threading.Lock()
+        with lock:
+            pass
+    # A genuine re-acquisition would deadlock the test; inject the
+    # observation the wrapper would have made.
+    recorder.observed.add((lock._site, lock._site))
+    analysis = _analysis_for(recorder, {"m.C.lock": lock})
+    assert combined_cycle(recorder, analysis) == ["m.C.lock", "m.C.lock"]
+
+
+def test_wrapped_locks_interoperate_with_condition_and_event():
+    """Condition/Event built while installed must behave normally."""
+    with LockOrderRecorder():
+        event = threading.Event()
+        results = []
+
+        def waiter():
+            results.append(event.wait(timeout=5.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        event.set()
+        thread.join(timeout=5.0)
+    assert results == [True]
+
+
+def test_manager_lock_site_matches_static_table(tmp_path):
+    """The bridge between the halves: constructing a real JobManager
+    under the recorder yields a lock whose runtime creation site is
+    exactly the (path, line) RA006's static table discovered — the
+    translation `observed_static_pairs` depends on."""
+    import os
+
+    analysis = analyze_lock_order(Project.load(["src"]))
+    static_sites = {
+        (os.path.abspath(info.path), info.line): qual
+        for qual, info in analysis.locks.items()
+    }
+    with LockOrderRecorder():
+        from repro.service.manager import JobManager
+
+        manager = JobManager(tmp_path)
+        try:
+            site = manager._lock._site
+        finally:
+            manager.drain()
+    assert static_sites.get(site, "").endswith("JobManager._lock")

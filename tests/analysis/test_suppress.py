@@ -78,5 +78,49 @@ def test_suppression_is_rule_specific(tmp_path):
         "def stamp():\n"
         "    return time.time()  # ra: RA004 -- wrong rule\n"
     )
+    found = active(analyze_paths([target], all_rules()))
+    # The RA001 violation stays active (the mute names the wrong rule),
+    # and the RA004 suppression itself is flagged stale: RA004 ran and
+    # found nothing on that line.
+    assert [f.rule for f in found] == ["RA001", "RA004"]
+    assert "stale suppression" in found[1].message
+
+
+def test_multi_rule_suppressions_enforced_on_one_line(tmp_path):
+    """One trailing comment muting two different rules, both of which
+    actually fire on that line (RA004 plain write + RA007 blocking file
+    IO inside a coroutine)."""
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "async def publish(path, text):\n"
+        "    path.write_text(text)"
+        "  # ra: RA004 -- test: sanctioned; ra: RA007 -- test: sanctioned\n"
+    )
+    findings = analyze_paths([target], all_rules())
+    assert active(findings) == []
+    assert {f.rule for f in findings if f.suppressed} == {"RA004", "RA007"}
+    assert all(f.justification for f in findings if f.suppressed)
+
+
+def test_stale_suppression_surfaces_as_active_finding(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "def nothing_wrong_here():\n"
+        "    return 1  # ra: RA004 -- excuse for a long-gone write\n"
+    )
     (finding,) = active(analyze_paths([target], all_rules()))
-    assert finding.rule == "RA001"
+    assert finding.rule == "RA004"
+    assert "stale suppression" in finding.message
+
+
+def test_stale_detection_needs_the_rule_to_have_run(tmp_path):
+    """A suppression for a rule outside the run's rule set is left
+    alone — its staleness is unknowable."""
+    from repro.analysis import rules_by_id
+
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "def nothing_wrong_here():\n"
+        "    return 1  # ra: RA004 -- excuse for a long-gone write\n"
+    )
+    assert active(analyze_paths([target], rules_by_id(["RA001"]))) == []

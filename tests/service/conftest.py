@@ -13,6 +13,9 @@ from pathlib import Path
 
 import pytest
 
+from repro.analysis.core import Project
+from repro.analysis.rules.lock_order import analyze_lock_order
+from repro.analysis.runtime import LockOrderRecorder, combined_cycle
 from repro.relational.csvio import write_csv
 from repro.relational.table import Table
 from repro.service.connectors import (
@@ -73,3 +76,35 @@ def memory_dataset():
     register_memory_dataset("svc-fixture", small_table())
     yield "memory:svc-fixture"
     unregister_memory_dataset("svc-fixture")
+
+
+@pytest.fixture(scope="session")
+def static_lock_analysis():
+    """RA006's lock graph for ``src/``, computed once per session."""
+    src = Path(__file__).resolve().parents[2] / "src"
+    return analyze_lock_order(Project.load([src]))
+
+
+@pytest.fixture(autouse=True)
+def lock_order_recorder(static_lock_analysis):
+    """Static ↔ runtime lock-order cross-check (DESIGN.md §13).
+
+    Every service test runs with the ``threading.Lock``/``RLock``
+    factories wrapped, so each in-process ``JobManager``'s actual
+    acquisition orders are observed; afterwards the observed pairs are
+    merged with RA006's static edges and the combined graph must be
+    acyclic.  An order the static pass could not prove (dynamic
+    dispatch, a callback) still lands here — and a cycle is a deadlock
+    witness regardless of which half saw each edge.
+    """
+    recorder = LockOrderRecorder()
+    recorder.install()
+    try:
+        yield recorder
+    finally:
+        recorder.uninstall()
+    cycle = combined_cycle(recorder, static_lock_analysis)
+    assert cycle is None, (
+        "lock-order cycle in combined static+observed graph: "
+        + " -> ".join(cycle)
+    )

@@ -1,0 +1,106 @@
+"""Regression tests for the RA006/RA008 findings fixed in the service layer.
+
+Each test pins the *behavioral* contract behind a static-analysis fix:
+
+* RA006 — ``JobManager._tick`` must reap watchdog victims with the
+  manager lock **released** (a ``join`` on a wedged child can stall for
+  its full timeout, and every API call contends on that lock).
+* RA008 — ``run_job_child`` must stop its heartbeat thread even when
+  *setup* (before the work loop) raises, or a dead attempt keeps
+  beating and the watchdog never learns.
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.service import runner
+from repro.service.jobs import FAILED, RUNNING, JobSpec
+from repro.service.manager import JobManager, _Running
+from tests.service.conftest import job_payload, write_dataset_csv
+
+
+def make_spec(tmp_path, **overrides) -> JobSpec:
+    return JobSpec.from_json(job_payload(write_dataset_csv(tmp_path), **overrides))
+
+
+class _WedgedProcess:
+    """Stands in for a runner stuck in uninterruptible IO: stays alive,
+    and records whether the manager lock was held at ``join`` time."""
+
+    def __init__(self, manager: JobManager) -> None:
+        self._manager = manager
+        self.kills = 0
+        self.join_lock_owned: list[bool] = []
+        self.exitcode = None
+
+    def is_alive(self) -> bool:
+        return True
+
+    def kill(self) -> None:
+        self.kills += 1
+
+    def join(self, timeout: float | None = None) -> None:
+        self.join_lock_owned.append(self._manager._lock._is_owned())
+
+
+def test_watchdog_joins_victims_outside_the_lock(tmp_path):
+    """The deadline watchdog kills under the lock but joins after
+    releasing it; the record still lands terminally failed."""
+    manager = JobManager(tmp_path / "svc")  # scheduler deliberately not started
+    record = manager.submit(make_spec(tmp_path, deadline_seconds=5.0))
+    wedged = _WedgedProcess(manager)
+    with manager._lock:
+        # Promote the queued job to a fake RUNNING state whose deadline
+        # is already long blown.
+        manager._queue.remove(record.id)
+        record.state = RUNNING
+        record.started_at = time.time() - 60.0
+        manager._running[record.id] = _Running(
+            wedged, manager.job_dir(record.id), time.monotonic()
+        )
+    manager._tick()
+    assert wedged.kills == 1
+    assert wedged.join_lock_owned == [False], (
+        "victim was joined while the manager lock was still held (RA006)"
+    )
+    refreshed = manager.get(record.id)
+    assert refreshed is not None
+    assert refreshed.state == FAILED
+    assert "deadline exceeded" in (refreshed.cause or "")
+
+
+def _heartbeat_threads() -> list[threading.Thread]:
+    return [
+        thread
+        for thread in threading.enumerate()
+        if thread.name == "repro-heartbeat"
+    ]
+
+
+def test_setup_failure_stops_heartbeat_thread(tmp_path):
+    """A spec that fails to parse raises *after* the heartbeat thread
+    starts; the outer try/finally must still stop it."""
+    assert not _heartbeat_threads()
+    saved_streams = sys.stdout, sys.stderr
+    saved_handler = signal.getsignal(signal.SIGTERM)
+    try:
+        # run_job_child redirects stdout/stderr into the job log and
+        # installs a SIGTERM drain handler; restore both afterwards
+        # since we run it in-process here.
+        with pytest.raises(Exception):
+            runner.run_job_child({"not": "a job spec"}, str(tmp_path), False, None)
+    finally:
+        sys.stdout, sys.stderr = saved_streams
+        signal.signal(signal.SIGTERM, saved_handler)
+    deadline = time.monotonic() + 5.0
+    while _heartbeat_threads():
+        assert time.monotonic() < deadline, (
+            "heartbeat thread outlived the failed attempt (RA008)"
+        )
+        time.sleep(0.01)

@@ -1,0 +1,115 @@
+"""Regression tests for the RA008/RA009 findings fixed in the shard layer.
+
+* RA008 — ``attach_problem`` must close already-attached mappings when a
+  later segment fails to attach; ``SharedTableStore.allocate`` must
+  close *and unlink* a fresh segment when the ndarray view over it
+  cannot be built (the segment exists in ``/dev/shm`` but nothing owns
+  it yet).
+* RA009 — ``manifest.record_segments`` publishes through the atomic
+  write path: the final file is complete JSON and no temporary sidecar
+  survives.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from multiprocessing import shared_memory
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.shard import manifest, shm
+from repro.shard.shm import SharedTableStore, attach_problem
+from tests.conftest import tiny_numeric_problem
+
+
+def _recording_shared_memory():
+    """A SharedMemory subclass that records instances and close/unlink."""
+
+    class Recording(shared_memory.SharedMemory):
+        instances: list = []
+
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            type(self).instances.append(self)
+            self.closed = False
+            self.unlinked = False
+
+        def close(self):
+            self.closed = True
+            super().close()
+
+        def unlink(self):
+            self.unlinked = True
+            super().unlink()
+
+    return Recording
+
+
+def test_attach_failure_closes_earlier_mappings(monkeypatch):
+    """A vanished later segment must not strand the mappings already
+    opened for earlier columns (RA008)."""
+    problem = tiny_numeric_problem()
+    store = SharedTableStore.from_problem(problem)
+    try:
+        handle = store.handle
+        assert len(handle.columns) >= 2
+        broken = dataclasses.replace(
+            handle,
+            columns=(
+                handle.columns[0],
+                dataclasses.replace(
+                    handle.columns[1], segment="ra008-no-such-segment"
+                ),
+                *handle.columns[2:],
+            ),
+        )
+        Recording = _recording_shared_memory()
+        monkeypatch.setattr(shm.shared_memory, "SharedMemory", Recording)
+        with pytest.raises((FileNotFoundError, OSError)):
+            attach_problem(broken)
+        # Only the first column ever attached, and its mapping is closed.
+        assert len(Recording.instances) == 1
+        assert Recording.instances[0].closed
+        assert not Recording.instances[0].unlinked  # attachers never unlink
+    finally:
+        store.close()
+
+
+def test_allocate_failure_releases_the_fresh_segment(monkeypatch):
+    """If the writable view over a just-created segment cannot be built,
+    the segment must be closed *and unlinked* (RA008): it is not yet in
+    ``_columns``, so no later ``close()`` would ever reach it."""
+    Recording = _recording_shared_memory()
+    monkeypatch.setattr(shm.shared_memory, "SharedMemory", Recording)
+
+    def exploding_ndarray(*args, **kwargs):
+        raise RuntimeError("ndarray construction failed")
+
+    monkeypatch.setattr(
+        shm,
+        "np",
+        SimpleNamespace(dtype=np.dtype, ndarray=exploding_ndarray),
+    )
+    store = SharedTableStore()
+    with pytest.raises(RuntimeError, match="ndarray construction failed"):
+        store.allocate("age", 8)
+    assert len(Recording.instances) == 1
+    assert Recording.instances[0].closed
+    assert Recording.instances[0].unlinked
+    assert store._columns == []
+    store.close()
+
+
+def test_record_segments_publishes_atomically(tmp_path, monkeypatch):
+    """The manifest lands complete, parseable, and with no temporary
+    sidecar left behind (RA009 write → fsync → rename)."""
+    monkeypatch.setenv(manifest.MANIFEST_DIR_ENV, str(tmp_path))
+    path = manifest.record_segments("t-1", ["seg_a", "seg_b"])
+    assert path.parent == tmp_path
+    document = json.loads(path.read_text())
+    assert document["segments"] == ["seg_a", "seg_b"]
+    leftovers = [p for p in tmp_path.iterdir() if p != path]
+    assert leftovers == [], f"temporary files survived publish: {leftovers}"
