@@ -284,7 +284,41 @@ def cmd_serve(args: argparse.Namespace) -> int:
         heartbeat_timeout=args.heartbeat_timeout,
         max_attempts=args.max_attempts,
         fault_spec=args.inject_job_faults,
+        slo_p99_seconds=args.slo_p99_seconds,
+        slo_error_rate=args.slo_error_rate,
+        slo_queue_depth=args.slo_queue_depth,
+        sample_interval=args.sample_interval,
     )
+    return 0
+
+
+def cmd_trace_tool(args: argparse.Namespace) -> int:
+    """``repro trace stitch``: merge a job's per-process trace files."""
+    from repro.obs.stitch import stitch_directory, validate_chrome
+
+    chrome, summary = stitch_directory(args.job_dir)
+    validate_chrome(chrome)
+    rendered = json.dumps(chrome) + "\n"
+    if args.output:
+        atomic_write_text(Path(args.output), rendered)
+    else:
+        sys.stdout.write(rendered)
+    print(
+        f"stitched {summary['spans']} span(s) from "
+        f"{len(summary['processes'])} process(es); "
+        f"trace ids: {', '.join(summary['trace_ids']) or '<none>'}; "
+        f"{summary['resolved_links']}/{summary['remote_links']} "
+        f"cross-process link(s) resolved"
+        + (f"; wrote {args.output}" if args.output else ""),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    from repro.service.status import render_status_from_info
+
+    print(render_status_from_info(args.server_info, timeout=args.timeout))
     return 0
 
 
@@ -520,7 +554,64 @@ def build_parser() -> argparse.ArgumentParser:
         "'crash=0.3,timeout=0.2,seed=7' (crash kills the runner after "
         "its first checkpoint; timeout hangs it until the watchdog fires)",
     )
+    serve.add_argument(
+        "--slo-p99-seconds", type=float, default=None, metavar="SECONDS",
+        help="SLO: rolling p99 job latency above this degrades /healthz "
+        "to 503 (default: no latency SLO)",
+    )
+    serve.add_argument(
+        "--slo-error-rate", type=float, default=None, metavar="FRACTION",
+        help="SLO: job failure fraction over the rolling window above "
+        "this degrades /healthz to 503 (default: no error-rate SLO)",
+    )
+    serve.add_argument(
+        "--slo-queue-depth", type=int, default=None, metavar="N",
+        help="SLO: queue depth above this degrades /healthz to 503 "
+        "(default: no queue-depth SLO)",
+    )
+    serve.add_argument(
+        "--sample-interval", type=float, default=2.0, metavar="SECONDS",
+        help="telemetry sampler tick: how often the server snapshots its "
+        "metrics into the /metrics/history ring and re-evaluates SLO "
+        "windows (default: 2.0)",
+    )
     serve.set_defaults(run=cmd_serve)
+
+    trace_tool = commands.add_parser(
+        "trace",
+        help="work with recorded trace files (trace stitch: merge one "
+        "job's per-process JSON-lines traces into a single validated "
+        "Chrome trace with cross-process flow links)",
+    )
+    trace_tool.add_argument(
+        "action", choices=("stitch",),
+        help="stitch: merge trace*.jsonl files under JOB_DIR",
+    )
+    trace_tool.add_argument(
+        "job_dir",
+        help="job directory (or any directory searched recursively for "
+        "trace*.jsonl files, e.g. a whole service data dir)",
+    )
+    trace_tool.add_argument(
+        "--output", "-o", default=None, metavar="FILE",
+        help="write the Chrome trace JSON here (default: stdout)",
+    )
+    trace_tool.set_defaults(run=cmd_trace_tool)
+
+    status = commands.add_parser(
+        "status",
+        help="live one-screen operational view of a running server "
+        "(active jobs, tenant budgets, SLO state, top latency metrics)",
+    )
+    status.add_argument(
+        "server_info",
+        help="path to the server's server.json (or its data directory)",
+    )
+    status.add_argument(
+        "--timeout", type=float, default=5.0, metavar="SECONDS",
+        help="HTTP timeout per request (default: 5.0)",
+    )
+    status.set_defaults(run=cmd_status)
 
     gc_shm = commands.add_parser(
         "gc-shm",

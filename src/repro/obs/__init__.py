@@ -42,6 +42,13 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+from repro.obs.context import (
+    TRACE_DIR_ENV,
+    TRACEPARENT_ENV,
+    TraceContext,
+    new_span_id,
+    new_trace_id,
+)
 from repro.obs.counters import CounterSet
 from repro.obs.export import (
     chrome_trace,
@@ -72,6 +79,9 @@ __all__ = [
     "NULL_TIMER",
     "Sink",
     "Span",
+    "TRACE_DIR_ENV",
+    "TRACEPARENT_ENV",
+    "TraceContext",
     "Tracer",
     "chrome_trace",
     "chrome_trace_json",
@@ -80,6 +90,8 @@ __all__ = [
     "folded_stacks",
     "get_tracer",
     "incr",
+    "new_span_id",
+    "new_trace_id",
     "observe",
     "parse_folded",
     "profile",
@@ -88,6 +100,7 @@ __all__ = [
     "render_trace",
     "set_tracer",
     "span",
+    "span_from",
     "timer",
     "use_tracer",
 ]
@@ -127,6 +140,11 @@ def enabled() -> bool:
 def span(name: str, **attrs: Any):
     """Open a span on the active tracer (no-op span when disabled)."""
     return _active.span(name, **attrs)
+
+
+def span_from(context: TraceContext | None, name: str, **attrs: Any):
+    """Open a span under a propagated remote context (cross-process)."""
+    return _active.span_from(context, name, **attrs)
 
 
 def incr(name: str, value: float = 1) -> None:

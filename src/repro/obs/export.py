@@ -27,25 +27,48 @@ import json
 from typing import Iterable, Mapping
 
 
-def _forest(records: Iterable[Mapping]) -> tuple[list[dict], dict[int, list[dict]]]:
+def _span_key(record: Mapping) -> tuple:
+    """Identity of one span record across a multi-process trace.
+
+    Plain ``span_id`` keying is ambiguous once records from several
+    processes are mixed — two children that reuse an id sequence (or,
+    with random ids, merely *could* collide) would silently alias — so
+    every tree walk keys on ``(pid, span_id)``.  Records from traces
+    predating the ``pid`` field key on ``(None, span_id)``, preserving
+    the old single-process behaviour.
+    """
+    return (record.get("pid"), record["span_id"])
+
+
+def _forest(
+    records: Iterable[Mapping],
+) -> tuple[list[dict], dict[tuple, list[dict]]]:
     """Placeable records split into roots + children-by-parent, start-sorted.
 
     A record is placeable when it carries both ``started`` and ``ended``;
     records from traces predating those fields are skipped.  A child whose
-    parent never closed (crash mid-span) is promoted to a root.
+    parent never closed (crash mid-span) is promoted to a root.  Child
+    edges are strictly *same-process* — a remote parent link (another
+    pid) cannot nest in Chrome's per-process lanes; the stitcher renders
+    those as flow arrows instead (:mod:`repro.obs.stitch`).
     """
     placeable = [
         dict(record)
         for record in records
         if record.get("started") is not None and record.get("ended") is not None
     ]
-    by_id = {record["span_id"]: record for record in placeable}
+    by_key = {_span_key(record): record for record in placeable}
     roots: list[dict] = []
-    children: dict[int, list[dict]] = {}
+    children: dict[tuple, list[dict]] = {}
     for record in placeable:
         parent_id = record.get("parent_id")
-        if parent_id is not None and parent_id in by_id:
-            children.setdefault(parent_id, []).append(record)
+        parent_key = (record.get("pid"), parent_id)
+        if (
+            parent_id is not None
+            and not record.get("remote")
+            and parent_key in by_key
+        ):
+            children.setdefault(parent_key, []).append(record)
         else:
             roots.append(record)
     order = lambda record: (record["started"], record["span_id"])  # noqa: E731
@@ -59,7 +82,7 @@ def _micros(seconds: float, origin: float) -> float:
     return round((seconds - origin) * 1_000_000, 3)
 
 
-def chrome_trace(records: Iterable[Mapping], *, pid: int = 1) -> dict:
+def chrome_trace(records: Iterable[Mapping], *, pid: int | None = 1) -> dict:
     """Render span records as a Chrome trace-event document.
 
     Returns the JSON-ready object form (``{"traceEvents": [...]}``); dump
@@ -67,6 +90,12 @@ def chrome_trace(records: Iterable[Mapping], *, pid: int = 1) -> dict:
     becomes a ``B``/``E`` duration-event pair on its thread's lane, with
     microsecond timestamps rebased to the earliest span start.  Span
     attributes and span-local counters ride along as ``args``.
+
+    ``pid`` stamps every event with one process id (single-process
+    traces).  ``pid=None`` uses each record's own ``pid`` field instead
+    (falling back to 1 for legacy records) — the multi-process mode the
+    stitcher builds on, where each source process gets its own lane
+    group in the viewer.
     """
     roots, children = _forest(records)
     events: list[dict] = []
@@ -80,24 +109,25 @@ def chrome_trace(records: Iterable[Mapping], *, pid: int = 1) -> dict:
         if counters:
             args["counters"] = dict(counters)
         tid = int(record.get("thread") or 0)
+        event_pid = pid if pid is not None else int(record.get("pid") or 1)
         events.append(
             {
                 "name": record["name"],
                 "ph": "B",
                 "ts": _micros(record["started"], origin),
-                "pid": pid,
+                "pid": event_pid,
                 "tid": tid,
                 "args": args,
             }
         )
-        for child in children.get(record["span_id"], ()):
+        for child in children.get(_span_key(record), ()):
             walk(child)
         events.append(
             {
                 "name": record["name"],
                 "ph": "E",
                 "ts": _micros(record["ended"], origin),
-                "pid": pid,
+                "pid": event_pid,
                 "tid": tid,
             }
         )
@@ -107,7 +137,7 @@ def chrome_trace(records: Iterable[Mapping], *, pid: int = 1) -> dict:
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def chrome_trace_json(records: Iterable[Mapping], *, pid: int = 1) -> str:
+def chrome_trace_json(records: Iterable[Mapping], *, pid: int | None = 1) -> str:
     """:func:`chrome_trace` serialised to a JSON string."""
     return json.dumps(chrome_trace(records, pid=pid))
 
@@ -130,7 +160,7 @@ def folded_stacks(records: Iterable[Mapping]) -> str:
     def walk(record: Mapping, prefix: tuple[str, ...]) -> None:
         path = prefix + (str(record["name"]),)
         own = record["ended"] - record["started"]
-        for child in children.get(record["span_id"], ()):
+        for child in children.get(_span_key(record), ()):
             own -= child["ended"] - child["started"]
             walk(child, path)
         micros = max(0, round(own * 1_000_000))

@@ -141,6 +141,38 @@ class Histogram:
         duplicate.max = self.max
         return duplicate
 
+    def diff(self, earlier: "Histogram") -> "Histogram":
+        """The observations recorded since ``earlier`` (a past snapshot).
+
+        Inverse of :meth:`merge` over the additive state: bucket counts,
+        ``count``, and ``sum`` subtract exactly, so windowed quantiles
+        (the telemetry sampler's rolling SLO view) come from the same
+        deterministic bucket math as cumulative ones.  Min/max are *not*
+        subtractable; the diff keeps the cumulative extremes as clamp
+        bounds, which only widens the window's quantile clamp range.
+        Raises :class:`ValueError` if ``earlier`` is not a prefix of this
+        histogram (some bucket would go negative).
+        """
+        out = Histogram()
+        for index, bucket_count in enumerate(self.buckets):
+            delta = bucket_count - earlier.buckets[index]
+            if delta < 0:
+                raise ValueError(
+                    f"histogram diff underflow in bucket {index}: "
+                    f"{bucket_count} - {earlier.buckets[index]}"
+                )
+            out.buckets[index] = delta
+        out.count = self.count - earlier.count
+        if out.count < 0:
+            raise ValueError(
+                f"histogram diff underflow: count {self.count} - {earlier.count}"
+            )
+        out.sum = self.sum - earlier.sum
+        if out.count:
+            out.min = self.min
+            out.max = self.max
+        return out
+
     # -- persistence ----------------------------------------------------
     def snapshot(self) -> dict:
         """Faithful JSON-ready state (sparse buckets, for shipping)."""

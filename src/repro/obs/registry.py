@@ -60,6 +60,11 @@ SERVICE_COUNTERS = frozenset(
         "service.shm_segments_swept",
         "service.requests",
         "service.request_errors",
+        # live-telemetry pipeline (repro.obs.telemetry sampling inside the
+        # job manager) and its SLO state-transition bookkeeping
+        "telemetry.samples",
+        "slo.breaches",
+        "slo.recoveries",
     }
 )
 
@@ -74,6 +79,8 @@ COUNTER_PREFIXES = (
     # service admission rejections and injected job-level faults, by kind
     "service.rejected.",
     "service.injected.",
+    # SLO breach transitions, by breached objective name
+    "slo.breach.",
 )
 
 #: Every histogram/timer instrument the engine records, by family:
@@ -120,6 +127,9 @@ METRIC_NAMES = frozenset(
         "latency.job_queue_seconds",
         "latency.job_run_seconds",
         "latency.job_total_seconds",
+        # telemetry-sampler self-observation: how far behind its schedule
+        # each sample fired (scheduling drift, not collection cost)
+        "telemetry.sample_lag_seconds",
     }
 )
 
@@ -144,6 +154,9 @@ SPAN_NAMES = frozenset(
         "cube.build",
         "bench.run",
         "service.job.run",
+        "service.job.submit",
+        "service.job.launch",
+        "worker.chunk",
     }
 )
 

@@ -90,9 +90,15 @@ class JsonLinesSink:
         self._last_flush = time.perf_counter()
 
     @classmethod
-    def open(cls, path: str) -> "JsonLinesSink":
-        """Create a sink that owns (and will close) the file at ``path``."""
-        sink = cls(open(path, "w"))
+    def open(cls, path: str, *, append: bool = False) -> "JsonLinesSink":
+        """Create a sink that owns (and will close) the file at ``path``.
+
+        ``append=True`` preserves existing lines — the service runner
+        reopens one job's ``trace.jsonl`` per attempt, and the earlier
+        attempts' spans must survive for the stitched trace to show the
+        whole retry history.
+        """
+        sink = cls(open(path, "a" if append else "w"))
         sink._owns_stream = True
         return sink
 
@@ -126,9 +132,14 @@ def read_json_lines(lines: Iterable[str]) -> list[dict]:
     :class:`JsonLinesSink` (timing is preserved as written; spans arrive
     children-first, so every parent referenced already exists... except
     parents that never closed, whose children simply stay roots).
+
+    Linking keys on ``(pid, span_id)``: one file may hold records from
+    several processes (a stitched read, or a trace file appended across
+    attempts), and a cross-process parent link is *not* an in-file child
+    edge — the stitcher resolves those separately.
     """
     records: list[dict] = []
-    by_id: dict[int, dict] = {}
+    by_id: dict[tuple, dict] = {}
     for line in lines:
         line = line.strip()
         if not line:
@@ -136,9 +147,9 @@ def read_json_lines(lines: Iterable[str]) -> list[dict]:
         record = json.loads(line)
         record["children"] = []
         records.append(record)
-        by_id[record["span_id"]] = record
+        by_id[(record.get("pid"), record["span_id"])] = record
     for record in records:
-        parent = by_id.get(record.get("parent_id"))
-        if parent is not None:
+        parent = by_id.get((record.get("pid"), record.get("parent_id")))
+        if parent is not None and not record.get("remote"):
             parent["children"].append(record)
     return records

@@ -1,0 +1,271 @@
+"""Stitch per-process trace files into one cross-process Chrome trace.
+
+A served job leaves spans in several JSON-lines files: the server's
+``trace.jsonl`` (submit/launch spans), the runner child's
+``jobs/<id>/trace.jsonl`` (appended across attempts), and one
+``trace-worker-<pid>.jsonl`` per pool/shard worker.  Each record carries
+the fields stitching needs (:meth:`Span.to_dict
+<repro.obs.trace.Span.to_dict>`): a shared ``trace_id``, a globally
+unique random ``span_id``, ``pid``/``process`` identity, a ``remote``
+flag on cross-process parent links, and ``unix_started``/``unix_ended``
+wall-clock instants.
+
+This module collects those files, rebases every span onto the wall
+clock (the only clock the processes share), and renders one Chrome
+trace-event document in which:
+
+* each source process is its own ``pid`` lane group, named via a
+  ``process_name`` metadata event;
+* in-process nesting is ordinary ``B``/``E`` duration nesting
+  (:func:`repro.obs.export.chrome_trace` with per-record pids);
+* cross-process parent links become ``s``/``f`` *flow* arrows from the
+  remote parent's begin to the child's begin.
+
+Stitching is tolerant by construction: a span whose remote parent never
+closed (runner killed mid-job) is promoted to a lane root and simply has
+no arrow, so a chaos-interrupted job still stitches into a valid trace.
+:func:`validate_chrome` checks the structural invariants the viewers
+rely on (per-lane monotonic timestamps, balanced ``B``/``E`` nesting,
+complete flow pairs).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from repro.obs.export import _micros, _span_key, chrome_trace
+
+#: Glob matching every span file a job or server directory can contain
+#: (``trace.jsonl`` plus ``trace-worker-<pid>.jsonl``).
+TRACE_FILE_GLOB = "trace*.jsonl"
+
+
+def collect_trace_files(root: str | Path) -> list[Path]:
+    """All span files under ``root``, recursively, in sorted order.
+
+    Pass a single job directory to stitch that job (runner + workers),
+    or the server's data directory to include the server's own
+    submit/launch spans as well.
+    """
+    root = Path(root)
+    if root.is_file():
+        return [root]
+    return sorted(root.rglob(TRACE_FILE_GLOB))
+
+
+def load_records(paths: Iterable[str | Path]) -> list[dict]:
+    """Parse span records from JSON-lines files, skipping blank lines.
+
+    Unparseable lines raise — a torn *tail* cannot occur because the
+    sink only flushes at line boundaries, so a bad line means a bad
+    file, not a crash artifact.
+    """
+    records: list[dict] = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+    return records
+
+
+def _placeable(records: Iterable[Mapping]) -> list[dict]:
+    """Records stitchable onto the shared wall clock, rebased in place.
+
+    Returns copies whose ``started``/``ended`` are the wall-clock
+    ``unix_started``/``unix_ended`` instants, so every downstream
+    exporter compares times from one clock.  Records predating the unix
+    fields (or never closed) are dropped.
+    """
+    out: list[dict] = []
+    for record in records:
+        started = record.get("unix_started")
+        ended = record.get("unix_ended")
+        if started is None or ended is None:
+            continue
+        rebased = dict(record)
+        rebased["started"] = started
+        rebased["ended"] = ended
+        out.append(rebased)
+    return out
+
+
+def stitch_chrome(records: Iterable[Mapping]) -> dict:
+    """One Chrome trace-event document from multi-process span records.
+
+    ``process_name`` metadata events label each pid lane group with the
+    recorded process name; duration events nest in-process spans; flow
+    events (``s`` at the remote parent's begin, ``f`` at the child's
+    begin) draw each cross-process parent link the records prove — a
+    link whose parent record is missing draws nothing.
+    """
+    placeable = _placeable(records)
+    doc = chrome_trace(placeable, pid=None)
+    if not placeable:
+        return doc
+    # chrome_trace rebases against its earliest *root*; the earliest
+    # placeable span is always a root (an in-process parent would have
+    # started earlier still), so this origin matches the one it used.
+    origin = min(record["started"] for record in placeable)
+
+    names: dict[int, str] = {}
+    for record in placeable:
+        pid = int(record.get("pid") or 1)
+        names.setdefault(pid, str(record.get("process") or f"pid {pid}"))
+    metadata = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": names[pid]},
+        }
+        for pid in sorted(names)
+    ]
+
+    by_span_id = {record["span_id"]: record for record in placeable}
+    flows: list[dict] = []
+    for record in placeable:
+        if not record.get("remote"):
+            continue
+        parent = by_span_id.get(record.get("parent_id"))
+        if parent is None or _span_key(parent) == _span_key(record):
+            continue
+        flow_id = f"{int(record['span_id']) & 0xFFFFFFFFFFFFFFFF:016x}"
+        common = {"cat": "remote", "name": "remote-parent", "id": flow_id}
+        flows.append(
+            {
+                "ph": "s",
+                "pid": int(parent.get("pid") or 1),
+                "tid": int(parent.get("thread") or 0),
+                "ts": _micros(parent["started"], origin),
+                **common,
+            }
+        )
+        flows.append(
+            {
+                "ph": "f",
+                "bp": "e",
+                "pid": int(record.get("pid") or 1),
+                "tid": int(record.get("thread") or 0),
+                "ts": _micros(record["started"], origin),
+                **common,
+            }
+        )
+    doc["traceEvents"] = metadata + doc["traceEvents"] + flows
+    return doc
+
+
+def validate_chrome(doc: Mapping) -> None:
+    """Check the structural invariants of a stitched Chrome trace.
+
+    Raises :class:`ValueError` naming the first violation:
+
+    * every duration lane (pid, tid) has non-decreasing timestamps in
+      emission order;
+    * ``B``/``E`` events balance per lane, closing in LIFO name order;
+    * every flow id pairs exactly one ``s`` with one ``f``.
+    """
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("traceEvents missing or not a list")
+    lanes: dict[tuple, list[str]] = {}
+    last_ts: dict[tuple, float] = {}
+    flow_starts: dict[str, int] = {}
+    flow_ends: dict[str, int] = {}
+    for index, event in enumerate(events):
+        phase = event.get("ph")
+        if phase == "M":
+            continue
+        lane = (event.get("pid"), event.get("tid"))
+        if phase in ("B", "E"):
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)):
+                raise ValueError(f"event {index}: non-numeric ts {ts!r}")
+            if ts < last_ts.get(lane, float("-inf")):
+                raise ValueError(
+                    f"event {index}: ts {ts} goes backwards on lane {lane}"
+                )
+            last_ts[lane] = ts
+            stack = lanes.setdefault(lane, [])
+            if phase == "B":
+                stack.append(str(event.get("name")))
+            else:
+                if not stack:
+                    raise ValueError(
+                        f"event {index}: E with empty stack on lane {lane}"
+                    )
+                opened = stack.pop()
+                if opened != str(event.get("name")):
+                    raise ValueError(
+                        f"event {index}: E {event.get('name')!r} closes "
+                        f"B {opened!r} on lane {lane}"
+                    )
+        elif phase == "s":
+            flow_starts[str(event.get("id"))] = (
+                flow_starts.get(str(event.get("id")), 0) + 1
+            )
+        elif phase == "f":
+            flow_ends[str(event.get("id"))] = (
+                flow_ends.get(str(event.get("id")), 0) + 1
+            )
+        else:
+            raise ValueError(f"event {index}: unknown phase {phase!r}")
+    for lane, stack in lanes.items():
+        if stack:
+            raise ValueError(f"lane {lane}: unclosed spans {stack!r}")
+    if flow_starts != flow_ends:
+        unmatched = set(flow_starts.items()) ^ set(flow_ends.items())
+        raise ValueError(f"unmatched flow events: {sorted(unmatched)!r}")
+
+
+def stitch_summary(records: Iterable[Mapping]) -> dict:
+    """Human-oriented digest of a stitched record set.
+
+    Reports the distinct trace ids seen (one, for one job), per-process
+    span counts, and how many cross-process links resolved against how
+    many were claimed — the difference is spans whose remote parent
+    never closed (e.g. a killed attempt).
+    """
+    placeable = _placeable(records)
+    by_span_id = {record["span_id"]: record for record in placeable}
+    processes: dict[int, dict] = {}
+    trace_ids: set[str] = set()
+    remote_links = resolved_links = 0
+    for record in placeable:
+        if record.get("trace_id"):
+            trace_ids.add(str(record["trace_id"]))
+        pid = int(record.get("pid") or 1)
+        entry = processes.setdefault(
+            pid,
+            {"process": str(record.get("process") or f"pid {pid}"), "spans": 0},
+        )
+        entry["spans"] += 1
+        if record.get("remote"):
+            remote_links += 1
+            if record.get("parent_id") in by_span_id:
+                resolved_links += 1
+    return {
+        "spans": len(placeable),
+        "trace_ids": sorted(trace_ids),
+        "processes": {str(pid): processes[pid] for pid in sorted(processes)},
+        "remote_links": remote_links,
+        "resolved_links": resolved_links,
+    }
+
+
+def stitch_directory(root: str | Path) -> tuple[dict, dict]:
+    """Collect, load, and stitch every span file under ``root``.
+
+    Returns ``(chrome_doc, summary)``; raises :class:`FileNotFoundError`
+    when the directory holds no trace files at all, so a mistyped path
+    fails loudly instead of producing an empty trace.
+    """
+    paths = collect_trace_files(root)
+    if not paths:
+        raise FileNotFoundError(f"no {TRACE_FILE_GLOB} files under {root}")
+    records = load_records(paths)
+    return stitch_chrome(records), stitch_summary(records)

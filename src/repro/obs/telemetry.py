@@ -1,0 +1,509 @@
+"""Live operational telemetry: sampler, SLO windows, Prometheus text.
+
+The job server's observability so far was a point-in-time ``/metrics``
+JSON snapshot; this module turns it into a *time series* and an *SLO
+judgement*:
+
+* :func:`prometheus_exposition` renders one snapshot (counters, gauges,
+  and :class:`~repro.obs.metrics.MetricSet` histograms) in the
+  Prometheus text exposition format, with the cumulative
+  ``_bucket``/``_sum``/``_count`` histogram convention;
+* :func:`parse_exposition` is the matching validator — CI scrapes a live
+  server and rejects malformed output (bad sample syntax, missing
+  ``+Inf`` bucket, non-cumulative bucket counts);
+* :class:`TelemetrySampler` is the background thread the
+  :class:`~repro.service.manager.JobManager` runs: it snapshots the obs
+  surfaces at a fixed interval into a bounded ring buffer, serves the
+  ``/metrics/history`` delta series from it, and evaluates rolling
+  :class:`SloPolicy` windows whose breaches degrade ``/healthz``.
+
+Lock order (RA006): the sampler calls its snapshot function — which
+takes the *manager* lock — and its breach-transition callback with its
+own lock **released**, while the manager's ``health_document`` calls
+:meth:`TelemetrySampler.slo_status` under the manager lock.  The only
+cross edge is therefore manager-lock → sampler-lock, so the pair stays
+acyclic.
+
+This module reads the wall clock (``time.time``) to timestamp samples
+and is deliberately **not** imported from :mod:`repro.obs`'s package
+namespace: it serves the single-process manager only and must stay out
+of the worker-reachable import graph the determinism lint (RA001)
+patrols.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.obs.metrics import BUCKET_BOUNDS, Histogram, MetricSet
+
+#: Metric fed to the rolling p99-latency SLO window.
+SLO_LATENCY_METRIC = "latency.job_total_seconds"
+
+#: Counters whose window deltas define the job error rate.
+SLO_FAILURE_COUNTER = "service.jobs_failed"
+SLO_SUCCESS_COUNTER = "service.jobs_succeeded"
+
+#: Gauge compared against the queue-depth SLO.
+SLO_QUEUE_GAUGE = "queue_depth"
+
+
+@dataclass(frozen=True)
+class SloPolicy:
+    """Thresholds for the server's rolling health objectives.
+
+    Any threshold left ``None`` disables that objective.  Windowed
+    objectives (latency, error rate) are computed over the last
+    ``window_samples`` ring-buffer samples — with a sampler interval of
+    ``s`` seconds that is a ``window_samples * s`` rolling window.
+    """
+
+    p99_latency_seconds: float | None = None
+    max_error_rate: float | None = None
+    max_queue_depth: int | None = None
+    window_samples: int = 12
+
+    def enabled(self) -> bool:
+        return (
+            self.p99_latency_seconds is not None
+            or self.max_error_rate is not None
+            or self.max_queue_depth is not None
+        )
+
+    def as_document(self) -> dict:
+        return {
+            "p99_latency_seconds": self.p99_latency_seconds,
+            "max_error_rate": self.max_error_rate,
+            "max_queue_depth": self.max_queue_depth,
+            "window_samples": self.window_samples,
+        }
+
+
+@dataclass
+class Sample:
+    """One ring-buffer entry: a timestamped cumulative snapshot."""
+
+    ts: float
+    counters: dict[str, float]
+    gauges: dict[str, float]
+    metrics: MetricSet = field(default_factory=MetricSet)
+
+
+class TelemetrySampler:
+    """Fixed-interval snapshot thread with a bounded delta ring buffer.
+
+    ``snapshot_fn(lag_seconds)`` must return a mapping with ``counters``
+    (cumulative name → value), ``gauges`` (instantaneous name → value),
+    and ``metrics`` (a :class:`MetricSet`, already copied — the sampler
+    keeps the reference).  It is called *outside* the sampler lock; the
+    manager implements it under its own lock.  ``transition(kind,
+    name, detail)`` — also called outside the lock — receives
+    ``("breach", ...)`` when an objective newly fails and
+    ``("recovery", ...)`` when it heals.
+    """
+
+    def __init__(
+        self,
+        snapshot_fn: Callable[[float | None], Mapping],
+        *,
+        interval: float = 2.0,
+        capacity: int = 720,
+        policy: SloPolicy | None = None,
+        transition: Callable[[str, str, str], None] | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"sample interval must be positive, got {interval}")
+        if capacity < 2:
+            raise ValueError(f"ring capacity must be >= 2, got {capacity}")
+        self.interval = float(interval)
+        self.capacity = int(capacity)
+        self.policy = policy or SloPolicy()
+        self._snapshot_fn = snapshot_fn
+        self._transition = transition
+        self._samples: deque[Sample] = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._expected_at: float | None = None
+        self._status: dict = {
+            "ok": True,
+            "breached": [],
+            "samples": 0,
+            "policy": self.policy.as_document(),
+        }
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-telemetry", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join()
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.sample_now()
+
+    # -- sampling -------------------------------------------------------
+    def sample_now(self) -> Sample:
+        """Take one sample synchronously (the thread's tick; also the
+        deterministic entry point tests and forced scrapes use)."""
+        now = time.time()
+        lag = None if self._expected_at is None else max(0.0, now - self._expected_at)
+        self._expected_at = now + self.interval
+        snap = self._snapshot_fn(lag)
+        sample = Sample(
+            ts=now,
+            counters=dict(snap["counters"]),
+            gauges=dict(snap["gauges"]),
+            metrics=snap["metrics"],
+        )
+        with self._lock:
+            self._samples.append(sample)
+            window = list(self._samples)[-max(2, self.policy.window_samples):]
+            total = len(self._samples)
+        status = evaluate_slo(window, self.policy)
+        status["samples"] = total
+        with self._lock:
+            previous = {entry["name"]: entry for entry in self._status["breached"]}
+            current = {entry["name"]: entry for entry in status["breached"]}
+            self._status = status
+        if self._transition is not None:
+            for name in sorted(current.keys() - previous.keys()):
+                self._transition("breach", name, current[name]["detail"])
+            for name in sorted(previous.keys() - current.keys()):
+                self._transition("recovery", name, previous[name]["detail"])
+        return sample
+
+    # -- reading --------------------------------------------------------
+    def slo_status(self) -> dict:
+        """The latest SLO judgement (never blocks on sampling)."""
+        with self._lock:
+            status = self._status
+        return {
+            "ok": status["ok"],
+            "breached": [dict(entry) for entry in status["breached"]],
+            "samples": status["samples"],
+            "policy": dict(status["policy"]),
+        }
+
+    def history_document(self) -> dict:
+        """The ring buffer as a JSON time series of per-interval deltas.
+
+        Counters are reported both cumulatively and as the delta since
+        the previous sample (the first sample's delta is its cumulative
+        value — the series starts at server start, when everything was
+        zero); gauges are instantaneous.
+        """
+        with self._lock:
+            samples = list(self._samples)
+        series = []
+        previous: Sample | None = None
+        for sample in samples:
+            deltas = {
+                name: value - (previous.counters.get(name, 0.0) if previous else 0.0)
+                for name, value in sorted(sample.counters.items())
+            }
+            series.append(
+                {
+                    "ts": sample.ts,
+                    "counters": dict(sorted(sample.counters.items())),
+                    "deltas": deltas,
+                    "gauges": dict(sorted(sample.gauges.items())),
+                }
+            )
+            previous = sample
+        return {
+            "interval_seconds": self.interval,
+            "capacity": self.capacity,
+            "samples": series,
+        }
+
+    def latest(self) -> Sample | None:
+        with self._lock:
+            return self._samples[-1] if self._samples else None
+
+
+def evaluate_slo(window: list[Sample], policy: SloPolicy) -> dict:
+    """Judge a window of cumulative samples against a policy.
+
+    Windowed deltas come from ``window[-1] - window[0]``; with fewer
+    than two samples there is no window yet and windowed objectives
+    pass vacuously (a server that just started is healthy, not
+    breached).  Queue depth is instantaneous: the latest gauge.
+    """
+    breached: list[dict] = []
+    if window and policy.enabled():
+        latest = window[-1]
+        earliest = window[0]
+        if policy.p99_latency_seconds is not None and len(window) >= 2:
+            now_hist = latest.metrics.get(SLO_LATENCY_METRIC)
+            then_hist = earliest.metrics.get(SLO_LATENCY_METRIC)
+            if now_hist is not None:
+                delta = now_hist.diff(then_hist or Histogram())
+                if delta.count > 0:
+                    p99 = delta.quantile(0.99)
+                    if p99 > policy.p99_latency_seconds:
+                        breached.append(
+                            {
+                                "name": "p99_latency",
+                                "value": p99,
+                                "threshold": policy.p99_latency_seconds,
+                                "detail": (
+                                    f"windowed p99 job latency {p99:.3f}s exceeds "
+                                    f"{policy.p99_latency_seconds:.3f}s "
+                                    f"over {delta.count} jobs"
+                                ),
+                            }
+                        )
+        if policy.max_error_rate is not None and len(window) >= 2:
+            failed = latest.counters.get(
+                SLO_FAILURE_COUNTER, 0.0
+            ) - earliest.counters.get(SLO_FAILURE_COUNTER, 0.0)
+            succeeded = latest.counters.get(
+                SLO_SUCCESS_COUNTER, 0.0
+            ) - earliest.counters.get(SLO_SUCCESS_COUNTER, 0.0)
+            finished = failed + succeeded
+            if finished > 0:
+                rate = failed / finished
+                if rate > policy.max_error_rate:
+                    breached.append(
+                        {
+                            "name": "error_rate",
+                            "value": rate,
+                            "threshold": policy.max_error_rate,
+                            "detail": (
+                                f"windowed job error rate {rate:.2%} exceeds "
+                                f"{policy.max_error_rate:.2%} "
+                                f"({failed:g}/{finished:g} jobs failed)"
+                            ),
+                        }
+                    )
+        if policy.max_queue_depth is not None:
+            depth = latest.gauges.get(SLO_QUEUE_GAUGE, 0.0)
+            if depth > policy.max_queue_depth:
+                breached.append(
+                    {
+                        "name": "queue_depth",
+                        "value": depth,
+                        "threshold": policy.max_queue_depth,
+                        "detail": (
+                            f"queue depth {depth:g} exceeds "
+                            f"{policy.max_queue_depth}"
+                        ),
+                    }
+                )
+    return {
+        "ok": not breached,
+        "breached": breached,
+        "samples": len(window),
+        "policy": policy.as_document(),
+    }
+
+
+# -- Prometheus text exposition ----------------------------------------
+
+_NAME_SAFE_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Family name prefix for everything this server exposes.
+METRIC_NAMESPACE = "repro"
+
+
+def _family(name: str) -> str:
+    """A dotted obs name as a Prometheus metric family name."""
+    return f"{METRIC_NAMESPACE}_{_NAME_SAFE_RE.sub('_', name)}"
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return repr(float(value))
+
+
+def prometheus_exposition(
+    counters: Mapping[str, float],
+    gauges: Mapping[str, float],
+    metrics: MetricSet,
+) -> str:
+    """Render one snapshot in the Prometheus text exposition format.
+
+    Counter families get the conventional ``_total`` suffix; histograms
+    emit cumulative ``_bucket{le="..."}`` samples (only buckets whose
+    cumulative count changes, plus the mandatory ``+Inf``), ``_sum``,
+    and ``_count``.  Families are name-sorted for stable scrapes.
+    """
+    lines: list[str] = []
+    for name in sorted(counters):
+        family = _family(name) + "_total"
+        lines.append(f"# HELP {family} Cumulative counter {name}")
+        lines.append(f"# TYPE {family} counter")
+        lines.append(f"{family} {_format_value(float(counters[name]))}")
+    for name in sorted(gauges):
+        family = _family(name)
+        lines.append(f"# HELP {family} Gauge {name}")
+        lines.append(f"# TYPE {family} gauge")
+        lines.append(f"{family} {_format_value(float(gauges[name]))}")
+    for name in sorted(metrics):
+        histogram = metrics.get(name)
+        assert histogram is not None
+        family = _family(name)
+        lines.append(f"# HELP {family} Histogram {name}")
+        lines.append(f"# TYPE {family} histogram")
+        cumulative = 0
+        for index, bucket_count in enumerate(histogram.buckets):
+            if bucket_count == 0:
+                continue
+            cumulative += bucket_count
+            if index < len(BUCKET_BOUNDS):
+                bound = _format_value(BUCKET_BOUNDS[index])
+                lines.append(
+                    f'{family}_bucket{{le="{bound}"}} {cumulative}'
+                )
+        lines.append(f'{family}_bucket{{le="+Inf"}} {histogram.count}')
+        lines.append(f"{family}_sum {_format_value(histogram.sum)}")
+        lines.append(f"{family}_count {histogram.count}")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+
+_LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"$')
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)  # raises ValueError on garbage — intended
+
+
+def parse_exposition(text: str) -> dict[str, dict]:
+    """Parse and validate Prometheus text exposition output.
+
+    Returns ``{family: {"type": ..., "help": ..., "samples": [(labels,
+    value), ...]}}`` keyed by declared family name, and raises
+    :class:`ValueError` on any violation CI should catch: samples with
+    no preceding ``# TYPE``, malformed sample syntax, histograms whose
+    buckets are not cumulative, missing ``+Inf``, or a ``_count`` that
+    disagrees with the ``+Inf`` bucket.
+    """
+    families: dict[str, dict] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                raise ValueError(f"line {lineno}: malformed comment {line!r}")
+            _, kind, family = parts[:3]
+            rest = parts[3] if len(parts) > 3 else ""
+            entry = families.setdefault(
+                family, {"type": None, "help": None, "samples": []}
+            )
+            if kind == "TYPE":
+                if entry["samples"]:
+                    raise ValueError(
+                        f"line {lineno}: TYPE for {family} after its samples"
+                    )
+                if rest not in ("counter", "gauge", "histogram", "summary", "untyped"):
+                    raise ValueError(f"line {lineno}: unknown type {rest!r}")
+                entry["type"] = rest
+            else:
+                entry["help"] = rest
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        name = match.group("name")
+        labels: dict[str, str] = {}
+        if match.group("labels"):
+            for part in match.group("labels").split(","):
+                label_match = _LABEL_RE.match(part.strip())
+                if label_match is None:
+                    raise ValueError(f"line {lineno}: malformed label {part!r}")
+                labels[label_match.group(1)] = label_match.group(2)
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: malformed value {match.group('value')!r}"
+            ) from None
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                candidate = name[: -len(suffix)]
+                if families[candidate]["type"] == "histogram":
+                    family = candidate
+                break
+        if family not in families or families[family]["type"] is None:
+            raise ValueError(f"line {lineno}: sample {name!r} without # TYPE")
+        families[family]["samples"].append((name, labels, value))
+    for family, entry in families.items():
+        if entry["type"] != "histogram":
+            continue
+        buckets = [
+            (labels, value)
+            for (name, labels, value) in entry["samples"]
+            if name == f"{family}_bucket"
+        ]
+        if not buckets:
+            raise ValueError(f"{family}: histogram with no _bucket samples")
+        les = []
+        for labels, value in buckets:
+            if "le" not in labels:
+                raise ValueError(f"{family}: bucket sample without le label")
+            les.append((_parse_value(labels["le"]), value))
+        les.sort(key=lambda pair: pair[0])
+        if les[-1][0] != math.inf:
+            raise ValueError(f"{family}: histogram missing +Inf bucket")
+        previous = -math.inf
+        for bound, value in les:
+            if value < previous:
+                raise ValueError(
+                    f"{family}: bucket counts not cumulative at le={bound}"
+                )
+            previous = value
+        counts = [
+            value
+            for (name, _labels, value) in entry["samples"]
+            if name == f"{family}_count"
+        ]
+        sums = [
+            value
+            for (name, _labels, value) in entry["samples"]
+            if name == f"{family}_sum"
+        ]
+        if len(counts) != 1 or len(sums) != 1:
+            raise ValueError(f"{family}: histogram needs exactly one _sum/_count")
+        if counts[0] != les[-1][1]:
+            raise ValueError(
+                f"{family}: _count {counts[0]} != +Inf bucket {les[-1][1]}"
+            )
+    return families

@@ -29,6 +29,12 @@ import threading
 import time
 from typing import Any
 
+from repro.obs.context import (
+    TraceContext,
+    new_span_id,
+    new_trace_id,
+    process_identity,
+)
 from repro.obs.counters import CounterSet
 from repro.obs.metrics import NULL_TIMER, MetricSet, _MetricTimer
 from repro.obs.sinks import NullSink, Sink
@@ -46,12 +52,21 @@ class Span:
         "counters",
         "span_id",
         "parent_id",
+        "trace_id",
+        "remote",
         "depth",
         "thread",
         "_tracer",
+        "_context",
     )
 
-    def __init__(self, name: str, attrs: dict[str, Any], tracer: "Tracer") -> None:
+    def __init__(
+        self,
+        name: str,
+        attrs: dict[str, Any],
+        tracer: "Tracer",
+        context: TraceContext | None = None,
+    ) -> None:
         self.name = name
         self.attrs = attrs
         self.started: float | None = None
@@ -60,9 +75,15 @@ class Span:
         self.counters = CounterSet()
         self.span_id: int = -1
         self.parent_id: int | None = None
+        self.trace_id: str = ""
+        #: True when ``parent_id`` names a span in *another* process
+        #: (propagated via a :class:`TraceContext`), so tree rebuilders
+        #: know to look beyond this process's records.
+        self.remote: bool = False
         self.depth: int = 0
         self.thread: int = 0
         self._tracer = tracer
+        self._context = context
 
     # -- recording ------------------------------------------------------
     def set(self, **attrs: Any) -> None:
@@ -86,21 +107,45 @@ class Span:
 
         ``started``/``ended`` are raw ``perf_counter`` readings — only
         differences between values from the same process are meaningful.
-        ``thread`` is a dense per-tracer index (0 = first thread to open a
-        span), stable enough for trace viewers to lane spans by.
+        ``unix_started``/``unix_ended`` are the same instants rebased to
+        the wall clock via the tracer's anchor, so *stitching* can place
+        spans from different processes on one timeline.  ``thread`` is a
+        dense per-tracer index (0 = first thread to open a span), stable
+        enough for trace viewers to lane spans by.
         """
+        tracer = self._tracer
+        anchor = tracer.unix_anchor
         return {
+            "trace_id": self.trace_id,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
+            "remote": self.remote,
+            "pid": tracer.pid,
+            "process": tracer.process_name,
             "depth": self.depth,
             "name": self.name,
             "started": self.started,
             "ended": self.ended,
+            "unix_started": (
+                anchor + self.started if self.started is not None else None
+            ),
+            "unix_ended": (
+                anchor + self.ended if self.ended is not None else None
+            ),
             "thread": self.thread,
             "duration_seconds": self.duration_seconds,
             "attrs": dict(self.attrs),
             "counters": self.counters.as_dict(),
         }
+
+    @property
+    def context(self) -> TraceContext:
+        """This span's position as a propagatable context."""
+        return TraceContext(self.trace_id, self.span_id)
+
+    def traceparent(self) -> str:
+        """The W3C-style wire form naming this span as the parent."""
+        return self.context.to_traceparent()
 
     def __bool__(self) -> bool:
         return True
@@ -118,9 +163,25 @@ class Span:
         self.thread = tracer._thread_index()
         stack = tracer._stack
         if stack:
+            # In-process nesting wins: the open parent defines both the
+            # link and the trace this span belongs to.
             parent = stack[-1]
             self.parent_id = parent.span_id
             self.depth = parent.depth + 1
+            self.trace_id = parent.trace_id
+        elif self._context is not None:
+            # Explicit remote context (span_from): adopt its trace and
+            # parent to the span on the far side of the process boundary.
+            self.trace_id = self._context.trace_id
+            self.parent_id = self._context.span_id
+            self.remote = self.parent_id is not None
+        else:
+            # A root span inherits the tracer's trace — which itself may
+            # be a remote continuation (a runner child's whole tracer is
+            # parented under the manager's launch span).
+            self.trace_id = tracer.trace_id
+            self.parent_id = tracer.remote_parent_id
+            self.remote = self.parent_id is not None
         stack.append(self)
         self.started = time.perf_counter()
         return self
@@ -152,6 +213,13 @@ class _NullSpan:
 
     def incr(self, name: str, value: float = 1) -> None:
         pass
+
+    @property
+    def context(self) -> None:
+        return None
+
+    def traceparent(self) -> None:
+        return None
 
     def __bool__(self) -> bool:
         return False
@@ -186,18 +254,43 @@ class Tracer:
         dumps its quantile summaries).
     """
 
-    def __init__(self, sink: Sink | None = None, *, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        sink: Sink | None = None,
+        *,
+        enabled: bool = True,
+        context: TraceContext | None = None,
+    ) -> None:
         self.enabled = enabled
         self.sink: Sink = sink if sink is not None else NullSink()
         self.totals = CounterSet()
         self.metrics = MetricSet()
+        #: The trace this tracer's root spans belong to.  With a remote
+        #: ``context`` (a runner child continuing the server's trace) the
+        #: trace id is inherited and root spans parent to the remote span;
+        #: otherwise every tracer opens a fresh trace of its own.
+        self.context = context
+        if context is not None:
+            self.trace_id = context.trace_id
+            self.remote_parent_id = context.span_id
+        else:
+            self.trace_id = new_trace_id()
+            self.remote_parent_id = None
+        self.pid, self.process_name = process_identity()
+        #: Wall-clock origin of this process's ``perf_counter`` epoch —
+        #: ``anchor + perf_counter()`` ≈ ``time.time()`` — letting the
+        #: stitcher place spans from different processes on one timeline.
+        #: Read exactly once per tracer; span *durations* stay monotonic.
+        # ra: RA001 -- wall-clock anchor for cross-process trace stitching:
+        # read once at tracer construction, never used in any result or
+        # counter the determinism contract covers (timestamps only).
+        self.unix_anchor = time.time() - time.perf_counter()
         # Span nesting is per thread: the parallel evaluator's thread
         # workers each get their own stack, so concurrently open spans
-        # never corrupt each other's parent/child links.  Ids, run totals,
+        # never corrupt each other's parent/child links.  Run totals,
         # metrics, and sink emission stay process-wide, guarded by one lock.
         self._local = threading.local()
         self._lock = threading.Lock()
-        self._id_counter = 0
         self._thread_ids: dict[int, int] = {}
 
     @property
@@ -213,6 +306,20 @@ class Tracer:
         if not self.enabled:
             return NULL_SPAN
         return Span(name, attrs, self)
+
+    def span_from(self, context: TraceContext | None, name: str, **attrs: Any):
+        """Open a span explicitly parented by a propagated ``context``.
+
+        The cross-process entry point: a worker or scheduler thread with
+        an *empty* local stack opens its span under the remote parent the
+        context names, keeping the whole job on one trace id.  A ``None``
+        context (propagation lost) degrades to a plain :meth:`span`.
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        if context is None:
+            return Span(name, attrs, self)
+        return Span(name, attrs, self, context=context)
 
     def incr(self, name: str, value: float = 1) -> None:
         """Count into the current span (if any) and the run totals."""
@@ -268,9 +375,12 @@ class Tracer:
 
     # -- internal -------------------------------------------------------
     def _next_id(self) -> int:
-        with self._lock:
-            self._id_counter += 1
-            return self._id_counter
+        """A globally unique random 64-bit span id (see repro.obs.context).
+
+        Random rather than sequential so ids from *different processes*
+        never collide when their trace files are stitched into one tree.
+        """
+        return new_span_id()
 
     def _thread_index(self) -> int:
         """Dense index of the calling thread (0 = first thread seen)."""

@@ -101,7 +101,9 @@ def _split_chunks(items: list, pieces: int) -> list[list]:
     return chunks
 
 
-def _thread_chunk(problem, chunk, directive=None, submitted_at=None):
+def _thread_chunk(
+    problem, chunk, directive=None, submitted_at=None, traceparent=None
+):
     """Execute one chunk in a worker thread (shared memory, private stats).
 
     Also the supervised path's serial fallback (with ``directive=None``):
@@ -109,22 +111,28 @@ def _thread_chunk(problem, chunk, directive=None, submitted_at=None):
     counters bit-identical whichever rung of the ladder did the work.
     Ships the same chunk telemetry as a process worker, so the ``worker.*``
     histograms describe the pool uniformly across thread and process modes.
+    The ``worker.chunk`` span is parented explicitly via ``traceparent``
+    (the dispatching ``parallel.batch`` span): pool threads have an empty
+    span stack, and the serial fallback passes None, inheriting the
+    caller's stack instead.
     """
     from repro.core.stats import SearchStats
     from repro.parallel.worker import _note_worker_telemetry
 
-    apply_worker_fault(directive, in_process=False)
-    chunk_started = time.perf_counter()
-    evaluator = FrequencyEvaluator(problem, SearchStats())
-    out = []
-    for _, node, kind, payload in chunk:
-        out.append(evaluator.execute_job(node, kind, payload))
-    _note_worker_telemetry(
-        evaluator.stats.metrics,
-        num_jobs=len(chunk),
-        chunk_seconds=time.perf_counter() - chunk_started,
-        submitted_at=submitted_at,
-    )
+    context = obs.TraceContext.from_traceparent(traceparent)
+    with obs.span_from(context, "worker.chunk", jobs=len(chunk)):
+        apply_worker_fault(directive, in_process=False)
+        chunk_started = time.perf_counter()
+        evaluator = FrequencyEvaluator(problem, SearchStats())
+        out = []
+        for _, node, kind, payload in chunk:
+            out.append(evaluator.execute_job(node, kind, payload))
+        _note_worker_telemetry(
+            evaluator.stats.metrics,
+            num_jobs=len(chunk),
+            chunk_seconds=time.perf_counter() - chunk_started,
+            submitted_at=submitted_at,
+        )
     result = (out, evaluator.stats.counters, evaluator.stats.metrics)
     if directive is not None and directive[0] == "poison":
         result = poison_payload(result)
@@ -248,6 +256,10 @@ class BatchMaterializer:
         self._owns_store = False
         #: Last error swallowed while shutting an executor down.
         self.shutdown_error: BaseException | None = None
+        #: The active ``parallel.batch`` span's trace position, shipped
+        #: with every dispatched chunk so ``worker.chunk`` spans (thread
+        #: or process side) parent to the batch that dispatched them.
+        self._batch_traceparent: str | None = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -393,6 +405,7 @@ class BatchMaterializer:
             tasks=len(chunks),
             workers=self.execution.workers,
         ) as sp:
+            self._batch_traceparent = sp.traceparent() if sp else None
             payloads = self._dispatch_supervised(evaluator, chunks)
             merge_seconds = 0.0
             shard_partials: dict[int, list] = {
@@ -671,7 +684,12 @@ class BatchMaterializer:
         submitted_at = time.monotonic()
         if self._mode == "threads":
             state.future = executor.submit(
-                _thread_chunk, self.problem, state.chunk, directive, submitted_at
+                _thread_chunk,
+                self.problem,
+                state.chunk,
+                directive,
+                submitted_at,
+                self._batch_traceparent,
             )
         else:
             state.future = executor.submit(
@@ -679,6 +697,7 @@ class BatchMaterializer:
                 _ship_chunk(state.chunk),
                 directive,
                 submitted_at,
+                self._batch_traceparent,
             )
 
     def _await_state(

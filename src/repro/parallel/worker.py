@@ -38,21 +38,38 @@ _PROBLEM = None
 def init_worker(problem) -> None:
     """Pool initializer: install the shipped problem in this process.
 
-    Also installs a disabled tracer: under the ``fork`` start method the
-    worker inherits the parent's active tracer, and concurrent writes to
-    an inherited JSON-lines sink would tear lines in the trace file.  The
-    only signal leaving a worker is the per-chunk counter delta, which the
-    parent merges deterministically.
+    Also replaces the tracer: under the ``fork`` start method the worker
+    inherits the parent's active tracer, and concurrent writes to an
+    inherited JSON-lines sink would tear lines in the trace file.  When
+    the parent exported a trace directory (:data:`repro.obs.TRACE_DIR_ENV`
+    — the service runner does this), the worker opens its *own* per-pid
+    ``trace-worker-<pid>.jsonl`` sink there and continues the propagated
+    trace (:data:`repro.obs.TRACEPARENT_ENV`); otherwise tracing is
+    disabled and the only signal leaving a worker is the per-chunk
+    counter delta, which the parent merges deterministically.
     """
     # ra: RA003 -- sanctioned worker-resident state: the problem is shipped
     # once via the pool initializer and is read-only thereafter; shipping it
     # per-chunk would serialize the table on every submit.
     global _PROBLEM
     _PROBLEM = problem
+    import os
+    from pathlib import Path
+
     from repro import obs
     from repro.obs.trace import Tracer
 
-    obs.set_tracer(Tracer(enabled=False))
+    trace_dir = os.environ.get(obs.TRACE_DIR_ENV)
+    if trace_dir:
+        sink = obs.JsonLinesSink.open(
+            str(Path(trace_dir) / f"trace-worker-{os.getpid()}.jsonl"),
+            append=True,
+        )
+        obs.set_tracer(
+            Tracer(sink, context=obs.TraceContext.from_environment())
+        )
+    else:
+        obs.set_tracer(Tracer(enabled=False))
 
 
 def init_worker_shared(handle) -> None:
@@ -125,6 +142,7 @@ def run_chunk(
     jobs: Sequence[tuple[Any, str, tuple | None]],
     directive: tuple[str, float] | None = None,
     submitted_at: float | None = None,
+    traceparent: str | None = None,
 ) -> tuple[list[tuple], "CounterSet", "MetricSet"]:
     """Materialise one chunk of frequency-set jobs in a worker process.
 
@@ -137,12 +155,18 @@ def run_chunk(
     — scan only rows ``[start, end)`` and fold the prefix in with the
     exact COUNT merge; see ``repro.incremental``).  Returns the materialised
     ``(key_codes, counts)`` pairs in job order plus this chunk's stats
-    delta and metrics delta.  The worker's tracer is the process default
-    (disabled), so the only signals leaving the worker are those two
-    deltas on the chunk-result channel.
+    delta and metrics delta.
 
     ``submitted_at`` is the parent's ``time.monotonic`` reading at submit
     time, used for the ``worker.queue_wait_seconds`` observation.
+
+    ``traceparent`` is the dispatching ``parallel.batch`` span's trace
+    position; when tracing is enabled in this process (see
+    :func:`init_worker`) the chunk executes under a ``worker.chunk`` span
+    parented there, flushed to this worker's own trace file before the
+    result ships.  Span output never rides the chunk-result channel —
+    the returned counter delta stays bit-identical whether or not
+    tracing is on, preserving the ``frequency.*`` determinism contract.
 
     ``directive`` is a pre-drawn fault-injection order from the parent's
     :class:`~repro.resilience.faults.FaultPlan` (crash/stall before doing
@@ -151,6 +175,7 @@ def run_chunk(
     supervised retry re-executes the whole chunk, so merged ``frequency.*``
     counters stay bit-identical to a fault-free run.
     """
+    from repro import obs
     from repro.core.anonymity import FrequencyEvaluator, FrequencySet
     from repro.core.stats import SearchStats
     from repro.resilience.faults import apply_worker_fault, poison_payload
@@ -159,38 +184,51 @@ def run_chunk(
     # never mutated after init_worker, so chunk results stay deterministic.
     if _PROBLEM is None:
         raise RuntimeError("worker used before init_worker installed a problem")
-    apply_worker_fault(directive, in_process=True)
-    chunk_started = time.perf_counter()
-    evaluator = FrequencyEvaluator(_PROBLEM, SearchStats())
-    out: list[tuple] = []
-    for node, kind, payload in jobs:
-        if kind == "scan":
-            result = evaluator.scan(node)
-        elif kind == "rollup":
-            if payload is None:
-                raise ValueError("rollup job shipped without a source payload")
-            source_node, key_codes, counts = payload
-            source = FrequencySet(source_node, key_codes, counts, _PROBLEM)
-            result = evaluator.rollup(source, node)
-        elif kind == "scan_range":
-            if payload is None:
-                raise ValueError("scan_range job shipped without a row range")
-            start, stop = payload
-            result = evaluator.scan_range(node, start, stop)
-        elif kind == "delta":
-            if payload is None:
-                raise ValueError("delta job shipped without a base prefix set")
-            base_keys, base_counts, start = payload
-            result = evaluator.delta_scan(node, base_keys, base_counts, start)
-        else:
-            raise ValueError(f"unknown job kind {kind!r}")
-        out.append((result.key_codes, result.counts))
-    _note_worker_telemetry(
-        evaluator.stats.metrics,
-        num_jobs=len(jobs),
-        chunk_seconds=time.perf_counter() - chunk_started,
-        submitted_at=submitted_at,
-    )
+    context = obs.TraceContext.from_traceparent(traceparent)
+    with obs.span_from(context, "worker.chunk", jobs=len(jobs)):
+        apply_worker_fault(directive, in_process=True)
+        chunk_started = time.perf_counter()
+        evaluator = FrequencyEvaluator(_PROBLEM, SearchStats())
+        out: list[tuple] = []
+        for node, kind, payload in jobs:
+            if kind == "scan":
+                result = evaluator.scan(node)
+            elif kind == "rollup":
+                if payload is None:
+                    raise ValueError(
+                        "rollup job shipped without a source payload"
+                    )
+                source_node, key_codes, counts = payload
+                source = FrequencySet(source_node, key_codes, counts, _PROBLEM)
+                result = evaluator.rollup(source, node)
+            elif kind == "scan_range":
+                if payload is None:
+                    raise ValueError(
+                        "scan_range job shipped without a row range"
+                    )
+                start, stop = payload
+                result = evaluator.scan_range(node, start, stop)
+            elif kind == "delta":
+                if payload is None:
+                    raise ValueError(
+                        "delta job shipped without a base prefix set"
+                    )
+                base_keys, base_counts, start = payload
+                result = evaluator.delta_scan(
+                    node, base_keys, base_counts, start
+                )
+            else:
+                raise ValueError(f"unknown job kind {kind!r}")
+            out.append((result.key_codes, result.counts))
+        _note_worker_telemetry(
+            evaluator.stats.metrics,
+            num_jobs=len(jobs),
+            chunk_seconds=time.perf_counter() - chunk_started,
+            submitted_at=submitted_at,
+        )
+    # Land the span before the result ships: a worker that is killed
+    # between chunks must not lose spans for chunks it completed.
+    obs.flush()
     payload_out = (out, evaluator.stats.counters, evaluator.stats.metrics)
     if directive is not None and directive[0] == "poison":
         payload_out = poison_payload(payload_out)

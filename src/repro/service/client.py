@@ -39,20 +39,23 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
-    def request(
+    def request_raw(
         self,
         method: str,
         path: str,
         document: dict[str, Any] | None = None,
-    ) -> tuple[int, dict[str, Any]]:
-        """One round trip; returns ``(status, parsed JSON body)``."""
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, bytes]:
+        """One round trip; returns ``(status, raw body bytes)``."""
         connection = http.client.HTTPConnection(
             self.host, self.port, timeout=self.timeout
         )
         try:
             body = json.dumps(document).encode() if document is not None else None
-            headers = {"Content-Type": "application/json"} if body else {}
-            connection.request(method, path, body=body, headers=headers)
+            all_headers = dict(headers or {})
+            if body:
+                all_headers.setdefault("Content-Type", "application/json")
+            connection.request(method, path, body=body, headers=all_headers)
             response = connection.getresponse()
             payload = response.read()
         except (OSError, http.client.HTTPException) as error:
@@ -61,17 +64,31 @@ class ServiceClient:
             ) from error
         finally:
             connection.close()
+        return response.status, payload
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        document: dict[str, Any] | None = None,
+        headers: dict[str, str] | None = None,
+    ) -> tuple[int, dict[str, Any]]:
+        """One round trip; returns ``(status, parsed JSON body)``."""
+        status, payload = self.request_raw(method, path, document, headers)
         try:
             parsed = json.loads(payload.decode() or "{}")
         except json.JSONDecodeError:
             parsed = {"error": payload.decode(errors="replace")}
-        return response.status, parsed if isinstance(parsed, dict) else {}
+        return status, parsed if isinstance(parsed, dict) else {}
 
     # ------------------------------------------------------------------
     # routes
     # ------------------------------------------------------------------
-    def submit(self, spec: dict[str, Any]) -> tuple[int, dict[str, Any]]:
-        return self.request("POST", "/jobs", spec)
+    def submit(
+        self, spec: dict[str, Any], traceparent: str | None = None
+    ) -> tuple[int, dict[str, Any]]:
+        headers = {"traceparent": traceparent} if traceparent else None
+        return self.request("POST", "/jobs", spec, headers)
 
     def jobs(self) -> list[dict[str, Any]]:
         _, document = self.request("GET", "/jobs")
@@ -92,6 +109,15 @@ class ServiceClient:
 
     def metrics(self) -> dict[str, Any]:
         _, document = self.request("GET", "/metrics")
+        return document
+
+    def metrics_prometheus(self) -> str:
+        """The Prometheus text exposition (raw, for parser validation)."""
+        _, payload = self.request_raw("GET", "/metrics?format=prometheus")
+        return payload.decode()
+
+    def metrics_history(self) -> dict[str, Any]:
+        _, document = self.request("GET", "/metrics/history")
         return document
 
     # ------------------------------------------------------------------

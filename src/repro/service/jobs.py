@@ -172,6 +172,10 @@ class JobRecord:
     resumed: bool = False
     #: True when the job was re-queued by crash recovery at server start.
     recovered: bool = False
+    #: The job's trace position (W3C-style ``traceparent``), assigned at
+    #: submission and persisted so every attempt — including one launched
+    #: after a server restart — continues the *same* trace.
+    traceparent: str | None = None
 
     @property
     def terminal(self) -> bool:
@@ -210,6 +214,7 @@ class JobRecord:
             "cause": self.cause,
             "resumed": self.resumed,
             "recovered": self.recovered,
+            "traceparent": self.traceparent,
         }
 
     @classmethod
@@ -230,6 +235,7 @@ class JobRecord:
             cause=data.get("cause"),
             resumed=bool(data.get("resumed", False)),
             recovered=bool(data.get("recovered", False)),
+            traceparent=data.get("traceparent"),
         )
 
 

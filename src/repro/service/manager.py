@@ -48,7 +48,12 @@ from multiprocessing.process import BaseProcess
 from pathlib import Path
 from typing import Any
 
-from repro.obs import CounterSet, MetricSet
+from repro.obs import CounterSet, JsonLinesSink, MetricSet, TraceContext, Tracer
+from repro.obs.telemetry import (
+    SloPolicy,
+    TelemetrySampler,
+    prometheus_exposition,
+)
 from repro.resilience.faults import FaultPlan
 from repro.service import runner
 from repro.service.connectors import ConnectorError, spill_memory_dataset
@@ -114,6 +119,9 @@ class JobManager:
         retry_backoff_cap: float = 2.0,
         max_attempts: int = 3,
         fault_plan: FaultPlan | None = None,
+        slo_policy: SloPolicy | None = None,
+        sample_interval: float = 2.0,
+        history_capacity: int = 720,
     ) -> None:
         self.data_dir = Path(data_dir)
         self.jobs_dir = self.data_dir / "jobs"
@@ -130,6 +138,23 @@ class JobManager:
         self.jobs: dict[str, JobRecord] = {}
         self.counters = CounterSet()
         self.metrics = MetricSet()
+        #: The server's own span surface: submit/launch spans land in
+        #: ``<data_dir>/trace.jsonl`` (appended across restarts) so the
+        #: stitcher can root every job's cross-process trace here.  The
+        #: WAL creates the directory lazily; the sink needs it now.
+        self.data_dir.mkdir(parents=True, exist_ok=True)
+        self.tracer = Tracer(
+            JsonLinesSink.open(str(self.data_dir / "trace.jsonl"), append=True)
+        )
+        #: Background snapshot thread feeding /metrics/history and the
+        #: rolling SLO windows that can degrade /healthz.
+        self.sampler = TelemetrySampler(
+            self._telemetry_snapshot,
+            interval=sample_interval,
+            capacity=history_capacity,
+            policy=slo_policy or SloPolicy(),
+            transition=self._slo_transition,
+        )
 
         self._context = multiprocessing.get_context("spawn")
         self._lock = threading.RLock()
@@ -148,12 +173,13 @@ class JobManager:
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Recover persisted state and start the scheduler thread."""
+        """Recover persisted state and start the scheduler + sampler."""
         self.recover()
         self._thread = threading.Thread(
             target=self._scheduler_loop, name="repro-service-scheduler"
         )
         self._thread.start()
+        self.sampler.start()
 
     def recover(self) -> None:
         """Rebuild the job table from disk and re-queue interrupted work.
@@ -215,6 +241,10 @@ class JobManager:
                 return
             self._draining = True
         self._stopped.set()
+        # Stop the sampler with the manager lock *released*: its final
+        # tick may be inside _telemetry_snapshot waiting on that lock,
+        # and stop() joins the thread (RA006).
+        self.sampler.stop()
         if self._thread is not None and self._thread.is_alive():
             self._thread.join(timeout=grace_seconds)
         with self._lock:
@@ -246,60 +276,87 @@ class JobManager:
                     self.counters.incr("service.jobs_drained")
             self.compact()
             self.store.close()
+        # Flush (not close) the span sink: buffered submit/launch spans
+        # must land, but a post-drain caller hitting the API surface
+        # should get a clean rejection, not a write-to-closed-file.
+        self.tracer.flush()
 
     # ------------------------------------------------------------------
     # submission / inspection API (called from the HTTP layer)
     # ------------------------------------------------------------------
-    def submit(self, spec: JobSpec) -> JobRecord:
+    def submit(
+        self, spec: JobSpec, traceparent: str | None = None
+    ) -> JobRecord:
         """Validate, admit, persist, and enqueue one job.
 
         Raises :class:`~repro.service.jobs.JobValidationError` on a
         malformed spec (400) and :class:`AdmissionError` on refusal
         (429/503) — both *before* anything is persisted.
+
+        ``traceparent`` is the caller's propagated trace context (the
+        HTTP layer forwards the request header).  The submit span
+        continues that trace when present, or roots a fresh one; either
+        way its own position is persisted on the record, so every later
+        attempt — across retries and server restarts — stays on the one
+        trace the job got here.
         """
         spec.validate()
-        with self._lock:
-            if self._draining:
-                self._reject("draining", "server is draining; resubmit later")
-            queued = sum(
-                1 for record in self.jobs.values() if record.state == QUEUED
-            )
-            if queued >= self.max_queue:
-                self._reject(
-                    "queue_full",
-                    f"queue depth {queued} is at the limit ({self.max_queue})",
+        context = TraceContext.from_traceparent(traceparent) or TraceContext.root()
+        with self.tracer.span_from(
+            context,
+            "service.job.submit",
+            tenant=spec.tenant,
+            algorithm=spec.algorithm,
+            mode=spec.mode,
+        ) as sp:
+            with self._lock:
+                if self._draining:
+                    self._reject("draining", "server is draining; resubmit later")
+                queued = sum(
+                    1 for record in self.jobs.values() if record.state == QUEUED
                 )
-            tenant_active = sum(
-                1
-                for record in self.jobs.values()
-                if record.active and record.spec.tenant == spec.tenant
-            )
-            if tenant_active >= self.tenant_budget:
-                self._reject(
-                    "tenant_budget",
-                    f"tenant {spec.tenant!r} already has {tenant_active} "
-                    f"active job(s) (budget {self.tenant_budget})",
+                if queued >= self.max_queue:
+                    self._reject(
+                        "queue_full",
+                        f"queue depth {queued} is at the limit ({self.max_queue})",
+                    )
+                tenant_active = sum(
+                    1
+                    for record in self.jobs.values()
+                    if record.active and record.spec.tenant == spec.tenant
                 )
-            self._seq += 1
-            job_id = job_id_for(self._seq)
-            job_dir = self.jobs_dir / job_id
-            try:
-                spec = spill_memory_dataset(spec, job_dir)
-            except ConnectorError:
-                self._seq -= 1
-                raise
-            record = JobRecord(
-                id=job_id,
-                seq=self._seq,
-                spec=spec,
-                state=QUEUED,
-                max_attempts=self.max_attempts,
-                submitted_at=time.time(),
-            )
-            self._commit(record)
-            self._queue.append(job_id)
-            self.counters.incr("service.jobs_submitted")
-            return record
+                if tenant_active >= self.tenant_budget:
+                    self._reject(
+                        "tenant_budget",
+                        f"tenant {spec.tenant!r} already has {tenant_active} "
+                        f"active job(s) (budget {self.tenant_budget})",
+                    )
+                self._seq += 1
+                job_id = job_id_for(self._seq)
+                job_dir = self.jobs_dir / job_id
+                try:
+                    spec = spill_memory_dataset(spec, job_dir)
+                except ConnectorError:
+                    self._seq -= 1
+                    raise
+                record = JobRecord(
+                    id=job_id,
+                    seq=self._seq,
+                    spec=spec,
+                    state=QUEUED,
+                    max_attempts=self.max_attempts,
+                    submitted_at=time.time(),
+                    traceparent=sp.traceparent(),
+                )
+                sp.set(job_id=job_id)
+                self._commit(record)
+                self._queue.append(job_id)
+                self.counters.incr("service.jobs_submitted")
+        # Lifecycle spans are rare (a handful per job) and the stitcher
+        # may run against a live server: land this one on disk now
+        # instead of waiting for a later emit to trip the sink buffer.
+        self.tracer.flush()
+        return record
 
     def _reject(self, reason: str, detail: str) -> None:
         self.counters.incr(f"service.rejected.{reason}")
@@ -350,16 +407,32 @@ class JobManager:
     # health / metrics documents
     # ------------------------------------------------------------------
     def health_document(self) -> dict[str, Any]:
+        # Read the SLO judgement before taking the manager lock so the
+        # two locks are never held together from this path (RA006).
+        slo = self.sampler.slo_status()
         with self._lock:
             states: dict[str, int] = {}
+            tenants: dict[str, int] = {}
             for record in self.jobs.values():
                 states[record.state] = states.get(record.state, 0) + 1
+                if record.active:
+                    tenant = record.spec.tenant
+                    tenants[tenant] = tenants.get(tenant, 0) + 1
+            if self._draining:
+                status = "draining"
+            elif not slo["ok"]:
+                status = "degraded"
+            else:
+                status = "ok"
             return {
-                "status": "draining" if self._draining else "ok",
+                "status": status,
                 "jobs": states,
                 "queue_depth": len(self._queue),
                 "running": len(self._running),
                 "max_running": self.max_running,
+                "tenants": tenants,
+                "tenant_budget": self.tenant_budget,
+                "slo": slo,
                 "startup_sweep": self.startup_sweep,
             }
 
@@ -369,6 +442,59 @@ class JobManager:
                 "counters": self.counters.as_dict(),
                 "metrics": self.metrics.as_dict(),
             }
+
+    def history_document(self) -> dict[str, Any]:
+        """The sampler's ring buffer as a JSON time series."""
+        return self.sampler.history_document()
+
+    def prometheus_document(self) -> str:
+        """Current counters/gauges/histograms as Prometheus text."""
+        snap = self._telemetry_snapshot(record_sample=False)
+        return prometheus_exposition(
+            snap["counters"], snap["gauges"], snap["metrics"]
+        )
+
+    def _telemetry_snapshot(
+        self, lag_seconds: float | None = None, *, record_sample: bool = True
+    ) -> dict[str, Any]:
+        """One cumulative snapshot of the obs surfaces, under the lock.
+
+        The sampler thread calls this each tick (``record_sample=True``
+        counts the tick and its scheduling drift); the Prometheus scrape
+        path reuses it with ``record_sample=False`` so scrape frequency
+        never pollutes the sampled series.
+        """
+        with self._lock:
+            if record_sample:
+                self.counters.incr("telemetry.samples")
+                if lag_seconds is not None:
+                    self.metrics.observe(
+                        "telemetry.sample_lag_seconds", lag_seconds
+                    )
+            gauges: dict[str, float] = {
+                "queue_depth": float(len(self._queue)),
+                "running": float(len(self._running)),
+                "max_running": float(self.max_running),
+                "draining": float(self._draining),
+            }
+            for record in self.jobs.values():
+                key = f"jobs_{record.state}"
+                gauges[key] = gauges.get(key, 0.0) + 1.0
+            return {
+                "counters": self.counters.as_dict(),
+                "gauges": gauges,
+                "metrics": self.metrics.copy(),
+            }
+
+    def _slo_transition(self, kind: str, name: str, detail: str) -> None:
+        """Sampler callback counting SLO state changes (never log spam:
+        one increment per edge, not per breached sample)."""
+        with self._lock:
+            if kind == "breach":
+                self.counters.incr("slo.breaches")
+                self.counters.incr(f"slo.breach.{name}")
+            else:
+                self.counters.incr("slo.recoveries")
 
     def idle(self) -> bool:
         """True when no job is queued, backed off, or running."""
@@ -449,13 +575,30 @@ class JobManager:
                 max(0.0, record.started_at - record.submitted_at),
             )
         self._commit(record)
-        process = self._context.Process(
-            target=runner.run_job_child,
-            args=(record.spec.to_json(), str(job_dir), resume, directive),
-            name=f"repro-job-{record.id}",
-            daemon=False,
-        )
-        process.start()
+        # Each attempt gets a launch span under the job's persisted
+        # submit span; the child's whole tracer is then parented under
+        # *this* attempt's span via the traceparent argv field.
+        with self.tracer.span_from(
+            TraceContext.from_traceparent(record.traceparent),
+            "service.job.launch",
+            job_id=record.id,
+            attempt=record.attempt,
+            resume=resume,
+        ) as sp:
+            process = self._context.Process(
+                target=runner.run_job_child,
+                args=(
+                    record.spec.to_json(),
+                    str(job_dir),
+                    resume,
+                    directive,
+                    sp.traceparent(),
+                ),
+                name=f"repro-job-{record.id}",
+                daemon=False,
+            )
+            process.start()
+        self.tracer.flush()  # see submit(): land lifecycle spans promptly
         self._running[record.id] = _Running(process, job_dir, time.monotonic())
 
     def _collect_finished(self) -> None:
@@ -589,3 +732,4 @@ class JobManager:
         """Write-ahead: the WAL line lands (fsync'd) before side effects."""
         self.store.append(record.to_json())
         self.jobs[record.id] = record
+

@@ -247,18 +247,49 @@ def _install_drain_handler() -> None:
     signal.signal(signal.SIGTERM, handler)
 
 
+class _StructuredLog:
+    """``runner.log`` as JSON lines that correlate with the trace.
+
+    Every line carries the job id and trace/span ids, so ``grep
+    <trace_id> runner.log`` finds the lifecycle events of exactly the
+    attempts a stitched Chrome trace shows.  Write failures are
+    swallowed: logging must never take down an attempt.
+    """
+
+    def __init__(self, handle: Any, **common: Any) -> None:
+        self._handle = handle
+        self._common = common
+
+    def bind(self, **fields: Any) -> None:
+        self._common.update(fields)
+
+    def event(self, event: str, **fields: Any) -> None:
+        record = {"ts": time.time(), "event": event}
+        record.update(self._common)
+        record.update(fields)
+        try:
+            self._handle.write(json.dumps(record, default=str) + "\n")
+            self._handle.flush()
+        except (OSError, ValueError):
+            pass
+
+
 def run_job_child(
     spec_json: dict[str, Any],
     job_dir: str,
     resume: bool,
     directive: str | None,
+    traceparent: str | None = None,
 ) -> None:
     """Process target: execute one job attempt inside its own process.
 
     Writes ``result.json`` atomically with status ``succeeded`` /
     ``failed`` / ``drained`` and exits 0; any other exit (crash, kill,
     injected death) leaves no result file, which the manager treats as a
-    crashed attempt.  Trace spans land in ``trace.jsonl`` per job.
+    crashed attempt.  Trace spans land in ``trace.jsonl`` per job —
+    opened in append mode so earlier attempts' spans survive, and
+    parented under the manager's launch span via ``traceparent``, so
+    every attempt of the job shares the trace id minted at submission.
     """
     from repro import obs
     from repro.service.jobs import JobSpec
@@ -277,8 +308,15 @@ def run_job_child(
         sys.stderr = log_handle
 
         spec = JobSpec.from_json(spec_json)
-        sink = obs.JsonLinesSink.open(directory / TRACE_FILE)
-        tracer = obs.Tracer(sink)
+        sink = obs.JsonLinesSink.open(directory / TRACE_FILE, append=True)
+        context = obs.TraceContext.from_traceparent(traceparent)
+        tracer = obs.Tracer(sink, context=context)
+        log = _StructuredLog(
+            log_handle,
+            job_id=directory.name,
+            pid=os.getpid(),
+            trace_id=tracer.trace_id,
+        )
         store: CheckpointStore = (
             _FaultingStore(directory / CHECKPOINT_FILE, directive, heartbeat)
             if directive is not None
@@ -291,7 +329,21 @@ def run_job_child(
                     job_dir=str(directory.name),
                     algorithm=spec.algorithm,
                     attempt_resume=bool(resume),
-                ):
+                ) as sp:
+                    # Pool/shard workers spawned below inherit these:
+                    # where to write their own span files, and which
+                    # trace position to fall back to when a chunk
+                    # payload carries no context of its own.
+                    os.environ[obs.TRACE_DIR_ENV] = str(directory)
+                    os.environ[obs.TRACEPARENT_ENV] = sp.traceparent()
+                    log.bind(span_id=sp.span_id)
+                    log.event(
+                        "attempt_start",
+                        algorithm=spec.algorithm,
+                        mode=spec.mode,
+                        resume=bool(resume),
+                        directive=directive,
+                    )
                     from repro.service.connectors import load_problem
 
                     problem = load_problem(spec)
@@ -306,19 +358,20 @@ def run_job_child(
                         )
                     payload = result_payload(problem, result, spec.to_json())
             atomic_write_json(directory / RESULT_FILE, payload)
+            log.event("attempt_finished", status="succeeded")
         except DrainRequested:
             atomic_write_json(
                 directory / RESULT_FILE,
                 {"status": "drained", "saves": store.saves},
             )
+            log.event("attempt_finished", status="drained", saves=store.saves)
         except BaseException as error:  # noqa: BLE001 - the job's cause
+            cause = f"{type(error).__name__}: {error}"
             atomic_write_json(
                 directory / RESULT_FILE,
-                {
-                    "status": "failed",
-                    "cause": f"{type(error).__name__}: {error}",
-                },
+                {"status": "failed", "cause": cause},
             )
+            log.event("attempt_finished", status="failed", cause=cause)
         finally:
             try:
                 sink.close()

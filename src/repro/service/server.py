@@ -14,8 +14,10 @@ Routes::
     GET    /jobs/{id}       full job record          200 | 404
     GET    /jobs/{id}/result terminal result payload 200 | 404 | 409
     DELETE /jobs/{id}       cancel                   200 | 404 | 409
-    GET    /healthz         liveness + job counts    200
+    GET    /healthz         liveness + SLO state     200 | 503
     GET    /metrics         service counters/metrics 200
+    GET    /metrics?format=prometheus  text exposition      200
+    GET    /metrics/history sampled delta time series 200
 
 Admission refusals map to explicit status codes — ``429`` for
 ``queue_full`` / ``tenant_budget``, ``503`` for ``draining`` — with the
@@ -63,6 +65,16 @@ _STATUS_TEXT = {
     500: "Internal Server Error",
     503: "Service Unavailable",
 }
+
+
+def _query_params(query: str) -> dict[str, str]:
+    """Parse a query string into a flat dict (last value wins)."""
+    params: dict[str, str] = {}
+    for piece in query.split("&"):
+        if piece:
+            name, _, value = piece.partition("=")
+            params[name] = value
+    return params
 
 
 class _HttpError(Exception):
@@ -129,8 +141,8 @@ class ServiceServer:
     ) -> None:
         self.manager.counters.incr("service.requests")
         try:
-            method, path, body = await self._read_request(reader)
-            status, document = await self._route(method, path, body)
+            method, path, body, headers = await self._read_request(reader)
+            status, document = await self._route(method, path, body, headers)
         except _HttpError as error:
             status, document = error.status, error.document
         except (asyncio.IncompleteReadError, ConnectionError, TimeoutError):
@@ -141,11 +153,18 @@ class ServiceServer:
             status, document = 500, {"error": f"{type(error).__name__}: {error}"}
         if status >= 400:
             self.manager.counters.incr("service.request_errors")
-        payload = json.dumps(document).encode()
+        if isinstance(document, str):
+            # Text route (the Prometheus exposition); everything else
+            # stays JSON.
+            payload = document.encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            payload = json.dumps(document).encode()
+            content_type = "application/json"
         writer.write(
             (
                 f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-                f"Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(payload)}\r\n"
                 f"Connection: close\r\n\r\n"
             ).encode()
@@ -160,7 +179,7 @@ class ServiceServer:
     @staticmethod
     async def _read_request(
         reader: asyncio.StreamReader,
-    ) -> tuple[str, str, bytes]:
+    ) -> tuple[str, str, bytes, dict[str, str]]:
         header_blob = await reader.readuntil(b"\r\n\r\n")
         if len(header_blob) > MAX_HEADER_BYTES:
             raise _HttpError(413, {"error": "headers too large"})
@@ -169,43 +188,58 @@ class ServiceServer:
         if len(parts) != 3:
             raise _HttpError(400, {"error": f"malformed request line {head!r}"})
         method, path, _version = parts
-        content_length = 0
+        headers: dict[str, str] = {}
         for line in header_lines:
             name, _, value = line.partition(":")
-            if name.strip().lower() == "content-length":
-                try:
-                    content_length = int(value.strip())
-                except ValueError:
-                    raise _HttpError(400, {"error": "bad Content-Length"})
+            if name:
+                headers[name.strip().lower()] = value.strip()
+        content_length = 0
+        if "content-length" in headers:
+            try:
+                content_length = int(headers["content-length"])
+            except ValueError:
+                raise _HttpError(400, {"error": "bad Content-Length"})
         if content_length > MAX_BODY_BYTES:
             raise _HttpError(413, {"error": "body too large"})
         body = (
             await reader.readexactly(content_length) if content_length else b""
         )
-        return method.upper(), path, body
+        return method.upper(), path, body, headers
 
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
     async def _route(
-        self, method: str, path: str, body: bytes
-    ) -> tuple[int, dict[str, Any]]:
-        path = path.split("?", 1)[0].rstrip("/") or "/"
+        self, method: str, path: str, body: bytes, headers: dict[str, str]
+    ) -> tuple[int, dict[str, Any] | str]:
+        path, _, query = path.partition("?")
+        path = path.rstrip("/") or "/"
         if path == "/healthz" and method == "GET":
-            return 200, await self._call(self.manager.health_document)
+            document = await self._call(self.manager.health_document)
+            # A breached SLO degrades liveness: 503 with the breached
+            # objectives named, so load balancers and probes see it.
+            # Draining stays 200 — shutdown is intended, not unhealthy.
+            status = 503 if document.get("status") == "degraded" else 200
+            return status, document
         if path == "/metrics" and method == "GET":
+            if _query_params(query).get("format") == "prometheus":
+                return 200, await self._call(self.manager.prometheus_document)
             return 200, await self._call(self.manager.metrics_document)
+        if path == "/metrics/history" and method == "GET":
+            return 200, await self._call(self.manager.history_document)
         if path == "/jobs":
             if method == "GET":
                 return 200, {"jobs": await self._call(self.manager.list_jobs)}
             if method == "POST":
-                return await self._submit(body)
+                return await self._submit(body, headers.get("traceparent"))
             raise _HttpError(405, {"error": f"{method} not allowed on /jobs"})
         if path.startswith("/jobs/"):
             return await self._job_route(method, path)
         raise _HttpError(404, {"error": f"no route for {path!r}"})
 
-    async def _submit(self, body: bytes) -> tuple[int, dict[str, Any]]:
+    async def _submit(
+        self, body: bytes, traceparent: str | None = None
+    ) -> tuple[int, dict[str, Any]]:
         try:
             document = json.loads(body.decode() or "null")
         except (json.JSONDecodeError, UnicodeDecodeError) as error:
@@ -217,7 +251,7 @@ class ServiceServer:
         except (JobValidationError, TypeError) as error:
             raise _HttpError(400, {"error": str(error)})
         try:
-            record = await self._call(self.manager.submit, spec)
+            record = await self._call(self.manager.submit, spec, traceparent)
         except AdmissionError as error:
             raise _HttpError(
                 _REASON_STATUS.get(error.reason, 429),
@@ -289,12 +323,20 @@ def run_server(
     heartbeat_timeout: float | None = None,
     max_attempts: int = 3,
     fault_spec: str | None = None,
+    slo_p99_seconds: float | None = None,
+    slo_error_rate: float | None = None,
+    slo_queue_depth: int | None = None,
+    sample_interval: float = 2.0,
 ) -> None:
     """Blocking entry point behind ``repro serve``.
 
     Builds the manager (recovering any persisted jobs), binds, serves
-    until a termination signal, then drains gracefully.
+    until a termination signal, then drains gracefully.  The three
+    ``slo_*`` thresholds (each optional) arm the telemetry sampler's
+    rolling windows; any breach degrades ``/healthz`` to 503 until the
+    window recovers.
     """
+    from repro.obs.telemetry import SloPolicy
     from repro.resilience.faults import FaultPlan
     from repro.service.manager import DEFAULT_HEARTBEAT_TIMEOUT
 
@@ -310,6 +352,12 @@ def run_server(
         ),
         max_attempts=max_attempts,
         fault_plan=FaultPlan.from_spec(fault_spec) if fault_spec else None,
+        slo_policy=SloPolicy(
+            p99_latency_seconds=slo_p99_seconds,
+            max_error_rate=slo_error_rate,
+            max_queue_depth=slo_queue_depth,
+        ),
+        sample_interval=sample_interval,
     )
     manager.start()
     try:

@@ -1,0 +1,163 @@
+"""``repro status``: a live one-screen operational view of one server.
+
+Renders, from a single round of ``/healthz`` + ``/metrics`` + ``/jobs``
+requests, what an operator glancing at the service needs: overall health
+(including which SLO is breached when the server is degraded), queue and
+runner occupancy, per-tenant budget consumption, the active jobs, and
+the top latency histograms.  Pure text on stdout — no curses, no
+refresh loop — so it composes with ``watch``, pagers, and CI logs.
+
+The entry point takes the path to the ``server.json`` a running server
+wrote (or the data directory containing it), the same file the chaos
+harness and tests use to find a server's ephemeral port.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.service.client import ServiceClient
+
+#: Latency histograms shown, most interesting first; only instruments
+#: with observations are rendered, and at most ``TOP_METRICS`` of them.
+TOP_METRICS = 6
+
+#: Instrument-name prefixes considered "latency" for the metrics panel.
+LATENCY_PREFIXES = ("latency.", "worker.", "telemetry.")
+
+
+def resolve_server_info(path: str | Path) -> Path:
+    """Accept either ``server.json`` itself or its data directory."""
+    from repro.service.server import SERVER_INFO_FILE
+
+    candidate = Path(path)
+    if candidate.is_dir():
+        candidate = candidate / SERVER_INFO_FILE
+    if not candidate.exists():
+        raise FileNotFoundError(
+            f"no server info at {candidate} — is the server running?"
+        )
+    return candidate
+
+
+def client_from_info(path: str | Path, timeout: float = 5.0) -> ServiceClient:
+    info = json.loads(resolve_server_info(path).read_text())
+    return ServiceClient(info["host"], int(info["port"]), timeout=timeout)
+
+
+def _format_seconds(value: float) -> str:
+    if value < 1e-3:
+        return f"{value * 1e6:.0f}µs"
+    if value < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value:.2f}s"
+
+
+def _slo_lines(slo: dict[str, Any]) -> list[str]:
+    policy = slo.get("policy") or {}
+    if not policy:
+        return ["  no SLO policy configured"]
+    lines = []
+    breached = {entry["name"]: entry for entry in slo.get("breached", ())}
+    thresholds = {
+        "p99_latency": policy.get("p99_latency_seconds"),
+        "error_rate": policy.get("max_error_rate"),
+        "queue_depth": policy.get("max_queue_depth"),
+    }
+    for name, threshold in thresholds.items():
+        if threshold is None:
+            continue
+        entry = breached.get(name)
+        if entry is None:
+            lines.append(f"  OK      {name} (threshold {threshold:g})")
+        else:
+            lines.append(
+                f"  BREACH  {name}: {entry['value']:g} > {threshold:g} "
+                f"({entry['detail']})"
+            )
+    lines.append(f"  window: {slo.get('samples', 0)} sample(s)")
+    return lines
+
+
+def render_status(
+    health: dict[str, Any],
+    metrics: dict[str, Any],
+    jobs: list[dict[str, Any]],
+) -> str:
+    """The one-screen view, from already-fetched documents (testable)."""
+    lines: list[str] = []
+    status = health.get("status", "unknown")
+    lines.append(
+        f"server: {status.upper()}  "
+        f"running {health.get('running', 0)}/{health.get('max_running', 0)}  "
+        f"queued {health.get('queue_depth', 0)}"
+    )
+    states = health.get("jobs") or {}
+    if states:
+        rendered = "  ".join(
+            f"{state}={count}" for state, count in sorted(states.items())
+        )
+        lines.append(f"jobs: {rendered}")
+
+    lines.append("slo:")
+    lines.extend(_slo_lines(health.get("slo") or {}))
+
+    tenants = health.get("tenants") or {}
+    budget = health.get("tenant_budget")
+    lines.append("tenants:")
+    if tenants:
+        for tenant in sorted(tenants):
+            used = tenants[tenant]
+            quota = f"/{budget}" if budget is not None else ""
+            lines.append(f"  {tenant}: {used}{quota} active")
+    else:
+        lines.append("  none active")
+
+    active = [
+        job for job in jobs if job.get("state") in ("queued", "running")
+    ]
+    lines.append(f"active jobs ({len(active)}):")
+    for job in active:
+        flags = "".join(
+            marker
+            for marker, set_ in (
+                ("R", job.get("resumed")),
+                ("C", job.get("recovered")),
+            )
+            if set_
+        )
+        lines.append(
+            f"  {job['id']}  {job['state']:<8} {job.get('tenant', '?'):<12} "
+            f"{job.get('algorithm', '?')} k={job.get('k', '?')} "
+            f"attempt={job.get('attempt', 0)}"
+            + (f" [{flags}]" if flags else "")
+        )
+    if not active:
+        lines.append("  none")
+
+    summaries = metrics.get("metrics") or {}
+    latency = [
+        (name, summary)
+        for name, summary in summaries.items()
+        if name.startswith(LATENCY_PREFIXES) and summary.get("count")
+    ]
+    latency.sort(key=lambda item: -item[1].get("sum", 0.0))
+    lines.append("top latency metrics:")
+    for name, summary in latency[:TOP_METRICS]:
+        lines.append(
+            f"  {name}: n={int(summary['count'])} "
+            f"p50={_format_seconds(summary.get('p50', 0.0))} "
+            f"p99={_format_seconds(summary.get('p99', 0.0))} "
+            f"max={_format_seconds(summary.get('max', 0.0))}"
+        )
+    if not latency:
+        lines.append("  none recorded yet")
+    return "\n".join(lines)
+
+
+def render_status_from_info(path: str | Path, timeout: float = 5.0) -> str:
+    """Fetch from the server named by ``server.json`` and render."""
+    client = client_from_info(path, timeout=timeout)
+    return render_status(client.healthz(), client.metrics(), client.jobs())

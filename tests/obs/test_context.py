@@ -1,0 +1,146 @@
+"""Trace-context propagation primitives (repro.obs.context)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+from repro import obs
+from repro.obs.context import (
+    TRACEPARENT_ENV,
+    TraceContext,
+    new_span_id,
+    new_trace_id,
+    process_identity,
+)
+
+
+class TestIds:
+    def test_trace_id_is_32_hex_nonzero(self):
+        for _ in range(20):
+            trace_id = new_trace_id()
+            assert len(trace_id) == 32
+            assert int(trace_id, 16) != 0
+
+    def test_span_ids_are_64_bit_nonzero_and_distinct(self):
+        ids = {new_span_id() for _ in range(200)}
+        assert len(ids) == 200
+        assert all(0 < value < 2**64 for value in ids)
+
+    def test_process_identity_shape(self):
+        pid, name = process_identity()
+        assert isinstance(pid, int) and pid > 0
+        assert isinstance(name, str) and name
+
+
+class TestTraceContext:
+    def test_traceparent_round_trip(self):
+        context = TraceContext.root().child_of(new_span_id())
+        parsed = TraceContext.from_traceparent(context.to_traceparent())
+        assert parsed == context
+
+    def test_root_has_no_parent_and_encodes_zero(self):
+        root = TraceContext.root()
+        assert root.span_id is None
+        wire = root.to_traceparent()
+        assert wire.split("-")[2] == "0" * 16
+        # zero parent decodes back to "no parent"
+        assert TraceContext.from_traceparent(wire).span_id is None
+
+    def test_malformed_inputs_degrade_to_none(self):
+        bad = [
+            None,
+            "",
+            "nonsense",
+            "00-" + "g" * 32 + "-" + "1" * 16 + "-01",  # non-hex
+            "00-" + "a" * 31 + "-" + "1" * 16 + "-01",  # short trace id
+            "00-" + "0" * 32 + "-" + "1" * 16 + "-01",  # all-zero trace
+            "00-" + "a" * 32 + "-" + "1" * 15 + "-01",  # short parent
+        ]
+        for text in bad:
+            assert TraceContext.from_traceparent(text) is None
+
+    def test_parse_tolerates_case_and_whitespace(self):
+        context = TraceContext("ab" * 16, 0x1234)
+        wire = "  " + context.to_traceparent().upper() + "  "
+        assert TraceContext.from_traceparent(wire) == context
+
+    def test_from_environment(self, monkeypatch):
+        context = TraceContext.root().child_of(new_span_id())
+        monkeypatch.setenv(TRACEPARENT_ENV, context.to_traceparent())
+        assert TraceContext.from_environment() == context
+        monkeypatch.delenv(TRACEPARENT_ENV)
+        assert TraceContext.from_environment() is None
+
+
+class TestTracerIntegration:
+    def test_tracer_adopts_propagated_context(self):
+        stream = io.StringIO()
+        sink = obs.JsonLinesSink(stream)
+        context = TraceContext.root().child_of(new_span_id())
+        tracer = obs.Tracer(sink, context=context)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        tracer.flush()
+        records = [
+            json.loads(line) for line in stream.getvalue().splitlines()
+        ]
+        by_name = {record["name"]: record for record in records}
+        assert all(
+            record["trace_id"] == context.trace_id for record in records
+        )
+        outer = by_name["outer"]
+        # the tracer's root span links to the remote parent...
+        assert outer["parent_id"] == context.span_id
+        assert outer["remote"] is True
+        # ...while in-process nesting stays a plain local edge.
+        inner = by_name["inner"]
+        assert inner["parent_id"] == outer["span_id"]
+        assert not inner.get("remote")
+
+    def test_span_records_carry_process_identity(self):
+        stream = io.StringIO()
+        tracer = obs.Tracer(obs.JsonLinesSink(stream))
+        with tracer.span("work"):
+            pass
+        tracer.flush()
+        record = json.loads(stream.getvalue().splitlines()[0])
+        pid, name = process_identity()
+        assert record["pid"] == pid
+        assert record["process"] == name
+        assert record["unix_started"] <= record["unix_ended"]
+
+    def test_span_from_opens_remote_child(self):
+        stream = io.StringIO()
+        tracer = obs.Tracer(obs.JsonLinesSink(stream))
+        remote = TraceContext("cd" * 16, 77)
+        with tracer.span_from(remote, "chunk", jobs=3) as sp:
+            assert sp.traceparent().startswith("00-" + "cd" * 16)
+        tracer.flush()
+        record = json.loads(stream.getvalue().splitlines()[0])
+        assert record["trace_id"] == "cd" * 16
+        assert record["parent_id"] == 77
+        assert record["remote"] is True
+
+    def test_span_from_none_context_uses_local_stack(self):
+        stream = io.StringIO()
+        tracer = obs.Tracer(obs.JsonLinesSink(stream))
+        with tracer.span("parent"):
+            with tracer.span_from(None, "child"):
+                pass
+        tracer.flush()
+        records = [
+            json.loads(line) for line in stream.getvalue().splitlines()
+        ]
+        by_name = {record["name"]: record for record in records}
+        assert (
+            by_name["child"]["parent_id"] == by_name["parent"]["span_id"]
+        )
+        assert not by_name["child"].get("remote")
+
+    def test_disabled_tracer_span_from_is_null(self):
+        tracer = obs.Tracer(enabled=False)
+        with tracer.span_from(TraceContext.root(), "nothing") as sp:
+            assert not sp
+            assert sp.traceparent() is None

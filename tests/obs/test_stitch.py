@@ -1,0 +1,218 @@
+"""Cross-process trace stitching and validation (repro.obs.stitch)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.context import TraceContext
+from repro.obs.stitch import (
+    collect_trace_files,
+    stitch_chrome,
+    stitch_directory,
+    stitch_summary,
+    validate_chrome,
+)
+
+TRACE = "ab" * 16
+
+
+def _record(
+    span_id,
+    name,
+    *,
+    pid,
+    started,
+    ended,
+    parent_id=None,
+    remote=False,
+    process=None,
+    thread=0,
+):
+    """A synthetic span record in the JsonLinesSink wire shape; the
+    perf-counter fields are deliberately skewed per pid so only the unix
+    instants can stitch correctly."""
+    skew = pid * 1000.0
+    return {
+        "trace_id": TRACE,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "remote": remote,
+        "pid": pid,
+        "process": process or f"proc-{pid}",
+        "depth": 0,
+        "name": name,
+        "started": started - skew,
+        "ended": ended - skew,
+        "unix_started": started,
+        "unix_ended": ended,
+        "thread": thread,
+        "duration_seconds": ended - started,
+        "attrs": {},
+        "counters": {},
+    }
+
+
+def _two_process_records():
+    """A server span whose remote child ran in another process."""
+    return [
+        # children close (and are emitted) before parents
+        _record(2, "service.job.run", pid=20, started=1.0, ended=4.0,
+                parent_id=1, remote=True),
+        _record(1, "service.job.launch", pid=10, started=0.5, ended=5.0),
+    ]
+
+
+class TestStitchChrome:
+    def test_lanes_flows_and_metadata(self):
+        doc = stitch_chrome(_two_process_records())
+        events = doc["traceEvents"]
+        validate_chrome(doc)
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert {e["pid"] for e in metadata} == {10, 20}
+        assert {e["args"]["name"] for e in metadata} == {"proc-10", "proc-20"}
+        flows = [e for e in events if e["ph"] in "sf"]
+        assert len(flows) == 2
+        start, finish = sorted(flows, key=lambda e: e["ph"], reverse=True)
+        assert start["ph"] == "s" and start["pid"] == 10
+        assert finish["ph"] == "f" and finish["pid"] == 20
+        assert start["id"] == finish["id"]
+
+    def test_wall_clock_rebase_spans_processes(self):
+        doc = stitch_chrome(_two_process_records())
+        begins = {
+            e["name"]: e["ts"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "B"
+        }
+        # launch started 0.5s before run on the shared wall clock, even
+        # though the per-process perf clocks are wildly skewed
+        assert begins["service.job.run"] - begins["service.job.launch"] == (
+            pytest.approx(0.5e6)
+        )
+
+    def test_unresolved_remote_parent_is_root_without_flow(self):
+        orphan = [
+            _record(2, "service.job.run", pid=20, started=1.0, ended=4.0,
+                    parent_id=999, remote=True),
+        ]
+        doc = stitch_chrome(orphan)
+        validate_chrome(doc)
+        assert not [e for e in doc["traceEvents"] if e["ph"] in "sf"]
+
+    def test_unclosed_spans_are_dropped(self):
+        records = _two_process_records()
+        half_open = dict(records[0])
+        half_open["span_id"] = 3
+        half_open["unix_ended"] = None
+        doc = stitch_chrome(records + [half_open])
+        validate_chrome(doc)
+        names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "B"]
+        assert names.count("service.job.run") == 1
+
+
+class TestValidateChrome:
+    def test_rejects_backwards_timestamps(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "B", "pid": 1, "tid": 0, "ts": 10, "name": "a"},
+                {"ph": "E", "pid": 1, "tid": 0, "ts": 5, "name": "a"},
+            ]
+        }
+        with pytest.raises(ValueError, match="backwards"):
+            validate_chrome(doc)
+
+    def test_rejects_unbalanced_nesting(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "B", "pid": 1, "tid": 0, "ts": 1, "name": "a"},
+            ]
+        }
+        with pytest.raises(ValueError, match="unclosed"):
+            validate_chrome(doc)
+
+    def test_rejects_mismatched_close_order(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "B", "pid": 1, "tid": 0, "ts": 1, "name": "a"},
+                {"ph": "B", "pid": 1, "tid": 0, "ts": 2, "name": "b"},
+                {"ph": "E", "pid": 1, "tid": 0, "ts": 3, "name": "a"},
+                {"ph": "E", "pid": 1, "tid": 0, "ts": 4, "name": "b"},
+            ]
+        }
+        with pytest.raises(ValueError, match="closes"):
+            validate_chrome(doc)
+
+    def test_rejects_unpaired_flow(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "s", "pid": 1, "tid": 0, "ts": 1, "id": "x",
+                 "name": "remote-parent", "cat": "remote"},
+            ]
+        }
+        with pytest.raises(ValueError, match="flow"):
+            validate_chrome(doc)
+
+    def test_rejects_unknown_phase_and_bad_ts(self):
+        with pytest.raises(ValueError, match="phase"):
+            validate_chrome({"traceEvents": [{"ph": "Q", "ts": 1}]})
+        with pytest.raises(ValueError, match="non-numeric"):
+            validate_chrome(
+                {"traceEvents": [
+                    {"ph": "B", "pid": 1, "tid": 0, "ts": "x", "name": "a"}
+                ]}
+            )
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_chrome({})
+
+
+class TestSummary:
+    def test_counts_links_and_processes(self):
+        records = _two_process_records() + [
+            _record(5, "worker.chunk", pid=30, started=2.0, ended=3.0,
+                    parent_id=999, remote=True),
+        ]
+        summary = stitch_summary(records)
+        assert summary["spans"] == 3
+        assert summary["trace_ids"] == [TRACE]
+        assert summary["remote_links"] == 2
+        assert summary["resolved_links"] == 1
+        assert summary["processes"]["30"]["spans"] == 1
+
+
+class TestStitchDirectory:
+    def test_stitches_real_tracer_output_across_files(self, tmp_path):
+        # process A: a tracer with a fresh trace, parent span
+        sink_a = obs.JsonLinesSink.open(str(tmp_path / "trace.jsonl"))
+        tracer_a = obs.Tracer(sink_a)
+        with tracer_a.span("parent") as sp:
+            wire = sp.traceparent()
+        sink_a.close()
+        # process B (simulated): separate file, propagated context
+        sink_b = obs.JsonLinesSink.open(
+            str(tmp_path / "trace-worker-999.jsonl")
+        )
+        tracer_b = obs.Tracer(
+            sink_b, context=TraceContext.from_traceparent(wire)
+        )
+        with tracer_b.span("child"):
+            pass
+        sink_b.close()
+
+        chrome, summary = stitch_directory(tmp_path)
+        validate_chrome(chrome)
+        assert summary["trace_ids"] == [tracer_a.trace_id]
+        assert summary["spans"] == 2
+        assert summary["remote_links"] == 1
+        assert summary["resolved_links"] == 1
+
+    def test_missing_directory_fails_loudly(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            stitch_directory(tmp_path / "empty")
+
+    def test_collects_single_file_passthrough(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(json.dumps(_two_process_records()[0]) + "\n")
+        assert collect_trace_files(path) == [path]

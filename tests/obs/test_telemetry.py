@@ -1,0 +1,278 @@
+"""Sampler, SLO windows, and Prometheus exposition (repro.obs.telemetry)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricSet
+from repro.obs.telemetry import (
+    Sample,
+    SloPolicy,
+    TelemetrySampler,
+    evaluate_slo,
+    parse_exposition,
+    prometheus_exposition,
+)
+
+
+def _sample(ts, counters=None, gauges=None, latencies=()):
+    metrics = MetricSet()
+    for value in latencies:
+        metrics.observe("latency.job_total_seconds", value)
+    return Sample(
+        ts=ts, counters=counters or {}, gauges=gauges or {}, metrics=metrics
+    )
+
+
+class TestHistogramDiff:
+    def test_diff_isolates_window(self):
+        earlier = Histogram()
+        earlier.record(0.01)
+        later = earlier.copy()
+        later.record(5.0)
+        later.record(6.0)
+        delta = later.diff(earlier)
+        assert delta.count == 2
+        assert delta.sum == pytest.approx(11.0)
+        assert delta.quantile(0.99) >= 5.0
+
+    def test_diff_against_empty_is_copy(self):
+        histogram = Histogram()
+        histogram.record(1.0)
+        delta = histogram.diff(Histogram())
+        assert delta.count == 1
+        assert delta.sum == pytest.approx(1.0)
+
+    def test_diff_rejects_negative_delta(self):
+        earlier = Histogram()
+        earlier.record(1.0)
+        with pytest.raises(ValueError):
+            Histogram().diff(earlier)
+
+
+class TestEvaluateSlo:
+    def test_empty_or_single_sample_window_is_vacuously_ok(self):
+        policy = SloPolicy(p99_latency_seconds=0.1, max_error_rate=0.1)
+        assert evaluate_slo([], policy)["ok"]
+        assert evaluate_slo([_sample(1.0, latencies=[9.0])], policy)["ok"]
+
+    def test_latency_breach_uses_window_delta_only(self):
+        policy = SloPolicy(p99_latency_seconds=0.5)
+        slow_then = _sample(1.0, latencies=[9.0])
+        # cumulative still contains the old slow job, but the window
+        # delta (one 0.01s job) is clean
+        now = _sample(2.0, latencies=[9.0, 0.01])
+        status = evaluate_slo([slow_then, now], policy)
+        assert status["ok"], status
+
+        breach = evaluate_slo(
+            [_sample(1.0), _sample(2.0, latencies=[9.0])], policy
+        )
+        assert not breach["ok"]
+        entry = breach["breached"][0]
+        assert entry["name"] == "p99_latency"
+        assert entry["value"] >= 0.5
+        assert "exceeds" in entry["detail"]
+
+    def test_error_rate_breach_and_recovery(self):
+        policy = SloPolicy(max_error_rate=0.25)
+        t0 = _sample(1.0, counters={"service.jobs_failed": 0.0,
+                                    "service.jobs_succeeded": 0.0})
+        t1 = _sample(2.0, counters={"service.jobs_failed": 2.0,
+                                    "service.jobs_succeeded": 2.0})
+        status = evaluate_slo([t0, t1], policy)
+        assert not status["ok"]
+        assert status["breached"][0]["name"] == "error_rate"
+        # same cumulative counts later: nothing failed inside the window
+        t2 = _sample(3.0, counters={"service.jobs_failed": 2.0,
+                                    "service.jobs_succeeded": 2.0})
+        assert evaluate_slo([t1, t2], policy)["ok"]
+
+    def test_queue_depth_is_instantaneous(self):
+        policy = SloPolicy(max_queue_depth=3)
+        deep = _sample(1.0, gauges={"queue_depth": 5.0})
+        assert not evaluate_slo([deep], policy)["ok"]
+        shallow = _sample(2.0, gauges={"queue_depth": 1.0})
+        assert evaluate_slo([deep, shallow], policy)["ok"]
+
+    def test_disabled_policy_never_breaches(self):
+        status = evaluate_slo(
+            [_sample(1.0, gauges={"queue_depth": 99.0})], SloPolicy()
+        )
+        assert status["ok"]
+
+
+class TestTelemetrySampler:
+    def _snapshot(self, counters=None, gauges=None):
+        def snapshot_fn(lag):
+            return {
+                "counters": dict(counters or {}),
+                "gauges": dict(gauges or {}),
+                "metrics": MetricSet(),
+            }
+
+        return snapshot_fn
+
+    def test_validates_construction(self):
+        with pytest.raises(ValueError):
+            TelemetrySampler(self._snapshot(), interval=0)
+        with pytest.raises(ValueError):
+            TelemetrySampler(self._snapshot(), capacity=1)
+
+    def test_ring_is_bounded(self):
+        sampler = TelemetrySampler(
+            self._snapshot(), interval=10.0, capacity=3
+        )
+        for _ in range(7):
+            sampler.sample_now()
+        history = sampler.history_document()
+        assert len(history["samples"]) == 3
+        assert history["capacity"] == 3
+        assert sampler.slo_status()["samples"] == 3
+
+    def test_history_reports_counter_deltas(self):
+        values = iter([1.0, 4.0, 9.0])
+
+        def snapshot_fn(lag):
+            return {
+                "counters": {"jobs": next(values)},
+                "gauges": {"queue_depth": 0.0},
+                "metrics": MetricSet(),
+            }
+
+        sampler = TelemetrySampler(snapshot_fn, interval=5.0)
+        for _ in range(3):
+            sampler.sample_now()
+        samples = sampler.history_document()["samples"]
+        assert [entry["counters"]["jobs"] for entry in samples] == [1, 4, 9]
+        assert [entry["deltas"]["jobs"] for entry in samples] == [1, 3, 5]
+
+    def test_transitions_fire_on_edges_only(self):
+        depth = {"value": 0.0}
+
+        def snapshot_fn(lag):
+            return {
+                "counters": {},
+                "gauges": {"queue_depth": depth["value"]},
+                "metrics": MetricSet(),
+            }
+
+        events = []
+        sampler = TelemetrySampler(
+            snapshot_fn,
+            interval=5.0,
+            policy=SloPolicy(max_queue_depth=2),
+            transition=lambda kind, name, detail: events.append((kind, name)),
+        )
+        sampler.sample_now()
+        assert events == []
+        depth["value"] = 9.0
+        sampler.sample_now()
+        sampler.sample_now()  # still breached: no second event
+        assert events == [("breach", "queue_depth")]
+        assert not sampler.slo_status()["ok"]
+        depth["value"] = 0.0
+        sampler.sample_now()
+        assert events == [("breach", "queue_depth"), ("recovery", "queue_depth")]
+        assert sampler.slo_status()["ok"]
+
+    def test_thread_lifecycle(self):
+        sampler = TelemetrySampler(self._snapshot(), interval=0.01)
+        sampler.start()
+        try:
+            deadline = 200
+            while sampler.latest() is None and deadline:
+                deadline -= 1
+                import time
+
+                time.sleep(0.01)
+            assert sampler.latest() is not None
+        finally:
+            sampler.stop()
+        assert sampler._thread is None
+
+
+class TestPrometheusExposition:
+    def _render(self):
+        metrics = MetricSet()
+        for value in (0.001, 0.5, 0.5, 120.0):
+            metrics.observe("latency.job_total_seconds", value)
+        return prometheus_exposition(
+            {"service.jobs_submitted": 3, "telemetry.samples": 12},
+            {"queue_depth": 2.0, "running": 1.0},
+            metrics,
+        )
+
+    def test_round_trips_through_validator(self):
+        families = parse_exposition(self._render())
+        assert families["repro_service_jobs_submitted_total"]["type"] == "counter"
+        assert families["repro_queue_depth"]["type"] == "gauge"
+        histogram = families["repro_latency_job_total_seconds"]
+        assert histogram["type"] == "histogram"
+        names = {name for name, _, _ in histogram["samples"]}
+        assert names == {
+            "repro_latency_job_total_seconds_bucket",
+            "repro_latency_job_total_seconds_sum",
+            "repro_latency_job_total_seconds_count",
+        }
+        inf_bucket = [
+            value
+            for name, labels, value in histogram["samples"]
+            if labels.get("le") == "+Inf"
+        ]
+        assert inf_bucket == [4]
+
+    def test_counter_values_survive(self):
+        families = parse_exposition(self._render())
+        samples = families["repro_telemetry_samples_total"]["samples"]
+        assert samples == [("repro_telemetry_samples_total", {}, 12.0)]
+
+    def test_validator_rejects_type_after_samples(self):
+        text = "repro_x_total 1\n# TYPE repro_x_total counter\n"
+        with pytest.raises(ValueError, match="without # TYPE"):
+            parse_exposition(text)
+
+    def test_validator_rejects_malformed_sample(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_exposition("# TYPE repro_x counter\nrepro_x one\n")
+
+    def test_validator_rejects_missing_inf_bucket(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 1\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 1\n"
+        )
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            parse_exposition(text)
+
+    def test_validator_rejects_non_cumulative_buckets(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1"} 5\n'
+            'repro_h_bucket{le="+Inf"} 3\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 3\n"
+        )
+        with pytest.raises(ValueError, match="not cumulative"):
+            parse_exposition(text)
+
+    def test_validator_rejects_count_mismatch(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="+Inf"} 3\n'
+            "repro_h_sum 1\n"
+            "repro_h_count 4\n"
+        )
+        with pytest.raises(ValueError, match="_count"):
+            parse_exposition(text)
+
+    def test_special_values_render(self):
+        text = prometheus_exposition(
+            {"weird": math.inf}, {"nan_gauge": math.nan}, MetricSet()
+        )
+        assert "repro_weird_total +Inf" in text
+        assert "repro_nan_gauge NaN" in text
+        parse_exposition(text)

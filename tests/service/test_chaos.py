@@ -280,6 +280,68 @@ def test_server_kill_restart_recovers_every_job(tmp_path, service_env):
         server.ensure_dead()
 
 
+def test_killed_runner_still_stitches_to_one_valid_trace(
+    tmp_path, service_env
+):
+    """Chaos meets the stitcher: a job whose first attempt is crashed by
+    fault injection must still produce a *single* valid Chrome trace —
+    the resumed attempt continues the trace id minted at submission, the
+    crashed attempt's never-closed spans are dropped (not orphaned), and
+    timestamps stay monotonic per lane across server/runner/worker
+    processes.
+    """
+    from repro.obs.context import TraceContext
+    from repro.obs.stitch import stitch_directory, validate_chrome
+
+    data_dir = tmp_path / "svc"
+    data_dir.mkdir()
+    dataset = write_dataset_csv(tmp_path)
+
+    caller = TraceContext.root().child_of(0xC0FFEE)
+    server = LiveService(data_dir, service_env, label="stitch")
+    try:
+        # Job seq 1 draws an injected crash on attempt 0 (seed 113) and
+        # runs clean afterwards; shards mode adds worker processes to
+        # the trace.
+        status, body = server.client.submit(
+            job_payload(dataset, mode="shards", workers=2, shard_rows=4),
+            traceparent=caller.to_traceparent(),
+        )
+        assert status == 202, body
+        job_id = body["id"]
+
+        record = server.client.wait_terminal(job_id, timeout=300)
+        assert record["state"] == "succeeded", record
+        assert record["resumed"] and record["attempt"] >= 2
+        assert server.sigterm_and_wait() == 0
+    finally:
+        server.ensure_dead()
+
+    # The whole service tree stitches into one validated trace ...
+    chrome, summary = stitch_directory(data_dir)
+    validate_chrome(chrome)
+    # ... on exactly the trace id the client propagated: submit span,
+    # both attempts' surviving spans, and worker chunks all share it.
+    assert summary["trace_ids"] == [caller.trace_id]
+    assert len(summary["processes"]) >= 3, summary  # server, runner, workers
+    assert summary["resolved_links"] >= 2, summary
+
+    names = [
+        event["name"]
+        for event in chrome["traceEvents"]
+        if event["ph"] == "B"
+    ]
+    assert "service.job.submit" in names
+    assert "worker.chunk" in names
+    # Attempt 0 was SIGKILLed mid-run: its service.job.run span never
+    # closed and must be dropped, leaving exactly the resumed attempt's.
+    assert names.count("service.job.run") == 1
+
+    # The job directory alone also stitches and stays on the same trace.
+    _, job_summary = stitch_directory(data_dir / "jobs" / job_id)
+    assert job_summary["trace_ids"] == [caller.trace_id]
+
+
 def test_sigterm_mid_job_drains_then_resumes_cleanly(tmp_path, service_env):
     data_dir = tmp_path / "svc"
     data_dir.mkdir()
